@@ -1,0 +1,42 @@
+// Ablation (DESIGN.md design-choice study): contribution of each aug-AST
+// edge family. Trains the same HGT under five graph constructions:
+// full aug-AST, -CFG, -lexical, -call edges, and vanilla AST (none).
+#include "bench_common.h"
+
+int main() {
+  using namespace g2p;
+  using namespace g2p::bench;
+
+  const auto env = BenchEnv::from_env();
+  std::printf("== Ablation: aug-AST edge families (scale %.3g, %d epochs) ==\n\n", env.scale,
+              env.epochs);
+  const auto data = load_data(env);
+
+  struct Variant {
+    const char* name;
+    AugAstOptions options;
+  };
+  const Variant variants[] = {
+      {"full aug-AST", AugAstOptions{}},
+      {"- CFG edges", AugAstOptions{.cfg_edges = false}},
+      {"- lexical edges", AugAstOptions{.lexical_edges = false}},
+      {"- call edges", AugAstOptions{.call_edges = false}},
+      {"vanilla AST",
+       AugAstOptions{.cfg_edges = false, .lexical_edges = false, .call_edges = false}},
+  };
+
+  TextTable table({"Variant", "Precision", "Recall", "F1", "Accuracy"});
+  for (const auto& variant : variants) {
+    std::vector<Example> test;
+    const auto model = train_hgt(data, variant.options, env, &test, variant.name);
+    const auto m = evaluate_graph_model(model, test).parallel();
+    table.add_row(
+        {variant.name, pct(m.precision()), pct(m.recall()), pct(m.f1()), pct(m.accuracy())});
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape: the full aug-AST dominates; removing call edges hurts on the\n"
+      "callee-dependent loops (Section 5.1.2), removing lexical edges hurts on the\n"
+      "long-bodied loops (Section 5.1.3).\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// §6.6 Case study: loops missed by ALL THREE algorithm-based tools but
+// detected by Graph2Par (48 in the paper), including the paper's own
+// Listings 1-8 run through every analyzer and the trained model.
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "eval/comparison.h"
+
+namespace {
+
+using namespace g2p;
+using namespace g2p::bench;
+
+struct Listing {
+  const char* name;
+  const char* file;     // full TU (helpers + kernel)
+  bool parallel_label;  // ground truth per the paper
+};
+
+const Listing kListings[] = {
+    {"Listing 1 (reduction + fabs)",
+     "void kernel(double* a) {\n  int i;\n  double error = 0;\n"
+     "  for (i = 0; i < 30000000; i++)\n    error = error + fabs(a[i] - a[i + 1]);\n}\n",
+     true},
+    {"Listing 2 (reduction + abs + structs)",
+     "struct pixel { int r; int g; int b; };\n"
+     "void kernel(struct pixel* objetivo, struct pixel* individuo, int num_pixels) {\n"
+     "  int fitness = 0;\n"
+     "  for (int i = 0; i < num_pixels; i++) {\n"
+     "    fitness += (abs(objetivo[i].r - individuo[i].r) +\n"
+     "                abs(objetivo[i].g - individuo[i].g)) +\n"
+     "               abs(objetivo[i].b - individuo[i].b);\n  }\n}\n",
+     true},
+    {"Listing 3 (user function call)",
+     "float square(int x) {\n  int k = 0;\n  while (k < 5000) k++;\n  return sqrt(x);\n}\n"
+     "void kernel(float* vector, int size) {\n"
+     "  for (int i = 0; i < size; i++) {\n    vector[i] = square(vector[i]);\n  }\n}\n",
+     true},
+    {"Listing 4 (two-statement reduction)",
+     "void kernel(int N, int step) {\n  int v = 0;\n"
+     "  for (int i = 0; i < N; i += step) {\n    v += 2;\n    v = v + step;\n  }\n}\n",
+     true},
+    {"Listing 5 (triple nested counter)",
+     "void kernel(void) {\n  int i, j, k, l = 0;\n"
+     "  for (j = 0; j < 4; j++)\n    for (i = 0; i < 5; i++)\n"
+     "      for (k = 0; k < 6; k += 2)\n        l++;\n}\n",
+     true},
+    {"Listing 6 (array + reduction)",
+     "void kernel(int* a) {\n  int i, sum = 0;\n"
+     "  for (i = 0; i < 1000; i++) {\n    a[i] = i * 2;\n    sum += i;\n  }\n}\n",
+     true},
+    {"Listing 7 (row reduction)",
+     "void kernel(double a[1000][1000], double* v, int i) {\n  int j;\n  double sum = 0;\n"
+     "  for (j = 0; j < 1000; j++) {\n    sum += a[i][j] * v[j];\n  }\n}\n",
+     true},
+    {"Listing 8 (nest + outer temp)",
+     "void kernel(double a[12][12][12], double m) {\n  int i, j, k;\n  double tmp1;\n"
+     "  for (i = 0; i < 12; i++) {\n    for (j = 0; j < 12; j++) {\n"
+     "      for (k = 0; k < 12; k++) {\n        tmp1 = 6.0 / m;\n"
+     "        a[i][j][k] = tmp1 + 4;\n      }\n    }\n  }\n}\n",
+     true},
+};
+
+}  // namespace
+
+int main() {
+  const auto env = BenchEnv::from_env();
+  std::printf("== Case study (Section 6.6): loops missed by all tools (scale %.3g) ==\n\n",
+              env.scale);
+  const auto data = load_data(env);
+  std::vector<Example> aug_test;
+  const auto model = train_hgt(data, AugAstOptions{}, env, &aug_test, "Graph2Par");
+  const auto preds = predict_parallel(model, aug_test);
+
+  // Corpus sweep: parallel test loops missed by every tool but caught by the
+  // model — the paper finds 48 such loops.
+  std::printf("running tool simulacra...\n\n");
+  const auto results = run_tools_on_corpus(data.corpus);
+  int missed_by_all_found_by_model = 0;
+  int missed_by_all = 0;
+  for (std::size_t i = 0; i < aug_test.size(); ++i) {
+    const int idx = aug_test[i].corpus_index;
+    const auto& sample = data.corpus.samples[static_cast<std::size_t>(idx)];
+    if (!sample.parallel) continue;
+    bool any_tool = false;
+    for (const auto& [tool, verdicts] : results.by_tool) {
+      any_tool |= verdicts[static_cast<std::size_t>(idx)].detected_parallel();
+    }
+    if (any_tool) continue;
+    ++missed_by_all;
+    if (preds[i]) ++missed_by_all_found_by_model;
+  }
+  std::printf("test loops missed by ALL three tools:           %d\n", missed_by_all);
+  std::printf("...of which Graph2Par detects (paper: 48):      %d\n\n",
+              missed_by_all_found_by_model);
+
+  // The paper's own listings.
+  const auto tools = make_all_tools();
+  TextTable table({"Listing", "PLUTO", "autoPar", "DiscoPoP", "Graph2Par"});
+  AugAstBuilder builder(data.vocab, AugAstOptions{});
+  for (const auto& listing : kListings) {
+    auto parsed = parse_translation_unit(listing.file);
+    const auto loops = extract_loops(*parsed.tu);
+    const Stmt* loop = nullptr;
+    for (const auto& l : loops) {
+      if (l.loop->kind() == NodeKind::kForStmt) {
+        loop = l.loop;
+        break;
+      }
+    }
+    if (!loop) loop = loops.front().loop;
+
+    std::vector<std::string> cells = {listing.name};
+    for (const auto& tool : tools) {
+      const auto r = tool->analyze(*loop, parsed.tu.get(), &parsed.structs);
+      cells.push_back(!r.applicable ? "n/a" : (r.parallel ? "parallel" : "miss"));
+    }
+    const auto graph = builder.build(*loop, parsed.tu.get());
+    std::vector<const HetGraph*> ptrs = {&graph.graph};
+    const auto batch = batch_graphs(ptrs);
+    const auto pred =
+        argmax_rows(model.task_logits(model.encode(batch), PredictionTask::kParallel))[0];
+    cells.push_back(pred == 1 ? "parallel" : "miss");
+    table.add_row(std::move(cells));
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Paper: all eight listings are parallel; the algorithm-based tools miss them\n"
+      "(Listings 1-5 motivate Section 2); Graph2Par detects them.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 2: category-wise parallel loops missed by the three renowned
+// parallelization assistant tools (PLUTO, autoPar, DiscoPoP), over the
+// OMP_Serial corpus.
+#include "bench_common.h"
+#include "eval/comparison.h"
+
+int main() {
+  using namespace g2p;
+  using namespace g2p::bench;
+
+  const auto env = BenchEnv::from_env();
+  std::printf("== Figure 2: category-wise loops missed by the tools (scale %.3g) ==\n\n",
+              env.scale);
+  const auto data = load_data(env);
+
+  std::printf("running PLUTO / autoPar / DiscoPoP simulacra on %d loops...\n\n",
+              data.corpus.size());
+  const auto results = run_tools_on_corpus(data.corpus);
+  const auto missed = missed_by_category(data.corpus, results);
+
+  const LoopCategory categories[] = {
+      LoopCategory::kReduction, LoopCategory::kFunctionCall, LoopCategory::kReductionAndCall,
+      LoopCategory::kNested, LoopCategory::kOthers};
+
+  TextTable table({"Category", "Missed by PLUTO", "Missed by autoPar", "Missed by DiscoPoP"});
+  for (const auto cat : categories) {
+    auto row_count = [&](const char* tool) {
+      auto it = missed.find(tool);
+      if (it == missed.end()) return 0;
+      auto jt = it->second.find(cat);
+      return jt == it->second.end() ? 0 : jt->second;
+    };
+    table.add_row({std::string(loop_category_name(cat)), std::to_string(row_count("PLUTO")),
+                   std::to_string(row_count("autoPar")),
+                   std::to_string(row_count("DiscoPoP"))});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  int parallel_total = data.corpus.count_parallel();
+  std::printf("parallel-labeled loops in corpus: %d\n", parallel_total);
+  std::printf(
+      "\nPaper shape: every tool misses loops in every category; reductions and\n"
+      "function calls dominate the static tools' misses, nested loops affect all three.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// §6.5 Overhead: cost of building the aug-AST representation for a loop —
+// the paper reports "order of milliseconds" for the dataset's avg-6.9-LOC
+// loops. Measured with google-benchmark across loop sizes and pipeline
+// stages (lex+parse, CFG, full aug-AST).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/aug_ast.h"
+#include "frontend/parser.h"
+#include "graph/cfg.h"
+
+namespace {
+
+using namespace g2p;
+
+/// A synthetic loop with `body_stmts` statements (controls size).
+std::string loop_source(int body_stmts) {
+  std::string src = "for (i = 0; i < 1000; i++) {\n";
+  for (int s = 0; s < body_stmts; ++s) {
+    src += "  a" + std::to_string(s) + "[i] = b[i] * " + std::to_string(s + 2) +
+           " + fabs(c[i - 1]);\n";
+  }
+  src += "}\n";
+  return src;
+}
+
+Vocab make_vocab(const Stmt& loop) {
+  std::unordered_map<std::string, int> counts;
+  collect_text_attributes(loop, counts);
+  return Vocab::build(counts);
+}
+
+void BM_LexAndParse(benchmark::State& state) {
+  const std::string src = loop_source(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto stmt = parse_statement(src);
+    benchmark::DoNotOptimize(stmt);
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " body stmts");
+}
+BENCHMARK(BM_LexAndParse)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BuildCfg(benchmark::State& state) {
+  const std::string src = loop_source(static_cast<int>(state.range(0)));
+  auto stmt = parse_statement(src);
+  for (auto _ : state) {
+    auto cfg = build_cfg(*stmt);
+    benchmark::DoNotOptimize(cfg);
+  }
+}
+BENCHMARK(BM_BuildCfg)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_BuildAugAst(benchmark::State& state) {
+  const std::string src = loop_source(static_cast<int>(state.range(0)));
+  auto stmt = parse_statement(src);
+  const Vocab vocab = make_vocab(*stmt);
+  const AugAstBuilder builder(vocab);
+  for (auto _ : state) {
+    auto graph = builder.build(*stmt);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_BuildAugAst)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+/// End-to-end: source text -> aug-AST (what §6.5 times).
+void BM_EndToEndAugAst(benchmark::State& state) {
+  const std::string src = loop_source(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto stmt = parse_statement(src);
+    Vocab vocab = make_vocab(*stmt);
+    AugAstBuilder builder(vocab);
+    auto graph = builder.build(*stmt);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_EndToEndAugAst)->Arg(2)->Arg(7)->Arg(32);
+
+/// The paper's own motivating loop (Listing 1).
+void BM_Listing1(benchmark::State& state) {
+  const std::string src =
+      "for (i = 0; i < 30000000; i++)\n"
+      "  error = error + fabs(a[i] - a[i + 1]);";
+  for (auto _ : state) {
+    auto stmt = parse_statement(src);
+    Vocab vocab = make_vocab(*stmt);
+    AugAstBuilder builder(vocab);
+    auto graph = builder.build(*stmt);
+    benchmark::DoNotOptimize(graph);
+  }
+}
+BENCHMARK(BM_Listing1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

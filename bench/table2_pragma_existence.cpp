@@ -1,0 +1,45 @@
+// Table 2: pragma-existence prediction — vanilla AST (HGT) vs PragFormer
+// (token transformer) vs Graph2Par (heterogeneous aug-AST + HGT).
+#include "bench_common.h"
+
+int main() {
+  using namespace g2p;
+  using namespace g2p::bench;
+
+  const auto env = BenchEnv::from_env();
+  std::printf("== Table 2: pragma existence prediction (scale %.3g, %d epochs) ==\n\n",
+              env.scale, env.epochs);
+  const auto data = load_data(env);
+
+  // Vanilla AST baseline: same HGT, graph without CFG/lexical/call edges.
+  std::vector<Example> ast_test;
+  const auto ast_model = train_hgt(data, vanilla_ast_options(), env, &ast_test, "HGT-AST");
+  const auto ast_report = evaluate_graph_model(ast_model, ast_test);
+
+  // PragFormer token baseline.
+  std::vector<Example> token_test;
+  const auto token_model = train_pragformer(data, env, &token_test);
+  const auto token_report = evaluate_token_model(token_model, token_test);
+
+  // Graph2Par: full heterogeneous aug-AST.
+  std::vector<Example> aug_test;
+  const auto g2p_model = train_hgt(data, AugAstOptions{}, env, &aug_test, "Graph2Par");
+  const auto g2p_report = evaluate_graph_model(g2p_model, aug_test);
+
+  std::printf("\n");
+  TextTable table({"Approach", "Precision", "Recall", "F1", "Accuracy"});
+  auto add = [&table](const char* name, const BinaryMetrics& m) {
+    table.add_row({name, pct(m.precision()), pct(m.recall()), pct(m.f1()), pct(m.accuracy())});
+  };
+  add("AST (HGT)", ast_report.parallel());
+  add("PragFormer", token_report.parallel());
+  add("Graph2Par", g2p_report.parallel());
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Paper (Table 2):  AST 0.74/0.73/0.74/0.74 | PragFormer 0.81/0.81/0.80/0.80 |\n"
+      "                  Graph2Par 0.92/0.82/0.87/0.85\n"
+      "Expected shape: Graph2Par dominates both baselines on F1/accuracy; the aug-AST's\n"
+      "CFG + lexical + call-site edges are what separate it from the vanilla AST.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table 3: number of detected parallel loops — Graph2Par and HGT-AST vs the
+// algorithm-based tools, on the test split.
+#include "bench_common.h"
+#include "eval/comparison.h"
+
+int main() {
+  using namespace g2p;
+  using namespace g2p::bench;
+
+  const auto env = BenchEnv::from_env();
+  std::printf("== Table 3: detected parallel loops (scale %.3g, %d epochs) ==\n\n", env.scale,
+              env.epochs);
+  const auto data = load_data(env);
+
+  std::vector<Example> aug_test;
+  const auto g2p_model = train_hgt(data, AugAstOptions{}, env, &aug_test, "Graph2Par");
+  std::vector<Example> ast_test;
+  const auto ast_model = train_hgt(data, vanilla_ast_options(), env, &ast_test, "HGT-AST");
+
+  const auto g2p_preds = predict_parallel(g2p_model, aug_test);
+  const auto ast_preds = predict_parallel(ast_model, ast_test);
+
+  int g2p_detected = 0, ast_detected = 0, parallel_total = 0;
+  for (std::size_t i = 0; i < aug_test.size(); ++i) {
+    const bool actual =
+        data.corpus.samples[static_cast<std::size_t>(aug_test[i].corpus_index)].parallel;
+    parallel_total += actual;
+    g2p_detected += (g2p_preds[i] && actual);
+    ast_detected += (ast_preds[i] && actual);
+  }
+
+  std::printf("running tool simulacra...\n\n");
+  const auto results = run_tools_on_corpus(data.corpus);
+
+  TextTable table({"Approach", "# detected parallel loops", "Paper"});
+  table.add_row({"Graph2Par", std::to_string(g2p_detected), "17563"});
+  table.add_row({"HGT-AST", std::to_string(ast_detected), "16236"});
+  table.add_row(
+      {"DiscoPoP",
+       std::to_string(count_detected(data.corpus, results, "DiscoPoP", data.split.test)),
+       "953"});
+  table.add_row(
+      {"PLUTO", std::to_string(count_detected(data.corpus, results, "PLUTO", data.split.test)),
+       "1759"});
+  table.add_row(
+      {"autoPar",
+       std::to_string(count_detected(data.corpus, results, "autoPar", data.split.test)),
+       "6391"});
+  std::printf("%s\n", table.render().c_str());
+  std::printf("parallel loops in test split: %d\n", parallel_total);
+  std::printf(
+      "\nPaper shape: the learned models detect several times more parallel loops than\n"
+      "any algorithm-based tool; Graph2Par >= HGT-AST; autoPar > PLUTO > DiscoPoP.\n"
+      "(Paper counts are over the full 18598-parallel-loop dataset; ours are over the\n"
+      "test split at G2P_SCALE.)\n");
+  return 0;
+}

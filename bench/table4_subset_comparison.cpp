@@ -1,0 +1,62 @@
+// Table 4: Graph2Par vs each tool on the subset of test loops the tool can
+// process (Subset_PLUTO / Subset_autoPar / Subset_DiscoPoP): TP/TN/FP/FN and
+// precision/recall/F1/accuracy.
+#include <map>
+
+#include "bench_common.h"
+#include "eval/comparison.h"
+
+int main() {
+  using namespace g2p;
+  using namespace g2p::bench;
+
+  const auto env = BenchEnv::from_env();
+  std::printf("== Table 4: per-tool subset comparison (scale %.3g, %d epochs) ==\n\n",
+              env.scale, env.epochs);
+  const auto data = load_data(env);
+
+  std::vector<Example> aug_test;
+  const auto model = train_hgt(data, AugAstOptions{}, env, &aug_test, "Graph2Par");
+  const auto preds = predict_parallel(model, aug_test);
+  std::map<int, bool> pred_of;  // corpus index -> model prediction
+  for (std::size_t i = 0; i < aug_test.size(); ++i) {
+    pred_of[aug_test[i].corpus_index] = preds[i];
+  }
+
+  std::printf("running tool simulacra...\n\n");
+  const auto results = run_tools_on_corpus(data.corpus);
+  const auto subsets = build_subsets(data.corpus, results, data.split.test);
+
+  TextTable table({"Subset", "Approach", "TP", "TN", "FP", "FN", "Precision", "Recall", "F1",
+                   "Accuracy(%)"});
+  auto add_row = [&table](const std::string& subset, const std::string& approach,
+                          const BinaryMetrics& m) {
+    table.add_row({subset, approach, std::to_string(m.tp), std::to_string(m.tn),
+                   std::to_string(m.fp), std::to_string(m.fn),
+                   fmt_fixed(100.0 * m.precision(), 2), fmt_fixed(100.0 * m.recall(), 2),
+                   fmt_fixed(100.0 * m.f1(), 2), fmt_fixed(100.0 * m.accuracy(), 2)});
+  };
+
+  for (const auto& cmp : subsets) {
+    BinaryMetrics model_metrics;
+    for (int idx : cmp.subset) {
+      model_metrics.add(pred_of.at(idx),
+                        data.corpus.samples[static_cast<std::size_t>(idx)].parallel);
+    }
+    const std::string subset_name =
+        "Subset_" + cmp.tool + " (" + std::to_string(cmp.subset.size()) + ")";
+    add_row(subset_name, cmp.tool, cmp.tool_metrics);
+    add_row(subset_name, "Graph2Par", model_metrics);
+    if (cmp.tool_metrics.tp > 0) {
+      std::printf("Graph2Par finds %.1fx the true positives of %s on its subset\n",
+                  static_cast<double>(model_metrics.tp) / cmp.tool_metrics.tp,
+                  cmp.tool.c_str());
+    }
+  }
+  std::printf("\n%s\n", table.render().c_str());
+  std::printf(
+      "Paper (Table 4) shape: tools have 100%% precision (conservative, FP=0) but low\n"
+      "recall (PLUTO 39.5, autoPar 14.4, DiscoPoP 54.9); Graph2Par achieves higher F1\n"
+      "and accuracy on every subset and 1.2-5.2x the true positives.\n");
+  return 0;
+}

@@ -1,0 +1,600 @@
+#include "analysis/dependence.h"
+
+#include <algorithm>
+
+#include "analysis/interp.h"
+#include "frontend/loop_extractor.h"
+#include "frontend/parser.h"
+
+namespace g2p {
+
+// ---------------------------------------------------------------------------
+// Linear forms
+// ---------------------------------------------------------------------------
+
+namespace {
+
+LinearForm non_affine() { return LinearForm{}; }
+
+LinearForm lf_const(long long c) {
+  LinearForm out;
+  out.affine = true;
+  out.constant = c;
+  return out;
+}
+
+LinearForm lf_add(const LinearForm& a, const LinearForm& b, long long sign) {
+  if (!a.affine || !b.affine) return non_affine();
+  LinearForm out = a;
+  out.constant += sign * b.constant;
+  for (const auto& [var, coeff] : b.coeffs) {
+    out.coeffs[var] += sign * coeff;
+    if (out.coeffs[var] == 0) out.coeffs.erase(var);
+  }
+  return out;
+}
+
+LinearForm lf_scale(const LinearForm& a, long long factor) {
+  if (!a.affine) return non_affine();
+  LinearForm out;
+  out.affine = true;
+  out.constant = a.constant * factor;
+  if (factor != 0) {
+    for (const auto& [var, coeff] : a.coeffs) out.coeffs[var] = coeff * factor;
+  }
+  return out;
+}
+
+}  // namespace
+
+LinearForm linear_form_of(const Expr& expr) {
+  switch (expr.kind()) {
+    case NodeKind::kIntLiteral:
+      return lf_const(static_cast<const IntLiteral&>(expr).value);
+    case NodeKind::kDeclRef: {
+      LinearForm out;
+      out.affine = true;
+      out.coeffs[static_cast<const DeclRef&>(expr).name] = 1;
+      return out;
+    }
+    case NodeKind::kParenExpr:
+      return linear_form_of(*static_cast<const ParenExpr&>(expr).inner);
+    case NodeKind::kCastExpr:
+      return linear_form_of(*static_cast<const CastExpr&>(expr).operand);
+    case NodeKind::kUnaryOperator: {
+      const auto& u = static_cast<const UnaryOperator&>(expr);
+      if (u.op == "-" && u.prefix) return lf_scale(linear_form_of(*u.operand), -1);
+      if (u.op == "+" && u.prefix) return linear_form_of(*u.operand);
+      return non_affine();
+    }
+    case NodeKind::kBinaryOperator: {
+      const auto& b = static_cast<const BinaryOperator&>(expr);
+      const LinearForm lhs = linear_form_of(*b.lhs);
+      const LinearForm rhs = linear_form_of(*b.rhs);
+      if (b.op == "+") return lf_add(lhs, rhs, +1);
+      if (b.op == "-") return lf_add(lhs, rhs, -1);
+      if (b.op == "*") {
+        if (lhs.is_constant()) return lf_scale(rhs, lhs.constant);
+        if (rhs.is_constant()) return lf_scale(lhs, rhs.constant);
+        return non_affine();
+      }
+      return non_affine();
+    }
+    default:
+      return non_affine();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loop fact gathering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const Stmt* body_of(const Stmt& loop) {
+  switch (loop.kind()) {
+    case NodeKind::kForStmt: return static_cast<const ForStmt&>(loop).body.get();
+    case NodeKind::kWhileStmt: return static_cast<const WhileStmt&>(loop).body.get();
+    case NodeKind::kDoStmt: return static_cast<const DoStmt&>(loop).body.get();
+    default: return nullptr;
+  }
+}
+
+/// Unwrap the name of a plain DeclRef target, "" otherwise.
+std::string declref_name(const Expr& e) {
+  if (e.kind() == NodeKind::kDeclRef) return static_cast<const DeclRef&>(e).name;
+  if (e.kind() == NodeKind::kParenExpr) {
+    return declref_name(*static_cast<const ParenExpr&>(e).inner);
+  }
+  return "";
+}
+
+/// Try to recognize a canonical header: index var, step; fills facts.
+void recognize_header(const ForStmt& loop, LoopFacts& facts) {
+  // init: i = e  |  int i = e
+  std::string index;
+  if (loop.init->kind() == NodeKind::kExprStmt) {
+    const auto& expr = *static_cast<const ExprStmt&>(*loop.init).expr;
+    if (expr.kind() == NodeKind::kAssignment) {
+      const auto& a = static_cast<const Assignment&>(expr);
+      if (a.op == "=") index = declref_name(*a.lhs);
+    }
+  } else if (loop.init->kind() == NodeKind::kDeclStmt) {
+    const auto& d = static_cast<const DeclStmt&>(*loop.init);
+    if (d.decls.size() == 1 && d.decls[0]->init) index = d.decls[0]->name;
+  }
+  if (index.empty()) return;
+
+  // cond: i < e | i <= e | i > e | i >= e | i != e
+  if (!loop.cond || loop.cond->kind() != NodeKind::kBinaryOperator) return;
+  const auto& cond = static_cast<const BinaryOperator&>(*loop.cond);
+  if (cond.op != "<" && cond.op != "<=" && cond.op != ">" && cond.op != ">=" &&
+      cond.op != "!=") {
+    return;
+  }
+  if (declref_name(*cond.lhs) != index && declref_name(*cond.rhs) != index) return;
+  const Expr& bound =
+      declref_name(*cond.lhs) == index ? *cond.rhs : *cond.lhs;
+
+  // inc: i++ | ++i | i-- | i += c | i -= c | i = i + c
+  long long step = 0;
+  if (loop.inc) {
+    if (loop.inc->kind() == NodeKind::kUnaryOperator) {
+      const auto& u = static_cast<const UnaryOperator&>(*loop.inc);
+      if (declref_name(*u.operand) == index) step = (u.op == "++") ? 1 : (u.op == "--" ? -1 : 0);
+    } else if (loop.inc->kind() == NodeKind::kAssignment) {
+      const auto& a = static_cast<const Assignment&>(*loop.inc);
+      if (declref_name(*a.lhs) == index) {
+        const LinearForm rhs = linear_form_of(*a.rhs);
+        if (a.op == "+=" && rhs.is_constant()) step = rhs.constant;
+        if (a.op == "-=" && rhs.is_constant()) step = -rhs.constant;
+        if (a.op == "=" && rhs.affine && rhs.coeff_of(index) == 1 && rhs.coeffs.size() == 1) {
+          step = rhs.constant;  // i = i + c
+        }
+      }
+    }
+  }
+  if (step == 0) return;
+
+  facts.canonical = true;
+  facts.index_var = index;
+  facts.step = step;
+  facts.bound_affine = linear_form_of(bound).affine;
+}
+
+/// Collect the chain of subscripts of a (possibly multi-dim) access;
+/// returns the base array name or "" when the base is not a plain name.
+std::string subscript_chain(const Expr& e, std::vector<const Expr*>& subs) {
+  if (e.kind() == NodeKind::kArraySubscript) {
+    const auto& a = static_cast<const ArraySubscript&>(e);
+    const std::string base = subscript_chain(*a.base, subs);
+    subs.push_back(a.index.get());
+    return base;
+  }
+  if (e.kind() == NodeKind::kParenExpr) {
+    return subscript_chain(*static_cast<const ParenExpr&>(e).inner, subs);
+  }
+  if (e.kind() == NodeKind::kDeclRef) return static_cast<const DeclRef&>(e).name;
+  if (e.kind() == NodeKind::kMemberExpr) {
+    // objetivo[i].r — treat field access as part of the array identity.
+    const auto& m = static_cast<const MemberExpr&>(e);
+    std::vector<const Expr*> inner_subs;
+    const std::string base = subscript_chain(*m.base, inner_subs);
+    subs.insert(subs.end(), inner_subs.begin(), inner_subs.end());
+    return base.empty() ? "" : base + "." + m.member;
+  }
+  return "";
+}
+
+class FactCollector {
+ public:
+  FactCollector(LoopFacts& facts, const TranslationUnit* tu) : facts_(facts), tu_(tu) {}
+
+  void collect_body(const Node& node, int loop_depth) {
+    switch (node.kind()) {
+      case NodeKind::kForStmt: {
+        const auto& inner = static_cast<const ForStmt&>(node);
+        facts_.has_inner_loop = true;
+        LoopFacts inner_probe;
+        recognize_header(inner, inner_probe);
+        if (inner_probe.canonical) facts_.inner_index_vars.insert(inner_probe.index_var);
+        // Header expressions analyzed like body code except writes to the
+        // inner index are expected.
+        collect_body(*inner.init, loop_depth);
+        if (inner.cond) collect_expr(*inner.cond, /*want_write=*/false);
+        if (inner.inc) collect_expr(*inner.inc, false);
+        collect_body(*inner.body, loop_depth + 1);
+        return;
+      }
+      case NodeKind::kWhileStmt:
+      case NodeKind::kDoStmt: {
+        facts_.has_inner_loop = true;
+        facts_.has_inner_while = true;
+        node.for_each_child([&](const Node& child) {
+          if (child.is_expr()) {
+            collect_expr(static_cast<const Expr&>(child), false);
+          } else {
+            collect_body(child, loop_depth + 1);
+          }
+        });
+        return;
+      }
+      case NodeKind::kBreakStmt:
+      case NodeKind::kReturnStmt:
+        if (loop_depth == 0) facts_.has_break = true;
+        node.for_each_child([&](const Node& child) {
+          if (child.is_expr()) collect_expr(static_cast<const Expr&>(child), false);
+        });
+        return;
+      case NodeKind::kDeclStmt: {
+        const auto& d = static_cast<const DeclStmt&>(node);
+        for (const auto& decl : d.decls) {
+          auto& info = facts_.written_scalars[decl->name];
+          info.declared_in_body = true;
+          record_order_first_write(decl->name, /*plain_write=*/true);
+          if (decl->init) collect_expr(*decl->init, false);
+        }
+        return;
+      }
+      case NodeKind::kExprStmt:
+        collect_expr(*static_cast<const ExprStmt&>(node).expr, false);
+        return;
+      default:
+        if (node.is_expr()) {
+          collect_expr(static_cast<const Expr&>(node), false);
+          return;
+        }
+        node.for_each_child([&](const Node& child) { collect_body(child, loop_depth); });
+        return;
+    }
+  }
+
+  void collect_expr(const Expr& expr, bool is_write_target) {
+    switch (expr.kind()) {
+      case NodeKind::kAssignment: {
+        const auto& a = static_cast<const Assignment&>(expr);
+        // Source-order semantics: the RHS (and a compound update's implicit
+        // target read) happen before the write, which matters for the
+        // written-before-read privatization check. The self-reference inside
+        // an explicit self-update (s = s + e) is part of the update, not an
+        // "outside" read, so it must not disqualify the reduction.
+        const std::string target = declref_name(*a.lhs);
+        const Expr* self_ref = target.empty() ? nullptr : find_self_update_ref(*a.rhs, target);
+        collect_rhs(*a.rhs, self_ref);
+        if (a.is_compound()) note_target_read(*a.lhs);
+        if (self_ref != nullptr) note_target_read(*a.lhs);
+        record_write(*a.lhs, a);
+        return;
+      }
+      case NodeKind::kUnaryOperator: {
+        const auto& u = static_cast<const UnaryOperator&>(expr);
+        if (u.op == "++" || u.op == "--") {
+          record_incdec(*u.operand, u.op);
+          return;
+        }
+        if (u.op == "*") {
+          facts_.has_pointer_deref = true;
+        }
+        collect_expr(*u.operand, is_write_target);
+        return;
+      }
+      case NodeKind::kCallExpr: {
+        const auto& c = static_cast<const CallExpr&>(expr);
+        facts_.has_call = true;
+        if (is_impure_builtin(c.callee)) {
+          facts_.has_impure_call = true;
+        } else if (is_pure_builtin(c.callee)) {
+          facts_.has_pure_builtin_call = true;
+        } else if (tu_ && tu_->find_function(c.callee)) {
+          facts_.has_defined_call = true;
+        } else {
+          facts_.has_unknown_call = true;
+        }
+        for (const auto& arg : c.args) collect_expr(*arg, false);
+        return;
+      }
+      case NodeKind::kArraySubscript: {
+        record_array_ref(expr, /*is_write=*/false);
+        // Also walk subscripts for scalar reads.
+        std::vector<const Expr*> subs;
+        subscript_chain(expr, subs);
+        for (const Expr* s : subs) collect_expr(*s, false);
+        return;
+      }
+      case NodeKind::kMemberExpr: {
+        facts_.has_member_access = true;
+        const auto& m = static_cast<const MemberExpr&>(expr);
+        if (m.base->kind() == NodeKind::kArraySubscript) {
+          record_array_ref(expr, false);
+          std::vector<const Expr*> subs;
+          subscript_chain(expr, subs);
+          for (const Expr* s : subs) collect_expr(*s, false);
+        } else {
+          collect_expr(*m.base, false);
+        }
+        return;
+      }
+      case NodeKind::kDeclRef: {
+        note_scalar_read(static_cast<const DeclRef&>(expr).name);
+        return;
+      }
+      default:
+        expr.for_each_child([&](const Node& child) {
+          if (child.is_expr()) collect_expr(static_cast<const Expr&>(child), false);
+        });
+        return;
+    }
+  }
+
+  void set_index(const std::string& index) { index_ = index; }
+
+ private:
+  /// If `rhs` is shaped like `target op e` / `e op target` (one top-level
+  /// self mention), return the self DeclRef node; else nullptr.
+  static const Expr* find_self_update_ref(const Expr& rhs, const std::string& target) {
+    const Expr* e = &rhs;
+    while (e->kind() == NodeKind::kParenExpr) {
+      e = static_cast<const ParenExpr&>(*e).inner.get();
+    }
+    if (e->kind() != NodeKind::kBinaryOperator) return nullptr;
+    const auto& b = static_cast<const BinaryOperator&>(*e);
+    const bool lhs_self = declref_name(*b.lhs) == target;
+    const bool rhs_self = declref_name(*b.rhs) == target;
+    if (lhs_self == rhs_self) return nullptr;
+    return lhs_self ? b.lhs.get() : b.rhs.get();
+  }
+
+  /// Walk an assignment RHS, skipping the exempted self-update reference.
+  void collect_rhs(const Expr& rhs, const Expr* exempt) {
+    if (&rhs == exempt) return;
+    if (rhs.kind() == NodeKind::kParenExpr) {
+      collect_rhs(*static_cast<const ParenExpr&>(rhs).inner, exempt);
+      return;
+    }
+    if (exempt != nullptr && rhs.kind() == NodeKind::kBinaryOperator) {
+      const auto& b = static_cast<const BinaryOperator&>(rhs);
+      if (b.lhs.get() == exempt || b.rhs.get() == exempt) {
+        collect_rhs(b.lhs.get() == exempt ? *b.rhs : *b.lhs, nullptr);
+        return;
+      }
+    }
+    collect_expr(rhs, false);
+  }
+
+  void record_order_first_write(const std::string& var, bool plain_write) {
+    if (seen_order_.insert(var).second && plain_write) {
+      facts_.written_scalars[var].first_access_is_plain_write = true;
+    }
+  }
+  void record_order_first_read(const std::string& var) { seen_order_.insert(var); }
+
+  void note_scalar_read(const std::string& name) {
+    record_order_first_read(name);
+    auto it = facts_.written_scalars.find(name);
+    if (it != facts_.written_scalars.end()) it->second.read_outside_updates = true;
+    reads_seen_.insert(name);
+  }
+
+  /// Reads of the target inside its own compound update don't disqualify a
+  /// reduction (s += e reads s by definition).
+  void note_target_read(const Expr& lhs) {
+    const std::string name = declref_name(lhs);
+    if (!name.empty()) record_order_first_read(name);
+  }
+
+  void record_write(const Expr& lhs, const Assignment& assign) {
+    const std::string name = declref_name(lhs);
+    if (!name.empty()) {
+      if (name == index_) facts_.index_written_in_body = true;
+      auto& info = facts_.written_scalars[name];
+      ++info.update_count;
+      record_order_first_write(name, assign.op == "=");
+      classify_update(info, name, assign);
+      return;
+    }
+    if (lhs.kind() == NodeKind::kArraySubscript || lhs.kind() == NodeKind::kMemberExpr) {
+      record_array_ref(lhs, /*is_write=*/true);
+      std::vector<const Expr*> subs;
+      subscript_chain(lhs, subs);
+      for (const Expr* s : subs) collect_expr(*s, false);
+      if (lhs.kind() == NodeKind::kMemberExpr) facts_.has_member_access = true;
+      return;
+    }
+    if (lhs.kind() == NodeKind::kUnaryOperator &&
+        static_cast<const UnaryOperator&>(lhs).op == "*") {
+      facts_.has_pointer_deref = true;
+      collect_expr(*static_cast<const UnaryOperator&>(lhs).operand, false);
+      return;
+    }
+    // Unrecognized target: conservative.
+    facts_.has_nonaffine_subscript = true;
+  }
+
+  void record_incdec(const Expr& target, const std::string& op) {
+    const std::string name = declref_name(target);
+    if (!name.empty()) {
+      if (name == index_) facts_.index_written_in_body = true;
+      auto& info = facts_.written_scalars[name];
+      ++info.update_count;
+      record_order_first_read(name);
+      const std::string red_op = (op == "++") ? "+" : "-";
+      if (info.reduction_op.empty()) {
+        info.reduction_op = red_op;
+      } else if (info.reduction_op != red_op) {
+        info.non_reduction_form = true;
+      }
+      return;
+    }
+    if (target.kind() == NodeKind::kArraySubscript || target.kind() == NodeKind::kMemberExpr) {
+      record_array_ref(target, /*is_write=*/true);
+      record_array_ref(target, /*is_write=*/false);
+      return;
+    }
+    facts_.has_pointer_deref = true;
+  }
+
+  /// Classify `name = rhs` / `name op= rhs` as a reduction-shaped update.
+  void classify_update(ScalarUpdateInfo& info, const std::string& name,
+                       const Assignment& assign) {
+    std::string op;
+    bool rhs_mentions_self_once_ok = false;
+    if (assign.is_compound()) {
+      op = assign.underlying_op();
+      // s op= e where e must not mention s.
+      rhs_mentions_self_once_ok = count_refs(*assign.rhs, name) == 0;
+    } else {
+      // s = s op e  or  s = e op s (top-level binary).
+      const Expr* rhs = assign.rhs.get();
+      while (rhs->kind() == NodeKind::kParenExpr) {
+        rhs = static_cast<const ParenExpr&>(*rhs).inner.get();
+      }
+      if (rhs->kind() == NodeKind::kBinaryOperator) {
+        const auto& b = static_cast<const BinaryOperator&>(*rhs);
+        const bool lhs_is_self = declref_name(*b.lhs) == name;
+        const bool rhs_is_self = declref_name(*b.rhs) == name;
+        if (lhs_is_self != rhs_is_self) {
+          const Expr& other = lhs_is_self ? *b.rhs : *b.lhs;
+          if (count_refs(other, name) == 0) {
+            op = b.op;
+            rhs_mentions_self_once_ok = true;
+          }
+        }
+      }
+    }
+    static const std::set<std::string> kAssociative = {"+", "*", "-"};
+    if (op.empty() || !rhs_mentions_self_once_ok || !kAssociative.count(op)) {
+      info.non_reduction_form = true;
+      return;
+    }
+    // '-' accumulates like '+' for dependence purposes.
+    if (op == "-") op = "+";
+    if (info.reduction_op.empty()) {
+      info.reduction_op = op;
+    } else if (info.reduction_op != op) {
+      info.non_reduction_form = true;
+    }
+  }
+
+  static int count_refs(const Expr& e, const std::string& name) {
+    int n = 0;
+    walk(e, [&](const Node& node) {
+      if (node.kind() == NodeKind::kDeclRef &&
+          static_cast<const DeclRef&>(node).name == name) {
+        ++n;
+      }
+    });
+    return n;
+  }
+
+  void record_array_ref(const Expr& e, bool is_write) {
+    std::vector<const Expr*> subs;
+    const std::string base = subscript_chain(e, subs);
+    ArrayRefInfo info;
+    info.array = base;
+    info.is_write = is_write;
+    if (base.empty()) {
+      info.affine = false;
+      facts_.has_nonaffine_subscript = true;
+    }
+    for (const Expr* s : subs) {
+      LinearForm lf = linear_form_of(*s);
+      if (!lf.affine) {
+        info.affine = false;
+        facts_.has_nonaffine_subscript = true;
+      }
+      info.subscripts.push_back(std::move(lf));
+    }
+    if (is_write) {
+      facts_.array_writes.push_back(std::move(info));
+    } else {
+      facts_.array_reads.push_back(std::move(info));
+    }
+  }
+
+  LoopFacts& facts_;
+  const TranslationUnit* tu_;
+  std::string index_;
+  std::set<std::string> seen_order_;  // scalars with a recorded first access
+  std::set<std::string> reads_seen_;
+};
+
+bool is_perfect_nest(const Stmt& loop) {
+  const Stmt* body = body_of(loop);
+  if (!body) return false;
+  // Direct inner loop, or a compound whose only statement is a loop, or a
+  // body with no loops at all (innermost level).
+  const Stmt* single = body;
+  if (body->kind() == NodeKind::kCompoundStmt) {
+    const auto& block = static_cast<const CompoundStmt&>(*body);
+    if (block.body.size() == 1) {
+      single = block.body[0].get();
+    } else {
+      // Multiple statements: perfect only if none of them is a loop.
+      for (const auto& s : block.body) {
+        if (s->is_loop()) return false;
+      }
+      return true;
+    }
+  }
+  if (single->is_loop()) return is_perfect_nest(*single);
+  return !any_of_subtree(*single, [](const Node& n) {
+    return n.is_stmt() && static_cast<const Stmt&>(n).is_loop();
+  });
+}
+
+}  // namespace
+
+LoopFacts analyze_loop(const Stmt& loop, const TranslationUnit* tu) {
+  LoopFacts facts;
+  facts.is_for = loop.kind() == NodeKind::kForStmt;
+  if (facts.is_for) recognize_header(static_cast<const ForStmt&>(loop), facts);
+
+  const Stmt* body = body_of(loop);
+  if (body) {
+    FactCollector collector(facts, tu);
+    collector.set_index(facts.index_var);
+    collector.collect_body(*body, 0);
+  }
+  facts.nest_depth = loop_nest_depth(loop);
+  facts.perfect_nest = is_perfect_nest(loop);
+  return facts;
+}
+
+bool array_refs_independent(const ArrayRefInfo& write, const ArrayRefInfo& other,
+                            const std::string& index) {
+  if (write.array != other.array) return true;  // distinct arrays never alias here
+  if (!write.affine || !other.affine) return false;
+  if (write.subscripts.size() != other.subscripts.size()) return false;
+  for (std::size_t d = 0; d < write.subscripts.size(); ++d) {
+    const LinearForm& a = write.subscripts[d];
+    const LinearForm& b = other.subscripts[d];
+    if (a == b && a.coeff_of(index) != 0) {
+      return true;  // identical injective map of the analyzed index
+    }
+  }
+  return false;
+}
+
+std::vector<ReductionCandidate> find_reductions(const LoopFacts& facts) {
+  std::vector<ReductionCandidate> out;
+  for (const auto& [var, info] : facts.written_scalars) {
+    if (var == facts.index_var) continue;
+    if (info.declared_in_body) continue;                     // private, not reduction
+    if (facts.inner_index_vars.count(var)) continue;         // inner loop index
+    if (info.non_reduction_form || info.reduction_op.empty()) continue;
+    if (info.read_outside_updates) continue;                 // value consumed mid-loop
+    out.push_back(ReductionCandidate{var, info.reduction_op});
+  }
+  return out;
+}
+
+std::vector<std::string> find_private_scalars(const LoopFacts& facts) {
+  std::vector<std::string> out;
+  for (const auto& [var, info] : facts.written_scalars) {
+    if (var == facts.index_var) continue;
+    if (info.declared_in_body || info.first_access_is_plain_write) out.push_back(var);
+  }
+  return out;
+}
+
+}  // namespace g2p

@@ -1,0 +1,114 @@
+// Static loop analysis shared by the PLUTO / autoPar simulacra (and used by
+// the DiscoPoP simulacrum for reduction-pattern recognition).
+//
+// Provides: canonical-loop-header recognition, structural facts (calls,
+// nesting, pointer use), affine linear forms of subscripts, an affine
+// array-dependence test, scalar update classification (reduction /
+// privatizable), all conservative in the way the paper's §2 describes the
+// algorithm-based tools to be.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace g2p {
+
+class TranslationUnit;
+
+/// Affine linear form: sum(coeffs[v] * v) + constant. `affine` is false when
+/// the expression is not linear in program variables.
+struct LinearForm {
+  std::map<std::string, long long> coeffs;
+  long long constant = 0;
+  bool affine = false;
+
+  bool is_constant() const { return affine && coeffs.empty(); }
+  long long coeff_of(const std::string& var) const {
+    auto it = coeffs.find(var);
+    return it == coeffs.end() ? 0 : it->second;
+  }
+  friend bool operator==(const LinearForm&, const LinearForm&) = default;
+};
+
+/// Compute the linear form of an expression (handles + - unary- * by
+/// constants, parens, casts; anything else is non-affine).
+LinearForm linear_form_of(const Expr& expr);
+
+/// One array reference site in a loop body.
+struct ArrayRefInfo {
+  std::string array;
+  std::vector<LinearForm> subscripts;  // per dimension
+  bool is_write = false;
+  bool affine = true;  // all subscripts affine
+};
+
+/// Classification of a scalar that the loop body writes.
+struct ScalarUpdateInfo {
+  int update_count = 0;           // static count of assignments/inc-dec sites
+  std::string reduction_op;       // consistent op across updates, "" if mixed
+  bool non_reduction_form = false;  // an update not shaped like s = s op e
+  bool read_outside_updates = false;  // s read in other expressions
+  bool declared_in_body = false;
+  bool first_access_is_plain_write = false;  // pre-order first access is "s = e"
+};
+
+/// Everything the static analyzers need to know about one loop.
+struct LoopFacts {
+  bool is_for = false;
+  bool canonical = false;        // for (i = e0; i < e1; i += c) shape
+  std::string index_var;
+  long long step = 1;
+  bool bound_affine = false;     // condition bound is affine
+
+  bool has_call = false;
+  bool has_pure_builtin_call = false;
+  bool has_defined_call = false;   // callee defined in the TU
+  bool has_unknown_call = false;   // neither builtin nor defined
+  bool has_impure_call = false;    // printf/rand/...
+  bool has_inner_loop = false;
+  bool has_inner_while = false;    // while/do nested inside
+  bool has_break = false;          // break/return/goto at the profiled level
+  bool has_pointer_deref = false;  // unary * or pointer arithmetic base
+  bool has_member_access = false;
+  bool has_nonaffine_subscript = false;
+  bool index_written_in_body = false;  // induction var mutated in the body
+  int nest_depth = 1;
+  bool perfect_nest = true;        // every loop body is a single inner loop
+                                   // (plus the innermost compound of work)
+
+  std::set<std::string> inner_index_vars;  // canonical indices of inner loops
+  std::vector<ArrayRefInfo> array_reads;
+  std::vector<ArrayRefInfo> array_writes;
+  std::map<std::string, ScalarUpdateInfo> written_scalars;
+};
+
+/// Analyze a loop statement. `tu` (optional) resolves callee definitions.
+LoopFacts analyze_loop(const Stmt& loop, const TranslationUnit* tu = nullptr);
+
+/// Affine independence test w.r.t. one loop index: true when the write and
+/// the other reference provably touch different cells on different
+/// iterations of `index` (the classic "same affine subscript with nonzero
+/// index coefficient in some dimension" criterion).
+bool array_refs_independent(const ArrayRefInfo& write, const ArrayRefInfo& other,
+                            const std::string& index);
+
+/// A recognized reduction: variable + associative-commutative operator.
+struct ReductionCandidate {
+  std::string var;
+  std::string op;
+};
+
+/// Scalars whose every update is `s = s op e` / `s op= e` with one
+/// consistent associative op (+, *, -) and which are not otherwise read.
+std::vector<ReductionCandidate> find_reductions(const LoopFacts& facts);
+
+/// Scalars safely privatizable: declared in the body, or written (plain
+/// assignment) before any read in each iteration.
+std::vector<std::string> find_private_scalars(const LoopFacts& facts);
+
+}  // namespace g2p

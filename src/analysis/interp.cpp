@@ -1,0 +1,926 @@
+#include "analysis/interp.h"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace g2p {
+
+namespace {
+
+/// Pure math builtins: (name, arity-1 or arity-2 function).
+double call_builtin(std::string_view name, const std::vector<double>& args) {
+  auto a0 = [&] { return args.empty() ? 0.0 : args[0]; };
+  auto a1 = [&] { return args.size() < 2 ? 0.0 : args[1]; };
+  if (name == "fabs" || name == "abs" || name == "labs" || name == "fabsf") return std::fabs(a0());
+  if (name == "sqrt" || name == "sqrtf") return std::sqrt(std::fabs(a0()));
+  if (name == "sin") return std::sin(a0());
+  if (name == "cos") return std::cos(a0());
+  if (name == "tan") return std::tan(a0());
+  if (name == "exp" || name == "expf") return std::exp(std::min(a0(), 50.0));
+  if (name == "log" || name == "logf") return std::log(std::max(std::fabs(a0()), 1e-12));
+  if (name == "log2") return std::log2(std::max(std::fabs(a0()), 1e-12));
+  if (name == "pow" || name == "powf") {
+    return std::pow(std::fabs(a0()) + 1e-9, std::min(a1(), 8.0));
+  }
+  if (name == "fmax" || name == "max") return std::max(a0(), a1());
+  if (name == "fmin" || name == "min") return std::min(a0(), a1());
+  if (name == "floor") return std::floor(a0());
+  if (name == "ceil") return std::ceil(a0());
+  if (name == "round") return std::round(a0());
+  if (name == "fmod") return a1() != 0.0 ? std::fmod(a0(), a1()) : 0.0;
+  if (name == "atan") return std::atan(a0());
+  if (name == "atan2") return std::atan2(a0(), a1());
+  if (name == "sinh") return std::sinh(std::min(a0(), 30.0));
+  if (name == "cosh") return std::cosh(std::min(a0(), 30.0));
+  if (name == "tanh") return std::tanh(a0());
+  if (name == "hypot") return std::hypot(a0(), a1());
+  return 0.0;
+}
+
+constexpr std::string_view kPureBuiltins[] = {
+    "fabs", "fabsf", "abs",  "labs",  "sqrt", "sqrtf", "sin",  "cos",   "tan",  "exp",
+    "expf", "log",   "logf", "log2",  "pow",  "powf",  "fmax", "fmin",  "max",  "min",
+    "floor", "ceil", "round", "fmod", "atan", "atan2", "sinh", "cosh",  "tanh", "hypot"};
+
+constexpr std::string_view kImpureBuiltins[] = {
+    "printf", "fprintf", "sprintf", "scanf",  "fscanf", "puts",  "putchar", "getchar",
+    "rand",   "srand",   "malloc",  "calloc", "free",   "exit",  "abort",   "fopen",
+    "fclose", "fread",   "fwrite",  "memcpy", "memset", "strcpy", "strlen", "time"};
+
+}  // namespace
+
+bool is_pure_builtin(std::string_view name) {
+  for (auto b : kPureBuiltins) {
+    if (b == name) return true;
+  }
+  return false;
+}
+
+bool is_impure_builtin(std::string_view name) {
+  for (auto b : kImpureBuiltins) {
+    if (b == name) return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Abort interpretation (recorded as trace failure, not a user-facing error).
+struct InterpAbort {
+  std::string reason;
+};
+
+/// Non-local control flow signals.
+struct ReturnSignal {
+  double value;
+};
+struct BreakSignal {};
+struct ContinueSignal {};
+
+/// Backing store for one variable (scalar, array, or struct array).
+struct Storage {
+  std::string name;
+  std::vector<long long> dims;  // empty = scalar; synthetic for materialized
+  int fields = 1;               // >1 for struct element types
+  std::unordered_map<std::string, int> field_index;
+  bool sparse = false;                            // unknown-extent (materialized)
+  std::vector<double> dense;                      // !sparse
+  std::unordered_map<long long, double> cells;    // sparse
+
+  double read_cell(long long cell) {
+    if (sparse) {
+      auto it = cells.find(cell);
+      return it == cells.end() ? 0.0 : it->second;
+    }
+    return dense[static_cast<std::size_t>(cell)];
+  }
+  void write_cell(long long cell, double v) {
+    if (sparse) {
+      cells[cell] = v;
+    } else {
+      dense[static_cast<std::size_t>(cell)] = v;
+    }
+  }
+  long long total_elems() const {
+    long long n = 1;
+    for (long long d : dims) n *= d;
+    return n;
+  }
+};
+
+/// A (possibly partial) reference into a storage: dim_level counts the
+/// subscripts applied so far.
+struct Ref {
+  int storage = -1;
+  long long offset = 0;
+  int dim_level = 0;
+  int field = -1;
+};
+
+/// Expression value: a number or a reference (array / pointer / element).
+struct Value {
+  double num = 0.0;
+  Ref ref;  // valid when is_ref
+  bool is_ref = false;
+
+  static Value number(double v) {
+    Value out;
+    out.num = v;
+    return out;
+  }
+  static Value reference(Ref r) {
+    Value out;
+    out.ref = r;
+    out.is_ref = true;
+    return out;
+  }
+};
+
+constexpr std::uint64_t kIoAddr = 0;          // reserved pseudo-address for I/O
+constexpr long long kSparseStride = 1 << 20;  // per-subscript stride in sparse arrays
+
+}  // namespace
+
+class Interpreter::Impl {
+ public:
+  /// RAII scope push/pop — exception-safe against control-flow signals
+  /// (ReturnSignal/BreakSignal) unwinding through nested statements.
+  class ScopeGuard {
+   public:
+    explicit ScopeGuard(Impl& impl) : impl_(impl) { impl_.scopes_.emplace_back(); }
+    ~ScopeGuard() { impl_.scopes_.pop_back(); }
+    ScopeGuard(const ScopeGuard&) = delete;
+    ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+   private:
+    Impl& impl_;
+  };
+  Impl(const TranslationUnit* tu, const std::map<std::string, StructInfo>* structs,
+       InterpLimits limits)
+      : tu_(tu), structs_(structs), limits_(limits) {}
+
+  LoopTrace profile_loop(const Stmt& loop) {
+    reset();
+    profiled_loop_ = &loop;
+    seed_loop_environment(loop, /*outermost=*/true);
+    LoopTrace out;
+    try {
+      exec_stmt(loop);
+      out.completed = true;
+    } catch (const InterpAbort& abort) {
+      out.failure = abort.reason;
+    } catch (const ReturnSignal&) {
+      out.completed = true;  // a return inside the loop body ended it early
+    } catch (const BreakSignal&) {
+      out.completed = true;
+    } catch (const ContinueSignal&) {
+      out.completed = true;
+    }
+    out.iterations = profile_iteration_;
+    out.accesses = std::move(trace_);
+    return out;
+  }
+
+  double eval_expression(const Expr& expr) {
+    reset();
+    return as_number(eval(expr));
+  }
+
+  std::optional<double> run_statement(const Stmt& stmt, const std::string& result_var) {
+    reset();
+    try {
+      exec_stmt(stmt);
+    } catch (const ReturnSignal&) {
+    }
+    // Inner scopes have been popped by now; search the storages themselves,
+    // newest first, so block-local results remain observable to tests.
+    for (auto it = storages_.rbegin(); it != storages_.rend(); ++it) {
+      if (it->name == result_var && it->dims.empty()) return it->read_cell(0);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  void reset() {
+    storages_.clear();
+    scopes_.clear();
+    scopes_.emplace_back();
+    trace_.clear();
+    steps_ = 0;
+    profile_iteration_ = 0;
+    tracing_depth_ = 0;
+    profiled_loop_ = nullptr;
+    call_depth_ = 0;
+  }
+
+  void tick() {
+    if (++steps_ > limits_.max_steps) throw InterpAbort{"step limit exceeded"};
+  }
+
+  /// Give materialized loop-control variables values that yield a useful
+  /// number of iterations: free upper bounds become 48 for the profiled
+  /// loop (6 for inner loops), free strides become 2, free while-loop
+  /// counters start at 0. This mirrors how the paper's dynamic tool profiles
+  /// whole programs whose inputs exercise the loops.
+  void seed_loop_environment(const Stmt& stmt, bool outermost) {
+    const auto seed_scalar = [this](const std::string& name, double value) {
+      if (name.empty() || lookup(name) >= 0) return;
+      const int id = materialize(name, /*as_array=*/false);
+      storages_[static_cast<std::size_t>(id)].write_cell(0, value);
+    };
+    const auto bound_var_of = [](const Expr* cond) -> std::pair<std::string, std::string> {
+      // Returns {counter-ish lhs name, bound-ish rhs name} for i < bound.
+      if (!cond || cond->kind() != NodeKind::kBinaryOperator) return {"", ""};
+      const auto& b = static_cast<const BinaryOperator&>(*cond);
+      if (b.op != "<" && b.op != "<=" && b.op != ">" && b.op != ">=") return {"", ""};
+      std::string lhs_name, rhs_name;
+      if (b.lhs->kind() == NodeKind::kDeclRef) {
+        lhs_name = static_cast<const DeclRef&>(*b.lhs).name;
+      }
+      if (b.rhs->kind() == NodeKind::kDeclRef) {
+        rhs_name = static_cast<const DeclRef&>(*b.rhs).name;
+      }
+      return {lhs_name, rhs_name};
+    };
+
+    if (stmt.kind() == NodeKind::kForStmt) {
+      const auto& f = static_cast<const ForStmt&>(stmt);
+      const auto [_, bound] = bound_var_of(f.cond.get());
+      seed_scalar(bound, outermost ? 48.0 : 6.0);
+      if (f.inc && f.inc->kind() == NodeKind::kAssignment) {
+        const auto& a = static_cast<const Assignment&>(*f.inc);
+        if (a.rhs->kind() == NodeKind::kDeclRef) {
+          seed_scalar(static_cast<const DeclRef&>(*a.rhs).name, 2.0);
+        }
+      }
+    } else if (stmt.kind() == NodeKind::kWhileStmt || stmt.kind() == NodeKind::kDoStmt) {
+      const Expr* cond = stmt.kind() == NodeKind::kWhileStmt
+                             ? static_cast<const WhileStmt&>(stmt).cond.get()
+                             : static_cast<const DoStmt&>(stmt).cond.get();
+      const auto [counter, bound] = bound_var_of(cond);
+      seed_scalar(counter, 0.0);
+      seed_scalar(bound, outermost ? 48.0 : 6.0);
+    }
+    stmt.for_each_child([this](const Node& child) {
+      if (child.is_stmt()) {
+        seed_loop_environment(static_cast<const Stmt&>(child), false);
+      }
+    });
+  }
+
+  // ---- environment ---------------------------------------------------------
+
+  int lookup(const std::string& name) {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      auto it = scope->find(name);
+      if (it != scope->end()) return it->second;
+    }
+    return -1;
+  }
+
+  /// Deterministic default for a materialized free scalar: small positive,
+  /// stable per name (so loop bounds like `n` are reproducible).
+  double default_scalar_value(const std::string& name) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : name) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<double>(4 + (h % 13));  // 4..16
+  }
+
+  int materialize(const std::string& name, bool as_array) {
+    Storage s;
+    s.name = name;
+    if (as_array) {
+      s.sparse = true;
+      s.dims = {limits_.default_extent};  // synthetic extent
+    } else {
+      s.dense.assign(1, default_scalar_value(name));
+    }
+    storages_.push_back(std::move(s));
+    const int id = static_cast<int>(storages_.size()) - 1;
+    scopes_.front()[name] = id;  // free identifiers live in the global scope
+    return id;
+  }
+
+  int declare(const std::string& name, const std::vector<long long>& dims,
+              const std::string& type_base) {
+    Storage s;
+    s.name = name;
+    s.dims = dims;
+    if (structs_ != nullptr) {
+      auto it = structs_->find(type_base);
+      if (it != structs_->end()) {
+        s.fields = static_cast<int>(it->second.fields.size());
+        if (s.fields == 0) s.fields = 1;
+        int fi = 0;
+        for (const auto& f : it->second.fields) s.field_index[f.name] = fi++;
+      }
+    }
+    long long total = s.total_elems() * s.fields;
+    if (total <= 0 || total > (1 << 22)) {
+      s.sparse = true;  // giant or zero-sized: fall back to sparse cells
+    } else {
+      s.dense.assign(static_cast<std::size_t>(total), 0.0);
+    }
+    storages_.push_back(std::move(s));
+    const int id = static_cast<int>(storages_.size()) - 1;
+    scopes_.back()[name] = id;
+    return id;
+  }
+
+  // ---- tracing ---------------------------------------------------------------
+
+  std::uint64_t address_of(const Ref& ref) {
+    const Storage& s = storages_[static_cast<std::size_t>(ref.storage)];
+    const long long field = ref.field >= 0 ? ref.field : 0;
+    const long long cell = ref.offset * s.fields + field;
+    return (static_cast<std::uint64_t>(ref.storage + 1) << 40) ^
+           static_cast<std::uint64_t>(cell + 1);
+  }
+
+  void record(const Ref& ref, bool is_write) {
+    if (tracing_depth_ <= 0) return;
+    trace_.push_back(AccessRecord{address_of(ref), profile_iteration_, is_write,
+                                  storages_[static_cast<std::size_t>(ref.storage)].name});
+  }
+
+  void record_io() {
+    if (tracing_depth_ <= 0) return;
+    trace_.push_back(AccessRecord{kIoAddr, profile_iteration_, true, "<io>"});
+  }
+
+  // ---- memory access -----------------------------------------------------------
+
+  long long resolve_cell(const Ref& ref) {
+    Storage& s = storages_[static_cast<std::size_t>(ref.storage)];
+    if (s.sparse) return ref.offset;
+    const long long total = s.total_elems();
+    long long off = ref.offset;
+    if (off < 0 || off >= total) {
+      // Out-of-synthetic-bounds access (e.g. a[i+1] at the last profiled
+      // iteration): clamp into range, mirroring a real run's padded buffers.
+      off = ((off % total) + total) % total;
+    }
+    return off;
+  }
+
+  double read_ref(const Ref& ref) {
+    Storage& s = storages_[static_cast<std::size_t>(ref.storage)];
+    record(ref, /*is_write=*/false);
+    const long long cell = resolve_cell(ref);
+    const long long field = ref.field >= 0 ? ref.field : 0;
+    return s.read_cell(cell * s.fields + field);
+  }
+
+  void write_ref(const Ref& ref, double v) {
+    Storage& s = storages_[static_cast<std::size_t>(ref.storage)];
+    record(ref, /*is_write=*/true);
+    const long long cell = resolve_cell(ref);
+    const long long field = ref.field >= 0 ? ref.field : 0;
+    s.write_cell(cell * s.fields + field, v);
+  }
+
+  double as_number(const Value& v) {
+    if (!v.is_ref) return v.num;
+    const Storage& s = storages_[static_cast<std::size_t>(v.ref.storage)];
+    if (v.ref.dim_level >= static_cast<int>(s.dims.size())) {
+      return read_ref(v.ref);  // fully-subscripted element
+    }
+    // Array decaying to a number (pointer comparisons): use a tag value.
+    return static_cast<double>(v.ref.storage + 1);
+  }
+
+  // ---- lvalue resolution ----------------------------------------------------------
+
+  Ref resolve_lvalue(const Expr& expr) {
+    tick();
+    switch (expr.kind()) {
+      case NodeKind::kDeclRef: {
+        const auto& ref = static_cast<const DeclRef&>(expr);
+        int id = lookup(ref.name);
+        if (id < 0) id = materialize(ref.name, /*as_array=*/false);
+        return Ref{id, 0, 0, -1};
+      }
+      case NodeKind::kArraySubscript: {
+        const auto& sub = static_cast<const ArraySubscript&>(expr);
+        Ref base = resolve_array_base(*sub.base);
+        const long long idx = static_cast<long long>(as_number(eval(*sub.index)));
+        Storage& s = storages_[static_cast<std::size_t>(base.storage)];
+        if (s.sparse) {
+          // Uniform per-level mixing: keeps (i, j, ...) tuple equality and
+          // unit-distance adjacency in the innermost level, which is what
+          // dependence detection relies on.
+          if (static_cast<int>(s.dims.size()) <= base.dim_level) {
+            s.dims.push_back(limits_.default_extent);  // grow inferred rank
+          }
+          return Ref{base.storage, base.offset * kSparseStride + idx, base.dim_level + 1,
+                     base.field};
+        }
+        long long stride = 1;
+        for (int d = base.dim_level + 1; d < static_cast<int>(s.dims.size()); ++d) {
+          stride *= s.dims[static_cast<std::size_t>(d)];
+        }
+        return Ref{base.storage, base.offset + idx * stride, base.dim_level + 1, base.field};
+      }
+      case NodeKind::kMemberExpr: {
+        const auto& mem = static_cast<const MemberExpr&>(expr);
+        Ref base = mem.arrow ? resolve_array_base(*mem.base) : resolve_lvalue(*mem.base);
+        Storage& s = storages_[static_cast<std::size_t>(base.storage)];
+        auto it = s.field_index.find(mem.member);
+        int field = 0;
+        if (it != s.field_index.end()) {
+          field = it->second;
+        } else {
+          // Unknown layout (materialized struct): assign stable synthetic slots.
+          field = static_cast<int>(s.field_index.size());
+          s.field_index[mem.member] = field;
+          if (field >= s.fields) s.fields = field + 1;
+          if (!s.sparse) s.sparse = true;  // re-layout safely as sparse cells
+        }
+        return Ref{base.storage, base.offset, base.dim_level, field};
+      }
+      case NodeKind::kUnaryOperator: {
+        const auto& un = static_cast<const UnaryOperator&>(expr);
+        if (un.op == "*") {
+          Ref base = resolve_array_base(*un.operand);
+          return Ref{base.storage, base.offset, base.dim_level + 1, base.field};
+        }
+        throw InterpAbort{"unsupported lvalue unary operator " + un.op};
+      }
+      case NodeKind::kParenExpr:
+        return resolve_lvalue(*static_cast<const ParenExpr&>(expr).inner);
+      default:
+        throw InterpAbort{std::string("unsupported lvalue: ") +
+                          std::string(node_kind_name(expr.kind()))};
+    }
+  }
+
+  /// Resolve an expression used as an array/pointer base.
+  Ref resolve_array_base(const Expr& expr) {
+    if (expr.kind() == NodeKind::kDeclRef) {
+      const auto& ref = static_cast<const DeclRef&>(expr);
+      int id = lookup(ref.name);
+      if (id < 0) id = materialize(ref.name, /*as_array=*/true);
+      Storage& s = storages_[static_cast<std::size_t>(id)];
+      if (s.dims.empty()) {
+        // A scalar used as pointer base: promote to synthetic array.
+        s.sparse = true;
+        s.dims = {limits_.default_extent};
+      }
+      return Ref{id, 0, 0, -1};
+    }
+    if (expr.kind() == NodeKind::kParenExpr) {
+      return resolve_array_base(*static_cast<const ParenExpr&>(expr).inner);
+    }
+    if (expr.kind() == NodeKind::kArraySubscript || expr.kind() == NodeKind::kMemberExpr) {
+      // A partially-subscripted chain used as a base (a[i] in a[i][j]): keep
+      // it a reference and, for materialized storages, promote the inferred
+      // rank instead of collapsing to an element read.
+      Ref ref = resolve_lvalue(expr);
+      Storage& s = storages_[static_cast<std::size_t>(ref.storage)];
+      if (s.sparse && static_cast<int>(s.dims.size()) <= ref.dim_level) {
+        s.dims.push_back(limits_.default_extent);
+      }
+      return ref;
+    }
+    Value v = eval(expr);
+    if (v.is_ref) return v.ref;
+    throw InterpAbort{"expression is not an array base"};
+  }
+
+  // ---- expression evaluation --------------------------------------------------------
+
+  Value eval(const Expr& expr) {
+    tick();
+    switch (expr.kind()) {
+      case NodeKind::kIntLiteral:
+        return Value::number(static_cast<double>(static_cast<const IntLiteral&>(expr).value));
+      case NodeKind::kFloatLiteral:
+        return Value::number(static_cast<const FloatLiteral&>(expr).value);
+      case NodeKind::kCharLiteral:
+        return Value::number(65.0);  // stand-in character code
+      case NodeKind::kStringLiteral:
+        return Value::number(0.0);
+      case NodeKind::kDeclRef: {
+        const auto& ref = static_cast<const DeclRef&>(expr);
+        int id = lookup(ref.name);
+        if (id < 0) id = materialize(ref.name, /*as_array=*/false);
+        Storage& s = storages_[static_cast<std::size_t>(id)];
+        if (s.dims.empty()) return Value::number(read_ref(Ref{id, 0, 0, -1}));
+        return Value::reference(Ref{id, 0, 0, -1});  // array decays to ref
+      }
+      case NodeKind::kArraySubscript:
+      case NodeKind::kMemberExpr: {
+        Ref ref = resolve_lvalue(expr);
+        const Storage& s = storages_[static_cast<std::size_t>(ref.storage)];
+        if (ref.dim_level < static_cast<int>(s.dims.size())) {
+          return Value::reference(ref);  // partially subscripted, still array
+        }
+        return Value::number(read_ref(ref));
+      }
+      case NodeKind::kBinaryOperator:
+        return eval_binary(static_cast<const BinaryOperator&>(expr));
+      case NodeKind::kUnaryOperator:
+        return eval_unary(static_cast<const UnaryOperator&>(expr));
+      case NodeKind::kAssignment:
+        return eval_assignment(static_cast<const Assignment&>(expr));
+      case NodeKind::kConditional: {
+        const auto& c = static_cast<const Conditional&>(expr);
+        return as_number(eval(*c.cond)) != 0.0 ? eval(*c.then_expr) : eval(*c.else_expr);
+      }
+      case NodeKind::kCallExpr:
+        return eval_call(static_cast<const CallExpr&>(expr));
+      case NodeKind::kCastExpr: {
+        const auto& cast = static_cast<const CastExpr&>(expr);
+        Value v = eval(*cast.operand);
+        if (v.is_ref) return v;
+        if (!cast.type.is_floating() && cast.type.pointer_depth == 0) {
+          return Value::number(std::trunc(v.num));
+        }
+        return v;
+      }
+      case NodeKind::kParenExpr:
+        return eval(*static_cast<const ParenExpr&>(expr).inner);
+      case NodeKind::kSizeofExpr:
+        return Value::number(8.0);
+      case NodeKind::kInitListExpr:
+        return Value::number(0.0);
+      default:
+        throw InterpAbort{std::string("unsupported expression: ") +
+                          std::string(node_kind_name(expr.kind()))};
+    }
+  }
+
+  Value eval_binary(const BinaryOperator& expr) {
+    if (expr.op == "&&") {
+      if (as_number(eval(*expr.lhs)) == 0.0) return Value::number(0.0);
+      return Value::number(as_number(eval(*expr.rhs)) != 0.0 ? 1.0 : 0.0);
+    }
+    if (expr.op == "||") {
+      if (as_number(eval(*expr.lhs)) != 0.0) return Value::number(1.0);
+      return Value::number(as_number(eval(*expr.rhs)) != 0.0 ? 1.0 : 0.0);
+    }
+    if (expr.op == ",") {
+      eval(*expr.lhs);
+      return eval(*expr.rhs);
+    }
+    Value lv = eval(*expr.lhs);
+    Value rv = eval(*expr.rhs);
+    // Pointer arithmetic: ref ± integer.
+    if (lv.is_ref && (expr.op == "+" || expr.op == "-")) {
+      const long long delta = static_cast<long long>(as_number(rv));
+      Ref moved = lv.ref;
+      moved.offset += (expr.op == "+") ? delta : -delta;
+      return Value::reference(moved);
+    }
+    const double a = as_number(lv);
+    const double b = as_number(rv);
+    if (expr.op == "+") return Value::number(a + b);
+    if (expr.op == "-") return Value::number(a - b);
+    if (expr.op == "*") return Value::number(a * b);
+    if (expr.op == "/") return Value::number(b != 0.0 ? a / b : 0.0);
+    if (expr.op == "%") {
+      const long long bi = static_cast<long long>(b);
+      return Value::number(bi != 0 ? static_cast<double>(static_cast<long long>(a) % bi) : 0.0);
+    }
+    if (expr.op == "<") return Value::number(a < b ? 1.0 : 0.0);
+    if (expr.op == ">") return Value::number(a > b ? 1.0 : 0.0);
+    if (expr.op == "<=") return Value::number(a <= b ? 1.0 : 0.0);
+    if (expr.op == ">=") return Value::number(a >= b ? 1.0 : 0.0);
+    if (expr.op == "==") return Value::number(a == b ? 1.0 : 0.0);
+    if (expr.op == "!=") return Value::number(a != b ? 1.0 : 0.0);
+    if (expr.op == "&") {
+      return Value::number(
+          static_cast<double>(static_cast<long long>(a) & static_cast<long long>(b)));
+    }
+    if (expr.op == "|") {
+      return Value::number(
+          static_cast<double>(static_cast<long long>(a) | static_cast<long long>(b)));
+    }
+    if (expr.op == "^") {
+      return Value::number(
+          static_cast<double>(static_cast<long long>(a) ^ static_cast<long long>(b)));
+    }
+    if (expr.op == "<<") {
+      return Value::number(static_cast<double>(static_cast<long long>(a)
+                                               << (static_cast<long long>(b) & 63)));
+    }
+    if (expr.op == ">>") {
+      return Value::number(
+          static_cast<double>(static_cast<long long>(a) >> (static_cast<long long>(b) & 63)));
+    }
+    throw InterpAbort{"unsupported binary operator " + expr.op};
+  }
+
+  Value eval_unary(const UnaryOperator& expr) {
+    if (expr.op == "++" || expr.op == "--") {
+      Ref ref = resolve_lvalue(*expr.operand);
+      const double old_value = read_ref(ref);
+      const double new_value = old_value + (expr.op == "++" ? 1.0 : -1.0);
+      write_ref(ref, new_value);
+      return Value::number(expr.prefix ? new_value : old_value);
+    }
+    if (expr.op == "*") {
+      Ref base = resolve_array_base(*expr.operand);
+      Ref deref{base.storage, base.offset, base.dim_level + 1, base.field};
+      const Storage& s = storages_[static_cast<std::size_t>(base.storage)];
+      if (deref.dim_level < static_cast<int>(s.dims.size())) return Value::reference(deref);
+      return Value::number(read_ref(deref));
+    }
+    if (expr.op == "&") {
+      return Value::reference(resolve_lvalue(*expr.operand));
+    }
+    const double v = as_number(eval(*expr.operand));
+    if (expr.op == "-") return Value::number(-v);
+    if (expr.op == "+") return Value::number(v);
+    if (expr.op == "!") return Value::number(v == 0.0 ? 1.0 : 0.0);
+    if (expr.op == "~") {
+      return Value::number(static_cast<double>(~static_cast<long long>(v)));
+    }
+    if (expr.op == "sizeof") return Value::number(8.0);
+    throw InterpAbort{"unsupported unary operator " + expr.op};
+  }
+
+  Value eval_assignment(const Assignment& expr) {
+    Ref ref = resolve_lvalue(*expr.lhs);
+    double rhs = as_number(eval(*expr.rhs));
+    if (expr.is_compound()) {
+      const double old_value = read_ref(ref);
+      const std::string op = expr.underlying_op();
+      if (op == "+") rhs = old_value + rhs;
+      else if (op == "-") rhs = old_value - rhs;
+      else if (op == "*") rhs = old_value * rhs;
+      else if (op == "/") rhs = rhs != 0.0 ? old_value / rhs : 0.0;
+      else if (op == "%") {
+        const long long b = static_cast<long long>(rhs);
+        rhs = b != 0 ? static_cast<double>(static_cast<long long>(old_value) % b) : 0.0;
+      } else if (op == "&") {
+        rhs = static_cast<double>(static_cast<long long>(old_value) & static_cast<long long>(rhs));
+      } else if (op == "|") {
+        rhs = static_cast<double>(static_cast<long long>(old_value) | static_cast<long long>(rhs));
+      } else if (op == "^") {
+        rhs = static_cast<double>(static_cast<long long>(old_value) ^ static_cast<long long>(rhs));
+      } else if (op == "<<") {
+        rhs = static_cast<double>(static_cast<long long>(old_value)
+                                  << (static_cast<long long>(rhs) & 63));
+      } else if (op == ">>") {
+        rhs = static_cast<double>(static_cast<long long>(old_value) >>
+                                  (static_cast<long long>(rhs) & 63));
+      } else {
+        throw InterpAbort{"unsupported compound assignment " + expr.op};
+      }
+    }
+    write_ref(ref, rhs);
+    return Value::number(rhs);
+  }
+
+  Value eval_call(const CallExpr& expr) {
+    // Evaluate arguments left to right (reads are traced).
+    std::vector<Value> args;
+    args.reserve(expr.args.size());
+    for (const auto& a : expr.args) args.push_back(eval(*a));
+
+    if (is_impure_builtin(expr.callee)) {
+      record_io();  // serializing side effect
+      return Value::number(0.0);
+    }
+    const FunctionDecl* fn = tu_ ? tu_->find_function(expr.callee) : nullptr;
+    if (fn == nullptr) {
+      if (is_pure_builtin(expr.callee)) {
+        std::vector<double> nums;
+        nums.reserve(args.size());
+        for (const auto& a : args) nums.push_back(as_number(a));
+        return Value::number(call_builtin(expr.callee, nums));
+      }
+      throw InterpAbort{"cannot execute unknown function '" + expr.callee + "'"};
+    }
+    if (++call_depth_ > 48) {
+      --call_depth_;
+      throw InterpAbort{"call depth limit exceeded"};
+    }
+
+    // New scope; bind parameters (refs alias, numbers copy).
+    double result = 0.0;
+    {
+      ScopeGuard scope(*this);
+      for (std::size_t i = 0; i < fn->params.size(); ++i) {
+        const auto& param = *fn->params[i];
+        if (param.name.empty()) continue;
+        if (i < args.size() && args[i].is_ref) {
+          scopes_.back()[param.name] = args[i].ref.storage;
+        } else {
+          const int id = declare(param.name, {}, param.type.base);
+          storages_[static_cast<std::size_t>(id)].write_cell(
+              0, i < args.size() ? as_number(args[i]) : 0.0);
+        }
+      }
+      try {
+        exec_stmt(*fn->body);
+      } catch (const ReturnSignal& ret) {
+        result = ret.value;
+      } catch (...) {
+        --call_depth_;
+        throw;
+      }
+    }
+    --call_depth_;
+    return Value::number(result);
+  }
+
+  // ---- statements -------------------------------------------------------------------
+
+  void exec_stmt(const Stmt& stmt) {
+    tick();
+    switch (stmt.kind()) {
+      case NodeKind::kCompoundStmt: {
+        ScopeGuard scope(*this);
+        for (const auto& child : static_cast<const CompoundStmt&>(stmt).body) {
+          exec_stmt(*child);
+        }
+        return;
+      }
+      case NodeKind::kDeclStmt: {
+        for (const auto& decl : static_cast<const DeclStmt&>(stmt).decls) exec_decl(*decl);
+        return;
+      }
+      case NodeKind::kExprStmt:
+        eval(*static_cast<const ExprStmt&>(stmt).expr);
+        return;
+      case NodeKind::kIfStmt: {
+        const auto& s = static_cast<const IfStmt&>(stmt);
+        if (as_number(eval(*s.cond)) != 0.0) {
+          exec_stmt(*s.then_branch);
+        } else if (s.else_branch) {
+          exec_stmt(*s.else_branch);
+        }
+        return;
+      }
+      case NodeKind::kForStmt:
+        exec_for(static_cast<const ForStmt&>(stmt));
+        return;
+      case NodeKind::kWhileStmt:
+        exec_while(static_cast<const WhileStmt&>(stmt));
+        return;
+      case NodeKind::kDoStmt:
+        exec_do(static_cast<const DoStmt&>(stmt));
+        return;
+      case NodeKind::kReturnStmt: {
+        const auto& s = static_cast<const ReturnStmt&>(stmt);
+        throw ReturnSignal{s.value ? as_number(eval(*s.value)) : 0.0};
+      }
+      case NodeKind::kBreakStmt:
+        throw BreakSignal{};
+      case NodeKind::kContinueStmt:
+        throw ContinueSignal{};
+      case NodeKind::kNullStmt:
+        return;
+      default:
+        throw InterpAbort{std::string("unsupported statement: ") +
+                          std::string(node_kind_name(stmt.kind()))};
+    }
+  }
+
+  void exec_decl(const VarDecl& decl) {
+    std::vector<long long> dims;
+    for (const auto& dim : decl.array_dims) {
+      dims.push_back(static_cast<long long>(as_number(eval(*dim))));
+    }
+    const int id = declare(decl.name, dims, decl.type.base);
+    Storage& s = storages_[static_cast<std::size_t>(id)];
+    if (decl.init) {
+      if (decl.init->kind() == NodeKind::kInitListExpr) {
+        const auto& list = static_cast<const InitListExpr&>(*decl.init);
+        long long cell = 0;
+        for (const auto& item : list.items) {
+          if (item->kind() == NodeKind::kInitListExpr) continue;  // nested: skip detail
+          s.write_cell(cell++, as_number(eval(*item)));
+        }
+      } else if (dims.empty()) {
+        const double v = as_number(eval(*decl.init));
+        write_ref(Ref{id, 0, 0, -1}, v);
+      }
+    }
+  }
+
+  void exec_for(const ForStmt& stmt) {
+    ScopeGuard init_scope(*this);  // for-init scope
+    exec_stmt(*stmt.init);
+    const bool is_profiled = (&stmt == profiled_loop_);
+    long long trips = 0;
+    while (true) {
+      if (stmt.cond && as_number(eval(*stmt.cond)) == 0.0) break;
+      if (is_profiled && profile_iteration_ >= limits_.max_profile_iterations) break;
+      if (!stmt.cond && !is_profiled && trips >= limits_.max_loop_trip) {
+        throw InterpAbort{"unbounded for loop"};
+      }
+      if (++trips > limits_.max_loop_trip) {
+        throw InterpAbort{"loop trip limit exceeded (possibly non-terminating)"};
+      }
+      bool broke = false;
+      if (is_profiled) ++tracing_depth_;
+      try {
+        exec_stmt(*stmt.body);
+      } catch (const BreakSignal&) {
+        broke = true;
+      } catch (const ContinueSignal&) {
+      } catch (...) {
+        if (is_profiled) --tracing_depth_;
+        throw;
+      }
+      if (is_profiled) {
+        --tracing_depth_;
+        ++profile_iteration_;
+      }
+      if (broke) break;
+      if (stmt.inc) eval(*stmt.inc);
+    }
+  }
+
+  void exec_while(const WhileStmt& stmt) {
+    const bool is_profiled = (&stmt == profiled_loop_);
+    long long trips = 0;
+    while (as_number(eval(*stmt.cond)) != 0.0) {
+      if (is_profiled && profile_iteration_ >= limits_.max_profile_iterations) break;
+      if (++trips > limits_.max_loop_trip) {
+        throw InterpAbort{"loop trip limit exceeded (possibly non-terminating)"};
+      }
+      bool broke = false;
+      if (is_profiled) ++tracing_depth_;
+      try {
+        exec_stmt(*stmt.body);
+      } catch (const BreakSignal&) {
+        broke = true;
+      } catch (const ContinueSignal&) {
+      } catch (...) {
+        if (is_profiled) --tracing_depth_;
+        throw;
+      }
+      if (is_profiled) {
+        --tracing_depth_;
+        ++profile_iteration_;
+      }
+      if (broke) break;
+    }
+  }
+
+  void exec_do(const DoStmt& stmt) {
+    const bool is_profiled = (&stmt == profiled_loop_);
+    long long trips = 0;
+    do {
+      if (is_profiled && profile_iteration_ >= limits_.max_profile_iterations) break;
+      if (++trips > limits_.max_loop_trip) {
+        throw InterpAbort{"loop trip limit exceeded (possibly non-terminating)"};
+      }
+      bool broke = false;
+      if (is_profiled) ++tracing_depth_;
+      try {
+        exec_stmt(*stmt.body);
+      } catch (const BreakSignal&) {
+        broke = true;
+      } catch (const ContinueSignal&) {
+      } catch (...) {
+        if (is_profiled) --tracing_depth_;
+        throw;
+      }
+      if (is_profiled) {
+        --tracing_depth_;
+        ++profile_iteration_;
+      }
+      if (broke) break;
+    } while (as_number(eval(*stmt.cond)) != 0.0);
+  }
+
+  const TranslationUnit* tu_;
+  const std::map<std::string, StructInfo>* structs_;
+  InterpLimits limits_;
+
+  std::vector<Storage> storages_;
+  std::vector<std::unordered_map<std::string, int>> scopes_;
+
+  std::vector<AccessRecord> trace_;
+  long long steps_ = 0;
+  int profile_iteration_ = 0;
+  int tracing_depth_ = 0;
+  const Stmt* profiled_loop_ = nullptr;
+  int call_depth_ = 0;
+};
+
+Interpreter::Interpreter(const TranslationUnit* tu, const std::map<std::string, StructInfo>* structs,
+                         InterpLimits limits)
+    : impl_(std::make_unique<Impl>(tu, structs, limits)) {}
+
+Interpreter::~Interpreter() = default;
+
+LoopTrace Interpreter::profile_loop(const Stmt& loop) { return impl_->profile_loop(loop); }
+
+double Interpreter::eval_expression(const Expr& expr) { return impl_->eval_expression(expr); }
+
+std::optional<double> Interpreter::run_statement(const Stmt& stmt, const std::string& result_var) {
+  return impl_->run_statement(stmt, result_var);
+}
+
+}  // namespace g2p

@@ -1,0 +1,87 @@
+// Tree-walking interpreter for the C subset, with memory-access tracing.
+//
+// This is the substrate for the DiscoPoP simulacrum: DiscoPoP instruments a
+// compiled program and derives data dependences from the observed memory
+// accesses; here the interpreter executes the (possibly free-standing) loop
+// directly and emits the same kind of trace — (address, iteration,
+// read/write) triples for every scalar and array cell touched inside the
+// profiled loop body.
+//
+// Free identifiers are materialized with deterministic synthetic values
+// (§DESIGN substitutions: the paper profiles whole programs; extracted loops
+// get a synthesized environment instead). Unknown *functions* are a hard
+// error: a real dynamic tool cannot execute code it cannot link.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/parser.h"
+
+namespace g2p {
+
+/// One traced access to a memory cell inside the profiled loop.
+struct AccessRecord {
+  std::uint64_t addr = 0;
+  int iteration = 0;      // iteration index of the profiled loop
+  bool is_write = false;
+  std::string var;        // name of the underlying variable (diagnostics)
+};
+
+/// Result of profiling a loop.
+struct LoopTrace {
+  bool completed = false;    // ran to completion (or iteration cap) cleanly
+  std::string failure;       // reason when !completed
+  int iterations = 0;        // number of profiled-loop iterations observed
+  std::vector<AccessRecord> accesses;
+};
+
+/// Execution limits: keep synthetic profiling bounded.
+struct InterpLimits {
+  long long max_steps = 2000000;  // total statement/expression evaluations
+  int max_profile_iterations = 32;  // profiled-loop iterations to record
+  long long max_loop_trip = 10000;  // any single loop's executed trips
+  long long default_extent = 16;    // synthesized array extent per dimension
+};
+
+/// Interpreter for a translation unit (may be empty for bare loops).
+class Interpreter {
+ public:
+  Interpreter(const TranslationUnit* tu, const std::map<std::string, StructInfo>* structs,
+              InterpLimits limits = {});
+  ~Interpreter();
+
+  Interpreter(const Interpreter&) = delete;
+  Interpreter& operator=(const Interpreter&) = delete;
+
+  /// Execute `loop` in a fresh synthesized environment, tracing memory
+  /// accesses in its body per iteration. Never throws: failures are
+  /// reported in the returned trace.
+  LoopTrace profile_loop(const Stmt& loop);
+
+  /// Evaluate a standalone expression (tests). Throws on unsupported input.
+  double eval_expression(const Expr& expr);
+
+  /// Execute a statement in a fresh environment (tests); returns the final
+  /// value of `result_var` if it exists.
+  std::optional<double> run_statement(const Stmt& stmt, const std::string& result_var);
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// True if `name` is a pure math builtin the interpreter (and a dynamic
+/// tool's runtime) can execute: fabs, sqrt, sin, ...
+bool is_pure_builtin(std::string_view name);
+
+/// True if `name` is a known side-effecting library routine (printf, rand,
+/// malloc, ...). These execute but poison parallelism.
+bool is_impure_builtin(std::string_view name);
+
+}  // namespace g2p

@@ -1,0 +1,273 @@
+#include "analysis/tools.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "analysis/interp.h"
+
+namespace g2p {
+
+namespace {
+
+/// Shared: run the affine dependence test of every array write against every
+/// other reference of the same array. Returns false (plus reason) on the
+/// first dependence that cannot be disproven.
+bool arrays_independent(const LoopFacts& facts, std::string& reason) {
+  for (const auto& write : facts.array_writes) {
+    for (const auto& other : facts.array_reads) {
+      if (!array_refs_independent(write, other, facts.index_var)) {
+        reason = "possible flow dependence on array '" + write.array + "'";
+        return false;
+      }
+    }
+    for (const auto& other : facts.array_writes) {
+      if (&write == &other) continue;
+      if (!array_refs_independent(write, other, facts.index_var)) {
+        reason = "possible output dependence on array '" + write.array + "'";
+        return false;
+      }
+    }
+  }
+  // A write that is not provably iteration-private blocks parallelism even
+  // without a matching read (output dependence with itself across iterations).
+  for (const auto& write : facts.array_writes) {
+    if (!array_refs_independent(write, write, facts.index_var)) {
+      reason = "array write '" + write.array + "' not indexed by the loop";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool is_exempt_scalar(const LoopFacts& facts, const std::string& var) {
+  return var == facts.index_var || facts.inner_index_vars.count(var) > 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PLUTO-like
+// ---------------------------------------------------------------------------
+
+ToolResult PlutoLikeAnalyzer::analyze(const Stmt& loop, const TranslationUnit* tu,
+                                      const std::map<std::string, StructInfo>*) const {
+  ToolResult out;
+  const LoopFacts facts = analyze_loop(loop, tu);
+
+  // Applicability: a static control part — canonical affine for-loop, no
+  // irregular control flow inside.
+  if (!facts.is_for || !facts.canonical || !facts.bound_affine) {
+    out.reason = "not a canonical affine for-loop";
+    return out;
+  }
+  if (facts.has_inner_while || facts.has_break || facts.index_written_in_body) {
+    out.reason = "irregular control flow in loop";
+    return out;
+  }
+  out.applicable = true;
+
+  // Detection: pure affine array parallelism only.
+  if (facts.has_call) {
+    out.reason = "function call prevents polyhedral modeling";
+    return out;
+  }
+  if (facts.has_pointer_deref || facts.has_member_access) {
+    out.reason = "pointer/struct access outside the polyhedral model";
+    return out;
+  }
+  if (facts.has_nonaffine_subscript) {
+    out.reason = "non-affine array subscript";
+    return out;
+  }
+  for (const auto& [var, info] : facts.written_scalars) {
+    if (is_exempt_scalar(facts, var)) continue;
+    if (info.declared_in_body) continue;  // loop-local scalar
+    out.reason = "scalar '" + var + "' carried across iterations (no reduction support)";
+    return out;
+  }
+  std::string dep_reason;
+  if (!arrays_independent(facts, dep_reason)) {
+    out.reason = dep_reason;
+    return out;
+  }
+  out.parallel = true;
+  out.pattern = PragmaCategory::kPrivate;
+  out.reason = "affine do-all nest";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// autoPar-like
+// ---------------------------------------------------------------------------
+
+ToolResult AutoParLikeAnalyzer::analyze(const Stmt& loop, const TranslationUnit* tu,
+                                        const std::map<std::string, StructInfo>*) const {
+  ToolResult out;
+  const LoopFacts facts = analyze_loop(loop, tu);
+
+  // Applicability: canonical *unit-stride* for-loop (ROSE's loop
+  // normalization handles stride-1 canonical form; strided loops fall out).
+  if (!facts.is_for || !facts.canonical) {
+    out.reason = "not a canonical for-loop";
+    return out;
+  }
+  if (facts.step != 1 && facts.step != -1) {
+    out.reason = "non-unit stride defeats loop normalization";
+    return out;
+  }
+  if (facts.index_written_in_body) {
+    out.reason = "induction variable modified in body";
+    return out;
+  }
+  out.applicable = true;
+
+  if (facts.has_call) {
+    out.reason = "cannot prove side-effect freedom of call";
+    return out;
+  }
+  if (facts.has_pointer_deref) {
+    out.reason = "pointer dereference defeats alias analysis";
+    return out;
+  }
+  if (facts.has_nonaffine_subscript) {
+    out.reason = "unanalyzable array subscript";
+    return out;
+  }
+  if (facts.has_break) {
+    out.reason = "early exit from loop";
+    return out;
+  }
+  if (facts.has_inner_while) {
+    out.reason = "inner while-loop not analyzable";
+    return out;
+  }
+  if (facts.has_inner_loop && !facts.perfect_nest) {
+    out.reason = "imperfect loop nest";
+    return out;
+  }
+
+  const auto reductions = find_reductions(facts);
+  std::set<std::string> reduction_vars;
+  for (const auto& r : reductions) reduction_vars.insert(r.var);
+
+  for (const auto& [var, info] : facts.written_scalars) {
+    if (is_exempt_scalar(facts, var)) continue;
+    if (info.declared_in_body) {
+      out.private_vars.push_back(var);
+      continue;
+    }
+    if (reduction_vars.count(var)) continue;
+    // Conservative: outer-declared scratch scalars are not privatized
+    // (live-out analysis is beyond the tool).
+    out.reason = "scalar '" + var + "' may be live across iterations";
+    return out;
+  }
+  std::string dep_reason;
+  if (!arrays_independent(facts, dep_reason)) {
+    out.reason = dep_reason;
+    return out;
+  }
+  out.parallel = true;
+  out.reductions = reductions;
+  out.pattern = reductions.empty() ? PragmaCategory::kPrivate : PragmaCategory::kReduction;
+  out.reason = reductions.empty() ? "do-all with privatization" : "reduction recognized";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DiscoPoP-like
+// ---------------------------------------------------------------------------
+
+ToolResult DiscoPoPLikeAnalyzer::analyze(const Stmt& loop, const TranslationUnit* tu,
+                                         const std::map<std::string, StructInfo>* structs) const {
+  ToolResult out;
+  Interpreter interp(tu, structs, limits_);
+  const LoopTrace trace = interp.profile_loop(loop);
+
+  if (!trace.completed) {
+    out.reason = "cannot execute loop: " + trace.failure;
+    return out;
+  }
+  if (trace.iterations < 2) {
+    out.reason = "too few iterations observed to profile";
+    return out;
+  }
+  out.applicable = true;
+
+  const LoopFacts facts = analyze_loop(loop, tu);
+  const auto reductions = find_reductions(facts);
+  std::set<std::string> single_update_reductions;
+  for (const auto& r : reductions) {
+    auto it = facts.written_scalars.find(r.var);
+    // Instruction-level pattern matching recognizes exactly one update site
+    // (the paper's Listing 4, two updates of `v`, is missed this way).
+    if (it != facts.written_scalars.end() && it->second.update_count == 1) {
+      single_update_reductions.insert(r.var);
+    }
+  }
+
+  // Scan the trace in program order deriving inter-iteration dependences.
+  std::unordered_map<std::uint64_t, int> last_write_iter;
+  std::unordered_map<std::uint64_t, int> last_read_iter;
+  std::set<std::string> dep_vars;  // variables with blocking dependences
+  bool io_dependence = false;
+  for (const auto& acc : trace.accesses) {
+    if (acc.addr == 0) {  // reserved I/O pseudo-address
+      io_dependence = true;
+      continue;
+    }
+    if (acc.is_write) {
+      auto w = last_write_iter.find(acc.addr);
+      if (w != last_write_iter.end() && w->second != acc.iteration) {
+        dep_vars.insert(acc.var);  // WAW across iterations
+      }
+      auto r = last_read_iter.find(acc.addr);
+      if (r != last_read_iter.end() && r->second != acc.iteration) {
+        dep_vars.insert(acc.var);  // WAR across iterations
+      }
+      last_write_iter[acc.addr] = acc.iteration;
+    } else {
+      auto w = last_write_iter.find(acc.addr);
+      if (w != last_write_iter.end() && w->second != acc.iteration) {
+        dep_vars.insert(acc.var);  // RAW across iterations (true dependence)
+      }
+      last_read_iter[acc.addr] = acc.iteration;
+    }
+  }
+
+  if (io_dependence) {
+    out.reason = "I/O side effects serialize iterations";
+    return out;
+  }
+
+  std::vector<ReductionCandidate> used_reductions;
+  for (const auto& var : dep_vars) {
+    if (var == facts.index_var) continue;
+    if (single_update_reductions.count(var)) {
+      for (const auto& r : reductions) {
+        if (r.var == var) used_reductions.push_back(r);
+      }
+      continue;  // dependence explained by a recognized reduction
+    }
+    out.reason = "inter-iteration dependence on '" + var + "'";
+    return out;
+  }
+
+  out.parallel = true;
+  out.reductions = used_reductions;
+  out.pattern =
+      used_reductions.empty() ? PragmaCategory::kPrivate : PragmaCategory::kReduction;
+  out.reason = used_reductions.empty() ? "no inter-iteration dependences observed"
+                                       : "reduction pattern detected";
+  return out;
+}
+
+std::vector<std::unique_ptr<ParallelismTool>> make_all_tools() {
+  std::vector<std::unique_ptr<ParallelismTool>> tools;
+  tools.push_back(std::make_unique<PlutoLikeAnalyzer>());
+  tools.push_back(std::make_unique<AutoParLikeAnalyzer>());
+  tools.push_back(std::make_unique<DiscoPoPLikeAnalyzer>());
+  return tools;
+}
+
+}  // namespace g2p

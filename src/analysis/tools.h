@@ -1,0 +1,84 @@
+// Algorithm-based parallelism-assistant tool simulacra (§2 of the paper):
+// PLUTO (polyhedral static), autoPar (ROSE conservative static), DiscoPoP
+// (dynamic, trace-based). Each models its original's *applicability gate*
+// (which loops it can process at all) and *detection logic* (conservative,
+// zero-false-positive parallelism reporting), so the failure categories of
+// Figure 2 and the subset comparisons of Tables 3-4 fall out structurally.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/dependence.h"
+#include "analysis/interp.h"
+#include "frontend/parser.h"
+#include "frontend/pragma.h"
+
+namespace g2p {
+
+/// Verdict of one tool on one loop.
+struct ToolResult {
+  bool applicable = false;  // tool could process the loop at all
+  bool parallel = false;    // tool reports the loop as parallelizable
+  PragmaCategory pattern = PragmaCategory::kNone;  // do-all(private)/reduction
+  std::vector<ReductionCandidate> reductions;
+  std::vector<std::string> private_vars;
+  std::string reason;  // why not applicable / not parallel (diagnostics)
+
+  bool detected_parallel() const { return applicable && parallel; }
+};
+
+/// Common interface: analyze one loop in (optional) TU context.
+class ParallelismTool {
+ public:
+  virtual ~ParallelismTool() = default;
+  virtual std::string_view name() const = 0;
+  virtual ToolResult analyze(const Stmt& loop, const TranslationUnit* tu,
+                             const std::map<std::string, StructInfo>* structs) const = 0;
+
+  ToolResult analyze(const Stmt& loop) const { return analyze(loop, nullptr, nullptr); }
+};
+
+/// PLUTO-like polyhedral static analyzer: processes canonical affine
+/// for-loops; detects parallelism only in pure affine array code — no calls,
+/// no scalar-carried values (no reduction support), no pointers/structs.
+class PlutoLikeAnalyzer final : public ParallelismTool {
+ public:
+  std::string_view name() const override { return "PLUTO"; }
+  ToolResult analyze(const Stmt& loop, const TranslationUnit* tu,
+                     const std::map<std::string, StructInfo>* structs) const override;
+};
+
+/// autoPar-like (ROSE) conservative static analyzer: processes canonical
+/// for-loops; privatizes body-declared scalars and recognizes reduction
+/// clauses, but bails on any function call, pointer dereference, non-affine
+/// subscript, imperfect loop nest, or outer-declared scratch scalar.
+class AutoParLikeAnalyzer final : public ParallelismTool {
+ public:
+  std::string_view name() const override { return "autoPar"; }
+  ToolResult analyze(const Stmt& loop, const TranslationUnit* tu,
+                     const std::map<std::string, StructInfo>* structs) const override;
+};
+
+/// DiscoPoP-like dynamic analyzer: executes the loop via the interpreter and
+/// derives inter-iteration RAW/WAR/WAW dependences from the memory trace;
+/// recognizes single-statement scalar reductions. Applicability requires the
+/// loop to actually execute (no unknown externals, terminating).
+class DiscoPoPLikeAnalyzer final : public ParallelismTool {
+ public:
+  explicit DiscoPoPLikeAnalyzer(InterpLimits limits = {}) : limits_(limits) {}
+  std::string_view name() const override { return "DiscoPoP"; }
+  ToolResult analyze(const Stmt& loop, const TranslationUnit* tu,
+                     const std::map<std::string, StructInfo>* structs) const override;
+
+ private:
+  InterpLimits limits_;
+};
+
+/// All three simulacra, in the paper's presentation order.
+std::vector<std::unique_ptr<ParallelismTool>> make_all_tools();
+
+}  // namespace g2p

@@ -1,0 +1,226 @@
+#include "core/aug_ast.h"
+
+#include <set>
+
+#include "graph/cfg.h"
+
+namespace g2p {
+
+HetNodeType het_type_of(const Node& node) {
+  switch (node.kind()) {
+    case NodeKind::kForStmt:
+    case NodeKind::kWhileStmt:
+    case NodeKind::kDoStmt:
+      return HetNodeType::kLoop;
+    case NodeKind::kIfStmt:
+    case NodeKind::kConditional:
+      return HetNodeType::kBranch;
+    case NodeKind::kBinaryOperator:
+      return HetNodeType::kBinaryOp;
+    case NodeKind::kUnaryOperator:
+      return HetNodeType::kUnaryOp;
+    case NodeKind::kAssignment:
+      return HetNodeType::kAssign;
+    case NodeKind::kCallExpr:
+      return HetNodeType::kCall;
+    case NodeKind::kArraySubscript:
+      return HetNodeType::kArrayAccess;
+    case NodeKind::kMemberExpr:
+      return HetNodeType::kMemberAccess;
+    case NodeKind::kDeclRef:
+      return HetNodeType::kVarRef;
+    case NodeKind::kIntLiteral:
+    case NodeKind::kFloatLiteral:
+    case NodeKind::kCharLiteral:
+    case NodeKind::kStringLiteral:
+      return HetNodeType::kLiteral;
+    case NodeKind::kVarDecl:
+    case NodeKind::kParamDecl:
+    case NodeKind::kFunctionDecl:
+      return HetNodeType::kDecl;
+    case NodeKind::kCompoundStmt:
+      return HetNodeType::kBlock;
+    default:
+      return HetNodeType::kStmtOther;
+  }
+}
+
+std::string node_text_attribute(const Node& node) {
+  switch (node.kind()) {
+    case NodeKind::kIntLiteral: {
+      // Small constants are kept verbatim (0/1/2 carry meaning for bounds
+      // and strides); the rest collapse to a class token.
+      const auto& lit = static_cast<const IntLiteral&>(node);
+      if (lit.value >= 0 && lit.value <= 2) return std::to_string(lit.value);
+      return "<int>";
+    }
+    case NodeKind::kFloatLiteral: return "<float>";
+    case NodeKind::kCharLiteral: return "<char>";
+    case NodeKind::kStringLiteral: return "<str>";
+    case NodeKind::kDeclRef: return static_cast<const DeclRef&>(node).name;
+    case NodeKind::kBinaryOperator: return static_cast<const BinaryOperator&>(node).op;
+    case NodeKind::kUnaryOperator: {
+      const auto& u = static_cast<const UnaryOperator&>(node);
+      return u.prefix ? u.op : u.op + "post";
+    }
+    case NodeKind::kAssignment: return static_cast<const Assignment&>(node).op;
+    case NodeKind::kConditional: return "?:";
+    case NodeKind::kCallExpr: return static_cast<const CallExpr&>(node).callee;
+    case NodeKind::kArraySubscript: return "[]";
+    case NodeKind::kMemberExpr: return static_cast<const MemberExpr&>(node).member;
+    case NodeKind::kCastExpr: return static_cast<const CastExpr&>(node).type.spelling();
+    case NodeKind::kParenExpr: return "()";
+    case NodeKind::kInitListExpr: return "{init}";
+    case NodeKind::kSizeofExpr: return "sizeof";
+    case NodeKind::kCompoundStmt: return "{}";
+    case NodeKind::kDeclStmt: return "decl";
+    case NodeKind::kExprStmt: return "expr";
+    case NodeKind::kIfStmt: return "if";
+    case NodeKind::kForStmt: return "for";
+    case NodeKind::kWhileStmt: return "while";
+    case NodeKind::kDoStmt: return "do";
+    case NodeKind::kReturnStmt: return "return";
+    case NodeKind::kBreakStmt: return "break";
+    case NodeKind::kContinueStmt: return "continue";
+    case NodeKind::kNullStmt: return ";";
+    case NodeKind::kVarDecl: return static_cast<const VarDecl&>(node).name;
+    case NodeKind::kParamDecl: return static_cast<const ParamDecl&>(node).name;
+    case NodeKind::kFunctionDecl: return static_cast<const FunctionDecl&>(node).name;
+    case NodeKind::kTranslationUnit: return "<tu>";
+  }
+  return "<unk>";
+}
+
+void collect_text_attributes(const Node& root, std::unordered_map<std::string, int>& counts) {
+  walk(root, [&counts](const Node& n) { ++counts[node_text_attribute(n)]; });
+}
+
+namespace {
+
+constexpr int kMaxPosition = 7;  // sibling-position attribute clamp
+
+/// Adds the whole subtree of `root` to the graph: nodes with heterogeneous
+/// attributes, AST child/parent edge pairs. Returns the root's index.
+int add_subtree(const Node& root, int position, const Vocab& vocab, HetGraph& graph,
+                std::unordered_map<const Node*, int>& index_of) {
+  const int idx = graph.add_node(het_type_of(root), vocab.id(node_text_attribute(root)),
+                                 std::min(position, kMaxPosition));
+  index_of.emplace(&root, idx);
+  int child_pos = 0;
+  root.for_each_child([&](const Node& child) {
+    const int child_idx = add_subtree(child, child_pos++, vocab, graph, index_of);
+    graph.add_edge_pair(idx, child_idx, HetEdgeType::kAstChild, HetEdgeType::kAstParent);
+  });
+  return idx;
+}
+
+/// Collect leaves (nodes without children) in source (pre-order) order.
+void collect_leaves(const Node& root, std::vector<const Node*>& leaves) {
+  bool has_child = false;
+  root.for_each_child([&](const Node&) { has_child = true; });
+  if (!has_child) {
+    leaves.push_back(&root);
+    return;
+  }
+  root.for_each_child([&](const Node& child) { collect_leaves(child, leaves); });
+}
+
+/// All distinct callee names invoked anywhere in the subtree.
+std::set<std::string> callee_names(const Node& root) {
+  std::set<std::string> names;
+  walk(root, [&names](const Node& n) {
+    if (n.kind() == NodeKind::kCallExpr) {
+      names.insert(static_cast<const CallExpr&>(n).callee);
+    }
+  });
+  return names;
+}
+
+}  // namespace
+
+LoopGraph AugAstBuilder::build(const Stmt& loop, const TranslationUnit* tu) const {
+  LoopGraph out;
+
+  // ---- §5.1.1: the AST as a heterogeneous graph -----------------------------
+  out.root = add_subtree(loop, 0, *vocab_, out.graph, out.index_of);
+  out.num_ast_nodes = out.graph.num_nodes();
+
+  // ---- §5.1.3: lexical (token-distance) edges over the loop's leaves --------
+  if (options_.lexical_edges) {
+    std::vector<const Node*> leaves;
+    collect_leaves(loop, leaves);
+    for (std::size_t i = 0; i + 1 < leaves.size(); ++i) {
+      out.graph.add_edge_pair(out.index_of.at(leaves[i]), out.index_of.at(leaves[i + 1]),
+                              HetEdgeType::kLexNext, HetEdgeType::kLexPrev);
+    }
+  }
+
+  // ---- §5.1.2: merge the control flow graph ---------------------------------
+  if (options_.cfg_edges) {
+    const Cfg cfg = build_cfg(loop);
+    for (const auto& [src, dst] : cfg.edges) {
+      auto si = out.index_of.find(src);
+      auto di = out.index_of.find(dst);
+      if (si != out.index_of.end() && di != out.index_of.end()) {
+        out.graph.add_edge_pair(si->second, di->second, HetEdgeType::kCfgNext,
+                                HetEdgeType::kCfgPrev);
+      }
+    }
+  }
+
+  // ---- §5.1.2: call-site edges into callee bodies ---------------------------
+  if (options_.call_edges && tu != nullptr) {
+    // Breadth-first over the call graph reachable from the loop, each callee
+    // body added once and linked from every call site of that callee.
+    std::set<std::string> expanded;
+    std::unordered_map<std::string, int> body_root_of;
+    std::vector<std::string> frontier;
+    for (const auto& name : callee_names(loop)) frontier.push_back(name);
+
+    while (!frontier.empty()) {
+      const std::string name = frontier.back();
+      frontier.pop_back();
+      if (expanded.count(name)) continue;
+      expanded.insert(name);
+      const FunctionDecl* fn = tu->find_function(name);
+      if (!fn || !fn->body) continue;  // extern/builtin: nothing to merge
+
+      const int body_root = add_subtree(*fn->body, 0, *vocab_, out.graph, out.index_of);
+      body_root_of[name] = body_root;
+      // Merge the callee body's own CFG so statement order inside the
+      // function is visible too.
+      if (options_.cfg_edges) {
+        const Cfg body_cfg = build_cfg(*fn->body);
+        for (const auto& [src, dst] : body_cfg.edges) {
+          auto si = out.index_of.find(src);
+          auto di = out.index_of.find(dst);
+          if (si != out.index_of.end() && di != out.index_of.end()) {
+            out.graph.add_edge_pair(si->second, di->second, HetEdgeType::kCfgNext,
+                                    HetEdgeType::kCfgPrev);
+          }
+        }
+      }
+      for (const auto& inner : callee_names(*fn->body)) {
+        if (!expanded.count(inner)) frontier.push_back(inner);
+      }
+    }
+
+    // Link every call site (in the loop or in merged callee bodies) to the
+    // callee body root with flow edges: call -> body (enter), body -> call
+    // (return).
+    for (const auto& [ast_node, graph_idx] : out.index_of) {
+      if (ast_node->kind() != NodeKind::kCallExpr) continue;
+      const auto& call = static_cast<const CallExpr&>(*ast_node);
+      auto it = body_root_of.find(call.callee);
+      if (it != body_root_of.end()) {
+        out.graph.add_edge_pair(graph_idx, it->second, HetEdgeType::kCfgNext,
+                                HetEdgeType::kCfgPrev);
+      }
+    }
+  }
+
+  out.num_callee_nodes = out.graph.num_nodes() - out.num_ast_nodes;
+  return out;
+}
+
+}  // namespace g2p

@@ -1,0 +1,70 @@
+// The heterogeneous augmented-AST (aug-AST) representation — §5.1.
+//
+// Starting from the loop's AST (expressed as a heterogeneous graph, §5.1.1),
+// the builder merges in:
+//   * CFG edges between statements/predicates, plus call-site edges linking
+//     a CallExpr to the callee's body when it is defined in the same
+//     translation unit (§5.1.2 — these let the model see potential data
+//     races inside calls, cf. the paper's Figure 3 node f1),
+//   * lexical edges chaining consecutive leaf nodes in token order to
+//     recover token-distance information (§5.1.3).
+//
+// Each node carries heterogeneous attributes: its AST category (node type),
+// the vocabulary id of its text (operator / identifier / literal class), and
+// its position among siblings (the paper's left/right order attribute).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "frontend/ast.h"
+#include "graph/hetgraph.h"
+#include "graph/vocab.h"
+
+namespace g2p {
+
+/// Edge-set toggles. Defaults build the full aug-AST; the ablation bench and
+/// the vanilla-AST baseline (HGT-AST in Table 3) turn parts off.
+struct AugAstOptions {
+  bool cfg_edges = true;
+  bool lexical_edges = true;
+  bool call_edges = true;  // include callee bodies reachable from the loop
+};
+
+/// Result of building: the graph plus bookkeeping for tests/inspection.
+struct LoopGraph {
+  HetGraph graph;
+  int root = 0;                       // graph index of the loop statement
+  int num_ast_nodes = 0;              // nodes from the loop subtree itself
+  int num_callee_nodes = 0;           // nodes added from callee bodies
+  std::unordered_map<const Node*, int> index_of;  // AST node -> graph index
+};
+
+/// Map an AST node kind to its heterogeneous node type.
+HetNodeType het_type_of(const Node& node);
+
+/// The text attribute of a node (operator spelling, identifier, literal
+/// class, ...) fed through the vocabulary.
+std::string node_text_attribute(const Node& node);
+
+class AugAstBuilder {
+ public:
+  AugAstBuilder(const Vocab& vocab, AugAstOptions options = {})
+      : vocab_(&vocab), options_(options) {}
+
+  /// Build the aug-AST of one loop. `tu` (optional) supplies callee
+  /// definitions for call-edge expansion.
+  LoopGraph build(const Stmt& loop, const TranslationUnit* tu = nullptr) const;
+
+  const AugAstOptions& options() const { return options_; }
+
+ private:
+  const Vocab* vocab_;
+  AugAstOptions options_;
+};
+
+/// Collect every node-text attribute in a subtree (vocabulary building).
+void collect_text_attributes(const Node& root,
+                             std::unordered_map<std::string, int>& counts);
+
+}  // namespace g2p

@@ -1,0 +1,117 @@
+#include "core/pipeline.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "dataset/generator.h"
+#include "frontend/loop_extractor.h"
+#include "support/log.h"
+#include "support/rng.h"
+
+namespace g2p {
+
+Pipeline::Pipeline(Options options, Vocab vocab)
+    : options_(std::move(options)), vocab_(std::move(vocab)) {
+  options_.model.vocab_size = vocab_.size();
+  Rng rng(options_.train.seed);
+  model_ = std::make_unique<Graph2ParModel>(options_.model, rng);
+}
+
+Pipeline Pipeline::train(const Options& options) {
+  const Corpus corpus = CorpusGenerator(options.corpus).generate();
+  const auto split = corpus.split();
+  Vocab vocab = build_corpus_vocab(corpus, split.train);
+  Pipeline pipeline(options, std::move(vocab));
+
+  const auto train_examples =
+      prepare_examples(corpus, split.train, pipeline.vocab_, options.aug);
+  G2P_LOG_INFO << "Pipeline::train: " << train_examples.size() << " training loops, vocab "
+               << pipeline.vocab_.size();
+  train_graph_model(*pipeline.model_, train_examples, options.train);
+  return pipeline;
+}
+
+std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
+  const auto parsed = parse_translation_unit(c_source);
+  const auto loops = extract_loops(*parsed.tu);
+  std::vector<LoopSuggestion> out;
+  if (loops.empty()) return out;
+
+  AugAstBuilder builder(vocab_, options_.aug);
+  std::vector<LoopGraph> graphs;
+  std::vector<const HetGraph*> graph_ptrs;
+  graphs.reserve(loops.size());
+  for (const auto& loop : loops) {
+    graphs.push_back(builder.build(*loop.loop, parsed.tu.get()));
+  }
+  for (const auto& g : graphs) graph_ptrs.push_back(&g.graph);
+  const auto batch = batch_graphs(graph_ptrs);
+
+  const Tensor pooled = model_->encode(batch);
+  const Tensor parallel_probs =
+      softmax_rows(model_->task_logits(pooled, PredictionTask::kParallel));
+  std::array<std::vector<int>, 4> clause_preds;
+  for (int c = 0; c < 4; ++c) {
+    clause_preds[static_cast<std::size_t>(c)] =
+        argmax_rows(model_->task_logits(pooled, static_cast<PredictionTask>(c + 1)));
+  }
+
+  for (std::size_t i = 0; i < loops.size(); ++i) {
+    LoopSuggestion suggestion;
+    suggestion.loop_source = loops[i].source;
+    suggestion.line = loops[i].loop->line;
+    if (loops[i].function) suggestion.function_name = loops[i].function->name;
+    suggestion.confidence = parallel_probs.at({static_cast<int>(i), 1});
+    suggestion.parallel = suggestion.confidence >= 0.5;
+    if (suggestion.parallel) {
+      // Clause priority mirrors the dataset bucketing: target > simd >
+      // reduction > private (do-all).
+      if (clause_preds[3][i] == 1) {
+        suggestion.category = PragmaCategory::kTarget;
+      } else if (clause_preds[2][i] == 1) {
+        suggestion.category = PragmaCategory::kSimd;
+      } else if (clause_preds[1][i] == 1) {
+        suggestion.category = PragmaCategory::kReduction;
+      } else {
+        suggestion.category = PragmaCategory::kPrivate;
+      }
+      // Fill clause payloads from the static analysis (the model decides the
+      // pattern; the analyzer names the variables).
+      const LoopFacts facts = analyze_loop(*loops[i].loop, parsed.tu.get());
+      std::vector<OmpPragma::Reduction> reductions;
+      if (suggestion.category == PragmaCategory::kReduction) {
+        for (const auto& red : find_reductions(facts)) {
+          reductions.push_back(OmpPragma::Reduction{red.op, {red.var}});
+        }
+      }
+      std::vector<std::string> privates;
+      for (const auto& var : find_private_scalars(facts)) {
+        const auto& info = facts.written_scalars.at(var);
+        if (!info.declared_in_body) privates.push_back(var);
+      }
+      suggestion.suggested_pragma = render_pragma(suggestion.category, privates, reductions);
+    }
+    out.push_back(std::move(suggestion));
+  }
+  return out;
+}
+
+void Pipeline::save(const std::string& model_path, const std::string& vocab_path) const {
+  model_->save_file(model_path);
+  std::ofstream vocab_out(vocab_path);
+  vocab_out << vocab_.serialize();
+}
+
+std::optional<Pipeline> Pipeline::load(const Options& options, const std::string& model_path,
+                                       const std::string& vocab_path) {
+  std::ifstream vocab_in(vocab_path);
+  if (!vocab_in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << vocab_in.rdbuf();
+  Pipeline pipeline(options, Vocab::deserialize(buffer.str()));
+  if (!pipeline.model_->load_file(model_path)) return std::nullopt;
+  return pipeline;
+}
+
+}  // namespace g2p

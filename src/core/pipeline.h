@@ -1,0 +1,66 @@
+// End-to-end suggestion pipeline: C source in, per-loop OpenMP pragma
+// suggestions out (§6.4: Graph2Par assists the developer with suggestions
+// rather than rewriting code).
+//
+// A Pipeline bundles a vocabulary, a trained Graph2Par model, and the
+// aug-AST builder options. `Pipeline::train` builds one from any corpus
+// (examples use the synthetic OMP_Serial generator).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/dependence.h"
+#include "core/graph2par.h"
+#include "dataset/corpus.h"
+#include "dataset/generator.h"
+#include "eval/trainer.h"
+
+namespace g2p {
+
+/// One suggestion for one loop found in the input source.
+struct LoopSuggestion {
+  std::string loop_source;
+  int line = 0;
+  std::string function_name;
+  bool parallel = false;
+  double confidence = 0.0;  // softmax probability of the parallel class
+  PragmaCategory category = PragmaCategory::kNone;
+  std::string suggested_pragma;  // rendered directive, "" when not parallel
+};
+
+class Pipeline {
+ public:
+  struct Options {
+    GeneratorConfig corpus;      // training-corpus generation
+    Graph2ParConfig model;       // vocab_size is filled in automatically
+    TrainConfig train;
+    AugAstOptions aug;           // full aug-AST by default
+    Options() { corpus.scale = 0.03; }
+  };
+
+  /// Generate a corpus, build the vocabulary, train the model. Deterministic
+  /// for fixed options.
+  static Pipeline train(const Options& options = {});
+
+  /// Analyze a C translation unit and produce one suggestion per loop.
+  std::vector<LoopSuggestion> suggest(std::string_view c_source) const;
+
+  /// Persist / restore trained weights (vocabulary travels alongside).
+  void save(const std::string& model_path, const std::string& vocab_path) const;
+  static std::optional<Pipeline> load(const Options& options, const std::string& model_path,
+                                      const std::string& vocab_path);
+
+  const Graph2ParModel& model() const { return *model_; }
+  const Vocab& vocab() const { return vocab_; }
+
+ private:
+  Pipeline(Options options, Vocab vocab);
+
+  Options options_;
+  Vocab vocab_;
+  std::unique_ptr<Graph2ParModel> model_;
+};
+
+}  // namespace g2p

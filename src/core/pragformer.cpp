@@ -1,0 +1,39 @@
+#include "core/pragformer.h"
+
+#include "frontend/lexer.h"
+
+namespace g2p {
+
+PragFormerModel::PragFormerModel(const PragFormerConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(
+          TransformerEncoder::Config{config.vocab_size, config.dim, config.heads, config.layers,
+                                     config.ffn_hidden, config.max_len},
+          rng) {
+  register_child(encoder_);
+  for (int t = 0; t < kNumPredictionTasks; ++t) {
+    heads_.push_back(std::make_unique<Linear>(config.dim, 2, rng));
+    register_child(*heads_.back());
+  }
+}
+
+Tensor PragFormerModel::task_logits(const Tensor& pooled, PredictionTask task) const {
+  return heads_[static_cast<std::size_t>(task)]->forward(pooled);
+}
+
+std::vector<int> tokenize_for_model(std::string_view loop_source, const Vocab& vocab,
+                                    int max_len) {
+  std::vector<int> ids;
+  ids.push_back(Vocab::kCls);
+  try {
+    for (const auto& token : lex_code_tokens(loop_source)) {
+      if (static_cast<int>(ids.size()) >= max_len) break;
+      ids.push_back(vocab.id(token.text));
+    }
+  } catch (const LexError&) {
+    // Unlexable source (should not happen for generated loops): keep prefix.
+  }
+  return ids;
+}
+
+}  // namespace g2p

@@ -1,0 +1,45 @@
+// PragFormer-style baseline (Harel et al. 2022): token representation +
+// transformer encoder for pragma classification. The paper uses this as the
+// state-of-the-art token-based comparator in Tables 2 and 5.
+#pragma once
+
+#include <memory>
+
+#include "core/graph2par.h"  // PredictionTask
+#include "graph/vocab.h"
+#include "nn/transformer.h"
+
+namespace g2p {
+
+struct PragFormerConfig {
+  int vocab_size = 0;
+  int dim = 32;
+  int heads = 4;
+  int layers = 2;
+  int ffn_hidden = 64;
+  int max_len = 128;
+};
+
+class PragFormerModel : public Module {
+ public:
+  PragFormerModel(const PragFormerConfig& config, Rng& rng);
+
+  /// Encode one token-id sequence into [1, dim].
+  Tensor encode(std::span<const int> token_ids) const { return encoder_.encode(token_ids); }
+
+  /// Logits [rows, 2] for one task head over pooled representations.
+  Tensor task_logits(const Tensor& pooled, PredictionTask task) const;
+
+  const PragFormerConfig& config() const { return config_; }
+
+ private:
+  PragFormerConfig config_;
+  TransformerEncoder encoder_;
+  std::vector<std::unique_ptr<Linear>> heads_;
+};
+
+/// Tokenize a loop's source into vocabulary ids (the PragFormer input).
+std::vector<int> tokenize_for_model(std::string_view loop_source, const Vocab& vocab,
+                                    int max_len);
+
+}  // namespace g2p

@@ -1,0 +1,107 @@
+#include "dataset/corpus.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/log.h"
+
+namespace g2p {
+
+int Corpus::count_parallel() const {
+  int n = 0;
+  for (const auto& s : samples) n += s.parallel;
+  return n;
+}
+
+int Corpus::count_category(PragmaCategory cat) const {
+  int n = 0;
+  for (const auto& s : samples) n += (s.category == cat);
+  return n;
+}
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+CorpusSplit Corpus::split(double train_frac, double validation_frac) const {
+  CorpusSplit out;
+  for (int i = 0; i < size(); ++i) {
+    // Stable bucket from the id hash: resilient to sample reordering.
+    const double u =
+        static_cast<double>(fnv1a(samples[static_cast<std::size_t>(i)].id) % 10000) / 10000.0;
+    if (u < train_frac) {
+      out.train.push_back(i);
+    } else if (u < train_frac + validation_frac) {
+      out.validation.push_back(i);
+    } else {
+      out.test.push_back(i);
+    }
+  }
+  return out;
+}
+
+Corpus build_corpus(const std::vector<GeneratedFile>& files) {
+  Corpus corpus;
+  int dropped = 0;
+  for (const auto& file : files) {
+    std::shared_ptr<ParseResult> parsed;
+    try {
+      parsed = std::make_shared<ParseResult>(parse_translation_unit(file.source));
+    } catch (const std::exception&) {
+      ++dropped;  // mirrors the paper dropping non-compilable crawled files
+      continue;
+    }
+    const auto loops = extract_loops(*parsed->tu);
+    int loop_index = 0;
+    for (const auto& extracted : loops) {
+      LoopSample sample;
+      sample.id = file.name + (loops.size() > 1 ? "#" + std::to_string(loop_index) : "");
+      sample.file_source = file.source;
+      sample.loop_source = extracted.source;
+      sample.origin = file.origin;
+      sample.parallel = extracted.labeled_parallel();
+      sample.category = extracted.category();
+      sample.has_function_call = extracted.has_function_call;
+      sample.is_nested = extracted.is_nested;
+      sample.loc = extracted.loc;
+      sample.parsed = parsed;
+      sample.loop = extracted.loop;
+      corpus.samples.push_back(std::move(sample));
+      ++loop_index;
+    }
+  }
+  if (dropped > 0) {
+    G2P_LOG_DEBUG << "build_corpus: dropped " << dropped << " unparseable files";
+  }
+  return corpus;
+}
+
+void write_corpus(const Corpus& corpus, const std::string& dir) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  std::ofstream labels(fs::path(dir) / "labels.tsv");
+  labels << "id\torigin\tparallel\tcategory\thas_call\tnested\tloc\n";
+  for (const auto& s : corpus.samples) {
+    std::string file_name = s.id;
+    for (auto& c : file_name) {
+      if (c == '#' || c == '/') c = '_';
+    }
+    std::ofstream out(fs::path(dir) / (file_name + ".c"));
+    out << s.file_source;
+    labels << s.id << '\t' << (s.origin == SampleOrigin::kGitHub ? "github" : "synthetic")
+           << '\t' << (s.parallel ? 1 : 0) << '\t' << pragma_category_name(s.category) << '\t'
+           << (s.has_function_call ? 1 : 0) << '\t' << (s.is_nested ? 1 : 0) << '\t' << s.loc
+           << '\n';
+  }
+}
+
+}  // namespace g2p

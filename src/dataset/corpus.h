@@ -1,0 +1,77 @@
+// The OMP_Serial dataset (§4): labeled loops assembled from generated
+// "GitHub-crawl-like" C files and Jinja-templated synthetic programs.
+//
+// Each sample keeps its parsed translation unit alive so that the tool
+// simulacra (which need callee bodies and struct layouts) and the aug-AST
+// builder (which merges callee bodies) can run on the original tree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/loop_extractor.h"
+#include "frontend/parser.h"
+#include "frontend/pragma.h"
+
+namespace g2p {
+
+/// Where a sample came from (Table 1 groups statistics by source).
+enum class SampleOrigin { kGitHub, kSynthetic };
+
+/// One labeled loop.
+struct LoopSample {
+  std::string id;            // stable unique id, e.g. "gh-reduction-0042"
+  std::string file_source;   // the full C file text the loop was mined from
+  std::string loop_source;   // regenerated loop (pragma stripped)
+  SampleOrigin origin = SampleOrigin::kGitHub;
+
+  // Labels (§4.2): pragma presence -> parallel; clause -> category.
+  bool parallel = false;
+  PragmaCategory category = PragmaCategory::kNone;
+
+  // Structural features (Table 1 / Figure 2 bookkeeping).
+  bool has_function_call = false;
+  bool is_nested = false;
+  int loc = 0;
+
+  // Parsed artifacts (shared_ptr: the TU owns the loop node).
+  std::shared_ptr<ParseResult> parsed;
+  const Stmt* loop = nullptr;
+};
+
+/// A train/validation/test partition of sample indices.
+struct CorpusSplit {
+  std::vector<int> train;
+  std::vector<int> validation;
+  std::vector<int> test;
+};
+
+struct Corpus {
+  std::vector<LoopSample> samples;
+
+  int size() const { return static_cast<int>(samples.size()); }
+  int count_parallel() const;
+  int count_category(PragmaCategory cat) const;
+
+  /// Deterministic split by hash of sample id (ratios ~70/10/20).
+  CorpusSplit split(double train_frac = 0.7, double validation_frac = 0.1) const;
+};
+
+/// A generated C file before labeling.
+struct GeneratedFile {
+  std::string name;
+  std::string source;
+  SampleOrigin origin = SampleOrigin::kGitHub;
+};
+
+/// The §4.2 pipeline: parse each file, extract loops, strip comments, attach
+/// pragma labels. Files that fail to parse are dropped (the paper keeps only
+/// the 5731 compilable files out of 16000 crawled).
+Corpus build_corpus(const std::vector<GeneratedFile>& files);
+
+/// Write a corpus to `dir` as one .c file per sample plus labels.tsv
+/// (id, origin, parallel, category, has_call, nested, loc).
+void write_corpus(const Corpus& corpus, const std::string& dir);
+
+}  // namespace g2p

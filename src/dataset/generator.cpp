@@ -1,0 +1,743 @@
+#include "dataset/generator.h"
+
+#include <set>
+#include <string>
+
+#include "dataset/template_engine.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace g2p {
+
+namespace {
+
+// ---- name pools -------------------------------------------------------------
+
+const std::vector<std::string> kIndexNames = {"i", "j", "k", "idx", "ii", "p"};
+const std::vector<std::string> kBoundNames = {"n", "m", "size", "len", "count", "num_items",
+                                              "num_pixels", "N", "total"};
+const std::vector<std::string> kArrayNames = {"a", "b", "c", "data", "buf", "vec", "arr",
+                                              "values", "out", "in", "grid", "field", "img"};
+const std::vector<std::string> kAccNames = {"sum", "total", "acc", "err", "error", "prod",
+                                            "res", "fitness", "norm", "energy"};
+const std::vector<std::string> kTempNames = {"t", "tmp", "tmp1", "v", "x", "val", "w", "s"};
+const std::vector<std::string> kFnNames = {"compute", "process", "transform", "update",
+                                           "evaluate", "filter_fn", "blend", "score"};
+const std::vector<std::string> kPureBuiltinPool = {"fabs", "sqrt", "sin", "cos", "exp",
+                                                   "log", "tanh", "floor"};
+
+/// Per-file fresh-name allocator: draws without replacement so one file
+/// never reuses a name for two different roles.
+class Names {
+ public:
+  explicit Names(Rng& rng) : rng_(&rng) {}
+
+  std::string index() { return fresh(kIndexNames, "i"); }
+  std::string bound() { return fresh(kBoundNames, "n"); }
+  std::string array() { return fresh(kArrayNames, "a"); }
+  std::string acc() { return fresh(kAccNames, "sum"); }
+  std::string temp() { return fresh(kTempNames, "t"); }
+  std::string fn() { return fresh(kFnNames, "compute"); }
+
+ private:
+  std::string fresh(const std::vector<std::string>& pool, const std::string& fallback) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::string& candidate = rng_->pick(pool);
+      if (used_.insert(candidate).second) return candidate;
+    }
+    // Pool exhausted: synthesize a numbered name.
+    std::string name = fallback + std::to_string(counter_++);
+    used_.insert(name);
+    return name;
+  }
+
+  Rng* rng_;
+  std::set<std::string> used_;
+  int counter_ = 0;
+};
+
+std::string rand_bound_literal(Rng& rng) {
+  static const std::vector<std::string> kBounds = {"100",   "256",   "1000", "1024",
+                                                   "4096",  "10000", "512",  "2048"};
+  return rng.pick(kBounds);
+}
+
+std::string rand_coeff(Rng& rng) {
+  static const std::vector<std::string> kCoeffs = {"2", "3", "4", "5", "0.5", "1.5", "2.5",
+                                                   "0.25"};
+  return rng.pick(kCoeffs);
+}
+
+std::string rand_arith_op(Rng& rng) {
+  static const std::vector<std::string> kOps = {"+", "-", "*"};
+  return rng.pick(kOps);
+}
+
+/// Standard file preamble with light variety (the crawl kept full files).
+std::string preamble(Rng& rng) {
+  std::string out = "#include <stdio.h>\n#include <math.h>\n";
+  if (rng.chance(0.4)) out += "#include <stdlib.h>\n";
+  if (rng.chance(0.3)) out += "#define BLOCK 16\n";
+  out += "\n";
+  return out;
+}
+
+struct FileParts {
+  std::string helpers;   // functions defined before the kernel
+  std::string pragma;    // "" for non-parallel loops
+  std::string loop;      // the loop statement text
+  std::string kernel_params;
+  std::string kernel_locals;
+  std::string kernel_name = "kernel";
+  std::string after_loop;  // statements following the loop (uses of results)
+};
+
+std::string assemble(Rng& rng, const FileParts& parts) {
+  std::string out = preamble(rng);
+  out += parts.helpers;
+  out += "void " + parts.kernel_name + "(" + parts.kernel_params + ") {\n";
+  out += parts.kernel_locals;
+  if (!parts.pragma.empty()) out += "  " + parts.pragma + "\n";
+  // Indent the loop text by one level.
+  for (const auto& line : split(parts.loop, '\n')) {
+    if (!line.empty()) out += "  " + line + "\n";
+  }
+  out += parts.after_loop;
+  out += "}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel pattern families (pragma-labeled, parallel by construction)
+// ---------------------------------------------------------------------------
+
+/// Reduction loops: acc (+|*)= f(data[i]); optionally nested 2-D sums and
+/// pure-builtin calls (the paper's Listing 1 family).
+std::string make_reduction_file(Rng& rng, bool with_call, bool nested) {
+  Names names(rng);
+  FileParts parts;
+  const std::string i = names.index();
+  const std::string arr = names.array();
+  const std::string acc = names.acc();
+  const std::string bound = rng.chance(0.5) ? names.bound() : rand_bound_literal(rng);
+  const std::string op = rng.chance(0.8) ? "+" : "*";
+
+  std::string term = arr + "[" + i + "]";
+  if (nested) {
+    const std::string j = names.index();
+    const std::string inner_bound = rng.chance(0.5) ? names.bound() : rand_bound_literal(rng);
+    term = arr + "[" + i + "][" + j + "]";
+    if (with_call) term = rng.pick(kPureBuiltinPool) + "(" + term + ")";
+    std::string body = acc + " " + op + "= " + term + ";";
+    if (rng.chance(0.3)) {
+      const std::string vec = names.array();
+      body = acc + " " + op + "= " + term + " * " + vec + "[" + j + "];";
+    }
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n" +
+                 "  for (int " + j + " = 0; " + j + " < " + inner_bound + "; " + j + "++)\n" +
+                 "    " + body;
+    parts.kernel_params = "double " + arr + "[1024][128]";
+  } else {
+    if (with_call) term = rng.pick(kPureBuiltinPool) + "(" + term + ")";
+    std::string update;
+    if (rng.chance(0.5)) {
+      update = acc + " " + op + "= " + term + ";";
+    } else {
+      update = acc + " = " + acc + " " + op + " " + term + ";";
+    }
+    if (rng.chance(0.3) && !with_call) {
+      const std::string other = names.array();
+      update = acc + " " + op + "= " + arr + "[" + i + "] * " + other + "[" + i + "];";
+    }
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  " + update;
+    parts.kernel_params = "double* " + arr;
+  }
+  parts.kernel_locals = "  int " + i + ";\n  double " + acc + " = " +
+                        (op == "*" ? "1" : "0") + ";\n";
+  parts.pragma = "#pragma omp parallel for reduction(" + op + ":" + acc + ")";
+  parts.after_loop = "  printf(\"%f\\n\", " + acc + ");\n";
+  return assemble(rng, parts);
+}
+
+/// Do-all loops with private temporaries (the paper's `private` category).
+/// Variants: temp declared inside the body (tools can privatize) or outside
+/// (only the learned model generalizes); guarded updates; 2-D nests;
+/// callee-dependent pairs handled separately.
+std::string make_private_file(Rng& rng, bool with_call, bool nested) {
+  Names names(rng);
+  FileParts parts;
+  const std::string i = names.index();
+  const std::string src = names.array();
+  const std::string dst = names.array();
+  const std::string t = names.temp();
+  const std::string bound = rng.chance(0.6) ? names.bound() : rand_bound_literal(rng);
+  const bool temp_inside = rng.chance(0.5);
+  const bool nonaffine_bound = rng.chance(0.08);
+  const std::string bound_expr =
+      nonaffine_bound ? bound + " * " + names.bound() : bound;
+
+  std::string rhs = src + "[" + i + "] " + rand_arith_op(rng) + " " + rand_coeff(rng);
+  if (with_call) rhs = rng.pick(kPureBuiltinPool) + "(" + rhs + ")";
+
+  std::string body;
+  if (nested) {
+    const std::string j = names.index();
+    const std::string inner_bound = rand_bound_literal(rng);
+    const std::string decl = temp_inside ? "double " + t : t;
+    body = "{\n  for (int " + j + " = 0; " + j + " < " + inner_bound + "; " + j + "++) {\n" +
+           "    " + decl + " = " + src + "[" + i + "][" + j + "] * " + rand_coeff(rng) +
+           ";\n    " + dst + "[" + i + "][" + j + "] = " + t + " + " +
+           (with_call ? rng.pick(kPureBuiltinPool) + "(" + t + ")" : rand_coeff(rng)) +
+           ";\n  }\n}";
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound_expr + "; " + i + "++) " + body;
+    parts.kernel_params = "double " + src + "[512][64], double " + dst + "[512][64]";
+  } else {
+    const std::string decl = temp_inside ? "double " + t : t;
+    if (rng.chance(0.35)) {
+      // Guarded elementwise update.
+      body = "{\n  " + decl + " = " + rhs + ";\n  if (" + t + " > 0) {\n    " + dst + "[" + i +
+             "] = " + t + ";\n  } else {\n    " + dst + "[" + i + "] = -" + t + ";\n  }\n}";
+    } else {
+      body = "{\n  " + decl + " = " + rhs + ";\n  " + dst + "[" + i + "] = " + t + " * " + t +
+             ";\n}";
+    }
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound_expr + "; " + i + "++) " + body;
+    parts.kernel_params = "double* " + src + ", double* " + dst;
+  }
+  parts.kernel_locals = "  int " + i + ";\n";
+  if (!temp_inside) parts.kernel_locals += "  double " + t + ";\n";
+  parts.pragma =
+      temp_inside ? "#pragma omp parallel for" : "#pragma omp parallel for private(" + t + ")";
+  return assemble(rng, parts);
+}
+
+/// Parallel loop calling an extern function declared by prototype only (the
+/// body lives in another translation unit). The developer's pragma encodes
+/// knowledge no tool can reconstruct: static tools cannot prove purity,
+/// dynamic tools cannot execute the call — a large applicability sink in the
+/// paper's GitHub data.
+std::string make_extern_call_file(Rng& rng, PragmaCategory category) {
+  Names names(rng);
+  FileParts parts;
+  const std::string i = names.index();
+  const std::string arr = names.array();
+  const std::string fn = names.fn();
+  const std::string bound = rng.chance(0.5) ? names.bound() : rand_bound_literal(rng);
+
+  parts.helpers = "double " + fn + "(double value);\n\n";
+  if (category == PragmaCategory::kReduction) {
+    const std::string acc = names.acc();
+    parts.kernel_locals = "  int " + i + ";\n  double " + acc + " = 0;\n";
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  " + acc +
+                 " += " + fn + "(" + arr + "[" + i + "]);";
+    parts.pragma = "#pragma omp parallel for reduction(+:" + acc + ")";
+  } else {
+    parts.kernel_locals = "  int " + i + ";\n";
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  " + arr +
+                 "[" + i + "] = " + fn + "(" + arr + "[" + i + "]);";
+    parts.pragma = "#pragma omp parallel for";
+  }
+  parts.kernel_params = "double* " + arr;
+  return assemble(rng, parts);
+}
+
+/// Callee-dependent pair (§5.1.2 motivation): loop body is the same, the
+/// label depends on whether the helper is pure. Returns the file; `pure`
+/// chooses the variant.
+std::string make_callee_pair_file(Rng& rng, bool pure) {
+  Names names(rng);
+  FileParts parts;
+  const std::string i = names.index();
+  const std::string arr = names.array();
+  const std::string fn = names.fn();
+  const std::string bound = rng.chance(0.5) ? names.bound() : rand_bound_literal(rng);
+
+  if (pure) {
+    parts.helpers = "double " + fn + "(double x) {\n  double y = x * " + rand_coeff(rng) +
+                    " + " + rand_coeff(rng) + ";\n  return y;\n}\n\n";
+  } else {
+    // Hidden shared state: the helper accumulates into a global.
+    const std::string state = names.acc();
+    parts.helpers = "double " + state + " = 0;\n\ndouble " + fn +
+                    "(double x) {\n  " + state + " = " + state + " + x;\n  return " + state +
+                    ";\n}\n\n";
+  }
+  parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  " + arr + "[" +
+               i + "] = " + fn + "(" + arr + "[" + i + "]);";
+  parts.kernel_params = "double* " + arr;
+  parts.kernel_locals = "  int " + i + ";\n";
+  parts.pragma = pure ? "#pragma omp parallel for" : "";
+  return assemble(rng, parts);
+}
+
+/// Long-bodied loop whose discriminating statement is the *last* one — the
+/// long-range-dependence family motivating the lexical edges of §5.1.3.
+/// Token models that truncate the sequence never see the tail; graph models
+/// have no truncation. `serial` selects whether the tail statement carries a
+/// loop-carried flow dependence.
+std::string make_long_tail_file(Rng& rng, bool serial) {
+  Names names(rng);
+  FileParts parts;
+  const std::string i = names.index();
+  const std::string src = names.array();
+  const std::string dst = names.array();
+  const std::string other = names.array();
+  const std::string bound = rng.chance(0.5) ? names.bound() : rand_bound_literal(rng);
+
+  std::string body = "{\n";
+  const int pads = static_cast<int>(rng.uniform_int(12, 16));
+  for (int p = 0; p < pads; ++p) {
+    const std::string& pad_arr = (p % 2 == 0) ? dst : other;
+    body += "  " + pad_arr + "[" + i + "] = " + pad_arr + "[" + i + "] " +
+            rand_arith_op(rng) + " " + src + "[" + i + "] * " + rand_coeff(rng) + ";\n";
+  }
+  // The tail decides the label: reading this array's previous element is a
+  // flow dependence only when it is the written array.
+  const std::string read_base = serial ? dst : src;
+  body += "  " + dst + "[" + i + "] = " + read_base + "[" + i + " - 1] + " + src + "[" + i +
+          "];\n}";
+  parts.loop = "for (" + i + " = 1; " + i + " < " + bound + "; " + i + "++) " + body;
+  parts.kernel_params = "double* " + src + ", double* " + dst + ", double* " + other;
+  parts.kernel_locals = "  int " + i + ";\n";
+  parts.pragma = serial ? "" : "#pragma omp parallel for";
+  return assemble(rng, parts);
+}
+
+/// SIMD loops: short elementwise bodies (Table 1: avg 2.65 LOC).
+std::string make_simd_file(Rng& rng, bool with_call, bool nested) {
+  Names names(rng);
+  FileParts parts;
+  const std::string i = names.index();
+  const std::string a = names.array();
+  const std::string b = names.array();
+  const std::string bound = rng.chance(0.4) ? names.bound() : rand_bound_literal(rng);
+  const bool strided = rng.chance(0.25);
+  const std::string step = strided ? " += 2" : "++";
+
+  std::string rhs;
+  if (rng.chance(0.5)) {
+    const std::string c = names.array();
+    rhs = b + "[" + i + "] " + rand_arith_op(rng) + " " + c + "[" + i + "]";
+    parts.kernel_params = "float* " + a + ", float* " + b + ", float* " + c;
+  } else {
+    rhs = b + "[" + i + "] * " + rand_coeff(rng);
+    parts.kernel_params = "float* " + a + ", float* " + b;
+  }
+  if (with_call) rhs = rng.pick(kPureBuiltinPool) + "(" + rhs + ")";
+
+  if (nested) {
+    const std::string j = names.index();
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  for (int " +
+                 j + " = 0; " + j + " < 8; " + j + "++)\n    " + a + "[" + i + " * 8 + " + j +
+                 "] = " + b + "[" + i + " * 8 + " + j + "] + 1;";
+  } else {
+    parts.loop =
+        "for (" + i + " = 0; " + i + " < " + bound + "; " + i + step + ")\n  " + a + "[" + i +
+        "] = " + rhs + ";";
+  }
+  parts.kernel_locals = "  int " + i + ";\n";
+  parts.pragma = "#pragma omp simd";
+  return assemble(rng, parts);
+}
+
+/// Target offload kernels: saxpy / matrix-scale style (avg 3.04 LOC).
+std::string make_target_file(Rng& rng, bool with_call, bool nested) {
+  Names names(rng);
+  FileParts parts;
+  const std::string i = names.index();
+  const std::string a = names.array();
+  const std::string b = names.array();
+  const std::string bound = rng.chance(0.5) ? names.bound() : rand_bound_literal(rng);
+
+  if (nested) {
+    const std::string j = names.index();
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  for (int " +
+                 j + " = 0; " + j + " < 64; " + j + "++)\n    " + a + "[" + i + "][" + j +
+                 "] = " + b + "[" + i + "][" + j + "] * " + rand_coeff(rng) + " + " +
+                 rand_coeff(rng) + ";";
+    parts.kernel_params = "double " + a + "[256][64], double " + b + "[256][64]";
+  } else {
+    std::string rhs = b + "[" + i + "] * " + rand_coeff(rng) + " + " + a + "[" + i + "]";
+    if (with_call) rhs = rng.pick(kPureBuiltinPool) + "(" + rhs + ")";
+    parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  " + a + "[" +
+                 i + "] = " + rhs + ";";
+    parts.kernel_params = "double* " + a + ", double* " + b;
+  }
+  parts.kernel_locals = "  int " + i + ";\n";
+  parts.pragma = "#pragma omp target teams distribute parallel for";
+  return assemble(rng, parts);
+}
+
+// ---------------------------------------------------------------------------
+// Serial pattern families (no pragma; every loop carries a real dependence)
+// ---------------------------------------------------------------------------
+
+enum class SerialKind {
+  kFlowDep,        // a[i] = a[i-1] op e
+  kAntiDep,        // a[i] = a[i+1] op e
+  kRecurrence,     // x = x*alpha + b[i]; a[i] = x
+  kPrefixSum,      // s += b[i]; a[i] = s
+  kStencilInPlace, // a[i] = (a[i-1] + a[i+1]) / 2
+  kSharedCell,     // a[0] = a[0] + a[i]
+  kIoLoop,         // printf inside
+  kSearchLast,     // last = i recorded every matching iteration (live-out)
+  kPointerChase,   // while (node) { ...; node = next[node]; }
+  kConvergence,    // while (err > tol) { err = err * 0.5; ... }
+  kUnknownCall,    // result accumulated through an extern function
+  kImpureCallee,   // defined helper mutating global state (pair of do-all)
+  kNestedOuterDep, // outer-carried dep under an inner loop
+  kLongTail,       // long body whose final statement carries the dependence
+  kCount
+};
+
+std::string make_serial_file(Rng& rng, SerialKind kind, bool with_call, bool nested) {
+  Names names(rng);
+  FileParts parts;
+  const std::string i = names.index();
+  const std::string a = names.array();
+  const std::string b = names.array();
+  const std::string bound = rng.chance(0.6) ? names.bound() : rand_bound_literal(rng);
+  parts.kernel_params = "double* " + a + ", double* " + b;
+  parts.kernel_locals = "  int " + i + ";\n";
+
+  auto wrap_call = [&](const std::string& expr) {
+    return with_call ? rng.pick(kPureBuiltinPool) + "(" + expr + ")" : expr;
+  };
+
+  switch (kind) {
+    case SerialKind::kFlowDep:
+      parts.loop = "for (" + i + " = 1; " + i + " < " + bound + "; " + i + "++)\n  " + a +
+                   "[" + i + "] = " + wrap_call(a + "[" + i + " - 1]") + " " +
+                   rand_arith_op(rng) + " " + b + "[" + i + "];";
+      break;
+    case SerialKind::kAntiDep:
+      parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  " + a +
+                   "[" + i + "] = " + wrap_call(a + "[" + i + " + 1]") + " * " +
+                   rand_coeff(rng) + ";";
+      break;
+    case SerialKind::kRecurrence: {
+      const std::string x = names.temp();
+      parts.kernel_locals += "  double " + x + " = 1;\n";
+      parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++) {\n  " + x +
+                   " = " + x + " * " + rand_coeff(rng) + " + " + wrap_call(b + "[" + i + "]") +
+                   ";\n  " + a + "[" + i + "] = " + x + ";\n}";
+      break;
+    }
+    case SerialKind::kPrefixSum: {
+      const std::string s = names.acc();
+      parts.kernel_locals += "  double " + s + " = 0;\n";
+      parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++) {\n  " + s +
+                   " += " + wrap_call(b + "[" + i + "]") + ";\n  " + a + "[" + i + "] = " + s +
+                   ";\n}";
+      break;
+    }
+    case SerialKind::kStencilInPlace:
+      parts.loop = "for (" + i + " = 1; " + i + " < " + bound + "; " + i + "++)\n  " + a +
+                   "[" + i + "] = (" + a + "[" + i + " - 1] + " + a + "[" + i + " + 1]) * 0.5;";
+      break;
+    case SerialKind::kSharedCell:
+      parts.loop = "for (" + i + " = 1; " + i + " < " + bound + "; " + i + "++)\n  " + a +
+                   "[0] = " + a + "[0] + " + wrap_call(a + "[" + i + "]") + ";";
+      break;
+    case SerialKind::kIoLoop:
+      parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++)\n  " +
+                   "printf(\"%d %f\\n\", " + i + ", " + a + "[" + i + "]);";
+      break;
+    case SerialKind::kSearchLast: {
+      const std::string last = names.temp();
+      parts.kernel_locals += "  int " + last + " = -1;\n";
+      parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++) {\n  if (" +
+                   a + "[" + i + "] >= 0) {\n    " + last + " = " + i + ";\n  }\n}";
+      parts.after_loop = "  printf(\"%d\\n\", " + last + ");\n";
+      break;
+    }
+    case SerialKind::kPointerChase: {
+      const std::string node = names.temp();
+      parts.kernel_locals += "  int " + node + " = 1;\n  double total = 0;\n";
+      parts.loop = "while (" + node + " > 0) {\n  total += " + a + "[" + node + "];\n  " +
+                   node + " = (int)" + b + "[" + node + "];\n}";
+      parts.after_loop = "  printf(\"%f\\n\", total);\n";
+      break;
+    }
+    case SerialKind::kConvergence: {
+      const std::string err = names.acc();
+      parts.kernel_locals += "  double " + err + " = 1000;\n";
+      parts.loop = "while (" + err + " > 1) {\n  " + err + " = " + err + " * 0.5;\n  " + a +
+                   "[0] = " + err + ";\n}";
+      break;
+    }
+    case SerialKind::kUnknownCall: {
+      const std::string fn = names.fn();
+      const std::string s = names.acc();
+      parts.kernel_locals += "  double " + s + " = 0;\n";
+      // No definition anywhere: dynamic tools cannot execute this.
+      parts.helpers = "double " + fn + "(double v, int pos);\n\n";
+      parts.loop = "for (" + i + " = 0; " + i + " < " + bound + "; " + i + "++) {\n  " + s +
+                   " = " + fn + "(" + s + " + " + a + "[" + i + "], " + i + ");\n  " + b +
+                   "[" + i + "] = " + s + ";\n}";
+      break;
+    }
+    case SerialKind::kImpureCallee:
+      return make_callee_pair_file(rng, /*pure=*/false);
+    case SerialKind::kLongTail:
+      return make_long_tail_file(rng, /*serial=*/true);
+    case SerialKind::kNestedOuterDep: {
+      const std::string j = names.index();
+      parts.loop = "for (" + i + " = 1; " + i + " < " + bound + "; " + i + "++)\n  for (int " +
+                   j + " = 0; " + j + " < 32; " + j + "++)\n    " + a + "[" + i + "][" + j +
+                   "] = " + wrap_call(a + "[" + i + " - 1][" + j + "]") + " + " +
+                   rand_coeff(rng) + ";";
+      parts.kernel_params = "double " + a + "[256][32], double* " + b;
+      break;
+    }
+    case SerialKind::kCount:
+      break;
+  }
+  parts.pragma = "";
+  return assemble(rng, parts);
+}
+
+/// Replace the generated file's pragma line (clause-category blurring: in
+/// real GitHub data the simd / parallel-for / target choice for an
+/// elementwise loop is partly the developer's taste, so the categories
+/// overlap — the source of Table 5's imperfect simd/target scores).
+std::string swap_pragma(std::string file, const std::string& new_pragma) {
+  const std::size_t at = file.find("#pragma omp");
+  if (at == std::string::npos) return file;
+  const std::size_t line_end = file.find('\n', at);
+  return file.substr(0, at) + new_pragma + file.substr(line_end);
+}
+
+SerialKind pick_serial_kind(Rng& rng, bool with_call, bool nested) {
+  if (nested) {
+    (void)with_call;  // the nested family honors with_call via wrap_call
+    return SerialKind::kNestedOuterDep;
+  }
+  if (with_call) {
+    static const std::vector<SerialKind> kCallKinds = {
+        SerialKind::kFlowDep,      SerialKind::kRecurrence,   SerialKind::kPrefixSum,
+        SerialKind::kIoLoop,       SerialKind::kUnknownCall,  SerialKind::kUnknownCall,
+        SerialKind::kImpureCallee, SerialKind::kImpureCallee, SerialKind::kSharedCell};
+    return rng.pick(kCallKinds);
+  }
+  static const std::vector<SerialKind> kPlainKinds = {
+      SerialKind::kFlowDep,       SerialKind::kAntiDep,        SerialKind::kRecurrence,
+      SerialKind::kPrefixSum,     SerialKind::kStencilInPlace, SerialKind::kSharedCell,
+      SerialKind::kSearchLast,    SerialKind::kPointerChase,   SerialKind::kConvergence,
+      SerialKind::kLongTail,      SerialKind::kLongTail};
+  return rng.pick(kPlainKinds);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic templates (§4.3: Jinja2-rendered complete programs)
+// ---------------------------------------------------------------------------
+
+/// Do-all synthetic template: a complete program whose init loop is a serial
+/// recurrence (so its non-pragma label is sound) and whose kernel is an
+/// annotated do-all. Rendered with the Jinja-style engine.
+constexpr std::string_view kSynthDoAllTemplate = R"TPL(#include <stdio.h>
+#include <math.h>
+
+#define SIZE {{size}}
+
+double {{arr}}[SIZE];
+double {{out}}[SIZE];
+
+int main(void) {
+  int {{i}};
+  double seed = {{seed}};
+  for ({{i}} = 0; {{i}} < SIZE; {{i}}++) {
+    seed = seed * 1.1 + {{c0}};
+    {{arr}}[{{i}}] = seed;
+  }
+{% for r in 0..pad %}  {{arr}}[{{r}}] = {{arr}}[{{r}}] + 0.5;
+{% endfor %}
+  #pragma omp parallel for private({{t}})
+  for ({{i}} = 0; {{i}} < SIZE; {{i}}++) {
+    double {{t}} = {{fn}}({{arr}}[{{i}}] {{op}} {{c1}});
+    {{out}}[{{i}}] = {{t}} * {{c2}};
+  }
+  printf("%f\n", {{out}}[0]);
+  return 0;
+}
+)TPL";
+
+/// Reduction synthetic template (same structure, reduction kernel).
+constexpr std::string_view kSynthReductionTemplate = R"TPL(#include <stdio.h>
+#include <math.h>
+
+#define SIZE {{size}}
+
+double {{arr}}[SIZE];
+
+int main(void) {
+  int {{i}};
+  double {{acc}} = 0;
+  double seed = {{seed}};
+  for ({{i}} = 0; {{i}} < SIZE; {{i}}++) {
+    seed = seed * 0.99 + {{c0}};
+    {{arr}}[{{i}}] = seed;
+  }
+{% for r in 0..pad %}  {{arr}}[{{r}}] = {{arr}}[{{r}}] - 0.25;
+{% endfor %}
+  #pragma omp parallel for reduction(+:{{acc}})
+  for ({{i}} = 0; {{i}} < SIZE; {{i}}++) {
+    {{acc}} += {{fn}}({{arr}}[{{i}}] {{op}} {{c1}});
+  }
+  printf("%f\n", {{acc}});
+  return 0;
+}
+)TPL";
+
+/// Serial synthetic template: pure recurrence program, no calls, no nests.
+constexpr std::string_view kSynthSerialTemplate = R"TPL(#include <stdio.h>
+
+#define SIZE {{size}}
+
+double {{arr}}[SIZE];
+
+int main(void) {
+  int {{i}};
+  double {{x}} = {{seed}};
+  for ({{i}} = 1; {{i}} < SIZE; {{i}}++) {
+    {{arr}}[{{i}}] = {{arr}}[{{i}} - 1] * {{c0}} + {{c1}};
+  }
+  printf("%f\n", {{arr}}[SIZE - 1] + {{x}});
+  return 0;
+}
+)TPL";
+
+std::string make_synth_file(Rng& rng, std::string_view tmpl) {
+  Names names(rng);
+  TemplateBindings vars;
+  vars["size"] = rand_bound_literal(rng);
+  vars["arr"] = names.array();
+  vars["out"] = names.array();
+  vars["i"] = names.index();
+  vars["t"] = names.temp();
+  vars["x"] = names.temp();
+  vars["acc"] = names.acc();
+  vars["fn"] = rng.pick(kPureBuiltinPool);
+  vars["op"] = rng.chance(0.7) ? "+" : "*";
+  vars["seed"] = rand_coeff(rng);
+  vars["c0"] = rand_coeff(rng);
+  vars["c1"] = rand_coeff(rng);
+  vars["c2"] = rand_coeff(rng);
+  vars["pad"] = std::to_string(rng.uniform_int(0, 3));
+  return render_template(tmpl, vars);
+}
+
+}  // namespace
+
+std::vector<GeneratedFile> CorpusGenerator::generate_files() const {
+  std::vector<GeneratedFile> files;
+  Rng root(config_.seed);
+
+  struct Quota {
+    const char* tag;
+    int count;
+    double call_frac;
+    double nested_frac;
+    std::string (*make)(Rng&, bool, bool);
+    SampleOrigin origin;
+  };
+
+  const auto serial_maker = [](Rng& rng, bool with_call, bool nested) {
+    return make_serial_file(rng, pick_serial_kind(rng, with_call, nested), with_call, nested);
+  };
+  // Callee-dependent pure pairs draw from the private quota (they are
+  // plain parallel-for do-alls whose parallelism hinges on the callee).
+  const auto private_maker = [](Rng& rng, bool with_call, bool nested) {
+    if (with_call) {
+      const double r = rng.uniform();
+      if (r < 0.40) return make_extern_call_file(rng, PragmaCategory::kPrivate);
+      if (r < 0.75) return make_callee_pair_file(rng, /*pure=*/true);
+      return make_private_file(rng, /*with_call=*/true, nested);
+    }
+    if (!nested && rng.chance(0.3)) return make_long_tail_file(rng, /*serial=*/false);
+    if (!nested && rng.chance(0.18)) {
+      // simd-looking short body under a plain parallel-for (category blur).
+      return swap_pragma(make_simd_file(rng, false, false), "#pragma omp parallel for");
+    }
+    return make_private_file(rng, /*with_call=*/false, nested);
+  };
+  const auto reduction_maker = [](Rng& rng, bool with_call, bool nested) {
+    if (with_call && rng.chance(0.5)) {
+      return make_extern_call_file(rng, PragmaCategory::kReduction);
+    }
+    return make_reduction_file(rng, with_call, nested);
+  };
+  const auto simd_maker = [](Rng& rng, bool with_call, bool nested) {
+    if (!with_call && !nested && rng.chance(0.25)) {
+      // private-style body the developer annotated as simd (category blur).
+      return swap_pragma(make_private_file(rng, false, false), "#pragma omp simd");
+    }
+    return make_simd_file(rng, with_call, nested);
+  };
+  const auto target_maker = [](Rng& rng, bool with_call, bool nested) {
+    if (!with_call && rng.chance(0.25)) {
+      return swap_pragma(make_private_file(rng, false, nested),
+                         "#pragma omp target teams distribute parallel for");
+    }
+    return make_target_file(rng, with_call, nested);
+  };
+
+  const Quota quotas[] = {
+      {"gh-reduction", config_.scaled(config_.github_reduction), config_.reduction_call_frac,
+       config_.reduction_nested_frac, reduction_maker, SampleOrigin::kGitHub},
+      {"gh-private", config_.scaled(config_.github_private), config_.private_call_frac,
+       config_.private_nested_frac, private_maker, SampleOrigin::kGitHub},
+      {"gh-simd", config_.scaled(config_.github_simd), config_.simd_call_frac,
+       config_.simd_nested_frac, simd_maker, SampleOrigin::kGitHub},
+      {"gh-target", config_.scaled(config_.github_target), config_.target_call_frac,
+       config_.target_nested_frac, target_maker, SampleOrigin::kGitHub},
+      {"gh-serial", config_.scaled(config_.github_nonparallel), config_.nonparallel_call_frac,
+       config_.nonparallel_nested_frac, serial_maker, SampleOrigin::kGitHub},
+  };
+
+  for (const auto& quota : quotas) {
+    Rng stream = root.fork(quota.tag);
+    for (int k = 0; k < quota.count; ++k) {
+      const bool with_call = stream.chance(quota.call_frac);
+      const bool nested = stream.chance(quota.nested_frac);
+      GeneratedFile file;
+      file.name = std::string(quota.tag) + "-" + std::to_string(k);
+      file.source = quota.make(stream, with_call, nested);
+      file.origin = quota.origin;
+      files.push_back(std::move(file));
+    }
+  }
+
+  // Synthetic programs (§4.3). Each parallel program also contributes its
+  // serial init loop, so the dedicated serial quota is reduced accordingly.
+  {
+    Rng stream = root.fork("synth-doall");
+    for (int k = 0; k < config_.scaled(config_.synth_doall); ++k) {
+      files.push_back(GeneratedFile{"synth-doall-" + std::to_string(k),
+                                    make_synth_file(stream, kSynthDoAllTemplate),
+                                    SampleOrigin::kSynthetic});
+    }
+  }
+  {
+    Rng stream = root.fork("synth-reduction");
+    for (int k = 0; k < config_.scaled(config_.synth_reduction); ++k) {
+      files.push_back(GeneratedFile{"synth-reduction-" + std::to_string(k),
+                                    make_synth_file(stream, kSynthReductionTemplate),
+                                    SampleOrigin::kSynthetic});
+    }
+  }
+  {
+    Rng stream = root.fork("synth-serial");
+    const int init_loops =
+        config_.scaled(config_.synth_doall) + config_.scaled(config_.synth_reduction);
+    const int remaining = std::max(0, config_.scaled(config_.synth_nonparallel) - init_loops);
+    for (int k = 0; k < remaining; ++k) {
+      files.push_back(GeneratedFile{"synth-serial-" + std::to_string(k),
+                                    make_synth_file(stream, kSynthSerialTemplate),
+                                    SampleOrigin::kSynthetic});
+    }
+  }
+  return files;
+}
+
+}  // namespace g2p

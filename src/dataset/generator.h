@@ -1,0 +1,73 @@
+// OMP_Serial corpus generator (§4).
+//
+// Substitutes for the paper's GitHub crawl + benchmark-derived Jinja2
+// templates: a deterministic generator that reproduces the published
+// marginal statistics of Table 1 (loops per pragma category, function-call
+// and nested-loop fractions, approximate LOC) and the qualitative pattern
+// families the paper names — do-all, reduction, simd-style short loops,
+// target offload kernels, and the serial patterns (loop-carried flow deps,
+// scalar recurrences, prefix sums, pointer chasing, I/O, search loops)
+// that algorithm-based tools correctly refuse to parallelize.
+//
+// Every pragma-labeled loop is parallel by construction; every unlabeled
+// loop carries a real dependence (verified in tests with the DiscoPoP
+// simulacrum, mirroring the paper's §4.3 verification step).
+#pragma once
+
+#include <cstdint>
+
+#include "dataset/corpus.h"
+
+namespace g2p {
+
+struct GeneratorConfig {
+  std::uint64_t seed = 20230509;  // arXiv submission date of the paper
+  /// Fraction of Table 1's counts to generate (1.0 = paper-size corpus).
+  double scale = 0.1;
+
+  // Table 1 targets at scale 1.0 — GitHub source.
+  int github_reduction = 3705;
+  int github_private = 6278;
+  int github_simd = 3574;
+  int github_target = 2155;
+  int github_nonparallel = 13972;
+  // Synthetic source.
+  int synth_reduction = 200;
+  int synth_doall = 200;
+  int synth_nonparallel = 700;
+
+  // Structural fractions (function-call / nested columns of Table 1).
+  double reduction_call_frac = 0.075;
+  double reduction_nested_frac = 0.24;
+  double private_call_frac = 0.108;
+  double private_nested_frac = 0.41;
+  double simd_call_frac = 0.012;
+  double simd_nested_frac = 0.056;
+  double target_call_frac = 0.046;
+  double target_nested_frac = 0.089;
+  double nonparallel_call_frac = 0.218;
+  double nonparallel_nested_frac = 0.424;
+
+  int scaled(int count) const {
+    const int n = static_cast<int>(count * scale + 0.5);
+    return n < 1 ? 1 : n;
+  }
+};
+
+class CorpusGenerator {
+ public:
+  explicit CorpusGenerator(GeneratorConfig config = {}) : config_(config) {}
+
+  /// Generate all source files (GitHub-like + synthetic).
+  std::vector<GeneratedFile> generate_files() const;
+
+  /// generate_files() + the §4.2 labeling pipeline.
+  Corpus generate() const { return build_corpus(generate_files()); }
+
+  const GeneratorConfig& config() const { return config_; }
+
+ private:
+  GeneratorConfig config_;
+};
+
+}  // namespace g2p

@@ -1,0 +1,118 @@
+#include "dataset/template_engine.h"
+
+#include <cstdlib>
+
+#include "support/strings.h"
+
+namespace g2p {
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= text.size(); }
+
+  /// Render until end-of-input or a matching {% endfor %} (when `in_block`).
+  std::string render(const TemplateBindings& bindings, bool in_block) {
+    std::string out;
+    while (!done()) {
+      const std::size_t open = text.find('{', pos);
+      if (open == std::string_view::npos) {
+        out += text.substr(pos);
+        pos = text.size();
+        return finish(out, in_block);
+      }
+      out += text.substr(pos, open - pos);
+      pos = open;
+      if (text.substr(pos, 2) == "{{") {
+        out += render_variable(bindings);
+      } else if (text.substr(pos, 2) == "{%") {
+        const std::size_t tag_end = text.find("%}", pos);
+        if (tag_end == std::string_view::npos) throw TemplateError("unterminated {% tag");
+        const auto tag = trim(text.substr(pos + 2, tag_end - pos - 2));
+        if (tag == "endfor") {
+          if (!in_block) throw TemplateError("stray {% endfor %}");
+          pos = tag_end + 2;
+          return out;
+        }
+        out += render_for(tag, tag_end, bindings);
+      } else {
+        out += text[pos];
+        ++pos;
+      }
+    }
+    return finish(out, in_block);
+  }
+
+  std::string finish(std::string out, bool in_block) {
+    if (in_block) throw TemplateError("missing {% endfor %}");
+    return out;
+  }
+
+  std::string render_variable(const TemplateBindings& bindings) {
+    const std::size_t end = text.find("}}", pos);
+    if (end == std::string_view::npos) throw TemplateError("unterminated {{ variable");
+    const auto name = std::string(trim(text.substr(pos + 2, end - pos - 2)));
+    pos = end + 2;
+    auto it = bindings.find(name);
+    if (it == bindings.end()) throw TemplateError("unbound template variable '" + name + "'");
+    return it->second;
+  }
+
+  std::string render_for(std::string_view tag, std::size_t tag_end,
+                         const TemplateBindings& bindings) {
+    // tag: "for VAR in LO..HI"
+    const auto words = split_ws(tag);
+    if (words.size() != 4 || words[0] != "for" || words[2] != "in") {
+      throw TemplateError("malformed for tag: " + std::string(tag));
+    }
+    const std::string& var = words[1];
+    const auto range = words[3];
+    const std::size_t dots = range.find("..");
+    if (dots == std::string::npos) throw TemplateError("for range must be LO..HI");
+
+    auto resolve_int = [&](const std::string& token) -> long long {
+      if (!token.empty() && (std::isdigit(static_cast<unsigned char>(token[0])) ||
+                             token[0] == '-')) {
+        return std::strtoll(token.c_str(), nullptr, 10);
+      }
+      auto it = bindings.find(token);
+      if (it == bindings.end()) throw TemplateError("unbound range variable '" + token + "'");
+      return std::strtoll(it->second.c_str(), nullptr, 10);
+    };
+    const long long lo = resolve_int(range.substr(0, dots));
+    const long long hi = resolve_int(range.substr(dots + 2));
+
+    pos = tag_end + 2;
+    const std::size_t body_start = pos;
+    std::string out;
+    if (lo >= hi) {
+      // Skip the body once to find the endfor.
+      TemplateBindings inner = bindings;
+      inner[var] = "0";
+      Parser probe{text, body_start};
+      probe.render(inner, /*in_block=*/true);
+      pos = probe.pos;
+      return out;
+    }
+    for (long long i = lo; i < hi; ++i) {
+      TemplateBindings inner = bindings;
+      inner[var] = std::to_string(i);
+      Parser iteration{text, body_start};
+      out += iteration.render(inner, /*in_block=*/true);
+      pos = iteration.pos;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::string render_template(std::string_view tmpl, const TemplateBindings& bindings) {
+  Parser parser{tmpl, 0};
+  return parser.render(bindings, /*in_block=*/false);
+}
+
+}  // namespace g2p

@@ -1,0 +1,30 @@
+// Minimal Jinja2-style template engine (§4.3: the paper generates synthetic
+// C programs with Jinja2). Supports {{var}} substitution and
+// {% for x in 0..n %} ... {% endfor %} repetition — enough to express the
+// paper's do-all / reduction templates with randomized identifiers,
+// constants, and operators.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace g2p {
+
+class TemplateError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Variable bindings for one render.
+using TemplateBindings = std::map<std::string, std::string>;
+
+/// Render a template:
+///   {{name}}                      -> bindings.at("name")
+///   {% for i in 0..3 %}X{{i}}{% endfor %} -> X0X1X2  (exclusive bound)
+/// Unknown variables throw TemplateError. Nested for-blocks are supported;
+/// the loop variable shadows outer bindings.
+std::string render_template(std::string_view tmpl, const TemplateBindings& bindings);
+
+}  // namespace g2p

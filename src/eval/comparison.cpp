@@ -1,0 +1,87 @@
+#include "eval/comparison.h"
+
+namespace g2p {
+
+ToolRunResults run_tools_on_corpus(const Corpus& corpus) {
+  ToolRunResults out;
+  const auto tools = make_all_tools();
+  for (const auto& tool : tools) {
+    auto& results = out.by_tool[std::string(tool->name())];
+    results.reserve(corpus.samples.size());
+    for (const auto& sample : corpus.samples) {
+      results.push_back(
+          tool->analyze(*sample.loop, sample.parsed->tu.get(), &sample.parsed->structs));
+    }
+  }
+  return out;
+}
+
+std::string_view loop_category_name(LoopCategory cat) {
+  switch (cat) {
+    case LoopCategory::kReduction: return "Loops with reduction";
+    case LoopCategory::kFunctionCall: return "Loops with function call";
+    case LoopCategory::kReductionAndCall: return "Loops with reduction and function call";
+    case LoopCategory::kNested: return "Nested loops";
+    case LoopCategory::kOthers: return "Others";
+  }
+  return "?";
+}
+
+LoopCategory categorize_loop(const LoopSample& sample) {
+  const bool reduction = sample.category == PragmaCategory::kReduction;
+  if (reduction && sample.has_function_call) return LoopCategory::kReductionAndCall;
+  if (reduction) return LoopCategory::kReduction;
+  if (sample.has_function_call) return LoopCategory::kFunctionCall;
+  if (sample.is_nested) return LoopCategory::kNested;
+  return LoopCategory::kOthers;
+}
+
+std::map<std::string, std::map<LoopCategory, int>> missed_by_category(
+    const Corpus& corpus, const ToolRunResults& results) {
+  std::map<std::string, std::map<LoopCategory, int>> out;
+  for (const auto& [tool, verdicts] : results.by_tool) {
+    auto& buckets = out[tool];
+    for (std::size_t i = 0; i < corpus.samples.size(); ++i) {
+      const auto& sample = corpus.samples[i];
+      if (!sample.parallel) continue;
+      if (verdicts[i].detected_parallel()) continue;  // found it
+      ++buckets[categorize_loop(sample)];
+    }
+  }
+  return out;
+}
+
+std::vector<SubsetComparison> build_subsets(const Corpus& corpus,
+                                            const ToolRunResults& results,
+                                            const std::vector<int>& candidate_indices) {
+  std::vector<SubsetComparison> out;
+  for (const auto& [tool, verdicts] : results.by_tool) {
+    SubsetComparison cmp;
+    cmp.tool = tool;
+    for (int idx : candidate_indices) {
+      const auto& verdict = verdicts[static_cast<std::size_t>(idx)];
+      if (!verdict.applicable) continue;
+      cmp.subset.push_back(idx);
+      cmp.tool_metrics.add(verdict.parallel,
+                           corpus.samples[static_cast<std::size_t>(idx)].parallel);
+    }
+    out.push_back(std::move(cmp));
+  }
+  return out;
+}
+
+int count_detected(const Corpus& corpus, const ToolRunResults& results,
+                   const std::string& tool, const std::vector<int>& indices) {
+  const auto it = results.by_tool.find(tool);
+  if (it == results.by_tool.end()) return 0;
+  int detected = 0;
+  for (int idx : indices) {
+    const auto& verdict = it->second[static_cast<std::size_t>(idx)];
+    if (verdict.detected_parallel() && corpus.samples[static_cast<std::size_t>(idx)].parallel) {
+      ++detected;
+    }
+  }
+  return detected;
+}
+
+}  // namespace g2p

@@ -1,0 +1,62 @@
+// Tool-vs-model comparison harness: the machinery behind Figure 2 and
+// Tables 3-4 (subset construction, category-wise miss bucketing, TP/TN/FP/FN
+// accounting).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/tools.h"
+#include "dataset/corpus.h"
+#include "eval/metrics.h"
+
+namespace g2p {
+
+/// Cached verdict of every tool on every corpus sample.
+struct ToolRunResults {
+  // tool name -> per-sample result (indexed like corpus.samples).
+  std::map<std::string, std::vector<ToolResult>> by_tool;
+};
+
+ToolRunResults run_tools_on_corpus(const Corpus& corpus);
+
+/// Figure 2 categories.
+enum class LoopCategory {
+  kReduction,
+  kFunctionCall,
+  kReductionAndCall,
+  kNested,
+  kOthers,
+};
+std::string_view loop_category_name(LoopCategory cat);
+
+/// Bucket a sample by its structural features (reduction+call beats the
+/// individual buckets, matching the figure's disjoint categories).
+LoopCategory categorize_loop(const LoopSample& sample);
+
+/// Figure 2: for each tool, the number of *parallel-labeled* loops it fails
+/// to detect, per category.
+std::map<std::string, std::map<LoopCategory, int>> missed_by_category(
+    const Corpus& corpus, const ToolRunResults& results);
+
+/// Table 4 row: tool-vs-model on the subset of `indices` that the tool can
+/// process.
+struct SubsetComparison {
+  std::string tool;
+  std::vector<int> subset;     // corpus indices processable by the tool
+  BinaryMetrics tool_metrics;  // tool's detection quality on the subset
+};
+
+/// The subset of `candidate_indices` each tool can process, with the tool's
+/// own detection metrics (model metrics are added by the bench).
+std::vector<SubsetComparison> build_subsets(const Corpus& corpus,
+                                            const ToolRunResults& results,
+                                            const std::vector<int>& candidate_indices);
+
+/// Table 3: number of parallel-labeled loops detected by a tool over the
+/// given indices.
+int count_detected(const Corpus& corpus, const ToolRunResults& results,
+                   const std::string& tool, const std::vector<int>& indices);
+
+}  // namespace g2p

@@ -1,0 +1,12 @@
+#include "eval/metrics.h"
+
+#include "support/strings.h"
+
+namespace g2p {
+
+std::string BinaryMetrics::summary() const {
+  return "P=" + fmt_fixed(precision(), 2) + " R=" + fmt_fixed(recall(), 2) +
+         " F1=" + fmt_fixed(f1(), 2) + " Acc=" + fmt_fixed(accuracy(), 2);
+}
+
+}  // namespace g2p

@@ -1,0 +1,35 @@
+// Binary classification metrics: the precision / recall / F1 / accuracy
+// columns of Tables 2, 4, and 5.
+#pragma once
+
+#include <string>
+
+namespace g2p {
+
+struct BinaryMetrics {
+  int tp = 0, tn = 0, fp = 0, fn = 0;
+
+  void add(bool predicted, bool actual) {
+    if (predicted && actual) ++tp;
+    else if (predicted && !actual) ++fp;
+    else if (!predicted && actual) ++fn;
+    else ++tn;
+  }
+
+  int total() const { return tp + tn + fp + fn; }
+  double precision() const { return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp); }
+  double recall() const { return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn); }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  double accuracy() const {
+    return total() == 0 ? 0.0 : static_cast<double>(tp + tn) / total();
+  }
+
+  /// "P=0.92 R=0.82 F1=0.87 Acc=0.85" style summary.
+  std::string summary() const;
+};
+
+}  // namespace g2p

@@ -1,0 +1,88 @@
+#include "frontend/ast.h"
+
+namespace g2p {
+
+std::string_view node_kind_name(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kIntLiteral: return "IntLiteral";
+    case NodeKind::kFloatLiteral: return "FloatLiteral";
+    case NodeKind::kCharLiteral: return "CharLiteral";
+    case NodeKind::kStringLiteral: return "StringLiteral";
+    case NodeKind::kDeclRef: return "DeclRefExpr";
+    case NodeKind::kBinaryOperator: return "BinaryOperator";
+    case NodeKind::kUnaryOperator: return "UnaryOperator";
+    case NodeKind::kAssignment: return "Assignment";
+    case NodeKind::kConditional: return "ConditionalOperator";
+    case NodeKind::kCallExpr: return "CallExpr";
+    case NodeKind::kArraySubscript: return "ArraySubscriptExpr";
+    case NodeKind::kMemberExpr: return "MemberExpr";
+    case NodeKind::kCastExpr: return "CastExpr";
+    case NodeKind::kParenExpr: return "ParenExpr";
+    case NodeKind::kInitListExpr: return "InitListExpr";
+    case NodeKind::kSizeofExpr: return "SizeofExpr";
+    case NodeKind::kCompoundStmt: return "CompoundStmt";
+    case NodeKind::kDeclStmt: return "DeclStmt";
+    case NodeKind::kExprStmt: return "ExprStmt";
+    case NodeKind::kIfStmt: return "IfStmt";
+    case NodeKind::kForStmt: return "ForStmt";
+    case NodeKind::kWhileStmt: return "WhileStmt";
+    case NodeKind::kDoStmt: return "DoStmt";
+    case NodeKind::kReturnStmt: return "ReturnStmt";
+    case NodeKind::kBreakStmt: return "BreakStmt";
+    case NodeKind::kContinueStmt: return "ContinueStmt";
+    case NodeKind::kNullStmt: return "NullStmt";
+    case NodeKind::kVarDecl: return "VarDecl";
+    case NodeKind::kParamDecl: return "ParamDecl";
+    case NodeKind::kFunctionDecl: return "FunctionDecl";
+    case NodeKind::kTranslationUnit: return "TranslationUnit";
+  }
+  return "?";
+}
+
+std::string Type::spelling() const {
+  std::string s = base;
+  for (int i = 0; i < pointer_depth; ++i) s += "*";
+  return s;
+}
+
+void DeclStmt::for_each_child(const std::function<void(const Node&)>& fn) const {
+  for (const auto& d : decls) fn(*d);
+}
+
+const FunctionDecl* TranslationUnit::find_function(std::string_view name) const {
+  for (const auto& d : decls) {
+    if (d->kind() != NodeKind::kFunctionDecl) continue;
+    const auto* fn = static_cast<const FunctionDecl*>(d.get());
+    if (fn->name == name && fn->is_definition()) return fn;
+  }
+  return nullptr;
+}
+
+void walk(const Node& node, const std::function<void(const Node&)>& fn) {
+  fn(node);
+  node.for_each_child([&fn](const Node& child) { walk(child, fn); });
+}
+
+std::size_t subtree_size(const Node& node) {
+  std::size_t n = 0;
+  walk(node, [&n](const Node&) { ++n; });
+  return n;
+}
+
+std::vector<const Node*> collect_kind(const Node& root, NodeKind kind) {
+  std::vector<const Node*> out;
+  walk(root, [&](const Node& n) {
+    if (n.kind() == kind) out.push_back(&n);
+  });
+  return out;
+}
+
+bool any_of_subtree(const Node& root, const std::function<bool(const Node&)>& pred) {
+  bool found = false;
+  walk(root, [&](const Node& n) {
+    if (!found && pred(n)) found = true;
+  });
+  return found;
+}
+
+}  // namespace g2p

@@ -1,0 +1,484 @@
+// Abstract syntax tree for the C subset.
+//
+// Node categories deliberately mirror Clang's AST class names (ForStmt,
+// BinaryOperator, CallExpr, DeclRefExpr, ...) because the paper builds its
+// aug-AST from Clang output; downstream code (graph construction, analyses,
+// interpreter) dispatches on NodeKind.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g2p {
+
+enum class NodeKind {
+  // Expressions.
+  kIntLiteral,
+  kFloatLiteral,
+  kCharLiteral,
+  kStringLiteral,
+  kDeclRef,
+  kBinaryOperator,
+  kUnaryOperator,
+  kAssignment,       // = and compound assignments
+  kConditional,      // ?:
+  kCallExpr,
+  kArraySubscript,
+  kMemberExpr,       // . and ->
+  kCastExpr,
+  kParenExpr,
+  kInitListExpr,
+  kSizeofExpr,
+  // Statements.
+  kCompoundStmt,
+  kDeclStmt,
+  kExprStmt,
+  kIfStmt,
+  kForStmt,
+  kWhileStmt,
+  kDoStmt,
+  kReturnStmt,
+  kBreakStmt,
+  kContinueStmt,
+  kNullStmt,
+  // Declarations.
+  kVarDecl,
+  kParamDecl,
+  kFunctionDecl,
+  kTranslationUnit,
+};
+
+std::string_view node_kind_name(NodeKind kind);
+
+/// A (simplified) C type: base spelling plus pointer depth. Array-ness lives
+/// on the declarator (VarDecl::array_dims).
+struct Type {
+  std::string base = "int";   // "int", "unsigned long", "float", "struct pixel", ...
+  int pointer_depth = 0;
+
+  bool is_floating() const {
+    return base == "float" || base == "double" || base == "long double";
+  }
+  bool is_void() const { return base == "void" && pointer_depth == 0; }
+  std::string spelling() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+};
+
+class Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// Base class of every AST node. Children are owned; traversal is via
+/// for_each_child so graph/analysis code never needs per-kind boilerplate.
+class Node {
+ public:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  int line = 0;
+
+  bool is_expr() const { return kind_ <= NodeKind::kSizeofExpr; }
+  bool is_stmt() const {
+    return kind_ >= NodeKind::kCompoundStmt && kind_ <= NodeKind::kNullStmt;
+  }
+  bool is_loop() const {
+    return kind_ == NodeKind::kForStmt || kind_ == NodeKind::kWhileStmt ||
+           kind_ == NodeKind::kDoStmt;
+  }
+
+  /// Invoke `fn` on each direct child, in source order.
+  virtual void for_each_child(const std::function<void(const Node&)>& fn) const = 0;
+
+  /// OpenMP pragma text attached to this statement, if any
+  /// (e.g. "pragma omp parallel for reduction(+:sum)").
+  std::optional<std::string> pragma_text;
+
+ private:
+  NodeKind kind_;
+};
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+class Expr : public Node {
+ public:
+  using Node::Node;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLiteral final : public Expr {
+ public:
+  IntLiteral(long long v, std::string spelling)
+      : Expr(NodeKind::kIntLiteral), value(v), text(std::move(spelling)) {}
+  long long value;
+  std::string text;
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+class FloatLiteral final : public Expr {
+ public:
+  FloatLiteral(double v, std::string spelling)
+      : Expr(NodeKind::kFloatLiteral), value(v), text(std::move(spelling)) {}
+  double value;
+  std::string text;
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+class CharLiteral final : public Expr {
+ public:
+  explicit CharLiteral(std::string spelling)
+      : Expr(NodeKind::kCharLiteral), text(std::move(spelling)) {}
+  std::string text;  // including quotes
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+class StringLiteral final : public Expr {
+ public:
+  explicit StringLiteral(std::string spelling)
+      : Expr(NodeKind::kStringLiteral), text(std::move(spelling)) {}
+  std::string text;  // including quotes
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+class DeclRef final : public Expr {
+ public:
+  explicit DeclRef(std::string n) : Expr(NodeKind::kDeclRef), name(std::move(n)) {}
+  std::string name;
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+class BinaryOperator final : public Expr {
+ public:
+  BinaryOperator(std::string o, ExprPtr l, ExprPtr r)
+      : Expr(NodeKind::kBinaryOperator), op(std::move(o)), lhs(std::move(l)), rhs(std::move(r)) {}
+  std::string op;  // + - * / % << >> < > <= >= == != & ^ | && || ,
+  ExprPtr lhs, rhs;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*lhs);
+    fn(*rhs);
+  }
+};
+
+class UnaryOperator final : public Expr {
+ public:
+  UnaryOperator(std::string o, bool pre, ExprPtr e)
+      : Expr(NodeKind::kUnaryOperator), op(std::move(o)), prefix(pre), operand(std::move(e)) {}
+  std::string op;  // + - ! ~ * & ++ --
+  bool prefix;
+  ExprPtr operand;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*operand);
+  }
+};
+
+class Assignment final : public Expr {
+ public:
+  Assignment(std::string o, ExprPtr l, ExprPtr r)
+      : Expr(NodeKind::kAssignment), op(std::move(o)), lhs(std::move(l)), rhs(std::move(r)) {}
+  std::string op;  // = += -= *= /= %= &= ^= |= <<= >>=
+  ExprPtr lhs, rhs;
+  bool is_compound() const { return op != "="; }
+  /// For "+=", returns "+"; for "=", returns "".
+  std::string underlying_op() const { return is_compound() ? op.substr(0, op.size() - 1) : ""; }
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*lhs);
+    fn(*rhs);
+  }
+};
+
+class Conditional final : public Expr {
+ public:
+  Conditional(ExprPtr c, ExprPtr t, ExprPtr f)
+      : Expr(NodeKind::kConditional),
+        cond(std::move(c)),
+        then_expr(std::move(t)),
+        else_expr(std::move(f)) {}
+  ExprPtr cond, then_expr, else_expr;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*cond);
+    fn(*then_expr);
+    fn(*else_expr);
+  }
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(std::string c, std::vector<ExprPtr> a)
+      : Expr(NodeKind::kCallExpr), callee(std::move(c)), args(std::move(a)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    for (const auto& a : args) fn(*a);
+  }
+};
+
+class ArraySubscript final : public Expr {
+ public:
+  ArraySubscript(ExprPtr b, ExprPtr i)
+      : Expr(NodeKind::kArraySubscript), base(std::move(b)), index(std::move(i)) {}
+  ExprPtr base, index;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*base);
+    fn(*index);
+  }
+};
+
+class MemberExpr final : public Expr {
+ public:
+  MemberExpr(ExprPtr b, std::string m, bool arr)
+      : Expr(NodeKind::kMemberExpr), base(std::move(b)), member(std::move(m)), arrow(arr) {}
+  ExprPtr base;
+  std::string member;
+  bool arrow;  // true for ->, false for .
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*base);
+  }
+};
+
+class CastExpr final : public Expr {
+ public:
+  CastExpr(Type t, ExprPtr e)
+      : Expr(NodeKind::kCastExpr), type(std::move(t)), operand(std::move(e)) {}
+  Type type;
+  ExprPtr operand;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*operand);
+  }
+};
+
+class ParenExpr final : public Expr {
+ public:
+  explicit ParenExpr(ExprPtr e) : Expr(NodeKind::kParenExpr), inner(std::move(e)) {}
+  ExprPtr inner;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*inner);
+  }
+};
+
+class InitListExpr final : public Expr {
+ public:
+  explicit InitListExpr(std::vector<ExprPtr> e)
+      : Expr(NodeKind::kInitListExpr), items(std::move(e)) {}
+  std::vector<ExprPtr> items;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    for (const auto& i : items) fn(*i);
+  }
+};
+
+class SizeofExpr final : public Expr {
+ public:
+  explicit SizeofExpr(Type t) : Expr(NodeKind::kSizeofExpr), type(std::move(t)) {}
+  Type type;
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+class Stmt : public Node {
+ public:
+  using Node::Node;
+};
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class CompoundStmt final : public Stmt {
+ public:
+  CompoundStmt() : Stmt(NodeKind::kCompoundStmt) {}
+  std::vector<StmtPtr> body;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    for (const auto& s : body) fn(*s);
+  }
+};
+
+class VarDecl;
+
+class DeclStmt final : public Stmt {
+ public:
+  DeclStmt() : Stmt(NodeKind::kDeclStmt) {}
+  std::vector<std::unique_ptr<VarDecl>> decls;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override;
+};
+
+class ExprStmt final : public Stmt {
+ public:
+  explicit ExprStmt(ExprPtr e) : Stmt(NodeKind::kExprStmt), expr(std::move(e)) {}
+  ExprPtr expr;  // never null (empty statements are kNullStmt)
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*expr);
+  }
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(ExprPtr c, StmtPtr t, StmtPtr e)
+      : Stmt(NodeKind::kIfStmt),
+        cond(std::move(c)),
+        then_branch(std::move(t)),
+        else_branch(std::move(e)) {}
+  ExprPtr cond;
+  StmtPtr then_branch;
+  StmtPtr else_branch;  // may be null
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*cond);
+    fn(*then_branch);
+    if (else_branch) fn(*else_branch);
+  }
+};
+
+class ForStmt final : public Stmt {
+ public:
+  ForStmt(StmtPtr i, ExprPtr c, ExprPtr n, StmtPtr b)
+      : Stmt(NodeKind::kForStmt),
+        init(std::move(i)),
+        cond(std::move(c)),
+        inc(std::move(n)),
+        body(std::move(b)) {}
+  StmtPtr init;  // DeclStmt, ExprStmt, or NullStmt; never null
+  ExprPtr cond;  // may be null
+  ExprPtr inc;   // may be null
+  StmtPtr body;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*init);
+    if (cond) fn(*cond);
+    if (inc) fn(*inc);
+    fn(*body);
+  }
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(ExprPtr c, StmtPtr b)
+      : Stmt(NodeKind::kWhileStmt), cond(std::move(c)), body(std::move(b)) {}
+  ExprPtr cond;
+  StmtPtr body;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*cond);
+    fn(*body);
+  }
+};
+
+class DoStmt final : public Stmt {
+ public:
+  DoStmt(StmtPtr b, ExprPtr c)
+      : Stmt(NodeKind::kDoStmt), body(std::move(b)), cond(std::move(c)) {}
+  StmtPtr body;
+  ExprPtr cond;
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    fn(*body);
+    fn(*cond);
+  }
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  explicit ReturnStmt(ExprPtr v) : Stmt(NodeKind::kReturnStmt), value(std::move(v)) {}
+  ExprPtr value;  // may be null
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    if (value) fn(*value);
+  }
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  BreakStmt() : Stmt(NodeKind::kBreakStmt) {}
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+class ContinueStmt final : public Stmt {
+ public:
+  ContinueStmt() : Stmt(NodeKind::kContinueStmt) {}
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+class NullStmt final : public Stmt {
+ public:
+  NullStmt() : Stmt(NodeKind::kNullStmt) {}
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+// --------------------------------------------------------------------------
+// Declarations
+// --------------------------------------------------------------------------
+
+class Decl : public Node {
+ public:
+  using Node::Node;
+};
+using DeclPtr = std::unique_ptr<Decl>;
+
+class VarDecl final : public Decl {
+ public:
+  VarDecl(Type t, std::string n) : Decl(NodeKind::kVarDecl), type(std::move(t)), name(std::move(n)) {}
+  Type type;
+  std::string name;
+  std::vector<ExprPtr> array_dims;  // e.g. int a[10][20] -> {10, 20}
+  ExprPtr init;                     // may be null
+  bool is_array() const { return !array_dims.empty(); }
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    for (const auto& d : array_dims) fn(*d);
+    if (init) fn(*init);
+  }
+};
+
+class ParamDecl final : public Decl {
+ public:
+  ParamDecl(Type t, std::string n)
+      : Decl(NodeKind::kParamDecl), type(std::move(t)), name(std::move(n)) {}
+  Type type;
+  std::string name;
+  bool is_array = false;  // e.g. float a[]
+  void for_each_child(const std::function<void(const Node&)>&) const override {}
+};
+
+class FunctionDecl final : public Decl {
+ public:
+  FunctionDecl(Type rt, std::string n)
+      : Decl(NodeKind::kFunctionDecl), return_type(std::move(rt)), name(std::move(n)) {}
+  Type return_type;
+  std::string name;
+  std::vector<std::unique_ptr<ParamDecl>> params;
+  std::unique_ptr<CompoundStmt> body;  // null for prototypes
+  bool is_definition() const { return body != nullptr; }
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    for (const auto& p : params) fn(*p);
+    if (body) fn(*body);
+  }
+};
+
+class TranslationUnit final : public Node {
+ public:
+  TranslationUnit() : Node(NodeKind::kTranslationUnit) {}
+  std::vector<DeclPtr> decls;  // globals and functions in source order
+  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+    for (const auto& d : decls) fn(*d);
+  }
+  /// Find a function definition by name, or nullptr.
+  const FunctionDecl* find_function(std::string_view name) const;
+};
+
+// --------------------------------------------------------------------------
+// Generic traversal helpers
+// --------------------------------------------------------------------------
+
+/// Pre-order walk of the whole subtree rooted at `node` (inclusive).
+void walk(const Node& node, const std::function<void(const Node&)>& fn);
+
+/// Count nodes in a subtree.
+std::size_t subtree_size(const Node& node);
+
+/// Collect all nodes of a given kind in a subtree, pre-order.
+std::vector<const Node*> collect_kind(const Node& root, NodeKind kind);
+
+/// True if any node in the subtree satisfies `pred`.
+bool any_of_subtree(const Node& root, const std::function<bool(const Node&)>& pred);
+
+}  // namespace g2p

@@ -1,0 +1,239 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace g2p {
+
+namespace {
+
+/// Multi-character punctuators, longest-match-first.
+constexpr std::string_view kPuncts3[] = {"<<=", ">>=", "..."};
+constexpr std::string_view kPuncts2[] = {"->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+                                         "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "^=",
+                                         "|="};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  bool match(std::string_view text) {
+    if (src_.substr(pos_, text.size()) != text) return false;
+    for (std::size_t i = 0; i < text.size(); ++i) advance();
+    return true;
+  }
+  int line() const { return line_; }
+  int column() const { return col_; }
+  std::size_t pos() const { return pos_; }
+  std::string_view slice(std::size_t from) const { return src_.substr(from, pos_ - from); }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+void lex_number(Cursor& cur, std::vector<Token>& out) {
+  const int line = cur.line();
+  const int col = cur.column();
+  const std::size_t start = cur.pos();
+  bool is_float = false;
+
+  if (cur.peek() == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
+    cur.advance();
+    cur.advance();
+    while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
+    // After digits a '.' always belongs to the literal (member access can
+    // only follow an identifier or bracket, never a digit sequence).
+    if (cur.peek() == '.') {
+      is_float = true;
+      cur.advance();
+      while (std::isdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
+    }
+    if (cur.peek() == 'e' || cur.peek() == 'E') {
+      const char sign = cur.peek(1);
+      if (std::isdigit(static_cast<unsigned char>(sign)) ||
+          ((sign == '+' || sign == '-') && std::isdigit(static_cast<unsigned char>(cur.peek(2))))) {
+        is_float = true;
+        cur.advance();
+        if (cur.peek() == '+' || cur.peek() == '-') cur.advance();
+        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
+      }
+    }
+  }
+  // Suffixes: f/F/l/L/u/U in any reasonable combination.
+  while (cur.peek() == 'f' || cur.peek() == 'F' || cur.peek() == 'l' || cur.peek() == 'L' ||
+         cur.peek() == 'u' || cur.peek() == 'U') {
+    if (cur.peek() == 'f' || cur.peek() == 'F') is_float = true;
+    cur.advance();
+  }
+  out.push_back(Token{is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral,
+                      std::string(cur.slice(start)), line, col});
+}
+
+void lex_quoted(Cursor& cur, char quote, TokenKind kind, std::vector<Token>& out) {
+  const int line = cur.line();
+  const int col = cur.column();
+  const std::size_t start = cur.pos();
+  cur.advance();  // opening quote
+  while (!cur.done() && cur.peek() != quote) {
+    if (cur.peek() == '\\') cur.advance();
+    if (cur.done()) break;
+    if (cur.peek() == '\n') throw LexError("unterminated literal", line);
+    cur.advance();
+  }
+  if (cur.done()) throw LexError("unterminated literal", line);
+  cur.advance();  // closing quote
+  out.push_back(Token{kind, std::string(cur.slice(start)), line, col});
+}
+
+/// Consume a preprocessor line starting at '#'. Returns the directive text
+/// with line continuations folded; emits a kPragma token for #pragma.
+void lex_directive(Cursor& cur, std::vector<Token>& out) {
+  const int line = cur.line();
+  const int col = cur.column();
+  cur.advance();  // '#'
+  std::string text;
+  while (!cur.done() && cur.peek() != '\n') {
+    if (cur.peek() == '\\' && cur.peek(1) == '\n') {
+      cur.advance();
+      cur.advance();
+      text += ' ';
+      continue;
+    }
+    text += cur.advance();
+  }
+  const auto trimmed = std::string(trim(text));
+  if (starts_with(trimmed, "pragma")) {
+    out.push_back(Token{TokenKind::kPragma, trimmed, line, col});
+  }
+  // #include/#define/#if... are irrelevant to loop-level analysis: dropped.
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  Cursor cur(source);
+
+  while (!cur.done()) {
+    const char c = cur.peek();
+
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      cur.advance();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '/') {
+      while (!cur.done() && cur.peek() != '\n') cur.advance();
+      continue;
+    }
+    if (c == '/' && cur.peek(1) == '*') {
+      const int line = cur.line();
+      cur.advance();
+      cur.advance();
+      while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/')) cur.advance();
+      if (cur.done()) throw LexError("unterminated block comment", line);
+      cur.advance();
+      cur.advance();
+      continue;
+    }
+    if (c == '#') {
+      lex_directive(cur, out);
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const int line = cur.line();
+      const int col = cur.column();
+      const std::size_t start = cur.pos();
+      while (is_ident_char(cur.peek())) cur.advance();
+      std::string word(cur.slice(start));
+      const TokenKind kind = is_c_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+      out.push_back(Token{kind, std::move(word), line, col});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+      lex_number(cur, out);
+      continue;
+    }
+    if (c == '"') {
+      lex_quoted(cur, '"', TokenKind::kStringLiteral, out);
+      continue;
+    }
+    if (c == '\'') {
+      lex_quoted(cur, '\'', TokenKind::kCharLiteral, out);
+      continue;
+    }
+
+    // Punctuators, longest match first.
+    {
+      const int line = cur.line();
+      const int col = cur.column();
+      bool matched = false;
+      for (auto p : kPuncts3) {
+        if (cur.match(p)) {
+          out.push_back(Token{TokenKind::kPunct, std::string(p), line, col});
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      for (auto p : kPuncts2) {
+        if (cur.match(p)) {
+          out.push_back(Token{TokenKind::kPunct, std::string(p), line, col});
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static constexpr std::string_view kSingles = "+-*/%<>=!&|^~?:;,.(){}[]";
+      if (kSingles.find(c) != std::string_view::npos) {
+        cur.advance();
+        out.push_back(Token{TokenKind::kPunct, std::string(1, c), line, col});
+        continue;
+      }
+      throw LexError(std::string("unexpected character '") + c + "'", cur.line());
+    }
+  }
+
+  out.push_back(Token{TokenKind::kEof, "", cur.line(), cur.column()});
+  return out;
+}
+
+std::vector<Token> lex_code_tokens(std::string_view source) {
+  auto tokens = lex(source);
+  std::vector<Token> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (t.kind == TokenKind::kPragma || t.kind == TokenKind::kEof) continue;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace g2p

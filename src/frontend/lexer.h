@@ -1,0 +1,39 @@
+// Lexer for the C subset.
+//
+// Responsibilities (mirrors the paper's pre-processing step, §4.2):
+//  * strip // and /* */ comments,
+//  * drop preprocessor directives except `#pragma`, which is kept as a
+//    kPragma token so OpenMP pragmas can be re-attached to the loops they
+//    annotate,
+//  * produce the token stream consumed both by the parser and by the
+//    token-based PragFormer baseline.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace g2p {
+
+/// Thrown on malformed input (unterminated string/comment, stray char).
+class LexError : public std::runtime_error {
+ public:
+  LexError(const std::string& message, int line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Tokenize a full source buffer. Appends a trailing kEof token.
+std::vector<Token> lex(std::string_view source);
+
+/// Tokenize and drop kPragma tokens — the raw token sequence used by the
+/// token-representation baseline (PragFormer) and the lexical aug-AST edges.
+std::vector<Token> lex_code_tokens(std::string_view source);
+
+}  // namespace g2p

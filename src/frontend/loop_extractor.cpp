@@ -1,0 +1,101 @@
+#include "frontend/loop_extractor.h"
+
+#include "frontend/printer.h"
+#include "support/strings.h"
+
+namespace g2p {
+
+namespace {
+
+/// The body subtree of a loop statement (excludes for-header expressions so
+/// that "for (i = 0; i < n; i++)" does not count header calls as body calls —
+/// matches how the paper's categories treat calls inside the loop).
+const Stmt* loop_body(const Stmt& loop) {
+  switch (loop.kind()) {
+    case NodeKind::kForStmt: return static_cast<const ForStmt&>(loop).body.get();
+    case NodeKind::kWhileStmt: return static_cast<const WhileStmt&>(loop).body.get();
+    case NodeKind::kDoStmt: return static_cast<const DoStmt&>(loop).body.get();
+    default: return nullptr;
+  }
+}
+
+void collect_loops_rec(const Node& node, const FunctionDecl* fn, bool outermost_only,
+                       std::vector<ExtractedLoop>& out);
+
+ExtractedLoop make_record(const Stmt& loop, const FunctionDecl* fn) {
+  ExtractedLoop rec;
+  rec.loop = &loop;
+  rec.function = fn;
+  rec.source = to_source(loop);
+  if (loop.pragma_text) rec.pragma = parse_omp_pragma(*loop.pragma_text);
+  rec.has_function_call = loop_has_call(loop);
+  rec.is_nested = loop_has_inner_loop(loop);
+  rec.loc = count_loc(rec.source);
+  rec.depth = loop_nest_depth(loop);
+  return rec;
+}
+
+void collect_loops_rec(const Node& node, const FunctionDecl* fn, bool outermost_only,
+                       std::vector<ExtractedLoop>& out) {
+  const FunctionDecl* enclosing =
+      node.kind() == NodeKind::kFunctionDecl ? static_cast<const FunctionDecl*>(&node) : fn;
+
+  if (node.is_stmt() && static_cast<const Stmt&>(node).is_loop()) {
+    const auto& loop = static_cast<const Stmt&>(node);
+    out.push_back(make_record(loop, enclosing));
+    if (outermost_only) {
+      // Still descend to pick up *pragma-annotated* inner loops: the dataset
+      // treats a developer-annotated inner loop as its own data point.
+      node.for_each_child([&](const Node& child) {
+        walk(child, [&](const Node& n) {
+          if (n.is_stmt() && static_cast<const Stmt&>(n).is_loop() && n.pragma_text) {
+            out.push_back(make_record(static_cast<const Stmt&>(n), enclosing));
+          }
+        });
+      });
+      return;
+    }
+  }
+  node.for_each_child(
+      [&](const Node& child) { collect_loops_rec(child, enclosing, outermost_only, out); });
+}
+
+}  // namespace
+
+std::vector<ExtractedLoop> extract_loops(const TranslationUnit& tu, bool outermost_only) {
+  std::vector<ExtractedLoop> out;
+  collect_loops_rec(tu, nullptr, outermost_only, out);
+  return out;
+}
+
+bool loop_has_call(const Stmt& loop) {
+  const Stmt* body = loop_body(loop);
+  if (!body) return false;
+  return any_of_subtree(*body,
+                        [](const Node& n) { return n.kind() == NodeKind::kCallExpr; });
+}
+
+bool loop_has_inner_loop(const Stmt& loop) {
+  const Stmt* body = loop_body(loop);
+  if (!body) return false;
+  return any_of_subtree(*body, [](const Node& n) {
+    return n.is_stmt() && static_cast<const Stmt&>(n).is_loop();
+  });
+}
+
+namespace {
+
+int depth_rec(const Node& node) {
+  int child_max = 0;
+  node.for_each_child([&](const Node& child) {
+    child_max = std::max(child_max, depth_rec(child));
+  });
+  const bool is_loop = node.is_stmt() && static_cast<const Stmt&>(node).is_loop();
+  return child_max + (is_loop ? 1 : 0);
+}
+
+}  // namespace
+
+int loop_nest_depth(const Stmt& loop) { return depth_rec(loop); }
+
+}  // namespace g2p

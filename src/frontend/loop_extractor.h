@@ -1,0 +1,45 @@
+// Loop extraction: the data pre-processing step of §4.2.
+//
+// Walks a parsed translation unit, finds loop statements, re-attaches the
+// OpenMP pragma that precedes each one, and records the structural features
+// the paper's Table 1 and Figure 2 report (function calls, nesting, LOC).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/pragma.h"
+
+namespace g2p {
+
+/// One extracted loop (a data point of the OMP_Serial dataset).
+struct ExtractedLoop {
+  const Stmt* loop = nullptr;              // non-owning; lives in the TU
+  const FunctionDecl* function = nullptr;  // enclosing function, if any
+  std::string source;                      // regenerated loop source (no pragma)
+  std::optional<OmpPragma> pragma;         // attached OpenMP pragma, if any
+  bool has_function_call = false;          // any CallExpr in the loop subtree
+  bool is_nested = false;                  // contains an inner loop
+  int loc = 0;                             // non-blank source lines
+  int depth = 0;                           // max loop-nest depth (1 = flat)
+
+  bool labeled_parallel() const { return pragma && pragma->marks_parallel_loop(); }
+  PragmaCategory category() const {
+    return pragma ? categorize(*pragma) : PragmaCategory::kNone;
+  }
+};
+
+/// Extract loops from a translation unit. With `outermost_only` (the
+/// dataset's convention), inner loops of a nest are not emitted as separate
+/// data points unless they carry their own OpenMP pragma.
+std::vector<ExtractedLoop> extract_loops(const TranslationUnit& tu, bool outermost_only = true);
+
+/// Structural feature helpers (also used by analyses and the corpus
+/// generator's bookkeeping).
+bool loop_has_call(const Stmt& loop);
+bool loop_has_inner_loop(const Stmt& loop);
+int loop_nest_depth(const Stmt& loop);
+
+}  // namespace g2p

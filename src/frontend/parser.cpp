@@ -1,0 +1,658 @@
+#include "frontend/parser.h"
+
+#include <cstdlib>
+#include <set>
+
+#include "frontend/lexer.h"
+
+namespace g2p {
+
+namespace {
+
+/// Binary operator precedence (C). Higher binds tighter. Assignment and
+/// conditional are handled separately (right-associative).
+int binary_precedence(std::string_view op) {
+  if (op == "*" || op == "/" || op == "%") return 10;
+  if (op == "+" || op == "-") return 9;
+  if (op == "<<" || op == ">>") return 8;
+  if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+  if (op == "==" || op == "!=") return 6;
+  if (op == "&") return 5;
+  if (op == "^") return 4;
+  if (op == "|") return 3;
+  if (op == "&&") return 2;
+  if (op == "||") return 1;
+  return -1;
+}
+
+bool is_assign_op(std::string_view op) {
+  return op == "=" || op == "+=" || op == "-=" || op == "*=" || op == "/=" || op == "%=" ||
+         op == "&=" || op == "^=" || op == "|=" || op == "<<=" || op == ">>=";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult parse_unit() {
+    ParseResult result;
+    result.tu = std::make_unique<TranslationUnit>();
+    while (!peek().is(TokenKind::kEof)) {
+      if (peek().is(TokenKind::kPragma)) {
+        pending_pragma_ = advance().text;
+        continue;
+      }
+      parse_top_level(*result.tu);
+    }
+    result.structs = structs_;
+    result.typedefs.assign(typedefs_.begin(), typedefs_.end());
+    return result;
+  }
+
+  StmtPtr parse_single_statement() {
+    auto stmt = parse_statement();
+    expect_eof();
+    return stmt;
+  }
+
+  ExprPtr parse_single_expression() {
+    auto expr = parse_expr();
+    expect_eof();
+    return expr;
+  }
+
+ private:
+  // ---- token plumbing -----------------------------------------------------
+
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool match_punct(std::string_view p) {
+    if (peek().is_punct(p)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  bool match_keyword(std::string_view k) {
+    if (peek().is_keyword(k)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect_punct(std::string_view p) {
+    if (!match_punct(p)) {
+      throw ParseError("expected '" + std::string(p) + "', got '" + peek().text + "'",
+                       peek().line);
+    }
+  }
+  void expect_eof() {
+    if (!peek().is(TokenKind::kEof)) {
+      throw ParseError("trailing tokens after input: '" + peek().text + "'", peek().line);
+    }
+  }
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message + " near '" + peek().text + "'", peek().line);
+  }
+
+  // ---- type recognition ---------------------------------------------------
+
+  bool at_type_start() const {
+    const Token& t = peek();
+    if (t.is(TokenKind::kKeyword) && is_type_start_keyword(t.text)) return true;
+    if (t.is(TokenKind::kIdentifier) && typedefs_.count(t.text)) return true;
+    return false;
+  }
+
+  /// Parse a type specifier: qualifiers + base + pointer stars.
+  Type parse_type() {
+    Type type;
+    std::string base;
+    bool saw_base = false;
+    // Qualifiers and multi-word bases ("unsigned long long", "const float").
+    while (true) {
+      const Token& t = peek();
+      if (t.is(TokenKind::kKeyword) &&
+          (t.text == "const" || t.text == "static" || t.text == "register" ||
+           t.text == "volatile" || t.text == "inline" || t.text == "extern")) {
+        advance();  // qualifiers don't affect our analyses
+        continue;
+      }
+      if (t.is(TokenKind::kKeyword) && t.text == "struct") {
+        advance();
+        if (!peek().is(TokenKind::kIdentifier)) fail("expected struct name");
+        base = "struct " + advance().text;
+        saw_base = true;
+        continue;
+      }
+      if (t.is(TokenKind::kKeyword) &&
+          (t.text == "void" || t.text == "char" || t.text == "short" || t.text == "int" ||
+           t.text == "long" || t.text == "float" || t.text == "double" || t.text == "signed" ||
+           t.text == "unsigned")) {
+        if (!base.empty()) base += " ";
+        base += advance().text;
+        saw_base = true;
+        continue;
+      }
+      if (!saw_base && t.is(TokenKind::kIdentifier) && typedefs_.count(t.text)) {
+        base = advance().text;
+        saw_base = true;
+        continue;
+      }
+      break;
+    }
+    if (!saw_base) fail("expected type");
+    type.base = base;
+    while (match_punct("*")) ++type.pointer_depth;
+    return type;
+  }
+
+  // ---- top level ----------------------------------------------------------
+
+  void parse_top_level(TranslationUnit& tu) {
+    if (peek().is_keyword("typedef")) {
+      parse_typedef();
+      return;
+    }
+    if (peek().is_keyword("struct") && peek(1).is(TokenKind::kIdentifier) &&
+        peek(2).is_punct("{")) {
+      parse_struct_definition();
+      return;
+    }
+    if (!at_type_start()) fail("expected declaration");
+
+    const int line = peek().line;
+    Type type = parse_type();
+    if (!peek().is(TokenKind::kIdentifier)) fail("expected declarator name");
+    std::string name = advance().text;
+
+    if (peek().is_punct("(")) {
+      tu.decls.push_back(parse_function_rest(std::move(type), std::move(name), line));
+      return;
+    }
+    // Global variable(s).
+    auto decl_stmt = parse_var_decl_rest(std::move(type), std::move(name), line);
+    for (auto& vd : decl_stmt->decls) tu.decls.push_back(std::move(vd));
+  }
+
+  void parse_typedef() {
+    advance();  // typedef
+    // Anonymous-struct typedefs: typedef struct { ... } name;
+    if (peek().is_keyword("struct") && (peek(1).is_punct("{") ||
+                                        (peek(1).is(TokenKind::kIdentifier) && peek(2).is_punct("{")))) {
+      advance();  // struct
+      std::string tag;
+      if (peek().is(TokenKind::kIdentifier)) tag = advance().text;
+      StructInfo info = parse_struct_body(tag);
+      if (!peek().is(TokenKind::kIdentifier)) fail("expected typedef name");
+      std::string alias = advance().text;
+      expect_punct(";");
+      info.name = alias;
+      structs_[alias] = info;
+      if (!tag.empty()) structs_["struct " + tag] = info;
+      typedefs_.insert(alias);
+      return;
+    }
+    // Plain alias: consume tokens until ';', last identifier is the alias.
+    std::string alias;
+    while (!peek().is_punct(";") && !peek().is(TokenKind::kEof)) {
+      if (peek().is(TokenKind::kIdentifier)) alias = peek().text;
+      advance();
+    }
+    expect_punct(";");
+    if (alias.empty()) fail("typedef without a name");
+    typedefs_.insert(alias);
+  }
+
+  void parse_struct_definition() {
+    advance();  // struct
+    std::string tag = advance().text;
+    StructInfo info = parse_struct_body(tag);
+    structs_["struct " + tag] = info;
+    expect_punct(";");
+  }
+
+  StructInfo parse_struct_body(const std::string& tag) {
+    StructInfo info;
+    info.name = tag.empty() ? "<anon>" : "struct " + tag;
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      Type field_type = parse_type();
+      while (true) {
+        if (!peek().is(TokenKind::kIdentifier)) fail("expected field name");
+        StructInfo::Field field;
+        field.type = field_type;
+        field.name = advance().text;
+        while (match_punct("[")) {
+          if (!peek().is(TokenKind::kIntLiteral)) fail("expected constant array bound");
+          field.array_dims.push_back(std::strtoll(advance().text.c_str(), nullptr, 0));
+          expect_punct("]");
+        }
+        info.fields.push_back(std::move(field));
+        if (!match_punct(",")) break;
+      }
+      expect_punct(";");
+    }
+    expect_punct("}");
+    return info;
+  }
+
+  DeclPtr parse_function_rest(Type return_type, std::string name, int line) {
+    auto fn = std::make_unique<FunctionDecl>(std::move(return_type), std::move(name));
+    fn->line = line;
+    expect_punct("(");
+    if (!peek().is_punct(")")) {
+      if (peek().is_keyword("void") && peek(1).is_punct(")")) {
+        advance();
+      } else {
+        while (true) {
+          Type ptype = parse_type();
+          std::string pname;
+          if (peek().is(TokenKind::kIdentifier)) pname = advance().text;
+          auto param = std::make_unique<ParamDecl>(std::move(ptype), std::move(pname));
+          param->line = peek().line;
+          while (match_punct("[")) {  // array params decay to pointers
+            param->is_array = true;
+            if (peek().is(TokenKind::kIntLiteral) || peek().is(TokenKind::kIdentifier)) advance();
+            expect_punct("]");
+          }
+          fn->params.push_back(std::move(param));
+          if (!match_punct(",")) break;
+        }
+      }
+    }
+    expect_punct(")");
+    if (match_punct(";")) return fn;  // prototype
+    auto body = parse_compound();
+    fn->body.reset(static_cast<CompoundStmt*>(body.release()));
+    return fn;
+  }
+
+  // ---- statements ----------------------------------------------------------
+
+  StmtPtr parse_statement() {
+    // Attach any pending pragma to the statement we are about to parse.
+    if (peek().is(TokenKind::kPragma)) {
+      pending_pragma_ = advance().text;
+    }
+    std::string pragma = std::move(pending_pragma_);
+    pending_pragma_.clear();
+
+    auto stmt = parse_statement_inner();
+    if (!pragma.empty()) stmt->pragma_text = std::move(pragma);
+    return stmt;
+  }
+
+  StmtPtr parse_statement_inner() {
+    const int line = peek().line;
+    StmtPtr stmt;
+    if (peek().is_punct("{")) {
+      stmt = parse_compound();
+    } else if (peek().is_keyword("if")) {
+      stmt = parse_if();
+    } else if (peek().is_keyword("for")) {
+      stmt = parse_for();
+    } else if (peek().is_keyword("while")) {
+      stmt = parse_while();
+    } else if (peek().is_keyword("do")) {
+      stmt = parse_do();
+    } else if (match_keyword("return")) {
+      ExprPtr value;
+      if (!peek().is_punct(";")) value = parse_expr();
+      expect_punct(";");
+      stmt = std::make_unique<ReturnStmt>(std::move(value));
+    } else if (match_keyword("break")) {
+      expect_punct(";");
+      stmt = std::make_unique<BreakStmt>();
+    } else if (match_keyword("continue")) {
+      expect_punct(";");
+      stmt = std::make_unique<ContinueStmt>();
+    } else if (match_punct(";")) {
+      stmt = std::make_unique<NullStmt>();
+    } else if (at_type_start()) {
+      stmt = parse_decl_stmt();
+    } else {
+      ExprPtr expr = parse_expr();
+      expect_punct(";");
+      stmt = std::make_unique<ExprStmt>(std::move(expr));
+    }
+    stmt->line = line;
+    return stmt;
+  }
+
+  StmtPtr parse_compound() {
+    auto block = std::make_unique<CompoundStmt>();
+    block->line = peek().line;
+    expect_punct("{");
+    while (!peek().is_punct("}")) {
+      if (peek().is(TokenKind::kEof)) fail("unterminated block");
+      block->body.push_back(parse_statement());
+    }
+    expect_punct("}");
+    return block;
+  }
+
+  StmtPtr parse_if() {
+    advance();  // if
+    expect_punct("(");
+    ExprPtr cond = parse_expr();
+    expect_punct(")");
+    StmtPtr then_branch = parse_statement();
+    StmtPtr else_branch;
+    if (match_keyword("else")) else_branch = parse_statement();
+    return std::make_unique<IfStmt>(std::move(cond), std::move(then_branch),
+                                    std::move(else_branch));
+  }
+
+  StmtPtr parse_for() {
+    advance();  // for
+    expect_punct("(");
+    StmtPtr init;
+    if (match_punct(";")) {
+      init = std::make_unique<NullStmt>();
+    } else if (at_type_start()) {
+      init = parse_decl_stmt();  // consumes ';'
+    } else {
+      ExprPtr e = parse_expr();
+      expect_punct(";");
+      init = std::make_unique<ExprStmt>(std::move(e));
+    }
+    ExprPtr cond;
+    if (!peek().is_punct(";")) cond = parse_expr();
+    expect_punct(";");
+    ExprPtr inc;
+    if (!peek().is_punct(")")) inc = parse_expr();
+    expect_punct(")");
+    StmtPtr body = parse_statement();
+    return std::make_unique<ForStmt>(std::move(init), std::move(cond), std::move(inc),
+                                     std::move(body));
+  }
+
+  StmtPtr parse_while() {
+    advance();  // while
+    expect_punct("(");
+    ExprPtr cond = parse_expr();
+    expect_punct(")");
+    StmtPtr body = parse_statement();
+    return std::make_unique<WhileStmt>(std::move(cond), std::move(body));
+  }
+
+  StmtPtr parse_do() {
+    advance();  // do
+    StmtPtr body = parse_statement();
+    if (!match_keyword("while")) fail("expected 'while' after do-body");
+    expect_punct("(");
+    ExprPtr cond = parse_expr();
+    expect_punct(")");
+    expect_punct(";");
+    return std::make_unique<DoStmt>(std::move(body), std::move(cond));
+  }
+
+  StmtPtr parse_decl_stmt() {
+    const int line = peek().line;
+    Type type = parse_type();
+    if (!peek().is(TokenKind::kIdentifier)) fail("expected variable name");
+    std::string name = advance().text;
+    auto stmt = parse_var_decl_rest(std::move(type), std::move(name), line);
+    return stmt;
+  }
+
+  /// Parse the remainder of a variable declaration after "type name",
+  /// including array dims, initializer, and comma-separated declarators.
+  /// Consumes the terminating ';'.
+  std::unique_ptr<DeclStmt> parse_var_decl_rest(Type type, std::string first_name, int line) {
+    auto stmt = std::make_unique<DeclStmt>();
+    stmt->line = line;
+    std::string name = std::move(first_name);
+    while (true) {
+      auto decl = std::make_unique<VarDecl>(type, name);
+      decl->line = line;
+      while (match_punct("[")) {
+        if (peek().is_punct("]")) {
+          decl->array_dims.push_back(std::make_unique<IntLiteral>(0, "0"));
+        } else {
+          decl->array_dims.push_back(parse_assignment_expr());
+        }
+        expect_punct("]");
+      }
+      if (match_punct("=")) {
+        if (peek().is_punct("{")) {
+          decl->init = parse_init_list();
+        } else {
+          decl->init = parse_assignment_expr();
+        }
+      }
+      stmt->decls.push_back(std::move(decl));
+      if (!match_punct(",")) break;
+      // Subsequent declarators may have their own stars: int a, *p;
+      Type next = type;
+      next.pointer_depth = 0;
+      while (match_punct("*")) ++next.pointer_depth;
+      type = next;
+      if (!peek().is(TokenKind::kIdentifier)) fail("expected declarator after ','");
+      name = advance().text;
+    }
+    expect_punct(";");
+    return stmt;
+  }
+
+  ExprPtr parse_init_list() {
+    expect_punct("{");
+    std::vector<ExprPtr> items;
+    if (!peek().is_punct("}")) {
+      while (true) {
+        if (peek().is_punct("{")) {
+          items.push_back(parse_init_list());
+        } else {
+          items.push_back(parse_assignment_expr());
+        }
+        if (!match_punct(",")) break;
+        if (peek().is_punct("}")) break;  // trailing comma
+      }
+    }
+    expect_punct("}");
+    return std::make_unique<InitListExpr>(std::move(items));
+  }
+
+  // ---- expressions ----------------------------------------------------------
+
+  ExprPtr parse_expr() {
+    ExprPtr expr = parse_assignment_expr();
+    while (peek().is_punct(",")) {
+      advance();
+      ExprPtr rhs = parse_assignment_expr();
+      expr = std::make_unique<BinaryOperator>(",", std::move(expr), std::move(rhs));
+    }
+    return expr;
+  }
+
+  ExprPtr parse_assignment_expr() {
+    ExprPtr lhs = parse_conditional();
+    if (peek().is(TokenKind::kPunct) && is_assign_op(peek().text)) {
+      std::string op = advance().text;
+      ExprPtr rhs = parse_assignment_expr();  // right-assoc
+      auto node = std::make_unique<Assignment>(std::move(op), std::move(lhs), std::move(rhs));
+      node->line = node->lhs->line;
+      return node;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_conditional() {
+    ExprPtr cond = parse_binary(1);
+    if (!match_punct("?")) return cond;
+    ExprPtr then_expr = parse_expr();
+    expect_punct(":");
+    ExprPtr else_expr = parse_assignment_expr();
+    return std::make_unique<Conditional>(std::move(cond), std::move(then_expr),
+                                         std::move(else_expr));
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    while (peek().is(TokenKind::kPunct)) {
+      const int prec = binary_precedence(peek().text);
+      if (prec < min_prec) break;
+      std::string op = advance().text;
+      ExprPtr rhs = parse_binary(prec + 1);
+      auto node = std::make_unique<BinaryOperator>(std::move(op), std::move(lhs), std::move(rhs));
+      node->line = node->lhs->line;
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  bool at_cast_start() const {
+    if (!peek().is_punct("(")) return false;
+    const Token& t = peek(1);
+    if (t.is(TokenKind::kKeyword) && is_type_start_keyword(t.text)) return true;
+    if (t.is(TokenKind::kIdentifier) && typedefs_.count(t.text)) {
+      // "(T)" or "(T*)" is a cast; "(x)" is parenthesized expression.
+      return peek(2).is_punct(")") || peek(2).is_punct("*");
+    }
+    return false;
+  }
+
+  ExprPtr parse_unary() {
+    const Token& t = peek();
+    const int line = t.line;
+    if (t.is_punct("+") || t.is_punct("-") || t.is_punct("!") || t.is_punct("~") ||
+        t.is_punct("*") || t.is_punct("&") || t.is_punct("++") || t.is_punct("--")) {
+      std::string op = advance().text;
+      ExprPtr operand = parse_unary();
+      auto node = std::make_unique<UnaryOperator>(std::move(op), /*prefix=*/true,
+                                                  std::move(operand));
+      node->line = line;
+      return node;
+    }
+    if (t.is_keyword("sizeof")) {
+      advance();
+      if (peek().is_punct("(") &&
+          (peek(1).is(TokenKind::kKeyword) ? is_type_start_keyword(peek(1).text)
+                                           : typedefs_.count(peek(1).text) > 0)) {
+        advance();  // (
+        Type type = parse_type();
+        expect_punct(")");
+        auto node = std::make_unique<SizeofExpr>(std::move(type));
+        node->line = line;
+        return node;
+      }
+      ExprPtr operand = parse_unary();
+      auto node =
+          std::make_unique<UnaryOperator>("sizeof", /*prefix=*/true, std::move(operand));
+      node->line = line;
+      return node;
+    }
+    if (at_cast_start()) {
+      advance();  // (
+      Type type = parse_type();
+      expect_punct(")");
+      ExprPtr operand = parse_unary();
+      auto node = std::make_unique<CastExpr>(std::move(type), std::move(operand));
+      node->line = line;
+      return node;
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr expr = parse_primary();
+    while (true) {
+      if (peek().is_punct("[")) {
+        advance();
+        ExprPtr index = parse_expr();
+        expect_punct("]");
+        expr = std::make_unique<ArraySubscript>(std::move(expr), std::move(index));
+      } else if (peek().is_punct(".") && peek(1).is(TokenKind::kIdentifier)) {
+        advance();
+        std::string member = advance().text;
+        expr = std::make_unique<MemberExpr>(std::move(expr), std::move(member), false);
+      } else if (peek().is_punct("->")) {
+        advance();
+        if (!peek().is(TokenKind::kIdentifier)) fail("expected member name after '->'");
+        std::string member = advance().text;
+        expr = std::make_unique<MemberExpr>(std::move(expr), std::move(member), true);
+      } else if (peek().is_punct("++") || peek().is_punct("--")) {
+        std::string op = advance().text;
+        expr = std::make_unique<UnaryOperator>(std::move(op), /*prefix=*/false, std::move(expr));
+      } else {
+        break;
+      }
+    }
+    return expr;
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    const int line = t.line;
+    ExprPtr node;
+    if (t.is(TokenKind::kIntLiteral)) {
+      node = std::make_unique<IntLiteral>(std::strtoll(t.text.c_str(), nullptr, 0), t.text);
+      advance();
+    } else if (t.is(TokenKind::kFloatLiteral)) {
+      node = std::make_unique<FloatLiteral>(std::strtod(t.text.c_str(), nullptr), t.text);
+      advance();
+    } else if (t.is(TokenKind::kCharLiteral)) {
+      node = std::make_unique<CharLiteral>(t.text);
+      advance();
+    } else if (t.is(TokenKind::kStringLiteral)) {
+      node = std::make_unique<StringLiteral>(t.text);
+      advance();
+    } else if (t.is(TokenKind::kIdentifier)) {
+      std::string name = advance().text;
+      if (peek().is_punct("(")) {
+        advance();
+        std::vector<ExprPtr> args;
+        if (!peek().is_punct(")")) {
+          while (true) {
+            args.push_back(parse_assignment_expr());
+            if (!match_punct(",")) break;
+          }
+        }
+        expect_punct(")");
+        node = std::make_unique<CallExpr>(std::move(name), std::move(args));
+      } else {
+        node = std::make_unique<DeclRef>(std::move(name));
+      }
+    } else if (t.is_punct("(")) {
+      advance();
+      ExprPtr inner = parse_expr();
+      expect_punct(")");
+      node = std::make_unique<ParenExpr>(std::move(inner));
+    } else {
+      fail("expected expression");
+    }
+    node->line = line;
+    return node;
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::set<std::string> typedefs_ = {"size_t", "int8_t", "int16_t", "int32_t", "int64_t",
+                                     "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+                                     "ssize_t", "ptrdiff_t", "FILE", "bool"};
+  std::map<std::string, StructInfo> structs_;
+  std::string pending_pragma_;
+};
+
+}  // namespace
+
+ParseResult parse_translation_unit(std::string_view source) {
+  Parser parser(lex(source));
+  return parser.parse_unit();
+}
+
+StmtPtr parse_statement(std::string_view source) {
+  Parser parser(lex(source));
+  return parser.parse_single_statement();
+}
+
+ExprPtr parse_expression(std::string_view source) {
+  Parser parser(lex(source));
+  return parser.parse_single_expression();
+}
+
+}  // namespace g2p

@@ -1,0 +1,59 @@
+// Recursive-descent parser for the C subset.
+//
+// The grammar covers the loop-centric C that the OMP_Serial dataset
+// exercises: global/local declarations, struct definitions, typedefs,
+// function definitions, all structured control flow, and the full C
+// expression precedence ladder. OpenMP pragma tokens are attached to the
+// statement that follows them (Node::pragma_text).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/token.h"
+
+namespace g2p {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, int line)
+      : std::runtime_error(message + " (line " + std::to_string(line) + ")"), line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// A struct definition's layout (field order matters for the interpreter).
+struct StructInfo {
+  std::string name;
+  struct Field {
+    Type type;
+    std::string name;
+    std::vector<long long> array_dims;
+  };
+  std::vector<Field> fields;
+};
+
+/// Output of a parse: the tree plus the type environment discovered.
+struct ParseResult {
+  std::unique_ptr<TranslationUnit> tu;
+  std::map<std::string, StructInfo> structs;
+  std::vector<std::string> typedefs;
+};
+
+/// Parse a full translation unit. Throws ParseError / LexError on bad input.
+ParseResult parse_translation_unit(std::string_view source);
+
+/// Parse a single statement (convenience for loop snippets and tests).
+/// The snippet may reference undeclared identifiers.
+StmtPtr parse_statement(std::string_view source);
+
+/// Parse a single expression (tests).
+ExprPtr parse_expression(std::string_view source);
+
+}  // namespace g2p

@@ -1,0 +1,170 @@
+#include "frontend/pragma.h"
+
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace g2p {
+
+namespace {
+
+/// Tokenize a pragma body into words, '(' ')' ':' ',' as separate tokens.
+std::vector<std::string> pragma_tokens(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(' || c == ')' || c == ':' || c == ',') {
+      out.emplace_back(1, c);
+      ++i;
+      continue;
+    }
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])) &&
+           text[i] != '(' && text[i] != ')' && text[i] != ':' && text[i] != ',') {
+      ++i;
+    }
+    out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+/// Parse a parenthesized comma-separated list starting at tokens[i] == "(".
+/// Returns items and advances i past the ")".
+std::vector<std::string> parse_paren_list(const std::vector<std::string>& tokens,
+                                          std::size_t& i) {
+  std::vector<std::string> items;
+  if (i >= tokens.size() || tokens[i] != "(") return items;
+  ++i;
+  while (i < tokens.size() && tokens[i] != ")") {
+    if (tokens[i] != ",") items.push_back(tokens[i]);
+    ++i;
+  }
+  if (i < tokens.size()) ++i;  // skip ')'
+  return items;
+}
+
+}  // namespace
+
+OmpPragma parse_omp_pragma(std::string_view text) {
+  OmpPragma out;
+  out.raw = std::string(trim(text));
+  std::string_view body = out.raw;
+  if (starts_with(body, "#")) body.remove_prefix(1);
+  body = trim(body);
+  if (starts_with(body, "pragma")) body.remove_prefix(6);
+  body = trim(body);
+
+  auto tokens = pragma_tokens(body);
+  if (tokens.empty() || tokens[0] != "omp") return out;
+  out.is_omp = true;
+
+  std::size_t i = 1;
+  while (i < tokens.size()) {
+    const std::string& t = tokens[i];
+    if (t == "parallel") {
+      out.has_parallel = true;
+      ++i;
+    } else if (t == "for" || t == "loop" || t == "distribute") {
+      out.has_for = true;
+      ++i;
+    } else if (t == "simd") {
+      out.simd = true;
+      ++i;
+    } else if (t == "target" || t == "teams") {
+      out.target = true;
+      ++i;
+    } else if (t == "private") {
+      ++i;
+      auto vars = parse_paren_list(tokens, i);
+      out.private_vars.insert(out.private_vars.end(), vars.begin(), vars.end());
+    } else if (t == "firstprivate") {
+      ++i;
+      auto vars = parse_paren_list(tokens, i);
+      out.firstprivate_vars.insert(out.firstprivate_vars.end(), vars.begin(), vars.end());
+    } else if (t == "lastprivate") {
+      ++i;
+      auto vars = parse_paren_list(tokens, i);
+      out.lastprivate_vars.insert(out.lastprivate_vars.end(), vars.begin(), vars.end());
+    } else if (t == "shared") {
+      ++i;
+      auto vars = parse_paren_list(tokens, i);
+      out.shared_vars.insert(out.shared_vars.end(), vars.begin(), vars.end());
+    } else if (t == "reduction") {
+      ++i;
+      // reduction(op : a, b)
+      if (i < tokens.size() && tokens[i] == "(") {
+        ++i;
+        OmpPragma::Reduction red;
+        if (i < tokens.size()) red.op = tokens[i++];
+        if (i < tokens.size() && tokens[i] == ":") ++i;
+        while (i < tokens.size() && tokens[i] != ")") {
+          if (tokens[i] != ",") red.vars.push_back(tokens[i]);
+          ++i;
+        }
+        if (i < tokens.size()) ++i;  // ')'
+        out.reductions.push_back(std::move(red));
+      }
+    } else if (t == "schedule") {
+      ++i;
+      auto items = parse_paren_list(tokens, i);
+      out.schedule = join(items, ",");
+    } else if (t == "collapse") {
+      ++i;
+      auto items = parse_paren_list(tokens, i);
+      if (!items.empty()) out.collapse = std::atoi(items[0].c_str());
+    } else if (t == "num_threads") {
+      ++i;
+      auto items = parse_paren_list(tokens, i);
+      if (!items.empty()) out.num_threads = std::atoi(items[0].c_str());
+    } else {
+      // Unknown clause (nowait, default(...), map(...), ...): skip token and
+      // any parenthesized payload.
+      ++i;
+      if (i < tokens.size() && tokens[i] == "(") parse_paren_list(tokens, i);
+    }
+  }
+  return out;
+}
+
+std::string_view pragma_category_name(PragmaCategory cat) {
+  switch (cat) {
+    case PragmaCategory::kNone: return "none";
+    case PragmaCategory::kPrivate: return "private";
+    case PragmaCategory::kReduction: return "reduction";
+    case PragmaCategory::kSimd: return "simd";
+    case PragmaCategory::kTarget: return "target";
+  }
+  return "?";
+}
+
+PragmaCategory categorize(const OmpPragma& pragma) {
+  if (!pragma.is_omp || !pragma.marks_parallel_loop()) return PragmaCategory::kNone;
+  if (pragma.target) return PragmaCategory::kTarget;
+  if (pragma.simd) return PragmaCategory::kSimd;
+  if (!pragma.reductions.empty()) return PragmaCategory::kReduction;
+  return PragmaCategory::kPrivate;  // includes plain do-all parallel-for
+}
+
+std::string render_pragma(PragmaCategory cat, const std::vector<std::string>& private_vars,
+                          const std::vector<OmpPragma::Reduction>& reductions) {
+  std::string out = "#pragma omp ";
+  switch (cat) {
+    case PragmaCategory::kSimd: out += "simd"; break;
+    case PragmaCategory::kTarget: out += "target teams distribute parallel for"; break;
+    default: out += "parallel for"; break;
+  }
+  for (const auto& red : reductions) {
+    out += " reduction(" + red.op + ":" + join(red.vars, ",") + ")";
+  }
+  if (!private_vars.empty()) {
+    out += " private(" + join(private_vars, ",") + ")";
+  }
+  return out;
+}
+
+}  // namespace g2p

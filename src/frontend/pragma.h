@@ -1,0 +1,67 @@
+// OpenMP pragma parsing and the dataset labeling scheme of §4.2.
+//
+// The dataset labels each loop as parallel / non-parallel from the presence
+// of "#pragma omp parallel for" or "#pragma omp for", and parallel loops are
+// further bucketed into four pragma categories: private, reduction, simd,
+// target.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g2p {
+
+/// Parsed form of an OpenMP directive.
+struct OmpPragma {
+  bool is_omp = false;        // directive begins with "pragma omp"
+  bool has_parallel = false;  // "parallel" present
+  bool has_for = false;       // "for" present
+  bool simd = false;          // "simd" present
+  bool target = false;        // "target" present
+
+  std::vector<std::string> private_vars;
+  std::vector<std::string> firstprivate_vars;
+  std::vector<std::string> lastprivate_vars;
+  std::vector<std::string> shared_vars;
+
+  struct Reduction {
+    std::string op;                  // + * - & | ^ && || min max
+    std::vector<std::string> vars;
+  };
+  std::vector<Reduction> reductions;
+
+  std::string schedule;  // "static", "dynamic,4", ...
+  int collapse = 0;
+  int num_threads = 0;
+
+  std::string raw;  // original directive text
+
+  /// "#pragma omp for" or "#pragma omp parallel for" (the parallelism label
+  /// criterion of §6.2; simd/target directives also mark worksharing loops).
+  bool marks_parallel_loop() const {
+    return is_omp && (has_for || simd || target);
+  }
+};
+
+/// Parse a directive line. Accepts with or without the leading '#'
+/// ("pragma omp parallel for private(i)").
+OmpPragma parse_omp_pragma(std::string_view text);
+
+/// The four pragma categories of Table 1 / Table 5, plus none.
+enum class PragmaCategory { kNone, kPrivate, kReduction, kSimd, kTarget };
+
+std::string_view pragma_category_name(PragmaCategory cat);
+
+/// Dataset bucketing rule (§4.2): target > simd > reduction > private.
+/// A parallel-for with no clauses counts as private (do-all) per the paper's
+/// private/do-all merge in Table 1.
+PragmaCategory categorize(const OmpPragma& pragma);
+
+/// Render a suggested pragma line for a loop, e.g.
+/// "#pragma omp parallel for reduction(+:sum) private(tmp)".
+std::string render_pragma(PragmaCategory cat, const std::vector<std::string>& private_vars,
+                          const std::vector<OmpPragma::Reduction>& reductions);
+
+}  // namespace g2p

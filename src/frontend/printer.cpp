@@ -1,0 +1,282 @@
+#include "frontend/printer.h"
+
+#include <sstream>
+
+namespace g2p {
+
+namespace {
+
+std::string ind(int level) { return std::string(static_cast<std::size_t>(level) * 2, ' '); }
+
+class Printer {
+ public:
+  std::string print_expr(const Expr& e) {
+    switch (e.kind()) {
+      case NodeKind::kIntLiteral:
+        return static_cast<const IntLiteral&>(e).text;
+      case NodeKind::kFloatLiteral:
+        return static_cast<const FloatLiteral&>(e).text;
+      case NodeKind::kCharLiteral:
+        return static_cast<const CharLiteral&>(e).text;
+      case NodeKind::kStringLiteral:
+        return static_cast<const StringLiteral&>(e).text;
+      case NodeKind::kDeclRef:
+        return static_cast<const DeclRef&>(e).name;
+      case NodeKind::kBinaryOperator: {
+        const auto& b = static_cast<const BinaryOperator&>(e);
+        return print_operand(*b.lhs) + " " + b.op + " " + print_operand(*b.rhs);
+      }
+      case NodeKind::kUnaryOperator: {
+        const auto& u = static_cast<const UnaryOperator&>(e);
+        if (u.op == "sizeof") return "sizeof " + print_operand(*u.operand);
+        return u.prefix ? u.op + print_operand(*u.operand)
+                        : print_operand(*u.operand) + u.op;
+      }
+      case NodeKind::kAssignment: {
+        const auto& a = static_cast<const Assignment&>(e);
+        return print_expr(*a.lhs) + " " + a.op + " " + print_expr(*a.rhs);
+      }
+      case NodeKind::kConditional: {
+        const auto& c = static_cast<const Conditional&>(e);
+        return print_operand(*c.cond) + " ? " + print_expr(*c.then_expr) + " : " +
+               print_expr(*c.else_expr);
+      }
+      case NodeKind::kCallExpr: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        std::string out = c.callee + "(";
+        for (std::size_t i = 0; i < c.args.size(); ++i) {
+          if (i) out += ", ";
+          out += print_expr(*c.args[i]);
+        }
+        return out + ")";
+      }
+      case NodeKind::kArraySubscript: {
+        const auto& a = static_cast<const ArraySubscript&>(e);
+        return print_operand(*a.base) + "[" + print_expr(*a.index) + "]";
+      }
+      case NodeKind::kMemberExpr: {
+        const auto& m = static_cast<const MemberExpr&>(e);
+        return print_operand(*m.base) + (m.arrow ? "->" : ".") + m.member;
+      }
+      case NodeKind::kCastExpr: {
+        const auto& c = static_cast<const CastExpr&>(e);
+        return "(" + c.type.spelling() + ")" + print_operand(*c.operand);
+      }
+      case NodeKind::kParenExpr:
+        return "(" + print_expr(*static_cast<const ParenExpr&>(e).inner) + ")";
+      case NodeKind::kInitListExpr: {
+        const auto& l = static_cast<const InitListExpr&>(e);
+        std::string out = "{";
+        for (std::size_t i = 0; i < l.items.size(); ++i) {
+          if (i) out += ", ";
+          out += print_expr(*l.items[i]);
+        }
+        return out + "}";
+      }
+      case NodeKind::kSizeofExpr:
+        return "sizeof(" + static_cast<const SizeofExpr&>(e).type.spelling() + ")";
+      default:
+        return "/*?expr?*/";
+    }
+  }
+
+  /// Print a sub-expression, parenthesizing anything that is not atomic.
+  /// Slightly over-parenthesizes; correctness beats minimality here.
+  std::string print_operand(const Expr& e) {
+    switch (e.kind()) {
+      case NodeKind::kIntLiteral:
+      case NodeKind::kFloatLiteral:
+      case NodeKind::kCharLiteral:
+      case NodeKind::kStringLiteral:
+      case NodeKind::kDeclRef:
+      case NodeKind::kCallExpr:
+      case NodeKind::kArraySubscript:
+      case NodeKind::kMemberExpr:
+      case NodeKind::kParenExpr:
+      case NodeKind::kSizeofExpr:
+        return print_expr(e);
+      case NodeKind::kUnaryOperator:
+        return print_expr(e);
+      default:
+        return "(" + print_expr(e) + ")";
+    }
+  }
+
+  void print_stmt(const Stmt& s, int level, std::ostringstream& out) {
+    if (s.pragma_text) out << ind(level) << "#" << *s.pragma_text << "\n";
+    switch (s.kind()) {
+      case NodeKind::kCompoundStmt: {
+        const auto& c = static_cast<const CompoundStmt&>(s);
+        out << ind(level) << "{\n";
+        for (const auto& child : c.body) print_stmt(*child, level + 1, out);
+        out << ind(level) << "}\n";
+        break;
+      }
+      case NodeKind::kDeclStmt: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        out << ind(level) << print_decl_group(d) << ";\n";
+        break;
+      }
+      case NodeKind::kExprStmt: {
+        const auto& e = static_cast<const ExprStmt&>(s);
+        out << ind(level) << print_expr(*e.expr) << ";\n";
+        break;
+      }
+      case NodeKind::kIfStmt: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        out << ind(level) << "if (" << print_expr(*i.cond) << ")\n";
+        print_branch(*i.then_branch, level, out);
+        if (i.else_branch) {
+          out << ind(level) << "else\n";
+          print_branch(*i.else_branch, level, out);
+        }
+        break;
+      }
+      case NodeKind::kForStmt: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        out << ind(level) << "for (" << print_for_init(*f.init) << " "
+            << (f.cond ? print_expr(*f.cond) : "") << "; "
+            << (f.inc ? print_expr(*f.inc) : "") << ")\n";
+        print_branch(*f.body, level, out);
+        break;
+      }
+      case NodeKind::kWhileStmt: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        out << ind(level) << "while (" << print_expr(*w.cond) << ")\n";
+        print_branch(*w.body, level, out);
+        break;
+      }
+      case NodeKind::kDoStmt: {
+        const auto& d = static_cast<const DoStmt&>(s);
+        out << ind(level) << "do\n";
+        print_branch(*d.body, level, out);
+        out << ind(level) << "while (" << print_expr(*d.cond) << ");\n";
+        break;
+      }
+      case NodeKind::kReturnStmt: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        out << ind(level) << "return";
+        if (r.value) out << " " << print_expr(*r.value);
+        out << ";\n";
+        break;
+      }
+      case NodeKind::kBreakStmt:
+        out << ind(level) << "break;\n";
+        break;
+      case NodeKind::kContinueStmt:
+        out << ind(level) << "continue;\n";
+        break;
+      case NodeKind::kNullStmt:
+        out << ind(level) << ";\n";
+        break;
+      default:
+        out << ind(level) << "/*?stmt?*/;\n";
+    }
+  }
+
+  /// For-init renders without its trailing newline; DeclStmt keeps its ';'.
+  std::string print_for_init(const Stmt& s) {
+    if (s.kind() == NodeKind::kNullStmt) return ";";
+    if (s.kind() == NodeKind::kExprStmt) {
+      return print_expr(*static_cast<const ExprStmt&>(s).expr) + ";";
+    }
+    if (s.kind() == NodeKind::kDeclStmt) {
+      return print_decl_group(static_cast<const DeclStmt&>(s)) + ";";
+    }
+    return ";";
+  }
+
+  std::string print_decl_group(const DeclStmt& d) {
+    std::string out;
+    for (std::size_t i = 0; i < d.decls.size(); ++i) {
+      const VarDecl& v = *d.decls[i];
+      if (i == 0) {
+        out += v.type.base + " ";
+        for (int p = 0; p < v.type.pointer_depth; ++p) out += "*";
+      } else {
+        out += ", ";
+        for (int p = 0; p < v.type.pointer_depth; ++p) out += "*";
+      }
+      out += v.name;
+      for (const auto& dim : v.array_dims) out += "[" + print_expr(*dim) + "]";
+      if (v.init) out += " = " + print_expr(*v.init);
+    }
+    return out;
+  }
+
+  void print_branch(const Stmt& body, int level, std::ostringstream& out) {
+    if (body.kind() == NodeKind::kCompoundStmt) {
+      print_stmt(body, level, out);
+    } else {
+      print_stmt(body, level + 1, out);
+    }
+  }
+
+  void print_decl(const Decl& d, int level, std::ostringstream& out) {
+    switch (d.kind()) {
+      case NodeKind::kVarDecl: {
+        const auto& v = static_cast<const VarDecl&>(d);
+        out << ind(level) << v.type.spelling() << " " << v.name;
+        for (const auto& dim : v.array_dims) out << "[" << print_expr(*dim) << "]";
+        if (v.init) out << " = " << print_expr(*v.init);
+        out << ";\n";
+        break;
+      }
+      case NodeKind::kParamDecl: {
+        const auto& p = static_cast<const ParamDecl&>(d);
+        out << p.type.spelling() << " " << p.name << (p.is_array ? "[]" : "");
+        break;
+      }
+      case NodeKind::kFunctionDecl: {
+        const auto& f = static_cast<const FunctionDecl&>(d);
+        out << ind(level) << f.return_type.spelling() << " " << f.name << "(";
+        for (std::size_t i = 0; i < f.params.size(); ++i) {
+          if (i) out << ", ";
+          print_decl(*f.params[i], 0, out);
+        }
+        out << ")";
+        if (f.body) {
+          out << "\n";
+          print_stmt(*f.body, level, out);
+        } else {
+          out << ";\n";
+        }
+        break;
+      }
+      default:
+        out << ind(level) << "/*?decl?*/;\n";
+    }
+  }
+
+  std::string print_node(const Node& n, int level) {
+    std::ostringstream out;
+    if (n.kind() == NodeKind::kTranslationUnit) {
+      const auto& tu = static_cast<const TranslationUnit&>(n);
+      for (const auto& d : tu.decls) {
+        print_decl(*d, level, out);
+        out << "\n";
+      }
+    } else if (n.is_expr()) {
+      out << print_expr(static_cast<const Expr&>(n));
+    } else if (n.is_stmt()) {
+      print_stmt(static_cast<const Stmt&>(n), level, out);
+    } else {
+      print_decl(static_cast<const Decl&>(n), level, out);
+    }
+    return out.str();
+  }
+};
+
+}  // namespace
+
+std::string to_source(const Node& node, int indent) {
+  Printer printer;
+  return printer.print_node(node, indent);
+}
+
+std::string expr_to_source(const Expr& expr) {
+  Printer printer;
+  return printer.print_expr(expr);
+}
+
+}  // namespace g2p

@@ -1,0 +1,202 @@
+#include "graph/cfg.h"
+
+#include <algorithm>
+
+namespace g2p {
+
+bool Cfg::has_edge(const Node* src, const Node* dst) const {
+  return std::find(edges.begin(), edges.end(), std::make_pair(src, dst)) != edges.end();
+}
+
+namespace {
+
+/// A partial CFG of one statement: where control enters and which nodes'
+/// control continues past the statement. A fragment with no entries and no
+/// exits is transparent (e.g. an empty block).
+struct Fragment {
+  std::vector<const Node*> entries;
+  std::vector<const Node*> exits;
+  bool transparent() const { return entries.empty() && exits.empty(); }
+};
+
+class CfgBuilder {
+ public:
+  Cfg run(const Stmt& root) {
+    build(root);
+    return std::move(cfg_);
+  }
+
+ private:
+  const Node* register_node(const Node& n) {
+    cfg_.nodes.push_back(&n);
+    return &n;
+  }
+
+  void connect(const std::vector<const Node*>& froms, const std::vector<const Node*>& tos) {
+    for (const Node* f : froms) {
+      for (const Node* t : tos) cfg_.edges.emplace_back(f, t);
+    }
+  }
+
+  Fragment build(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case NodeKind::kCompoundStmt:
+        return build_compound(static_cast<const CompoundStmt&>(stmt));
+      case NodeKind::kIfStmt:
+        return build_if(static_cast<const IfStmt&>(stmt));
+      case NodeKind::kForStmt:
+        return build_for(static_cast<const ForStmt&>(stmt));
+      case NodeKind::kWhileStmt:
+        return build_while(static_cast<const WhileStmt&>(stmt));
+      case NodeKind::kDoStmt:
+        return build_do(static_cast<const DoStmt&>(stmt));
+      case NodeKind::kBreakStmt: {
+        const Node* n = register_node(stmt);
+        if (!break_targets_.empty()) break_targets_.back()->push_back(n);
+        return Fragment{{n}, {}};
+      }
+      case NodeKind::kContinueStmt: {
+        const Node* n = register_node(stmt);
+        if (!continue_targets_.empty()) continue_targets_.back()->push_back(n);
+        return Fragment{{n}, {}};
+      }
+      case NodeKind::kReturnStmt: {
+        const Node* n = register_node(stmt);
+        return Fragment{{n}, {}};  // control leaves the region
+      }
+      default: {
+        // Simple statement: decl, expression, null.
+        const Node* n = register_node(stmt);
+        return Fragment{{n}, {n}};
+      }
+    }
+  }
+
+  Fragment build_compound(const CompoundStmt& block) {
+    Fragment out;
+    std::vector<const Node*> pending;
+    bool started = false;
+    for (const auto& child : block.body) {
+      Fragment frag = build(*child);
+      if (frag.transparent()) continue;
+      if (!started) {
+        out.entries = frag.entries;
+        started = true;
+      } else {
+        connect(pending, frag.entries);
+      }
+      pending = frag.exits;
+    }
+    out.exits = pending;
+    return out;
+  }
+
+  Fragment build_if(const IfStmt& stmt) {
+    const Node* cond = register_node(*stmt.cond);
+    Fragment then_frag = build(*static_cast<const Stmt*>(stmt.then_branch.get()));
+    connect({cond}, then_frag.entries);
+    Fragment out;
+    out.entries = {cond};
+    out.exits = then_frag.exits;
+    if (stmt.else_branch) {
+      Fragment else_frag = build(*static_cast<const Stmt*>(stmt.else_branch.get()));
+      connect({cond}, else_frag.entries);
+      out.exits.insert(out.exits.end(), else_frag.exits.begin(), else_frag.exits.end());
+      if (else_frag.transparent()) out.exits.push_back(cond);
+    } else {
+      out.exits.push_back(cond);  // false branch falls through
+    }
+    return out;
+  }
+
+  Fragment build_for(const ForStmt& stmt) {
+    std::vector<const Node*> breaks;
+    std::vector<const Node*> continues;
+
+    Fragment init = build(*stmt.init);
+    const Node* cond = stmt.cond ? register_node(*stmt.cond) : nullptr;
+    const Node* inc = stmt.inc ? register_node(*stmt.inc) : nullptr;
+
+    break_targets_.push_back(&breaks);
+    continue_targets_.push_back(&continues);
+    Fragment body = build(*static_cast<const Stmt*>(stmt.body.get()));
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+
+    // Loop head = cond if present, else body entry.
+    std::vector<const Node*> head = cond ? std::vector<const Node*>{cond} : body.entries;
+
+    if (!init.transparent()) connect(init.exits, head);
+    if (cond) connect({cond}, body.entries);
+    // Body exits go to inc, then back to the head.
+    std::vector<const Node*> latch = inc ? std::vector<const Node*>{inc} : head;
+    connect(body.exits, latch);
+    connect(continues, latch);
+    if (inc) connect({inc}, head);
+
+    Fragment out;
+    out.entries = !init.transparent() ? init.entries : head;
+    out.exits = breaks;
+    if (cond) out.exits.push_back(cond);  // loop exit through the predicate
+    return out;
+  }
+
+  Fragment build_while(const WhileStmt& stmt) {
+    std::vector<const Node*> breaks;
+    std::vector<const Node*> continues;
+    const Node* cond = register_node(*stmt.cond);
+
+    break_targets_.push_back(&breaks);
+    continue_targets_.push_back(&continues);
+    Fragment body = build(*static_cast<const Stmt*>(stmt.body.get()));
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+
+    connect({cond}, body.entries);
+    connect(body.exits, {cond});
+    connect(continues, {cond});
+
+    Fragment out;
+    out.entries = {cond};
+    out.exits = breaks;
+    out.exits.push_back(cond);
+    return out;
+  }
+
+  Fragment build_do(const DoStmt& stmt) {
+    std::vector<const Node*> breaks;
+    std::vector<const Node*> continues;
+    const Node* cond = register_node(*stmt.cond);
+
+    break_targets_.push_back(&breaks);
+    continue_targets_.push_back(&continues);
+    Fragment body = build(*static_cast<const Stmt*>(stmt.body.get()));
+    break_targets_.pop_back();
+    continue_targets_.pop_back();
+
+    connect(body.exits, {cond});
+    connect(continues, {cond});
+    if (!body.transparent()) {
+      connect({cond}, body.entries);  // back edge
+    }
+
+    Fragment out;
+    out.entries = body.transparent() ? std::vector<const Node*>{cond} : body.entries;
+    out.exits = breaks;
+    out.exits.push_back(cond);
+    return out;
+  }
+
+  Cfg cfg_;
+  std::vector<std::vector<const Node*>*> break_targets_;
+  std::vector<std::vector<const Node*>*> continue_targets_;
+};
+
+}  // namespace
+
+Cfg build_cfg(const Stmt& root) {
+  CfgBuilder builder;
+  return builder.run(root);
+}
+
+}  // namespace g2p

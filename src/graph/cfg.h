@@ -1,0 +1,28 @@
+// Control flow graph construction (§5.1.2).
+//
+// CFG nodes are statements and predicates of the analyzed subtree (loop or
+// function body); directed edges give the execution-order successor
+// relation, including loop back edges and break/continue routing. The CFG is
+// merged into the aug-AST by identifying each CFG node with its AST node.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace g2p {
+
+struct Cfg {
+  /// Statements and predicate expressions, in discovery order.
+  std::vector<const Node*> nodes;
+  /// Flow edges (src executes, then dst may execute next).
+  std::vector<std::pair<const Node*, const Node*>> edges;
+
+  bool has_edge(const Node* src, const Node* dst) const;
+};
+
+/// Build the CFG of a statement subtree (typically a loop or function body).
+Cfg build_cfg(const Stmt& root);
+
+}  // namespace g2p

@@ -1,0 +1,70 @@
+#include "graph/hetgraph.h"
+
+namespace g2p {
+
+std::string_view het_node_type_name(HetNodeType type) {
+  switch (type) {
+    case HetNodeType::kLoop: return "Loop";
+    case HetNodeType::kBranch: return "Branch";
+    case HetNodeType::kBinaryOp: return "BinaryOp";
+    case HetNodeType::kUnaryOp: return "UnaryOp";
+    case HetNodeType::kAssign: return "Assign";
+    case HetNodeType::kCall: return "Call";
+    case HetNodeType::kArrayAccess: return "ArrayAccess";
+    case HetNodeType::kMemberAccess: return "MemberAccess";
+    case HetNodeType::kVarRef: return "VarRef";
+    case HetNodeType::kLiteral: return "Literal";
+    case HetNodeType::kDecl: return "Decl";
+    case HetNodeType::kBlock: return "Block";
+    case HetNodeType::kStmtOther: return "StmtOther";
+    case HetNodeType::kCount: break;
+  }
+  return "?";
+}
+
+std::string_view het_edge_type_name(HetEdgeType type) {
+  switch (type) {
+    case HetEdgeType::kAstChild: return "ast-child";
+    case HetEdgeType::kAstParent: return "ast-parent";
+    case HetEdgeType::kCfgNext: return "cfg-next";
+    case HetEdgeType::kCfgPrev: return "cfg-prev";
+    case HetEdgeType::kLexNext: return "lex-next";
+    case HetEdgeType::kLexPrev: return "lex-prev";
+    case HetEdgeType::kCount: break;
+  }
+  return "?";
+}
+
+int HetGraph::count_edges(HetEdgeType type) const {
+  int n = 0;
+  for (const auto& e : edges) n += (e.type == type);
+  return n;
+}
+
+bool HetGraph::valid() const {
+  const int n = num_nodes();
+  for (const auto& e : edges) {
+    if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n) return false;
+  }
+  return true;
+}
+
+BatchedGraph batch_graphs(const std::vector<const HetGraph*>& graphs) {
+  BatchedGraph out;
+  out.num_graphs = static_cast<int>(graphs.size());
+  int offset = 0;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const HetGraph& graph = *graphs[g];
+    for (const auto& node : graph.nodes) {
+      out.merged.nodes.push_back(node);
+      out.segment_of_node.push_back(static_cast<int>(g));
+    }
+    for (const auto& e : graph.edges) {
+      out.merged.edges.push_back(HetEdge{e.src + offset, e.dst + offset, e.type});
+    }
+    offset += graph.num_nodes();
+  }
+  return out;
+}
+
+}  // namespace g2p

@@ -1,0 +1,101 @@
+// Heterogeneous graph data structure: G = (V, E, A, R) of §5.2.
+//
+// A is the set of node types (AST category of each node), R the set of edge
+// types (AST / CFG / lexical, each with a reverse direction so messages flow
+// both ways). Meta-relations (src-type, edge-type, dst-type) parameterize the
+// HGT attention exactly as in Hu et al. 2020.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace g2p {
+
+/// Node types A: the heterogeneous AST categories (mirrors Clang kinds,
+/// collapsed to the granularity the paper's Figure 3 shows).
+enum class HetNodeType : std::uint8_t {
+  kLoop,          // ForStmt / WhileStmt / DoStmt
+  kBranch,        // IfStmt / ConditionalOperator
+  kBinaryOp,      // BinaryOperator
+  kUnaryOp,       // UnaryOperator
+  kAssign,        // Assignment (incl. compound)
+  kCall,          // CallExpr
+  kArrayAccess,   // ArraySubscriptExpr
+  kMemberAccess,  // MemberExpr
+  kVarRef,        // DeclRefExpr
+  kLiteral,       // Int/Float/Char/String literals
+  kDecl,          // VarDecl / ParamDecl / FunctionDecl
+  kBlock,         // CompoundStmt
+  kStmtOther,     // remaining statements (decl-stmt, expr-stmt, return, ...)
+  kCount
+};
+inline constexpr int kNumHetNodeTypes = static_cast<int>(HetNodeType::kCount);
+
+std::string_view het_node_type_name(HetNodeType type);
+
+/// Edge types R. Forward/reverse pairs let information flow against edge
+/// direction (standard practice for directed program graphs).
+enum class HetEdgeType : std::uint8_t {
+  kAstChild,   // parent -> child (original tree edge, λ_A)
+  kAstParent,  // child -> parent
+  kCfgNext,    // control-flow successor (merged CFG, §5.1.2)
+  kCfgPrev,
+  kLexNext,    // consecutive leaves in token order (§5.1.3)
+  kLexPrev,
+  kCount
+};
+inline constexpr int kNumHetEdgeTypes = static_cast<int>(HetEdgeType::kCount);
+
+std::string_view het_edge_type_name(HetEdgeType type);
+
+struct HetNode {
+  HetNodeType type = HetNodeType::kStmtOther;
+  int token_id = 0;   // vocabulary id of the node's text attribute (µ_A)
+  int position = 0;   // child index within parent, clamped — tree order attr
+};
+
+struct HetEdge {
+  int src = 0;
+  int dst = 0;
+  HetEdgeType type = HetEdgeType::kAstChild;
+};
+
+/// An attributed heterogeneous graph (one loop, or a disjoint batch union).
+struct HetGraph {
+  std::vector<HetNode> nodes;
+  std::vector<HetEdge> edges;
+
+  int add_node(HetNodeType type, int token_id, int position) {
+    nodes.push_back(HetNode{type, token_id, position});
+    return static_cast<int>(nodes.size()) - 1;
+  }
+  void add_edge(int src, int dst, HetEdgeType type) {
+    edges.push_back(HetEdge{src, dst, type});
+  }
+  /// Add src->dst of `fwd` and dst->src of `rev`.
+  void add_edge_pair(int src, int dst, HetEdgeType fwd, HetEdgeType rev) {
+    add_edge(src, dst, fwd);
+    add_edge(dst, src, rev);
+  }
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  int num_edges() const { return static_cast<int>(edges.size()); }
+
+  /// Count edges of one type (tests, stats).
+  int count_edges(HetEdgeType type) const;
+  /// Validate all edge endpoints are in range.
+  bool valid() const;
+};
+
+/// Disjoint union of graphs for mini-batching. `segment_of_node[i]` gives the
+/// index of the source graph of node i (graph readout pooling key).
+struct BatchedGraph {
+  HetGraph merged;
+  std::vector<int> segment_of_node;
+  int num_graphs = 0;
+};
+
+BatchedGraph batch_graphs(const std::vector<const HetGraph*>& graphs);
+
+}  // namespace g2p

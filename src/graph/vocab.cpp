@@ -1,0 +1,73 @@
+#include "graph/vocab.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace g2p {
+
+Vocab::Vocab() {
+  add("<unk>");
+  add("<pad>");
+  add("<cls>");
+}
+
+int Vocab::add(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  tokens_.emplace_back(token);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+int Vocab::id(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kUnk : it->second;
+}
+
+const std::string& Vocab::token(int id) const {
+  if (id < 0 || id >= size()) throw std::out_of_range("Vocab::token: bad id");
+  return tokens_[static_cast<std::size_t>(id)];
+}
+
+Vocab Vocab::build(const std::unordered_map<std::string, int>& counts, int min_freq,
+                   int max_size) {
+  std::vector<std::pair<std::string, int>> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  Vocab vocab;
+  for (const auto& [token, count] : sorted) {
+    if (count < min_freq) break;
+    if (vocab.size() >= max_size) break;
+    vocab.add(token);
+  }
+  return vocab;
+}
+
+std::string Vocab::serialize() const {
+  std::string out;
+  for (const auto& t : tokens_) {
+    out += t;
+    out += '\n';
+  }
+  return out;
+}
+
+Vocab Vocab::deserialize(std::string_view text) {
+  Vocab vocab;
+  vocab.tokens_.clear();
+  vocab.index_.clear();
+  for (const auto& line : split(text, '\n')) {
+    if (line.empty()) continue;
+    const int id = static_cast<int>(vocab.tokens_.size());
+    vocab.tokens_.push_back(line);
+    vocab.index_.emplace(line, id);
+  }
+  return vocab;
+}
+
+}  // namespace g2p

@@ -1,0 +1,46 @@
+// Token vocabulary shared by the aug-AST node attributes and the
+// token-representation (PragFormer) baseline.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace g2p {
+
+/// Frequency-built string -> id mapping with reserved specials.
+class Vocab {
+ public:
+  static constexpr int kUnk = 0;  // out-of-vocabulary
+  static constexpr int kPad = 1;  // sequence padding (token models)
+  static constexpr int kCls = 2;  // sequence-start classification token
+
+  Vocab();
+
+  /// Add (or look up) a token while building. Returns its id.
+  int add(std::string_view token);
+
+  /// Lookup without insertion; unknown tokens map to kUnk.
+  int id(std::string_view token) const;
+
+  /// Reverse lookup (diagnostics).
+  const std::string& token(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// Build from a token-frequency table keeping tokens with
+  /// count >= min_freq, most frequent first, capped at max_size.
+  static Vocab build(const std::unordered_map<std::string, int>& counts, int min_freq = 1,
+                     int max_size = 20000);
+
+  /// Plain-text round-trip (one token per line, id = line index).
+  std::string serialize() const;
+  static Vocab deserialize(std::string_view text);
+
+ private:
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace g2p

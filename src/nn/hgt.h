@@ -1,0 +1,69 @@
+// Heterogeneous Graph Transformer layer (Hu et al. 2020), as restated by the
+// paper's formulas (1)-(5).
+//
+// Per layer, for a target node t with incoming edges e = (s, t):
+//   * Heterogeneous Mutual Attention (formula 2): per head i,
+//       ATT-head_i(s,e,t) = (K_i(s) W_ATT^{φ(e)} · Q_i(t)) µ(τ(s),φ(e),τ(t)) / sqrt(d/h)
+//     where K_i / Q_i are per-node-type linear projections, W_ATT is a
+//     per-edge-type head matrix, and µ is a learnable meta-relation prior.
+//     Attention is softmax-normalized over all incoming edges of t.
+//   * Heterogeneous Message Passing (formula 3): MSG-head_i = V_i(s) W_MSG^{φ(e)}.
+//   * Target-Specific Aggregation (formulas 4-5):
+//       H~[t] = Σ_s Attention · Message        (per head, heads concatenated)
+//       H[t]  = A-Linear_{τ(t)}(σ(H~[t])) + H^{l-1}[t]
+//
+// Temporal encoding / inductive timestamp assignment are disabled (§5.2: the
+// aug-AST is static).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "graph/hetgraph.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace g2p {
+
+class HgtLayer : public Module {
+ public:
+  HgtLayer(int dim, int heads, Rng& rng);
+
+  /// One round of heterogeneous message passing.
+  /// `x`: [N, dim] node states; `graph`: topology + node/edge types.
+  /// Nodes with no incoming edges keep their residual state.
+  Tensor forward(const Tensor& x, const HetGraph& graph) const;
+
+  int dim() const { return dim_; }
+  int heads() const { return heads_; }
+
+ private:
+  int dim_, heads_, head_dim_;
+
+  // Per-node-type projections K/Q/V and output A-Linear (τ-indexed).
+  std::vector<std::unique_ptr<Linear>> k_lin_, q_lin_, v_lin_, a_lin_;
+  // Per-edge-type, per-head W_ATT and W_MSG [head_dim, head_dim] (φ-indexed).
+  std::vector<std::vector<Tensor>> w_att_, w_msg_;
+  // Meta-relation prior µ, one scalar per (src-type, edge-type, dst-type),
+  // stored as [T*R*T, 1] for differentiable gathering.
+  Tensor mu_;
+
+  /// Apply the per-type linear `lins[type]` to the rows of each type and
+  /// reassemble a full [N, dim] tensor.
+  Tensor per_type_projection(const Tensor& x, const HetGraph& graph,
+                             const std::vector<std::unique_ptr<Linear>>& lins) const;
+};
+
+/// Stacked HGT encoder over an initial node embedding.
+class HgtEncoder : public Module {
+ public:
+  HgtEncoder(int dim, int heads, int layers, Rng& rng);
+
+  Tensor forward(const Tensor& x, const HetGraph& graph) const;
+
+ private:
+  std::vector<std::unique_ptr<HgtLayer>> layers_;
+  std::vector<std::unique_ptr<LayerNorm>> norms_;
+};
+
+}  // namespace g2p

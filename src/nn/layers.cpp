@@ -1,0 +1,39 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace g2p {
+
+Linear::Linear(int in_features, int out_features, Rng& rng, bool bias)
+    : in_(in_features), out_(out_features) {
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features + out_features));
+  weight_ = register_param(Tensor::rand_uniform({in_, out_}, rng, bound));
+  if (bias) bias_ = register_param(Tensor::zeros({out_}));
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  Tensor y = matmul(x, weight_);
+  if (bias_.defined()) y = add_rowvec(y, bias_);
+  return y;
+}
+
+Embedding::Embedding(int vocab_size, int dim, Rng& rng) : vocab_(vocab_size), dim_(dim) {
+  table_ = register_param(Tensor::randn({vocab_, dim_}, rng, 0.02f));
+}
+
+Tensor Embedding::forward(std::span<const int> ids) const {
+  return index_select_rows(table_, ids);
+}
+
+LayerNorm::LayerNorm(int dim) {
+  gamma_ = register_param(Tensor::full({dim}, 1.0f));
+  beta_ = register_param(Tensor::zeros({dim}));
+}
+
+FeedForward::FeedForward(int dim, int hidden, Rng& rng)
+    : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng) {
+  register_child(fc1_);
+  register_child(fc2_);
+}
+
+}  // namespace g2p

@@ -1,0 +1,63 @@
+// Basic layers: Linear, Embedding, LayerNorm, position-wise FFN.
+#pragma once
+
+#include "nn/module.h"
+#include "support/rng.h"
+#include "tensor/ops.h"
+
+namespace g2p {
+
+/// y = x W + b, Xavier-uniform initialized.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng& rng, bool bias = true);
+
+  Tensor forward(const Tensor& x) const;
+
+  int in_features() const { return in_; }
+  int out_features() const { return out_; }
+
+ private:
+  int in_, out_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+/// Lookup table [vocab, dim], N(0, 0.02) initialized.
+class Embedding : public Module {
+ public:
+  Embedding(int vocab_size, int dim, Rng& rng);
+
+  Tensor forward(std::span<const int> ids) const;
+
+  int vocab_size() const { return vocab_; }
+  int dim() const { return dim_; }
+
+ private:
+  int vocab_, dim_;
+  Tensor table_;
+};
+
+/// Learnable per-feature scale/shift layer normalization.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int dim);
+
+  Tensor forward(const Tensor& x) const { return layer_norm(x, gamma_, beta_); }
+
+ private:
+  Tensor gamma_, beta_;
+};
+
+/// Two-layer position-wise feed-forward block with GELU.
+class FeedForward : public Module {
+ public:
+  FeedForward(int dim, int hidden, Rng& rng);
+
+  Tensor forward(const Tensor& x) const { return fc2_.forward(gelu(fc1_.forward(x))); }
+
+ private:
+  Linear fc1_, fc2_;
+};
+
+}  // namespace g2p

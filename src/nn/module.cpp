@@ -1,0 +1,51 @@
+#include "nn/module.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace g2p {
+
+void Module::save(std::ostream& out) const {
+  const std::uint64_t count = params_.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& p : params_) {
+    const std::uint64_t n = p.numel();
+    out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    out.write(reinterpret_cast<const char*>(p.data().data()),
+              static_cast<std::streamsize>(n * sizeof(float)));
+  }
+}
+
+void Module::load(std::istream& in) {
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != params_.size()) {
+    throw std::runtime_error("Module::load: parameter count mismatch (" +
+                             std::to_string(count) + " vs " + std::to_string(params_.size()) +
+                             ")");
+  }
+  for (auto& p : params_) {
+    std::uint64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), sizeof(n));
+    if (n != p.numel()) throw std::runtime_error("Module::load: parameter size mismatch");
+    in.read(reinterpret_cast<char*>(p.data().data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+    if (!in) throw std::runtime_error("Module::load: truncated stream");
+  }
+}
+
+void Module::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("Module::save_file: cannot open " + path);
+  save(out);
+}
+
+bool Module::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  load(in);
+  return true;
+}
+
+}  // namespace g2p

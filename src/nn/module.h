@@ -1,0 +1,51 @@
+// Module base: parameter registration and binary (de)serialization.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace g2p {
+
+/// Base class for layers and models. Parameters are Tensor handles
+/// registered at construction; optimizers and checkpointing iterate them in
+/// registration order (which is therefore part of a model's ABI).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters, registration order.
+  const std::vector<Tensor>& parameters() const { return params_; }
+
+  std::size_t num_parameters() const {
+    std::size_t n = 0;
+    for (const auto& p : params_) n += p.numel();
+    return n;
+  }
+
+  /// Write / read all parameter values. Layout: per parameter, numel floats.
+  /// Shapes must already match (load into an identically-configured model).
+  void save(std::ostream& out) const;
+  void load(std::istream& in);
+  void save_file(const std::string& path) const;
+  bool load_file(const std::string& path);
+
+ protected:
+  /// Register a parameter tensor (sets requires_grad) and return the handle.
+  Tensor register_param(Tensor t) {
+    t.impl()->requires_grad = true;
+    params_.push_back(t);
+    return t;
+  }
+  /// Absorb a child module's parameters (composite modules).
+  void register_child(const Module& child) {
+    for (const auto& p : child.parameters()) params_.push_back(p);
+  }
+
+ private:
+  std::vector<Tensor> params_;
+};
+
+}  // namespace g2p

@@ -1,0 +1,106 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace g2p {
+
+MultiHeadAttention::MultiHeadAttention(int dim, int heads, Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng) {
+  if (dim % heads != 0) throw std::invalid_argument("MHA: dim must divide by heads");
+  register_child(wq_);
+  register_child(wk_);
+  register_child(wv_);
+  register_child(wo_);
+}
+
+Tensor MultiHeadAttention::forward(const Tensor& x) const {
+  const Tensor q = wq_.forward(x);
+  const Tensor k = wk_.forward(x);
+  const Tensor v = wv_.forward(x);
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  std::vector<Tensor> head_outputs;
+  head_outputs.reserve(static_cast<std::size_t>(heads_));
+  for (int h = 0; h < heads_; ++h) {
+    const int off = h * head_dim_;
+    const Tensor qh = col_slice(q, off, head_dim_);
+    const Tensor kh = col_slice(k, off, head_dim_);
+    const Tensor vh = col_slice(v, off, head_dim_);
+    const Tensor scores = scale(matmul(qh, transpose(kh)), inv_sqrt);  // [T,T]
+    const Tensor attn = softmax_rows(scores);
+    head_outputs.push_back(matmul(attn, vh));  // [T, head_dim]
+  }
+  return wo_.forward(concat_cols(head_outputs));
+}
+
+TransformerBlock::TransformerBlock(int dim, int heads, int ffn_hidden, Rng& rng)
+    : ln1_(dim), ln2_(dim), attn_(dim, heads, rng), ffn_(dim, ffn_hidden, rng) {
+  register_child(ln1_);
+  register_child(ln2_);
+  register_child(attn_);
+  register_child(ffn_);
+}
+
+Tensor TransformerBlock::forward(const Tensor& x) const {
+  const Tensor after_attention = add(x, attn_.forward(ln1_.forward(x)));
+  return add(after_attention, ffn_.forward(ln2_.forward(after_attention)));
+}
+
+namespace {
+
+Tensor sinusoidal_table(int max_len, int dim) {
+  std::vector<float> values(static_cast<std::size_t>(max_len) * dim);
+  for (int pos = 0; pos < max_len; ++pos) {
+    for (int i = 0; i < dim; ++i) {
+      const float angle =
+          static_cast<float>(pos) /
+          std::pow(10000.0f, 2.0f * static_cast<float>(i / 2) / static_cast<float>(dim));
+      values[static_cast<std::size_t>(pos) * dim + i] =
+          (i % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+  return Tensor::from_vector({max_len, dim}, std::move(values));
+}
+
+}  // namespace
+
+TransformerEncoder::TransformerEncoder(const Config& config, Rng& rng)
+    : config_(config),
+      token_embed_(config.vocab_size, config.dim, rng),
+      positional_(sinusoidal_table(config.max_len, config.dim)),
+      final_ln_(config.dim) {
+  register_child(token_embed_);
+  for (int i = 0; i < config.layers; ++i) {
+    blocks_.push_back(
+        std::make_unique<TransformerBlock>(config.dim, config.heads, config.ffn_hidden, rng));
+    register_child(*blocks_.back());
+  }
+  register_child(final_ln_);
+}
+
+Tensor TransformerEncoder::encode(std::span<const int> token_ids) const {
+  std::vector<int> ids(token_ids.begin(), token_ids.end());
+  if (static_cast<int>(ids.size()) > config_.max_len) {
+    ids.resize(static_cast<std::size_t>(config_.max_len));
+  }
+  constexpr int kPadId = 1;  // Vocab::kPad by convention
+  if (ids.empty()) ids.push_back(kPadId);
+  const int t = static_cast<int>(ids.size());
+
+  std::vector<int> positions(static_cast<std::size_t>(t));
+  for (int i = 0; i < t; ++i) positions[static_cast<std::size_t>(i)] = i;
+
+  Tensor x = add(token_embed_.forward(ids), index_select_rows(positional_, positions));
+  for (const auto& block : blocks_) x = block->forward(x);
+  x = final_ln_.forward(x);
+  const std::vector<int> all_zero(static_cast<std::size_t>(t), 0);
+  return segment_mean_rows(x, all_zero, 1);  // [1, dim]
+}
+
+}  // namespace g2p

@@ -1,0 +1,71 @@
+// Transformer encoder (the token-representation baseline's backbone).
+//
+// PragFormer (Harel et al. 2022) feeds source-code tokens to a transformer
+// for pragma classification; this is the same architecture class built on
+// our tensor stack: learned token embeddings + sinusoidal positions,
+// pre-LayerNorm encoder blocks with multi-head self-attention and GELU FFN,
+// mean pooling over positions.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace g2p {
+
+/// Multi-head self-attention over a single sequence [T, D].
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int dim, int heads, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;  // [T,D] -> [T,D]
+
+  int heads() const { return heads_; }
+
+ private:
+  int dim_, heads_, head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+/// Pre-LN encoder block: x + MHA(LN(x)); x + FFN(LN(x)).
+class TransformerBlock : public Module {
+ public:
+  TransformerBlock(int dim, int heads, int ffn_hidden, Rng& rng);
+
+  Tensor forward(const Tensor& x) const;
+
+ private:
+  LayerNorm ln1_, ln2_;
+  MultiHeadAttention attn_;
+  FeedForward ffn_;
+};
+
+/// Token ids -> pooled sequence representation [1, D].
+class TransformerEncoder : public Module {
+ public:
+  struct Config {
+    int vocab_size = 0;
+    int dim = 64;
+    int heads = 4;
+    int layers = 2;
+    int ffn_hidden = 128;
+    int max_len = 256;  // sequences are truncated to this many tokens
+  };
+
+  TransformerEncoder(const Config& config, Rng& rng);
+
+  /// Encode one token sequence; returns mean-pooled [1, dim].
+  Tensor encode(std::span<const int> token_ids) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Embedding token_embed_;
+  Tensor positional_;  // fixed sinusoidal table [max_len, dim] (not trained)
+  std::vector<std::unique_ptr<TransformerBlock>> blocks_;
+  LayerNorm final_ln_;
+};
+
+}  // namespace g2p

@@ -1,0 +1,46 @@
+// Minimal leveled logging. Benches and examples use INFO; tests keep the
+// default at WARN so output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace g2p {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at `level` to stderr with a level prefix.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+#define G2P_LOG_INFO ::g2p::detail::LogLine(::g2p::LogLevel::kInfo)
+#define G2P_LOG_WARN ::g2p::detail::LogLine(::g2p::LogLevel::kWarn)
+#define G2P_LOG_DEBUG ::g2p::detail::LogLine(::g2p::LogLevel::kDebug)
+#define G2P_LOG_ERROR ::g2p::detail::LogLine(::g2p::LogLevel::kError)
+
+}  // namespace g2p

@@ -1,0 +1,41 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace g2p {
+
+double Rng::normal() {
+  // Box-Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("Rng::weighted_index: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("Rng::weighted_index: all weights zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::string_view tag) const {
+  // FNV-1a over the tag mixed into the parent state.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : tag) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return Rng(state_ ^ (h | 1ull));
+}
+
+}  // namespace g2p

@@ -1,0 +1,83 @@
+// Deterministic random number generation for reproducible experiments.
+//
+// All randomness in the project flows through Rng (SplitMix64). Subsystems
+// derive independent streams from a single global experiment seed via
+// Rng::fork(tag), so adding draws in one subsystem never perturbs another.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace g2p {
+
+/// SplitMix64 PRNG: tiny, fast, and statistically solid for simulation use.
+/// Deliberately not std::mt19937 so that streams are bit-stable across
+/// platforms and standard-library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit draw.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Uniform real in [0, 1).
+  double uniform() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box-Muller (single value; second value discarded for
+  /// stream simplicity).
+  double normal();
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Uniformly pick an element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    if (items.empty()) throw std::invalid_argument("Rng::pick: empty span");
+    return items[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return pick(std::span<const T>(items));
+  }
+
+  /// Sample an index according to non-negative weights (at least one > 0).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child stream. The tag is hashed into the child's
+  /// seed so distinct tags give uncorrelated streams.
+  Rng fork(std::string_view tag) const;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace g2p

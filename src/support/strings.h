@@ -1,0 +1,38 @@
+// Small string utilities shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace g2p {
+
+/// Split on a single-character delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char delim);
+
+/// Split on any whitespace; drops empty fields.
+std::vector<std::string> split_ws(std::string_view text);
+
+/// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view text);
+
+/// Join items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// True if `needle` occurs in `haystack`.
+bool contains(std::string_view haystack, std::string_view needle);
+
+/// Replace every occurrence of `from` with `to`.
+std::string replace_all(std::string text, std::string_view from, std::string_view to);
+
+/// Format a double with fixed precision (bench table output).
+std::string fmt_fixed(double value, int digits);
+
+/// Count the number of non-empty, non-comment source lines ("LOC" in the
+/// paper's Table 1 sense).
+int count_loc(std::string_view source);
+
+}  // namespace g2p

@@ -1,0 +1,72 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace g2p {
+
+namespace {
+
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  for (char c : cell) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' && c != '+' &&
+        c != '%' && c != 'x' && c != 'e') {
+      return false;
+    }
+  }
+  return std::any_of(cell.begin(), cell.end(),
+                     [](char c) { return std::isdigit(static_cast<unsigned char>(c)); });
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable::add_row: cell count != header count");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  auto pad = [](const std::string& s, std::size_t w, bool right) {
+    std::string out;
+    if (right) out.append(w - s.size(), ' ');
+    out += s;
+    if (!right) out.append(w - s.size(), ' ');
+    return out;
+  };
+
+  std::string out;
+  std::string rule;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    rule += std::string(width[c] + 2, '-');
+    if (c + 1 < header_.size()) rule += "+";
+  }
+  rule += "\n";
+
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out += " " + pad(header_[c], width[c], false) + " ";
+    if (c + 1 < header_.size()) out += "|";
+  }
+  out += "\n" + rule;
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += " " + pad(row[c], width[c], looks_numeric(row[c])) + " ";
+      if (c + 1 < row.size()) out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace g2p

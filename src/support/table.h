@@ -1,0 +1,27 @@
+// Plain-text table rendering used by the bench harnesses to print the rows
+// the paper's tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace g2p {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment. Numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace g2p

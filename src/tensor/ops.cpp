@@ -1,0 +1,817 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.h"
+
+namespace g2p {
+
+namespace {
+
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_to_string(a.shape()) + " vs " +
+                                shape_to_string(b.shape()));
+  }
+}
+
+/// Accumulate `src` into parent's grad buffer (allocating it first).
+void accumulate(const std::shared_ptr<TensorImpl>& parent, const std::vector<float>& src) {
+  parent->ensure_grad();
+  for (std::size_t i = 0; i < src.size(); ++i) parent->grad[i] += src[i];
+}
+
+int rows_of(const Tensor& t) { return t.rank() == 1 ? 1 : t.dim(0); }
+int cols_of(const Tensor& t) { return t.rank() == 1 ? t.dim(0) : t.dim(1); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  std::vector<float> out(a.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + b.data()[i];
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return make_result(a.shape(), std::move(out), {a, b}, [pa, pb](const TensorImpl& self) {
+    accumulate(pa, self.grad);
+    accumulate(pb, self.grad);
+  });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  std::vector<float> out(a.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] - b.data()[i];
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return make_result(a.shape(), std::move(out), {a, b}, [pa, pb](const TensorImpl& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      pa->grad[i] += self.grad[i];
+      pb->grad[i] -= self.grad[i];
+    }
+  });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  std::vector<float> out(a.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * b.data()[i];
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return make_result(a.shape(), std::move(out), {a, b}, [pa, pb](const TensorImpl& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      pa->grad[i] += self.grad[i] * pb->data[i];
+      pb->grad[i] += self.grad[i] * pa->data[i];
+    }
+  });
+}
+
+Tensor scale(const Tensor& a, float factor) {
+  std::vector<float> out(a.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * factor;
+  auto pa = a.impl();
+  return make_result(a.shape(), std::move(out), {a}, [pa, factor](const TensorImpl& self) {
+    pa->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) pa->grad[i] += self.grad[i] * factor;
+  });
+}
+
+Tensor add_rowvec(const Tensor& x, const Tensor& bias) {
+  if (x.rank() != 2 || bias.rank() != 1 || x.dim(1) != bias.dim(0)) {
+    throw std::invalid_argument("add_rowvec: need [N,D] + [D]");
+  }
+  const int n = x.dim(0);
+  const int d = x.dim(1);
+  std::vector<float> out(x.numel());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      out[static_cast<std::size_t>(i) * d + j] =
+          x.data()[static_cast<std::size_t>(i) * d + j] + bias.data()[static_cast<std::size_t>(j)];
+    }
+  }
+  auto px = x.impl();
+  auto pb = bias.impl();
+  return make_result(x.shape(), std::move(out), {x, bias},
+                     [px, pb, n, d](const TensorImpl& self) {
+                       px->ensure_grad();
+                       pb->ensure_grad();
+                       for (int i = 0; i < n; ++i) {
+                         for (int j = 0; j < d; ++j) {
+                           const float g = self.grad[static_cast<std::size_t>(i) * d + j];
+                           px->grad[static_cast<std::size_t>(i) * d + j] += g;
+                           pb->grad[static_cast<std::size_t>(j)] += g;
+                         }
+                       }
+                     });
+}
+
+Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
+
+// ---------------------------------------------------------------------------
+// Activations
+// ---------------------------------------------------------------------------
+
+Tensor relu(const Tensor& x) {
+  std::vector<float> out(x.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = x.data()[i] > 0 ? x.data()[i] : 0.0f;
+  auto px = x.impl();
+  return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
+    px->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      if (px->data[i] > 0) px->grad[i] += self.grad[i];
+    }
+  });
+}
+
+Tensor gelu(const Tensor& x) {
+  // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  constexpr float kA = 0.044715f;
+  std::vector<float> out(x.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float v = x.data()[i];
+    out[i] = 0.5f * v * (1.0f + std::tanh(kC * (v + kA * v * v * v)));
+  }
+  auto px = x.impl();
+  return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
+    px->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      const float v = px->data[i];
+      const float u = kC * (v + kA * v * v * v);
+      const float t = std::tanh(u);
+      const float du = kC * (1.0f + 3.0f * kA * v * v);
+      const float dgelu = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
+      px->grad[i] += self.grad[i] * dgelu;
+    }
+  });
+}
+
+Tensor tanh_op(const Tensor& x) {
+  std::vector<float> out(x.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(x.data()[i]);
+  auto px = x.impl();
+  return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
+    px->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      px->grad[i] += self.grad[i] * (1.0f - self.data[i] * self.data[i]);
+    }
+  });
+}
+
+Tensor sigmoid(const Tensor& x) {
+  std::vector<float> out(x.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = 1.0f / (1.0f + std::exp(-x.data()[i]));
+  auto px = x.impl();
+  return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
+    px->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      px->grad[i] += self.grad[i] * self.data[i] * (1.0f - self.data[i]);
+    }
+  });
+}
+
+Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return x;
+  if (p >= 1.0f) throw std::invalid_argument("dropout: p must be < 1");
+  const float keep = 1.0f - p;
+  auto mask = std::make_shared<std::vector<float>>(x.numel());
+  std::vector<float> out(x.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float m = rng.chance(p) ? 0.0f : 1.0f / keep;
+    (*mask)[i] = m;
+    out[i] = x.data()[i] * m;
+  }
+  auto px = x.impl();
+  return make_result(x.shape(), std::move(out), {x}, [px, mask](const TensorImpl& self) {
+    px->ensure_grad();
+    for (std::size_t i = 0; i < self.grad.size(); ++i) {
+      px->grad[i] += self.grad[i] * (*mask)[i];
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("matmul: incompatible shapes " + shape_to_string(a.shape()) +
+                                " x " + shape_to_string(b.shape()));
+  }
+  const int n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n) * m, 0.0f);
+  // ikj loop order for cache-friendly access.
+  for (int i = 0; i < n; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = a.data()[static_cast<std::size_t>(i) * k + kk];
+      if (av == 0.0f) continue;
+      const std::size_t brow = static_cast<std::size_t>(kk) * m;
+      const std::size_t orow = static_cast<std::size_t>(i) * m;
+      for (int j = 0; j < m; ++j) out[orow + j] += av * b.data()[brow + j];
+    }
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return make_result({n, m}, std::move(out), {a, b}, [pa, pb, n, k, m](const TensorImpl& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    // dA = dOut * B^T
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const float g = self.grad[static_cast<std::size_t>(i) * m + j];
+        if (g == 0.0f) continue;
+        for (int kk = 0; kk < k; ++kk) {
+          pa->grad[static_cast<std::size_t>(i) * k + kk] +=
+              g * pb->data[static_cast<std::size_t>(kk) * m + j];
+        }
+      }
+    }
+    // dB = A^T * dOut
+    for (int kk = 0; kk < k; ++kk) {
+      for (int i = 0; i < n; ++i) {
+        const float av = pa->data[static_cast<std::size_t>(i) * k + kk];
+        if (av == 0.0f) continue;
+        const std::size_t grow = static_cast<std::size_t>(i) * m;
+        const std::size_t brow = static_cast<std::size_t>(kk) * m;
+        for (int j = 0; j < m; ++j) pb->grad[brow + j] += av * self.grad[grow + j];
+      }
+    }
+  });
+}
+
+Tensor transpose(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("transpose: rank-2 only");
+  const int n = a.dim(0), m = a.dim(1);
+  std::vector<float> out(a.numel());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      out[static_cast<std::size_t>(j) * n + i] = a.data()[static_cast<std::size_t>(i) * m + j];
+    }
+  }
+  auto pa = a.impl();
+  return make_result({m, n}, std::move(out), {a}, [pa, n, m](const TensorImpl& self) {
+    pa->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        pa->grad[static_cast<std::size_t>(i) * m + j] +=
+            self.grad[static_cast<std::size_t>(j) * n + i];
+      }
+    }
+  });
+}
+
+Tensor reshape(const Tensor& a, Shape new_shape) {
+  if (shape_numel(new_shape) != a.numel()) {
+    throw std::invalid_argument("reshape: numel mismatch");
+  }
+  auto pa = a.impl();
+  std::vector<float> out = a.data();
+  return make_result(std::move(new_shape), std::move(out), {a}, [pa](const TensorImpl& self) {
+    accumulate(pa, self.grad);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+Tensor sum_all(const Tensor& x) {
+  float total = 0.0f;
+  for (float v : x.data()) total += v;
+  auto px = x.impl();
+  return make_result({1}, {total}, {x}, [px](const TensorImpl& self) {
+    px->ensure_grad();
+    for (auto& g : px->grad) g += self.grad[0];
+  });
+}
+
+Tensor mean_all(const Tensor& x) {
+  const float inv = 1.0f / static_cast<float>(x.numel());
+  float total = 0.0f;
+  for (float v : x.data()) total += v;
+  auto px = x.impl();
+  return make_result({1}, {total * inv}, {x}, [px, inv](const TensorImpl& self) {
+    px->ensure_grad();
+    for (auto& g : px->grad) g += self.grad[0] * inv;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Softmax & losses
+// ---------------------------------------------------------------------------
+
+Tensor softmax_rows(const Tensor& x) {
+  if (x.rank() != 2) throw std::invalid_argument("softmax_rows: rank-2 only");
+  const int n = x.dim(0), c = x.dim(1);
+  std::vector<float> out(x.numel());
+  for (int i = 0; i < n; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i) * c;
+    float mx = x.data()[row];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, x.data()[row + j]);
+    float denom = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      out[row + j] = std::exp(x.data()[row + j] - mx);
+      denom += out[row + j];
+    }
+    for (int j = 0; j < c; ++j) out[row + j] /= denom;
+  }
+  auto px = x.impl();
+  return make_result(x.shape(), std::move(out), {x}, [px, n, c](const TensorImpl& self) {
+    px->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      const std::size_t row = static_cast<std::size_t>(i) * c;
+      float dot = 0.0f;
+      for (int j = 0; j < c; ++j) dot += self.grad[row + j] * self.data[row + j];
+      for (int j = 0; j < c; ++j) {
+        px->grad[row + j] += self.data[row + j] * (self.grad[row + j] - dot);
+      }
+    }
+  });
+}
+
+Tensor log_softmax_rows(const Tensor& x) {
+  if (x.rank() != 2) throw std::invalid_argument("log_softmax_rows: rank-2 only");
+  const int n = x.dim(0), c = x.dim(1);
+  std::vector<float> out(x.numel());
+  for (int i = 0; i < n; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i) * c;
+    float mx = x.data()[row];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, x.data()[row + j]);
+    float denom = 0.0f;
+    for (int j = 0; j < c; ++j) denom += std::exp(x.data()[row + j] - mx);
+    const float log_denom = std::log(denom) + mx;
+    for (int j = 0; j < c; ++j) out[row + j] = x.data()[row + j] - log_denom;
+  }
+  auto px = x.impl();
+  return make_result(x.shape(), std::move(out), {x}, [px, n, c](const TensorImpl& self) {
+    px->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      const std::size_t row = static_cast<std::size_t>(i) * c;
+      float gsum = 0.0f;
+      for (int j = 0; j < c; ++j) gsum += self.grad[row + j];
+      for (int j = 0; j < c; ++j) {
+        px->grad[row + j] += self.grad[row + j] - std::exp(self.data[row + j]) * gsum;
+      }
+    }
+  });
+}
+
+Tensor cross_entropy(const Tensor& logits, std::span<const int> labels) {
+  std::vector<float> uniform_weights(static_cast<std::size_t>(logits.dim(1)), 1.0f);
+  return cross_entropy_weighted(logits, labels, uniform_weights);
+}
+
+Tensor cross_entropy_weighted(const Tensor& logits, std::span<const int> labels,
+                              std::span<const float> class_weights) {
+  if (logits.rank() != 2) throw std::invalid_argument("cross_entropy: rank-2 logits");
+  const int n = logits.dim(0), c = logits.dim(1);
+  if (static_cast<int>(labels.size()) != n) {
+    throw std::invalid_argument("cross_entropy: labels size != batch");
+  }
+  if (static_cast<int>(class_weights.size()) != c) {
+    throw std::invalid_argument("cross_entropy: class_weights size != classes");
+  }
+  // Forward: weighted mean of -log softmax[label].
+  auto probs = std::make_shared<std::vector<float>>(logits.numel());
+  std::vector<int> labels_copy(labels.begin(), labels.end());
+  std::vector<float> weights_copy(class_weights.begin(), class_weights.end());
+  float loss = 0.0f;
+  float weight_total = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const int label = labels_copy[static_cast<std::size_t>(i)];
+    if (label < 0 || label >= c) throw std::invalid_argument("cross_entropy: label out of range");
+    const std::size_t row = static_cast<std::size_t>(i) * c;
+    float mx = logits.data()[row];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, logits.data()[row + j]);
+    float denom = 0.0f;
+    for (int j = 0; j < c; ++j) {
+      (*probs)[row + j] = std::exp(logits.data()[row + j] - mx);
+      denom += (*probs)[row + j];
+    }
+    for (int j = 0; j < c; ++j) (*probs)[row + j] /= denom;
+    const float w = weights_copy[static_cast<std::size_t>(label)];
+    loss -= w * std::log(std::max((*probs)[row + static_cast<std::size_t>(label)], 1e-12f));
+    weight_total += w;
+  }
+  if (weight_total <= 0.0f) weight_total = 1.0f;
+  loss /= weight_total;
+
+  auto pl = logits.impl();
+  return make_result(
+      {1}, {loss}, {logits},
+      [pl, probs, labels_copy, weights_copy, n, c, weight_total](const TensorImpl& self) {
+        pl->ensure_grad();
+        const float gscale = self.grad[0] / weight_total;
+        for (int i = 0; i < n; ++i) {
+          const int label = labels_copy[static_cast<std::size_t>(i)];
+          const float w = weights_copy[static_cast<std::size_t>(label)];
+          const std::size_t row = static_cast<std::size_t>(i) * c;
+          for (int j = 0; j < c; ++j) {
+            const float indicator = (j == label) ? 1.0f : 0.0f;
+            pl->grad[row + j] += gscale * w * ((*probs)[row + j] - indicator);
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Irregular / graph ops
+// ---------------------------------------------------------------------------
+
+Tensor index_select_rows(const Tensor& x, std::span<const int> index) {
+  if (x.rank() != 2) throw std::invalid_argument("index_select_rows: rank-2 only");
+  const int n = x.dim(0), d = x.dim(1);
+  std::vector<int> idx(index.begin(), index.end());
+  std::vector<float> out(idx.size() * static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    if (idx[i] < 0 || idx[i] >= n) throw std::out_of_range("index_select_rows: bad index");
+    std::copy_n(x.data().begin() + static_cast<std::ptrdiff_t>(idx[i]) * d, d,
+                out.begin() + static_cast<std::ptrdiff_t>(i) * d);
+  }
+  auto px = x.impl();
+  return make_result({static_cast<int>(idx.size()), d}, std::move(out), {x},
+                     [px, idx, d](const TensorImpl& self) {
+                       px->ensure_grad();
+                       for (std::size_t i = 0; i < idx.size(); ++i) {
+                         const std::size_t src = i * static_cast<std::size_t>(d);
+                         const std::size_t dst = static_cast<std::size_t>(idx[i]) * d;
+                         for (int j = 0; j < d; ++j) px->grad[dst + j] += self.grad[src + j];
+                       }
+                     });
+}
+
+Tensor scatter_add_rows(const Tensor& src, std::span<const int> index, int num_rows) {
+  if (src.rank() != 2) throw std::invalid_argument("scatter_add_rows: rank-2 only");
+  const int e = src.dim(0), d = src.dim(1);
+  if (static_cast<int>(index.size()) != e) {
+    throw std::invalid_argument("scatter_add_rows: index size != rows");
+  }
+  std::vector<int> idx(index.begin(), index.end());
+  std::vector<float> out(static_cast<std::size_t>(num_rows) * d, 0.0f);
+  for (int i = 0; i < e; ++i) {
+    if (idx[static_cast<std::size_t>(i)] < 0 || idx[static_cast<std::size_t>(i)] >= num_rows) {
+      throw std::out_of_range("scatter_add_rows: bad index");
+    }
+    const std::size_t dst = static_cast<std::size_t>(idx[static_cast<std::size_t>(i)]) * d;
+    const std::size_t s = static_cast<std::size_t>(i) * d;
+    for (int j = 0; j < d; ++j) out[dst + j] += src.data()[s + j];
+  }
+  auto ps = src.impl();
+  return make_result({num_rows, d}, std::move(out), {src},
+                     [ps, idx, d](const TensorImpl& self) {
+                       ps->ensure_grad();
+                       for (std::size_t i = 0; i < idx.size(); ++i) {
+                         const std::size_t src_off = static_cast<std::size_t>(idx[i]) * d;
+                         const std::size_t dst_off = i * static_cast<std::size_t>(d);
+                         for (int j = 0; j < d; ++j) {
+                           ps->grad[dst_off + j] += self.grad[src_off + j];
+                         }
+                       }
+                     });
+}
+
+Tensor segment_softmax(const Tensor& logits, std::span<const int> segment, int num_segments) {
+  if (logits.rank() != 1) throw std::invalid_argument("segment_softmax: rank-1 logits");
+  const int e = logits.dim(0);
+  if (static_cast<int>(segment.size()) != e) {
+    throw std::invalid_argument("segment_softmax: segment size != entries");
+  }
+  std::vector<int> seg(segment.begin(), segment.end());
+  // Numerically stable per-segment softmax.
+  std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (int i = 0; i < e; ++i) {
+    if (seg[static_cast<std::size_t>(i)] < 0 || seg[static_cast<std::size_t>(i)] >= num_segments) {
+      throw std::out_of_range("segment_softmax: bad segment id");
+    }
+    auto& m = seg_max[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])];
+    m = std::max(m, logits.data()[static_cast<std::size_t>(i)]);
+  }
+  std::vector<float> out(static_cast<std::size_t>(e));
+  std::vector<float> denom(static_cast<std::size_t>(num_segments), 0.0f);
+  for (int i = 0; i < e; ++i) {
+    const auto s = static_cast<std::size_t>(seg[static_cast<std::size_t>(i)]);
+    out[static_cast<std::size_t>(i)] =
+        std::exp(logits.data()[static_cast<std::size_t>(i)] - seg_max[s]);
+    denom[s] += out[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < e; ++i) {
+    const auto s = static_cast<std::size_t>(seg[static_cast<std::size_t>(i)]);
+    out[static_cast<std::size_t>(i)] /= std::max(denom[s], 1e-12f);
+  }
+  auto pl = logits.impl();
+  return make_result(
+      {e}, std::move(out), {logits}, [pl, seg, num_segments](const TensorImpl& self) {
+        pl->ensure_grad();
+        // d logits_i = y_i * (g_i - sum_{j in seg} g_j y_j)
+        std::vector<float> seg_dot(static_cast<std::size_t>(num_segments), 0.0f);
+        for (std::size_t i = 0; i < seg.size(); ++i) {
+          seg_dot[static_cast<std::size_t>(seg[i])] += self.grad[i] * self.data[i];
+        }
+        for (std::size_t i = 0; i < seg.size(); ++i) {
+          pl->grad[i] +=
+              self.data[i] * (self.grad[i] - seg_dot[static_cast<std::size_t>(seg[i])]);
+        }
+      });
+}
+
+Tensor segment_mean_rows(const Tensor& x, std::span<const int> segment, int num_segments) {
+  if (x.rank() != 2) throw std::invalid_argument("segment_mean_rows: rank-2 only");
+  const int n = x.dim(0), d = x.dim(1);
+  if (static_cast<int>(segment.size()) != n) {
+    throw std::invalid_argument("segment_mean_rows: segment size != rows");
+  }
+  std::vector<int> seg(segment.begin(), segment.end());
+  std::vector<float> counts(static_cast<std::size_t>(num_segments), 0.0f);
+  for (int i = 0; i < n; ++i) {
+    if (seg[static_cast<std::size_t>(i)] < 0 || seg[static_cast<std::size_t>(i)] >= num_segments) {
+      throw std::out_of_range("segment_mean_rows: bad segment id");
+    }
+    counts[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])] += 1.0f;
+  }
+  std::vector<float> out(static_cast<std::size_t>(num_segments) * d, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(seg[static_cast<std::size_t>(i)]);
+    const float inv = 1.0f / std::max(counts[s], 1.0f);
+    const std::size_t src = static_cast<std::size_t>(i) * d;
+    const std::size_t dst = s * static_cast<std::size_t>(d);
+    for (int j = 0; j < d; ++j) out[dst + j] += x.data()[src + j] * inv;
+  }
+  auto px = x.impl();
+  auto counts_shared = std::make_shared<std::vector<float>>(std::move(counts));
+  return make_result({num_segments, d}, std::move(out), {x},
+                     [px, seg, counts_shared, d](const TensorImpl& self) {
+                       px->ensure_grad();
+                       for (std::size_t i = 0; i < seg.size(); ++i) {
+                         const auto s = static_cast<std::size_t>(seg[i]);
+                         const float inv = 1.0f / std::max((*counts_shared)[s], 1.0f);
+                         const std::size_t src = s * static_cast<std::size_t>(d);
+                         const std::size_t dst = i * static_cast<std::size_t>(d);
+                         for (int j = 0; j < d; ++j) {
+                           px->grad[dst + j] += self.grad[src + j] * inv;
+                         }
+                       }
+                     });
+}
+
+Tensor scale_rows(const Tensor& x, const Tensor& w) {
+  if (x.rank() != 2 || w.rank() != 1 || x.dim(0) != w.dim(0)) {
+    throw std::invalid_argument("scale_rows: need [N,D] and [N]");
+  }
+  const int n = x.dim(0), d = x.dim(1);
+  std::vector<float> out(x.numel());
+  for (int i = 0; i < n; ++i) {
+    const float wi = w.data()[static_cast<std::size_t>(i)];
+    const std::size_t row = static_cast<std::size_t>(i) * d;
+    for (int j = 0; j < d; ++j) out[row + j] = x.data()[row + j] * wi;
+  }
+  auto px = x.impl();
+  auto pw = w.impl();
+  return make_result(x.shape(), std::move(out), {x, w}, [px, pw, n, d](const TensorImpl& self) {
+    px->ensure_grad();
+    pw->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      const std::size_t row = static_cast<std::size_t>(i) * d;
+      const float wi = pw->data[static_cast<std::size_t>(i)];
+      float dot = 0.0f;
+      for (int j = 0; j < d; ++j) {
+        px->grad[row + j] += self.grad[row + j] * wi;
+        dot += self.grad[row + j] * px->data[row + j];
+      }
+      pw->grad[static_cast<std::size_t>(i)] += dot;
+    }
+  });
+}
+
+Tensor row_dot(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "row_dot");
+  if (a.rank() != 2) throw std::invalid_argument("row_dot: rank-2 only");
+  const int n = a.dim(0), d = a.dim(1);
+  std::vector<float> out(static_cast<std::size_t>(n), 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i) * d;
+    float acc = 0.0f;
+    for (int j = 0; j < d; ++j) acc += a.data()[row + j] * b.data()[row + j];
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return make_result({n}, std::move(out), {a, b}, [pa, pb, n, d](const TensorImpl& self) {
+    pa->ensure_grad();
+    pb->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      const float g = self.grad[static_cast<std::size_t>(i)];
+      const std::size_t row = static_cast<std::size_t>(i) * d;
+      for (int j = 0; j < d; ++j) {
+        pa->grad[row + j] += g * pb->data[row + j];
+        pb->grad[row + j] += g * pa->data[row + j];
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Shape surgery
+// ---------------------------------------------------------------------------
+
+Tensor col_slice(const Tensor& x, int start, int len) {
+  if (x.rank() != 2) throw std::invalid_argument("col_slice: rank-2 only");
+  const int n = x.dim(0), d = x.dim(1);
+  if (start < 0 || len <= 0 || start + len > d) {
+    throw std::out_of_range("col_slice: bad range");
+  }
+  std::vector<float> out(static_cast<std::size_t>(n) * len);
+  for (int i = 0; i < n; ++i) {
+    std::copy_n(x.data().begin() + static_cast<std::ptrdiff_t>(i) * d + start, len,
+                out.begin() + static_cast<std::ptrdiff_t>(i) * len);
+  }
+  auto px = x.impl();
+  return make_result({n, len}, std::move(out), {x}, [px, n, d, start, len](const TensorImpl& self) {
+    px->ensure_grad();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < len; ++j) {
+        px->grad[static_cast<std::size_t>(i) * d + start + j] +=
+            self.grad[static_cast<std::size_t>(i) * len + j];
+      }
+    }
+  });
+}
+
+Tensor concat_cols(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_cols: no parts");
+  const int n = parts[0].dim(0);
+  int total = 0;
+  for (const auto& p : parts) {
+    if (p.rank() != 2 || p.dim(0) != n) throw std::invalid_argument("concat_cols: shape mismatch");
+    total += p.dim(1);
+  }
+  std::vector<float> out(static_cast<std::size_t>(n) * total);
+  int offset = 0;
+  for (const auto& p : parts) {
+    const int d = p.dim(1);
+    for (int i = 0; i < n; ++i) {
+      std::copy_n(p.data().begin() + static_cast<std::ptrdiff_t>(i) * d, d,
+                  out.begin() + static_cast<std::ptrdiff_t>(i) * total + offset);
+    }
+    offset += d;
+  }
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  std::vector<int> widths;
+  for (const auto& p : parts) {
+    impls.push_back(p.impl());
+    widths.push_back(p.dim(1));
+  }
+  return make_result({n, total}, std::move(out), parts,
+                     [impls, widths, n, total](const TensorImpl& self) {
+                       int offset = 0;
+                       for (std::size_t pi = 0; pi < impls.size(); ++pi) {
+                         impls[pi]->ensure_grad();
+                         const int d = widths[pi];
+                         for (int i = 0; i < n; ++i) {
+                           for (int j = 0; j < d; ++j) {
+                             impls[pi]->grad[static_cast<std::size_t>(i) * d + j] +=
+                                 self.grad[static_cast<std::size_t>(i) * total + offset + j];
+                           }
+                         }
+                         offset += d;
+                       }
+                     });
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_rows: no parts");
+  const int d = parts[0].dim(1);
+  int total = 0;
+  for (const auto& p : parts) {
+    if (p.rank() != 2 || p.dim(1) != d) throw std::invalid_argument("concat_rows: shape mismatch");
+    total += p.dim(0);
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<std::size_t>(total) * d);
+  for (const auto& p : parts) out.insert(out.end(), p.data().begin(), p.data().end());
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  std::vector<int> heights;
+  for (const auto& p : parts) {
+    impls.push_back(p.impl());
+    heights.push_back(p.dim(0));
+  }
+  return make_result({total, d}, std::move(out), parts,
+                     [impls, heights, d](const TensorImpl& self) {
+                       std::size_t offset = 0;
+                       for (std::size_t pi = 0; pi < impls.size(); ++pi) {
+                         impls[pi]->ensure_grad();
+                         const std::size_t count =
+                             static_cast<std::size_t>(heights[pi]) * static_cast<std::size_t>(d);
+                         for (std::size_t i = 0; i < count; ++i) {
+                           impls[pi]->grad[i] += self.grad[offset + i];
+                         }
+                         offset += count;
+                       }
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// Normalization
+// ---------------------------------------------------------------------------
+
+Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta, float eps) {
+  if (x.rank() != 2 || gamma.rank() != 1 || beta.rank() != 1 || gamma.dim(0) != x.dim(1) ||
+      beta.dim(0) != x.dim(1)) {
+    throw std::invalid_argument("layer_norm: need [N,D], [D], [D]");
+  }
+  const int n = x.dim(0), d = x.dim(1);
+  auto normalized = std::make_shared<std::vector<float>>(x.numel());
+  auto inv_std = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));
+  std::vector<float> out(x.numel());
+  for (int i = 0; i < n; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i) * d;
+    float mean = 0.0f;
+    for (int j = 0; j < d; ++j) mean += x.data()[row + j];
+    mean /= static_cast<float>(d);
+    float var = 0.0f;
+    for (int j = 0; j < d; ++j) {
+      const float c = x.data()[row + j] - mean;
+      var += c * c;
+    }
+    var /= static_cast<float>(d);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<std::size_t>(i)] = istd;
+    for (int j = 0; j < d; ++j) {
+      const float y = (x.data()[row + j] - mean) * istd;
+      (*normalized)[row + j] = y;
+      out[row + j] = y * gamma.data()[static_cast<std::size_t>(j)] +
+                     beta.data()[static_cast<std::size_t>(j)];
+    }
+  }
+  auto px = x.impl();
+  auto pg = gamma.impl();
+  auto pb = beta.impl();
+  return make_result(
+      x.shape(), std::move(out), {x, gamma, beta},
+      [px, pg, pb, normalized, inv_std, n, d](const TensorImpl& self) {
+        px->ensure_grad();
+        pg->ensure_grad();
+        pb->ensure_grad();
+        for (int i = 0; i < n; ++i) {
+          const std::size_t row = static_cast<std::size_t>(i) * d;
+          const float istd = (*inv_std)[static_cast<std::size_t>(i)];
+          float mean_gy = 0.0f;   // mean over features of gamma*g
+          float mean_gyy = 0.0f;  // mean of gamma*g*y
+          for (int j = 0; j < d; ++j) {
+            const float gy = self.grad[row + j] * pg->data[static_cast<std::size_t>(j)];
+            mean_gy += gy;
+            mean_gyy += gy * (*normalized)[row + j];
+          }
+          mean_gy /= static_cast<float>(d);
+          mean_gyy /= static_cast<float>(d);
+          for (int j = 0; j < d; ++j) {
+            const float gy = self.grad[row + j] * pg->data[static_cast<std::size_t>(j)];
+            const float y = (*normalized)[row + j];
+            px->grad[row + j] += (gy - mean_gy - y * mean_gyy) * istd;
+            pg->grad[static_cast<std::size_t>(j)] += self.grad[row + j] * y;
+            pb->grad[static_cast<std::size_t>(j)] += self.grad[row + j];
+          }
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Non-differentiable helpers
+// ---------------------------------------------------------------------------
+
+std::vector<int> argmax_rows(const Tensor& x) {
+  const int n = rows_of(x);
+  const int c = cols_of(x);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i) * c;
+    int best = 0;
+    for (int j = 1; j < c; ++j) {
+      if (x.data()[row + j] > x.data()[row + best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+float grad_l2_norm(const std::vector<Tensor>& params) {
+  double total = 0.0;
+  for (const auto& p : params) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+}  // namespace g2p

@@ -1,0 +1,60 @@
+// Optimizers: SGD with momentum, Adam with decoupled weight decay (AdamW).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace g2p {
+
+/// Common optimizer interface over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Clear gradients of all parameters.
+  void zero_grad() {
+    for (auto& p : params_) p.zero_grad();
+  }
+
+  /// Scale gradients so their global L2 norm is at most `max_norm`.
+  void clip_grad_norm(float max_norm);
+
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f, float weight_decay = 0.0f);
+  void step() override;
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  int t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace g2p

@@ -1,0 +1,99 @@
+// Dense float32 tensor with reverse-mode automatic differentiation.
+//
+// This is the numeric substrate for the HGT model and the transformer
+// baseline (the paper trains with PyTorch; libtorch is unavailable here, so
+// the math is reimplemented from scratch and gradient-checked in tests).
+//
+// Design: a Tensor is a cheap value-semantic handle to a shared TensorImpl.
+// Operations (ops.h) build a dynamic tape; Tensor::backward() runs reverse
+// topological order accumulating gradients. Shapes are row-major, rank 1-3.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace g2p {
+
+class Rng;
+
+using Shape = std::vector<int>;
+
+std::string shape_to_string(const Shape& shape);
+std::size_t shape_numel(const Shape& shape);
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;        // allocated lazily on first backward touch
+  bool requires_grad = false;
+
+  // Tape: parents kept alive via shared_ptr; backward_fn pushes this node's
+  // grad into its parents' grads. The function captures parents by
+  // shared_ptr and refers to this node through a raw pointer (no cycle).
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void(const TensorImpl&)> backward_fn;
+
+  void ensure_grad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+class Tensor {
+ public:
+  Tensor() = default;  // null tensor
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+  // ---- construction ----
+  static Tensor zeros(Shape shape, bool requires_grad = false);
+  static Tensor full(Shape shape, float value, bool requires_grad = false);
+  static Tensor from_vector(Shape shape, std::vector<float> values, bool requires_grad = false);
+  static Tensor scalar(float value, bool requires_grad = false);
+  /// Normal(0, std) init (parameter initialization).
+  static Tensor randn(Shape shape, Rng& rng, float std_dev = 1.0f, bool requires_grad = false);
+  /// Uniform(-bound, bound) init.
+  static Tensor rand_uniform(Shape shape, Rng& rng, float bound, bool requires_grad = false);
+
+  // ---- structure ----
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl_->shape; }
+  int dim(int i) const { return impl_->shape[static_cast<std::size_t>(i)]; }
+  int rank() const { return static_cast<int>(impl_->shape.size()); }
+  std::size_t numel() const { return impl_->data.size(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  // ---- data access ----
+  std::vector<float>& data() { return impl_->data; }
+  const std::vector<float>& data() const { return impl_->data; }
+  std::vector<float>& grad() {
+    impl_->ensure_grad();
+    return impl_->grad;
+  }
+  const std::vector<float>& grad() const { return impl_->grad; }
+  float item() const;
+  float at(std::initializer_list<int> index) const;
+
+  std::shared_ptr<TensorImpl> impl() const { return impl_; }
+
+  /// Run reverse-mode autodiff from this (scalar) tensor. Accumulates into
+  /// .grad of every reachable tensor with requires_grad.
+  void backward();
+
+  /// Clear this tensor's gradient (optimizers call per-parameter).
+  void zero_grad();
+
+  /// A view-copy with the tape cut (same data buffer is copied).
+  Tensor detach() const;
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Helper for op implementations: make a result tensor wired to parents.
+Tensor make_result(Shape shape, std::vector<float> data,
+                   std::vector<Tensor> parents,
+                   std::function<void(const TensorImpl&)> backward_fn);
+
+}  // namespace g2p

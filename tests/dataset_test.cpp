@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "analysis/tools.h"
+#include "dataset/generator.h"
+#include "dataset/template_engine.h"
+
+namespace g2p {
+namespace {
+
+// ---- template engine -----------------------------------------------------------
+
+TEST(TemplateEngine, PlainTextPassesThrough) {
+  EXPECT_EQ(render_template("int x = 1;", {}), "int x = 1;");
+}
+
+TEST(TemplateEngine, VariableSubstitution) {
+  EXPECT_EQ(render_template("{{type}} {{name}};", {{"type", "int"}, {"name", "x"}}),
+            "int x;");
+}
+
+TEST(TemplateEngine, WhitespaceInsideBraces) {
+  EXPECT_EQ(render_template("{{ a }}+{{b }}", {{"a", "1"}, {"b", "2"}}), "1+2");
+}
+
+TEST(TemplateEngine, UnboundVariableThrows) {
+  EXPECT_THROW(render_template("{{missing}}", {}), TemplateError);
+}
+
+TEST(TemplateEngine, UnterminatedVariableThrows) {
+  EXPECT_THROW(render_template("{{oops", {}), TemplateError);
+}
+
+TEST(TemplateEngine, ForLoopExpansion) {
+  EXPECT_EQ(render_template("{% for i in 0..3 %}x{{i}};{% endfor %}", {}), "x0;x1;x2;");
+}
+
+TEST(TemplateEngine, ForLoopWithBoundVariable) {
+  EXPECT_EQ(render_template("{% for i in 0..n %}{{i}}{% endfor %}", {{"n", "4"}}), "0123");
+}
+
+TEST(TemplateEngine, EmptyRangeProducesNothing) {
+  EXPECT_EQ(render_template("a{% for i in 2..2 %}X{% endfor %}b", {}), "ab");
+}
+
+TEST(TemplateEngine, NestedForLoops) {
+  EXPECT_EQ(render_template("{% for i in 0..2 %}{% for j in 0..2 %}{{i}}{{j}} {% endfor %}{% endfor %}", {}),
+            "00 01 10 11 ");
+}
+
+TEST(TemplateEngine, LoopVarShadowsBinding) {
+  EXPECT_EQ(render_template("{{i}}{% for i in 0..2 %}{{i}}{% endfor %}{{i}}",
+                            {{"i", "Z"}}),
+            "Z01Z");
+}
+
+TEST(TemplateEngine, MissingEndforThrows) {
+  EXPECT_THROW(render_template("{% for i in 0..2 %}x", {}), TemplateError);
+}
+
+TEST(TemplateEngine, StrayEndforThrows) {
+  EXPECT_THROW(render_template("{% endfor %}", {}), TemplateError);
+}
+
+// ---- generator ------------------------------------------------------------------
+
+GeneratorConfig tiny_config() {
+  GeneratorConfig cfg;
+  cfg.scale = 0.02;  // ~650 loops: fast but statistically meaningful
+  return cfg;
+}
+
+TEST(Generator, DeterministicAcrossRuns) {
+  const auto files_a = CorpusGenerator(tiny_config()).generate_files();
+  const auto files_b = CorpusGenerator(tiny_config()).generate_files();
+  ASSERT_EQ(files_a.size(), files_b.size());
+  for (std::size_t i = 0; i < files_a.size(); ++i) {
+    EXPECT_EQ(files_a[i].source, files_b[i].source) << files_a[i].name;
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig other = tiny_config();
+  other.seed = 999;
+  const auto files_a = CorpusGenerator(tiny_config()).generate_files();
+  const auto files_b = CorpusGenerator(other).generate_files();
+  int same = 0;
+  for (std::size_t i = 0; i < std::min(files_a.size(), files_b.size()); ++i) {
+    same += (files_a[i].source == files_b[i].source);
+  }
+  EXPECT_LT(same, static_cast<int>(files_a.size()) / 2);
+}
+
+TEST(Generator, AllFilesParse) {
+  const auto files = CorpusGenerator(tiny_config()).generate_files();
+  int failures = 0;
+  for (const auto& file : files) {
+    try {
+      parse_translation_unit(file.source);
+    } catch (const std::exception& e) {
+      if (++failures <= 3) ADD_FAILURE() << file.name << ": " << e.what() << "\n" << file.source;
+    }
+  }
+  EXPECT_EQ(failures, 0);
+}
+
+class CorpusFixture : public ::testing::Test {
+ protected:
+  static const Corpus& corpus() {
+    static const Corpus c = CorpusGenerator(tiny_config()).generate();
+    return c;
+  }
+};
+
+TEST_F(CorpusFixture, CategoryMixMatchesTable1Shape) {
+  const auto& c = corpus();
+  EXPECT_GT(c.size(), 500);
+  const int reduction = c.count_category(PragmaCategory::kReduction);
+  const int priv = c.count_category(PragmaCategory::kPrivate);
+  const int simd = c.count_category(PragmaCategory::kSimd);
+  const int target = c.count_category(PragmaCategory::kTarget);
+  const int serial = c.size() - c.count_parallel();
+  // Table 1 ordering: private > reduction ~ simd > target; serial ~ 45%.
+  EXPECT_GT(priv, reduction);
+  EXPECT_GT(reduction, target);
+  EXPECT_GT(simd, target);
+  EXPECT_GT(serial, c.size() / 3);
+  EXPECT_LT(serial, 2 * c.size() / 3);
+}
+
+TEST_F(CorpusFixture, ParallelLoopsCarryCategory) {
+  for (const auto& s : corpus().samples) {
+    if (s.parallel) {
+      EXPECT_NE(s.category, PragmaCategory::kNone) << s.id;
+    } else {
+      EXPECT_EQ(s.category, PragmaCategory::kNone) << s.id;
+    }
+  }
+}
+
+TEST_F(CorpusFixture, StructuralFractionsRoughlyMatch) {
+  const auto& c = corpus();
+  int serial_total = 0, serial_call = 0, serial_nested = 0;
+  for (const auto& s : c.samples) {
+    if (s.parallel || s.origin != SampleOrigin::kGitHub) continue;
+    ++serial_total;
+    serial_call += s.has_function_call;
+    serial_nested += s.is_nested;
+  }
+  ASSERT_GT(serial_total, 100);
+  // Table 1: 21.8% calls, 42.4% nested among GitHub non-parallel loops.
+  EXPECT_NEAR(static_cast<double>(serial_call) / serial_total, 0.218, 0.12);
+  EXPECT_NEAR(static_cast<double>(serial_nested) / serial_total, 0.424, 0.15);
+}
+
+TEST_F(CorpusFixture, SyntheticSamplesPresent) {
+  int synth_parallel = 0, synth_serial = 0;
+  for (const auto& s : corpus().samples) {
+    if (s.origin != SampleOrigin::kSynthetic) continue;
+    (s.parallel ? synth_parallel : synth_serial)++;
+  }
+  EXPECT_GT(synth_parallel, 0);
+  EXPECT_GT(synth_serial, 0);
+}
+
+TEST_F(CorpusFixture, SplitIsDisjointAndComplete) {
+  const auto& c = corpus();
+  const auto split = c.split();
+  EXPECT_EQ(split.train.size() + split.validation.size() + split.test.size(),
+            static_cast<std::size_t>(c.size()));
+  std::set<int> seen;
+  for (int i : split.train) seen.insert(i);
+  for (int i : split.validation) seen.insert(i);
+  for (int i : split.test) seen.insert(i);
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(c.size()));
+  EXPECT_GT(split.train.size(), split.test.size());
+  EXPECT_GT(split.test.size(), split.validation.size() / 4);
+}
+
+// The §4.3 verification step: no tool may contradict a non-parallel label
+// (tools are conservative; a detected-parallel loop labeled serial would be
+// a generator bug). This is the zero-false-positive invariant of Table 4.
+TEST_F(CorpusFixture, ToolsNeverContradictSerialLabels) {
+  const auto tools = make_all_tools();
+  int checked = 0;
+  for (const auto& s : corpus().samples) {
+    if (s.parallel) continue;
+    ++checked;
+    for (const auto& tool : tools) {
+      const auto result = tool->analyze(*s.loop, s.parsed->tu.get(), &s.parsed->structs);
+      EXPECT_FALSE(result.detected_parallel())
+          << tool->name() << " flagged serial loop " << s.id << "\n"
+          << s.loop_source << "\nreason: " << result.reason;
+    }
+  }
+  EXPECT_GT(checked, 100);
+}
+
+// Sanity on detection coverage: tools should find a nontrivial share of the
+// parallel loops (they are conservative, not useless).
+TEST_F(CorpusFixture, ToolsDetectSomeParallelLoops) {
+  const auto tools = make_all_tools();
+  std::map<std::string, int> detected;
+  int parallel_total = 0;
+  for (const auto& s : corpus().samples) {
+    if (!s.parallel) continue;
+    ++parallel_total;
+    for (const auto& tool : tools) {
+      const auto result = tool->analyze(*s.loop, s.parsed->tu.get(), &s.parsed->structs);
+      if (result.detected_parallel()) ++detected[std::string(tool->name())];
+    }
+  }
+  ASSERT_GT(parallel_total, 200);
+  EXPECT_GT(detected["autoPar"], parallel_total / 10);
+  EXPECT_GT(detected["PLUTO"], parallel_total / 20);
+  EXPECT_GT(detected["DiscoPoP"], parallel_total / 20);
+  // And none detects everything (the paper's motivation).
+  for (const auto& [name, count] : detected) {
+    EXPECT_LT(count, parallel_total) << name;
+  }
+}
+
+}  // namespace
+}  // namespace g2p

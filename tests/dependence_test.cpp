@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.h"
+#include "frontend/parser.h"
+
+namespace g2p {
+namespace {
+
+LinearForm lf(const std::string& src) { return linear_form_of(*parse_expression(src)); }
+
+TEST(LinearForm, Constants) {
+  const auto f = lf("42");
+  EXPECT_TRUE(f.affine);
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_EQ(f.constant, 42);
+}
+
+TEST(LinearForm, SingleVariable) {
+  const auto f = lf("i");
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("i"), 1);
+  EXPECT_EQ(f.constant, 0);
+}
+
+TEST(LinearForm, AffineCombination) {
+  const auto f = lf("2 * i + j - 3");
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("i"), 2);
+  EXPECT_EQ(f.coeff_of("j"), 1);
+  EXPECT_EQ(f.constant, -3);
+}
+
+TEST(LinearForm, CancellationDropsVariable) {
+  const auto f = lf("i - i + 5");
+  EXPECT_TRUE(f.affine);
+  EXPECT_TRUE(f.is_constant());
+  EXPECT_EQ(f.constant, 5);
+}
+
+TEST(LinearForm, NonAffineForms) {
+  EXPECT_FALSE(lf("i * j").affine);
+  EXPECT_FALSE(lf("a[i]").affine);
+  EXPECT_FALSE(lf("f(i)").affine);
+  EXPECT_FALSE(lf("i / 2").affine);
+}
+
+TEST(LinearForm, NegationAndParens) {
+  const auto f = lf("-(i + 2) * 3");
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("i"), -3);
+  EXPECT_EQ(f.constant, -6);
+}
+
+// ---- loop facts ---------------------------------------------------------------
+
+LoopFacts facts_of(const std::string& src) {
+  static std::vector<StmtPtr> keep;
+  keep.push_back(parse_statement(src));
+  return analyze_loop(*keep.back());
+}
+
+TEST(LoopFacts, CanonicalHeaderRecognized) {
+  const auto f = facts_of("for (i = 0; i < n; i++) a[i] = 0;");
+  EXPECT_TRUE(f.is_for);
+  EXPECT_TRUE(f.canonical);
+  EXPECT_EQ(f.index_var, "i");
+  EXPECT_EQ(f.step, 1);
+  EXPECT_TRUE(f.bound_affine);
+}
+
+TEST(LoopFacts, DeclInitAndStride) {
+  const auto f = facts_of("for (int i = 0; i < n; i += 4) a[i] = 0;");
+  EXPECT_TRUE(f.canonical);
+  EXPECT_EQ(f.step, 4);
+}
+
+TEST(LoopFacts, IEqualsIPlusCForm) {
+  const auto f = facts_of("for (i = 0; i < n; i = i + 2) a[i] = 0;");
+  EXPECT_TRUE(f.canonical);
+  EXPECT_EQ(f.step, 2);
+}
+
+TEST(LoopFacts, NonCanonicalHeaders) {
+  EXPECT_FALSE(facts_of("for (;;) break;").canonical);
+  EXPECT_FALSE(facts_of("for (i = 0; i < n; i *= 2) a[i] = 0;").canonical);
+  EXPECT_FALSE(facts_of("while (x > 0) x--;").canonical);
+}
+
+TEST(LoopFacts, CallClassification) {
+  const auto pure = facts_of("for (i = 0; i < n; i++) s += fabs(a[i]);");
+  EXPECT_TRUE(pure.has_call);
+  EXPECT_TRUE(pure.has_pure_builtin_call);
+  EXPECT_FALSE(pure.has_unknown_call);
+
+  const auto unknown = facts_of("for (i = 0; i < n; i++) s += mystery(a[i]);");
+  EXPECT_TRUE(unknown.has_unknown_call);
+
+  const auto impure = facts_of("for (i = 0; i < n; i++) printf(\"%d\", i);");
+  EXPECT_TRUE(impure.has_impure_call);
+}
+
+TEST(LoopFacts, StructuralFlags) {
+  const auto f = facts_of(
+      "for (i = 0; i < n; i++) { while (q[i] > 0) q[i]--; if (i > 2) break; }");
+  EXPECT_TRUE(f.has_inner_loop);
+  EXPECT_TRUE(f.has_inner_while);
+  EXPECT_TRUE(f.has_break);
+}
+
+TEST(LoopFacts, IndexWrittenInBody) {
+  const auto f = facts_of("for (i = 0; i < n; i++) { a[i] = 0; i += 1; }");
+  EXPECT_TRUE(f.index_written_in_body);
+}
+
+TEST(LoopFacts, PerfectAndImperfectNests) {
+  EXPECT_TRUE(facts_of(
+      "for (i = 0; i < n; i++) for (j = 0; j < n; j++) a[i][j] = 0;").perfect_nest);
+  EXPECT_FALSE(facts_of(
+      "for (i = 0; i < n; i++) { s += 1; for (j = 0; j < n; j++) a[i][j] = 0; }").perfect_nest);
+}
+
+TEST(LoopFacts, InnerIndexVarsCollected) {
+  const auto f = facts_of("for (i = 0; i < n; i++) for (j = 0; j < m; j++) a[i][j] = 0;");
+  EXPECT_EQ(f.inner_index_vars.count("j"), 1u);
+  EXPECT_EQ(f.nest_depth, 2);
+}
+
+TEST(LoopFacts, ArrayRefsCollected) {
+  const auto f = facts_of("for (i = 0; i < n; i++) a[i] = b[i + 1] * c[2 * i];");
+  ASSERT_EQ(f.array_writes.size(), 1u);
+  EXPECT_EQ(f.array_writes[0].array, "a");
+  EXPECT_EQ(f.array_reads.size(), 2u);
+  EXPECT_TRUE(f.array_writes[0].affine);
+}
+
+TEST(LoopFacts, NonAffineSubscriptFlagged) {
+  const auto f = facts_of("for (i = 0; i < n; i++) a[b[i]] = 0;");
+  EXPECT_TRUE(f.has_nonaffine_subscript);
+}
+
+TEST(LoopFacts, MemberAccessFlagged) {
+  const auto f = facts_of("for (i = 0; i < n; i++) fit += obj[i].r;");
+  EXPECT_TRUE(f.has_member_access);
+}
+
+// ---- dependence test ---------------------------------------------------------------
+
+TEST(ArrayDependence, SameIndexIsIndependent) {
+  const auto f = facts_of("for (i = 0; i < n; i++) a[i] = a[i] * 2;");
+  ASSERT_EQ(f.array_writes.size(), 1u);
+  ASSERT_EQ(f.array_reads.size(), 1u);
+  EXPECT_TRUE(array_refs_independent(f.array_writes[0], f.array_reads[0], "i"));
+}
+
+TEST(ArrayDependence, ShiftedIndexIsDependent) {
+  const auto f = facts_of("for (i = 1; i < n; i++) a[i] = a[i - 1] + 1;");
+  ASSERT_EQ(f.array_writes.size(), 1u);
+  ASSERT_EQ(f.array_reads.size(), 1u);
+  EXPECT_FALSE(array_refs_independent(f.array_writes[0], f.array_reads[0], "i"));
+}
+
+TEST(ArrayDependence, DifferentArraysIndependent) {
+  const auto f = facts_of("for (i = 0; i < n; i++) a[i] = b[i + 5];");
+  EXPECT_TRUE(array_refs_independent(f.array_writes[0], f.array_reads[0], "i"));
+}
+
+TEST(ArrayDependence, MultiDimIndependentViaOuterIndex) {
+  const auto f = facts_of("for (i = 0; i < n; i++) for (j = 0; j < m; j++) a[i][j] = a[i][j] + 1;");
+  ASSERT_EQ(f.array_writes.size(), 1u);
+  EXPECT_TRUE(array_refs_independent(f.array_writes[0], f.array_reads[0], "i"));
+}
+
+TEST(ArrayDependence, InnerIndexOnlyIsDependentForOuter) {
+  // a[j] written in every outer iteration: output dependence w.r.t. i.
+  const auto f = facts_of("for (i = 0; i < n; i++) for (j = 0; j < m; j++) a[j] = i;");
+  ASSERT_EQ(f.array_writes.size(), 1u);
+  EXPECT_FALSE(array_refs_independent(f.array_writes[0], f.array_writes[0], "i"));
+}
+
+TEST(ArrayDependence, ConstantSubscriptDependent) {
+  const auto f = facts_of("for (i = 0; i < n; i++) a[0] = a[0] + i;");
+  EXPECT_FALSE(array_refs_independent(f.array_writes[0], f.array_reads[0], "i"));
+}
+
+TEST(ArrayDependence, NonAffineConservative) {
+  const auto f = facts_of("for (i = 0; i < n; i++) a[b[i]] = a[b[i]] + 1;");
+  ASSERT_FALSE(f.array_writes.empty());
+  EXPECT_FALSE(array_refs_independent(f.array_writes[0], f.array_writes[0], "i"));
+}
+
+// ---- reductions & privatization -------------------------------------------------------
+
+TEST(Reductions, CompoundAddRecognized) {
+  const auto f = facts_of("for (i = 0; i < n; i++) sum += a[i];");
+  const auto reds = find_reductions(f);
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0].var, "sum");
+  EXPECT_EQ(reds[0].op, "+");
+}
+
+TEST(Reductions, ExplicitFormRecognized) {
+  const auto f = facts_of("for (i = 0; i < n; i++) error = error + fabs(a[i]);");
+  const auto reds = find_reductions(f);
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0].var, "error");
+}
+
+TEST(Reductions, ProductForm) {
+  const auto f = facts_of("for (i = 0; i < n; i++) prod = prod * a[i];");
+  const auto reds = find_reductions(f);
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0].op, "*");
+}
+
+TEST(Reductions, MixedOpsRejected) {
+  const auto f = facts_of("for (i = 0; i < n; i++) { s += a[i]; s *= 2; }");
+  EXPECT_TRUE(find_reductions(f).empty());
+}
+
+TEST(Reductions, ReadElsewhereRejected) {
+  const auto f = facts_of("for (i = 0; i < n; i++) { s += a[i]; b[i] = s; }");
+  EXPECT_TRUE(find_reductions(f).empty());
+}
+
+TEST(Reductions, DivisionNotAssociative) {
+  const auto f = facts_of("for (i = 0; i < n; i++) s = s / a[i];");
+  EXPECT_TRUE(find_reductions(f).empty());
+}
+
+TEST(Reductions, TwoStatementAccumulationStillReduction) {
+  // Listing 4's v += 2; v = v + step: two reduction-shaped updates with the
+  // same op. The *static* recognizer accepts it (DiscoPoP's single-update
+  // instruction matcher is what misses it).
+  const auto f = facts_of("for (i = 0; i < n; i += step) { v += 2; v = v + step; }");
+  const auto reds = find_reductions(f);
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0].var, "v");
+  EXPECT_EQ(f.written_scalars.at("v").update_count, 2);
+}
+
+TEST(Privatization, BodyDeclaredScalar) {
+  const auto f = facts_of("for (i = 0; i < n; i++) { int t = a[i]; b[i] = t * t; }");
+  const auto privates = find_private_scalars(f);
+  ASSERT_EQ(privates.size(), 1u);
+  EXPECT_EQ(privates[0], "t");
+}
+
+TEST(Privatization, WrittenFirstOuterScalar) {
+  const auto f = facts_of("for (i = 0; i < n; i++) { t = a[i] + 1; b[i] = t * t; }");
+  const auto privates = find_private_scalars(f);
+  ASSERT_EQ(privates.size(), 1u);
+  EXPECT_EQ(privates[0], "t");
+}
+
+TEST(Privatization, ReadFirstScalarNotPrivate) {
+  const auto f = facts_of("for (i = 0; i < n; i++) { b[i] = t; t = a[i]; }");
+  EXPECT_TRUE(find_private_scalars(f).empty());
+}
+
+TEST(Privatization, ReductionVarNotPrivate) {
+  const auto f = facts_of("for (i = 0; i < n; i++) s += a[i];");
+  EXPECT_TRUE(find_private_scalars(f).empty());
+}
+
+}  // namespace
+}  // namespace g2p

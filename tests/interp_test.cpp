@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "analysis/interp.h"
+#include "frontend/parser.h"
+
+namespace g2p {
+namespace {
+
+double eval(const std::string& src) {
+  auto e = parse_expression(src);
+  Interpreter interp(nullptr, nullptr);
+  return interp.eval_expression(*e);
+}
+
+std::optional<double> run(const std::string& src, const std::string& var) {
+  auto s = parse_statement(src);
+  Interpreter interp(nullptr, nullptr);
+  return interp.run_statement(*s, var);
+}
+
+TEST(Interp, ArithmeticAndPrecedence) {
+  EXPECT_EQ(eval("2 + 3 * 4"), 14.0);
+  EXPECT_EQ(eval("(2 + 3) * 4"), 20.0);
+  EXPECT_EQ(eval("10 / 4"), 2.5);
+  EXPECT_EQ(eval("10 % 3"), 1.0);
+  EXPECT_EQ(eval("-3 + 1"), -2.0);
+}
+
+TEST(Interp, ComparisonsAndLogic) {
+  EXPECT_EQ(eval("3 < 5"), 1.0);
+  EXPECT_EQ(eval("3 >= 5"), 0.0);
+  EXPECT_EQ(eval("1 && 0"), 0.0);
+  EXPECT_EQ(eval("1 || 0"), 1.0);
+  EXPECT_EQ(eval("!0"), 1.0);
+  EXPECT_EQ(eval("5 == 5 ? 42 : 7"), 42.0);
+}
+
+TEST(Interp, BitwiseOps) {
+  EXPECT_EQ(eval("6 & 3"), 2.0);
+  EXPECT_EQ(eval("6 | 3"), 7.0);
+  EXPECT_EQ(eval("6 ^ 3"), 5.0);
+  EXPECT_EQ(eval("1 << 4"), 16.0);
+  EXPECT_EQ(eval("16 >> 2"), 4.0);
+}
+
+TEST(Interp, PureBuiltins) {
+  EXPECT_EQ(eval("fabs(-2.5)"), 2.5);
+  EXPECT_EQ(eval("fmax(2.0, 7.0)"), 7.0);
+  EXPECT_NEAR(eval("sqrt(16.0)"), 4.0, 1e-9);
+  EXPECT_NEAR(eval("floor(2.9)"), 2.0, 1e-9);
+}
+
+TEST(Interp, SimpleLoopAccumulation) {
+  const auto result = run("{ int s = 0; for (int i = 0; i < 10; i++) s = s + i; }", "s");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 45.0);
+}
+
+TEST(Interp, WhileAndDoWhile) {
+  auto r1 = run("{ int k = 0; while (k < 100) k++; }", "k");
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ(*r1, 100.0);
+  auto r2 = run("{ int k = 5; do k--; while (k > 2); }", "k");
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, 2.0);
+}
+
+TEST(Interp, ArraysReadWrite) {
+  const auto result = run(
+      "{ double a[8]; double total = 0;\n"
+      "  for (int i = 0; i < 8; i++) a[i] = i * 2;\n"
+      "  for (int i = 0; i < 8; i++) total += a[i]; }",
+      "total");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 56.0);
+}
+
+TEST(Interp, TwoDimensionalArray) {
+  const auto result = run(
+      "{ int m[3][4]; int s = 0;\n"
+      "  for (int i = 0; i < 3; i++)\n"
+      "    for (int j = 0; j < 4; j++)\n"
+      "      m[i][j] = i + j;\n"
+      "  s = m[2][3]; }",
+      "s");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 5.0);
+}
+
+TEST(Interp, BreakAndContinue) {
+  const auto result = run(
+      "{ int s = 0;\n"
+      "  for (int i = 0; i < 100; i++) {\n"
+      "    if (i == 5) break;\n"
+      "    if (i % 2 == 0) continue;\n"
+      "    s += i; } }",
+      "s");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 4.0);  // 1 + 3
+}
+
+TEST(Interp, IncrementDecrementSemantics) {
+  auto r = run("{ int i = 5; int a = i++; int b = ++i; int c = i--; }", "b");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 7.0);
+  auto r2 = run("{ int i = 5; int a = i++; }", "a");
+  EXPECT_EQ(*r2, 5.0);
+}
+
+TEST(Interp, FunctionCallsWithScopes) {
+  auto parsed = parse_translation_unit(
+      "int twice(int x) { return x * 2; }\n"
+      "int apply(int v) { int local = twice(v) + 1; return local; }\n");
+  Interpreter interp(parsed.tu.get(), &parsed.structs);
+  auto s = parse_statement("{ int out = apply(10); }");
+  auto result = interp.run_statement(*s, "out");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 21.0);
+}
+
+TEST(Interp, ArrayParameterAliases) {
+  auto parsed = parse_translation_unit(
+      "void fill(double* buf, int n) { for (int i = 0; i < n; i++) buf[i] = 7; }\n");
+  Interpreter interp(parsed.tu.get(), &parsed.structs);
+  auto s = parse_statement("{ double data[4]; fill(data, 4); double x = data[3]; }");
+  auto result = interp.run_statement(*s, "x");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 7.0);
+}
+
+TEST(Interp, StructFieldAccess) {
+  auto parsed = parse_translation_unit(
+      "struct pixel { int r; int g; int b; };\n");
+  Interpreter interp(parsed.tu.get(), &parsed.structs);
+  auto s = parse_statement(
+      "{ struct pixel img[4]; img[2].g = 9; int v = img[2].g + img[2].r; }");
+  auto result = interp.run_statement(*s, "v");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 9.0);
+}
+
+TEST(Interp, RecursionWithDepthLimit) {
+  auto parsed = parse_translation_unit(
+      "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n");
+  Interpreter interp(parsed.tu.get(), &parsed.structs);
+  auto s = parse_statement("{ int out = fib(10); }");
+  auto result = interp.run_statement(*s, "out");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, 55.0);
+}
+
+TEST(Interp, FreeScalarsMaterializeDeterministically) {
+  // Unknown identifiers take stable synthetic values.
+  auto a = run("{ int copy = n; }", "copy");
+  auto b = run("{ int copy = n; }", "copy");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, *b);
+  EXPECT_GT(*a, 0.0);
+}
+
+// ---- profiling ------------------------------------------------------------------
+
+LoopTrace profile(const std::string& loop_src, const std::string& prelude = "") {
+  static std::vector<std::unique_ptr<ParseResult>> keep_alive;
+  auto parsed = std::make_unique<ParseResult>(
+      parse_translation_unit(prelude.empty() ? "int dummy;\n" : prelude));
+  static std::vector<StmtPtr> stmts;
+  stmts.push_back(parse_statement(loop_src));
+  Interpreter interp(parsed->tu.get(), &parsed->structs);
+  auto trace = interp.profile_loop(*stmts.back());
+  keep_alive.push_back(std::move(parsed));
+  return trace;
+}
+
+TEST(Profile, DoAllLoopCompletes) {
+  const auto trace = profile("for (int i = 0; i < 8; i++) a[i] = b[i] * 2;");
+  EXPECT_TRUE(trace.completed);
+  EXPECT_EQ(trace.iterations, 8);
+  EXPECT_FALSE(trace.accesses.empty());
+}
+
+TEST(Profile, IterationCapOnHugeLoop) {
+  const auto trace = profile("for (i = 0; i < 30000000; i++) e = e + fabs(a[i] - a[i + 1]);");
+  EXPECT_TRUE(trace.completed);
+  EXPECT_EQ(trace.iterations, 32);  // max_profile_iterations default
+}
+
+TEST(Profile, UnknownFunctionFailsExecution) {
+  const auto trace = profile("for (int i = 0; i < 4; i++) x += mystery(i);");
+  EXPECT_FALSE(trace.completed);
+  EXPECT_NE(trace.failure.find("mystery"), std::string::npos);
+}
+
+TEST(Profile, NonTerminatingInnerLoopFails) {
+  const auto trace = profile("for (int i = 0; i < 4; i++) { while (1) { } }");
+  EXPECT_FALSE(trace.completed);
+}
+
+TEST(Profile, HeaderAccessesNotTraced) {
+  const auto trace = profile("for (int i = 0; i < 6; i++) s += i;");
+  // Body reads of i are traced; header writes (i++) are not, so no write
+  // access to i should appear in the trace.
+  for (const auto& acc : trace.accesses) {
+    if (acc.var == "i") EXPECT_FALSE(acc.is_write);
+  }
+}
+
+TEST(Profile, IterationsLabelAccesses) {
+  const auto trace = profile("for (int i = 0; i < 3; i++) a[i] = i;");
+  int max_iter = 0;
+  for (const auto& acc : trace.accesses) max_iter = std::max(max_iter, acc.iteration);
+  EXPECT_EQ(max_iter, 2);
+}
+
+TEST(Profile, IoCallRecordsPseudoAddress) {
+  const auto trace = profile("for (int i = 0; i < 3; i++) printf(\"%d\", i);");
+  EXPECT_TRUE(trace.completed);
+  bool saw_io = false;
+  for (const auto& acc : trace.accesses) saw_io |= (acc.addr == 0);
+  EXPECT_TRUE(saw_io);
+}
+
+TEST(Profile, DistinctCellsHaveDistinctAddresses) {
+  const auto trace = profile("for (int i = 0; i < 4; i++) { a[i] = 1; b[i] = 2; }");
+  std::set<std::uint64_t> a_addrs, b_addrs;
+  for (const auto& acc : trace.accesses) {
+    if (acc.var == "a") a_addrs.insert(acc.addr);
+    if (acc.var == "b") b_addrs.insert(acc.addr);
+  }
+  EXPECT_EQ(a_addrs.size(), 4u);
+  EXPECT_EQ(b_addrs.size(), 4u);
+  for (auto addr : a_addrs) EXPECT_EQ(b_addrs.count(addr), 0u);
+}
+
+TEST(Profile, AdjacentCellsCollideAcrossIterations) {
+  // a[i+1] in iteration i must hit the same address as a[i] in iteration
+  // i+1 — the property dependence detection relies on.
+  const auto trace = profile("for (int i = 0; i < 4; i++) a[i] = a[i + 1];");
+  std::map<std::uint64_t, std::vector<int>> iters_by_addr;
+  for (const auto& acc : trace.accesses) {
+    if (acc.var == "a") iters_by_addr[acc.addr].push_back(acc.iteration);
+  }
+  bool some_addr_in_two_iterations = false;
+  for (const auto& [addr, iters] : iters_by_addr) {
+    if (std::set<int>(iters.begin(), iters.end()).size() > 1) {
+      some_addr_in_two_iterations = true;
+    }
+  }
+  EXPECT_TRUE(some_addr_in_two_iterations);
+}
+
+TEST(Profile, CalleeBodyAccessesAreTraced) {
+  const auto trace = profile(
+      "for (int i = 0; i < 4; i++) v[i] = square(v[i]);",
+      "float square(int x) { int k = 0; while (k < 50) k++; return sqrt(x); }\n");
+  EXPECT_TRUE(trace.completed);
+  bool saw_callee_local = false;
+  for (const auto& acc : trace.accesses) saw_callee_local |= (acc.var == "k");
+  EXPECT_TRUE(saw_callee_local);
+}
+
+}  // namespace
+}  // namespace g2p

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+namespace g2p {
+namespace {
+
+std::vector<std::string> texts(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const auto& t : tokens) {
+    if (t.kind != TokenKind::kEof) out.push_back(t.text);
+  }
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, SimpleExpression) {
+  const auto tokens = lex("a + b * 2");
+  const auto t = texts(tokens);
+  EXPECT_EQ(t, (std::vector<std::string>{"a", "+", "b", "*", "2"}));
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  const auto tokens = lex("for fortune int integer");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kKeyword);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kIdentifier);
+}
+
+TEST(Lexer, MultiCharOperatorsLongestMatch) {
+  const auto t = texts(lex("a<<=b; c>>d; e<=f; g->h; i++; j&&k"));
+  EXPECT_EQ(t[1], "<<=");
+  EXPECT_EQ(t[5], ">>");
+  EXPECT_EQ(t[9], "<=");
+  EXPECT_EQ(t[13], "->");
+}
+
+TEST(Lexer, IntLiteralForms) {
+  const auto tokens = lex("42 0x1F 0755 100u 7L");
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kIntLiteral) << tokens[i].text;
+  }
+}
+
+TEST(Lexer, FloatLiteralForms) {
+  const auto tokens = lex("3.14 1e5 2.5e-3 6.0f 1.f");
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kFloatLiteral) << tokens[i].text;
+  }
+}
+
+TEST(Lexer, MemberDotIsNotFloat) {
+  const auto t = texts(lex("obj.field"));
+  EXPECT_EQ(t, (std::vector<std::string>{"obj", ".", "field"}));
+}
+
+TEST(Lexer, StringAndCharLiterals) {
+  const auto tokens = lex("\"hi\\n\" 'x' '\\0'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "\"hi\\n\"");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kCharLiteral);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kCharLiteral);
+}
+
+TEST(Lexer, LineCommentsStripped) {
+  const auto t = texts(lex("a // comment with for while\nb"));
+  EXPECT_EQ(t, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Lexer, BlockCommentsStripped) {
+  const auto t = texts(lex("a /* multi\nline\ncomment */ b"));
+  EXPECT_EQ(t, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(lex("a /* oops"), LexError);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(lex("\"abc"), LexError);
+}
+
+TEST(Lexer, PragmaCaptured) {
+  const auto tokens = lex("#pragma omp parallel for\nfor(;;) ;");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPragma);
+  EXPECT_EQ(tokens[0].text, "pragma omp parallel for");
+  EXPECT_TRUE(tokens[1].is_keyword("for"));
+}
+
+TEST(Lexer, PragmaWithContinuation) {
+  const auto tokens = lex("#pragma omp parallel for \\\n  private(i)\nx;");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPragma);
+  EXPECT_NE(tokens[0].text.find("private(i)"), std::string::npos);
+}
+
+TEST(Lexer, IncludeAndDefineDropped) {
+  const auto t = texts(lex("#include <stdio.h>\n#define N 100\nint x;"));
+  EXPECT_EQ(t, (std::vector<std::string>{"int", "x", ";"}));
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto tokens = lex("a\nb\n  c");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(Lexer, CodeTokensDropPragmas) {
+  const auto tokens = lex_code_tokens("#pragma omp for\nfor (i = 0; i < n; i++) x++;");
+  for (const auto& t : tokens) EXPECT_NE(t.kind, TokenKind::kPragma);
+  EXPECT_TRUE(tokens[0].is_keyword("for"));
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(lex("int x = `bad`;"), LexError);
+}
+
+TEST(Lexer, RealisticLoopFromPaper) {
+  // Listing 1 of the paper.
+  const auto tokens = lex(
+      "for (i = 0; i < 30000000; i++)\n"
+      "  error = error + fabs(a[i] - a[i + 1]);");
+  EXPECT_GT(tokens.size(), 20u);
+  EXPECT_TRUE(tokens[0].is_keyword("for"));
+}
+
+}  // namespace
+}  // namespace g2p

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "frontend/loop_extractor.h"
+#include "frontend/parser.h"
+
+namespace g2p {
+namespace {
+
+TEST(LoopExtractor, FindsLoopsInFunction) {
+  auto r = parse_translation_unit(
+      "void f(int n, double* a) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++) a[i] = 0;\n"
+      "  while (n > 0) n--;\n"
+      "}\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].loop->kind(), NodeKind::kForStmt);
+  EXPECT_EQ(loops[1].loop->kind(), NodeKind::kWhileStmt);
+  EXPECT_STREQ(loops[0].function->name.c_str(), "f");
+}
+
+TEST(LoopExtractor, OutermostOnlySkipsInnerLoops) {
+  auto r = parse_translation_unit(
+      "void f() {\n"
+      "  int i, j, l;\n"
+      "  for (i = 0; i < 4; i++)\n"
+      "    for (j = 0; j < 5; j++)\n"
+      "      l++;\n"
+      "}\n");
+  EXPECT_EQ(extract_loops(*r.tu, /*outermost_only=*/true).size(), 1u);
+  EXPECT_EQ(extract_loops(*r.tu, /*outermost_only=*/false).size(), 2u);
+}
+
+TEST(LoopExtractor, InnerLoopWithOwnPragmaIsExtracted) {
+  auto r = parse_translation_unit(
+      "void f() {\n"
+      "  int i, j, s;\n"
+      "  for (i = 0; i < 4; i++) {\n"
+      "    #pragma omp parallel for\n"
+      "    for (j = 0; j < 5; j++)\n"
+      "      s++;\n"
+      "  }\n"
+      "}\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_FALSE(loops[0].labeled_parallel());
+  EXPECT_TRUE(loops[1].labeled_parallel());
+}
+
+TEST(LoopExtractor, PragmaAndCategoryAttached) {
+  auto r = parse_translation_unit(
+      "void f(int n, double* a) {\n"
+      "  int i; double sum = 0;\n"
+      "  #pragma omp parallel for reduction(+:sum)\n"
+      "  for (i = 0; i < n; i++) sum += a[i];\n"
+      "}\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_TRUE(loops[0].labeled_parallel());
+  EXPECT_EQ(loops[0].category(), PragmaCategory::kReduction);
+}
+
+TEST(LoopExtractor, StructuralFeatures) {
+  auto r = parse_translation_unit(
+      "void f(int n, double* a) {\n"
+      "  int i, j;\n"
+      "  for (i = 0; i < n; i++)\n"
+      "    for (j = 0; j < n; j++)\n"
+      "      a[i] += fabs(a[j]);\n"
+      "}\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_TRUE(loops[0].has_function_call);
+  EXPECT_TRUE(loops[0].is_nested);
+  EXPECT_EQ(loops[0].depth, 2);
+  EXPECT_GT(loops[0].loc, 1);
+}
+
+TEST(LoopExtractor, FlatLoopFeatures) {
+  auto r = parse_translation_unit(
+      "void f(int n, double* a) {\n"
+      "  for (int i = 0; i < n; i++) a[i] = a[i] * 2.0;\n"
+      "}\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_FALSE(loops[0].has_function_call);
+  EXPECT_FALSE(loops[0].is_nested);
+  EXPECT_EQ(loops[0].depth, 1);
+}
+
+TEST(LoopExtractor, CallInHeaderDoesNotCountAsBodyCall) {
+  auto r = parse_translation_unit(
+      "void f(double* a) {\n"
+      "  for (int i = 0; i < length(a); i++) a[i] = 0;\n"
+      "}\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_FALSE(loops[0].has_function_call);
+}
+
+TEST(LoopExtractor, TripleNestDepth) {
+  auto r = parse_translation_unit(
+      "void f() {\n"
+      "  int i, j, k, l;\n"
+      "  for (j = 0; j < 4; j++)\n"
+      "    for (i = 0; i < 5; i++)\n"
+      "      for (k = 0; k < 6; k += 2)\n"
+      "        l++;\n"
+      "}\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].depth, 3);
+}
+
+TEST(LoopExtractor, MultipleFunctions) {
+  auto r = parse_translation_unit(
+      "void f() { for (int i = 0; i < 3; i++) ; }\n"
+      "void g() { int x = 9; while (x) x--; }\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_EQ(loops[0].function->name, "f");
+  EXPECT_EQ(loops[1].function->name, "g");
+}
+
+TEST(LoopExtractor, SourceRegenerated) {
+  auto r = parse_translation_unit(
+      "void f(int n, int* a) {\n"
+      "  for (int i = 0; i < n; i++) a[i] = i * 2;\n"
+      "}\n");
+  const auto loops = extract_loops(*r.tu);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_NE(loops[0].source.find("for ("), std::string::npos);
+  EXPECT_NE(loops[0].source.find("i * 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace g2p

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "eval/comparison.h"
+#include "eval/metrics.h"
+
+namespace g2p {
+namespace {
+
+TEST(BinaryMetrics, EmptyIsZero) {
+  BinaryMetrics m;
+  EXPECT_EQ(m.total(), 0);
+  EXPECT_EQ(m.precision(), 0.0);
+  EXPECT_EQ(m.recall(), 0.0);
+  EXPECT_EQ(m.f1(), 0.0);
+  EXPECT_EQ(m.accuracy(), 0.0);
+}
+
+TEST(BinaryMetrics, PerfectClassifier) {
+  BinaryMetrics m;
+  for (int i = 0; i < 10; ++i) m.add(true, true);
+  for (int i = 0; i < 10; ++i) m.add(false, false);
+  EXPECT_EQ(m.precision(), 1.0);
+  EXPECT_EQ(m.recall(), 1.0);
+  EXPECT_EQ(m.f1(), 1.0);
+  EXPECT_EQ(m.accuracy(), 1.0);
+}
+
+TEST(BinaryMetrics, ConservativeToolProfile) {
+  // The Table 4 pattern: never a false positive, many false negatives.
+  BinaryMetrics m;
+  m.tp = 345;
+  m.tn = 952;
+  m.fp = 0;
+  m.fn = 2059;
+  EXPECT_EQ(m.precision(), 1.0);
+  EXPECT_NEAR(m.recall(), 0.1435, 1e-3);  // the paper's autoPar row
+  EXPECT_NEAR(m.f1(), 0.251, 1e-2);
+  EXPECT_NEAR(m.accuracy(), 0.3865, 1e-3);
+}
+
+TEST(BinaryMetrics, CountsRouteCorrectly) {
+  BinaryMetrics m;
+  m.add(true, true);    // tp
+  m.add(true, false);   // fp
+  m.add(false, true);   // fn
+  m.add(false, false);  // tn
+  EXPECT_EQ(m.tp, 1);
+  EXPECT_EQ(m.fp, 1);
+  EXPECT_EQ(m.fn, 1);
+  EXPECT_EQ(m.tn, 1);
+  EXPECT_EQ(m.accuracy(), 0.5);
+}
+
+TEST(BinaryMetrics, F1IsHarmonicMean) {
+  BinaryMetrics m;
+  m.tp = 30;
+  m.fp = 10;  // P = .75
+  m.fn = 30;  // R = .5
+  EXPECT_NEAR(m.f1(), 2 * 0.75 * 0.5 / (0.75 + 0.5), 1e-9);
+}
+
+TEST(BinaryMetrics, SummaryContainsAllFields) {
+  BinaryMetrics m;
+  m.tp = 1;
+  m.tn = 1;
+  const auto s = m.summary();
+  EXPECT_NE(s.find("P="), std::string::npos);
+  EXPECT_NE(s.find("Acc=1.00"), std::string::npos);
+}
+
+TEST(LoopCategoryBuckets, DisjointAndOrdered) {
+  LoopSample s;
+  s.category = PragmaCategory::kReduction;
+  s.has_function_call = true;
+  EXPECT_EQ(categorize_loop(s), LoopCategory::kReductionAndCall);
+  s.has_function_call = false;
+  EXPECT_EQ(categorize_loop(s), LoopCategory::kReduction);
+  s.category = PragmaCategory::kPrivate;
+  s.has_function_call = true;
+  EXPECT_EQ(categorize_loop(s), LoopCategory::kFunctionCall);
+  s.has_function_call = false;
+  s.is_nested = true;
+  EXPECT_EQ(categorize_loop(s), LoopCategory::kNested);
+  s.is_nested = false;
+  EXPECT_EQ(categorize_loop(s), LoopCategory::kOthers);
+}
+
+TEST(LoopCategoryBuckets, NamesDistinct) {
+  EXPECT_NE(loop_category_name(LoopCategory::kReduction),
+            loop_category_name(LoopCategory::kOthers));
+}
+
+}  // namespace
+}  // namespace g2p

@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "dataset/generator.h"
+#include "eval/comparison.h"
+#include "eval/trainer.h"
+
+namespace g2p {
+namespace {
+
+// Shared tiny corpus + examples for the model tests.
+class ModelFixture : public ::testing::Test {
+ protected:
+  struct State {
+    Corpus corpus;
+    CorpusSplit split;
+    Vocab vocab;
+    std::vector<Example> train_examples;
+    std::vector<Example> test_examples;
+  };
+
+  static const State& state() {
+    static const State s = [] {
+      GeneratorConfig cfg;
+      cfg.scale = 0.02;
+      State out;
+      out.corpus = CorpusGenerator(cfg).generate();
+      out.split = out.corpus.split();
+      out.vocab = build_corpus_vocab(out.corpus, out.split.train);
+      const AugAstOptions aug;
+      out.train_examples = prepare_examples(out.corpus, out.split.train, out.vocab, aug);
+      out.test_examples = prepare_examples(out.corpus, out.split.test, out.vocab, aug);
+      return out;
+    }();
+    return s;
+  }
+};
+
+TEST_F(ModelFixture, VocabularyCoversCommonTokens) {
+  const auto& vocab = state().vocab;
+  EXPECT_GT(vocab.size(), 50);
+  EXPECT_NE(vocab.id("for"), Vocab::kUnk);
+  EXPECT_NE(vocab.id("+="), Vocab::kUnk);
+}
+
+TEST_F(ModelFixture, ExamplesCarryGraphsAndTokens) {
+  for (const auto& ex : state().train_examples) {
+    EXPECT_GT(ex.graph.graph.num_nodes(), 3);
+    EXPECT_TRUE(ex.graph.graph.valid());
+    EXPECT_GT(ex.tokens.size(), 2u);
+    if (ex.label_parallel == 0) {
+      for (int c : ex.clause_labels) EXPECT_EQ(c, 0);
+    }
+  }
+}
+
+TEST_F(ModelFixture, Graph2ParLearnsParallelismDetection) {
+  Rng rng(1);
+  Graph2ParConfig mc;
+  mc.vocab_size = state().vocab.size();
+  Graph2ParModel model(mc, rng);
+
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.seed = 11;
+  train_graph_model(model, state().train_examples, tc);
+
+  const auto report = evaluate_graph_model(model, state().test_examples);
+  // On the template corpus a trained model must be far above chance.
+  EXPECT_GT(report.parallel().accuracy(), 0.75)
+      << "accuracy " << report.parallel().accuracy();
+  EXPECT_GT(report.parallel().f1(), 0.7);
+}
+
+TEST_F(ModelFixture, Graph2ParPredictionsAlignWithEvaluate) {
+  Rng rng(2);
+  Graph2ParConfig mc;
+  mc.vocab_size = state().vocab.size();
+  Graph2ParModel model(mc, rng);
+  TrainConfig tc;
+  tc.epochs = 2;
+  train_graph_model(model, state().train_examples, tc);
+
+  const auto preds = predict_parallel(model, state().test_examples);
+  const auto report = evaluate_graph_model(model, state().test_examples);
+  BinaryMetrics recount;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    recount.add(preds[i], state().test_examples[i].label_parallel == 1);
+  }
+  EXPECT_EQ(recount.tp, report.parallel().tp);
+  EXPECT_EQ(recount.fp, report.parallel().fp);
+}
+
+TEST_F(ModelFixture, PragFormerLearnsAboveChance) {
+  Rng rng(3);
+  PragFormerConfig pc;
+  pc.vocab_size = state().vocab.size();
+  PragFormerModel model(pc, rng);
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.seed = 13;
+  train_token_model(model, state().train_examples, tc);
+  const auto report = evaluate_token_model(model, state().test_examples);
+  EXPECT_GT(report.parallel().accuracy(), 0.65);
+}
+
+TEST_F(ModelFixture, DeterministicTrainingGivesIdenticalModels) {
+  auto build = [&] {
+    Rng rng(4);
+    Graph2ParConfig mc;
+    mc.vocab_size = state().vocab.size();
+    Graph2ParModel model(mc, rng);
+    TrainConfig tc;
+    tc.epochs = 1;
+    train_graph_model(model, state().train_examples, tc);
+    return evaluate_graph_model(model, state().test_examples).parallel().accuracy();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST_F(ModelFixture, ComparisonHarnessShapes) {
+  const auto& s = state();
+  const auto results = run_tools_on_corpus(s.corpus);
+  ASSERT_EQ(results.by_tool.size(), 3u);
+  for (const auto& [tool, verdicts] : results.by_tool) {
+    EXPECT_EQ(verdicts.size(), s.corpus.samples.size()) << tool;
+  }
+
+  const auto missed = missed_by_category(s.corpus, results);
+  int total_missed = 0;
+  for (const auto& [tool, buckets] : missed) {
+    for (const auto& [cat, count] : buckets) total_missed += count;
+  }
+  EXPECT_GT(total_missed, 0);  // the paper's premise: tools miss loops
+
+  const auto subsets = build_subsets(s.corpus, results, s.split.test);
+  ASSERT_EQ(subsets.size(), 3u);
+  for (const auto& cmp : subsets) {
+    EXPECT_FALSE(cmp.subset.empty()) << cmp.tool;
+    EXPECT_EQ(cmp.tool_metrics.fp, 0) << cmp.tool << " must be conservative";
+  }
+}
+
+TEST(Pipeline, TrainSuggestAndRoundTrip) {
+  Pipeline::Options options;
+  options.corpus.scale = 0.015;
+  options.train.epochs = 3;
+  Pipeline pipeline = Pipeline::train(options);
+
+  const std::string source =
+      "void kernel(double* a, double* b, int n) {\n"
+      "  int i;\n"
+      "  double sum = 0;\n"
+      "  for (i = 0; i < n; i++)\n"
+      "    sum += a[i] * b[i];\n"
+      "  for (i = 1; i < n; i++)\n"
+      "    a[i] = a[i - 1] * 0.5;\n"
+      "}\n";
+  const auto suggestions = pipeline.suggest(source);
+  ASSERT_EQ(suggestions.size(), 2u);
+  EXPECT_EQ(suggestions[0].function_name, "kernel");
+  for (const auto& s : suggestions) {
+    EXPECT_GE(s.confidence, 0.0);
+    EXPECT_LE(s.confidence, 1.0);
+    if (s.parallel) EXPECT_FALSE(s.suggested_pragma.empty());
+  }
+
+  // Save / load round trip preserves behaviour.
+  const std::string model_path = "/tmp/g2p_test_model.bin";
+  const std::string vocab_path = "/tmp/g2p_test_vocab.txt";
+  pipeline.save(model_path, vocab_path);
+  auto restored = Pipeline::load(options, model_path, vocab_path);
+  ASSERT_TRUE(restored.has_value());
+  const auto restored_suggestions = restored->suggest(source);
+  ASSERT_EQ(restored_suggestions.size(), suggestions.size());
+  for (std::size_t i = 0; i < suggestions.size(); ++i) {
+    EXPECT_EQ(restored_suggestions[i].parallel, suggestions[i].parallel);
+    EXPECT_NEAR(restored_suggestions[i].confidence, suggestions[i].confidence, 1e-5);
+  }
+  std::remove(model_path.c_str());
+  std::remove(vocab_path.c_str());
+}
+
+TEST(Pipeline, LoadMissingFilesReturnsNullopt) {
+  Pipeline::Options options;
+  EXPECT_FALSE(Pipeline::load(options, "/nonexistent/model.bin", "/nonexistent/vocab.txt")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace g2p

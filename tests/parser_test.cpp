@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.h"
+#include "frontend/printer.h"
+
+namespace g2p {
+namespace {
+
+// ---- expressions -----------------------------------------------------------
+
+TEST(ParserExpr, PrecedenceMulOverAdd) {
+  auto e = parse_expression("a + b * c");
+  ASSERT_EQ(e->kind(), NodeKind::kBinaryOperator);
+  const auto& top = static_cast<const BinaryOperator&>(*e);
+  EXPECT_EQ(top.op, "+");
+  EXPECT_EQ(top.rhs->kind(), NodeKind::kBinaryOperator);
+  EXPECT_EQ(static_cast<const BinaryOperator&>(*top.rhs).op, "*");
+}
+
+TEST(ParserExpr, LeftAssociativity) {
+  auto e = parse_expression("a - b - c");
+  const auto& top = static_cast<const BinaryOperator&>(*e);
+  EXPECT_EQ(top.op, "-");
+  // (a - b) - c: lhs is itself a subtraction.
+  EXPECT_EQ(top.lhs->kind(), NodeKind::kBinaryOperator);
+}
+
+TEST(ParserExpr, AssignmentRightAssociative) {
+  auto e = parse_expression("a = b = c");
+  ASSERT_EQ(e->kind(), NodeKind::kAssignment);
+  const auto& top = static_cast<const Assignment&>(*e);
+  EXPECT_EQ(top.rhs->kind(), NodeKind::kAssignment);
+}
+
+TEST(ParserExpr, CompoundAssignment) {
+  auto e = parse_expression("sum += a[i]");
+  ASSERT_EQ(e->kind(), NodeKind::kAssignment);
+  const auto& a = static_cast<const Assignment&>(*e);
+  EXPECT_EQ(a.op, "+=");
+  EXPECT_TRUE(a.is_compound());
+  EXPECT_EQ(a.underlying_op(), "+");
+  EXPECT_EQ(a.lhs->kind(), NodeKind::kDeclRef);
+  EXPECT_EQ(a.rhs->kind(), NodeKind::kArraySubscript);
+}
+
+TEST(ParserExpr, ConditionalOperator) {
+  auto e = parse_expression("a < b ? x : y");
+  ASSERT_EQ(e->kind(), NodeKind::kConditional);
+}
+
+TEST(ParserExpr, CallWithArgs) {
+  auto e = parse_expression("fmax(a, b + 1)");
+  ASSERT_EQ(e->kind(), NodeKind::kCallExpr);
+  const auto& c = static_cast<const CallExpr&>(*e);
+  EXPECT_EQ(c.callee, "fmax");
+  ASSERT_EQ(c.args.size(), 2u);
+}
+
+TEST(ParserExpr, MultiDimSubscript) {
+  auto e = parse_expression("a[i][j][k]");
+  ASSERT_EQ(e->kind(), NodeKind::kArraySubscript);
+  const auto& outer = static_cast<const ArraySubscript&>(*e);
+  EXPECT_EQ(outer.base->kind(), NodeKind::kArraySubscript);
+}
+
+TEST(ParserExpr, MemberAccessChain) {
+  auto e = parse_expression("p->imagen[i].r");
+  ASSERT_EQ(e->kind(), NodeKind::kMemberExpr);
+  const auto& m = static_cast<const MemberExpr&>(*e);
+  EXPECT_EQ(m.member, "r");
+  EXPECT_FALSE(m.arrow);
+  EXPECT_EQ(m.base->kind(), NodeKind::kArraySubscript);
+}
+
+TEST(ParserExpr, PrefixAndPostfixIncrement) {
+  auto pre = parse_expression("++i");
+  ASSERT_EQ(pre->kind(), NodeKind::kUnaryOperator);
+  EXPECT_TRUE(static_cast<const UnaryOperator&>(*pre).prefix);
+  auto post = parse_expression("i++");
+  ASSERT_EQ(post->kind(), NodeKind::kUnaryOperator);
+  EXPECT_FALSE(static_cast<const UnaryOperator&>(*post).prefix);
+}
+
+TEST(ParserExpr, CastExpression) {
+  auto e = parse_expression("(float)x / (double)y");
+  ASSERT_EQ(e->kind(), NodeKind::kBinaryOperator);
+  const auto& b = static_cast<const BinaryOperator&>(*e);
+  EXPECT_EQ(b.lhs->kind(), NodeKind::kCastExpr);
+  EXPECT_EQ(static_cast<const CastExpr&>(*b.lhs).type.base, "float");
+}
+
+TEST(ParserExpr, ParenIsNotCast) {
+  auto e = parse_expression("(x) + 1");
+  ASSERT_EQ(e->kind(), NodeKind::kBinaryOperator);
+  EXPECT_EQ(static_cast<const BinaryOperator&>(*e).lhs->kind(), NodeKind::kParenExpr);
+}
+
+TEST(ParserExpr, PointerDerefVsMultiply) {
+  auto e = parse_expression("a * *p");
+  ASSERT_EQ(e->kind(), NodeKind::kBinaryOperator);
+  const auto& b = static_cast<const BinaryOperator&>(*e);
+  EXPECT_EQ(b.op, "*");
+  EXPECT_EQ(b.rhs->kind(), NodeKind::kUnaryOperator);
+}
+
+TEST(ParserExpr, LogicalPrecedence) {
+  auto e = parse_expression("a && b || c && d");
+  const auto& top = static_cast<const BinaryOperator&>(*e);
+  EXPECT_EQ(top.op, "||");
+}
+
+TEST(ParserExpr, SizeofType) {
+  auto e = parse_expression("sizeof(double)");
+  EXPECT_EQ(e->kind(), NodeKind::kSizeofExpr);
+}
+
+TEST(ParserExpr, CommaExpression) {
+  auto e = parse_expression("i = 0, j = 0");
+  ASSERT_EQ(e->kind(), NodeKind::kBinaryOperator);
+  EXPECT_EQ(static_cast<const BinaryOperator&>(*e).op, ",");
+}
+
+TEST(ParserExpr, TrailingGarbageThrows) {
+  EXPECT_THROW(parse_expression("a + b extra"), ParseError);
+}
+
+// ---- statements -------------------------------------------------------------
+
+TEST(ParserStmt, ForWithDeclInit) {
+  auto s = parse_statement("for (int i = 0; i < n; i++) sum += a[i];");
+  ASSERT_EQ(s->kind(), NodeKind::kForStmt);
+  const auto& f = static_cast<const ForStmt&>(*s);
+  EXPECT_EQ(f.init->kind(), NodeKind::kDeclStmt);
+  ASSERT_NE(f.cond, nullptr);
+  ASSERT_NE(f.inc, nullptr);
+  EXPECT_EQ(f.body->kind(), NodeKind::kExprStmt);
+}
+
+TEST(ParserStmt, ForWithExprInit) {
+  auto s = parse_statement("for (i = 0; i < 10; i += step) { v += 2; }");
+  const auto& f = static_cast<const ForStmt&>(*s);
+  EXPECT_EQ(f.init->kind(), NodeKind::kExprStmt);
+  EXPECT_EQ(f.body->kind(), NodeKind::kCompoundStmt);
+}
+
+TEST(ParserStmt, InfiniteFor) {
+  auto s = parse_statement("for (;;) break;");
+  const auto& f = static_cast<const ForStmt&>(*s);
+  EXPECT_EQ(f.init->kind(), NodeKind::kNullStmt);
+  EXPECT_EQ(f.cond, nullptr);
+  EXPECT_EQ(f.inc, nullptr);
+}
+
+TEST(ParserStmt, NestedLoops) {
+  auto s = parse_statement(
+      "for (j = 0; j < 4; j++)\n"
+      "  for (i = 0; i < 5; i++)\n"
+      "    for (k = 0; k < 6; k += 2)\n"
+      "      l++;");
+  ASSERT_EQ(s->kind(), NodeKind::kForStmt);
+  const auto& f1 = static_cast<const ForStmt&>(*s);
+  ASSERT_EQ(f1.body->kind(), NodeKind::kForStmt);
+  const auto& f2 = static_cast<const ForStmt&>(*f1.body);
+  ASSERT_EQ(f2.body->kind(), NodeKind::kForStmt);
+}
+
+TEST(ParserStmt, IfElseChain) {
+  auto s = parse_statement("if (a > b) x = 1; else if (a < b) x = 2; else x = 3;");
+  ASSERT_EQ(s->kind(), NodeKind::kIfStmt);
+  const auto& i = static_cast<const IfStmt&>(*s);
+  ASSERT_NE(i.else_branch, nullptr);
+  EXPECT_EQ(i.else_branch->kind(), NodeKind::kIfStmt);
+}
+
+TEST(ParserStmt, WhileAndDoWhile) {
+  auto w = parse_statement("while (k < 5000) k++;");
+  EXPECT_EQ(w->kind(), NodeKind::kWhileStmt);
+  auto d = parse_statement("do { x--; } while (x > 0);");
+  EXPECT_EQ(d->kind(), NodeKind::kDoStmt);
+}
+
+TEST(ParserStmt, DeclWithMultipleDeclarators) {
+  auto s = parse_statement("int a = 1, b, *p;");
+  ASSERT_EQ(s->kind(), NodeKind::kDeclStmt);
+  const auto& d = static_cast<const DeclStmt&>(*s);
+  ASSERT_EQ(d.decls.size(), 3u);
+  EXPECT_EQ(d.decls[0]->name, "a");
+  ASSERT_NE(d.decls[0]->init, nullptr);
+  EXPECT_EQ(d.decls[2]->type.pointer_depth, 1);
+}
+
+TEST(ParserStmt, ArrayDeclWithInitList) {
+  auto s = parse_statement("double w[3] = {0.1, 0.2, 0.7};");
+  const auto& d = static_cast<const DeclStmt&>(*s);
+  ASSERT_EQ(d.decls.size(), 1u);
+  EXPECT_TRUE(d.decls[0]->is_array());
+  ASSERT_NE(d.decls[0]->init, nullptr);
+  EXPECT_EQ(d.decls[0]->init->kind(), NodeKind::kInitListExpr);
+}
+
+TEST(ParserStmt, PragmaAttachesToLoop) {
+  auto s = parse_statement("#pragma omp parallel for reduction(+:sum)\nfor (i = 0; i < n; i++) sum += a[i];");
+  ASSERT_EQ(s->kind(), NodeKind::kForStmt);
+  ASSERT_TRUE(s->pragma_text.has_value());
+  EXPECT_NE(s->pragma_text->find("reduction"), std::string::npos);
+}
+
+// ---- translation units ------------------------------------------------------
+
+TEST(ParserUnit, FunctionDefinition) {
+  auto r = parse_translation_unit(
+      "float square(int x) {\n"
+      "  int k = 0;\n"
+      "  while (k < 5000) k++;\n"
+      "  return sqrt(x);\n"
+      "}\n");
+  ASSERT_EQ(r.tu->decls.size(), 1u);
+  const auto* fn = r.tu->find_function("square");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->return_type.base, "float");
+  ASSERT_EQ(fn->params.size(), 1u);
+  EXPECT_EQ(fn->params[0]->name, "x");
+}
+
+TEST(ParserUnit, GlobalsAndPrototypes) {
+  auto r = parse_translation_unit(
+      "int N = 100;\n"
+      "double data[100][50];\n"
+      "void process(float* in, int n);\n");
+  ASSERT_EQ(r.tu->decls.size(), 3u);
+  EXPECT_EQ(r.tu->decls[0]->kind(), NodeKind::kVarDecl);
+  const auto& arr = static_cast<const VarDecl&>(*r.tu->decls[1]);
+  EXPECT_EQ(arr.array_dims.size(), 2u);
+  const auto& proto = static_cast<const FunctionDecl&>(*r.tu->decls[2]);
+  EXPECT_FALSE(proto.is_definition());
+}
+
+TEST(ParserUnit, StructDefinitionAndUse) {
+  auto r = parse_translation_unit(
+      "struct pixel { int r; int g; int b; };\n"
+      "struct pixel image[64];\n"
+      "int main() {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 64; i++) image[i].r = 0;\n"
+      "  return 0;\n"
+      "}\n");
+  ASSERT_TRUE(r.structs.count("struct pixel"));
+  EXPECT_EQ(r.structs["struct pixel"].fields.size(), 3u);
+  ASSERT_NE(r.tu->find_function("main"), nullptr);
+}
+
+TEST(ParserUnit, TypedefStruct) {
+  auto r = parse_translation_unit(
+      "typedef struct { float x; float y; } point;\n"
+      "point pts[10];\n");
+  EXPECT_TRUE(r.structs.count("point"));
+  ASSERT_EQ(r.tu->decls.size(), 1u);
+  EXPECT_EQ(static_cast<const VarDecl&>(*r.tu->decls[0]).type.base, "point");
+}
+
+TEST(ParserUnit, ListingOneFromPaper) {
+  auto r = parse_translation_unit(
+      "void kernel(double* a, int n) {\n"
+      "  int i;\n"
+      "  double error = 0;\n"
+      "  for (i = 0; i < 30000000; i++)\n"
+      "    error = error + fabs(a[i] - a[i + 1]);\n"
+      "}\n");
+  const auto* fn = r.tu->find_function("kernel");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->body->body.size(), 3u);
+}
+
+TEST(ParserUnit, UnsignedLongType) {
+  auto r = parse_translation_unit("unsigned long long big = 0;\n");
+  const auto& v = static_cast<const VarDecl&>(*r.tu->decls[0]);
+  EXPECT_EQ(v.type.base, "unsigned long long");
+}
+
+TEST(ParserUnit, MalformedInputThrows) {
+  EXPECT_THROW(parse_translation_unit("int f( {"), ParseError);
+  EXPECT_THROW(parse_translation_unit("for for for"), ParseError);
+}
+
+// ---- printer round-trips ------------------------------------------------------
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, ReparseOfPrintedSourceIsStable) {
+  // print(parse(x)) must be a fixed point: parsing the printed source and
+  // printing again yields the identical string.
+  auto s1 = parse_statement(GetParam());
+  const std::string printed1 = to_source(*s1);
+  auto s2 = parse_statement(printed1);
+  const std::string printed2 = to_source(*s2);
+  EXPECT_EQ(printed1, printed2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Statements, RoundTripTest,
+    ::testing::Values(
+        "for (int i = 0; i < n; i++) sum += a[i];",
+        "for (i = 0; i < 1000; i++) { a[i] = i * 2; sum += i; }",
+        "while (p != 0) { p = next(p); count++; }",
+        "do { x = x / 2; } while (x > 1);",
+        "if (a > b) { max = a; } else { max = b; }",
+        "for (j = 0; j < 1000; j++) sum += a[i][j] * v[j];",
+        "{ int t = a; a = b; b = t; }",
+        "for (i = 0; i < n; i += step) { v += 2; v = v + step; }",
+        "x = c ? fabs(y) : -y;",
+        "a[i + 1] = (float)b[i] / 2.0f;"));
+
+}  // namespace
+}  // namespace g2p

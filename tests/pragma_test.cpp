@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "frontend/pragma.h"
+
+namespace g2p {
+namespace {
+
+TEST(Pragma, ParallelFor) {
+  const auto p = parse_omp_pragma("#pragma omp parallel for");
+  EXPECT_TRUE(p.is_omp);
+  EXPECT_TRUE(p.has_parallel);
+  EXPECT_TRUE(p.has_for);
+  EXPECT_TRUE(p.marks_parallel_loop());
+  EXPECT_EQ(categorize(p), PragmaCategory::kPrivate);
+}
+
+TEST(Pragma, BareFor) {
+  const auto p = parse_omp_pragma("pragma omp for");
+  EXPECT_TRUE(p.marks_parallel_loop());
+  EXPECT_FALSE(p.has_parallel);
+}
+
+TEST(Pragma, NotOmp) {
+  const auto p = parse_omp_pragma("#pragma once");
+  EXPECT_FALSE(p.is_omp);
+  EXPECT_EQ(categorize(p), PragmaCategory::kNone);
+}
+
+TEST(Pragma, PrivateClause) {
+  const auto p = parse_omp_pragma("#pragma omp parallel for private(i, j, tmp)");
+  ASSERT_EQ(p.private_vars.size(), 3u);
+  EXPECT_EQ(p.private_vars[0], "i");
+  EXPECT_EQ(p.private_vars[2], "tmp");
+  EXPECT_EQ(categorize(p), PragmaCategory::kPrivate);
+}
+
+TEST(Pragma, ReductionClause) {
+  const auto p = parse_omp_pragma("#pragma omp parallel for reduction(+:sum)");
+  ASSERT_EQ(p.reductions.size(), 1u);
+  EXPECT_EQ(p.reductions[0].op, "+");
+  ASSERT_EQ(p.reductions[0].vars.size(), 1u);
+  EXPECT_EQ(p.reductions[0].vars[0], "sum");
+  EXPECT_EQ(categorize(p), PragmaCategory::kReduction);
+}
+
+TEST(Pragma, ReductionMultipleVars) {
+  const auto p = parse_omp_pragma("#pragma omp parallel for reduction(*:a, b) reduction(+:c)");
+  ASSERT_EQ(p.reductions.size(), 2u);
+  EXPECT_EQ(p.reductions[0].vars.size(), 2u);
+  EXPECT_EQ(p.reductions[1].op, "+");
+}
+
+TEST(Pragma, SimdDirective) {
+  const auto p = parse_omp_pragma("#pragma omp simd");
+  EXPECT_TRUE(p.simd);
+  EXPECT_TRUE(p.marks_parallel_loop());
+  EXPECT_EQ(categorize(p), PragmaCategory::kSimd);
+}
+
+TEST(Pragma, ParallelForSimd) {
+  const auto p = parse_omp_pragma("#pragma omp parallel for simd");
+  EXPECT_EQ(categorize(p), PragmaCategory::kSimd);
+}
+
+TEST(Pragma, TargetDirective) {
+  const auto p = parse_omp_pragma("#pragma omp target teams distribute parallel for");
+  EXPECT_TRUE(p.target);
+  EXPECT_EQ(categorize(p), PragmaCategory::kTarget);
+}
+
+TEST(Pragma, TargetBeatsSimdBeatsReduction) {
+  const auto p =
+      parse_omp_pragma("#pragma omp target teams distribute parallel for simd reduction(+:s)");
+  EXPECT_EQ(categorize(p), PragmaCategory::kTarget);
+  const auto q = parse_omp_pragma("#pragma omp parallel for simd reduction(+:s)");
+  EXPECT_EQ(categorize(q), PragmaCategory::kSimd);
+}
+
+TEST(Pragma, ScheduleAndCollapse) {
+  const auto p =
+      parse_omp_pragma("#pragma omp parallel for schedule(dynamic, 4) collapse(2)");
+  EXPECT_EQ(p.schedule, "dynamic,4");
+  EXPECT_EQ(p.collapse, 2);
+}
+
+TEST(Pragma, UnknownClausesSkipped) {
+  const auto p = parse_omp_pragma(
+      "#pragma omp parallel for default(none) shared(a) nowait map(to: x)");
+  EXPECT_TRUE(p.marks_parallel_loop());
+  ASSERT_EQ(p.shared_vars.size(), 1u);
+  EXPECT_EQ(p.shared_vars[0], "a");
+}
+
+TEST(Pragma, FirstprivateLastprivate) {
+  const auto p = parse_omp_pragma("#pragma omp parallel for firstprivate(x) lastprivate(y)");
+  ASSERT_EQ(p.firstprivate_vars.size(), 1u);
+  ASSERT_EQ(p.lastprivate_vars.size(), 1u);
+}
+
+TEST(Pragma, OmpParallelAloneIsNotLoopPragma) {
+  const auto p = parse_omp_pragma("#pragma omp parallel");
+  EXPECT_TRUE(p.is_omp);
+  EXPECT_FALSE(p.marks_parallel_loop());
+}
+
+TEST(Pragma, RenderPragmaReduction) {
+  const auto text = render_pragma(PragmaCategory::kReduction, {"tmp"},
+                                  {{"+", {"sum"}}});
+  EXPECT_EQ(text, "#pragma omp parallel for reduction(+:sum) private(tmp)");
+}
+
+TEST(Pragma, RenderPragmaSimd) {
+  EXPECT_EQ(render_pragma(PragmaCategory::kSimd, {}, {}), "#pragma omp simd");
+}
+
+TEST(Pragma, RenderPragmaTarget) {
+  const auto text = render_pragma(PragmaCategory::kTarget, {}, {});
+  EXPECT_NE(text.find("target"), std::string::npos);
+}
+
+TEST(Pragma, RoundTripThroughParser) {
+  const auto rendered = render_pragma(PragmaCategory::kReduction, {}, {{"*", {"prod"}}});
+  const auto reparsed = parse_omp_pragma(rendered);
+  EXPECT_EQ(categorize(reparsed), PragmaCategory::kReduction);
+  ASSERT_EQ(reparsed.reductions.size(), 1u);
+  EXPECT_EQ(reparsed.reductions[0].op, "*");
+}
+
+}  // namespace
+}  // namespace g2p

@@ -1,0 +1,216 @@
+// Cross-module property tests: invariants that must hold over the *entire*
+// generated corpus, plus representation-level properties (batching
+// equivalence, determinism) that the training pipeline silently relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/graph2par.h"
+#include "analysis/interp.h"
+#include "dataset/generator.h"
+#include "eval/trainer.h"
+#include "frontend/printer.h"
+#include "support/rng.h"
+
+namespace g2p {
+namespace {
+
+const Corpus& shared_corpus() {
+  static const Corpus corpus = [] {
+    GeneratorConfig cfg;
+    cfg.scale = 0.015;
+    return CorpusGenerator(cfg).generate();
+  }();
+  return corpus;
+}
+
+// ---- corpus-wide invariants (property sweeps) ---------------------------------
+
+TEST(CorpusProperty, EverySampleHasUniqueId) {
+  std::set<std::string> ids;
+  for (const auto& s : shared_corpus().samples) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate id " << s.id;
+  }
+}
+
+TEST(CorpusProperty, EveryLoopSourceReparses) {
+  for (const auto& s : shared_corpus().samples) {
+    ASSERT_NO_THROW({ auto stmt = parse_statement(s.loop_source); }) << s.id;
+  }
+}
+
+TEST(CorpusProperty, PrinterRoundTripIsStable) {
+  // print(parse(print(x))) == print(x) for every loop in the corpus.
+  for (const auto& s : shared_corpus().samples) {
+    auto reparsed = parse_statement(s.loop_source);
+    EXPECT_EQ(to_source(*reparsed), s.loop_source) << s.id;
+  }
+}
+
+TEST(CorpusProperty, StructuralFlagsMatchSubtree) {
+  for (const auto& s : shared_corpus().samples) {
+    EXPECT_EQ(s.has_function_call, loop_has_call(*s.loop)) << s.id;
+    EXPECT_EQ(s.is_nested, loop_has_inner_loop(*s.loop)) << s.id;
+  }
+}
+
+TEST(CorpusProperty, AugAstValidForEverySample) {
+  std::unordered_map<std::string, int> counts;
+  for (const auto& s : shared_corpus().samples) {
+    collect_text_attributes(*s.parsed->tu, counts);
+  }
+  const Vocab vocab = Vocab::build(counts);
+  const AugAstBuilder builder(vocab);
+  for (const auto& s : shared_corpus().samples) {
+    const auto lg = builder.build(*s.loop, s.parsed->tu.get());
+    ASSERT_TRUE(lg.graph.valid()) << s.id;
+    EXPECT_GE(lg.graph.num_nodes(), 4) << s.id;
+    // Tree edges: exactly nodes-1 per connected AST component (loop subtree
+    // plus each merged callee body).
+    EXPECT_EQ(lg.graph.count_edges(HetEdgeType::kAstChild),
+              lg.graph.count_edges(HetEdgeType::kAstParent))
+        << s.id;
+  }
+}
+
+TEST(CorpusProperty, VanillaAstIsSubgraphOfAugAst) {
+  std::unordered_map<std::string, int> counts;
+  for (const auto& s : shared_corpus().samples) {
+    collect_text_attributes(*s.parsed->tu, counts);
+  }
+  const Vocab vocab = Vocab::build(counts);
+  AugAstOptions vanilla;
+  vanilla.cfg_edges = vanilla.lexical_edges = vanilla.call_edges = false;
+  const AugAstBuilder full_builder(vocab);
+  const AugAstBuilder vanilla_builder(vocab, vanilla);
+  for (const auto& s : shared_corpus().samples) {
+    const auto full = full_builder.build(*s.loop, s.parsed->tu.get());
+    const auto plain = vanilla_builder.build(*s.loop, s.parsed->tu.get());
+    EXPECT_LE(plain.graph.num_nodes(), full.graph.num_nodes()) << s.id;
+    EXPECT_LE(plain.graph.num_edges(), full.graph.num_edges()) << s.id;
+    EXPECT_EQ(plain.graph.count_edges(HetEdgeType::kCfgNext), 0) << s.id;
+    EXPECT_EQ(plain.graph.count_edges(HetEdgeType::kLexNext), 0) << s.id;
+  }
+}
+
+// ---- model-side properties ------------------------------------------------------
+
+class BatchingFixture : public ::testing::Test {
+ protected:
+  struct State {
+    Vocab vocab;
+    std::vector<Example> examples;
+  };
+  static const State& state() {
+    static const State s = [] {
+      State out;
+      const auto& corpus = shared_corpus();
+      std::vector<int> all;
+      for (int i = 0; i < corpus.size() && i < 24; ++i) all.push_back(i);
+      out.vocab = build_corpus_vocab(corpus, all);
+      out.examples = prepare_examples(corpus, all, out.vocab, AugAstOptions{});
+      return out;
+    }();
+    return s;
+  }
+};
+
+TEST_F(BatchingFixture, BatchedEncodingEqualsPerGraphEncoding) {
+  // The disjoint-union batching must be exactly equivalent to encoding each
+  // graph alone — HGT messages must never cross graph boundaries.
+  Rng rng(123);
+  Graph2ParConfig mc;
+  mc.vocab_size = state().vocab.size();
+  mc.layers = 2;
+  const Graph2ParModel model(mc, rng);
+
+  std::vector<const HetGraph*> graphs;
+  for (const auto& ex : state().examples) graphs.push_back(&ex.graph.graph);
+  const auto batch = batch_graphs(graphs);
+  const Tensor pooled_batch = model.encode(batch);
+
+  for (std::size_t i = 0; i < state().examples.size(); ++i) {
+    std::vector<const HetGraph*> single = {graphs[i]};
+    const Tensor pooled_single = model.encode(batch_graphs(single));
+    for (int d = 0; d < mc.dim; ++d) {
+      EXPECT_NEAR(pooled_single.at({0, d}), pooled_batch.at({static_cast<int>(i), d}), 2e-4f)
+          << "graph " << i << " dim " << d;
+    }
+  }
+}
+
+TEST_F(BatchingFixture, EncodingIsDeterministic) {
+  Rng rng(7);
+  Graph2ParConfig mc;
+  mc.vocab_size = state().vocab.size();
+  const Graph2ParModel model(mc, rng);
+  std::vector<const HetGraph*> graphs;
+  for (const auto& ex : state().examples) graphs.push_back(&ex.graph.graph);
+  const auto batch = batch_graphs(graphs);
+  const auto a = model.encode(batch);
+  const auto b = model.encode(batch);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST_F(BatchingFixture, GraphOrderDoesNotLeakAcrossBatch) {
+  // Reversing the batch order must permute, not change, the pooled rows.
+  Rng rng(9);
+  Graph2ParConfig mc;
+  mc.vocab_size = state().vocab.size();
+  const Graph2ParModel model(mc, rng);
+
+  std::vector<const HetGraph*> fwd;
+  for (const auto& ex : state().examples) fwd.push_back(&ex.graph.graph);
+  std::vector<const HetGraph*> rev(fwd.rbegin(), fwd.rend());
+
+  const auto pooled_fwd = model.encode(batch_graphs(fwd));
+  const auto pooled_rev = model.encode(batch_graphs(rev));
+  const int n = static_cast<int>(fwd.size());
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < mc.dim; ++d) {
+      EXPECT_NEAR(pooled_fwd.at({i, d}), pooled_rev.at({n - 1 - i, d}), 2e-4f);
+    }
+  }
+}
+
+TEST_F(BatchingFixture, Graph2ParSaveLoadPreservesLogits) {
+  Rng rng_a(31);
+  Graph2ParConfig mc;
+  mc.vocab_size = state().vocab.size();
+  Graph2ParModel a(mc, rng_a);
+  Rng rng_b(99);  // different init: load must overwrite it
+  Graph2ParModel b(mc, rng_b);
+
+  std::stringstream buffer;
+  a.save(buffer);
+  b.load(buffer);
+
+  std::vector<const HetGraph*> graphs = {&state().examples[0].graph.graph};
+  const auto batch = batch_graphs(graphs);
+  const auto la = a.task_logits(a.encode(batch), PredictionTask::kParallel);
+  const auto lb = b.task_logits(b.encode(batch), PredictionTask::kParallel);
+  for (std::size_t i = 0; i < la.numel(); ++i) EXPECT_EQ(la.data()[i], lb.data()[i]);
+}
+
+// ---- interpreter determinism over the corpus -------------------------------------
+
+TEST(CorpusProperty, ProfilingIsDeterministic) {
+  const auto& corpus = shared_corpus();
+  int checked = 0;
+  for (const auto& s : corpus.samples) {
+    if (checked >= 40) break;
+    Interpreter interp_a(s.parsed->tu.get(), &s.parsed->structs);
+    Interpreter interp_b(s.parsed->tu.get(), &s.parsed->structs);
+    const auto ta = interp_a.profile_loop(*s.loop);
+    const auto tb = interp_b.profile_loop(*s.loop);
+    EXPECT_EQ(ta.completed, tb.completed) << s.id;
+    EXPECT_EQ(ta.iterations, tb.iterations) << s.id;
+    EXPECT_EQ(ta.accesses.size(), tb.accesses.size()) << s.id;
+    ++checked;
+  }
+  EXPECT_GE(checked, 40);
+}
+
+}  // namespace
+}  // namespace g2p

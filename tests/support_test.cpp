@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace g2p {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntThrowsOnBadRange) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversUnitInterval) {
+  Rng rng(11);
+  double lo = 1.0, hi = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    lo = std::min(lo, u);
+    hi = std::max(hi, u);
+  }
+  EXPECT_LT(lo, 0.01);
+  EXPECT_GT(hi, 0.99);
+}
+
+TEST(Rng, NormalMeanAndVariance) {
+  Rng rng(13);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng root(99);
+  Rng a = root.fork("alpha");
+  Rng b = root.fork("beta");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+  // Fork is a pure function of parent state + tag.
+  Rng a2 = root.fork("alpha");
+  EXPECT_EQ(a2.next_u64(), Rng(99).fork("alpha").next_u64());
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(5);
+  const std::vector<double> w = {0.0, 10.0, 0.0, 1.0};
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 5000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_GT(counts[1], counts[3] * 5);
+}
+
+TEST(Rng, WeightedIndexThrowsOnAllZero) {
+  Rng rng(5);
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(w), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.shuffle(v);
+  EXPECT_EQ(std::set<int>(v.begin(), v.end()), std::set<int>(original.begin(), original.end()));
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  const auto parts = split_ws("  foo \t bar\nbaz  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "baz");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n "), "");
+}
+
+TEST(Strings, JoinAndReplace) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(replace_all("xAxAx", "A", "BB"), "xBBxBBx");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+}
+
+TEST(Strings, StartsEndsContains) {
+  EXPECT_TRUE(starts_with("pragma omp", "pragma"));
+  EXPECT_FALSE(starts_with("pr", "pragma"));
+  EXPECT_TRUE(ends_with("loop.c", ".c"));
+  EXPECT_TRUE(contains("abcdef", "cde"));
+  EXPECT_FALSE(contains("abc", "xyz"));
+}
+
+TEST(Strings, CountLoc) {
+  EXPECT_EQ(count_loc("for (;;) {\n\n  x++;\n// comment\n}\n"), 3);
+  EXPECT_EQ(count_loc(""), 0);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"Name", "Value"});
+  t.add_row({"alpha", "1.25"});
+  t.add_row({"b", "100"});
+  const auto s = t.render();
+  EXPECT_NE(s.find("Name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("100"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace g2p
