@@ -1,0 +1,180 @@
+// Serving-throughput baseline for the batched graph engine.
+//
+// Trains a small pipeline, then serves 128 generated C files (fresh seed, so
+// none were seen in training) two ways:
+//   * sequential: one Pipeline::suggest call per file, and
+//   * batched: Pipeline::suggest_batch over chunks of {1, 8, 32, 128} files,
+// reporting steady-state loops/sec per configuration (warmup + best of three
+// repetitions). The run fails (exit 1) if batched and sequential outputs
+// disagree (category/pragma mismatch, or confidence drift above 1e-5) or if
+// the full-batch speedup misses the floor: 3x with >= 2 hardware threads
+// (the pipeline parallelizes frontend, encode sub-batches, and assembly);
+// 2x on a single hardware thread, where only the batched forward's per-op
+// amortization remains. Future perf PRs regress against this.
+//
+// Knobs: G2P_SCALE / G2P_EPOCHS / G2P_SEED as in bench_common.h.
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "dataset/generator.h"
+#include "support/table.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace g2p;
+  const auto env = bench::BenchEnv::from_env();
+
+  Pipeline::Options options;
+  options.corpus = env.generator_config();
+  options.corpus.scale = std::max(env.scale, 0.01);
+  options.train.epochs = std::min(env.epochs, 2);
+  options.train.seed = env.seed;
+  std::printf("training pipeline (scale %.3f, %d epochs)...\n", options.corpus.scale,
+              options.train.epochs);
+  const Pipeline pipeline = Pipeline::train(options);
+
+  // A fresh corpus seed yields files the model has not trained on; dedup by
+  // text since several loop samples can come from one file.
+  GeneratorConfig fresh = env.generator_config();
+  fresh.scale = std::max(env.scale * 3.0, 0.06);
+  fresh.seed = env.seed + 1;
+  const Corpus corpus = CorpusGenerator(fresh).generate();
+  std::vector<std::string> sources;
+  std::set<std::string_view> seen;
+  for (const auto& sample : corpus.samples) {
+    if (seen.insert(sample.file_source).second) sources.push_back(sample.file_source);
+    if (sources.size() == 128) break;
+  }
+  if (sources.size() < 128) {
+    std::printf("FAIL: only %zu distinct files generated (need 128); raise G2P_SCALE\n",
+                sources.size());
+    return 1;
+  }
+  std::vector<std::string_view> views(sources.begin(), sources.end());
+
+  // Steady-state measurement: each serving mode runs once as warmup (page
+  // faults, allocator pools, branch predictors), then the best of three
+  // timed repetitions counts — the serving regime both paths would see
+  // under sustained traffic.
+  constexpr int kReps = 3;
+  std::vector<std::vector<LoopSuggestion>> output;
+  const auto run_best = [&](const std::function<std::vector<std::vector<LoopSuggestion>>()>&
+                                serve) {
+    output = serve();  // warmup
+    double best = 1e100;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto start = Clock::now();
+      output = serve();
+      best = std::min(best, seconds_since(start));
+    }
+    return best;
+  };
+
+  // ---- sequential baseline: one suggest() per file -------------------------
+  const double seq_time = run_best([&] {
+    std::vector<std::vector<LoopSuggestion>> out;
+    out.reserve(views.size());
+    for (const auto& src : views) out.push_back(pipeline.suggest(src));
+    return out;
+  });
+  std::vector<std::vector<LoopSuggestion>> sequential = std::move(output);
+  std::size_t num_loops = 0;
+  for (const auto& s : sequential) num_loops += s.size();
+
+  // ---- batched serving at several chunk sizes ------------------------------
+  TextTable table({"batch size", "time (s)", "loops/sec", "speedup"});
+  table.add_row({"sequential", fmt_fixed(seq_time, 3),
+                 fmt_fixed(static_cast<double>(num_loops) / seq_time, 1), "1.00"});
+
+  double full_batch_time = 0.0;
+  std::vector<std::vector<LoopSuggestion>> full_batch_out;
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{8}, std::size_t{32},
+                                       std::size_t{128}}) {
+    const double elapsed = run_best([&] {
+      std::vector<std::vector<LoopSuggestion>> out;
+      out.reserve(views.size());
+      for (std::size_t begin = 0; begin < views.size(); begin += batch_size) {
+        const std::size_t end = std::min(views.size(), begin + batch_size);
+        auto chunk = pipeline.suggest_batch(
+            std::span<const std::string_view>(views.data() + begin, end - begin));
+        for (auto& s : chunk) out.push_back(std::move(s));
+      }
+      return out;
+    });
+    table.add_row({std::to_string(batch_size), fmt_fixed(elapsed, 3),
+                   fmt_fixed(static_cast<double>(num_loops) / elapsed, 1),
+                   fmt_fixed(seq_time / elapsed, 2)});
+    if (batch_size == 128) {
+      full_batch_time = elapsed;
+      full_batch_out = std::move(output);
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  // ---- equivalence: batched output must match sequential -------------------
+  double max_conf_delta = 0.0;
+  std::size_t mismatches = 0;
+  for (std::size_t s = 0; s < sequential.size(); ++s) {
+    if (full_batch_out[s].size() != sequential[s].size()) {
+      ++mismatches;
+      continue;
+    }
+    for (std::size_t i = 0; i < sequential[s].size(); ++i) {
+      const auto& a = sequential[s][i];
+      const auto& b = full_batch_out[s][i];
+      max_conf_delta = std::max(max_conf_delta, std::fabs(a.confidence - b.confidence));
+      if (a.parallel != b.parallel || a.category != b.category ||
+          a.suggested_pragma != b.suggested_pragma) {
+        ++mismatches;
+      }
+    }
+  }
+  const double speedup = seq_time / full_batch_time;
+  std::printf("loops served: %zu   max |Δconfidence|: %.2e   mismatches: %zu\n", num_loops,
+              max_conf_delta, mismatches);
+
+  // The pipeline's worker pool parallelizes the frontend, the encode
+  // sub-batches, and the suggestion assembly; on a single hardware thread
+  // those stages serialize and only the per-op amortization of the batched
+  // forward remains, so the enforced floor drops to 2x there. G2P_FLOOR
+  // overrides the enforced value (shared CI runners are noisy; CI pins a
+  // lenient floor so equivalence stays the hard gate there).
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  double floor = hw > 1 ? 3.0 : 2.0;
+  if (const char* env_floor = std::getenv("G2P_FLOOR")) floor = std::atof(env_floor);
+  std::printf("batch-128 speedup over sequential: %.2fx (floor %.0fx on %u hardware thread%s,"
+              " target 3x)\n",
+              speedup, floor, hw, hw == 1 ? "" : "s");
+
+  bool ok = true;
+  if (mismatches != 0 || max_conf_delta > 1e-5) {
+    std::printf("FAIL: batched outputs are not equivalent to sequential outputs\n");
+    ok = false;
+  }
+  if (speedup < floor) {
+    std::printf("FAIL: batch-128 speedup %.2fx below the %.0fx floor\n", speedup, floor);
+    ok = false;
+  }
+  if (ok) std::printf("PASS\n");
+  return ok ? 0 : 1;
+}

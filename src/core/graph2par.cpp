@@ -50,8 +50,12 @@ Tensor Graph2ParModel::node_features(const HetGraph& graph) const {
 
 Tensor Graph2ParModel::encode(const BatchedGraph& batch) const {
   const Tensor features = node_features(batch.merged);
-  const Tensor states = encoder_.forward(features, batch.merged);
+  const Tensor states = encoder_.forward(features, batch.index);
   return segment_mean_rows(states, batch.segment_of_node, batch.num_graphs);
+}
+
+Tensor Graph2ParModel::encode(const HetGraph& graph) const {
+  return encode(batch_graphs({&graph}));
 }
 
 Tensor Graph2ParModel::task_logits(const Tensor& pooled, PredictionTask task) const {

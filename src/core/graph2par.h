@@ -13,6 +13,7 @@
 
 #include "core/aug_ast.h"
 #include "graph/hetgraph.h"
+#include "graph/hetgraph_index.h"
 #include "nn/hgt.h"
 #include "nn/layers.h"
 
@@ -46,7 +47,12 @@ class Graph2ParModel : public Module {
   Tensor node_features(const HetGraph& graph) const;
 
   /// Pooled graph representations [num_graphs, dim] for a batched graph.
+  /// The batch's precomputed CSR index drives every HGT layer; the readout
+  /// is a segment-mean keyed by `segment_of_node` (empty graphs pool to 0).
   Tensor encode(const BatchedGraph& batch) const;
+
+  /// Single-graph convenience wrapper -> pooled [1, dim].
+  Tensor encode(const HetGraph& graph) const;
 
   /// Logits [num_graphs, 2] for one task head.
   Tensor task_logits(const Tensor& pooled, PredictionTask task) const;

@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <array>
 #include <cmath>
 #include <fstream>
 #include <sstream>
@@ -8,8 +9,74 @@
 #include "frontend/loop_extractor.h"
 #include "support/log.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 
 namespace g2p {
+
+namespace {
+
+/// Per-source frontend output: everything `suggest` needs downstream of
+/// parsing. Loops point into `parsed.tu`, so the struct owns both.
+struct PreparedSource {
+  ParseResult parsed;
+  std::vector<ExtractedLoop> loops;
+  std::vector<LoopGraph> graphs;
+};
+
+PreparedSource prepare_source(std::string_view c_source, const Vocab& vocab,
+                              const AugAstOptions& aug) {
+  PreparedSource out;
+  out.parsed = parse_translation_unit(c_source);
+  out.loops = extract_loops(*out.parsed.tu);
+  AugAstBuilder builder(vocab, aug);
+  out.graphs.reserve(out.loops.size());
+  for (const auto& loop : out.loops) {
+    out.graphs.push_back(builder.build(*loop.loop, out.parsed.tu.get()));
+  }
+  return out;
+}
+
+/// Turn model outputs for one loop into a rendered suggestion.
+LoopSuggestion make_suggestion(const ExtractedLoop& loop, const TranslationUnit* tu,
+                               double confidence, const std::array<int, 4>& clause_pred) {
+  LoopSuggestion suggestion;
+  suggestion.loop_source = loop.source;
+  suggestion.line = loop.loop->line;
+  if (loop.function) suggestion.function_name = loop.function->name;
+  suggestion.confidence = confidence;
+  suggestion.parallel = suggestion.confidence >= 0.5;
+  if (suggestion.parallel) {
+    // Clause priority mirrors the dataset bucketing: target > simd >
+    // reduction > private (do-all).
+    if (clause_pred[3] == 1) {
+      suggestion.category = PragmaCategory::kTarget;
+    } else if (clause_pred[2] == 1) {
+      suggestion.category = PragmaCategory::kSimd;
+    } else if (clause_pred[1] == 1) {
+      suggestion.category = PragmaCategory::kReduction;
+    } else {
+      suggestion.category = PragmaCategory::kPrivate;
+    }
+    // Fill clause payloads from the static analysis (the model decides the
+    // pattern; the analyzer names the variables).
+    const LoopFacts facts = analyze_loop(*loop.loop, tu);
+    std::vector<OmpPragma::Reduction> reductions;
+    if (suggestion.category == PragmaCategory::kReduction) {
+      for (const auto& red : find_reductions(facts)) {
+        reductions.push_back(OmpPragma::Reduction{red.op, {red.var}});
+      }
+    }
+    std::vector<std::string> privates;
+    for (const auto& var : find_private_scalars(facts)) {
+      const auto& info = facts.written_scalars.at(var);
+      if (!info.declared_in_body) privates.push_back(var);
+    }
+    suggestion.suggested_pragma = render_pragma(suggestion.category, privates, reductions);
+  }
+  return suggestion;
+}
+
+}  // namespace
 
 Pipeline::Pipeline(Options options, Vocab vocab)
     : options_(std::move(options)), vocab_(std::move(vocab)) {
@@ -33,19 +100,14 @@ Pipeline Pipeline::train(const Options& options) {
 }
 
 std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
-  const auto parsed = parse_translation_unit(c_source);
-  const auto loops = extract_loops(*parsed.tu);
+  const NoGradGuard no_grad;  // serving: skip tape construction
+  const PreparedSource prepared = prepare_source(c_source, vocab_, options_.aug);
   std::vector<LoopSuggestion> out;
-  if (loops.empty()) return out;
+  if (prepared.loops.empty()) return out;
 
-  AugAstBuilder builder(vocab_, options_.aug);
-  std::vector<LoopGraph> graphs;
   std::vector<const HetGraph*> graph_ptrs;
-  graphs.reserve(loops.size());
-  for (const auto& loop : loops) {
-    graphs.push_back(builder.build(*loop.loop, parsed.tu.get()));
-  }
-  for (const auto& g : graphs) graph_ptrs.push_back(&g.graph);
+  graph_ptrs.reserve(prepared.graphs.size());
+  for (const auto& g : prepared.graphs) graph_ptrs.push_back(&g.graph);
   const auto batch = batch_graphs(graph_ptrs);
 
   const Tensor pooled = model_->encode(batch);
@@ -57,43 +119,88 @@ std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
         argmax_rows(model_->task_logits(pooled, static_cast<PredictionTask>(c + 1)));
   }
 
-  for (std::size_t i = 0; i < loops.size(); ++i) {
-    LoopSuggestion suggestion;
-    suggestion.loop_source = loops[i].source;
-    suggestion.line = loops[i].loop->line;
-    if (loops[i].function) suggestion.function_name = loops[i].function->name;
-    suggestion.confidence = parallel_probs.at({static_cast<int>(i), 1});
-    suggestion.parallel = suggestion.confidence >= 0.5;
-    if (suggestion.parallel) {
-      // Clause priority mirrors the dataset bucketing: target > simd >
-      // reduction > private (do-all).
-      if (clause_preds[3][i] == 1) {
-        suggestion.category = PragmaCategory::kTarget;
-      } else if (clause_preds[2][i] == 1) {
-        suggestion.category = PragmaCategory::kSimd;
-      } else if (clause_preds[1][i] == 1) {
-        suggestion.category = PragmaCategory::kReduction;
-      } else {
-        suggestion.category = PragmaCategory::kPrivate;
-      }
-      // Fill clause payloads from the static analysis (the model decides the
-      // pattern; the analyzer names the variables).
-      const LoopFacts facts = analyze_loop(*loops[i].loop, parsed.tu.get());
-      std::vector<OmpPragma::Reduction> reductions;
-      if (suggestion.category == PragmaCategory::kReduction) {
-        for (const auto& red : find_reductions(facts)) {
-          reductions.push_back(OmpPragma::Reduction{red.op, {red.var}});
-        }
-      }
-      std::vector<std::string> privates;
-      for (const auto& var : find_private_scalars(facts)) {
-        const auto& info = facts.written_scalars.at(var);
-        if (!info.declared_in_body) privates.push_back(var);
-      }
-      suggestion.suggested_pragma = render_pragma(suggestion.category, privates, reductions);
-    }
-    out.push_back(std::move(suggestion));
+  out.reserve(prepared.loops.size());
+  for (std::size_t i = 0; i < prepared.loops.size(); ++i) {
+    out.push_back(make_suggestion(
+        prepared.loops[i], prepared.parsed.tu.get(),
+        parallel_probs.at({static_cast<int>(i), 1}),
+        {clause_preds[0][i], clause_preds[1][i], clause_preds[2][i], clause_preds[3][i]}));
   }
+  return out;
+}
+
+std::vector<std::vector<LoopSuggestion>> Pipeline::suggest_batch(
+    std::span<const std::string_view> sources) const {
+  const NoGradGuard no_grad;  // serving: skip tape construction
+  std::vector<std::vector<LoopSuggestion>> out(sources.size());
+  if (sources.empty()) return out;
+
+  // Stage 1 (parallel): per-source frontend — lex, parse, extract loops,
+  // build aug-ASTs. Each source is independent; the pool rethrows the first
+  // failure after draining. The pool is shared across calls (and pipelines)
+  // so a small request does not pay thread spawn latency.
+  std::vector<PreparedSource> prepared(sources.size());
+  static ThreadPool pool;
+  pool.parallel_for(sources.size(), [&](std::size_t i) {
+    prepared[i] = prepare_source(sources[i], vocab_, options_.aug);
+  });
+
+  // Stage 2 (batched): every loop of every source joins a disjoint union so
+  // the request costs one batched forward per worker — a single forward on a
+  // one-thread pool, or per-worker sub-batches that encode concurrently
+  // (disjoint unions pool per graph, so sub-batching is output-identical).
+  std::vector<const HetGraph*> graph_ptrs;
+  for (const auto& p : prepared) {
+    for (const auto& g : p.graphs) graph_ptrs.push_back(&g.graph);
+  }
+  if (graph_ptrs.empty()) return out;
+
+  const std::size_t num_chunks =
+      std::max<std::size_t>(1, std::min(pool.size(), graph_ptrs.size() / 8));
+  Tensor pooled;
+  if (num_chunks == 1) {
+    pooled = model_->encode(batch_graphs(graph_ptrs));
+  } else {
+    const std::size_t per_chunk = (graph_ptrs.size() + num_chunks - 1) / num_chunks;
+    std::vector<Tensor> chunk_pooled((graph_ptrs.size() + per_chunk - 1) / per_chunk);
+    pool.parallel_for(chunk_pooled.size(), [&](std::size_t c) {
+      const NoGradGuard worker_no_grad;  // thread-local: set per worker
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(graph_ptrs.size(), begin + per_chunk);
+      chunk_pooled[c] = model_->encode(batch_graphs(
+          {graph_ptrs.begin() + static_cast<std::ptrdiff_t>(begin),
+           graph_ptrs.begin() + static_cast<std::ptrdiff_t>(end)}));
+    });
+    pooled = concat_rows(chunk_pooled);
+  }
+  const Tensor parallel_probs =
+      softmax_rows(model_->task_logits(pooled, PredictionTask::kParallel));
+  std::array<std::vector<int>, 4> clause_preds;
+  for (int c = 0; c < 4; ++c) {
+    clause_preds[static_cast<std::size_t>(c)] =
+        argmax_rows(model_->task_logits(pooled, static_cast<PredictionTask>(c + 1)));
+  }
+
+  // Stage 3 (parallel): peel rows back apart, one suggestion list per
+  // source; the clause analysis behind each rendered pragma is per-source
+  // independent, so it runs on the pool too.
+  std::vector<std::size_t> first_row(prepared.size());
+  std::size_t row = 0;
+  for (std::size_t s = 0; s < prepared.size(); ++s) {
+    first_row[s] = row;
+    row += prepared[s].loops.size();
+  }
+  pool.parallel_for(prepared.size(), [&](std::size_t s) {
+    std::size_t r = first_row[s];
+    out[s].reserve(prepared[s].loops.size());
+    for (std::size_t i = 0; i < prepared[s].loops.size(); ++i, ++r) {
+      out[s].push_back(make_suggestion(
+          prepared[s].loops[i], prepared[s].parsed.tu.get(),
+          parallel_probs.at({static_cast<int>(r), 1}),
+          {clause_preds[0][r], clause_preds[1][r], clause_preds[2][r],
+           clause_preds[3][r]}));
+    }
+  });
   return out;
 }
 

@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "analysis/dependence.h"
@@ -46,6 +47,16 @@ class Pipeline {
 
   /// Analyze a C translation unit and produce one suggestion per loop.
   std::vector<LoopSuggestion> suggest(std::string_view c_source) const;
+
+  /// Batched serving entry point: many translation units in, one suggestion
+  /// list per unit out (aligned with `sources`). Per-source frontend work
+  /// (parse, loop extraction, aug-AST construction) runs on a worker pool;
+  /// all loops across all sources are merged into a single disjoint batch
+  /// union for one model forward. Numerically equivalent to calling
+  /// `suggest` per source, just faster. Throws on the first source that
+  /// fails to parse, like `suggest` does.
+  std::vector<std::vector<LoopSuggestion>> suggest_batch(
+      std::span<const std::string_view> sources) const;
 
   /// Persist / restore trained weights (vocabulary travels alongside).
   void save(const std::string& model_path, const std::string& vocab_path) const;

@@ -49,7 +49,8 @@ std::vector<Example> prepare_examples(const Corpus& corpus, const std::vector<in
 
 namespace {
 
-/// Merge a batch of example graphs into one BatchedGraph.
+/// Merge a shuffled mini-batch of example graphs into one indexed
+/// BatchedGraph; every HGT layer of the step shares the precomputed CSR.
 BatchedGraph batch_of(const std::vector<Example>& examples, std::span<const int> order,
                       std::size_t begin, std::size_t end) {
   std::vector<const HetGraph*> graphs;
@@ -57,6 +58,15 @@ BatchedGraph batch_of(const std::vector<Example>& examples, std::span<const int>
   for (std::size_t k = begin; k < end; ++k) {
     graphs.push_back(&examples[static_cast<std::size_t>(order[k])].graph.graph);
   }
+  return batch_graphs(graphs);
+}
+
+/// Contiguous (unshuffled) batch for evaluation/prediction passes.
+BatchedGraph batch_of(const std::vector<Example>& examples, std::size_t begin,
+                      std::size_t end) {
+  std::vector<const HetGraph*> graphs;
+  graphs.reserve(end - begin);
+  for (std::size_t k = begin; k < end; ++k) graphs.push_back(&examples[k].graph.graph);
   return batch_graphs(graphs);
 }
 
@@ -138,14 +148,12 @@ void train_graph_model(Graph2ParModel& model, const std::vector<Example>& train,
 EvalReport evaluate_graph_model(const Graph2ParModel& model,
                                 const std::vector<Example>& examples, int batch_size) {
   EvalReport report;
-  std::vector<int> order(examples.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-
-  for (std::size_t begin = 0; begin < order.size();
+  const NoGradGuard no_grad;
+  for (std::size_t begin = 0; begin < examples.size();
        begin += static_cast<std::size_t>(batch_size)) {
     const std::size_t end =
-        std::min(order.size(), begin + static_cast<std::size_t>(batch_size));
-    const auto batch = batch_of(examples, order, begin, end);
+        std::min(examples.size(), begin + static_cast<std::size_t>(batch_size));
+    const auto batch = batch_of(examples, begin, end);
     const Tensor pooled = model.encode(batch);
     const auto parallel_pred =
         argmax_rows(model.task_logits(pooled, PredictionTask::kParallel));
@@ -174,13 +182,12 @@ EvalReport evaluate_graph_model(const Graph2ParModel& model,
 std::vector<bool> predict_parallel(const Graph2ParModel& model,
                                    const std::vector<Example>& examples, int batch_size) {
   std::vector<bool> out(examples.size());
-  std::vector<int> order(examples.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
-  for (std::size_t begin = 0; begin < order.size();
+  const NoGradGuard no_grad;
+  for (std::size_t begin = 0; begin < examples.size();
        begin += static_cast<std::size_t>(batch_size)) {
     const std::size_t end =
-        std::min(order.size(), begin + static_cast<std::size_t>(batch_size));
-    const auto batch = batch_of(examples, order, begin, end);
+        std::min(examples.size(), begin + static_cast<std::size_t>(batch_size));
+    const auto batch = batch_of(examples, begin, end);
     const auto preds =
         argmax_rows(model.task_logits(model.encode(batch), PredictionTask::kParallel));
     for (std::size_t k = begin; k < end; ++k) out[k] = preds[k - begin] == 1;
@@ -253,6 +260,7 @@ void train_token_model(PragFormerModel& model, const std::vector<Example>& train
 EvalReport evaluate_token_model(const PragFormerModel& model,
                                 const std::vector<Example>& examples) {
   EvalReport report;
+  const NoGradGuard no_grad;
   for (const Example& ex : examples) {
     const Tensor pooled = model.encode(ex.tokens);
     const bool parallel_pred =
@@ -273,6 +281,7 @@ EvalReport evaluate_token_model(const PragFormerModel& model,
 std::vector<bool> predict_parallel_tokens(const PragFormerModel& model,
                                           const std::vector<Example>& examples) {
   std::vector<bool> out(examples.size());
+  const NoGradGuard no_grad;
   for (std::size_t i = 0; i < examples.size(); ++i) {
     const Tensor pooled = model.encode(examples[i].tokens);
     out[i] = argmax_rows(model.task_logits(pooled, PredictionTask::kParallel))[0] == 1;

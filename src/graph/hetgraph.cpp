@@ -49,22 +49,4 @@ bool HetGraph::valid() const {
   return true;
 }
 
-BatchedGraph batch_graphs(const std::vector<const HetGraph*>& graphs) {
-  BatchedGraph out;
-  out.num_graphs = static_cast<int>(graphs.size());
-  int offset = 0;
-  for (std::size_t g = 0; g < graphs.size(); ++g) {
-    const HetGraph& graph = *graphs[g];
-    for (const auto& node : graph.nodes) {
-      out.merged.nodes.push_back(node);
-      out.segment_of_node.push_back(static_cast<int>(g));
-    }
-    for (const auto& e : graph.edges) {
-      out.merged.edges.push_back(HetEdge{e.src + offset, e.dst + offset, e.type});
-    }
-    offset += graph.num_nodes();
-  }
-  return out;
-}
-
 }  // namespace g2p

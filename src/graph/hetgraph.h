@@ -88,14 +88,8 @@ struct HetGraph {
   bool valid() const;
 };
 
-/// Disjoint union of graphs for mini-batching. `segment_of_node[i]` gives the
-/// index of the source graph of node i (graph readout pooling key).
-struct BatchedGraph {
-  HetGraph merged;
-  std::vector<int> segment_of_node;
-  int num_graphs = 0;
-};
-
-BatchedGraph batch_graphs(const std::vector<const HetGraph*>& graphs);
+// BatchedGraph / batch_graphs (the mini-batching disjoint union) live in
+// graph/hetgraph_index.h: batching now always carries the precomputed CSR
+// adjacency the HGT layers consume.
 
 }  // namespace g2p

@@ -1,0 +1,107 @@
+#include "graph/hetgraph_index.h"
+
+#include <stdexcept>
+
+namespace g2p {
+
+HetGraphIndex::HetGraphIndex(const HetGraph& graph) {
+  num_nodes = graph.num_nodes();
+  num_edges = graph.num_edges();
+  per_edge_type.resize(static_cast<std::size_t>(kNumHetEdgeTypes));
+  rows_of_type.resize(static_cast<std::size_t>(kNumHetNodeTypes));
+
+  for (int i = 0; i < num_nodes; ++i) {
+    rows_of_type[static_cast<std::size_t>(graph.nodes[static_cast<std::size_t>(i)].type)]
+        .push_back(i);
+  }
+  nodes_by_type.reserve(static_cast<std::size_t>(num_nodes));
+  for (const auto& rows : rows_of_type) {
+    for (int v : rows) nodes_by_type.push_back(v);
+  }
+
+  // Pass 1: count incoming edges per (edge type, destination).
+  for (auto& slice : per_edge_type) {
+    slice.row_offsets.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  }
+  for (const auto& e : graph.edges) {
+    if (e.src < 0 || e.src >= num_nodes || e.dst < 0 || e.dst >= num_nodes) {
+      throw std::invalid_argument("HetGraphIndex: edge endpoint out of range");
+    }
+    ++per_edge_type[static_cast<std::size_t>(e.type)]
+          .row_offsets[static_cast<std::size_t>(e.dst) + 1];
+  }
+  int concat_offset = 0;
+  for (auto& slice : per_edge_type) {
+    for (int v = 0; v < num_nodes; ++v) {
+      slice.row_offsets[static_cast<std::size_t>(v) + 1] +=
+          slice.row_offsets[static_cast<std::size_t>(v)];
+    }
+    const int count = slice.row_offsets[static_cast<std::size_t>(num_nodes)];
+    slice.src.resize(static_cast<std::size_t>(count));
+    slice.dst.resize(static_cast<std::size_t>(count));
+    slice.concat_offset = concat_offset;
+    concat_offset += count;
+  }
+
+  // Pass 2: stable scatter into CSR order (insertion order kept per node).
+  std::vector<std::vector<int>> cursor(per_edge_type.size());
+  for (std::size_t t = 0; t < per_edge_type.size(); ++t) {
+    cursor[t].assign(per_edge_type[t].row_offsets.begin(),
+                     per_edge_type[t].row_offsets.end() - 1);
+  }
+  for (const auto& e : graph.edges) {
+    const auto t = static_cast<std::size_t>(e.type);
+    const int pos = cursor[t][static_cast<std::size_t>(e.dst)]++;
+    per_edge_type[t].src[static_cast<std::size_t>(pos)] = e.src;
+    per_edge_type[t].dst[static_cast<std::size_t>(pos)] = e.dst;
+  }
+
+  dst_concat.reserve(static_cast<std::size_t>(num_edges));
+  meta_concat.reserve(static_cast<std::size_t>(num_edges));
+  for (int et = 0; et < kNumHetEdgeTypes; ++et) {
+    const auto& slice = per_edge_type[static_cast<std::size_t>(et)];
+    for (int i = 0; i < slice.size(); ++i) {
+      const int src = slice.src[static_cast<std::size_t>(i)];
+      const int dst = slice.dst[static_cast<std::size_t>(i)];
+      dst_concat.push_back(dst);
+      const int src_type = static_cast<int>(graph.nodes[static_cast<std::size_t>(src)].type);
+      const int dst_type = static_cast<int>(graph.nodes[static_cast<std::size_t>(dst)].type);
+      meta_concat.push_back((src_type * kNumHetEdgeTypes + et) * kNumHetNodeTypes + dst_type);
+    }
+  }
+}
+
+BatchedGraph batch_graphs(const std::vector<const HetGraph*>& graphs) {
+  BatchedGraph out;
+  out.num_graphs = static_cast<int>(graphs.size());
+  std::size_t total_nodes = 0, total_edges = 0;
+  for (const HetGraph* graph : graphs) {
+    if (graph == nullptr) throw std::invalid_argument("batch_graphs: null graph");
+    total_nodes += graph->nodes.size();
+    total_edges += graph->edges.size();
+  }
+  out.merged.nodes.reserve(total_nodes);
+  out.merged.edges.reserve(total_edges);
+  out.segment_of_node.reserve(total_nodes);
+
+  int offset = 0;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    const HetGraph& graph = *graphs[g];
+    const int n = graph.num_nodes();
+    for (const auto& node : graph.nodes) {
+      out.merged.nodes.push_back(node);
+      out.segment_of_node.push_back(static_cast<int>(g));
+    }
+    for (const auto& e : graph.edges) {
+      if (e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n) {
+        throw std::invalid_argument("batch_graphs: edge endpoint out of range");
+      }
+      out.merged.edges.push_back(HetEdge{e.src + offset, e.dst + offset, e.type});
+    }
+    offset += n;  // empty graphs contribute no nodes but keep their segment id
+  }
+  out.index = HetGraphIndex(out.merged);
+  return out;
+}
+
+}  // namespace g2p

@@ -34,108 +34,98 @@ HgtLayer::HgtLayer(int dim, int heads, Rng& rng)
   mu_ = register_param(Tensor::full({num_meta, 1}, 1.0f));
 }
 
-Tensor HgtLayer::per_type_projection(const Tensor& x, const HetGraph& graph,
+Tensor HgtLayer::per_type_projection(const Tensor& x, const HetGraphIndex& index,
                                      const std::vector<std::unique_ptr<Linear>>& lins) const {
-  const int n = graph.num_nodes();
-  std::vector<std::vector<int>> rows_of_type(static_cast<std::size_t>(kNumHetNodeTypes));
-  for (int i = 0; i < n; ++i) {
-    rows_of_type[static_cast<std::size_t>(graph.nodes[static_cast<std::size_t>(i)].type)]
-        .push_back(i);
-  }
-  Tensor result;  // accumulated via scatter-add; each row written exactly once
+  const int n = index.num_nodes;
+  std::vector<Tensor> parts;  // projected rows, type-major order
   for (int t = 0; t < kNumHetNodeTypes; ++t) {
-    const auto& rows = rows_of_type[static_cast<std::size_t>(t)];
+    const auto& rows = index.rows_of_type[static_cast<std::size_t>(t)];
     if (rows.empty()) continue;
-    const Tensor projected =
-        lins[static_cast<std::size_t>(t)]->forward(index_select_rows(x, rows));
-    const Tensor scattered = scatter_add_rows(projected, rows, n);
-    result = result.defined() ? add(result, scattered) : scattered;
+    parts.push_back(lins[static_cast<std::size_t>(t)]->forward(index_select_rows(x, rows)));
   }
-  if (!result.defined()) result = Tensor::zeros({n, dim_});
-  return result;
+  if (parts.empty()) return Tensor::zeros({n, dim_});
+  // One fused scatter-on-write pass places the per-type blocks back into
+  // node order — cheaper than per-type scatter-add chains over full
+  // [N, dim] buffers or a concat followed by a gather.
+  return concat_rows_to(parts, index.nodes_by_type);
 }
 
-Tensor HgtLayer::forward(const Tensor& x, const HetGraph& graph) const {
-  const int n = graph.num_nodes();
-  const int num_edges = graph.num_edges();
+Tensor HgtLayer::forward(const Tensor& x, const HetGraphIndex& index) const {
+  const int n = index.num_nodes;
+  const int total_edges = index.num_edges;
   if (x.dim(0) != n || x.dim(1) != dim_) {
     throw std::invalid_argument("HgtLayer::forward: state shape mismatch");
   }
-  if (num_edges == 0) {
+  if (total_edges == 0) {
     // Formula 5 degenerates to the residual path.
     return x;
   }
 
-  const Tensor k_all = per_type_projection(x, graph, k_lin_);
-  const Tensor q_all = per_type_projection(x, graph, q_lin_);
-  const Tensor v_all = per_type_projection(x, graph, v_lin_);
+  const Tensor k_all = per_type_projection(x, index, k_lin_);
+  const Tensor q_all = per_type_projection(x, index, q_lin_);
+  const Tensor v_all = per_type_projection(x, index, v_lin_);
 
-  // Group edges by edge type (W_ATT / W_MSG are φ-indexed); remember the
-  // global concatenation order so per-head tensors align with dst ids.
-  std::vector<std::vector<int>> edges_of_type(static_cast<std::size_t>(kNumHetEdgeTypes));
-  for (int e = 0; e < num_edges; ++e) {
-    edges_of_type[static_cast<std::size_t>(graph.edges[static_cast<std::size_t>(e)].type)]
-        .push_back(e);
-  }
-
-  std::vector<int> dst_concat;      // target node of each edge, concat order
-  std::vector<int> meta_concat;     // meta-relation id of each edge
-  std::vector<std::vector<int>> src_by_type(static_cast<std::size_t>(kNumHetEdgeTypes));
-  std::vector<std::vector<int>> dst_by_type(static_cast<std::size_t>(kNumHetEdgeTypes));
-  for (int et = 0; et < kNumHetEdgeTypes; ++et) {
-    for (int e : edges_of_type[static_cast<std::size_t>(et)]) {
-      const auto& edge = graph.edges[static_cast<std::size_t>(e)];
-      src_by_type[static_cast<std::size_t>(et)].push_back(edge.src);
-      dst_by_type[static_cast<std::size_t>(et)].push_back(edge.dst);
-      dst_concat.push_back(edge.dst);
-      const int src_type = static_cast<int>(graph.nodes[static_cast<std::size_t>(edge.src)].type);
-      const int dst_type = static_cast<int>(graph.nodes[static_cast<std::size_t>(edge.dst)].type);
-      meta_concat.push_back((src_type * kNumHetEdgeTypes + et) * kNumHetNodeTypes + dst_type);
-    }
-  }
-  const int total_edges = static_cast<int>(dst_concat.size());
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
 
-  // µ prior per edge, shared across heads (formula 2).
-  const Tensor mu_per_edge = reshape(index_select_rows(mu_, meta_concat), {total_edges});
+  // µ prior per edge, shared across heads (formula 2). Edge order is the
+  // index's type-major CSR order throughout.
+  const Tensor mu_per_edge =
+      reshape(index_select_rows(mu_, index.meta_concat), {total_edges});
+
+  // Apply the φ-indexed head maps per NODE, then gather per edge: K W_ATT
+  // and V W_MSG are transforms of the source node state, so computing them
+  // over the N node rows and gathering E edge rows afterwards does the same
+  // math with N-row instead of E-row matmuls (N < E for every aug-AST, which
+  // has at least the forward/reverse AST edge pair per non-root node).
+  std::vector<std::vector<Tensor>> logits_parts(static_cast<std::size_t>(heads_));
+  std::vector<std::vector<Tensor>> msg_parts(static_cast<std::size_t>(heads_));
+  for (int h = 0; h < heads_; ++h) {
+    const int off = h * head_dim_;
+    const Tensor k_h = col_slice(k_all, off, head_dim_);
+    const Tensor q_h = col_slice(q_all, off, head_dim_);
+    const Tensor v_h = col_slice(v_all, off, head_dim_);
+    for (int et = 0; et < kNumHetEdgeTypes; ++et) {
+      const auto& slice = index.per_edge_type[static_cast<std::size_t>(et)];
+      if (slice.empty()) continue;
+      // ATT-head: (K W_ATT) · Q / sqrt(d); MSG-head: V W_MSG.
+      const Tensor k_mapped = matmul(
+          k_h, w_att_[static_cast<std::size_t>(et)][static_cast<std::size_t>(h)]);
+      const Tensor att = row_dot(index_select_rows(k_mapped, slice.src),
+                                 index_select_rows(q_h, slice.dst));
+      logits_parts[static_cast<std::size_t>(h)].push_back(reshape(att, {slice.size(), 1}));
+      const Tensor v_mapped = matmul(
+          v_h, w_msg_[static_cast<std::size_t>(et)][static_cast<std::size_t>(h)]);
+      msg_parts[static_cast<std::size_t>(h)].push_back(
+          index_select_rows(v_mapped, slice.src));
+    }
+  }
 
   std::vector<Tensor> head_aggregates;
   head_aggregates.reserve(static_cast<std::size_t>(heads_));
   for (int h = 0; h < heads_; ++h) {
-    const int off = h * head_dim_;
-    std::vector<Tensor> logits_parts;  // [E_et, 1] per edge type
-    std::vector<Tensor> msg_parts;     // [E_et, head_dim] per edge type
-    for (int et = 0; et < kNumHetEdgeTypes; ++et) {
-      const auto& srcs = src_by_type[static_cast<std::size_t>(et)];
-      const auto& dsts = dst_by_type[static_cast<std::size_t>(et)];
-      if (srcs.empty()) continue;
-      const Tensor k_src = col_slice(index_select_rows(k_all, srcs), off, head_dim_);
-      const Tensor q_dst = col_slice(index_select_rows(q_all, dsts), off, head_dim_);
-      const Tensor v_src = col_slice(index_select_rows(v_all, srcs), off, head_dim_);
-      // ATT-head: (K W_ATT) · Q / sqrt(d); MSG-head: V W_MSG.
-      const Tensor att =
-          row_dot(matmul(k_src, w_att_[static_cast<std::size_t>(et)][static_cast<std::size_t>(h)]),
-                  q_dst);
-      logits_parts.push_back(reshape(att, {static_cast<int>(srcs.size()), 1}));
-      msg_parts.push_back(matmul(
-          v_src, w_msg_[static_cast<std::size_t>(et)][static_cast<std::size_t>(h)]));
-    }
-    const Tensor logits_raw =
-        reshape(concat_rows(logits_parts), {total_edges});  // concat order = dst_concat order
+    const Tensor logits_raw = reshape(concat_rows(logits_parts[static_cast<std::size_t>(h)]),
+                                      {total_edges});  // concat = dst_concat order
     const Tensor logits = mul(scale(logits_raw, inv_sqrt_d), mu_per_edge);
     // Softmax over all incoming edges of each target (formula 2's Softmax
     // over s ∈ N(t)).
-    const Tensor attention = segment_softmax(logits, dst_concat, n);
-    const Tensor messages = concat_rows(msg_parts);                 // [E, head_dim]
-    const Tensor weighted = scale_rows(messages, attention);        // formula 4
-    head_aggregates.push_back(scatter_add_rows(weighted, dst_concat, n));
+    const Tensor attention = segment_softmax(logits, index.dst_concat, n);
+    const Tensor messages =
+        concat_rows(msg_parts[static_cast<std::size_t>(h)]);        // [E, head_dim]
+    // Formula 4: attention-weighted aggregation, fused so the weighted
+    // messages are never materialized.
+    head_aggregates.push_back(
+        segment_weighted_sum_rows(messages, attention, index.dst_concat, n));
   }
 
   const Tensor h_tilde = concat_cols(head_aggregates);  // [N, dim]
   // Formula 5: per-target-type output projection of σ(H~) plus residual.
   const Tensor activated = gelu(h_tilde);
-  const Tensor projected = per_type_projection(activated, graph, a_lin_);
+  const Tensor projected = per_type_projection(activated, index, a_lin_);
   return add(projected, x);
+}
+
+Tensor HgtLayer::forward(const Tensor& x, const HetGraph& graph) const {
+  return forward(x, HetGraphIndex(graph));
 }
 
 HgtEncoder::HgtEncoder(int dim, int heads, int layers, Rng& rng) {
@@ -147,12 +137,16 @@ HgtEncoder::HgtEncoder(int dim, int heads, int layers, Rng& rng) {
   }
 }
 
-Tensor HgtEncoder::forward(const Tensor& x, const HetGraph& graph) const {
+Tensor HgtEncoder::forward(const Tensor& x, const HetGraphIndex& index) const {
   Tensor state = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    state = norms_[i]->forward(layers_[i]->forward(state, graph));
+    state = norms_[i]->forward(layers_[i]->forward(state, index));
   }
   return state;
+}
+
+Tensor HgtEncoder::forward(const Tensor& x, const HetGraph& graph) const {
+  return forward(x, HetGraphIndex(graph));
 }
 
 }  // namespace g2p

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "graph/hetgraph.h"
+#include "graph/hetgraph_index.h"
 #include "nn/layers.h"
 #include "nn/module.h"
 
@@ -29,9 +30,15 @@ class HgtLayer : public Module {
  public:
   HgtLayer(int dim, int heads, Rng& rng);
 
-  /// One round of heterogeneous message passing.
-  /// `x`: [N, dim] node states; `graph`: topology + node/edge types.
-  /// Nodes with no incoming edges keep their residual state.
+  /// One round of heterogeneous message passing over a precomputed CSR
+  /// index (single graph or disjoint batch union — the math is identical).
+  /// `x`: [N, dim] node states. Nodes with no incoming edges keep their
+  /// residual state.
+  Tensor forward(const Tensor& x, const HetGraphIndex& index) const;
+
+  /// Single-graph convenience wrapper: indexes `graph` and forwards.
+  /// Callers running several layers should index once and use the overload
+  /// above (HgtEncoder does).
   Tensor forward(const Tensor& x, const HetGraph& graph) const;
 
   int dim() const { return dim_; }
@@ -50,7 +57,7 @@ class HgtLayer : public Module {
 
   /// Apply the per-type linear `lins[type]` to the rows of each type and
   /// reassemble a full [N, dim] tensor.
-  Tensor per_type_projection(const Tensor& x, const HetGraph& graph,
+  Tensor per_type_projection(const Tensor& x, const HetGraphIndex& index,
                              const std::vector<std::unique_ptr<Linear>>& lins) const;
 };
 
@@ -59,6 +66,10 @@ class HgtEncoder : public Module {
  public:
   HgtEncoder(int dim, int heads, int layers, Rng& rng);
 
+  /// Run all layers over one precomputed index (built once per batch).
+  Tensor forward(const Tensor& x, const HetGraphIndex& index) const;
+
+  /// Single-graph convenience wrapper: indexes `graph` once, then forwards.
   Tensor forward(const Tensor& x, const HetGraph& graph) const;
 
  private:

@@ -12,9 +12,8 @@ Linear::Linear(int in_features, int out_features, Rng& rng, bool bias)
 }
 
 Tensor Linear::forward(const Tensor& x) const {
-  Tensor y = matmul(x, weight_);
-  if (bias_.defined()) y = add_rowvec(y, bias_);
-  return y;
+  if (bias_.defined()) return matmul_bias(x, weight_, bias_);
+  return matmul(x, weight_);
 }
 
 Embedding::Embedding(int vocab_size, int dim, Rng& rng) : vocab_(vocab_size), dim_(dim) {

@@ -1,0 +1,56 @@
+// Branch-free float transcendentals for the hot activation/softmax loops.
+//
+// libm's scalar expf/tanhf dominate the batched forward (GELU alone is ~half
+// the encode time at batch scale: one tanh per node-feature). These
+// replacements use the standard range-reduction + polynomial construction:
+// exp(x) = 2^i * e^f with f in [-ln2/2, ln2/2] and a degree-6 Taylor for
+// e^f (relative error ~1e-7, well below float round-off accumulation in the
+// surrounding reductions), written so the compiler can vectorize the
+// surrounding loops. tanh comes from the exp identity, so it inherits the
+// same accuracy.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+
+namespace g2p {
+
+inline float fast_expf(float x) {
+  // i = round(x / ln2); f = x - i*ln2 in [-0.3466, 0.3466]
+  constexpr float kLog2e = 1.442695040888963f;
+  constexpr float kLn2Hi = 0.693359375f;         // ln2 split for exact reduction
+  constexpr float kLn2Lo = -2.12194440e-4f;
+  // Saturates at |x| = 87 (exp(87) ~ 6e37) instead of returning inf; NaN
+  // propagates (the clamp below would otherwise flush it to exp(-87) and
+  // hide a diverged forward pass). The ternary compiles to a blend, so the
+  // surrounding loops still vectorize.
+  if (!(x == x)) return x;
+  const float clamped = std::min(87.0f, std::max(-87.0f, x));
+  const float fi = clamped * kLog2e;
+  const float ri = fi >= 0.0f ? static_cast<float>(static_cast<int>(fi + 0.5f))
+                              : static_cast<float>(static_cast<int>(fi - 0.5f));
+  const float f = (clamped - ri * kLn2Hi) - ri * kLn2Lo;
+  // Degree-6 Taylor of e^f; |f| <= ln2/2 keeps the truncation ~1e-7 relative.
+  float p = 1.0f / 5040.0f;
+  p = p * f + 1.0f / 720.0f;
+  p = p * f + 1.0f / 120.0f;
+  p = p * f + 1.0f / 24.0f;
+  p = p * f + 1.0f / 6.0f;
+  p = p * f + 0.5f;
+  p = p * f + 1.0f;
+  p = p * f + 1.0f;
+  // Scale by 2^i through the exponent bits.
+  const std::int32_t bits = (static_cast<std::int32_t>(ri) + 127) << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof scale);
+  return p * scale;
+}
+
+inline float fast_tanhf(float x) {
+  // tanh(x) = 1 - 2 / (1 + e^{2x}); the exp clamp saturates to +-1 and NaN
+  // propagates through fast_expf.
+  return 1.0f - 2.0f / (1.0f + fast_expf(2.0f * x));
+}
+
+}  // namespace g2p

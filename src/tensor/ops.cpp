@@ -1,5 +1,7 @@
 #include "tensor/ops.h"
 
+#include "tensor/fastmath.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -19,13 +21,141 @@ void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
 }
 
 /// Accumulate `src` into parent's grad buffer (allocating it first).
-void accumulate(const std::shared_ptr<TensorImpl>& parent, const std::vector<float>& src) {
+void accumulate(const std::shared_ptr<TensorImpl>& parent, const FloatVec& src) {
   parent->ensure_grad();
   for (std::size_t i = 0; i < src.size(); ++i) parent->grad[i] += src[i];
 }
 
 int rows_of(const Tensor& t) { return t.rank() == 1 ? 1 : t.dim(0); }
 int cols_of(const Tensor& t) { return t.rank() == 1 ? t.dim(0) : t.dim(1); }
+
+// Specialized row-major matmul kernels. The HGT forward spends most of its
+// time in two shapes: [rows, dim] x [dim, dim] per-type projections (m = 32
+// by default) and [edges, head_dim] x [head_dim, head_dim] per-head maps
+// (m = 8). The compile-time width lets the compiler keep accumulators in
+// vector registers; every kernel sums k in ascending order, so results are
+// bitwise identical across the specializations and the generic fallback.
+
+/// One output row accumulated in registers across the k loop.
+template <int M>
+void matmul_fixed_width(const float* __restrict a, const float* __restrict b,
+                        float* __restrict out, int n, int k) {
+  for (int i = 0; i < n; ++i) {
+    float acc[M] = {};
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* brow = b + static_cast<std::size_t>(kk) * M;
+      for (int j = 0; j < M; ++j) acc[j] += av * brow[j];
+    }
+    float* orow = out + static_cast<std::size_t>(i) * M;
+    for (int j = 0; j < M; ++j) orow[j] = acc[j];
+  }
+}
+
+/// Four output rows in flight — independent FMA chains hide the multiply-add
+/// latency that serializes the single-row kernel.
+template <int M>
+void matmul_fixed_width_x4(const float* __restrict a, const float* __restrict b,
+                           float* __restrict out, int n, int k) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float acc0[M] = {}, acc1[M] = {}, acc2[M] = {}, acc3[M] = {};
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float* brow = b + static_cast<std::size_t>(kk) * M;
+      const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
+      for (int j = 0; j < M; ++j) {
+        const float bj = brow[j];
+        acc0[j] += v0 * bj;
+        acc1[j] += v1 * bj;
+        acc2[j] += v2 * bj;
+        acc3[j] += v3 * bj;
+      }
+    }
+    float* orow = out + static_cast<std::size_t>(i) * M;
+    for (int j = 0; j < M; ++j) orow[j] = acc0[j];
+    for (int j = 0; j < M; ++j) orow[M + j] = acc1[j];
+    for (int j = 0; j < M; ++j) orow[2 * M + j] = acc2[j];
+    for (int j = 0; j < M; ++j) orow[3 * M + j] = acc3[j];
+  }
+  if (i < n) {
+    matmul_fixed_width<M>(a + static_cast<std::size_t>(i) * k, b,
+                          out + static_cast<std::size_t>(i) * M, n - i, k);
+  }
+}
+
+inline constexpr int kNarrowMaxK = 64;
+
+/// Narrow outputs (m <= 8): a single m-wide FMA chain per row is latency-
+/// bound, so process 32/m rows per pass against b replicated to width 32 —
+/// one full-width FMA stream with independent per-row lanes (~7x faster at
+/// m = 8 than the single-row kernel).
+template <int M>
+void matmul_fixed_narrow(const float* __restrict a, const float* __restrict b,
+                         float* __restrict out, int n, int k) {
+  constexpr int R = 32 / M;  // rows per vector pass
+  float brep[kNarrowMaxK * 32];
+  for (int kk = 0; kk < k; ++kk) {
+    for (int r = 0; r < R; ++r) {
+      for (int j = 0; j < M; ++j) brep[kk * 32 + r * M + j] = b[kk * M + j];
+    }
+  }
+  int i = 0;
+  for (; i + R <= n; i += R) {
+    float acc[32] = {};
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      float av[32];
+      for (int r = 0; r < R; ++r) {
+        const float v = a0[static_cast<std::size_t>(r) * k + kk];
+        for (int j = 0; j < M; ++j) av[r * M + j] = v;
+      }
+      const float* brow = brep + kk * 32;
+      for (int j = 0; j < 32; ++j) acc[j] += av[j] * brow[j];
+    }
+    float* orow = out + static_cast<std::size_t>(i) * M;
+    for (int j = 0; j < R * M; ++j) orow[j] = acc[j];
+  }
+  if (i < n) {
+    matmul_fixed_width<M>(a + static_cast<std::size_t>(i) * k, b,
+                          out + static_cast<std::size_t>(i) * M, n - i, k);
+  }
+}
+
+void matmul_forward_kernel(const float* a, const float* b, float* out, int n, int k, int m) {
+  if (k <= kNarrowMaxK) {
+    switch (m) {
+      case 2: return matmul_fixed_narrow<2>(a, b, out, n, k);
+      case 4: return matmul_fixed_narrow<4>(a, b, out, n, k);
+      case 8: return matmul_fixed_narrow<8>(a, b, out, n, k);
+      default: break;
+    }
+  }
+  switch (m) {
+    case 2: return matmul_fixed_width<2>(a, b, out, n, k);
+    case 4: return matmul_fixed_width<4>(a, b, out, n, k);
+    case 8: return matmul_fixed_width<8>(a, b, out, n, k);
+    case 16: return matmul_fixed_width_x4<16>(a, b, out, n, k);
+    case 32: return matmul_fixed_width_x4<32>(a, b, out, n, k);
+    case 64: return matmul_fixed_width<64>(a, b, out, n, k);
+    default: break;
+  }
+  // Generic ikj fallback for other widths (accumulates, so zero first).
+  std::fill(out, out + static_cast<std::size_t>(n) * m, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    float* orow = out + static_cast<std::size_t>(i) * m;
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      const float* brow = b + static_cast<std::size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
 
 }  // namespace
 
@@ -35,7 +165,7 @@ int cols_of(const Tensor& t) { return t.rank() == 1 ? t.dim(0) : t.dim(1); }
 
 Tensor add(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "add");
-  std::vector<float> out(a.numel());
+  FloatVec out(a.numel());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] + b.data()[i];
   auto pa = a.impl();
   auto pb = b.impl();
@@ -47,7 +177,7 @@ Tensor add(const Tensor& a, const Tensor& b) {
 
 Tensor sub(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "sub");
-  std::vector<float> out(a.numel());
+  FloatVec out(a.numel());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] - b.data()[i];
   auto pa = a.impl();
   auto pb = b.impl();
@@ -63,7 +193,7 @@ Tensor sub(const Tensor& a, const Tensor& b) {
 
 Tensor mul(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "mul");
-  std::vector<float> out(a.numel());
+  FloatVec out(a.numel());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * b.data()[i];
   auto pa = a.impl();
   auto pb = b.impl();
@@ -78,7 +208,7 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor scale(const Tensor& a, float factor) {
-  std::vector<float> out(a.numel());
+  FloatVec out(a.numel());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = a.data()[i] * factor;
   auto pa = a.impl();
   return make_result(a.shape(), std::move(out), {a}, [pa, factor](const TensorImpl& self) {
@@ -93,7 +223,7 @@ Tensor add_rowvec(const Tensor& x, const Tensor& bias) {
   }
   const int n = x.dim(0);
   const int d = x.dim(1);
-  std::vector<float> out(x.numel());
+  FloatVec out(x.numel());
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < d; ++j) {
       out[static_cast<std::size_t>(i) * d + j] =
@@ -123,7 +253,7 @@ Tensor neg(const Tensor& a) { return scale(a, -1.0f); }
 // ---------------------------------------------------------------------------
 
 Tensor relu(const Tensor& x) {
-  std::vector<float> out(x.numel());
+  FloatVec out(x.numel());
   for (std::size_t i = 0; i < out.size(); ++i) out[i] = x.data()[i] > 0 ? x.data()[i] : 0.0f;
   auto px = x.impl();
   return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
@@ -138,10 +268,10 @@ Tensor gelu(const Tensor& x) {
   // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
   constexpr float kA = 0.044715f;
-  std::vector<float> out(x.numel());
+  FloatVec out(x.numel());
   for (std::size_t i = 0; i < out.size(); ++i) {
     const float v = x.data()[i];
-    out[i] = 0.5f * v * (1.0f + std::tanh(kC * (v + kA * v * v * v)));
+    out[i] = 0.5f * v * (1.0f + fast_tanhf(kC * (v + kA * v * v * v)));
   }
   auto px = x.impl();
   return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
@@ -149,7 +279,7 @@ Tensor gelu(const Tensor& x) {
     for (std::size_t i = 0; i < self.grad.size(); ++i) {
       const float v = px->data[i];
       const float u = kC * (v + kA * v * v * v);
-      const float t = std::tanh(u);
+      const float t = fast_tanhf(u);
       const float du = kC * (1.0f + 3.0f * kA * v * v);
       const float dgelu = 0.5f * (1.0f + t) + 0.5f * v * (1.0f - t * t) * du;
       px->grad[i] += self.grad[i] * dgelu;
@@ -158,8 +288,8 @@ Tensor gelu(const Tensor& x) {
 }
 
 Tensor tanh_op(const Tensor& x) {
-  std::vector<float> out(x.numel());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(x.data()[i]);
+  FloatVec out(x.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fast_tanhf(x.data()[i]);
   auto px = x.impl();
   return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
     px->ensure_grad();
@@ -170,8 +300,8 @@ Tensor tanh_op(const Tensor& x) {
 }
 
 Tensor sigmoid(const Tensor& x) {
-  std::vector<float> out(x.numel());
-  for (std::size_t i = 0; i < out.size(); ++i) out[i] = 1.0f / (1.0f + std::exp(-x.data()[i]));
+  FloatVec out(x.numel());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = 1.0f / (1.0f + fast_expf(-x.data()[i]));
   auto px = x.impl();
   return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
     px->ensure_grad();
@@ -186,7 +316,7 @@ Tensor dropout(const Tensor& x, float p, Rng& rng, bool training) {
   if (p >= 1.0f) throw std::invalid_argument("dropout: p must be < 1");
   const float keep = 1.0f - p;
   auto mask = std::make_shared<std::vector<float>>(x.numel());
-  std::vector<float> out(x.numel());
+  FloatVec out(x.numel());
   for (std::size_t i = 0; i < out.size(); ++i) {
     const float m = rng.chance(p) ? 0.0f : 1.0f / keep;
     (*mask)[i] = m;
@@ -211,17 +341,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 " x " + shape_to_string(b.shape()));
   }
   const int n = a.dim(0), k = a.dim(1), m = b.dim(1);
-  std::vector<float> out(static_cast<std::size_t>(n) * m, 0.0f);
-  // ikj loop order for cache-friendly access.
-  for (int i = 0; i < n; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = a.data()[static_cast<std::size_t>(i) * k + kk];
-      if (av == 0.0f) continue;
-      const std::size_t brow = static_cast<std::size_t>(kk) * m;
-      const std::size_t orow = static_cast<std::size_t>(i) * m;
-      for (int j = 0; j < m; ++j) out[orow + j] += av * b.data()[brow + j];
-    }
-  }
+  FloatVec out(static_cast<std::size_t>(n) * m);
+  matmul_forward_kernel(a.data().data(), b.data().data(), out.data(), n, k, m);
   auto pa = a.impl();
   auto pb = b.impl();
   return make_result({n, m}, std::move(out), {a, b}, [pa, pb, n, k, m](const TensorImpl& self) {
@@ -251,10 +372,62 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   });
 }
 
+Tensor matmul_bias(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  if (x.rank() != 2 || w.rank() != 2 || x.dim(1) != w.dim(0) || bias.rank() != 1 ||
+      bias.dim(0) != w.dim(1)) {
+    throw std::invalid_argument("matmul_bias: incompatible shapes");
+  }
+  const int n = x.dim(0), k = x.dim(1), m = w.dim(1);
+  FloatVec out(static_cast<std::size_t>(n) * m);
+  matmul_forward_kernel(x.data().data(), w.data().data(), out.data(), n, k, m);
+  const float* bptr = bias.data().data();
+  for (int i = 0; i < n; ++i) {
+    float* orow = out.data() + static_cast<std::size_t>(i) * m;
+    for (int j = 0; j < m; ++j) orow[j] += bptr[j];
+  }
+  if (!grad_enabled()) return make_result({n, m}, std::move(out), {}, nullptr);
+  auto px = x.impl();
+  auto pw = w.impl();
+  auto pb = bias.impl();
+  return make_result(
+      {n, m}, std::move(out), {x, w, bias}, [px, pw, pb, n, k, m](const TensorImpl& self) {
+        px->ensure_grad();
+        pw->ensure_grad();
+        pb->ensure_grad();
+        // dX = dOut * W^T
+        for (int i = 0; i < n; ++i) {
+          for (int j = 0; j < m; ++j) {
+            const float g = self.grad[static_cast<std::size_t>(i) * m + j];
+            if (g == 0.0f) continue;
+            for (int kk = 0; kk < k; ++kk) {
+              px->grad[static_cast<std::size_t>(i) * k + kk] +=
+                  g * pw->data[static_cast<std::size_t>(kk) * m + j];
+            }
+          }
+        }
+        // dW = X^T * dOut; db = column sums of dOut
+        for (int kk = 0; kk < k; ++kk) {
+          for (int i = 0; i < n; ++i) {
+            const float xv = px->data[static_cast<std::size_t>(i) * k + kk];
+            if (xv == 0.0f) continue;
+            const std::size_t grow = static_cast<std::size_t>(i) * m;
+            const std::size_t wrow = static_cast<std::size_t>(kk) * m;
+            for (int j = 0; j < m; ++j) pw->grad[wrow + j] += xv * self.grad[grow + j];
+          }
+        }
+        for (int i = 0; i < n; ++i) {
+          const std::size_t grow = static_cast<std::size_t>(i) * m;
+          for (int j = 0; j < m; ++j) {
+            pb->grad[static_cast<std::size_t>(j)] += self.grad[grow + j];
+          }
+        }
+      });
+}
+
 Tensor transpose(const Tensor& a) {
   if (a.rank() != 2) throw std::invalid_argument("transpose: rank-2 only");
   const int n = a.dim(0), m = a.dim(1);
-  std::vector<float> out(a.numel());
+  FloatVec out(a.numel());
   for (int i = 0; i < n; ++i) {
     for (int j = 0; j < m; ++j) {
       out[static_cast<std::size_t>(j) * n + i] = a.data()[static_cast<std::size_t>(i) * m + j];
@@ -277,7 +450,7 @@ Tensor reshape(const Tensor& a, Shape new_shape) {
     throw std::invalid_argument("reshape: numel mismatch");
   }
   auto pa = a.impl();
-  std::vector<float> out = a.data();
+  FloatVec out = a.data();
   return make_result(std::move(new_shape), std::move(out), {a}, [pa](const TensorImpl& self) {
     accumulate(pa, self.grad);
   });
@@ -315,14 +488,14 @@ Tensor mean_all(const Tensor& x) {
 Tensor softmax_rows(const Tensor& x) {
   if (x.rank() != 2) throw std::invalid_argument("softmax_rows: rank-2 only");
   const int n = x.dim(0), c = x.dim(1);
-  std::vector<float> out(x.numel());
+  FloatVec out(x.numel());
   for (int i = 0; i < n; ++i) {
     const std::size_t row = static_cast<std::size_t>(i) * c;
     float mx = x.data()[row];
     for (int j = 1; j < c; ++j) mx = std::max(mx, x.data()[row + j]);
     float denom = 0.0f;
     for (int j = 0; j < c; ++j) {
-      out[row + j] = std::exp(x.data()[row + j] - mx);
+      out[row + j] = fast_expf(x.data()[row + j] - mx);
       denom += out[row + j];
     }
     for (int j = 0; j < c; ++j) out[row + j] /= denom;
@@ -344,7 +517,7 @@ Tensor softmax_rows(const Tensor& x) {
 Tensor log_softmax_rows(const Tensor& x) {
   if (x.rank() != 2) throw std::invalid_argument("log_softmax_rows: rank-2 only");
   const int n = x.dim(0), c = x.dim(1);
-  std::vector<float> out(x.numel());
+  FloatVec out(x.numel());
   for (int i = 0; i < n; ++i) {
     const std::size_t row = static_cast<std::size_t>(i) * c;
     float mx = x.data()[row];
@@ -433,13 +606,16 @@ Tensor cross_entropy_weighted(const Tensor& logits, std::span<const int> labels,
 Tensor index_select_rows(const Tensor& x, std::span<const int> index) {
   if (x.rank() != 2) throw std::invalid_argument("index_select_rows: rank-2 only");
   const int n = x.dim(0), d = x.dim(1);
-  std::vector<int> idx(index.begin(), index.end());
-  std::vector<float> out(idx.size() * static_cast<std::size_t>(d));
-  for (std::size_t i = 0; i < idx.size(); ++i) {
-    if (idx[i] < 0 || idx[i] >= n) throw std::out_of_range("index_select_rows: bad index");
-    std::copy_n(x.data().begin() + static_cast<std::ptrdiff_t>(idx[i]) * d, d,
+  FloatVec out(index.size() * static_cast<std::size_t>(d));
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    if (index[i] < 0 || index[i] >= n) throw std::out_of_range("index_select_rows: bad index");
+    std::copy_n(x.data().begin() + static_cast<std::ptrdiff_t>(index[i]) * d, d,
                 out.begin() + static_cast<std::ptrdiff_t>(i) * d);
   }
+  if (!grad_enabled()) {
+    return make_result({static_cast<int>(index.size()), d}, std::move(out), {}, nullptr);
+  }
+  std::vector<int> idx(index.begin(), index.end());
   auto px = x.impl();
   return make_result({static_cast<int>(idx.size()), d}, std::move(out), {x},
                      [px, idx, d](const TensorImpl& self) {
@@ -458,16 +634,18 @@ Tensor scatter_add_rows(const Tensor& src, std::span<const int> index, int num_r
   if (static_cast<int>(index.size()) != e) {
     throw std::invalid_argument("scatter_add_rows: index size != rows");
   }
-  std::vector<int> idx(index.begin(), index.end());
-  std::vector<float> out(static_cast<std::size_t>(num_rows) * d, 0.0f);
+  FloatVec out(static_cast<std::size_t>(num_rows) * d, 0.0f);
   for (int i = 0; i < e; ++i) {
-    if (idx[static_cast<std::size_t>(i)] < 0 || idx[static_cast<std::size_t>(i)] >= num_rows) {
+    if (index[static_cast<std::size_t>(i)] < 0 ||
+        index[static_cast<std::size_t>(i)] >= num_rows) {
       throw std::out_of_range("scatter_add_rows: bad index");
     }
-    const std::size_t dst = static_cast<std::size_t>(idx[static_cast<std::size_t>(i)]) * d;
+    const std::size_t dst = static_cast<std::size_t>(index[static_cast<std::size_t>(i)]) * d;
     const std::size_t s = static_cast<std::size_t>(i) * d;
     for (int j = 0; j < d; ++j) out[dst + j] += src.data()[s + j];
   }
+  if (!grad_enabled()) return make_result({num_rows, d}, std::move(out), {}, nullptr);
+  std::vector<int> idx(index.begin(), index.end());
   auto ps = src.impl();
   return make_result({num_rows, d}, std::move(out), {src},
                      [ps, idx, d](const TensorImpl& self) {
@@ -488,29 +666,32 @@ Tensor segment_softmax(const Tensor& logits, std::span<const int> segment, int n
   if (static_cast<int>(segment.size()) != e) {
     throw std::invalid_argument("segment_softmax: segment size != entries");
   }
-  std::vector<int> seg(segment.begin(), segment.end());
+  const std::span<const int> seg_fwd = segment;
   // Numerically stable per-segment softmax.
   std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
                              -std::numeric_limits<float>::infinity());
   for (int i = 0; i < e; ++i) {
-    if (seg[static_cast<std::size_t>(i)] < 0 || seg[static_cast<std::size_t>(i)] >= num_segments) {
+    if (seg_fwd[static_cast<std::size_t>(i)] < 0 ||
+        seg_fwd[static_cast<std::size_t>(i)] >= num_segments) {
       throw std::out_of_range("segment_softmax: bad segment id");
     }
-    auto& m = seg_max[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])];
+    auto& m = seg_max[static_cast<std::size_t>(seg_fwd[static_cast<std::size_t>(i)])];
     m = std::max(m, logits.data()[static_cast<std::size_t>(i)]);
   }
-  std::vector<float> out(static_cast<std::size_t>(e));
+  FloatVec out(static_cast<std::size_t>(e));
   std::vector<float> denom(static_cast<std::size_t>(num_segments), 0.0f);
   for (int i = 0; i < e; ++i) {
-    const auto s = static_cast<std::size_t>(seg[static_cast<std::size_t>(i)]);
+    const auto s = static_cast<std::size_t>(seg_fwd[static_cast<std::size_t>(i)]);
     out[static_cast<std::size_t>(i)] =
-        std::exp(logits.data()[static_cast<std::size_t>(i)] - seg_max[s]);
+        fast_expf(logits.data()[static_cast<std::size_t>(i)] - seg_max[s]);
     denom[s] += out[static_cast<std::size_t>(i)];
   }
   for (int i = 0; i < e; ++i) {
-    const auto s = static_cast<std::size_t>(seg[static_cast<std::size_t>(i)]);
+    const auto s = static_cast<std::size_t>(seg_fwd[static_cast<std::size_t>(i)]);
     out[static_cast<std::size_t>(i)] /= std::max(denom[s], 1e-12f);
   }
+  if (!grad_enabled()) return make_result({e}, std::move(out), {}, nullptr);
+  std::vector<int> seg(segment.begin(), segment.end());
   auto pl = logits.impl();
   return make_result(
       {e}, std::move(out), {logits}, [pl, seg, num_segments](const TensorImpl& self) {
@@ -527,28 +708,62 @@ Tensor segment_softmax(const Tensor& logits, std::span<const int> segment, int n
       });
 }
 
+Tensor segment_sum_rows(const Tensor& x, std::span<const int> segment, int num_segments) {
+  if (x.rank() != 2) throw std::invalid_argument("segment_sum_rows: rank-2 only");
+  const int n = x.dim(0), d = x.dim(1);
+  if (static_cast<int>(segment.size()) != n) {
+    throw std::invalid_argument("segment_sum_rows: segment size != rows");
+  }
+  FloatVec out(static_cast<std::size_t>(num_segments) * d, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const int s = segment[static_cast<std::size_t>(i)];
+    if (s < 0 || s >= num_segments) {
+      throw std::out_of_range("segment_sum_rows: bad segment id");
+    }
+    const std::size_t src = static_cast<std::size_t>(i) * d;
+    const std::size_t dst = static_cast<std::size_t>(s) * d;
+    for (int j = 0; j < d; ++j) out[dst + j] += x.data()[src + j];
+  }
+  if (!grad_enabled()) return make_result({num_segments, d}, std::move(out), {}, nullptr);
+  std::vector<int> seg(segment.begin(), segment.end());
+  auto px = x.impl();
+  return make_result({num_segments, d}, std::move(out), {x},
+                     [px, seg, d](const TensorImpl& self) {
+                       px->ensure_grad();
+                       for (std::size_t i = 0; i < seg.size(); ++i) {
+                         const std::size_t src = static_cast<std::size_t>(seg[i]) * d;
+                         const std::size_t dst = i * static_cast<std::size_t>(d);
+                         for (int j = 0; j < d; ++j) {
+                           px->grad[dst + j] += self.grad[src + j];
+                         }
+                       }
+                     });
+}
+
 Tensor segment_mean_rows(const Tensor& x, std::span<const int> segment, int num_segments) {
   if (x.rank() != 2) throw std::invalid_argument("segment_mean_rows: rank-2 only");
   const int n = x.dim(0), d = x.dim(1);
   if (static_cast<int>(segment.size()) != n) {
     throw std::invalid_argument("segment_mean_rows: segment size != rows");
   }
-  std::vector<int> seg(segment.begin(), segment.end());
   std::vector<float> counts(static_cast<std::size_t>(num_segments), 0.0f);
   for (int i = 0; i < n; ++i) {
-    if (seg[static_cast<std::size_t>(i)] < 0 || seg[static_cast<std::size_t>(i)] >= num_segments) {
+    if (segment[static_cast<std::size_t>(i)] < 0 ||
+        segment[static_cast<std::size_t>(i)] >= num_segments) {
       throw std::out_of_range("segment_mean_rows: bad segment id");
     }
-    counts[static_cast<std::size_t>(seg[static_cast<std::size_t>(i)])] += 1.0f;
+    counts[static_cast<std::size_t>(segment[static_cast<std::size_t>(i)])] += 1.0f;
   }
-  std::vector<float> out(static_cast<std::size_t>(num_segments) * d, 0.0f);
+  FloatVec out(static_cast<std::size_t>(num_segments) * d, 0.0f);
   for (int i = 0; i < n; ++i) {
-    const auto s = static_cast<std::size_t>(seg[static_cast<std::size_t>(i)]);
+    const auto s = static_cast<std::size_t>(segment[static_cast<std::size_t>(i)]);
     const float inv = 1.0f / std::max(counts[s], 1.0f);
     const std::size_t src = static_cast<std::size_t>(i) * d;
     const std::size_t dst = s * static_cast<std::size_t>(d);
     for (int j = 0; j < d; ++j) out[dst + j] += x.data()[src + j] * inv;
   }
+  if (!grad_enabled()) return make_result({num_segments, d}, std::move(out), {}, nullptr);
+  std::vector<int> seg(segment.begin(), segment.end());
   auto px = x.impl();
   auto counts_shared = std::make_shared<std::vector<float>>(std::move(counts));
   return make_result({num_segments, d}, std::move(out), {x},
@@ -566,12 +781,54 @@ Tensor segment_mean_rows(const Tensor& x, std::span<const int> segment, int num_
                      });
 }
 
+Tensor segment_weighted_sum_rows(const Tensor& x, const Tensor& w,
+                                 std::span<const int> segment, int num_segments) {
+  if (x.rank() != 2 || w.rank() != 1 || x.dim(0) != w.dim(0)) {
+    throw std::invalid_argument("segment_weighted_sum_rows: need [N,D] and [N]");
+  }
+  const int n = x.dim(0), d = x.dim(1);
+  if (static_cast<int>(segment.size()) != n) {
+    throw std::invalid_argument("segment_weighted_sum_rows: segment size != rows");
+  }
+  FloatVec out(static_cast<std::size_t>(num_segments) * d, 0.0f);
+  for (int i = 0; i < n; ++i) {
+    const int s = segment[static_cast<std::size_t>(i)];
+    if (s < 0 || s >= num_segments) {
+      throw std::out_of_range("segment_weighted_sum_rows: bad segment id");
+    }
+    const float wi = w.data()[static_cast<std::size_t>(i)];
+    const std::size_t src = static_cast<std::size_t>(i) * d;
+    const std::size_t dst = static_cast<std::size_t>(s) * d;
+    for (int j = 0; j < d; ++j) out[dst + j] += x.data()[src + j] * wi;
+  }
+  if (!grad_enabled()) return make_result({num_segments, d}, std::move(out), {}, nullptr);
+  std::vector<int> seg(segment.begin(), segment.end());
+  auto px = x.impl();
+  auto pw = w.impl();
+  return make_result({num_segments, d}, std::move(out), {x, w},
+                     [px, pw, seg, d](const TensorImpl& self) {
+                       px->ensure_grad();
+                       pw->ensure_grad();
+                       for (std::size_t i = 0; i < seg.size(); ++i) {
+                         const std::size_t src = static_cast<std::size_t>(seg[i]) * d;
+                         const std::size_t dst = i * static_cast<std::size_t>(d);
+                         const float wi = pw->data[i];
+                         float dot = 0.0f;
+                         for (int j = 0; j < d; ++j) {
+                           px->grad[dst + j] += self.grad[src + j] * wi;
+                           dot += self.grad[src + j] * px->data[dst + j];
+                         }
+                         pw->grad[i] += dot;
+                       }
+                     });
+}
+
 Tensor scale_rows(const Tensor& x, const Tensor& w) {
   if (x.rank() != 2 || w.rank() != 1 || x.dim(0) != w.dim(0)) {
     throw std::invalid_argument("scale_rows: need [N,D] and [N]");
   }
   const int n = x.dim(0), d = x.dim(1);
-  std::vector<float> out(x.numel());
+  FloatVec out(x.numel());
   for (int i = 0; i < n; ++i) {
     const float wi = w.data()[static_cast<std::size_t>(i)];
     const std::size_t row = static_cast<std::size_t>(i) * d;
@@ -599,7 +856,7 @@ Tensor row_dot(const Tensor& a, const Tensor& b) {
   check_same_shape(a, b, "row_dot");
   if (a.rank() != 2) throw std::invalid_argument("row_dot: rank-2 only");
   const int n = a.dim(0), d = a.dim(1);
-  std::vector<float> out(static_cast<std::size_t>(n), 0.0f);
+  FloatVec out(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const std::size_t row = static_cast<std::size_t>(i) * d;
     float acc = 0.0f;
@@ -632,7 +889,7 @@ Tensor col_slice(const Tensor& x, int start, int len) {
   if (start < 0 || len <= 0 || start + len > d) {
     throw std::out_of_range("col_slice: bad range");
   }
-  std::vector<float> out(static_cast<std::size_t>(n) * len);
+  FloatVec out(static_cast<std::size_t>(n) * len);
   for (int i = 0; i < n; ++i) {
     std::copy_n(x.data().begin() + static_cast<std::ptrdiff_t>(i) * d + start, len,
                 out.begin() + static_cast<std::ptrdiff_t>(i) * len);
@@ -657,7 +914,7 @@ Tensor concat_cols(const std::vector<Tensor>& parts) {
     if (p.rank() != 2 || p.dim(0) != n) throw std::invalid_argument("concat_cols: shape mismatch");
     total += p.dim(1);
   }
-  std::vector<float> out(static_cast<std::size_t>(n) * total);
+  FloatVec out(static_cast<std::size_t>(n) * total);
   int offset = 0;
   for (const auto& p : parts) {
     const int d = p.dim(1);
@@ -698,7 +955,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     if (p.rank() != 2 || p.dim(1) != d) throw std::invalid_argument("concat_rows: shape mismatch");
     total += p.dim(0);
   }
-  std::vector<float> out;
+  FloatVec out;
   out.reserve(static_cast<std::size_t>(total) * d);
   for (const auto& p : parts) out.insert(out.end(), p.data().begin(), p.data().end());
   std::vector<std::shared_ptr<TensorImpl>> impls;
@@ -722,6 +979,55 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
                      });
 }
 
+Tensor concat_rows_to(const std::vector<Tensor>& parts, std::span<const int> dest_row) {
+  if (parts.empty()) throw std::invalid_argument("concat_rows_to: no parts");
+  const int d = parts[0].dim(1);
+  int total = 0;
+  for (const auto& p : parts) {
+    if (p.rank() != 2 || p.dim(1) != d) {
+      throw std::invalid_argument("concat_rows_to: shape mismatch");
+    }
+    total += p.dim(0);
+  }
+  if (static_cast<int>(dest_row.size()) != total) {
+    throw std::invalid_argument("concat_rows_to: dest_row size != total rows");
+  }
+  FloatVec out(static_cast<std::size_t>(total) * d);
+  std::size_t p_row = 0;
+  for (const auto& p : parts) {
+    const int rows = p.dim(0);
+    for (int i = 0; i < rows; ++i, ++p_row) {
+      const int dst = dest_row[p_row];
+      if (dst < 0 || dst >= total) throw std::out_of_range("concat_rows_to: bad dest row");
+      std::copy_n(p.data().begin() + static_cast<std::ptrdiff_t>(i) * d, d,
+                  out.begin() + static_cast<std::ptrdiff_t>(dst) * d);
+    }
+  }
+  if (!grad_enabled()) return make_result({total, d}, std::move(out), {}, nullptr);
+  std::vector<int> dest(dest_row.begin(), dest_row.end());
+  std::vector<std::shared_ptr<TensorImpl>> impls;
+  std::vector<int> heights;
+  for (const auto& p : parts) {
+    impls.push_back(p.impl());
+    heights.push_back(p.dim(0));
+  }
+  return make_result({total, d}, std::move(out), parts,
+                     [impls, heights, dest, d](const TensorImpl& self) {
+                       std::size_t p_row = 0;
+                       for (std::size_t pi = 0; pi < impls.size(); ++pi) {
+                         impls[pi]->ensure_grad();
+                         for (int i = 0; i < heights[pi]; ++i, ++p_row) {
+                           const std::size_t src =
+                               static_cast<std::size_t>(dest[p_row]) * d;
+                           const std::size_t dst = static_cast<std::size_t>(i) * d;
+                           for (int j = 0; j < d; ++j) {
+                             impls[pi]->grad[dst + j] += self.grad[src + j];
+                           }
+                         }
+                       }
+                     });
+}
+
 // ---------------------------------------------------------------------------
 // Normalization
 // ---------------------------------------------------------------------------
@@ -732,9 +1038,14 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta, floa
     throw std::invalid_argument("layer_norm: need [N,D], [D], [D]");
   }
   const int n = x.dim(0), d = x.dim(1);
-  auto normalized = std::make_shared<std::vector<float>>(x.numel());
-  auto inv_std = std::make_shared<std::vector<float>>(static_cast<std::size_t>(n));
-  std::vector<float> out(x.numel());
+  const bool taped = grad_enabled();
+  // The backward pass needs the normalized rows and 1/std; skip saving them
+  // in inference mode.
+  auto normalized =
+      taped ? std::make_shared<std::vector<float>>(x.numel()) : nullptr;
+  auto inv_std =
+      taped ? std::make_shared<std::vector<float>>(static_cast<std::size_t>(n)) : nullptr;
+  FloatVec out(x.numel());
   for (int i = 0; i < n; ++i) {
     const std::size_t row = static_cast<std::size_t>(i) * d;
     float mean = 0.0f;
@@ -747,14 +1058,15 @@ Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta, floa
     }
     var /= static_cast<float>(d);
     const float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[static_cast<std::size_t>(i)] = istd;
+    if (taped) (*inv_std)[static_cast<std::size_t>(i)] = istd;
     for (int j = 0; j < d; ++j) {
       const float y = (x.data()[row + j] - mean) * istd;
-      (*normalized)[row + j] = y;
+      if (taped) (*normalized)[row + j] = y;
       out[row + j] = y * gamma.data()[static_cast<std::size_t>(j)] +
                      beta.data()[static_cast<std::size_t>(j)];
     }
   }
+  if (!taped) return make_result(x.shape(), std::move(out), {}, nullptr);
   auto px = x.impl();
   auto pg = gamma.impl();
   auto pb = beta.impl();

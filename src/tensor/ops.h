@@ -35,6 +35,8 @@ Tensor dropout(const Tensor& x, float p, Rng& rng, bool training);
 
 // ---- linear algebra ----
 Tensor matmul(const Tensor& a, const Tensor& b);     // [N,K] x [K,M] -> [N,M]
+/// Fused x W + b: one output pass instead of matmul followed by add_rowvec.
+Tensor matmul_bias(const Tensor& x, const Tensor& w, const Tensor& bias);
 Tensor transpose(const Tensor& a);                   // [N,M] -> [M,N]
 Tensor reshape(const Tensor& a, Shape new_shape);
 
@@ -59,11 +61,19 @@ Tensor scatter_add_rows(const Tensor& src, std::span<const int> index, int num_r
 /// Softmax over groups: entries sharing segment[i] form one softmax.
 /// `logits` is rank-1 [E]; segment ids are in [0, num_segments).
 Tensor segment_softmax(const Tensor& logits, std::span<const int> segment, int num_segments);
+/// Sum of rows per segment: [N,D] with segment ids -> [S,D]. Empty segments
+/// yield zero rows. Unlike scatter_add_rows the segment ids are validated
+/// against num_segments up front (batched-readout contract).
+Tensor segment_sum_rows(const Tensor& x, std::span<const int> segment, int num_segments);
 /// Mean of rows per segment: [N,D] with segment ids -> [S,D]. Empty segments
 /// yield zero rows.
 Tensor segment_mean_rows(const Tensor& x, std::span<const int> segment, int num_segments);
 /// Row-wise scaling: out[i,:] = x[i,:] * w[i]; w is rank-1 [N].
 Tensor scale_rows(const Tensor& x, const Tensor& w);
+/// Fused scale_rows + segment_sum_rows: out[segment[i]] += x[i,:] * w[i]
+/// without materializing the weighted rows (the formula-4 aggregation).
+Tensor segment_weighted_sum_rows(const Tensor& x, const Tensor& w,
+                                 std::span<const int> segment, int num_segments);
 /// Row-wise dot product of equal-shape [N,D] tensors -> rank-1 [N].
 Tensor row_dot(const Tensor& a, const Tensor& b);
 
@@ -71,6 +81,10 @@ Tensor row_dot(const Tensor& a, const Tensor& b);
 Tensor col_slice(const Tensor& x, int start, int len);   // [N,D] -> [N,len]
 Tensor concat_cols(const std::vector<Tensor>& parts);    // [N,di] -> [N,sum di]
 Tensor concat_rows(const std::vector<Tensor>& parts);    // [ni,D] -> [sum ni,D]
+/// Fused concat + row permutation: out[dest_row[p]] = concat(parts)[p].
+/// `dest_row` must be a permutation of [0, sum ni); one output pass instead
+/// of concat followed by index_select.
+Tensor concat_rows_to(const std::vector<Tensor>& parts, std::span<const int> dest_row);
 
 // ---- normalization ----
 Tensor layer_norm(const Tensor& x, const Tensor& gamma, const Tensor& beta,

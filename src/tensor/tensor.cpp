@@ -2,11 +2,59 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "support/rng.h"
 
 namespace g2p {
+
+namespace tensor_pool {
+namespace {
+
+constexpr std::size_t kMinPooledBytes = 1u << 16;   // pool only large blocks
+constexpr std::size_t kMaxPooledTotal = 64u << 20;  // cap cached bytes/thread
+
+struct Cache {
+  std::unordered_map<std::size_t, std::vector<void*>> blocks;  // by exact size
+  std::size_t total = 0;
+  ~Cache() {
+    for (auto& [size, list] : blocks) {
+      (void)size;
+      for (void* p : list) ::operator delete(p);
+    }
+  }
+};
+thread_local Cache g_cache;
+
+}  // namespace
+
+void* acquire(std::size_t bytes) {
+  if (bytes >= kMinPooledBytes) {
+    auto it = g_cache.blocks.find(bytes);
+    if (it != g_cache.blocks.end() && !it->second.empty()) {
+      void* p = it->second.back();
+      it->second.pop_back();
+      g_cache.total -= bytes;
+      return p;
+    }
+  }
+  return ::operator new(bytes);
+}
+
+void release(void* p, std::size_t bytes) noexcept {
+  if (bytes >= kMinPooledBytes && g_cache.total + bytes <= kMaxPooledTotal) {
+    try {
+      g_cache.blocks[bytes].push_back(p);
+      g_cache.total += bytes;
+      return;
+    } catch (...) {
+    }
+  }
+  ::operator delete(p);
+}
+
+}  // namespace tensor_pool
 
 std::string shape_to_string(const Shape& shape) {
   std::string out = "[";
@@ -45,7 +93,7 @@ Tensor Tensor::from_vector(Shape shape, std::vector<float> values, bool requires
   }
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data = std::move(values);
+  impl->data.assign(values.begin(), values.end());
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -131,11 +179,21 @@ Tensor Tensor::detach() const {
   return Tensor(std::move(impl));
 }
 
-Tensor make_result(Shape shape, std::vector<float> data, std::vector<Tensor> parents,
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool grad_enabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+Tensor make_result(Shape shape, FloatVec data, std::vector<Tensor> parents,
                    std::function<void(const TensorImpl&)> backward_fn) {
   auto impl = std::make_shared<TensorImpl>();
   impl->shape = std::move(shape);
   impl->data = std::move(data);
+  if (!g_grad_enabled) return Tensor(std::move(impl));  // inference: no tape
   bool needs_grad = false;
   for (const auto& p : parents) {
     if (p.defined()) {

@@ -21,13 +21,55 @@ class Rng;
 
 using Shape = std::vector<int>;
 
+/// Thread-local recycling of large tensor buffers. Op-graph execution
+/// allocates and frees the same few shapes over and over; without a cache,
+/// glibc serves the multi-hundred-KB batched buffers with mmap/munmap and
+/// every touch faults. Blocks below the pooling threshold go straight to the
+/// system allocator.
+namespace tensor_pool {
+void* acquire(std::size_t bytes);
+void release(void* p, std::size_t bytes) noexcept;
+}  // namespace tensor_pool
+
+/// Allocator that default-initializes elements (skips the zero-fill pass of
+/// value initialization) and recycles large blocks via tensor_pool. Tensor
+/// buffers are written in full by the op that produces them, so
+/// `FloatVec out(n)` would otherwise touch every byte twice; ops that
+/// accumulate instead of overwrite must zero explicitly with
+/// FloatVec(n, 0.0f).
+template <typename T>
+struct UninitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = UninitAllocator<U>;
+  };
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(tensor_pool::acquire(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    tensor_pool::release(p, n * sizeof(T));
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;  // default-init: no zero-fill for floats
+    } else {
+      ::new (static_cast<void*>(p)) U(static_cast<Args&&>(args)...);
+    }
+  }
+};
+
+/// Tensor data buffer. Interchangeable with std::vector<float> element-wise;
+/// convert explicitly where a std::vector<float> is required.
+using FloatVec = std::vector<float, UninitAllocator<float>>;
+
 std::string shape_to_string(const Shape& shape);
 std::size_t shape_numel(const Shape& shape);
 
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;        // allocated lazily on first backward touch
+  FloatVec data;
+  FloatVec grad;                  // allocated lazily on first backward touch
   bool requires_grad = false;
 
   // Tape: parents kept alive via shared_ptr; backward_fn pushes this node's
@@ -39,6 +81,25 @@ struct TensorImpl {
   void ensure_grad() {
     if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
   }
+};
+
+/// Whether ops record the autograd tape (default true, thread-local).
+bool grad_enabled();
+
+/// RAII scope disabling tape construction (inference mode). Results created
+/// inside record no parents and no backward_fn, so intermediates are freed
+/// as soon as their handles go out of scope — a batched forward's working
+/// set stays at O(live tensors) instead of O(whole tape). Nestable;
+/// thread-local, so worker threads are unaffected.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
 };
 
 class Tensor {
@@ -65,13 +126,13 @@ class Tensor {
   bool requires_grad() const { return impl_->requires_grad; }
 
   // ---- data access ----
-  std::vector<float>& data() { return impl_->data; }
-  const std::vector<float>& data() const { return impl_->data; }
-  std::vector<float>& grad() {
+  FloatVec& data() { return impl_->data; }
+  const FloatVec& data() const { return impl_->data; }
+  FloatVec& grad() {
     impl_->ensure_grad();
     return impl_->grad;
   }
-  const std::vector<float>& grad() const { return impl_->grad; }
+  const FloatVec& grad() const { return impl_->grad; }
   float item() const;
   float at(std::initializer_list<int> index) const;
 
@@ -92,7 +153,7 @@ class Tensor {
 };
 
 /// Helper for op implementations: make a result tensor wired to parents.
-Tensor make_result(Shape shape, std::vector<float> data,
+Tensor make_result(Shape shape, FloatVec data,
                    std::vector<Tensor> parents,
                    std::function<void(const TensorImpl&)> backward_fn);
 

@@ -1,0 +1,332 @@
+// Tests for the batched graph engine: CSR indexing, disjoint-union batching
+// with empty graphs, batched-vs-sequential forward parity, the worker pool,
+// and the parallel suggest pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "graph/hetgraph_index.h"
+#include "nn/hgt.h"
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace g2p {
+namespace {
+
+/// Random connected graph with a mix of node and edge types.
+HetGraph make_graph(Rng& rng, int n) {
+  HetGraph g;
+  for (int i = 0; i < n; ++i) {
+    g.add_node(static_cast<HetNodeType>(rng.uniform_int(0, kNumHetNodeTypes - 1)),
+               static_cast<int>(rng.uniform_int(0, 40)),
+               static_cast<int>(rng.uniform_int(0, 7)));
+  }
+  for (int i = 1; i < n; ++i) {
+    g.add_edge_pair(static_cast<int>(rng.uniform_int(0, i - 1)), i, HetEdgeType::kAstChild,
+                    HetEdgeType::kAstParent);
+  }
+  for (int i = 0; i + 1 < n; i += 2) {
+    g.add_edge_pair(i, i + 1, HetEdgeType::kCfgNext, HetEdgeType::kCfgPrev);
+  }
+  if (n >= 3) g.add_edge_pair(0, n - 1, HetEdgeType::kLexNext, HetEdgeType::kLexPrev);
+  return g;
+}
+
+// ---- HetGraphIndex ----------------------------------------------------------
+
+TEST(HetGraphIndex, CsrStructureOfHandBuiltGraph) {
+  HetGraph g;
+  g.add_node(HetNodeType::kLoop, 1, 0);     // 0
+  g.add_node(HetNodeType::kVarRef, 2, 0);   // 1
+  g.add_node(HetNodeType::kLiteral, 3, 1);  // 2
+  g.add_edge(0, 1, HetEdgeType::kAstChild);
+  g.add_edge(0, 2, HetEdgeType::kAstChild);
+  g.add_edge(2, 1, HetEdgeType::kAstChild);  // second in-edge of node 1
+  g.add_edge(1, 2, HetEdgeType::kLexNext);
+
+  const HetGraphIndex index(g);
+  EXPECT_EQ(index.num_nodes, 3);
+  EXPECT_EQ(index.num_edges, 4);
+
+  const auto& ast = index.per_edge_type[static_cast<std::size_t>(HetEdgeType::kAstChild)];
+  // Incoming kAstChild edges: node 0 none, node 1 two (from 0 then 2, original
+  // order preserved), node 2 one (from 0).
+  EXPECT_EQ(ast.row_offsets, (std::vector<int>{0, 0, 2, 3}));
+  EXPECT_EQ(ast.src, (std::vector<int>{0, 2, 0}));
+  EXPECT_EQ(ast.dst, (std::vector<int>{1, 1, 2}));
+  EXPECT_EQ(ast.concat_offset, 0);
+
+  const auto& lex = index.per_edge_type[static_cast<std::size_t>(HetEdgeType::kLexNext)];
+  EXPECT_EQ(lex.src, (std::vector<int>{1}));
+  EXPECT_EQ(lex.dst, (std::vector<int>{2}));
+  EXPECT_EQ(lex.concat_offset, 3);  // after the three kAstChild edges
+
+  // Type-major concat order: the three AST edges, then the lexical one.
+  EXPECT_EQ(index.dst_concat, (std::vector<int>{1, 1, 2, 2}));
+  const int loop_t = static_cast<int>(HetNodeType::kLoop);
+  const int var_t = static_cast<int>(HetNodeType::kVarRef);
+  const int ast_e = static_cast<int>(HetEdgeType::kAstChild);
+  EXPECT_EQ(index.meta_concat[0],
+            (loop_t * kNumHetEdgeTypes + ast_e) * kNumHetNodeTypes + var_t);
+
+  // Node-type grouping used by the per-type projections.
+  EXPECT_EQ(index.rows_of_type[static_cast<std::size_t>(HetNodeType::kLoop)],
+            (std::vector<int>{0}));
+  EXPECT_EQ(index.rows_of_type[static_cast<std::size_t>(HetNodeType::kVarRef)],
+            (std::vector<int>{1}));
+}
+
+TEST(HetGraphIndex, ThrowsOnOutOfRangeEdge) {
+  HetGraph g;
+  g.add_node(HetNodeType::kLoop, 1, 0);
+  g.add_edge(0, 3, HetEdgeType::kAstChild);
+  EXPECT_THROW(HetGraphIndex{g}, std::invalid_argument);
+}
+
+TEST(HetGraphIndex, EmptyGraph) {
+  const HetGraphIndex index{HetGraph{}};
+  EXPECT_EQ(index.num_nodes, 0);
+  EXPECT_EQ(index.num_edges, 0);
+  EXPECT_TRUE(index.dst_concat.empty());
+}
+
+// ---- batch_graphs with empty graphs ----------------------------------------
+
+TEST(BatchGraphs, EmptyGraphsKeepTheirSegments) {
+  Rng rng(11);
+  HetGraph empty;
+  HetGraph a = make_graph(rng, 4);
+  HetGraph b = make_graph(rng, 3);
+
+  const auto batch = batch_graphs({&empty, &a, &empty, &b, &empty});
+  EXPECT_EQ(batch.num_graphs, 5);
+  EXPECT_EQ(batch.merged.num_nodes(), 7);
+  EXPECT_EQ(batch.merged.num_edges(), a.num_edges() + b.num_edges());
+  EXPECT_TRUE(batch.merged.valid());
+  // Nodes of `a` map to segment 1, nodes of `b` to segment 3.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch.segment_of_node[static_cast<std::size_t>(i)], 1);
+  for (int i = 4; i < 7; ++i) EXPECT_EQ(batch.segment_of_node[static_cast<std::size_t>(i)], 3);
+  // Edge endpoints of `b` must be offset by the nodes of `a` only (the empty
+  // graphs contribute no offset).
+  for (int e = a.num_edges(); e < batch.merged.num_edges(); ++e) {
+    EXPECT_GE(batch.merged.edges[static_cast<std::size_t>(e)].src, 4);
+    EXPECT_GE(batch.merged.edges[static_cast<std::size_t>(e)].dst, 4);
+  }
+  EXPECT_EQ(batch.index.num_nodes, 7);
+  EXPECT_EQ(batch.index.num_edges, batch.merged.num_edges());
+}
+
+TEST(BatchGraphs, AllEmptyAndNone) {
+  HetGraph empty;
+  const auto batch = batch_graphs({&empty, &empty});
+  EXPECT_EQ(batch.num_graphs, 2);
+  EXPECT_EQ(batch.merged.num_nodes(), 0);
+  const auto none = batch_graphs({});
+  EXPECT_EQ(none.num_graphs, 0);
+}
+
+TEST(BatchGraphs, RejectsNullAndCorruptGraphs) {
+  EXPECT_THROW(batch_graphs({nullptr}), std::invalid_argument);
+  HetGraph corrupt;
+  corrupt.add_node(HetNodeType::kLoop, 1, 0);
+  corrupt.add_edge(0, 9, HetEdgeType::kAstChild);
+  EXPECT_THROW(batch_graphs({&corrupt}), std::invalid_argument);
+}
+
+// ---- batched-vs-sequential parity ------------------------------------------
+
+TEST(BatchedEngine, EncoderForwardMatchesPerGraphWithin1e6) {
+  Rng rng(42);
+  const int dim = 16, heads = 4, layers = 2;
+  HgtEncoder encoder(dim, heads, layers, rng);
+
+  std::vector<HetGraph> graphs;
+  graphs.push_back(make_graph(rng, 5));
+  graphs.push_back(make_graph(rng, 9));
+  graphs.push_back(make_graph(rng, 7));
+
+  std::vector<Tensor> features;
+  std::vector<Tensor> singles;
+  for (const auto& g : graphs) {
+    features.push_back(Tensor::randn({g.num_nodes(), dim}, rng, 0.5f));
+    singles.push_back(encoder.forward(features.back(), g));
+  }
+
+  const auto batch = batch_graphs({&graphs[0], &graphs[1], &graphs[2]});
+  const Tensor batched = encoder.forward(concat_rows(features), batch.index);
+
+  int row = 0;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    for (int i = 0; i < graphs[g].num_nodes(); ++i, ++row) {
+      for (int d = 0; d < dim; ++d) {
+        EXPECT_NEAR(batched.at({row, d}), singles[g].at({i, d}), 1e-6f)
+            << "graph " << g << " node " << i << " dim " << d;
+      }
+    }
+  }
+}
+
+TEST(BatchedEngine, IndexedForwardMatchesWrapperExactly) {
+  Rng rng(43);
+  const int dim = 8;
+  HgtLayer layer(dim, 2, rng);
+  const HetGraph g = make_graph(rng, 6);
+  const Tensor x = Tensor::randn({g.num_nodes(), dim}, rng, 0.5f);
+  const Tensor via_graph = layer.forward(x, g);
+  const Tensor via_index = layer.forward(x, HetGraphIndex(g));
+  for (std::size_t i = 0; i < via_graph.numel(); ++i) {
+    EXPECT_EQ(via_graph.data()[i], via_index.data()[i]);
+  }
+}
+
+TEST(BatchedEngine, SegmentSumGradcheck) {
+  // Central-difference check of the new segment_sum_rows backward.
+  Rng rng(5);
+  Tensor x = Tensor::randn({5, 3}, rng, 0.5f, /*requires_grad=*/true);
+  const std::vector<int> seg = {0, 2, 0, 2, 1};
+  Tensor w = Tensor::randn({4, 3}, rng, 0.5f);  // segment 3 stays empty
+
+  const auto loss_fn = [&] { return sum_all(mul(segment_sum_rows(x, seg, 4), w)); };
+  Tensor loss = loss_fn();
+  loss.backward();
+  const FloatVec analytic = x.grad();
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float saved = x.data()[i];
+    x.data()[i] = saved + eps;
+    const float up = loss_fn().item();
+    x.data()[i] = saved - eps;
+    const float down = loss_fn().item();
+    x.data()[i] = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric, 2e-2f * std::max(1.0f, std::fabs(numeric)));
+  }
+}
+
+TEST(BatchedEngine, SegmentSumMatchesScatterAdd) {
+  Rng rng(6);
+  const Tensor x = Tensor::randn({6, 4}, rng);
+  const std::vector<int> seg = {1, 0, 1, 2, 0, 1};
+  const Tensor a = segment_sum_rows(x, seg, 3);
+  const Tensor b = scatter_add_rows(x, seg, 3);
+  for (std::size_t i = 0; i < a.numel(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+  EXPECT_THROW(segment_sum_rows(x, seg, 2), std::out_of_range);
+}
+
+// ---- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsAllTasksAndReturnsResults) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ConcurrentEncodesMatchSerial) {
+  // The serving path encodes per-worker sub-batches concurrently on a shared
+  // const model; concurrent forwards must reproduce serial results.
+  Rng rng(77);
+  const int dim = 16;
+  HgtEncoder encoder(dim, 4, 2, rng);
+  std::vector<HetGraph> graphs;
+  std::vector<Tensor> features;
+  std::vector<Tensor> serial;
+  for (int g = 0; g < 8; ++g) {
+    graphs.push_back(make_graph(rng, 5 + g));
+    features.push_back(Tensor::randn({graphs.back().num_nodes(), dim}, rng, 0.5f));
+    serial.push_back(encoder.forward(features.back(), graphs.back()));
+  }
+  std::vector<Tensor> concurrent(graphs.size());
+  ThreadPool pool(4);
+  pool.parallel_for(graphs.size(), [&](std::size_t g) {
+    const NoGradGuard no_grad;  // thread-local, as in Pipeline::suggest_batch
+    concurrent[g] = encoder.forward(features[g], graphs[g]);
+  });
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    ASSERT_EQ(concurrent[g].numel(), serial[g].numel());
+    for (std::size_t i = 0; i < serial[g].numel(); ++i) {
+      EXPECT_EQ(concurrent[g].data()[i], serial[g].data()[i]) << "graph " << g;
+    }
+  }
+}
+
+// ---- suggest_batch ----------------------------------------------------------
+
+TEST(SuggestBatch, MatchesSequentialSuggest) {
+  Pipeline::Options options;
+  options.corpus.scale = 0.01;
+  options.train.epochs = 1;
+  const Pipeline pipeline = Pipeline::train(options);
+
+  const std::vector<std::string> sources = {
+      "void a(double* x, int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++) x[i] = x[i] * 2.0;\n"
+      "}\n",
+      "int b(void) { return 3; }\n",  // no loops: empty suggestion list
+      "void c(double* x, double* y, int n) {\n"
+      "  int i;\n"
+      "  double s = 0;\n"
+      "  for (i = 0; i < n; i++) s += x[i] * y[i];\n"
+      "  for (i = 1; i < n; i++) x[i] = x[i - 1];\n"
+      "}\n"};
+  std::vector<std::string_view> views(sources.begin(), sources.end());
+
+  const auto batched = pipeline.suggest_batch(views);
+  ASSERT_EQ(batched.size(), sources.size());
+  EXPECT_TRUE(batched[1].empty());
+
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    const auto sequential = pipeline.suggest(sources[s]);
+    ASSERT_EQ(batched[s].size(), sequential.size()) << "source " << s;
+    for (std::size_t i = 0; i < sequential.size(); ++i) {
+      EXPECT_EQ(batched[s][i].parallel, sequential[i].parallel);
+      EXPECT_EQ(batched[s][i].category, sequential[i].category);
+      EXPECT_EQ(batched[s][i].suggested_pragma, sequential[i].suggested_pragma);
+      EXPECT_EQ(batched[s][i].line, sequential[i].line);
+      EXPECT_EQ(batched[s][i].function_name, sequential[i].function_name);
+      EXPECT_NEAR(batched[s][i].confidence, sequential[i].confidence, 1e-6);
+    }
+  }
+}
+
+TEST(SuggestBatch, EmptyInputAndParseErrors) {
+  Pipeline::Options options;
+  options.corpus.scale = 0.01;
+  options.train.epochs = 1;
+  const Pipeline pipeline = Pipeline::train(options);
+
+  EXPECT_TRUE(pipeline.suggest_batch({}).empty());
+
+  const std::vector<std::string_view> bad = {"void ok(void) {}", "int broken( {"};
+  EXPECT_THROW(pipeline.suggest_batch(bad), std::exception);
+}
+
+}  // namespace
+}  // namespace g2p

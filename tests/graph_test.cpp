@@ -3,6 +3,7 @@
 #include "frontend/parser.h"
 #include "graph/cfg.h"
 #include "graph/hetgraph.h"
+#include "graph/hetgraph_index.h"
 #include "graph/vocab.h"
 
 namespace g2p {

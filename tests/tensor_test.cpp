@@ -21,7 +21,7 @@ void grad_check(const std::vector<Tensor>& leaves,
   loss.backward();
 
   for (const auto& leaf : leaves) {
-    std::vector<float> analytic = leaf.grad();
+    FloatVec analytic = leaf.grad();
     ASSERT_EQ(analytic.size(), leaf.numel());
     for (std::size_t i = 0; i < leaf.numel(); ++i) {
       auto& cell = const_cast<Tensor&>(leaf).data()[i];
@@ -347,6 +347,79 @@ TEST(Grad, SegmentSoftmax) {
   const std::vector<int> seg = {0, 0, 1, 1, 1, 2};
   auto w = Tensor::randn({6}, rng, 1.0f);
   grad_check({logits}, [&] { return sum_all(mul(segment_softmax(logits, seg, 3), w)); });
+}
+
+TEST(Grad, MatmulBias) {
+  Rng rng(26);
+  auto x = make_rand({4, 3}, rng);
+  auto w = make_rand({3, 2}, rng);
+  auto b = make_rand({2}, rng);
+  grad_check({x, w, b}, [&] { return sum_all(mul(matmul_bias(x, w, b), matmul_bias(x, w, b))); });
+}
+
+TEST(Grad, SegmentWeightedSumRows) {
+  Rng rng(28);
+  auto x = make_rand({5, 2}, rng);
+  auto w = make_rand({5}, rng);
+  const std::vector<int> seg = {0, 2, 1, 2, 0};
+  auto y = Tensor::randn({3, 2}, rng, 1.0f);
+  grad_check({x, w}, [&] {
+    return sum_all(mul(segment_weighted_sum_rows(x, w, seg, 3), y));
+  });
+}
+
+TEST(Ops, MatmulBiasMatchesComposite) {
+  Rng rng(29);
+  auto x = Tensor::randn({3, 4}, rng);
+  auto w = Tensor::randn({4, 2}, rng);
+  auto b = Tensor::randn({2}, rng);
+  auto fused = matmul_bias(x, w, b);
+  auto composite = add_rowvec(matmul(x, w), b);
+  for (std::size_t i = 0; i < fused.numel(); ++i) {
+    EXPECT_EQ(fused.data()[i], composite.data()[i]);
+  }
+}
+
+TEST(Ops, SegmentWeightedSumMatchesComposite) {
+  Rng rng(30);
+  auto x = Tensor::randn({6, 3}, rng);
+  auto w = Tensor::randn({6}, rng);
+  const std::vector<int> seg = {1, 0, 1, 2, 0, 1};
+  auto fused = segment_weighted_sum_rows(x, w, seg, 3);
+  auto composite = segment_sum_rows(scale_rows(x, w), seg, 3);
+  for (std::size_t i = 0; i < fused.numel(); ++i) {
+    EXPECT_NEAR(fused.data()[i], composite.data()[i], 1e-6f);
+  }
+}
+
+TEST(Grad, ConcatRowsTo) {
+  Rng rng(31);
+  auto a = make_rand({2, 3}, rng);
+  auto b = make_rand({3, 3}, rng);
+  const std::vector<int> dest = {4, 0, 2, 1, 3};
+  auto w = Tensor::randn({5, 3}, rng, 1.0f);
+  grad_check({a, b}, [&] { return sum_all(mul(concat_rows_to({a, b}, dest), w)); });
+}
+
+TEST(Ops, ConcatRowsToMatchesComposite) {
+  Rng rng(32);
+  auto a = Tensor::randn({2, 4}, rng);
+  auto b = Tensor::randn({2, 4}, rng);
+  const std::vector<int> dest = {3, 1, 0, 2};   // position p -> output row
+  const std::vector<int> inverse = {2, 1, 3, 0};  // output row -> position p
+  auto fused = concat_rows_to({a, b}, dest);
+  auto composite = index_select_rows(concat_rows({a, b}), inverse);
+  for (std::size_t i = 0; i < fused.numel(); ++i) {
+    EXPECT_EQ(fused.data()[i], composite.data()[i]);
+  }
+}
+
+TEST(Grad, SegmentSumRows) {
+  Rng rng(27);
+  auto x = make_rand({5, 2}, rng);
+  const std::vector<int> seg = {0, 2, 1, 2, 0};  // segment 3 stays empty
+  auto w = Tensor::randn({4, 2}, rng, 1.0f);
+  grad_check({x}, [&] { return sum_all(mul(segment_sum_rows(x, seg, 4), w)); });
 }
 
 TEST(Grad, SegmentMeanRows) {
