@@ -29,7 +29,9 @@ g2p::Pipeline load_or_train() {
   }
   std::printf("training Graph2Par (first run; cached afterwards)...\n");
   g2p::Pipeline pipeline = g2p::Pipeline::train(options);
-  pipeline.save(kModelCache, kVocabCache);
+  if (!pipeline.save(kModelCache, kVocabCache)) {
+    std::fprintf(stderr, "warning: could not cache the trained model at %s\n", kModelCache);
+  }
   return pipeline;
 }
 

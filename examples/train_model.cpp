@@ -53,9 +53,17 @@ int main(int argc, char** argv) {
 
   const std::string model_path = prefix + "_model.bin";
   const std::string vocab_path = prefix + "_vocab.txt";
-  model.save_file(model_path);
-  std::printf("\nsaved weights to %s (vocab: %s)\n", model_path.c_str(), vocab_path.c_str());
+  if (!model.save_file(model_path)) {
+    std::fprintf(stderr, "FAIL: could not write weights to %s\n", model_path.c_str());
+    return 1;
+  }
   std::ofstream vocab_out(vocab_path);
   vocab_out << vocab.serialize();
+  vocab_out.flush();
+  if (!vocab_out.good()) {
+    std::fprintf(stderr, "FAIL: could not write vocab to %s\n", vocab_path.c_str());
+    return 1;
+  }
+  std::printf("\nsaved weights to %s (vocab: %s)\n", model_path.c_str(), vocab_path.c_str());
   return 0;
 }

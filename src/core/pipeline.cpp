@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -83,6 +84,23 @@ Pipeline::Pipeline(Options options, Vocab vocab)
   options_.model.vocab_size = vocab_.size();
   Rng rng(options_.train.seed);
   model_ = std::make_unique<Graph2ParModel>(options_.model, rng);
+  if (options_.pool_threads > 0) pool_ = std::make_shared<ThreadPool>(options_.pool_threads);
+}
+
+ThreadPool& Pipeline::pool() const {
+  if (pool_) return *pool_;
+  // Shared default for the bare API, built on first use. Intentionally
+  // leaked: a static pool's destructor would join workers during static
+  // teardown, racing other globals those threads may still touch.
+  static ThreadPool* const shared = new ThreadPool();
+  return *shared;
+}
+
+void Pipeline::set_thread_pool(std::shared_ptr<ThreadPool> pool) {
+  if (!pool && options_.pool_threads > 0) {
+    pool = std::make_shared<ThreadPool>(options_.pool_threads);
+  }
+  pool_ = std::move(pool);
 }
 
 Pipeline Pipeline::train(const Options& options) {
@@ -131,27 +149,44 @@ std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
 
 std::vector<std::vector<LoopSuggestion>> Pipeline::suggest_batch(
     std::span<const std::string_view> sources) const {
+  auto results = suggest_batch_results(sources);
+  std::vector<std::vector<LoopSuggestion>> out;
+  out.reserve(results.size());
+  for (auto& r : results) {
+    if (r.error) std::rethrow_exception(r.error);
+    out.push_back(std::move(r.suggestions));
+  }
+  return out;
+}
+
+std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
+    std::span<const std::string_view> sources) const {
   const NoGradGuard no_grad;  // serving: skip tape construction
-  std::vector<std::vector<LoopSuggestion>> out(sources.size());
+  std::vector<SourceResult> out(sources.size());
   if (sources.empty()) return out;
+  ThreadPool& pool = this->pool();
 
   // Stage 1 (parallel): per-source frontend — lex, parse, extract loops,
-  // build aug-ASTs. Each source is independent; the pool rethrows the first
-  // failure after draining. The pool is shared across calls (and pipelines)
-  // so a small request does not pay thread spawn latency.
+  // build aug-ASTs. Each source is independent; a failure is recorded in
+  // that source's slot and the rest of the batch proceeds.
   std::vector<PreparedSource> prepared(sources.size());
-  static ThreadPool pool;
   pool.parallel_for(sources.size(), [&](std::size_t i) {
-    prepared[i] = prepare_source(sources[i], vocab_, options_.aug);
+    try {
+      prepared[i] = prepare_source(sources[i], vocab_, options_.aug);
+    } catch (...) {
+      out[i].error = std::current_exception();
+    }
   });
 
-  // Stage 2 (batched): every loop of every source joins a disjoint union so
-  // the request costs one batched forward per worker — a single forward on a
-  // one-thread pool, or per-worker sub-batches that encode concurrently
-  // (disjoint unions pool per graph, so sub-batching is output-identical).
+  // Stage 2 (batched): every loop of every healthy source joins a disjoint
+  // union so the request costs one batched forward per worker — a single
+  // forward on a one-thread pool, or per-worker sub-batches that encode
+  // concurrently (disjoint unions pool per graph, so sub-batching is
+  // output-identical).
   std::vector<const HetGraph*> graph_ptrs;
-  for (const auto& p : prepared) {
-    for (const auto& g : p.graphs) graph_ptrs.push_back(&g.graph);
+  for (std::size_t s = 0; s < prepared.size(); ++s) {
+    if (out[s].error) continue;
+    for (const auto& g : prepared[s].graphs) graph_ptrs.push_back(&g.graph);
   }
   if (graph_ptrs.empty()) return out;
 
@@ -182,32 +217,63 @@ std::vector<std::vector<LoopSuggestion>> Pipeline::suggest_batch(
   }
 
   // Stage 3 (parallel): peel rows back apart, one suggestion list per
-  // source; the clause analysis behind each rendered pragma is per-source
-  // independent, so it runs on the pool too.
+  // healthy source; the clause analysis behind each rendered pragma is
+  // per-source independent, so it runs on the pool too.
   std::vector<std::size_t> first_row(prepared.size());
   std::size_t row = 0;
   for (std::size_t s = 0; s < prepared.size(); ++s) {
     first_row[s] = row;
-    row += prepared[s].loops.size();
+    if (!out[s].error) row += prepared[s].loops.size();
   }
   pool.parallel_for(prepared.size(), [&](std::size_t s) {
-    std::size_t r = first_row[s];
-    out[s].reserve(prepared[s].loops.size());
-    for (std::size_t i = 0; i < prepared[s].loops.size(); ++i, ++r) {
-      out[s].push_back(make_suggestion(
-          prepared[s].loops[i], prepared[s].parsed.tu.get(),
-          parallel_probs.at({static_cast<int>(r), 1}),
-          {clause_preds[0][r], clause_preds[1][r], clause_preds[2][r],
-           clause_preds[3][r]}));
+    if (out[s].error) return;
+    try {
+      std::size_t r = first_row[s];
+      out[s].suggestions.reserve(prepared[s].loops.size());
+      for (std::size_t i = 0; i < prepared[s].loops.size(); ++i, ++r) {
+        out[s].suggestions.push_back(make_suggestion(
+            prepared[s].loops[i], prepared[s].parsed.tu.get(),
+            parallel_probs.at({static_cast<int>(r), 1}),
+            {clause_preds[0][r], clause_preds[1][r], clause_preds[2][r],
+             clause_preds[3][r]}));
+      }
+    } catch (...) {
+      out[s].suggestions.clear();
+      out[s].error = std::current_exception();
     }
   });
   return out;
 }
 
-void Pipeline::save(const std::string& model_path, const std::string& vocab_path) const {
-  model_->save_file(model_path);
-  std::ofstream vocab_out(vocab_path);
-  vocab_out << vocab_.serialize();
+bool Pipeline::save(const std::string& model_path, const std::string& vocab_path) const {
+  // Stage both files and rename only once both are fully written: a failure
+  // mid-save must never leave a fresh model next to a stale vocab — two
+  // same-sized vocabs load cleanly and silently mis-map tokens to weights.
+  const std::string model_tmp = model_path + ".tmp";
+  const std::string vocab_tmp = vocab_path + ".tmp";
+  if (!model_->save_file(model_tmp)) {
+    std::remove(model_tmp.c_str());
+    return false;
+  }
+  bool vocab_ok = false;
+  {
+    std::ofstream vocab_out(vocab_tmp);
+    if (vocab_out) {
+      vocab_out << vocab_.serialize();
+      vocab_out.flush();
+      vocab_ok = vocab_out.good();
+    }
+  }
+  if (!vocab_ok || std::rename(model_tmp.c_str(), model_path.c_str()) != 0) {
+    std::remove(model_tmp.c_str());
+    std::remove(vocab_tmp.c_str());
+    return false;
+  }
+  if (std::rename(vocab_tmp.c_str(), vocab_path.c_str()) != 0) {
+    std::remove(vocab_tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::optional<Pipeline> Pipeline::load(const Options& options, const std::string& model_path,
@@ -216,9 +282,13 @@ std::optional<Pipeline> Pipeline::load(const Options& options, const std::string
   if (!vocab_in) return std::nullopt;
   std::stringstream buffer;
   buffer << vocab_in.rdbuf();
-  Pipeline pipeline(options, Vocab::deserialize(buffer.str()));
-  if (!pipeline.model_->load_file(model_path)) return std::nullopt;
-  return pipeline;
+  try {
+    Pipeline pipeline(options, Vocab::deserialize(buffer.str()));
+    if (!pipeline.model_->load_file(model_path)) return std::nullopt;
+    return pipeline;
+  } catch (const std::exception&) {
+    return std::nullopt;  // corrupt vocab: fail soft like a missing file
+  }
 }
 
 }  // namespace g2p

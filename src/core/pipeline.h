@@ -7,6 +7,7 @@
 // (examples use the synthetic OMP_Serial generator).
 #pragma once
 
+#include <exception>
 #include <memory>
 #include <optional>
 #include <span>
@@ -19,6 +20,8 @@
 #include "eval/trainer.h"
 
 namespace g2p {
+
+class ThreadPool;
 
 /// One suggestion for one loop found in the input source.
 struct LoopSuggestion {
@@ -38,7 +41,20 @@ class Pipeline {
     Graph2ParConfig model;       // vocab_size is filled in automatically
     TrainConfig train;
     AugAstOptions aug;           // full aug-AST by default
+    /// Worker threads for the batched serving path. 0 keeps the process-wide
+    /// shared default pool (hardware-sized); nonzero gives this pipeline a
+    /// private pool of that size. `set_thread_pool` overrides either.
+    unsigned pool_threads = 0;
     Options() { corpus.scale = 0.03; }
+  };
+
+  /// Outcome of one source in a tolerant batch call: either a suggestion
+  /// list (possibly empty — a source without loops is not an error) or the
+  /// exception that source raised while being parsed/analyzed.
+  struct SourceResult {
+    std::vector<LoopSuggestion> suggestions;
+    std::exception_ptr error;  // null on success
+    bool ok() const { return error == nullptr; }
   };
 
   /// Generate a corpus, build the vocabulary, train the model. Deterministic
@@ -58,10 +74,26 @@ class Pipeline {
   std::vector<std::vector<LoopSuggestion>> suggest_batch(
       std::span<const std::string_view> sources) const;
 
-  /// Persist / restore trained weights (vocabulary travels alongside).
-  void save(const std::string& model_path, const std::string& vocab_path) const;
+  /// Error-tolerant batch entry point for servers: a source that fails to
+  /// parse or analyze reports its exception in its own slot instead of
+  /// poisoning batch-mates; every healthy source still gets suggestions
+  /// numerically equivalent to per-source `suggest`. Aligned with `sources`.
+  std::vector<SourceResult> suggest_batch_results(
+      std::span<const std::string_view> sources) const;
+
+  /// Persist trained weights (vocabulary travels alongside). Returns false —
+  /// without writing a partial vocab when the model already failed — if
+  /// either file cannot be opened or fully flushed.
+  [[nodiscard]] bool save(const std::string& model_path, const std::string& vocab_path) const;
+  /// Restore a saved pipeline. Missing, truncated, or corrupt files yield
+  /// std::nullopt, never a crash or a half-initialized pipeline.
   static std::optional<Pipeline> load(const Options& options, const std::string& model_path,
                                       const std::string& vocab_path);
+
+  /// Replace the worker pool used by `suggest_batch*`. Null restores the
+  /// behavior selected by Options::pool_threads. A server injects its own
+  /// pool here so serving concurrency is owned by the server, not a global.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool);
 
   const Graph2ParModel& model() const { return *model_; }
   const Vocab& vocab() const { return vocab_; }
@@ -69,9 +101,12 @@ class Pipeline {
  private:
   Pipeline(Options options, Vocab vocab);
 
+  ThreadPool& pool() const;
+
   Options options_;
   Vocab vocab_;
   std::unique_ptr<Graph2ParModel> model_;
+  std::shared_ptr<ThreadPool> pool_;  // null: shared process-wide default
 };
 
 }  // namespace g2p

@@ -35,16 +35,22 @@ void Module::load(std::istream& in) {
   }
 }
 
-void Module::save_file(const std::string& path) const {
+bool Module::save_file(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("Module::save_file: cannot open " + path);
+  if (!out) return false;
   save(out);
+  out.flush();
+  return out.good();
 }
 
 bool Module::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
-  load(in);
+  try {
+    load(in);
+  } catch (const std::exception&) {
+    return false;  // truncated/corrupt file; parameters are unspecified
+  }
   return true;
 }
 

@@ -27,10 +27,14 @@ class Module {
 
   /// Write / read all parameter values. Layout: per parameter, numel floats.
   /// Shapes must already match (load into an identically-configured model).
+  /// `load` throws on mismatch or truncation; the *_file variants return
+  /// false instead (on failed load_file the parameters are unspecified —
+  /// discard the model). save_file returns false when the file cannot be
+  /// opened or fully flushed.
   void save(std::ostream& out) const;
   void load(std::istream& in);
-  void save_file(const std::string& path) const;
-  bool load_file(const std::string& path);
+  [[nodiscard]] bool save_file(const std::string& path) const;
+  [[nodiscard]] bool load_file(const std::string& path);
 
  protected:
   /// Register a parameter tensor (sets requires_grad) and return the handle.

@@ -1,0 +1,131 @@
+#include "serve/server.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace g2p {
+
+SuggestServer::SuggestServer(std::shared_ptr<Pipeline> pipeline, Options options)
+    : pipeline_(std::move(pipeline)), options_(options) {
+  if (!pipeline_) throw std::invalid_argument("SuggestServer: null pipeline");
+  if (options_.max_batch_loops == 0) options_.max_batch_loops = 1;
+  if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  pool_ = std::make_shared<ThreadPool>(
+      options_.pool_threads != 0 ? options_.pool_threads : ThreadPool::default_thread_count());
+  pipeline_->set_thread_pool(pool_);
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+SuggestServer::~SuggestServer() { shutdown(); }
+
+std::future<std::vector<LoopSuggestion>> SuggestServer::enqueue_locked(std::string source) {
+  Request req;
+  req.source = std::move(source);
+  req.enqueued = Clock::now();
+  auto future = req.promise.get_future();
+  queue_.push_back(std::move(req));
+  stats_.on_submit();
+  stats_.on_queue_depth(queue_.size());
+  return future;
+}
+
+std::future<std::vector<LoopSuggestion>> SuggestServer::submit(std::string source) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock,
+                 [this] { return stopping_ || queue_.size() < options_.max_queue_depth; });
+  if (stopping_) throw std::runtime_error("SuggestServer: submit after shutdown");
+  auto future = enqueue_locked(std::move(source));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::optional<std::future<std::vector<LoopSuggestion>>> SuggestServer::try_submit(
+    std::string source) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_ || queue_.size() >= options_.max_queue_depth) return std::nullopt;
+  auto future = enqueue_locked(std::move(source));
+  lock.unlock();
+  queue_cv_.notify_one();
+  return future;
+}
+
+void SuggestServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  space_cv_.notify_all();
+  std::call_once(joined_, [this] { scheduler_.join(); });
+}
+
+void SuggestServer::scheduler_loop() {
+  for (;;) {
+    std::vector<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and fully drained
+
+      // Micro-batch window: hold the batch open until it fills or the
+      // oldest request has waited out max_delay. Shutdown closes the window
+      // early so draining never sleeps.
+      const auto deadline = queue_.front().enqueued + options_.max_delay;
+      while (!stopping_ && queue_.size() < options_.max_batch_loops) {
+        if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+
+      const std::size_t take = std::min(queue_.size(), options_.max_batch_loops);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.on_queue_depth(queue_.size());
+    }
+    space_cv_.notify_all();  // backpressure: freed queue slots
+    serve_batch(batch);
+  }
+}
+
+void SuggestServer::serve_batch(std::vector<Request>& batch) {
+  stats_.on_batch(batch.size());
+  std::vector<std::string_view> views;
+  views.reserve(batch.size());
+  for (const auto& r : batch) views.emplace_back(r.source);
+
+  const auto latency_us = [](Clock::time_point enqueued, Clock::time_point now) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(now - enqueued).count());
+  };
+
+  std::vector<Pipeline::SourceResult> results;
+  try {
+    results = pipeline_->suggest_batch_results(views);
+  } catch (...) {
+    // Whole-batch failure (resource exhaustion, not a per-source parse
+    // error): every request in the batch observes the exception.
+    const auto error = std::current_exception();
+    const auto now = Clock::now();
+    for (auto& r : batch) {
+      // Count first, complete second: a client that sees its future ready
+      // must also see the stats already include it.
+      stats_.on_done(false, latency_us(r.enqueued, now));
+      r.promise.set_exception(error);
+    }
+    return;
+  }
+
+  const auto now = Clock::now();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    stats_.on_done(results[i].ok(), latency_us(batch[i].enqueued, now));
+    if (results[i].ok()) {
+      batch[i].promise.set_value(std::move(results[i].suggestions));
+    } else {
+      batch[i].promise.set_exception(results[i].error);
+    }
+  }
+}
+
+}  // namespace g2p

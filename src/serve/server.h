@@ -1,0 +1,120 @@
+// Asynchronous micro-batching front end over the batched suggestion engine.
+//
+// PR 1 made one synchronous call fast (`Pipeline::suggest_batch`); this
+// turns it into a server loop. Callers `submit` C sources and get a
+// `std::future` per request; a scheduler thread collects queued requests
+// until `max_batch_loops` of them are waiting or the oldest has waited
+// `max_delay` (whichever comes first), merges them into one
+// `suggest_batch_results` call, and completes every future — a request that
+// fails to parse completes *its* future exceptionally without poisoning its
+// batch-mates. Under light load a request costs one batch of 1 after at
+// most `max_delay`; under heavy load batches fill instantly and the model
+// forward is amortized across the whole batch.
+//
+// Backpressure: the queue is bounded by `max_queue_depth`. `submit` blocks
+// until space frees up (so producers are throttled to the service rate);
+// `try_submit` refuses instead, for callers that would rather shed load.
+//
+// Shutdown is graceful: `shutdown()` (and the destructor) stops accepting
+// new work, serves everything already queued, then joins the scheduler.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "serve/stats.h"
+#include "support/thread_pool.h"
+
+namespace g2p {
+
+class SuggestServer {
+ public:
+  struct Options {
+    /// Batch-closing thresholds: serve once this many requests are queued
+    /// (each request is one translation unit whose loops join the batched
+    /// forward), or once the oldest queued request has waited `max_delay`.
+    std::size_t max_batch_loops = 32;
+    std::chrono::milliseconds max_delay{2};
+    /// Queue bound. `submit` blocks (backpressure) when this many requests
+    /// are already waiting; `try_submit` returns nullopt instead.
+    std::size_t max_queue_depth = 1024;
+    /// Worker threads for the owned pool the pipeline serves on.
+    /// 0 = hardware concurrency.
+    unsigned pool_threads = 0;
+  };
+
+  /// Takes shared ownership of the pipeline and injects the server's worker
+  /// pool into it (serving concurrency belongs to the server, not a global).
+  /// The pipeline stays usable for read-only calls (`suggest`) from other
+  /// threads. Throws std::invalid_argument on a null pipeline.
+  SuggestServer(std::shared_ptr<Pipeline> pipeline, Options options);
+  explicit SuggestServer(std::shared_ptr<Pipeline> pipeline)
+      : SuggestServer(std::move(pipeline), Options{}) {}
+
+  /// Convenience: take the pipeline by value.
+  SuggestServer(Pipeline pipeline, Options options)
+      : SuggestServer(std::make_shared<Pipeline>(std::move(pipeline)), options) {}
+  explicit SuggestServer(Pipeline pipeline)
+      : SuggestServer(std::make_shared<Pipeline>(std::move(pipeline)), Options{}) {}
+
+  SuggestServer(const SuggestServer&) = delete;
+  SuggestServer& operator=(const SuggestServer&) = delete;
+
+  /// Drains the queue, completes every outstanding future, joins.
+  ~SuggestServer();
+
+  /// Enqueue one translation unit. Blocks while the queue is full; throws
+  /// std::runtime_error once the server is shutting down (futures already
+  /// obtained remain valid and will complete).
+  std::future<std::vector<LoopSuggestion>> submit(std::string source);
+
+  /// Non-blocking submit: nullopt when the queue is full or the server is
+  /// shutting down (load shedding instead of backpressure).
+  std::optional<std::future<std::vector<LoopSuggestion>>> try_submit(std::string source);
+
+  /// Stop accepting requests, serve everything queued, join the scheduler.
+  /// Idempotent and safe to call concurrently with submitters (their
+  /// blocked `submit` calls wake and throw).
+  void shutdown();
+
+  ServerStatsSnapshot stats() const { return stats_.snapshot(); }
+  const Pipeline& pipeline() const { return *pipeline_; }
+  const Options& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Request {
+    std::string source;
+    std::promise<std::vector<LoopSuggestion>> promise;
+    Clock::time_point enqueued;
+  };
+
+  std::future<std::vector<LoopSuggestion>> enqueue_locked(std::string source);
+  void scheduler_loop();
+  void serve_batch(std::vector<Request>& batch);
+
+  std::shared_ptr<Pipeline> pipeline_;
+  Options options_;
+  std::shared_ptr<ThreadPool> pool_;
+  ServerStats stats_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;  // scheduler waits: work available / stop
+  std::condition_variable space_cv_;  // submitters wait: queue below bound
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  std::once_flag joined_;  // shutdown may race with itself; join exactly once
+  std::thread scheduler_;  // last member: joined before the rest tears down
+};
+
+}  // namespace g2p

@@ -1,0 +1,86 @@
+// Serving counters for the async micro-batching server.
+//
+// The scheduler thread and submitters update ServerStats concurrently with
+// relaxed atomics (each counter is an independent monotonic tally; nothing
+// synchronizes-with these loads), and `snapshot()` hands callers a plain
+// struct to print or assert on. Latency here is end-to-end per request:
+// enqueue (submit) to future completion, measured by the scheduler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace g2p {
+
+/// Point-in-time copy of the server counters (plain values, safe to pass
+/// around). Derived means return 0 when the denominator is empty.
+struct ServerStatsSnapshot {
+  std::uint64_t submitted = 0;        // requests accepted into the queue
+  std::uint64_t completed = 0;        // futures completed with a value
+  std::uint64_t failed = 0;           // futures completed with an exception
+  std::uint64_t batches = 0;          // suggest_batch calls issued
+  std::uint64_t batched_requests = 0; // sum of batch sizes
+  std::uint64_t max_batch = 0;        // largest batch served
+  std::uint64_t queue_depth = 0;      // requests waiting right now
+  std::uint64_t latency_sum_us = 0;   // enqueue -> completion, all requests
+  std::uint64_t latency_max_us = 0;
+
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / static_cast<double>(batches);
+  }
+  double mean_latency_us() const {
+    const std::uint64_t done = completed + failed;
+    return done == 0 ? 0.0 : static_cast<double>(latency_sum_us) / static_cast<double>(done);
+  }
+};
+
+class ServerStats {
+ public:
+  void on_submit() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_queue_depth(std::uint64_t depth) {
+    queue_depth_.store(depth, std::memory_order_relaxed);
+  }
+  void on_batch(std::uint64_t size) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(size, std::memory_order_relaxed);
+    std::uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+    while (size > seen &&
+           !max_batch_.compare_exchange_weak(seen, size, std::memory_order_relaxed)) {
+    }
+  }
+  void on_done(bool ok, std::uint64_t latency_us) {
+    (ok ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
+    latency_sum_us_.fetch_add(latency_us, std::memory_order_relaxed);
+    std::uint64_t seen = latency_max_us_.load(std::memory_order_relaxed);
+    while (latency_us > seen &&
+           !latency_max_us_.compare_exchange_weak(seen, latency_us, std::memory_order_relaxed)) {
+    }
+  }
+
+  ServerStatsSnapshot snapshot() const {
+    ServerStatsSnapshot s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+    s.max_batch = max_batch_.load(std::memory_order_relaxed);
+    s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+    s.latency_sum_us = latency_sum_us_.load(std::memory_order_relaxed);
+    s.latency_max_us = latency_max_us_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> queue_depth_{0};
+  std::atomic<std::uint64_t> latency_sum_us_{0};
+  std::atomic<std::uint64_t> latency_max_us_{0};
+};
+
+}  // namespace g2p

@@ -52,6 +52,12 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Whether the calling thread is one of this pool's workers. Blocking on
+  /// pool futures from a worker can deadlock (the waited-on tasks may sit
+  /// behind the waiter in the queue), so re-entrant helpers check this and
+  /// fall back to inline execution.
+  bool on_worker_thread() const { return current_pool() == this; }
+
   /// Enqueue `fn` and return a future for its result. Exceptions thrown by
   /// `fn` surface from future::get().
   template <typename F>
@@ -72,9 +78,28 @@ class ThreadPool {
   /// are dispatched as contiguous chunks (a few per worker) so the per-task
   /// queue/future overhead is paid O(workers) times, not O(n). The first
   /// exception (lowest chunk) is rethrown after every task has finished.
+  ///
+  /// Re-entrant: called from one of this pool's own workers, the loop runs
+  /// inline on the calling thread instead of enqueueing. Enqueue-and-wait
+  /// from a worker deadlocks at saturation — every worker blocks in
+  /// future::get() on chunks that sit behind the waiters in the queue.
   template <typename F>
   void parallel_for(std::size_t n, F&& fn) {
     if (n == 0) return;
+    if (on_worker_thread()) {
+      // Inline, but with the same drain-then-rethrow contract as the pooled
+      // path: every index runs; the first exception surfaces at the end.
+      std::exception_ptr first_error;
+      for (std::size_t i = 0; i < n; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+      if (first_error) std::rethrow_exception(first_error);
+      return;
+    }
     const std::size_t chunks = std::min(n, workers_.size() * 4);
     const std::size_t per_chunk = (n + chunks - 1) / chunks;
     std::vector<std::future<void>> pending;
@@ -97,7 +122,15 @@ class ThreadPool {
   }
 
  private:
+  /// Which pool (if any) the calling thread works for. One marker suffices:
+  /// pool workers are dedicated threads, never shared between pools.
+  static ThreadPool*& current_pool() {
+    thread_local ThreadPool* pool = nullptr;
+    return pool;
+  }
+
   void worker_loop() {
+    current_pool() = this;
     for (;;) {
       std::function<void()> task;
       {

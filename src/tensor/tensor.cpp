@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <deque>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,17 +13,45 @@ namespace g2p {
 namespace tensor_pool {
 namespace {
 
-constexpr std::size_t kMinPooledBytes = 1u << 16;   // pool only large blocks
-constexpr std::size_t kMaxPooledTotal = 64u << 20;  // cap cached bytes/thread
+constexpr std::size_t kMinPooledBytes = 1u << 16;    // pool only large blocks
+constexpr std::size_t kDefaultByteCap = 64u << 20;   // cached bytes/thread
 
+/// Per-thread recycling cache with a hard byte cap. Long-lived server
+/// workers churn through many distinct batch shapes, so the cache evicts
+/// oldest-cached-first (FIFO) instead of refusing new blocks: the sizes in
+/// flight *now* stay warm while sizes from past traffic drain out.
 struct Cache {
   std::unordered_map<std::size_t, std::vector<void*>> blocks;  // by exact size
+  std::deque<std::pair<std::size_t, void*>> fifo;  // cached blocks, oldest first
   std::size_t total = 0;
+  std::size_t cap = kDefaultByteCap;
   ~Cache() {
     for (auto& [size, list] : blocks) {
       (void)size;
       for (void* p : list) ::operator delete(p);
     }
+  }
+
+  void forget(std::size_t bytes, void* p) {
+    // acquire() pops the most-recently-released block of a size, which sits
+    // near the fifo back — scan backwards so the hot recycle path is O(1);
+    // the full walk (cap / kMinPooledBytes entries) is the cold worst case.
+    for (auto it = fifo.rbegin(); it != fifo.rend(); ++it) {
+      if (it->second == p && it->first == bytes) {
+        fifo.erase(std::next(it).base());
+        return;
+      }
+    }
+  }
+
+  void evict_oldest() {
+    const auto [bytes, p] = fifo.front();
+    fifo.pop_front();
+    auto it = blocks.find(bytes);
+    auto pos = std::find(it->second.begin(), it->second.end(), p);
+    it->second.erase(pos);
+    total -= bytes;
+    ::operator delete(p);
   }
 };
 thread_local Cache g_cache;
@@ -36,6 +65,7 @@ void* acquire(std::size_t bytes) {
       void* p = it->second.back();
       it->second.pop_back();
       g_cache.total -= bytes;
+      g_cache.forget(bytes, p);
       return p;
     }
   }
@@ -43,15 +73,35 @@ void* acquire(std::size_t bytes) {
 }
 
 void release(void* p, std::size_t bytes) noexcept {
-  if (bytes >= kMinPooledBytes && g_cache.total + bytes <= kMaxPooledTotal) {
+  if (bytes >= kMinPooledBytes && bytes <= g_cache.cap) {
     try {
-      g_cache.blocks[bytes].push_back(p);
+      while (g_cache.total + bytes > g_cache.cap) g_cache.evict_oldest();
+      g_cache.fifo.emplace_back(bytes, p);
+      try {
+        g_cache.blocks[bytes].push_back(p);
+      } catch (...) {
+        g_cache.fifo.pop_back();
+        throw;
+      }
       g_cache.total += bytes;
       return;
     } catch (...) {
     }
   }
   ::operator delete(p);
+}
+
+std::size_t cached_bytes() noexcept { return g_cache.total; }
+
+std::size_t byte_cap() noexcept { return g_cache.cap; }
+
+void set_byte_cap(std::size_t bytes) noexcept {
+  g_cache.cap = bytes;
+  while (g_cache.total > g_cache.cap) g_cache.evict_oldest();
+}
+
+void trim() noexcept {
+  while (g_cache.total > 0) g_cache.evict_oldest();
 }
 
 }  // namespace tensor_pool

@@ -29,6 +29,16 @@ using Shape = std::vector<int>;
 namespace tensor_pool {
 void* acquire(std::size_t bytes);
 void release(void* p, std::size_t bytes) noexcept;
+/// Bytes currently cached by the calling thread's pool. Bounded by
+/// byte_cap(): when a release would exceed the cap, the oldest cached blocks
+/// are evicted first, so long-lived server workers cannot accumulate every
+/// buffer size ever recycled.
+std::size_t cached_bytes() noexcept;
+std::size_t byte_cap() noexcept;
+/// Change the calling thread's cap (evicts immediately if over).
+void set_byte_cap(std::size_t bytes) noexcept;
+/// Drop every block cached by the calling thread (idle workers return memory).
+void trim() noexcept;
 }  // namespace tensor_pool
 
 /// Allocator that default-initializes elements (skips the zero-fill pass of

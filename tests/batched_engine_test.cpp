@@ -239,6 +239,34 @@ TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, NestedParallelForAtFullSaturationDoesNotDeadlock) {
+  // Regression: parallel_for used to enqueue-and-wait even when called from
+  // one of the pool's own workers. With every worker blocked in future::get()
+  // on chunks stuck behind the waiters, the pool deadlocked — exactly what a
+  // server doing suggest_batch on pool threads triggers. Nested calls must
+  // run inline on the calling worker.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) {
+      pool.parallel_for(4, [&](std::size_t) { ++count; });  // two levels deep
+    });
+  });
+  EXPECT_EQ(count.load(), 8 * 8 * 4);
+
+  // Same at task granularity: a submitted task blocking on parallel_for.
+  std::vector<std::future<int>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.submit([&pool] {
+      std::atomic<int> inner{0};
+      pool.parallel_for(16, [&](std::size_t) { ++inner; });
+      return inner.load();
+    }));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get(), 16);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
 TEST(ThreadPool, ParallelForPropagatesException) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(8,

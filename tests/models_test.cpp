@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include <unistd.h>  // truncate(), for the corrupt-checkpoint tests
+
 #include "core/pipeline.h"
 #include "dataset/generator.h"
 #include "eval/comparison.h"
@@ -164,21 +166,60 @@ TEST(Pipeline, TrainSuggestAndRoundTrip) {
   for (const auto& s : suggestions) {
     EXPECT_GE(s.confidence, 0.0);
     EXPECT_LE(s.confidence, 1.0);
-    if (s.parallel) EXPECT_FALSE(s.suggested_pragma.empty());
+    if (s.parallel) {
+      EXPECT_FALSE(s.suggested_pragma.empty());
+    }
   }
 
-  // Save / load round trip preserves behaviour.
+  // Save / load round trip reproduces identical suggestions.
   const std::string model_path = "/tmp/g2p_test_model.bin";
   const std::string vocab_path = "/tmp/g2p_test_vocab.txt";
-  pipeline.save(model_path, vocab_path);
+  ASSERT_TRUE(pipeline.save(model_path, vocab_path));
   auto restored = Pipeline::load(options, model_path, vocab_path);
   ASSERT_TRUE(restored.has_value());
   const auto restored_suggestions = restored->suggest(source);
   ASSERT_EQ(restored_suggestions.size(), suggestions.size());
   for (std::size_t i = 0; i < suggestions.size(); ++i) {
     EXPECT_EQ(restored_suggestions[i].parallel, suggestions[i].parallel);
+    EXPECT_EQ(restored_suggestions[i].category, suggestions[i].category);
+    EXPECT_EQ(restored_suggestions[i].suggested_pragma, suggestions[i].suggested_pragma);
+    EXPECT_EQ(restored_suggestions[i].line, suggestions[i].line);
     EXPECT_NEAR(restored_suggestions[i].confidence, suggestions[i].confidence, 1e-5);
   }
+
+  // Truncated model file: load fails soft with nullopt, never a crash.
+  {
+    std::FILE* f = std::fopen(model_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_GT(size, 64);
+    ASSERT_EQ(truncate(model_path.c_str(), size / 2), 0);
+    EXPECT_FALSE(Pipeline::load(options, model_path, vocab_path).has_value());
+  }
+
+  // Corrupt model file (garbage header): same soft failure.
+  {
+    std::FILE* f = std::fopen(model_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "definitely not a checkpoint";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+    EXPECT_FALSE(Pipeline::load(options, model_path, vocab_path).has_value());
+  }
+
+  // Corrupt vocab alongside a missing model: still nullopt.
+  {
+    std::FILE* f = std::fopen(vocab_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char garbage[] = "\x01\x02 not a vocab \xff";
+    std::fwrite(garbage, 1, sizeof(garbage), f);
+    std::fclose(f);
+    EXPECT_FALSE(
+        Pipeline::load(options, "/nonexistent/model.bin", vocab_path).has_value());
+  }
+
   std::remove(model_path.c_str());
   std::remove(vocab_path.c_str());
 }
@@ -187,6 +228,24 @@ TEST(Pipeline, LoadMissingFilesReturnsNullopt) {
   Pipeline::Options options;
   EXPECT_FALSE(Pipeline::load(options, "/nonexistent/model.bin", "/nonexistent/vocab.txt")
                    .has_value());
+}
+
+TEST(Pipeline, SaveToUnwritablePathReturnsFalse) {
+  Pipeline::Options options;
+  options.corpus.scale = 0.01;
+  options.train.epochs = 1;
+  const Pipeline pipeline = Pipeline::train(options);
+  // Unwritable model path: no vocab file may be left behind either.
+  const std::string vocab_path = "/tmp/g2p_test_orphan_vocab.txt";
+  std::remove(vocab_path.c_str());
+  EXPECT_FALSE(pipeline.save("/nonexistent_dir/model.bin", vocab_path));
+  std::FILE* orphan = std::fopen(vocab_path.c_str(), "rb");
+  EXPECT_EQ(orphan, nullptr) << "save wrote a vocab after the model already failed";
+  if (orphan) std::fclose(orphan);
+  // Writable model path but unwritable vocab path.
+  const std::string model_path = "/tmp/g2p_test_save_model.bin";
+  EXPECT_FALSE(pipeline.save(model_path, "/nonexistent_dir/vocab.txt"));
+  std::remove(model_path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,319 @@
+// Tests for the async micro-batching server: equivalence of concurrently
+// submitted requests to per-source Pipeline::suggest, per-request error
+// isolation inside a batch, backpressure, graceful drain on shutdown, the
+// batching window, stats accounting, and running the batched pipeline from
+// the server's own pool threads (the nested-parallel_for scenario).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "serve/server.h"
+#include "support/thread_pool.h"
+
+namespace g2p {
+namespace {
+
+/// One small trained pipeline shared by every test in this binary (training
+/// dominates the suite's runtime; the pipeline is const-thread-safe for
+/// suggest and is given to servers via shared_ptr).
+std::shared_ptr<Pipeline> shared_pipeline() {
+  static const std::shared_ptr<Pipeline> pipeline = [] {
+    Pipeline::Options options;
+    options.corpus.scale = 0.01;
+    options.train.epochs = 1;
+    return std::make_shared<Pipeline>(Pipeline::train(options));
+  }();
+  return pipeline;
+}
+
+/// A handful of distinct translation units covering the serving shapes:
+/// do-all loops, reductions, loop-carried dependences, and loop-free files.
+std::vector<std::string> test_sources() {
+  return {
+      "void scale(double* x, int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++) x[i] = x[i] * 2.0;\n"
+      "}\n",
+      "double dot(double* x, double* y, int n) {\n"
+      "  int i;\n"
+      "  double s = 0;\n"
+      "  for (i = 0; i < n; i++) s += x[i] * y[i];\n"
+      "  return s;\n"
+      "}\n",
+      "void shift(double* x, int n) {\n"
+      "  int i;\n"
+      "  for (i = 1; i < n; i++) x[i] = x[i - 1];\n"
+      "}\n",
+      "int answer(void) { return 42; }\n",
+      "void saxpy(float* y, float* x, float a, int n) {\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i++) y[i] = a * x[i] + y[i];\n"
+      "}\n",
+      "void nest(double* a, int n, int m) {\n"
+      "  int i; int j;\n"
+      "  for (i = 0; i < n; i++)\n"
+      "    for (j = 0; j < m; j++)\n"
+      "      a[i * m + j] = a[i * m + j] + 1.0;\n"
+      "}\n"};
+}
+
+void expect_equivalent(const std::vector<LoopSuggestion>& got,
+                       const std::vector<LoopSuggestion>& want, const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].parallel, want[i].parallel) << what << " loop " << i;
+    EXPECT_EQ(got[i].category, want[i].category) << what << " loop " << i;
+    EXPECT_EQ(got[i].suggested_pragma, want[i].suggested_pragma) << what << " loop " << i;
+    EXPECT_EQ(got[i].line, want[i].line) << what << " loop " << i;
+    // Same tolerance as bench/throughput_batched.cpp's equivalence gate.
+    EXPECT_NEAR(got[i].confidence, want[i].confidence, 1e-5) << what << " loop " << i;
+  }
+}
+
+// ---- server equivalence gate ------------------------------------------------
+
+TEST(SuggestServer, ConcurrentSubmittersMatchPerSourceSuggest) {
+  auto pipeline = shared_pipeline();
+  const auto sources = test_sources();
+
+  // Per-source reference answers from the synchronous API.
+  std::vector<std::vector<LoopSuggestion>> expected;
+  for (const auto& src : sources) expected.push_back(pipeline->suggest(src));
+
+  SuggestServer::Options options;
+  options.max_batch_loops = 16;
+  options.max_delay = std::chrono::milliseconds(2);
+  SuggestServer server(pipeline, options);
+
+  // >= 8 concurrent submitters, each firing every source several times in a
+  // different order, so batches mix requests from different clients.
+  constexpr int kSubmitters = 8;
+  constexpr int kRounds = 6;
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::pair<std::size_t, std::future<std::vector<LoopSuggestion>>>>>
+      per_thread(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t s = 0; s < sources.size(); ++s) {
+          const std::size_t idx = (s + static_cast<std::size_t>(t + round)) % sources.size();
+          per_thread[static_cast<std::size_t>(t)].emplace_back(
+              idx, server.submit(sources[idx]));
+        }
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+
+  for (int t = 0; t < kSubmitters; ++t) {
+    for (auto& [idx, future] : per_thread[static_cast<std::size_t>(t)]) {
+      expect_equivalent(future.get(), expected[idx],
+                        "submitter " + std::to_string(t) + " source " + std::to_string(idx));
+    }
+  }
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kSubmitters * kRounds) *
+                                 sources.size());
+  EXPECT_EQ(stats.completed, stats.submitted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.batched_requests, stats.submitted);
+  EXPECT_GE(stats.mean_batch_size(), 1.0);
+  EXPECT_LE(stats.max_batch, options.max_batch_loops);
+}
+
+// ---- per-request error isolation --------------------------------------------
+
+TEST(SuggestServer, ParseErrorCompletesOnlyThatFutureExceptionally) {
+  auto pipeline = shared_pipeline();
+  const auto sources = test_sources();
+  const auto expected0 = pipeline->suggest(sources[0]);
+
+  SuggestServer::Options options;
+  options.max_batch_loops = 8;
+  options.max_delay = std::chrono::milliseconds(50);  // wide window: one batch
+  SuggestServer server(pipeline, options);
+
+  auto good1 = server.submit(sources[0]);
+  auto bad = server.submit("int broken( {");
+  auto good2 = server.submit(sources[0]);
+  auto bad2 = server.submit("void also_broken(");
+
+  EXPECT_THROW(bad.get(), std::exception);
+  EXPECT_THROW(bad2.get(), std::exception);
+  expect_equivalent(good1.get(), expected0, "good batch-mate 1");
+  expect_equivalent(good2.get(), expected0, "good batch-mate 2");
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 2u);
+}
+
+// ---- batching window --------------------------------------------------------
+
+TEST(SuggestServer, WindowClosesByDelayAndByCount) {
+  auto pipeline = shared_pipeline();
+  const auto sources = test_sources();
+
+  // max_batch_loops is far away, so a lone request is served by the
+  // max_delay timeout, not the count threshold.
+  SuggestServer::Options options;
+  options.max_batch_loops = 1000;
+  options.max_delay = std::chrono::milliseconds(5);
+  SuggestServer server(pipeline, options);
+  auto future = server.submit(sources[0]);
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  (void)future.get();
+  EXPECT_EQ(server.stats().batches, 1u);
+
+  // Count threshold: a burst of exactly max_batch_loops closes immediately.
+  SuggestServer::Options burst_options;
+  burst_options.max_batch_loops = 4;
+  burst_options.max_delay = std::chrono::seconds(30);  // never the trigger
+  SuggestServer burst_server(pipeline, burst_options);
+  std::vector<std::future<std::vector<LoopSuggestion>>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(burst_server.submit(sources[1]));
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+    (void)f.get();
+  }
+  EXPECT_EQ(burst_server.stats().batches, 1u);
+  EXPECT_EQ(burst_server.stats().max_batch, 4u);
+}
+
+// ---- backpressure -----------------------------------------------------------
+
+TEST(SuggestServer, TrySubmitShedsLoadWhenQueueIsFull) {
+  auto pipeline = shared_pipeline();
+  const auto sources = test_sources();
+
+  // A wide-open window with a huge count threshold parks requests in the
+  // queue, so the bound is observable without timing games.
+  SuggestServer::Options options;
+  options.max_batch_loops = 1000;
+  options.max_delay = std::chrono::seconds(30);
+  options.max_queue_depth = 2;
+  SuggestServer server(pipeline, options);
+
+  auto a = server.try_submit(sources[0]);
+  auto b = server.try_submit(sources[1]);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Depth 2 reached: the third submit is refused...
+  EXPECT_FALSE(server.try_submit(sources[2]).has_value());
+  EXPECT_EQ(server.stats().queue_depth, 2u);
+
+  // ...and shutdown still serves the queued two (drain, one batch).
+  server.shutdown();
+  (void)a->get();
+  (void)b->get();
+  EXPECT_EQ(server.stats().completed, 2u);
+  EXPECT_EQ(server.stats().batches, 1u);
+}
+
+// ---- graceful shutdown ------------------------------------------------------
+
+TEST(SuggestServer, ShutdownDrainsOutstandingFuturesAndRejectsNewWork) {
+  auto pipeline = shared_pipeline();
+  const auto sources = test_sources();
+
+  std::vector<std::future<std::vector<LoopSuggestion>>> futures;
+  {
+    SuggestServer::Options options;
+    options.max_batch_loops = 4;
+    options.max_delay = std::chrono::milliseconds(20);
+    SuggestServer server(pipeline, options);
+    for (int round = 0; round < 5; ++round) {
+      for (const auto& src : sources) futures.push_back(server.submit(src));
+    }
+    server.shutdown();
+    EXPECT_THROW(server.submit(sources[0]), std::runtime_error);
+    EXPECT_FALSE(server.try_submit(sources[0]).has_value());
+    // Destructor after explicit shutdown must be harmless.
+  }
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+    (void)f.get();
+  }
+}
+
+TEST(SuggestServer, DestructorAloneDrains) {
+  auto pipeline = shared_pipeline();
+  const auto sources = test_sources();
+  std::future<std::vector<LoopSuggestion>> future;
+  {
+    SuggestServer server(pipeline, SuggestServer::Options{});
+    future = server.submit(sources[0]);
+  }
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)), std::future_status::ready);
+  EXPECT_EQ(future.get().size(), pipeline->suggest(sources[0]).size());
+}
+
+TEST(SuggestServer, RejectsNullPipeline) {
+  EXPECT_THROW(SuggestServer{std::shared_ptr<Pipeline>{}}, std::invalid_argument);
+}
+
+// ---- the serving path on pool threads --------------------------------------
+
+TEST(SuggestServer, SuggestBatchRunsOnItsOwnPoolThreads) {
+  // The re-entrancy scenario behind the nested-parallel_for fix: the batched
+  // pipeline is invoked *from a worker of the very pool it serves on*. The
+  // nested parallel_for calls must run inline instead of deadlocking.
+  Pipeline::Options options;
+  options.corpus.scale = 0.01;
+  options.train.epochs = 1;
+  options.pool_threads = 2;
+  auto pipeline = std::make_shared<Pipeline>(Pipeline::train(options));
+
+  auto pool = std::make_shared<ThreadPool>(2);
+  pipeline->set_thread_pool(pool);
+
+  const auto sources = test_sources();
+  std::vector<std::string_view> views(sources.begin(), sources.end());
+  const auto direct = pipeline->suggest_batch(views);
+
+  // Saturate the pool: every worker runs a full batched call.
+  std::vector<std::future<std::vector<std::vector<LoopSuggestion>>>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool->submit([&] { return pipeline->suggest_batch(views); }));
+  }
+  for (auto& f : futures) {
+    const auto nested = f.get();
+    ASSERT_EQ(nested.size(), direct.size());
+    for (std::size_t s = 0; s < direct.size(); ++s) {
+      expect_equivalent(nested[s], direct[s], "pool-thread batch source " + std::to_string(s));
+    }
+  }
+}
+
+// ---- tolerant batch entry point --------------------------------------------
+
+TEST(SuggestBatchResults, AlignsErrorsAndSuggestionsWithSources) {
+  auto pipeline = shared_pipeline();
+  const auto sources = test_sources();
+  const std::vector<std::string_view> mixed = {sources[0], "int broken( {", sources[3],
+                                               sources[1]};
+  const auto results = pipeline->suggest_batch_results(mixed);
+  ASSERT_EQ(results.size(), mixed.size());
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_TRUE(results[2].ok());
+  EXPECT_TRUE(results[2].suggestions.empty());  // loop-free file, not an error
+  EXPECT_TRUE(results[3].ok());
+  expect_equivalent(results[0].suggestions, pipeline->suggest(sources[0]), "tolerant slot 0");
+  expect_equivalent(results[3].suggestions, pipeline->suggest(sources[1]), "tolerant slot 3");
+  EXPECT_THROW(std::rethrow_exception(results[1].error), std::exception);
+
+  // The throwing wrapper still throws on the first failing source.
+  EXPECT_THROW(pipeline->suggest_batch(mixed), std::exception);
+}
+
+}  // namespace
+}  // namespace g2p
