@@ -7,9 +7,14 @@
 //   G2P_SEED   — experiment seed (default 20230509).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/graph2par.h"
 #include "core/pragformer.h"
@@ -109,5 +114,70 @@ inline PragFormerModel train_pragformer(const Data& data, const BenchEnv& env,
 }
 
 inline std::string pct(double v) { return fmt_fixed(v, 2); }
+
+/// Machine-readable bench results: an insertion-ordered flat JSON object.
+/// Every bench binary accepts `--json <path>`; when given, it writes its
+/// headline metrics here so the perf trajectory can be tracked across PRs
+/// (BENCH_*.json baselines are checked in at the repo root).
+class JsonMetrics {
+ public:
+  void set(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", value);
+    entries_.emplace_back(key, buf);
+  }
+  void set(const std::string& key, std::int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void set(const std::string& key, int value) { set(key, static_cast<std::int64_t>(value)); }
+  void set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");  // keys/values are ASCII identifiers
+  }
+  void set(const std::string& key, const char* value) { set(key, std::string(value)); }
+  void set(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+
+  std::string render() const {
+    std::string out = "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += "  \"" + entries_[i].first + "\": " + entries_[i].second;
+      if (i + 1 < entries_.size()) out += ",";
+      out += "\n";
+    }
+    return out + "}\n";
+  }
+
+  /// No-op (returning true) when `path` is empty — benches call this
+  /// unconditionally with whatever json_path_from_args found.
+  [[nodiscard]] bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) return false;
+    out << render();
+    out.flush();
+    return out.good();
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// The value following `--json`, or "" when the flag is absent. A trailing
+/// `--json` with no path is a usage error, not a silent no-op — the bench
+/// would otherwise PASS while the caller's metrics file never appears.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--json <path>] (--json given without a path)\n",
+                     argv[0]);
+        std::exit(2);
+      }
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
 
 }  // namespace g2p::bench

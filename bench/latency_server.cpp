@@ -57,9 +57,10 @@ double percentile(std::vector<double> values, double p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace g2p;
   const auto env = bench::BenchEnv::from_env();
+  const std::string json_path = bench::json_path_from_args(argc, argv);
 
   Pipeline::Options options;
   options.corpus = env.generator_config();
@@ -225,6 +226,25 @@ int main() {
   }
   if (ratio < floor) {
     std::printf("FAIL: server throughput %.2fx below the %.2fx floor\n", ratio, floor);
+    ok = false;
+  }
+
+  bench::JsonMetrics json;
+  json.set("bench", "latency_server");
+  json.set("requests", static_cast<std::int64_t>(num_requests));
+  json.set("sequential_rps", seq_throughput);
+  json.set("server_rps", srv_throughput);
+  json.set("server_p50_ms", percentile(srv_latency_s, 0.50) * 1e3);
+  json.set("server_p99_ms", percentile(srv_latency_s, 0.99) * 1e3);
+  json.set("sequential_p50_ms", percentile(seq_latency_s, 0.50) * 1e3);
+  json.set("mean_batch_size", stats.mean_batch_size());
+  json.set("throughput_ratio", ratio);
+  json.set("floor", floor);
+  json.set("max_conf_delta", max_conf_delta);
+  json.set("mismatches", static_cast<std::int64_t>(mismatches));
+  json.set("pass", ok);
+  if (!json.write(json_path)) {
+    std::printf("FAIL: could not write %s\n", json_path.c_str());
     ok = false;
   }
   if (ok) std::printf("PASS\n");

@@ -9,8 +9,11 @@
 // disagree (category/pragma mismatch, or confidence drift above 1e-5) or if
 // the full-batch speedup misses the floor: 3x with >= 2 hardware threads
 // (the pipeline parallelizes frontend, encode sub-batches, and assembly);
-// 2x on a single hardware thread, where only the batched forward's per-op
-// amortization remains. Future perf PRs regress against this.
+// 1.25x on a single hardware thread. The single-thread floor was 2x before
+// the fused HGT inference kernel (PR 3): batching then mostly amortized
+// per-op tape/alloc overhead, which the fused kernel removed from BOTH
+// paths — absolute loops/sec rose across the board while the relative
+// batching headroom shrank. Future perf PRs regress against this.
 //
 // Knobs: G2P_SCALE / G2P_EPOCHS / G2P_SEED as in bench_common.h.
 #include <algorithm>
@@ -40,9 +43,10 @@ double seconds_since(Clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace g2p;
   const auto env = bench::BenchEnv::from_env();
+  const std::string json_path = bench::json_path_from_args(argc, argv);
 
   Pipeline::Options options;
   options.corpus = env.generator_config();
@@ -155,14 +159,15 @@ int main() {
 
   // The pipeline's worker pool parallelizes the frontend, the encode
   // sub-batches, and the suggestion assembly; on a single hardware thread
-  // those stages serialize and only the per-op amortization of the batched
-  // forward remains, so the enforced floor drops to 2x there. G2P_FLOOR
-  // overrides the enforced value (shared CI runners are noisy; CI pins a
-  // lenient floor so equivalence stays the hard gate there).
+  // those stages serialize and only the batched forward's remaining per-op
+  // amortization applies — post-fused-kernel that is worth ~1.4x here, so
+  // the enforced floor is 1.25x (see the header note). G2P_FLOOR overrides
+  // the enforced value (shared CI runners are noisy; CI pins a lenient
+  // floor so equivalence stays the hard gate there).
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
-  double floor = hw > 1 ? 3.0 : 2.0;
+  double floor = hw > 1 ? 3.0 : 1.25;
   if (const char* env_floor = std::getenv("G2P_FLOOR")) floor = std::atof(env_floor);
-  std::printf("batch-128 speedup over sequential: %.2fx (floor %.0fx on %u hardware thread%s,"
+  std::printf("batch-128 speedup over sequential: %.2fx (floor %.2fx on %u hardware thread%s,"
               " target 3x)\n",
               speedup, floor, hw, hw == 1 ? "" : "s");
 
@@ -172,7 +177,24 @@ int main() {
     ok = false;
   }
   if (speedup < floor) {
-    std::printf("FAIL: batch-128 speedup %.2fx below the %.0fx floor\n", speedup, floor);
+    std::printf("FAIL: batch-128 speedup %.2fx below the %.2fx floor\n", speedup, floor);
+    ok = false;
+  }
+
+  bench::JsonMetrics json;
+  json.set("bench", "throughput_batched");
+  json.set("loops", static_cast<std::int64_t>(num_loops));
+  json.set("sequential_s", seq_time);
+  json.set("batch128_s", full_batch_time);
+  json.set("loops_per_sec_sequential", static_cast<double>(num_loops) / seq_time);
+  json.set("loops_per_sec_batch128", static_cast<double>(num_loops) / full_batch_time);
+  json.set("speedup", speedup);
+  json.set("floor", floor);
+  json.set("max_conf_delta", max_conf_delta);
+  json.set("mismatches", static_cast<std::int64_t>(mismatches));
+  json.set("pass", ok);
+  if (!json.write(json_path)) {
+    std::printf("FAIL: could not write %s\n", json_path.c_str());
     ok = false;
   }
   if (ok) std::printf("PASS\n");

@@ -57,6 +57,11 @@ class Graph2ParModel : public Module {
   /// Logits [num_graphs, 2] for one task head.
   Tensor task_logits(const Tensor& pooled, PredictionTask task) const;
 
+  /// Route inference (NoGradGuard) forwards through the fused HGT kernel
+  /// (default) or pin the taped reference path (debugging / A-B benching).
+  /// Training always uses the reference path regardless of this setting.
+  void set_fused_inference(bool enabled) { encoder_.set_fused_inference(enabled); }
+
   const Graph2ParConfig& config() const { return config_; }
 
  private:

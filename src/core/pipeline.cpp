@@ -84,6 +84,9 @@ Pipeline::Pipeline(Options options, Vocab vocab)
   options_.model.vocab_size = vocab_.size();
   Rng rng(options_.train.seed);
   model_ = std::make_unique<Graph2ParModel>(options_.model, rng);
+  // Serving (`suggest*` under NoGradGuard) routes every HGT layer through
+  // the fused inference kernel; training is unaffected by this switch.
+  model_->set_fused_inference(options_.fused_inference);
   if (options_.pool_threads > 0) pool_ = std::make_shared<ThreadPool>(options_.pool_threads);
 }
 

@@ -32,6 +32,16 @@ struct HetGraphIndex {
     int concat_offset = 0;         // block start in the type-major edge order
     bool empty() const { return src.empty(); }
     int size() const { return static_cast<int>(src.size()); }
+
+    // Per-destination walk: incoming edges of node v occupy CSR positions
+    // [in_begin(v), in_end(v)) of `src`; position p is edge
+    // `concat_offset + p` of the type-major order (the dst_concat /
+    // meta_concat index). Valid on every slice of a built index — the
+    // constructor sizes row_offsets to num_nodes + 1 even for edge types
+    // with no edges — but not on a default-constructed slice.
+    int in_begin(int v) const { return row_offsets[static_cast<std::size_t>(v)]; }
+    int in_end(int v) const { return row_offsets[static_cast<std::size_t>(v) + 1]; }
+    int in_degree(int v) const { return in_end(v) - in_begin(v); }
   };
 
   int num_nodes = 0;
@@ -52,6 +62,15 @@ struct HetGraphIndex {
   /// Meta-relation id (τ(s), φ(e), τ(t)) of every edge, same order; gathers
   /// the µ prior of formula 2.
   std::vector<int> meta_concat;
+
+  /// Total incoming edges of node v across every edge type.
+  int total_in_degree(int v) const {
+    int deg = 0;
+    for (const auto& slice : per_edge_type) {
+      if (!slice.empty()) deg += slice.in_degree(v);
+    }
+    return deg;
+  }
 
   HetGraphIndex() = default;
   /// Build in O(V + E) with a stable counting sort. Throws

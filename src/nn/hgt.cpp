@@ -1,9 +1,32 @@
 #include "nn/hgt.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <stdexcept>
+#include <string_view>
+
+#include "tensor/backend.h"
+#include "tensor/fastmath.h"
 
 namespace g2p {
+
+namespace {
+
+/// Process-wide escape hatch: G2P_FUSED=0 (or "off") pins every layer to the
+/// taped reference path even in inference mode. Read once.
+bool fused_env_enabled() {
+  static const bool enabled = [] {
+    const char* e = std::getenv("G2P_FUSED");
+    if (e == nullptr) return true;
+    const std::string_view v(e);
+    return v != "0" && v != "off" && v != "false";
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 HgtLayer::HgtLayer(int dim, int heads, Rng& rng)
     : dim_(dim), heads_(heads), head_dim_(dim / heads) {
@@ -51,6 +74,13 @@ Tensor HgtLayer::per_type_projection(const Tensor& x, const HetGraphIndex& index
 }
 
 Tensor HgtLayer::forward(const Tensor& x, const HetGraphIndex& index) const {
+  if (!grad_enabled() && fused_enabled_ && fused_env_enabled()) {
+    return forward_fused(x, index);
+  }
+  return forward_reference(x, index);
+}
+
+Tensor HgtLayer::forward_reference(const Tensor& x, const HetGraphIndex& index) const {
   const int n = index.num_nodes;
   const int total_edges = index.num_edges;
   if (x.dim(0) != n || x.dim(1) != dim_) {
@@ -128,6 +158,165 @@ Tensor HgtLayer::forward(const Tensor& x, const HetGraph& graph) const {
   return forward(x, HetGraphIndex(graph));
 }
 
+std::uint64_t HgtLayer::weight_stamp() const {
+  std::uint64_t stamp = 0;
+  for (const auto& heads : w_att_) {
+    for (const auto& w : heads) stamp += w.version();
+  }
+  for (const auto& heads : w_msg_) {
+    for (const auto& w : heads) stamp += w.version();
+  }
+  return stamp;
+}
+
+const HgtLayer::FusedWeights* HgtLayer::fused_weights() const {
+  // Versions only ever increase, so the summed stamp is monotone: any
+  // parameter mutation since the cache was built changes it. The warm path
+  // is one acquire load — no lock contention between serving workers.
+  const std::uint64_t stamp = weight_stamp();
+  const FusedWeights* current = fused_current_.load(std::memory_order_acquire);
+  if (current != nullptr && current->stamp == stamp) return current;
+
+  std::lock_guard<std::mutex> lock(fused_mutex_);
+  current = fused_current_.load(std::memory_order_acquire);
+  if (current != nullptr && current->stamp == stamp) return current;
+  auto fresh = std::make_unique<FusedWeights>();
+  fresh->stamp = stamp;
+  fresh->att.resize(static_cast<std::size_t>(kNumHetEdgeTypes));
+  fresh->msg.resize(static_cast<std::size_t>(kNumHetEdgeTypes));
+  const std::size_t block = static_cast<std::size_t>(head_dim_) * head_dim_;
+  for (int et = 0; et < kNumHetEdgeTypes; ++et) {
+    const auto e = static_cast<std::size_t>(et);
+    fresh->att[e].resize(static_cast<std::size_t>(heads_) * block);
+    fresh->msg[e].resize(static_cast<std::size_t>(heads_) * block);
+    for (int h = 0; h < heads_; ++h) {
+      const auto& att = w_att_[e][static_cast<std::size_t>(h)].data();
+      const auto& msg = w_msg_[e][static_cast<std::size_t>(h)].data();
+      std::copy(att.begin(), att.end(),
+                fresh->att[e].begin() + static_cast<std::ptrdiff_t>(h * block));
+      std::copy(msg.begin(), msg.end(),
+                fresh->msg[e].begin() + static_cast<std::ptrdiff_t>(h * block));
+    }
+  }
+  const FusedWeights* published = fresh.get();
+  fused_retired_.push_back(std::move(fresh));  // freed with the layer, never earlier
+  fused_current_.store(published, std::memory_order_release);
+  return published;
+}
+
+Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) const {
+  const int n = index.num_nodes;
+  if (x.dim(0) != n || x.dim(1) != dim_) {
+    throw std::invalid_argument("HgtLayer::forward: state shape mismatch");
+  }
+  if (index.num_edges == 0) return x;  // residual path, as in the reference
+  const NoGradGuard no_grad;  // the fused path never tapes, even if entered directly
+  const auto& kern = backend::active();
+  const auto fused = fused_weights();
+
+  const Tensor k_all = per_type_projection(x, index, k_lin_);
+  const Tensor q_all = per_type_projection(x, index, q_lin_);
+  const Tensor v_all = per_type_projection(x, index, v_lin_);
+
+  // Density-adaptive weight application per edge type. Dense types (at
+  // least as many edges as nodes) pre-map every node's K and V rows with
+  // one block-diagonal head_map pass each — per-node work amortizes over
+  // repeated sources. Sparse types skip the [N, dim] pre-pass entirely:
+  // the edge kernels apply the cached weight blocks per edge in registers,
+  // which is both less arithmetic (count < n rows mapped) and less cache
+  // pressure (no per-type map buffers to evict the shared K/Q/V rows).
+  std::vector<FloatVec> k_map(static_cast<std::size_t>(kNumHetEdgeTypes));
+  std::vector<FloatVec> v_map(static_cast<std::size_t>(kNumHetEdgeTypes));
+  const std::size_t row_elems = static_cast<std::size_t>(n) * dim_;
+  for (int et = 0; et < kNumHetEdgeTypes; ++et) {
+    const auto e = static_cast<std::size_t>(et);
+    const auto& slice = index.per_edge_type[e];
+    if (slice.empty() || slice.size() < n) continue;  // sparse: map per edge
+    k_map[e].resize(row_elems);
+    v_map[e].resize(row_elems);
+    kern.head_map(k_all.data().data(), fused->att[e].data(), k_map[e].data(), n, heads_,
+                  head_dim_);
+    kern.head_map(v_all.data().data(), fused->msg[e].data(), v_map[e].data(), n, heads_,
+                  head_dim_);
+  }
+
+  const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const float* mu = mu_.data().data();
+  const float* q = q_all.data().data();
+  const int* meta = index.meta_concat.data();
+
+  // Edge-blocked pass, one backend call per edge type per phase (the CSR
+  // blocks are dst-sorted, so per-node accumulation order stays type-major
+  // and matches the reference segment ops):
+  //   phase 1 (hgt_logits)     — all-head logits with the µ prior applied,
+  //                              streaming the per-(destination, head) max
+  //                              (the online-softmax max, shared across
+  //                              edge types);
+  //   phase 2 (hgt_accumulate) — exponentiate against that max, accumulate
+  //                              per-(destination, head) denominators, and
+  //                              scatter weighted messages straight into
+  //                              the [N, dim] output;
+  //   phase 3 (below)          — normalize each head block by its
+  //                              denominator.
+  // The only edge-shaped scratch is the [E, heads] logit buffer — no
+  // [E, head_dim] message/gather tensors, no per-head concats.
+  FloatVec h_tilde(row_elems, 0.0f);
+  FloatVec logits(static_cast<std::size_t>(index.num_edges) * heads_);
+  std::vector<float> node_max(static_cast<std::size_t>(n) * heads_,
+                              -std::numeric_limits<float>::infinity());
+  std::vector<float> denom(static_cast<std::size_t>(n) * heads_, 0.0f);
+  for (int et = 0; et < kNumHetEdgeTypes; ++et) {
+    const auto e = static_cast<std::size_t>(et);
+    const auto& slice = index.per_edge_type[e];
+    if (slice.empty()) continue;
+    float* block = logits.data() + static_cast<std::size_t>(slice.concat_offset) * heads_;
+    if (k_map[e].empty()) {
+      kern.hgt_logits_direct(k_all.data().data(), q, fused->att[e].data(), slice.src.data(),
+                             slice.dst.data(), meta + slice.concat_offset, mu, slice.size(),
+                             heads_, head_dim_, inv_sqrt_d, block, node_max.data());
+    } else {
+      kern.hgt_logits(k_map[e].data(), q, slice.src.data(), slice.dst.data(),
+                      meta + slice.concat_offset, mu, slice.size(), heads_, head_dim_,
+                      inv_sqrt_d, block, node_max.data());
+    }
+  }
+  for (int et = 0; et < kNumHetEdgeTypes; ++et) {
+    const auto e = static_cast<std::size_t>(et);
+    const auto& slice = index.per_edge_type[e];
+    if (slice.empty()) continue;
+    const float* block =
+        logits.data() + static_cast<std::size_t>(slice.concat_offset) * heads_;
+    if (v_map[e].empty()) {
+      kern.hgt_accumulate_direct(v_all.data().data(), fused->msg[e].data(), slice.src.data(),
+                                 slice.dst.data(), slice.size(), block, node_max.data(),
+                                 heads_, head_dim_, h_tilde.data(), denom.data());
+    } else {
+      kern.hgt_accumulate(v_map[e].data(), slice.src.data(), slice.dst.data(), slice.size(),
+                          block, node_max.data(), heads_, head_dim_, h_tilde.data(),
+                          denom.data());
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    float* out_row = h_tilde.data() + static_cast<std::size_t>(v) * dim_;
+    const float* drow = denom.data() + static_cast<std::size_t>(v) * heads_;
+    for (int h = 0; h < heads_; ++h) {
+      // Isolated targets have denom 0 and an all-zero row; the clamped
+      // divisor keeps them exactly zero (matching the reference's empty
+      // segments) without a branch.
+      const float inv = 1.0f / std::max(drow[h], 1e-12f);
+      float* oh = out_row + h * head_dim_;
+      for (int j = 0; j < head_dim_; ++j) oh[j] *= inv;
+    }
+  }
+
+  Tensor h_tilde_t = make_result({n, dim_}, std::move(h_tilde), {}, nullptr);
+  // Formula 5, shared with the reference path: per-target-type output
+  // projection of σ(H~) plus residual.
+  const Tensor activated = gelu(h_tilde_t);
+  const Tensor projected = per_type_projection(activated, index, a_lin_);
+  return add(projected, x);
+}
+
 HgtEncoder::HgtEncoder(int dim, int heads, int layers, Rng& rng) {
   for (int i = 0; i < layers; ++i) {
     layers_.push_back(std::make_unique<HgtLayer>(dim, heads, rng));
@@ -147,6 +336,10 @@ Tensor HgtEncoder::forward(const Tensor& x, const HetGraphIndex& index) const {
 
 Tensor HgtEncoder::forward(const Tensor& x, const HetGraph& graph) const {
   return forward(x, HetGraphIndex(graph));
+}
+
+void HgtEncoder::set_fused_inference(bool enabled) {
+  for (auto& layer : layers_) layer->set_fused_inference(enabled);
 }
 
 }  // namespace g2p

@@ -16,7 +16,10 @@
 // aug-AST is static).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "graph/hetgraph.h"
@@ -34,12 +37,38 @@ class HgtLayer : public Module {
   /// index (single graph or disjoint batch union — the math is identical).
   /// `x`: [N, dim] node states. Nodes with no incoming edges keep their
   /// residual state.
+  ///
+  /// Routing: under grad (training) this is always the taped reference
+  /// implementation; in inference mode (NoGradGuard active) it dispatches to
+  /// the fused kernel unless disabled via set_fused_inference(false) or
+  /// G2P_FUSED=0. The two paths agree within float rounding (~1e-7
+  /// relative), not bitwise.
   Tensor forward(const Tensor& x, const HetGraphIndex& index) const;
 
   /// Single-graph convenience wrapper: indexes `graph` and forwards.
   /// Callers running several layers should index once and use the overload
   /// above (HgtEncoder does).
   Tensor forward(const Tensor& x, const HetGraph& graph) const;
+
+  /// The taped per-head implementation (formulas 2-5 op by op). Doubles as
+  /// the equivalence oracle for the fused kernel.
+  Tensor forward_reference(const Tensor& x, const HetGraphIndex& index) const;
+
+  /// Fused inference kernel: cached block-diagonal W_ATT/W_MSG fusions per
+  /// edge type (applied as one N-row head_map pass for dense types, or per
+  /// edge in registers for sparse ones), then an edge-blocked pass over the
+  /// per-edge-type CSR that computes all-head logits, applies the µ prior,
+  /// runs a streaming-max online segment softmax per destination, and
+  /// scatters weighted messages straight into the [N, dim] output — no
+  /// [E, head_dim] intermediates, no per-head gather/concat tensors. Always
+  /// runs under NoGradGuard (the result carries no tape). The fused weight
+  /// cache rebuilds automatically when parameters mutate (optimizer step,
+  /// checkpoint load — keyed on tensor mutation versions).
+  Tensor forward_fused(const Tensor& x, const HetGraphIndex& index) const;
+
+  /// Enable/disable fused-kernel routing for this layer (default on).
+  void set_fused_inference(bool enabled) { fused_enabled_ = enabled; }
+  bool fused_inference() const { return fused_enabled_; }
 
   int dim() const { return dim_; }
   int heads() const { return heads_; }
@@ -54,6 +83,31 @@ class HgtLayer : public Module {
   // Meta-relation prior µ, one scalar per (src-type, edge-type, dst-type),
   // stored as [T*R*T, 1] for differentiable gathering.
   Tensor mu_;
+
+  /// Cached fusion of the per-head W_ATT / W_MSG blocks: per edge type, the
+  /// `heads` [head_dim, head_dim] matrices laid out back to back — the dense
+  /// blocks of a block-diagonal [dim, dim] operator the backend's head_map
+  /// applies in one N-row pass. `stamp` is the sum of the source parameters'
+  /// mutation versions; a mismatch (optimizer step, checkpoint load, direct
+  /// data poke) triggers a rebuild on the next fused forward.
+  struct FusedWeights {
+    std::uint64_t stamp = 0;
+    std::vector<FloatVec> att, msg;  // φ-indexed; block layout is [h][k][j]
+  };
+  const FusedWeights* fused_weights() const;
+  std::uint64_t weight_stamp() const;
+
+  // Concurrent serving reads the warm cache lock-free: the current repack
+  // is published through an atomic raw pointer (one acquire load per layer
+  // per forward); the mutex is taken only to rebuild on a stamp mismatch.
+  // Superseded repacks are retired into fused_retired_ rather than freed,
+  // so a reader that loaded the old pointer mid-rebuild stays valid; the
+  // retire list is bounded by the number of rebuilds (one per parameter
+  // mutation followed by a fused forward, ~KBs each).
+  mutable std::mutex fused_mutex_;
+  mutable std::vector<std::unique_ptr<const FusedWeights>> fused_retired_;
+  mutable std::atomic<const FusedWeights*> fused_current_{nullptr};
+  bool fused_enabled_ = true;
 
   /// Apply the per-type linear `lins[type]` to the rows of each type and
   /// reassemble a full [N, dim] tensor.
@@ -71,6 +125,9 @@ class HgtEncoder : public Module {
 
   /// Single-graph convenience wrapper: indexes `graph` once, then forwards.
   Tensor forward(const Tensor& x, const HetGraph& graph) const;
+
+  /// Propagate fused-inference routing to every layer (see HgtLayer).
+  void set_fused_inference(bool enabled);
 
  private:
   std::vector<std::unique_ptr<HgtLayer>> layers_;

@@ -1,0 +1,132 @@
+// Runtime-dispatched SIMD backend for the dense tensor kernels.
+//
+// The tensor ops used to be compiled in-place in ops.cpp, which meant the
+// binary only vectorized when built with -march=native. This seam moves the
+// hot forward kernels behind a table of function pointers resolved once at
+// startup: an AVX2+FMA implementation compiled in its own translation unit
+// with -mavx2 -mfma (selected via CPUID, so portable binaries still run on
+// pre-AVX2 machines), a NEON variant on aarch64, and a scalar fallback that
+// is always available and defines the reference semantics. The fused HGT
+// inference kernel (nn/hgt.cpp) and the autograd forward passes (ops.cpp)
+// both draw their inner loops from here; future backends (BLAS, GPU) slot in
+// as another Kernels table.
+//
+// Numerics: every kernel reduces the k/depth axis in ascending index order,
+// so scalar and SIMD backends agree to float rounding (FMA contraction and
+// lane-wise partial sums may differ in the last ulp or two — callers that
+// compare across backends use tolerances, never bitwise equality). Within
+// one backend, results are deterministic.
+//
+// Environment:
+//   G2P_BACKEND = auto (default) | scalar | avx2 | neon
+//     "auto" picks the best table the CPU supports; naming an unavailable
+//     backend falls back to auto with a stderr note. Read once, at the first
+//     call to active().
+#pragma once
+
+#include <string_view>
+
+namespace g2p::backend {
+
+/// One backend's kernel table. All pointers are always non-null.
+struct Kernels {
+  const char* name;
+
+  /// Row-major [n,k] x [k,m] -> [n,m]; out is fully overwritten.
+  void (*matmul)(const float* a, const float* b, float* out, int n, int k, int m);
+
+  /// Block-diagonal per-head map, the fused-HGT weight application:
+  ///   out[i, h*hd + j] = sum_k x[i, h*hd + k] * w[(h*hd + k)*hd + j]
+  /// `w` holds `heads` dense [hd, hd] blocks back to back — the cached
+  /// per-edge-type fusion of the HGT W_ATT / W_MSG head matrices. One call
+  /// applies every head to every row.
+  void (*head_map)(const float* x, const float* w, float* out, int n, int heads, int hd);
+
+  /// Fused-HGT attention logits for one edge type's whole CSR block
+  /// (`count` edges, all heads, one call):
+  ///   logits[p*heads + h] =
+  ///       dot(k_map[srcs[p]*dim + h*hd ..], q[dsts[p]*dim + h*hd ..], hd)
+  ///       * scale * mu[metas[p]]        (dim = heads*hd)
+  /// and node_max[dsts[p]*heads + h] streams the running per-destination
+  /// per-head maximum (callers seed it with -inf once per forward — the
+  /// online-softmax max pass, shared across edge types).
+  void (*hgt_logits)(const float* k_map, const float* q, const int* srcs, const int* dsts,
+                     const int* metas, const float* mu, int count, int heads, int hd,
+                     float scale, float* logits, float* node_max);
+
+  /// Fused-HGT weighted message scatter for the same block:
+  ///   w = exp(logits[p*heads + h] - node_max[dsts[p]*heads + h]);
+  ///   denom[dsts[p]*heads + h] += w;
+  ///   out[dsts[p]*dim + h*hd ..] += w * v_map[srcs[p]*dim + h*hd ..]
+  /// `out` accumulates the un-normalized aggregate; the caller divides by
+  /// denom per (destination, head) afterwards (the online-softmax sum pass).
+  void (*hgt_accumulate)(const float* v_map, const int* srcs, const int* dsts, int count,
+                         const float* logits, const float* node_max, int heads, int hd,
+                         float* out, float* denom);
+
+  /// Sparse-edge-type variant of hgt_logits: instead of reading
+  /// pre-mapped rows, applies the cached per-edge-type weight blocks
+  /// `w_att` (`heads` dense [hd, hd] blocks) to the source's K row in
+  /// registers, per edge:
+  ///   mk[h, :] = k_all[srcs[p]*dim, h*hd ..] · w_att[h]
+  ///   logits[p*heads + h] = dot(mk[h, :], q[dsts[p]*dim + h*hd ..])
+  ///                         * scale * mu[metas[p]]
+  /// Used when an edge type has fewer edges than the graph has nodes, where
+  /// the [N, dim] head_map pre-pass would cost more than it saves (and its
+  /// buffer would pressure the cache). Same reduction order as head_map.
+  void (*hgt_logits_direct)(const float* k_all, const float* q, const float* w_att,
+                            const int* srcs, const int* dsts, const int* metas,
+                            const float* mu, int count, int heads, int hd, float scale,
+                            float* logits, float* node_max);
+
+  /// Sparse-edge-type variant of hgt_accumulate: maps the source's V row
+  /// through `w_msg` in registers, then scatters the exp-weighted message.
+  void (*hgt_accumulate_direct)(const float* v_all, const float* w_msg, const int* srcs,
+                                const int* dsts, int count, const float* logits,
+                                const float* node_max, int heads, int hd, float* out,
+                                float* denom);
+
+  /// out[i] = dot(a[i,:], b[i,:]) for [n,d] inputs.
+  void (*row_dot)(const float* a, const float* b, float* out, int n, int d);
+
+  /// Elementwise tanh-approximation GELU:
+  ///   out[i] = 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+  /// with tanh via the exp identity — the same construction as
+  /// fastmath.h's fast_tanhf, but vectorizable (SIMD backends use a
+  /// lane-parallel exp with nearest-even rounding in the range reduction;
+  /// agreement with the scalar kernel is ~1e-7 relative, not bitwise).
+  void (*gelu)(const float* x, float* out, int n);
+
+  /// Per-segment softmax over rank-1 logits. Segment ids must already be
+  /// validated in [0, num_segments) — this is the check-free inner kernel.
+  void (*segment_softmax)(const float* logits, const int* seg, int e, int num_segments,
+                          float* out);
+
+  /// out[seg[i], :] += x[i, :]; out is [num_segments, d], fully overwritten
+  /// (zeroed first). Check-free: segment ids validated by the caller.
+  void (*segment_sum_rows)(const float* x, const int* seg, int n, int d, int num_segments,
+                           float* out);
+
+  /// out[seg[i], :] += w[i] * x[i, :]; same contract as segment_sum_rows.
+  void (*segment_weighted_sum_rows)(const float* x, const float* w, const int* seg, int n,
+                                    int d, int num_segments, float* out);
+};
+
+/// The dispatch-selected table (CPUID + G2P_BACKEND, resolved once).
+const Kernels& active();
+
+/// The scalar reference table (always available; defines the semantics).
+const Kernels& scalar();
+
+/// Name of the active table ("scalar", "avx2", "neon").
+const char* active_name();
+
+/// Force a specific backend in-process (tests/bench only; not thread-safe
+/// against concurrent forwards). Returns false and leaves the active table
+/// unchanged if `name` is unknown or unsupported on this CPU.
+bool set_active(std::string_view name);
+
+/// The table `name` resolves to on this machine, or nullptr if unavailable.
+const Kernels* by_name(std::string_view name);
+
+}  // namespace g2p::backend

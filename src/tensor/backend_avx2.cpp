@@ -1,0 +1,577 @@
+// AVX2 + FMA kernel table.
+//
+// This translation unit is compiled with -mavx2 -mfma (set per-file in
+// CMakeLists.txt when the toolchain supports it, independent of G2P_NATIVE)
+// and is only ever *executed* after backend.cpp's CPUID check confirms the
+// machine has AVX2 and FMA — so the intrinsics here never fault on older
+// hardware even in portable builds.
+//
+// Reduction order matches the scalar kernels (k ascending); FMA contraction
+// and 8-lane partial sums can differ from scalar results in the last ulps,
+// which is why cross-backend comparisons use tolerances.
+
+#include "tensor/backend.h"
+
+#if defined(G2P_BACKEND_AVX2_ENABLED)
+
+#include <immintrin.h>
+
+#include <cstddef>
+
+#include "tensor/fastmath.h"
+
+namespace g2p::backend {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dense matmul: m % 8 == 0 fast paths, scalar table fallback otherwise
+// ---------------------------------------------------------------------------
+
+/// Two output rows x MV eight-lane column blocks held in registers across
+/// the k loop (MV=4 covers m=32 with 8 accumulators + 2 broadcasts in
+/// flight — comfortably inside the 16 YMM registers).
+template <int MV>
+void matmul_rows2(const float* a, const float* b, float* out, int n, int k) {
+  constexpr int M = MV * 8;
+  int i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m256 acc0[MV], acc1[MV];
+    for (int v = 0; v < MV; ++v) {
+      acc0[v] = _mm256_setzero_ps();
+      acc1[v] = _mm256_setzero_ps();
+    }
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    const float* a1 = a0 + k;
+    for (int kk = 0; kk < k; ++kk) {
+      const __m256 v0 = _mm256_broadcast_ss(a0 + kk);
+      const __m256 v1 = _mm256_broadcast_ss(a1 + kk);
+      const float* brow = b + static_cast<std::size_t>(kk) * M;
+      for (int v = 0; v < MV; ++v) {
+        const __m256 bv = _mm256_loadu_ps(brow + v * 8);
+        acc0[v] = _mm256_fmadd_ps(v0, bv, acc0[v]);
+        acc1[v] = _mm256_fmadd_ps(v1, bv, acc1[v]);
+      }
+    }
+    float* o0 = out + static_cast<std::size_t>(i) * M;
+    float* o1 = o0 + M;
+    for (int v = 0; v < MV; ++v) {
+      _mm256_storeu_ps(o0 + v * 8, acc0[v]);
+      _mm256_storeu_ps(o1 + v * 8, acc1[v]);
+    }
+  }
+  if (i < n) {
+    __m256 acc[MV];
+    for (int v = 0; v < MV; ++v) acc[v] = _mm256_setzero_ps();
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      const __m256 v0 = _mm256_broadcast_ss(a0 + kk);
+      const float* brow = b + static_cast<std::size_t>(kk) * M;
+      for (int v = 0; v < MV; ++v) {
+        acc[v] = _mm256_fmadd_ps(v0, _mm256_loadu_ps(brow + v * 8), acc[v]);
+      }
+    }
+    float* o0 = out + static_cast<std::size_t>(i) * M;
+    for (int v = 0; v < MV; ++v) _mm256_storeu_ps(o0 + v * 8, acc[v]);
+  }
+}
+
+/// Four rows x one eight-lane block: the m == 8 head-matrix shape.
+void matmul_m8(const float* a, const float* b, float* out, int n, int k) {
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+    __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    for (int kk = 0; kk < k; ++kk) {
+      const __m256 bv = _mm256_loadu_ps(b + static_cast<std::size_t>(kk) * 8);
+      acc0 = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + kk), bv, acc0);
+      acc1 = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + kk), bv, acc1);
+      acc2 = _mm256_fmadd_ps(_mm256_broadcast_ss(a2 + kk), bv, acc2);
+      acc3 = _mm256_fmadd_ps(_mm256_broadcast_ss(a3 + kk), bv, acc3);
+    }
+    float* orow = out + static_cast<std::size_t>(i) * 8;
+    _mm256_storeu_ps(orow, acc0);
+    _mm256_storeu_ps(orow + 8, acc1);
+    _mm256_storeu_ps(orow + 16, acc2);
+    _mm256_storeu_ps(orow + 24, acc3);
+  }
+  for (; i < n; ++i) {
+    __m256 acc = _mm256_setzero_ps();
+    const float* a0 = a + static_cast<std::size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      acc = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + kk),
+                            _mm256_loadu_ps(b + static_cast<std::size_t>(kk) * 8), acc);
+    }
+    _mm256_storeu_ps(out + static_cast<std::size_t>(i) * 8, acc);
+  }
+}
+
+void avx2_matmul(const float* a, const float* b, float* out, int n, int k, int m) {
+  switch (m) {
+    case 8: return matmul_m8(a, b, out, n, k);
+    case 16: return matmul_rows2<2>(a, b, out, n, k);
+    case 32: return matmul_rows2<4>(a, b, out, n, k);
+    case 64: return matmul_rows2<8>(a, b, out, n, k);
+    default: break;
+  }
+  if (m % 8 == 0 && m <= 256) {
+    // Generic multiple-of-8 width: one row in flight, column blocks of 8.
+    for (int i = 0; i < n; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * k;
+      float* orow = out + static_cast<std::size_t>(i) * m;
+      for (int j = 0; j < m; j += 8) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int kk = 0; kk < k; ++kk) {
+          acc = _mm256_fmadd_ps(_mm256_broadcast_ss(arow + kk),
+                                _mm256_loadu_ps(b + static_cast<std::size_t>(kk) * m + j),
+                                acc);
+        }
+        _mm256_storeu_ps(orow + j, acc);
+      }
+    }
+    return;
+  }
+  scalar().matmul(a, b, out, n, k, m);
+}
+
+// ---------------------------------------------------------------------------
+// Fused-HGT primitives
+// ---------------------------------------------------------------------------
+
+/// hd == 8: each head block is exactly one YMM accumulator; a row's heads
+/// run back to back so the whole [dim] output row streams out vectorized.
+void head_map_hd8(const float* x, const float* w, float* out, int n, int heads) {
+  const int dim = heads * 8;
+  for (int i = 0; i < n; ++i) {
+    const float* xrow = x + static_cast<std::size_t>(i) * dim;
+    float* orow = out + static_cast<std::size_t>(i) * dim;
+    for (int h = 0; h < heads; ++h) {
+      const float* xh = xrow + h * 8;
+      const float* wh = w + static_cast<std::size_t>(h) * 64;
+      __m256 acc = _mm256_setzero_ps();
+      for (int kk = 0; kk < 8; ++kk) {
+        acc = _mm256_fmadd_ps(_mm256_broadcast_ss(xh + kk),
+                              _mm256_loadu_ps(wh + static_cast<std::size_t>(kk) * 8), acc);
+      }
+      _mm256_storeu_ps(orow + h * 8, acc);
+    }
+  }
+}
+
+void avx2_head_map(const float* x, const float* w, float* out, int n, int heads, int hd) {
+  if (hd == 8) return head_map_hd8(x, w, out, n, heads);
+  if (hd % 8 == 0) {
+    const int dim = heads * hd;
+    for (int i = 0; i < n; ++i) {
+      const float* xrow = x + static_cast<std::size_t>(i) * dim;
+      float* orow = out + static_cast<std::size_t>(i) * dim;
+      for (int h = 0; h < heads; ++h) {
+        const float* xh = xrow + h * hd;
+        const float* wh = w + static_cast<std::size_t>(h) * hd * hd;
+        for (int j = 0; j < hd; j += 8) {
+          __m256 acc = _mm256_setzero_ps();
+          for (int kk = 0; kk < hd; ++kk) {
+            acc = _mm256_fmadd_ps(
+                _mm256_broadcast_ss(xh + kk),
+                _mm256_loadu_ps(wh + static_cast<std::size_t>(kk) * hd + j), acc);
+          }
+          _mm256_storeu_ps(orow + h * hd + j, acc);
+        }
+      }
+    }
+    return;
+  }
+  scalar().head_map(x, w, out, n, heads, hd);
+}
+
+// ---------------------------------------------------------------------------
+// Lane-parallel exp: the fastmath.h construction (clamp, split-ln2 range
+// reduction, degree-6 Taylor, exponent-bit scaling) with nearest-even
+// rounding in the reduction — within ~1e-7 relative of the scalar kernel.
+// NaN lanes propagate via the unordered-compare blend, matching fast_expf.
+// ---------------------------------------------------------------------------
+
+inline __m256 exp256(__m256 x) {
+  const __m256 clamped =
+      _mm256_min_ps(_mm256_set1_ps(87.0f), _mm256_max_ps(_mm256_set1_ps(-87.0f), x));
+  const __m256 fi = _mm256_mul_ps(clamped, _mm256_set1_ps(1.442695040888963f));
+  const __m256 ri = _mm256_round_ps(fi, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m256 f = _mm256_sub_ps(
+      _mm256_sub_ps(clamped, _mm256_mul_ps(ri, _mm256_set1_ps(0.693359375f))),
+      _mm256_mul_ps(ri, _mm256_set1_ps(-2.12194440e-4f)));
+  __m256 p = _mm256_set1_ps(1.0f / 5040.0f);
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0f / 720.0f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0f / 120.0f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0f / 24.0f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0f / 6.0f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(0.5f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0f));
+  p = _mm256_fmadd_ps(p, f, _mm256_set1_ps(1.0f));
+  const __m256i bits = _mm256_slli_epi32(
+      _mm256_add_epi32(_mm256_cvtps_epi32(ri), _mm256_set1_epi32(127)), 23);
+  const __m256 result = _mm256_mul_ps(p, _mm256_castsi256_ps(bits));
+  return _mm256_blendv_ps(result, x, _mm256_cmp_ps(x, x, _CMP_UNORD_Q));
+}
+
+inline __m128 exp128(__m128 x) {
+  const __m128 clamped =
+      _mm_min_ps(_mm_set1_ps(87.0f), _mm_max_ps(_mm_set1_ps(-87.0f), x));
+  const __m128 fi = _mm_mul_ps(clamped, _mm_set1_ps(1.442695040888963f));
+  const __m128 ri = _mm_round_ps(fi, _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  const __m128 f =
+      _mm_sub_ps(_mm_sub_ps(clamped, _mm_mul_ps(ri, _mm_set1_ps(0.693359375f))),
+                 _mm_mul_ps(ri, _mm_set1_ps(-2.12194440e-4f)));
+  __m128 p = _mm_set1_ps(1.0f / 5040.0f);
+  p = _mm_fmadd_ps(p, f, _mm_set1_ps(1.0f / 720.0f));
+  p = _mm_fmadd_ps(p, f, _mm_set1_ps(1.0f / 120.0f));
+  p = _mm_fmadd_ps(p, f, _mm_set1_ps(1.0f / 24.0f));
+  p = _mm_fmadd_ps(p, f, _mm_set1_ps(1.0f / 6.0f));
+  p = _mm_fmadd_ps(p, f, _mm_set1_ps(0.5f));
+  p = _mm_fmadd_ps(p, f, _mm_set1_ps(1.0f));
+  p = _mm_fmadd_ps(p, f, _mm_set1_ps(1.0f));
+  const __m128i bits =
+      _mm_slli_epi32(_mm_add_epi32(_mm_cvtps_epi32(ri), _mm_set1_epi32(127)), 23);
+  const __m128 result = _mm_mul_ps(p, _mm_castsi128_ps(bits));
+  return _mm_blendv_ps(result, x, _mm_cmpunord_ps(x, x));
+}
+
+inline float hsum8(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 sum = _mm_add_ps(lo, hi);
+  sum = _mm_add_ps(sum, _mm_movehl_ps(sum, sum));
+  sum = _mm_add_ss(sum, _mm_shuffle_ps(sum, sum, 1));
+  return _mm_cvtss_f32(sum);
+}
+
+float avx2_dot(const float* a, const float* b, int d) {
+  if (d == 8) {
+    // The head_dim fast path: one load pair, horizontal sum.
+    return hsum8(_mm256_mul_ps(_mm256_loadu_ps(a), _mm256_loadu_ps(b)));
+  }
+  __m256 acc = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 8 <= d; j += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j), acc);
+  }
+  float total = hsum8(acc);
+  for (; j < d; ++j) total += a[j] * b[j];
+  return total;
+}
+
+void avx2_row_dot(const float* a, const float* b, float* out, int n, int d) {
+  for (int i = 0; i < n; ++i) {
+    const std::size_t row = static_cast<std::size_t>(i) * d;
+    out[i] = avx2_dot(a + row, b + row, d);
+  }
+}
+
+/// Serving-shape (heads 4, hd 8) direct logits: each head's mapped K row is
+/// built in one YMM register (8 fmadds against the cached weight block, L1
+/// resident), then dotted with Q — no [N, dim] k_map buffer exists at all.
+void hgt_logits_direct_h4d8(const float* k_all, const float* q, const float* w_att,
+                            const int* srcs, const int* dsts, const int* metas,
+                            const float* mu, int count, float scale, float* logits,
+                            float* node_max) {
+  for (int p = 0; p < count; ++p) {
+    const float* krow = k_all + static_cast<std::size_t>(srcs[p]) * 32;
+    const float* qrow = q + static_cast<std::size_t>(dsts[p]) * 32;
+    __m256 prod[4];
+    for (int h = 0; h < 4; ++h) {
+      const float* kh = krow + h * 8;
+      const float* wh = w_att + static_cast<std::size_t>(h) * 64;
+      __m256 mk = _mm256_setzero_ps();
+      for (int kk = 0; kk < 8; ++kk) {
+        mk = _mm256_fmadd_ps(_mm256_broadcast_ss(kh + kk),
+                             _mm256_loadu_ps(wh + static_cast<std::size_t>(kk) * 8), mk);
+      }
+      prod[h] = _mm256_mul_ps(mk, _mm256_loadu_ps(qrow + h * 8));
+    }
+    const __m256 s = _mm256_hadd_ps(_mm256_hadd_ps(prod[0], prod[1]),
+                                    _mm256_hadd_ps(prod[2], prod[3]));
+    const __m128 dots = _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
+    const __m128 l = _mm_mul_ps(dots, _mm_set1_ps(scale * mu[metas[p]]));
+    _mm_storeu_ps(logits + static_cast<std::size_t>(p) * 4, l);
+    float* mrow = node_max + static_cast<std::size_t>(dsts[p]) * 4;
+    _mm_storeu_ps(mrow, _mm_max_ps(_mm_loadu_ps(mrow), l));
+  }
+}
+
+void avx2_hgt_logits_direct(const float* k_all, const float* q, const float* w_att,
+                            const int* srcs, const int* dsts, const int* metas,
+                            const float* mu, int count, int heads, int hd, float scale,
+                            float* logits, float* node_max) {
+  if (heads == 4 && hd == 8) {
+    return hgt_logits_direct_h4d8(k_all, q, w_att, srcs, dsts, metas, mu, count, scale,
+                                  logits, node_max);
+  }
+  scalar().hgt_logits_direct(k_all, q, w_att, srcs, dsts, metas, mu, count, heads, hd, scale,
+                             logits, node_max);
+}
+
+/// Serving-shape direct accumulate: mapped V row per head in one register,
+/// weighted by a 4-lane exp, scattered with one fmadd per head.
+void hgt_accumulate_direct_h4d8(const float* v_all, const float* w_msg, const int* srcs,
+                                const int* dsts, int count, const float* logits,
+                                const float* node_max, float* out, float* denom) {
+  for (int p = 0; p < count; ++p) {
+    const float* vrow = v_all + static_cast<std::size_t>(srcs[p]) * 32;
+    const std::size_t d = static_cast<std::size_t>(dsts[p]);
+    const __m128 l = _mm_loadu_ps(logits + static_cast<std::size_t>(p) * 4);
+    const __m128 w = exp128(_mm_sub_ps(l, _mm_loadu_ps(node_max + d * 4)));
+    float* drow = denom + d * 4;
+    _mm_storeu_ps(drow, _mm_add_ps(_mm_loadu_ps(drow), w));
+    alignas(16) float ws[4];
+    _mm_store_ps(ws, w);
+    float* orow = out + d * 32;
+    for (int h = 0; h < 4; ++h) {
+      const float* vh = vrow + h * 8;
+      const float* wh = w_msg + static_cast<std::size_t>(h) * 64;
+      __m256 mv = _mm256_setzero_ps();
+      for (int kk = 0; kk < 8; ++kk) {
+        mv = _mm256_fmadd_ps(_mm256_broadcast_ss(vh + kk),
+                             _mm256_loadu_ps(wh + static_cast<std::size_t>(kk) * 8), mv);
+      }
+      _mm256_storeu_ps(orow + h * 8,
+                       _mm256_fmadd_ps(_mm256_set1_ps(ws[h]), mv,
+                                       _mm256_loadu_ps(orow + h * 8)));
+    }
+  }
+}
+
+void avx2_hgt_accumulate_direct(const float* v_all, const float* w_msg, const int* srcs,
+                                const int* dsts, int count, const float* logits,
+                                const float* node_max, int heads, int hd, float* out,
+                                float* denom) {
+  if (heads == 4 && hd == 8) {
+    return hgt_accumulate_direct_h4d8(v_all, w_msg, srcs, dsts, count, logits, node_max, out,
+                                      denom);
+  }
+  scalar().hgt_accumulate_direct(v_all, w_msg, srcs, dsts, count, logits, node_max, heads, hd,
+                                 out, denom);
+}
+
+void avx2_gelu(const float* x, float* out, int n) {
+  const __m256 kC = _mm256_set1_ps(0.7978845608028654f);  // sqrt(2/pi)
+  const __m256 kA = _mm256_set1_ps(0.044715f);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 two = _mm256_set1_ps(2.0f);
+  int i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 v3 = _mm256_mul_ps(_mm256_mul_ps(v, v), v);
+    const __m256 u = _mm256_mul_ps(kC, _mm256_fmadd_ps(kA, v3, v));
+    // tanh(u) = 1 - 2 / (1 + exp(2u))
+    const __m256 t =
+        _mm256_sub_ps(one, _mm256_div_ps(two, _mm256_add_ps(one, exp256(_mm256_mul_ps(two, u)))));
+    _mm256_storeu_ps(out + i, _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+  if (i < n) scalar().gelu(x + i, out + i, n - i);
+}
+
+/// The serving shape (heads 4, head_dim 8): all four head dots of one edge
+/// reduced together (hadd tree), logits and the per-destination max handled
+/// as 4-lane vectors.
+void hgt_logits_h4d8(const float* k_map, const float* q, const int* srcs, const int* dsts,
+                     const int* metas, const float* mu, int count, float scale,
+                     float* logits, float* node_max) {
+  for (int p = 0; p < count; ++p) {
+    const float* krow = k_map + static_cast<std::size_t>(srcs[p]) * 32;
+    const float* qrow = q + static_cast<std::size_t>(dsts[p]) * 32;
+    const __m256 p0 = _mm256_mul_ps(_mm256_loadu_ps(krow), _mm256_loadu_ps(qrow));
+    const __m256 p1 = _mm256_mul_ps(_mm256_loadu_ps(krow + 8), _mm256_loadu_ps(qrow + 8));
+    const __m256 p2 = _mm256_mul_ps(_mm256_loadu_ps(krow + 16), _mm256_loadu_ps(qrow + 16));
+    const __m256 p3 = _mm256_mul_ps(_mm256_loadu_ps(krow + 24), _mm256_loadu_ps(qrow + 24));
+    // hadd tree: lane l of (low128 + high128) ends up dot(p_l).
+    const __m256 s = _mm256_hadd_ps(_mm256_hadd_ps(p0, p1), _mm256_hadd_ps(p2, p3));
+    const __m128 dots =
+        _mm_add_ps(_mm256_castps256_ps128(s), _mm256_extractf128_ps(s, 1));
+    const __m128 l = _mm_mul_ps(dots, _mm_set1_ps(scale * mu[metas[p]]));
+    _mm_storeu_ps(logits + static_cast<std::size_t>(p) * 4, l);
+    float* mrow = node_max + static_cast<std::size_t>(dsts[p]) * 4;
+    _mm_storeu_ps(mrow, _mm_max_ps(_mm_loadu_ps(mrow), l));
+  }
+}
+
+/// Serving-shape accumulate: the four head weights come from one 4-lane exp,
+/// the denominator row updates as one vector, and each head's 8-wide axpy is
+/// a single fmadd.
+void hgt_accumulate_h4d8(const float* v_map, const int* srcs, const int* dsts, int count,
+                         const float* logits, const float* node_max, float* out,
+                         float* denom) {
+  for (int p = 0; p < count; ++p) {
+    const float* vrow = v_map + static_cast<std::size_t>(srcs[p]) * 32;
+    const std::size_t d = static_cast<std::size_t>(dsts[p]);
+    const __m128 l = _mm_loadu_ps(logits + static_cast<std::size_t>(p) * 4);
+    const __m128 m = _mm_loadu_ps(node_max + d * 4);
+    const __m128 w = exp128(_mm_sub_ps(l, m));
+    float* drow = denom + d * 4;
+    _mm_storeu_ps(drow, _mm_add_ps(_mm_loadu_ps(drow), w));
+    alignas(16) float ws[4];
+    _mm_store_ps(ws, w);
+    float* orow = out + d * 32;
+    for (int h = 0; h < 4; ++h) {
+      const __m256 vw = _mm256_set1_ps(ws[h]);
+      _mm256_storeu_ps(orow + h * 8,
+                       _mm256_fmadd_ps(vw, _mm256_loadu_ps(vrow + h * 8),
+                                       _mm256_loadu_ps(orow + h * 8)));
+    }
+  }
+}
+
+void avx2_hgt_logits(const float* k_map, const float* q, const int* srcs, const int* dsts,
+                     const int* metas, const float* mu, int count, int heads, int hd,
+                     float scale, float* logits, float* node_max) {
+  if (heads == 4 && hd == 8) {
+    return hgt_logits_h4d8(k_map, q, srcs, dsts, metas, mu, count, scale, logits, node_max);
+  }
+  const int dim = heads * hd;
+  if (hd == 8) {
+    for (int p = 0; p < count; ++p) {
+      const float* krow = k_map + static_cast<std::size_t>(srcs[p]) * dim;
+      const float* qrow = q + static_cast<std::size_t>(dsts[p]) * dim;
+      const float sm = scale * mu[metas[p]];
+      float* lrow = logits + static_cast<std::size_t>(p) * heads;
+      float* mrow = node_max + static_cast<std::size_t>(dsts[p]) * heads;
+      for (int h = 0; h < heads; ++h) {
+        const __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(krow + h * 8),
+                                          _mm256_loadu_ps(qrow + h * 8));
+        const float l = hsum8(prod) * sm;
+        lrow[h] = l;
+        mrow[h] = l > mrow[h] ? l : mrow[h];
+      }
+    }
+    return;
+  }
+  for (int p = 0; p < count; ++p) {
+    const float* krow = k_map + static_cast<std::size_t>(srcs[p]) * dim;
+    const float* qrow = q + static_cast<std::size_t>(dsts[p]) * dim;
+    const float sm = scale * mu[metas[p]];
+    float* lrow = logits + static_cast<std::size_t>(p) * heads;
+    float* mrow = node_max + static_cast<std::size_t>(dsts[p]) * heads;
+    for (int h = 0; h < heads; ++h) {
+      const float l = avx2_dot(krow + h * hd, qrow + h * hd, hd) * sm;
+      lrow[h] = l;
+      mrow[h] = l > mrow[h] ? l : mrow[h];
+    }
+  }
+}
+
+void avx2_hgt_accumulate(const float* v_map, const int* srcs, const int* dsts, int count,
+                         const float* logits, const float* node_max, int heads, int hd,
+                         float* out, float* denom) {
+  if (heads == 4 && hd == 8) {
+    return hgt_accumulate_h4d8(v_map, srcs, dsts, count, logits, node_max, out, denom);
+  }
+  const int dim = heads * hd;
+  for (int p = 0; p < count; ++p) {
+    const float* vrow = v_map + static_cast<std::size_t>(srcs[p]) * dim;
+    const float* lrow = logits + static_cast<std::size_t>(p) * heads;
+    const float* mrow = node_max + static_cast<std::size_t>(dsts[p]) * heads;
+    float* drow = denom + static_cast<std::size_t>(dsts[p]) * heads;
+    float* orow = out + static_cast<std::size_t>(dsts[p]) * dim;
+    for (int h = 0; h < heads; ++h) {
+      // fast_expf is scalar (`heads` exps per edge); the axpy below is the
+      // bandwidth-relevant part and vectorizes.
+      const float w = g2p::fast_expf(lrow[h] - mrow[h]);
+      drow[h] += w;
+      const float* vv = vrow + h * hd;
+      float* oo = orow + h * hd;
+      const __m256 vw = _mm256_set1_ps(w);
+      int j = 0;
+      for (; j + 8 <= hd; j += 8) {
+        _mm256_storeu_ps(oo + j,
+                         _mm256_fmadd_ps(vw, _mm256_loadu_ps(vv + j), _mm256_loadu_ps(oo + j)));
+      }
+      for (; j < hd; ++j) oo[j] += w * vv[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Segment kernels: sequential over rows (order is part of the numerics
+// contract), vectorized across the feature axis
+// ---------------------------------------------------------------------------
+
+void avx2_segment_sum_rows(const float* x, const int* seg, int n, int d, int num_segments,
+                           float* out) {
+  const std::size_t total = static_cast<std::size_t>(num_segments) * d;
+  std::size_t z = 0;
+  const __m256 zero = _mm256_setzero_ps();
+  for (; z + 8 <= total; z += 8) _mm256_storeu_ps(out + z, zero);
+  for (; z < total; ++z) out[z] = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const float* src = x + static_cast<std::size_t>(i) * d;
+    float* dst = out + static_cast<std::size_t>(seg[i]) * d;
+    int j = 0;
+    for (; j + 8 <= d; j += 8) {
+      _mm256_storeu_ps(dst + j, _mm256_add_ps(_mm256_loadu_ps(dst + j),
+                                              _mm256_loadu_ps(src + j)));
+    }
+    for (; j < d; ++j) dst[j] += src[j];
+  }
+}
+
+void avx2_segment_weighted_sum_rows(const float* x, const float* w, const int* seg, int n,
+                                    int d, int num_segments, float* out) {
+  const std::size_t total = static_cast<std::size_t>(num_segments) * d;
+  std::size_t z = 0;
+  const __m256 zero = _mm256_setzero_ps();
+  for (; z + 8 <= total; z += 8) _mm256_storeu_ps(out + z, zero);
+  for (; z < total; ++z) out[z] = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const float wi = w[i];
+    const __m256 vw = _mm256_set1_ps(wi);
+    const float* src = x + static_cast<std::size_t>(i) * d;
+    float* dst = out + static_cast<std::size_t>(seg[i]) * d;
+    int j = 0;
+    for (; j + 8 <= d; j += 8) {
+      _mm256_storeu_ps(dst + j, _mm256_fmadd_ps(vw, _mm256_loadu_ps(src + j),
+                                                _mm256_loadu_ps(dst + j)));
+    }
+    for (; j < d; ++j) dst[j] += wi * src[j];
+  }
+}
+
+const Kernels kAvx2 = {
+    "avx2",
+    avx2_matmul,
+    avx2_head_map,
+    avx2_hgt_logits,
+    avx2_hgt_accumulate,
+    avx2_hgt_logits_direct,
+    avx2_hgt_accumulate_direct,
+    avx2_row_dot,
+    avx2_gelu,
+    // Per-segment softmax is gather/scatter-bound with a fixed accumulation
+    // order; the scalar kernel (auto-vectorized where profitable) is used.
+    nullptr,  // patched to scalar().segment_softmax in avx2_table()
+    avx2_segment_sum_rows,
+    avx2_segment_weighted_sum_rows,
+};
+
+}  // namespace
+
+const Kernels* avx2_table() {
+  static Kernels table = [] {
+    Kernels t = kAvx2;
+    t.segment_softmax = scalar().segment_softmax;
+    return t;
+  }();
+  return &table;
+}
+
+}  // namespace g2p::backend
+
+#else  // !G2P_BACKEND_AVX2_ENABLED
+
+namespace g2p::backend {
+const Kernels* avx2_table() { return nullptr; }
+}  // namespace g2p::backend
+
+#endif

@@ -1,5 +1,6 @@
 #include "tensor/ops.h"
 
+#include "tensor/backend.h"
 #include "tensor/fastmath.h"
 
 #include <algorithm>
@@ -29,131 +30,26 @@ void accumulate(const std::shared_ptr<TensorImpl>& parent, const FloatVec& src) 
 int rows_of(const Tensor& t) { return t.rank() == 1 ? 1 : t.dim(0); }
 int cols_of(const Tensor& t) { return t.rank() == 1 ? t.dim(0) : t.dim(1); }
 
-// Specialized row-major matmul kernels. The HGT forward spends most of its
-// time in two shapes: [rows, dim] x [dim, dim] per-type projections (m = 32
-// by default) and [edges, head_dim] x [head_dim, head_dim] per-head maps
-// (m = 8). The compile-time width lets the compiler keep accumulators in
-// vector registers; every kernel sums k in ascending order, so results are
-// bitwise identical across the specializations and the generic fallback.
-
-/// One output row accumulated in registers across the k loop.
-template <int M>
-void matmul_fixed_width(const float* __restrict a, const float* __restrict b,
-                        float* __restrict out, int n, int k) {
-  for (int i = 0; i < n; ++i) {
-    float acc[M] = {};
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      const float* brow = b + static_cast<std::size_t>(kk) * M;
-      for (int j = 0; j < M; ++j) acc[j] += av * brow[j];
-    }
-    float* orow = out + static_cast<std::size_t>(i) * M;
-    for (int j = 0; j < M; ++j) orow[j] = acc[j];
-  }
-}
-
-/// Four output rows in flight — independent FMA chains hide the multiply-add
-/// latency that serializes the single-row kernel.
-template <int M>
-void matmul_fixed_width_x4(const float* __restrict a, const float* __restrict b,
-                           float* __restrict out, int n, int k) {
-  int i = 0;
-  for (; i + 4 <= n; i += 4) {
-    float acc0[M] = {}, acc1[M] = {}, acc2[M] = {}, acc3[M] = {};
-    const float* a0 = a + static_cast<std::size_t>(i) * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
-    for (int kk = 0; kk < k; ++kk) {
-      const float* brow = b + static_cast<std::size_t>(kk) * M;
-      const float v0 = a0[kk], v1 = a1[kk], v2 = a2[kk], v3 = a3[kk];
-      for (int j = 0; j < M; ++j) {
-        const float bj = brow[j];
-        acc0[j] += v0 * bj;
-        acc1[j] += v1 * bj;
-        acc2[j] += v2 * bj;
-        acc3[j] += v3 * bj;
-      }
-    }
-    float* orow = out + static_cast<std::size_t>(i) * M;
-    for (int j = 0; j < M; ++j) orow[j] = acc0[j];
-    for (int j = 0; j < M; ++j) orow[M + j] = acc1[j];
-    for (int j = 0; j < M; ++j) orow[2 * M + j] = acc2[j];
-    for (int j = 0; j < M; ++j) orow[3 * M + j] = acc3[j];
-  }
-  if (i < n) {
-    matmul_fixed_width<M>(a + static_cast<std::size_t>(i) * k, b,
-                          out + static_cast<std::size_t>(i) * M, n - i, k);
-  }
-}
-
-inline constexpr int kNarrowMaxK = 64;
-
-/// Narrow outputs (m <= 8): a single m-wide FMA chain per row is latency-
-/// bound, so process 32/m rows per pass against b replicated to width 32 —
-/// one full-width FMA stream with independent per-row lanes (~7x faster at
-/// m = 8 than the single-row kernel).
-template <int M>
-void matmul_fixed_narrow(const float* __restrict a, const float* __restrict b,
-                         float* __restrict out, int n, int k) {
-  constexpr int R = 32 / M;  // rows per vector pass
-  float brep[kNarrowMaxK * 32];
-  for (int kk = 0; kk < k; ++kk) {
-    for (int r = 0; r < R; ++r) {
-      for (int j = 0; j < M; ++j) brep[kk * 32 + r * M + j] = b[kk * M + j];
-    }
-  }
-  int i = 0;
-  for (; i + R <= n; i += R) {
-    float acc[32] = {};
-    const float* a0 = a + static_cast<std::size_t>(i) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      float av[32];
-      for (int r = 0; r < R; ++r) {
-        const float v = a0[static_cast<std::size_t>(r) * k + kk];
-        for (int j = 0; j < M; ++j) av[r * M + j] = v;
-      }
-      const float* brow = brep + kk * 32;
-      for (int j = 0; j < 32; ++j) acc[j] += av[j] * brow[j];
-    }
-    float* orow = out + static_cast<std::size_t>(i) * M;
-    for (int j = 0; j < R * M; ++j) orow[j] = acc[j];
-  }
-  if (i < n) {
-    matmul_fixed_width<M>(a + static_cast<std::size_t>(i) * k, b,
-                          out + static_cast<std::size_t>(i) * M, n - i, k);
-  }
-}
-
+// The dense forward kernels (matmul specializations, row_dot, the segment
+// inner loops) live behind the runtime-dispatched backend table in
+// tensor/backend.{h,cpp}: AVX2+FMA / NEON where the CPU has them, the tuned
+// scalar kernels otherwise. ops.cpp keeps shape checks, autograd taping, and
+// the backward passes.
 void matmul_forward_kernel(const float* a, const float* b, float* out, int n, int k, int m) {
-  if (k <= kNarrowMaxK) {
-    switch (m) {
-      case 2: return matmul_fixed_narrow<2>(a, b, out, n, k);
-      case 4: return matmul_fixed_narrow<4>(a, b, out, n, k);
-      case 8: return matmul_fixed_narrow<8>(a, b, out, n, k);
-      default: break;
-    }
+  backend::active().matmul(a, b, out, n, k, m);
+}
+
+/// Validate all segment ids in one pass (a branch-free min/max scan the
+/// compiler vectorizes) so the hot per-row kernels can run check-free —
+/// the previous per-element checks branched on every edge row.
+void validate_segment_ids(std::span<const int> segment, int num_segments, const char* op) {
+  int lo = 0, hi = -1;
+  for (const int s : segment) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
   }
-  switch (m) {
-    case 2: return matmul_fixed_width<2>(a, b, out, n, k);
-    case 4: return matmul_fixed_width<4>(a, b, out, n, k);
-    case 8: return matmul_fixed_width<8>(a, b, out, n, k);
-    case 16: return matmul_fixed_width_x4<16>(a, b, out, n, k);
-    case 32: return matmul_fixed_width_x4<32>(a, b, out, n, k);
-    case 64: return matmul_fixed_width<64>(a, b, out, n, k);
-    default: break;
-  }
-  // Generic ikj fallback for other widths (accumulates, so zero first).
-  std::fill(out, out + static_cast<std::size_t>(n) * m, 0.0f);
-  for (int i = 0; i < n; ++i) {
-    float* orow = out + static_cast<std::size_t>(i) * m;
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      const float* brow = b + static_cast<std::size_t>(kk) * m;
-      for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
+  if (lo < 0 || hi >= num_segments) {
+    throw std::out_of_range(std::string(op) + ": bad segment id");
   }
 }
 
@@ -265,14 +161,13 @@ Tensor relu(const Tensor& x) {
 }
 
 Tensor gelu(const Tensor& x) {
-  // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3)))
+  // tanh approximation: 0.5x(1 + tanh(sqrt(2/pi)(x + 0.044715 x^3))),
+  // computed by the backend (lane-parallel exp on SIMD targets — GELU is
+  // the single hottest elementwise op in the batched forward).
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
   constexpr float kA = 0.044715f;
   FloatVec out(x.numel());
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const float v = x.data()[i];
-    out[i] = 0.5f * v * (1.0f + fast_tanhf(kC * (v + kA * v * v * v)));
-  }
+  backend::active().gelu(x.data().data(), out.data(), static_cast<int>(x.numel()));
   auto px = x.impl();
   return make_result(x.shape(), std::move(out), {x}, [px](const TensorImpl& self) {
     px->ensure_grad();
@@ -666,30 +561,12 @@ Tensor segment_softmax(const Tensor& logits, std::span<const int> segment, int n
   if (static_cast<int>(segment.size()) != e) {
     throw std::invalid_argument("segment_softmax: segment size != entries");
   }
-  const std::span<const int> seg_fwd = segment;
-  // Numerically stable per-segment softmax.
-  std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
-                             -std::numeric_limits<float>::infinity());
-  for (int i = 0; i < e; ++i) {
-    if (seg_fwd[static_cast<std::size_t>(i)] < 0 ||
-        seg_fwd[static_cast<std::size_t>(i)] >= num_segments) {
-      throw std::out_of_range("segment_softmax: bad segment id");
-    }
-    auto& m = seg_max[static_cast<std::size_t>(seg_fwd[static_cast<std::size_t>(i)])];
-    m = std::max(m, logits.data()[static_cast<std::size_t>(i)]);
-  }
+  // Numerically stable per-segment softmax: ids validated once, then the
+  // backend's check-free kernel runs the max/exp/normalize passes.
+  validate_segment_ids(segment, num_segments, "segment_softmax");
   FloatVec out(static_cast<std::size_t>(e));
-  std::vector<float> denom(static_cast<std::size_t>(num_segments), 0.0f);
-  for (int i = 0; i < e; ++i) {
-    const auto s = static_cast<std::size_t>(seg_fwd[static_cast<std::size_t>(i)]);
-    out[static_cast<std::size_t>(i)] =
-        fast_expf(logits.data()[static_cast<std::size_t>(i)] - seg_max[s]);
-    denom[s] += out[static_cast<std::size_t>(i)];
-  }
-  for (int i = 0; i < e; ++i) {
-    const auto s = static_cast<std::size_t>(seg_fwd[static_cast<std::size_t>(i)]);
-    out[static_cast<std::size_t>(i)] /= std::max(denom[s], 1e-12f);
-  }
+  backend::active().segment_softmax(logits.data().data(), segment.data(), e, num_segments,
+                                    out.data());
   if (!grad_enabled()) return make_result({e}, std::move(out), {}, nullptr);
   std::vector<int> seg(segment.begin(), segment.end());
   auto pl = logits.impl();
@@ -714,16 +591,10 @@ Tensor segment_sum_rows(const Tensor& x, std::span<const int> segment, int num_s
   if (static_cast<int>(segment.size()) != n) {
     throw std::invalid_argument("segment_sum_rows: segment size != rows");
   }
-  FloatVec out(static_cast<std::size_t>(num_segments) * d, 0.0f);
-  for (int i = 0; i < n; ++i) {
-    const int s = segment[static_cast<std::size_t>(i)];
-    if (s < 0 || s >= num_segments) {
-      throw std::out_of_range("segment_sum_rows: bad segment id");
-    }
-    const std::size_t src = static_cast<std::size_t>(i) * d;
-    const std::size_t dst = static_cast<std::size_t>(s) * d;
-    for (int j = 0; j < d; ++j) out[dst + j] += x.data()[src + j];
-  }
+  validate_segment_ids(segment, num_segments, "segment_sum_rows");
+  FloatVec out(static_cast<std::size_t>(num_segments) * d);  // kernel zero-fills
+  backend::active().segment_sum_rows(x.data().data(), segment.data(), n, d, num_segments,
+                                     out.data());
   if (!grad_enabled()) return make_result({num_segments, d}, std::move(out), {}, nullptr);
   std::vector<int> seg(segment.begin(), segment.end());
   auto px = x.impl();
@@ -790,17 +661,10 @@ Tensor segment_weighted_sum_rows(const Tensor& x, const Tensor& w,
   if (static_cast<int>(segment.size()) != n) {
     throw std::invalid_argument("segment_weighted_sum_rows: segment size != rows");
   }
-  FloatVec out(static_cast<std::size_t>(num_segments) * d, 0.0f);
-  for (int i = 0; i < n; ++i) {
-    const int s = segment[static_cast<std::size_t>(i)];
-    if (s < 0 || s >= num_segments) {
-      throw std::out_of_range("segment_weighted_sum_rows: bad segment id");
-    }
-    const float wi = w.data()[static_cast<std::size_t>(i)];
-    const std::size_t src = static_cast<std::size_t>(i) * d;
-    const std::size_t dst = static_cast<std::size_t>(s) * d;
-    for (int j = 0; j < d; ++j) out[dst + j] += x.data()[src + j] * wi;
-  }
+  validate_segment_ids(segment, num_segments, "segment_weighted_sum_rows");
+  FloatVec out(static_cast<std::size_t>(num_segments) * d);  // kernel zero-fills
+  backend::active().segment_weighted_sum_rows(x.data().data(), w.data().data(),
+                                              segment.data(), n, d, num_segments, out.data());
   if (!grad_enabled()) return make_result({num_segments, d}, std::move(out), {}, nullptr);
   std::vector<int> seg(segment.begin(), segment.end());
   auto px = x.impl();
@@ -857,12 +721,7 @@ Tensor row_dot(const Tensor& a, const Tensor& b) {
   if (a.rank() != 2) throw std::invalid_argument("row_dot: rank-2 only");
   const int n = a.dim(0), d = a.dim(1);
   FloatVec out(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    const std::size_t row = static_cast<std::size_t>(i) * d;
-    float acc = 0.0f;
-    for (int j = 0; j < d; ++j) acc += a.data()[row + j] * b.data()[row + j];
-    out[static_cast<std::size_t>(i)] = acc;
-  }
+  backend::active().row_dot(a.data().data(), b.data().data(), out.data(), n, d);
   auto pa = a.impl();
   auto pb = b.impl();
   return make_result({n}, std::move(out), {a, b}, [pa, pb, n, d](const TensorImpl& self) {

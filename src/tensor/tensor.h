@@ -81,6 +81,11 @@ struct TensorImpl {
   FloatVec data;
   FloatVec grad;                  // allocated lazily on first backward touch
   bool requires_grad = false;
+  /// Mutation counter: bumped every time mutable access to `data` is handed
+  /// out (optimizer steps, checkpoint loads, test pokes). Derived caches —
+  /// the HGT layer's fused weight repack — key on it to notice parameter
+  /// mutation without fingerprinting the values.
+  std::uint64_t version = 0;
 
   // Tape: parents kept alive via shared_ptr; backward_fn pushes this node's
   // grad into its parents' grads. The function captures parents by
@@ -136,8 +141,15 @@ class Tensor {
   bool requires_grad() const { return impl_->requires_grad; }
 
   // ---- data access ----
-  FloatVec& data() { return impl_->data; }
+  /// Mutable access conservatively counts as a mutation (see
+  /// TensorImpl::version); the read-only overload does not.
+  FloatVec& data() {
+    ++impl_->version;
+    return impl_->data;
+  }
   const FloatVec& data() const { return impl_->data; }
+  /// Current mutation stamp (cache-invalidation key).
+  std::uint64_t version() const { return impl_->version; }
   FloatVec& grad() {
     impl_->ensure_grad();
     return impl_->grad;

@@ -288,6 +288,10 @@ TEST(ThreadPool, ConcurrentEncodesMatchSerial) {
   for (int g = 0; g < 8; ++g) {
     graphs.push_back(make_graph(rng, 5 + g));
     features.push_back(Tensor::randn({graphs.back().num_nodes(), dim}, rng, 0.5f));
+    // Serving configuration on both sides (NoGradGuard routes through the
+    // fused kernel): this test is about concurrent-vs-serial determinism,
+    // not fused-vs-reference numerics (hgt_fused_test covers those).
+    const NoGradGuard no_grad;
     serial.push_back(encoder.forward(features.back(), graphs.back()));
   }
   std::vector<Tensor> concurrent(graphs.size());

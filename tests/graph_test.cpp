@@ -59,6 +59,43 @@ TEST(HetGraph, BatchGraphsOffsetsIndices) {
   EXPECT_TRUE(batch.merged.valid());
 }
 
+TEST(HetGraph, IndexPerDestinationWalk) {
+  // The CSR walk helpers must enumerate exactly the incoming edges of each
+  // node, in insertion order, and position p of a slice must line up with
+  // entry concat_offset + p of the type-major dst_concat/meta_concat order
+  // (the contract the fused HGT kernel builds on).
+  g2p::HetGraph g;
+  for (int i = 0; i < 5; ++i) g.add_node(g2p::HetNodeType::kBinaryOp, 0, 0);
+  g.add_edge(0, 1, g2p::HetEdgeType::kAstChild);
+  g.add_edge(2, 1, g2p::HetEdgeType::kAstChild);
+  g.add_edge(3, 1, g2p::HetEdgeType::kCfgNext);
+  g.add_edge(1, 4, g2p::HetEdgeType::kAstChild);
+  const g2p::HetGraphIndex index(g);
+
+  int walked = 0;
+  for (int v = 0; v < index.num_nodes; ++v) {
+    for (const auto& slice : index.per_edge_type) {
+      if (slice.empty()) continue;
+      for (int p = slice.in_begin(v); p < slice.in_end(v); ++p) {
+        EXPECT_EQ(slice.dst[static_cast<std::size_t>(p)], v);
+        EXPECT_EQ(index.dst_concat[static_cast<std::size_t>(slice.concat_offset + p)], v);
+        ++walked;
+      }
+      EXPECT_EQ(slice.in_end(v) - slice.in_begin(v), slice.in_degree(v));
+    }
+  }
+  EXPECT_EQ(walked, index.num_edges);
+  EXPECT_EQ(index.total_in_degree(1), 3);
+  EXPECT_EQ(index.total_in_degree(0), 0);
+  EXPECT_EQ(index.total_in_degree(4), 1);
+
+  // Insertion order within node 1's kAstChild list: sources 0 then 2.
+  const auto& ast = index.per_edge_type[static_cast<std::size_t>(g2p::HetEdgeType::kAstChild)];
+  ASSERT_EQ(ast.in_degree(1), 2);
+  EXPECT_EQ(ast.src[static_cast<std::size_t>(ast.in_begin(1))], 0);
+  EXPECT_EQ(ast.src[static_cast<std::size_t>(ast.in_begin(1)) + 1], 2);
+}
+
 TEST(HetGraph, TypeNamesAreDistinct) {
   EXPECT_NE(het_node_type_name(HetNodeType::kLoop), het_node_type_name(HetNodeType::kCall));
   EXPECT_NE(het_edge_type_name(HetEdgeType::kAstChild),

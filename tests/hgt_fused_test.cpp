@@ -1,0 +1,242 @@
+// Fused HGT inference kernel vs the taped reference implementation.
+//
+// The fused path (HgtLayer::forward_fused) must agree with the reference
+// (HgtLayer::forward_reference) within 1e-5 relative tolerance on any graph:
+// the two compute the same formulas with different op fusion, so only float
+// rounding may differ. Also covered: the fused weight cache noticing
+// parameter mutation (optimizer step, checkpoint load), and scalar vs SIMD
+// backend dispatch agreement.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "graph/hetgraph_index.h"
+#include "nn/hgt.h"
+#include "support/rng.h"
+#include "tensor/backend.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace g2p {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+/// Random heterogeneous graph over a subset of edge types — leaving types
+/// out exercises the empty-edge-type-slice paths on both implementations.
+HetGraph random_graph(Rng& rng, int nodes, int edges,
+                      std::initializer_list<HetEdgeType> edge_types) {
+  HetGraph g;
+  for (int i = 0; i < nodes; ++i) {
+    g.add_node(static_cast<HetNodeType>(static_cast<int>(rng.uniform_int(0, kNumHetNodeTypes - 1))), 0,
+               static_cast<int>(rng.uniform_int(0, 3)));
+  }
+  std::vector<HetEdgeType> types(edge_types);
+  for (int e = 0; e < edges && !types.empty(); ++e) {
+    g.add_edge(static_cast<int>(rng.uniform_int(0, nodes - 1)), static_cast<int>(rng.uniform_int(0, nodes - 1)),
+               types[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(types.size()) - 1))]);
+  }
+  return g;
+}
+
+double max_rel_diff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.shape(), b.shape());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.numel(); ++i) {
+    const double av = a.data()[i], bv = b.data()[i];
+    const double scale = std::max({1.0, std::fabs(av), std::fabs(bv)});
+    worst = std::max(worst, std::fabs(av - bv) / scale);
+  }
+  return worst;
+}
+
+void expect_fused_matches_reference(const HgtLayer& layer, const Tensor& x,
+                                    const HetGraphIndex& index, const char* what) {
+  const NoGradGuard no_grad;
+  const Tensor ref = layer.forward_reference(x, index);
+  const Tensor fused = layer.forward_fused(x, index);
+  EXPECT_LE(max_rel_diff(ref, fused), kTol) << what;
+}
+
+TEST(HgtFused, RandomizedGraphsMatchReferenceAcrossHeads) {
+  Rng rng(1234);
+  for (const int heads : {1, 2, 4}) {
+    const int dim = 16;  // head_dim 16 / 8 / 4: hits every backend block width
+    HgtLayer layer(dim, heads, rng);
+    for (int trial = 0; trial < 6; ++trial) {
+      const int nodes = 3 + static_cast<int>(rng.uniform_int(0, 39));
+      const HetGraph g = random_graph(
+          rng, nodes, nodes * (1 + static_cast<int>(rng.uniform_int(0, 3))),
+          trial % 2 == 0
+              ? std::initializer_list<HetEdgeType>{HetEdgeType::kAstChild,
+                                                   HetEdgeType::kAstParent,
+                                                   HetEdgeType::kCfgNext, HetEdgeType::kLexNext}
+              : std::initializer_list<HetEdgeType>{HetEdgeType::kLexPrev});
+      const HetGraphIndex index(g);
+      const Tensor x = Tensor::randn({nodes, dim}, rng, 0.8f);
+      expect_fused_matches_reference(layer, x, index, "randomized graph");
+    }
+  }
+}
+
+TEST(HgtFused, SingleNodeGraphs) {
+  Rng rng(77);
+  HgtLayer layer(16, 4, rng);
+  // No edges: both paths degenerate to the residual.
+  HetGraph isolated;
+  isolated.add_node(HetNodeType::kLoop, 0, 0);
+  const Tensor x = Tensor::randn({1, 16}, rng, 1.0f);
+  {
+    const NoGradGuard no_grad;
+    const Tensor out = layer.forward_fused(x, HetGraphIndex(isolated));
+    for (std::size_t i = 0; i < x.numel(); ++i) EXPECT_EQ(out.data()[i], x.data()[i]);
+  }
+  // Self-loop: a real softmax over exactly one edge.
+  HetGraph self_loop = isolated;
+  self_loop.add_edge(0, 0, HetEdgeType::kCfgNext);
+  expect_fused_matches_reference(layer, x, HetGraphIndex(self_loop), "self loop");
+}
+
+TEST(HgtFused, EmptyGraph) {
+  Rng rng(5);
+  HgtLayer layer(16, 2, rng);
+  const HetGraph empty;
+  const Tensor x = Tensor::zeros({0, 16});
+  const NoGradGuard no_grad;
+  const Tensor out = layer.forward_fused(x, HetGraphIndex(empty));
+  EXPECT_EQ(out.dim(0), 0);
+  EXPECT_EQ(out.dim(1), 16);
+}
+
+TEST(HgtFused, NodesWithoutIncomingEdgesKeepResidualState) {
+  Rng rng(42);
+  HgtLayer layer(16, 2, rng);
+  // Node 2 has no incoming edges; its h~ row is zero, so its output must be
+  // a_lin(gelu(0)) + x — identical between the two paths.
+  HetGraph g;
+  for (int i = 0; i < 3; ++i) g.add_node(HetNodeType::kBinaryOp, 0, 0);
+  g.add_edge(2, 0, HetEdgeType::kAstChild);
+  g.add_edge(0, 1, HetEdgeType::kAstChild);
+  const Tensor x = Tensor::randn({3, 16}, rng, 1.0f);
+  expect_fused_matches_reference(layer, x, HetGraphIndex(g), "isolated-target node");
+}
+
+TEST(HgtFused, ForwardRoutesToFusedUnderNoGrad) {
+  Rng rng(9);
+  HgtLayer layer(16, 4, rng);
+  const HetGraph g = random_graph(rng, 12, 30,
+                                  {HetEdgeType::kAstChild, HetEdgeType::kAstParent});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({12, 16}, rng, 0.5f);
+  const NoGradGuard no_grad;
+  const Tensor routed = layer.forward(x, index);
+  const Tensor fused = layer.forward_fused(x, index);
+  for (std::size_t i = 0; i < routed.numel(); ++i) {
+    EXPECT_EQ(routed.data()[i], fused.data()[i]);
+  }
+  // Opting out pins the reference path.
+  HgtLayer& mutable_layer = layer;
+  mutable_layer.set_fused_inference(false);
+  const Tensor pinned = layer.forward(x, index);
+  const Tensor ref = layer.forward_reference(x, index);
+  for (std::size_t i = 0; i < pinned.numel(); ++i) {
+    EXPECT_EQ(pinned.data()[i], ref.data()[i]);
+  }
+}
+
+TEST(HgtFused, OptimizerStepInvalidatesWeightCache) {
+  Rng rng(2024);
+  HgtLayer layer(16, 2, rng);
+  const HetGraph g = random_graph(rng, 20, 60,
+                                  {HetEdgeType::kAstChild, HetEdgeType::kCfgNext});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({20, 16}, rng, 0.7f);
+
+  Tensor before;
+  {
+    const NoGradGuard no_grad;
+    before = layer.forward_fused(x, index);  // builds the fused weight cache
+  }
+
+  // One taped training step mutates every parameter (incl. W_ATT / W_MSG).
+  Sgd opt(layer.parameters(), 0.05f);
+  opt.zero_grad();
+  sum_all(layer.forward_reference(x, index)).backward();
+  opt.step();
+
+  const NoGradGuard no_grad;
+  const Tensor ref = layer.forward_reference(x, index);
+  const Tensor fused = layer.forward_fused(x, index);
+  EXPECT_LE(max_rel_diff(ref, fused), kTol)
+      << "fused cache served stale weights after optimizer step";
+  EXPECT_GT(max_rel_diff(before, fused), 1e-4) << "step had no observable effect";
+}
+
+TEST(HgtFused, CheckpointLoadInvalidatesWeightCache) {
+  Rng rng_a(1), rng_b(999);
+  HgtLayer source(16, 2, rng_a);
+  HgtLayer target(16, 2, rng_b);  // different init
+  const HetGraph g = random_graph(rng_a, 15, 40, {HetEdgeType::kAstChild});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({15, 16}, rng_a, 0.6f);
+
+  Tensor expected, stale;
+  {
+    const NoGradGuard no_grad;
+    expected = source.forward_fused(x, index);
+    stale = target.forward_fused(x, index);  // builds target's cache pre-load
+  }
+
+  std::stringstream checkpoint;
+  source.save(checkpoint);
+  target.load(checkpoint);
+
+  const NoGradGuard no_grad;
+  const Tensor fused = target.forward_fused(x, index);
+  EXPECT_LE(max_rel_diff(expected, fused), kTol)
+      << "fused cache served stale weights after checkpoint load";
+  EXPECT_LE(max_rel_diff(target.forward_reference(x, index), fused), kTol);
+  EXPECT_GT(max_rel_diff(stale, fused), 1e-4) << "load had no observable effect";
+}
+
+TEST(HgtFused, ScalarAndDispatchedBackendsAgree) {
+  Rng rng(31337);
+  HgtLayer layer(32, 4, rng);  // the serving shape: dim 32, head_dim 8
+  const HetGraph g = random_graph(rng, 30, 120,
+                                  {HetEdgeType::kAstChild, HetEdgeType::kAstParent,
+                                   HetEdgeType::kCfgNext, HetEdgeType::kCfgPrev,
+                                   HetEdgeType::kLexNext, HetEdgeType::kLexPrev});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({30, 32}, rng, 0.5f);
+
+  // Restore whatever the suite ran under when done — CI forces the scalar
+  // table via G2P_BACKEND, and later tests must keep seeing it.
+  const std::string entry_backend = backend::active_name();
+
+  ASSERT_TRUE(backend::set_active("scalar"));
+  Tensor scalar_fused, scalar_ref;
+  {
+    const NoGradGuard no_grad;
+    scalar_ref = layer.forward_reference(x, index);
+    scalar_fused = layer.forward_fused(x, index);
+  }
+  EXPECT_LE(max_rel_diff(scalar_ref, scalar_fused), kTol) << "scalar backend";
+
+  // Whatever dispatch picks for this machine (avx2 / neon / scalar again).
+  ASSERT_TRUE(backend::set_active("auto"));
+  {
+    const NoGradGuard no_grad;
+    const Tensor auto_fused = layer.forward_fused(x, index);
+    const Tensor auto_ref = layer.forward_reference(x, index);
+    EXPECT_LE(max_rel_diff(auto_ref, auto_fused), kTol)
+        << "dispatched backend " << backend::active_name();
+    EXPECT_LE(max_rel_diff(scalar_fused, auto_fused), kTol)
+        << "scalar vs " << backend::active_name();
+  }
+  ASSERT_TRUE(backend::set_active(entry_backend));
+}
+
+}  // namespace
+}  // namespace g2p
