@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aug_ast_test.dir/tests/aug_ast_test.cpp.o"
+  "CMakeFiles/aug_ast_test.dir/tests/aug_ast_test.cpp.o.d"
+  "aug_ast_test"
+  "aug_ast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aug_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

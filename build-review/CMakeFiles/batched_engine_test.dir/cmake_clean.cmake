@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batched_engine_test.dir/tests/batched_engine_test.cpp.o"
+  "CMakeFiles/batched_engine_test.dir/tests/batched_engine_test.cpp.o.d"
+  "batched_engine_test"
+  "batched_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batched_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

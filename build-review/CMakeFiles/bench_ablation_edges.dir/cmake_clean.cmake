@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_edges.dir/bench/ablation_edges.cpp.o"
+  "CMakeFiles/bench_ablation_edges.dir/bench/ablation_edges.cpp.o.d"
+  "bench_ablation_edges"
+  "bench_ablation_edges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

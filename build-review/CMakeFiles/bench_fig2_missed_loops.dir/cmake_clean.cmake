@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_missed_loops.dir/bench/fig2_missed_loops.cpp.o"
+  "CMakeFiles/bench_fig2_missed_loops.dir/bench/fig2_missed_loops.cpp.o.d"
+  "bench_fig2_missed_loops"
+  "bench_fig2_missed_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_missed_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

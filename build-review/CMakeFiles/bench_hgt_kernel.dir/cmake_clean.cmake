@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hgt_kernel.dir/bench/hgt_kernel.cpp.o"
+  "CMakeFiles/bench_hgt_kernel.dir/bench/hgt_kernel.cpp.o.d"
+  "bench_hgt_kernel"
+  "bench_hgt_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hgt_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

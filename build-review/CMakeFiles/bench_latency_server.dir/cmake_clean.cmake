@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_server.dir/bench/latency_server.cpp.o"
+  "CMakeFiles/bench_latency_server.dir/bench/latency_server.cpp.o.d"
+  "bench_latency_server"
+  "bench_latency_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

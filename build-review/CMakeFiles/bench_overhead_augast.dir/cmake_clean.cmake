@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_augast.dir/bench/overhead_augast.cpp.o"
+  "CMakeFiles/bench_overhead_augast.dir/bench/overhead_augast.cpp.o.d"
+  "bench_overhead_augast"
+  "bench_overhead_augast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_augast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

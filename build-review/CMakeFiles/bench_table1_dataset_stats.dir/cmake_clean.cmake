@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_dataset_stats.dir/bench/table1_dataset_stats.cpp.o"
+  "CMakeFiles/bench_table1_dataset_stats.dir/bench/table1_dataset_stats.cpp.o.d"
+  "bench_table1_dataset_stats"
+  "bench_table1_dataset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_dataset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pragma_existence.dir/bench/table2_pragma_existence.cpp.o"
+  "CMakeFiles/bench_table2_pragma_existence.dir/bench/table2_pragma_existence.cpp.o.d"
+  "bench_table2_pragma_existence"
+  "bench_table2_pragma_existence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pragma_existence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_detected_loops.dir/bench/table3_detected_loops.cpp.o"
+  "CMakeFiles/bench_table3_detected_loops.dir/bench/table3_detected_loops.cpp.o.d"
+  "bench_table3_detected_loops"
+  "bench_table3_detected_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_detected_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

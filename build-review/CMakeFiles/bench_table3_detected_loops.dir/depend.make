@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_detected_loops.
+# This may be replaced when dependencies are built.

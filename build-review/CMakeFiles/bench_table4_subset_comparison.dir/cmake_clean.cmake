@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_subset_comparison.dir/bench/table4_subset_comparison.cpp.o"
+  "CMakeFiles/bench_table4_subset_comparison.dir/bench/table4_subset_comparison.cpp.o.d"
+  "bench_table4_subset_comparison"
+  "bench_table4_subset_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_subset_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

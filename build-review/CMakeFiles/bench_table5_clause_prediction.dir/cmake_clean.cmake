@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_clause_prediction.dir/bench/table5_clause_prediction.cpp.o"
+  "CMakeFiles/bench_table5_clause_prediction.dir/bench/table5_clause_prediction.cpp.o.d"
+  "bench_table5_clause_prediction"
+  "bench_table5_clause_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_clause_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_throughput_batched.dir/bench/throughput_batched.cpp.o"
+  "CMakeFiles/bench_throughput_batched.dir/bench/throughput_batched.cpp.o.d"
+  "bench_throughput_batched"
+  "bench_throughput_batched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_throughput_batched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_throughput_batched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_tools.dir/examples/compare_tools.cpp.o"
+  "CMakeFiles/compare_tools.dir/examples/compare_tools.cpp.o.d"
+  "compare_tools"
+  "compare_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

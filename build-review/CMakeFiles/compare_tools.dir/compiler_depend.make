@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for compare_tools.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_test.dir/tests/dataset_test.cpp.o"
+  "CMakeFiles/dataset_test.dir/tests/dataset_test.cpp.o.d"
+  "dataset_test"
+  "dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

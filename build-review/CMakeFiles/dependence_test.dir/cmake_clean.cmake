@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependence_test.dir/tests/dependence_test.cpp.o"
+  "CMakeFiles/dependence_test.dir/tests/dependence_test.cpp.o.d"
+  "dependence_test"
+  "dependence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

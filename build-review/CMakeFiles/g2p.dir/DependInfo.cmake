@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/dependence.cpp" "CMakeFiles/g2p.dir/src/analysis/dependence.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/analysis/dependence.cpp.o.d"
+  "/root/repo/src/analysis/interp.cpp" "CMakeFiles/g2p.dir/src/analysis/interp.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/analysis/interp.cpp.o.d"
+  "/root/repo/src/analysis/tools.cpp" "CMakeFiles/g2p.dir/src/analysis/tools.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/analysis/tools.cpp.o.d"
+  "/root/repo/src/core/aug_ast.cpp" "CMakeFiles/g2p.dir/src/core/aug_ast.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/core/aug_ast.cpp.o.d"
+  "/root/repo/src/core/graph2par.cpp" "CMakeFiles/g2p.dir/src/core/graph2par.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/core/graph2par.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "CMakeFiles/g2p.dir/src/core/pipeline.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/pragformer.cpp" "CMakeFiles/g2p.dir/src/core/pragformer.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/core/pragformer.cpp.o.d"
+  "/root/repo/src/dataset/corpus.cpp" "CMakeFiles/g2p.dir/src/dataset/corpus.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/dataset/corpus.cpp.o.d"
+  "/root/repo/src/dataset/generator.cpp" "CMakeFiles/g2p.dir/src/dataset/generator.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/dataset/generator.cpp.o.d"
+  "/root/repo/src/dataset/template_engine.cpp" "CMakeFiles/g2p.dir/src/dataset/template_engine.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/dataset/template_engine.cpp.o.d"
+  "/root/repo/src/eval/comparison.cpp" "CMakeFiles/g2p.dir/src/eval/comparison.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/eval/comparison.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "CMakeFiles/g2p.dir/src/eval/metrics.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/trainer.cpp" "CMakeFiles/g2p.dir/src/eval/trainer.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/eval/trainer.cpp.o.d"
+  "/root/repo/src/frontend/ast.cpp" "CMakeFiles/g2p.dir/src/frontend/ast.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/frontend/ast.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "CMakeFiles/g2p.dir/src/frontend/lexer.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/loop_extractor.cpp" "CMakeFiles/g2p.dir/src/frontend/loop_extractor.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/frontend/loop_extractor.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "CMakeFiles/g2p.dir/src/frontend/parser.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/frontend/parser.cpp.o.d"
+  "/root/repo/src/frontend/pragma.cpp" "CMakeFiles/g2p.dir/src/frontend/pragma.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/frontend/pragma.cpp.o.d"
+  "/root/repo/src/frontend/printer.cpp" "CMakeFiles/g2p.dir/src/frontend/printer.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/frontend/printer.cpp.o.d"
+  "/root/repo/src/frontend/token.cpp" "CMakeFiles/g2p.dir/src/frontend/token.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/frontend/token.cpp.o.d"
+  "/root/repo/src/graph/cfg.cpp" "CMakeFiles/g2p.dir/src/graph/cfg.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/graph/cfg.cpp.o.d"
+  "/root/repo/src/graph/hetgraph.cpp" "CMakeFiles/g2p.dir/src/graph/hetgraph.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/graph/hetgraph.cpp.o.d"
+  "/root/repo/src/graph/hetgraph_index.cpp" "CMakeFiles/g2p.dir/src/graph/hetgraph_index.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/graph/hetgraph_index.cpp.o.d"
+  "/root/repo/src/graph/vocab.cpp" "CMakeFiles/g2p.dir/src/graph/vocab.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/graph/vocab.cpp.o.d"
+  "/root/repo/src/nn/hgt.cpp" "CMakeFiles/g2p.dir/src/nn/hgt.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/nn/hgt.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "CMakeFiles/g2p.dir/src/nn/layers.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/module.cpp" "CMakeFiles/g2p.dir/src/nn/module.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/nn/module.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "CMakeFiles/g2p.dir/src/nn/transformer.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/nn/transformer.cpp.o.d"
+  "/root/repo/src/serve/server.cpp" "CMakeFiles/g2p.dir/src/serve/server.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/serve/server.cpp.o.d"
+  "/root/repo/src/support/log.cpp" "CMakeFiles/g2p.dir/src/support/log.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/support/log.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/g2p.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "CMakeFiles/g2p.dir/src/support/strings.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/support/strings.cpp.o.d"
+  "/root/repo/src/support/table.cpp" "CMakeFiles/g2p.dir/src/support/table.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/support/table.cpp.o.d"
+  "/root/repo/src/tensor/backend.cpp" "CMakeFiles/g2p.dir/src/tensor/backend.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/tensor/backend.cpp.o.d"
+  "/root/repo/src/tensor/backend_avx2.cpp" "CMakeFiles/g2p.dir/src/tensor/backend_avx2.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/tensor/backend_avx2.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "CMakeFiles/g2p.dir/src/tensor/ops.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/tensor/ops.cpp.o.d"
+  "/root/repo/src/tensor/optim.cpp" "CMakeFiles/g2p.dir/src/tensor/optim.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/tensor/optim.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "CMakeFiles/g2p.dir/src/tensor/tensor.cpp.o" "gcc" "CMakeFiles/g2p.dir/src/tensor/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

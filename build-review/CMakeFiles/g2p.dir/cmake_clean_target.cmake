@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libg2p.a"
+)

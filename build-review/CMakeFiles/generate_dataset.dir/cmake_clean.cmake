@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_dataset.dir/examples/generate_dataset.cpp.o"
+  "CMakeFiles/generate_dataset.dir/examples/generate_dataset.cpp.o.d"
+  "generate_dataset"
+  "generate_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

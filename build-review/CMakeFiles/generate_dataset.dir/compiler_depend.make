@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for generate_dataset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/tests/graph_test.cpp.o"
+  "CMakeFiles/graph_test.dir/tests/graph_test.cpp.o.d"
+  "graph_test"
+  "graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

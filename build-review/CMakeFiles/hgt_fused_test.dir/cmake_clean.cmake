@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgt_fused_test.dir/tests/hgt_fused_test.cpp.o"
+  "CMakeFiles/hgt_fused_test.dir/tests/hgt_fused_test.cpp.o.d"
+  "hgt_fused_test"
+  "hgt_fused_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgt_fused_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

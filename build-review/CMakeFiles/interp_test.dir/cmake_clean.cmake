@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_test.dir/tests/interp_test.cpp.o"
+  "CMakeFiles/interp_test.dir/tests/interp_test.cpp.o.d"
+  "interp_test"
+  "interp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lexer_test.dir/tests/lexer_test.cpp.o"
+  "CMakeFiles/lexer_test.dir/tests/lexer_test.cpp.o.d"
+  "lexer_test"
+  "lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_extractor_test.dir/tests/loop_extractor_test.cpp.o"
+  "CMakeFiles/loop_extractor_test.dir/tests/loop_extractor_test.cpp.o.d"
+  "loop_extractor_test"
+  "loop_extractor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_comparison_test.dir/tests/metrics_comparison_test.cpp.o"
+  "CMakeFiles/metrics_comparison_test.dir/tests/metrics_comparison_test.cpp.o.d"
+  "metrics_comparison_test"
+  "metrics_comparison_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_comparison_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

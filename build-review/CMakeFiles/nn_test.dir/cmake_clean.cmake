@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/tests/nn_test.cpp.o"
+  "CMakeFiles/nn_test.dir/tests/nn_test.cpp.o.d"
+  "nn_test"
+  "nn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_test.dir/tests/parser_test.cpp.o"
+  "CMakeFiles/parser_test.dir/tests/parser_test.cpp.o.d"
+  "parser_test"
+  "parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

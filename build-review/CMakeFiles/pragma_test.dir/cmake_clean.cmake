@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pragma_test.dir/tests/pragma_test.cpp.o"
+  "CMakeFiles/pragma_test.dir/tests/pragma_test.cpp.o.d"
+  "pragma_test"
+  "pragma_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pragma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

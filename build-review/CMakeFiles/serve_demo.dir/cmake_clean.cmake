@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_demo.dir/examples/serve_demo.cpp.o"
+  "CMakeFiles/serve_demo.dir/examples/serve_demo.cpp.o.d"
+  "serve_demo"
+  "serve_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suggest_pragmas.dir/examples/suggest_pragmas.cpp.o"
+  "CMakeFiles/suggest_pragmas.dir/examples/suggest_pragmas.cpp.o.d"
+  "suggest_pragmas"
+  "suggest_pragmas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suggest_pragmas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

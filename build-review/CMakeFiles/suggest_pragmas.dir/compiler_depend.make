@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for suggest_pragmas.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for suggest_pragmas.
+# This may be replaced when dependencies are built.

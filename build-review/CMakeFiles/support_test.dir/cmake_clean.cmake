@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/tests/support_test.cpp.o"
+  "CMakeFiles/support_test.dir/tests/support_test.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tools_test.dir/tests/tools_test.cpp.o"
+  "CMakeFiles/tools_test.dir/tests/tools_test.cpp.o.d"
+  "tools_test"
+  "tools_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

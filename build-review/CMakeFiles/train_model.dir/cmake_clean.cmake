@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_model.dir/examples/train_model.cpp.o"
+  "CMakeFiles/train_model.dir/examples/train_model.cpp.o.d"
+  "train_model"
+  "train_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
