@@ -111,10 +111,10 @@ int main() {
 
     std::vector<std::string> cells = {listing.name};
     for (const auto& tool : tools) {
-      const auto r = tool->analyze(*loop, parsed.tu.get(), &parsed.structs);
+      const auto r = tool->analyze(*loop, parsed.tu, &parsed.structs);
       cells.push_back(!r.applicable ? "n/a" : (r.parallel ? "parallel" : "miss"));
     }
-    const auto graph = builder.build(*loop, parsed.tu.get());
+    const auto graph = builder.build(*loop, parsed.tu);
     std::vector<const HetGraph*> ptrs = {&graph.graph};
     const auto batch = batch_graphs(ptrs);
     const auto pred =

@@ -19,6 +19,13 @@
 // are noisy, so CI pins a lenient floor and keeps equivalence as the hard
 // gate).
 //
+// Since PR 4 the async server serves through the content-addressed
+// SuggestCache (the sequential baseline is measured with the cache off, so
+// it still models a no-batching, no-caching per-request worker); the report
+// and --json output include cache hit-rate and frontend-time-saved. The
+// dedicated cache floors (>=2x frontend, >=5x cached suggest) live in
+// bench_frontend.
+//
 // Knobs: G2P_SCALE / G2P_EPOCHS / G2P_SEED as in bench_common.h, plus
 // G2P_SERVE_FLOOR and G2P_SERVE_REQUESTS (stream length, default 512).
 #include <algorithm>
@@ -96,7 +103,11 @@ int main(int argc, char** argv) {
 
   // Reference outputs + measured per-source sequential service times
   // (warmup pass first, then the measured pass — steady-state allocator and
-  // branch-predictor state, as a long-running server would see).
+  // branch-predictor state, as a long-running server would see). The
+  // serving cache is disabled here: the sequential baseline models a
+  // no-batching, no-caching per-request worker, and the expected outputs
+  // double as the oracle that cached serving must still match.
+  pipeline->set_cache_bytes(0);
   std::vector<std::vector<LoopSuggestion>> expected(sources.size());
   std::vector<double> service_s(sources.size());
   for (std::size_t s = 0; s < sources.size(); ++s) expected[s] = pipeline->suggest(sources[s]);
@@ -108,6 +119,7 @@ int main(int argc, char** argv) {
     total_service += service_s[s];
   }
   const double mean_service = total_service / static_cast<double>(sources.size());
+  pipeline->set_cache_bytes(64u << 20);  // the async server serves cached
 
   // Open-loop arrival schedule at ~1.7x a sequential worker's capacity: the
   // sequential queue falls behind and latency grows; batching must absorb it.
@@ -191,6 +203,13 @@ int main(int argc, char** argv) {
   std::printf("mean achieved batch size: %.2f (max %llu over %llu batches)\n",
               stats.mean_batch_size(), static_cast<unsigned long long>(stats.max_batch),
               static_cast<unsigned long long>(stats.batches));
+  std::printf("serving cache: %.1f%% hit rate (%llu full / %llu frontend / %llu miss), "
+              "%.1f ms frontend time saved\n",
+              stats.cache_hit_rate() * 100.0,
+              static_cast<unsigned long long>(stats.cache_full_hits),
+              static_cast<unsigned long long>(stats.cache_frontend_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<double>(stats.cache_frontend_saved_us) / 1e3);
 
   // ---- equivalence gate ----------------------------------------------------
   std::size_t mismatches = 0;
@@ -238,6 +257,12 @@ int main(int argc, char** argv) {
   json.set("server_p99_ms", percentile(srv_latency_s, 0.99) * 1e3);
   json.set("sequential_p50_ms", percentile(seq_latency_s, 0.50) * 1e3);
   json.set("mean_batch_size", stats.mean_batch_size());
+  json.set("cache_hit_rate", stats.cache_hit_rate());
+  json.set("cache_full_hits", static_cast<std::int64_t>(stats.cache_full_hits));
+  json.set("cache_frontend_hits", static_cast<std::int64_t>(stats.cache_frontend_hits));
+  json.set("cache_misses", static_cast<std::int64_t>(stats.cache_misses));
+  json.set("cache_frontend_saved_ms",
+           static_cast<double>(stats.cache_frontend_saved_us) / 1e3);
   json.set("throughput_ratio", ratio);
   json.set("floor", floor);
   json.set("max_conf_delta", max_conf_delta);

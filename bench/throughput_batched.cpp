@@ -55,7 +55,12 @@ int main(int argc, char** argv) {
   options.train.seed = env.seed;
   std::printf("training pipeline (scale %.3f, %d epochs)...\n", options.corpus.scale,
               options.train.epochs);
-  const Pipeline pipeline = Pipeline::train(options);
+  Pipeline pipeline = Pipeline::train(options);
+  // This bench gates the batching machinery (parallel frontend, sub-batched
+  // encode, assembly). The content-addressed serving cache would turn every
+  // measured repetition into a lookup in BOTH modes, so it is disabled here;
+  // bench_frontend gates the cache path with its own floors.
+  pipeline.set_cache_bytes(0);
 
   // A fresh corpus seed yields files the model has not trained on; dedup by
   // text since several loop samples can come from one file.

@@ -41,15 +41,15 @@ void analyze_source(const std::string& source) {
   const auto loops = extract_loops(*parsed.tu);
   const auto tools = make_all_tools();
   for (const auto& extracted : loops) {
-    std::printf("loop in %s() at line %d:\n",
-                extracted.function ? extracted.function->name.c_str() : "<global>",
-                extracted.loop->line);
+    const std::string fn_name(extracted.function ? extracted.function->name
+                                                  : std::string_view("<global>"));
+    std::printf("loop in %s() at line %d:\n", fn_name.c_str(), extracted.loop->line);
     for (const auto& line : split(extracted.source, '\n')) {
       if (!line.empty()) std::printf("    %s\n", line.c_str());
     }
     TextTable table({"Tool", "Applicable", "Verdict", "Reason"});
     for (const auto& tool : tools) {
-      const auto r = tool->analyze(*extracted.loop, parsed.tu.get(), &parsed.structs);
+      const auto r = tool->analyze(*extracted.loop, parsed.tu, &parsed.structs);
       table.add_row({std::string(tool->name()), r.applicable ? "yes" : "no",
                      !r.applicable ? "-" : (r.parallel ? "parallel" : "serial"), r.reason});
     }

@@ -35,7 +35,7 @@ int main() {
   collect_text_attributes(*parsed.tu, counts);
   const Vocab vocab = Vocab::build(counts);
   const AugAstBuilder builder(vocab);
-  const LoopGraph graph = builder.build(*loops[0].loop, parsed.tu.get());
+  const LoopGraph graph = builder.build(*loops[0].loop, parsed.tu);
   std::printf("aug-AST: %d nodes, %d edges (%d AST / %d CFG / %d lexical, per direction)\n\n",
               graph.graph.num_nodes(), graph.graph.num_edges(),
               graph.graph.count_edges(HetEdgeType::kAstChild),
@@ -44,7 +44,7 @@ int main() {
 
   // 3. What the algorithm-based tools say (§2).
   for (const auto& tool : make_all_tools()) {
-    const auto result = tool->analyze(*loops[0].loop, parsed.tu.get(), &parsed.structs);
+    const auto result = tool->analyze(*loops[0].loop, parsed.tu, &parsed.structs);
     std::printf("%-9s -> %s (%s)\n", std::string(tool->name()).c_str(),
                 result.detected_parallel() ? "parallel" : "no parallelism found",
                 result.reason.c_str());

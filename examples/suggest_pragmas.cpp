@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
         for (const auto& extracted : loops) {
           if (extracted.loop->line != s.line) continue;
           for (const auto& tool : tools) {
-            const auto r = tool->analyze(*extracted.loop, parsed.tu.get(), &parsed.structs);
+            const auto r = tool->analyze(*extracted.loop, parsed.tu, &parsed.structs);
             std::printf("  %-9s: %s%s\n", std::string(tool->name()).c_str(),
                         !r.applicable        ? "cannot process"
                         : r.parallel         ? "parallel"

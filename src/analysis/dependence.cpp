@@ -54,7 +54,7 @@ LinearForm linear_form_of(const Expr& expr) {
     case NodeKind::kDeclRef: {
       LinearForm out;
       out.affine = true;
-      out.coeffs[static_cast<const DeclRef&>(expr).name] = 1;
+      out.coeffs[std::string(static_cast<const DeclRef&>(expr).name)] = 1;
       return out;
     }
     case NodeKind::kParenExpr:
@@ -93,15 +93,15 @@ namespace {
 
 const Stmt* body_of(const Stmt& loop) {
   switch (loop.kind()) {
-    case NodeKind::kForStmt: return static_cast<const ForStmt&>(loop).body.get();
-    case NodeKind::kWhileStmt: return static_cast<const WhileStmt&>(loop).body.get();
-    case NodeKind::kDoStmt: return static_cast<const DoStmt&>(loop).body.get();
+    case NodeKind::kForStmt: return static_cast<const ForStmt&>(loop).body;
+    case NodeKind::kWhileStmt: return static_cast<const WhileStmt&>(loop).body;
+    case NodeKind::kDoStmt: return static_cast<const DoStmt&>(loop).body;
     default: return nullptr;
   }
 }
 
 /// Unwrap the name of a plain DeclRef target, "" otherwise.
-std::string declref_name(const Expr& e) {
+std::string_view declref_name(const Expr& e) {
   if (e.kind() == NodeKind::kDeclRef) return static_cast<const DeclRef&>(e).name;
   if (e.kind() == NodeKind::kParenExpr) {
     return declref_name(*static_cast<const ParenExpr&>(e).inner);
@@ -112,7 +112,7 @@ std::string declref_name(const Expr& e) {
 /// Try to recognize a canonical header: index var, step; fills facts.
 void recognize_header(const ForStmt& loop, LoopFacts& facts) {
   // init: i = e  |  int i = e
-  std::string index;
+  std::string_view index;
   if (loop.init->kind() == NodeKind::kExprStmt) {
     const auto& expr = *static_cast<const ExprStmt&>(*loop.init).expr;
     if (expr.kind() == NodeKind::kAssignment) {
@@ -157,7 +157,7 @@ void recognize_header(const ForStmt& loop, LoopFacts& facts) {
   if (step == 0) return;
 
   facts.canonical = true;
-  facts.index_var = index;
+  facts.index_var = std::string(index);
   facts.step = step;
   facts.bound_affine = linear_form_of(bound).affine;
 }
@@ -168,20 +168,24 @@ std::string subscript_chain(const Expr& e, std::vector<const Expr*>& subs) {
   if (e.kind() == NodeKind::kArraySubscript) {
     const auto& a = static_cast<const ArraySubscript&>(e);
     const std::string base = subscript_chain(*a.base, subs);
-    subs.push_back(a.index.get());
+    subs.push_back(a.index);
     return base;
   }
   if (e.kind() == NodeKind::kParenExpr) {
     return subscript_chain(*static_cast<const ParenExpr&>(e).inner, subs);
   }
-  if (e.kind() == NodeKind::kDeclRef) return static_cast<const DeclRef&>(e).name;
+  if (e.kind() == NodeKind::kDeclRef) return std::string(static_cast<const DeclRef&>(e).name);
   if (e.kind() == NodeKind::kMemberExpr) {
     // objetivo[i].r — treat field access as part of the array identity.
     const auto& m = static_cast<const MemberExpr&>(e);
     std::vector<const Expr*> inner_subs;
     const std::string base = subscript_chain(*m.base, inner_subs);
     subs.insert(subs.end(), inner_subs.begin(), inner_subs.end());
-    return base.empty() ? "" : base + "." + m.member;
+    if (base.empty()) return "";
+    std::string qualified = base;
+    qualified += '.';
+    qualified += m.member;
+    return qualified;
   }
   return "";
 }
@@ -229,7 +233,7 @@ class FactCollector {
       case NodeKind::kDeclStmt: {
         const auto& d = static_cast<const DeclStmt&>(node);
         for (const auto& decl : d.decls) {
-          auto& info = facts_.written_scalars[decl->name];
+          auto& info = facts_.written_scalars[std::string(decl->name)];
           info.declared_in_body = true;
           record_order_first_write(decl->name, /*plain_write=*/true);
           if (decl->init) collect_expr(*decl->init, false);
@@ -258,7 +262,7 @@ class FactCollector {
         // written-before-read privatization check. The self-reference inside
         // an explicit self-update (s = s + e) is part of the update, not an
         // "outside" read, so it must not disqualify the reduction.
-        const std::string target = declref_name(*a.lhs);
+        const std::string_view target = declref_name(*a.lhs);
         const Expr* self_ref = target.empty() ? nullptr : find_self_update_ref(*a.rhs, target);
         collect_rhs(*a.rhs, self_ref);
         if (a.is_compound()) note_target_read(*a.lhs);
@@ -331,17 +335,17 @@ class FactCollector {
  private:
   /// If `rhs` is shaped like `target op e` / `e op target` (one top-level
   /// self mention), return the self DeclRef node; else nullptr.
-  static const Expr* find_self_update_ref(const Expr& rhs, const std::string& target) {
+  static const Expr* find_self_update_ref(const Expr& rhs, std::string_view target) {
     const Expr* e = &rhs;
     while (e->kind() == NodeKind::kParenExpr) {
-      e = static_cast<const ParenExpr&>(*e).inner.get();
+      e = static_cast<const ParenExpr&>(*e).inner;
     }
     if (e->kind() != NodeKind::kBinaryOperator) return nullptr;
     const auto& b = static_cast<const BinaryOperator&>(*e);
     const bool lhs_self = declref_name(*b.lhs) == target;
     const bool rhs_self = declref_name(*b.rhs) == target;
     if (lhs_self == rhs_self) return nullptr;
-    return lhs_self ? b.lhs.get() : b.rhs.get();
+    return lhs_self ? b.lhs : b.rhs;
   }
 
   /// Walk an assignment RHS, skipping the exempted self-update reference.
@@ -353,40 +357,40 @@ class FactCollector {
     }
     if (exempt != nullptr && rhs.kind() == NodeKind::kBinaryOperator) {
       const auto& b = static_cast<const BinaryOperator&>(rhs);
-      if (b.lhs.get() == exempt || b.rhs.get() == exempt) {
-        collect_rhs(b.lhs.get() == exempt ? *b.rhs : *b.lhs, nullptr);
+      if (b.lhs == exempt || b.rhs == exempt) {
+        collect_rhs(b.lhs == exempt ? *b.rhs : *b.lhs, nullptr);
         return;
       }
     }
     collect_expr(rhs, false);
   }
 
-  void record_order_first_write(const std::string& var, bool plain_write) {
-    if (seen_order_.insert(var).second && plain_write) {
-      facts_.written_scalars[var].first_access_is_plain_write = true;
+  void record_order_first_write(std::string_view var, bool plain_write) {
+    if (seen_order_.insert(std::string(var)).second && plain_write) {
+      facts_.written_scalars[std::string(var)].first_access_is_plain_write = true;
     }
   }
-  void record_order_first_read(const std::string& var) { seen_order_.insert(var); }
+  void record_order_first_read(std::string_view var) { seen_order_.insert(std::string(var)); }
 
-  void note_scalar_read(const std::string& name) {
+  void note_scalar_read(std::string_view name) {
     record_order_first_read(name);
     auto it = facts_.written_scalars.find(name);
     if (it != facts_.written_scalars.end()) it->second.read_outside_updates = true;
-    reads_seen_.insert(name);
+    reads_seen_.insert(std::string(name));
   }
 
   /// Reads of the target inside its own compound update don't disqualify a
   /// reduction (s += e reads s by definition).
   void note_target_read(const Expr& lhs) {
-    const std::string name = declref_name(lhs);
+    const std::string_view name = declref_name(lhs);
     if (!name.empty()) record_order_first_read(name);
   }
 
   void record_write(const Expr& lhs, const Assignment& assign) {
-    const std::string name = declref_name(lhs);
+    const std::string_view name = declref_name(lhs);
     if (!name.empty()) {
       if (name == index_) facts_.index_written_in_body = true;
-      auto& info = facts_.written_scalars[name];
+      auto& info = facts_.written_scalars[std::string(name)];
       ++info.update_count;
       record_order_first_write(name, assign.op == "=");
       classify_update(info, name, assign);
@@ -410,11 +414,11 @@ class FactCollector {
     facts_.has_nonaffine_subscript = true;
   }
 
-  void record_incdec(const Expr& target, const std::string& op) {
-    const std::string name = declref_name(target);
+  void record_incdec(const Expr& target, std::string_view op) {
+    const std::string_view name = declref_name(target);
     if (!name.empty()) {
       if (name == index_) facts_.index_written_in_body = true;
-      auto& info = facts_.written_scalars[name];
+      auto& info = facts_.written_scalars[std::string(name)];
       ++info.update_count;
       record_order_first_read(name);
       const std::string red_op = (op == "++") ? "+" : "-";
@@ -434,9 +438,9 @@ class FactCollector {
   }
 
   /// Classify `name = rhs` / `name op= rhs` as a reduction-shaped update.
-  void classify_update(ScalarUpdateInfo& info, const std::string& name,
+  void classify_update(ScalarUpdateInfo& info, std::string_view name,
                        const Assignment& assign) {
-    std::string op;
+    std::string_view op;
     bool rhs_mentions_self_once_ok = false;
     if (assign.is_compound()) {
       op = assign.underlying_op();
@@ -444,9 +448,9 @@ class FactCollector {
       rhs_mentions_self_once_ok = count_refs(*assign.rhs, name) == 0;
     } else {
       // s = s op e  or  s = e op s (top-level binary).
-      const Expr* rhs = assign.rhs.get();
+      const Expr* rhs = assign.rhs;
       while (rhs->kind() == NodeKind::kParenExpr) {
-        rhs = static_cast<const ParenExpr&>(*rhs).inner.get();
+        rhs = static_cast<const ParenExpr&>(*rhs).inner;
       }
       if (rhs->kind() == NodeKind::kBinaryOperator) {
         const auto& b = static_cast<const BinaryOperator&>(*rhs);
@@ -461,21 +465,21 @@ class FactCollector {
         }
       }
     }
-    static const std::set<std::string> kAssociative = {"+", "*", "-"};
-    if (op.empty() || !rhs_mentions_self_once_ok || !kAssociative.count(op)) {
+    if (op.empty() || !rhs_mentions_self_once_ok ||
+        (op != "+" && op != "*" && op != "-")) {
       info.non_reduction_form = true;
       return;
     }
     // '-' accumulates like '+' for dependence purposes.
     if (op == "-") op = "+";
     if (info.reduction_op.empty()) {
-      info.reduction_op = op;
+      info.reduction_op = std::string(op);
     } else if (info.reduction_op != op) {
       info.non_reduction_form = true;
     }
   }
 
-  static int count_refs(const Expr& e, const std::string& name) {
+  static int count_refs(const Expr& e, std::string_view name) {
     int n = 0;
     walk(e, [&](const Node& node) {
       if (node.kind() == NodeKind::kDeclRef &&
@@ -527,7 +531,7 @@ bool is_perfect_nest(const Stmt& loop) {
   if (body->kind() == NodeKind::kCompoundStmt) {
     const auto& block = static_cast<const CompoundStmt&>(*body);
     if (block.body.size() == 1) {
-      single = block.body[0].get();
+      single = block.body[0];
     } else {
       // Multiple statements: perfect only if none of them is a loop.
       for (const auto& s : block.body) {

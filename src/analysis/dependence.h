@@ -12,6 +12,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "frontend/ast.h"
@@ -23,12 +24,12 @@ class TranslationUnit;
 /// Affine linear form: sum(coeffs[v] * v) + constant. `affine` is false when
 /// the expression is not linear in program variables.
 struct LinearForm {
-  std::map<std::string, long long> coeffs;
+  std::map<std::string, long long, std::less<>> coeffs;
   long long constant = 0;
   bool affine = false;
 
   bool is_constant() const { return affine && coeffs.empty(); }
-  long long coeff_of(const std::string& var) const {
+  long long coeff_of(std::string_view var) const {
     auto it = coeffs.find(var);
     return it == coeffs.end() ? 0 : it->second;
   }
@@ -84,7 +85,7 @@ struct LoopFacts {
   std::set<std::string> inner_index_vars;  // canonical indices of inner loops
   std::vector<ArrayRefInfo> array_reads;
   std::vector<ArrayRefInfo> array_writes;
-  std::map<std::string, ScalarUpdateInfo> written_scalars;
+  std::map<std::string, ScalarUpdateInfo, std::less<>> written_scalars;
 };
 
 /// Analyze a loop statement. `tu` (optional) resolves callee definitions.

@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "support/hash.h"
+#include "support/strings.h"
+
 namespace g2p {
 
 namespace {
@@ -157,7 +160,7 @@ class Interpreter::Impl {
    private:
     Impl& impl_;
   };
-  Impl(const TranslationUnit* tu, const std::map<std::string, StructInfo>* structs,
+  Impl(const TranslationUnit* tu, const StructMap* structs,
        InterpLimits limits)
       : tu_(tu), structs_(structs), limits_(limits) {}
 
@@ -225,7 +228,7 @@ class Interpreter::Impl {
   /// counters start at 0. This mirrors how the paper's dynamic tool profiles
   /// whole programs whose inputs exercise the loops.
   void seed_loop_environment(const Stmt& stmt, bool outermost) {
-    const auto seed_scalar = [this](const std::string& name, double value) {
+    const auto seed_scalar = [this](std::string_view name, double value) {
       if (name.empty() || lookup(name) >= 0) return;
       const int id = materialize(name, /*as_array=*/false);
       storages_[static_cast<std::size_t>(id)].write_cell(0, value);
@@ -247,7 +250,7 @@ class Interpreter::Impl {
 
     if (stmt.kind() == NodeKind::kForStmt) {
       const auto& f = static_cast<const ForStmt&>(stmt);
-      const auto [_, bound] = bound_var_of(f.cond.get());
+      const auto [_, bound] = bound_var_of(f.cond);
       seed_scalar(bound, outermost ? 48.0 : 6.0);
       if (f.inc && f.inc->kind() == NodeKind::kAssignment) {
         const auto& a = static_cast<const Assignment&>(*f.inc);
@@ -257,8 +260,8 @@ class Interpreter::Impl {
       }
     } else if (stmt.kind() == NodeKind::kWhileStmt || stmt.kind() == NodeKind::kDoStmt) {
       const Expr* cond = stmt.kind() == NodeKind::kWhileStmt
-                             ? static_cast<const WhileStmt&>(stmt).cond.get()
-                             : static_cast<const DoStmt&>(stmt).cond.get();
+                             ? static_cast<const WhileStmt&>(stmt).cond
+                             : static_cast<const DoStmt&>(stmt).cond;
       const auto [counter, bound] = bound_var_of(cond);
       seed_scalar(counter, 0.0);
       seed_scalar(bound, outermost ? 48.0 : 6.0);
@@ -272,7 +275,7 @@ class Interpreter::Impl {
 
   // ---- environment ---------------------------------------------------------
 
-  int lookup(const std::string& name) {
+  int lookup(std::string_view name) {
     for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
       auto it = scope->find(name);
       if (it != scope->end()) return it->second;
@@ -282,16 +285,11 @@ class Interpreter::Impl {
 
   /// Deterministic default for a materialized free scalar: small positive,
   /// stable per name (so loop bounds like `n` are reproducible).
-  double default_scalar_value(const std::string& name) {
-    std::uint64_t h = 1469598103934665603ull;
-    for (char c : name) {
-      h ^= static_cast<std::uint8_t>(c);
-      h *= 1099511628211ull;
-    }
-    return static_cast<double>(4 + (h % 13));  // 4..16
+  double default_scalar_value(std::string_view name) {
+    return static_cast<double>(4 + (fnv1a64(name) % 13));  // 4..16
   }
 
-  int materialize(const std::string& name, bool as_array) {
+  int materialize(std::string_view name, bool as_array) {
     Storage s;
     s.name = name;
     if (as_array) {
@@ -302,12 +300,12 @@ class Interpreter::Impl {
     }
     storages_.push_back(std::move(s));
     const int id = static_cast<int>(storages_.size()) - 1;
-    scopes_.front()[name] = id;  // free identifiers live in the global scope
+    scopes_.front()[std::string(name)] = id;  // free identifiers: global scope
     return id;
   }
 
-  int declare(const std::string& name, const std::vector<long long>& dims,
-              const std::string& type_base) {
+  int declare(std::string_view name, const std::vector<long long>& dims,
+              std::string_view type_base) {
     Storage s;
     s.name = name;
     s.dims = dims;
@@ -328,7 +326,7 @@ class Interpreter::Impl {
     }
     storages_.push_back(std::move(s));
     const int id = static_cast<int>(storages_.size()) - 1;
-    scopes_.back()[name] = id;
+    scopes_.back()[std::string(name)] = id;
     return id;
   }
 
@@ -430,14 +428,14 @@ class Interpreter::Impl {
         const auto& mem = static_cast<const MemberExpr&>(expr);
         Ref base = mem.arrow ? resolve_array_base(*mem.base) : resolve_lvalue(*mem.base);
         Storage& s = storages_[static_cast<std::size_t>(base.storage)];
-        auto it = s.field_index.find(mem.member);
+        auto it = s.field_index.find(std::string(mem.member));
         int field = 0;
         if (it != s.field_index.end()) {
           field = it->second;
         } else {
           // Unknown layout (materialized struct): assign stable synthetic slots.
           field = static_cast<int>(s.field_index.size());
-          s.field_index[mem.member] = field;
+          s.field_index[std::string(mem.member)] = field;
           if (field >= s.fields) s.fields = field + 1;
           if (!s.sparse) s.sparse = true;  // re-layout safely as sparse cells
         }
@@ -449,7 +447,7 @@ class Interpreter::Impl {
           Ref base = resolve_array_base(*un.operand);
           return Ref{base.storage, base.offset, base.dim_level + 1, base.field};
         }
-        throw InterpAbort{"unsupported lvalue unary operator " + un.op};
+        throw InterpAbort{"unsupported lvalue unary operator " + std::string(un.op)};
       }
       case NodeKind::kParenExpr:
         return resolve_lvalue(*static_cast<const ParenExpr&>(expr).inner);
@@ -613,7 +611,7 @@ class Interpreter::Impl {
       return Value::number(
           static_cast<double>(static_cast<long long>(a) >> (static_cast<long long>(b) & 63)));
     }
-    throw InterpAbort{"unsupported binary operator " + expr.op};
+    throw InterpAbort{"unsupported binary operator " + std::string(expr.op)};
   }
 
   Value eval_unary(const UnaryOperator& expr) {
@@ -642,7 +640,7 @@ class Interpreter::Impl {
       return Value::number(static_cast<double>(~static_cast<long long>(v)));
     }
     if (expr.op == "sizeof") return Value::number(8.0);
-    throw InterpAbort{"unsupported unary operator " + expr.op};
+    throw InterpAbort{"unsupported unary operator " + std::string(expr.op)};
   }
 
   Value eval_assignment(const Assignment& expr) {
@@ -650,7 +648,7 @@ class Interpreter::Impl {
     double rhs = as_number(eval(*expr.rhs));
     if (expr.is_compound()) {
       const double old_value = read_ref(ref);
-      const std::string op = expr.underlying_op();
+      const std::string_view op = expr.underlying_op();
       if (op == "+") rhs = old_value + rhs;
       else if (op == "-") rhs = old_value - rhs;
       else if (op == "*") rhs = old_value * rhs;
@@ -671,7 +669,7 @@ class Interpreter::Impl {
         rhs = static_cast<double>(static_cast<long long>(old_value) >>
                                   (static_cast<long long>(rhs) & 63));
       } else {
-        throw InterpAbort{"unsupported compound assignment " + expr.op};
+        throw InterpAbort{"unsupported compound assignment " + std::string(expr.op)};
       }
     }
     write_ref(ref, rhs);
@@ -696,7 +694,7 @@ class Interpreter::Impl {
         for (const auto& a : args) nums.push_back(as_number(a));
         return Value::number(call_builtin(expr.callee, nums));
       }
-      throw InterpAbort{"cannot execute unknown function '" + expr.callee + "'"};
+      throw InterpAbort{"cannot execute unknown function '" + std::string(expr.callee) + "'"};
     }
     if (++call_depth_ > 48) {
       --call_depth_;
@@ -711,7 +709,7 @@ class Interpreter::Impl {
         const auto& param = *fn->params[i];
         if (param.name.empty()) continue;
         if (i < args.size() && args[i].is_ref) {
-          scopes_.back()[param.name] = args[i].ref.storage;
+          scopes_.back()[std::string(param.name)] = args[i].ref.storage;
         } else {
           const int id = declare(param.name, {}, param.type.base);
           storages_[static_cast<std::size_t>(id)].write_cell(
@@ -895,11 +893,11 @@ class Interpreter::Impl {
   }
 
   const TranslationUnit* tu_;
-  const std::map<std::string, StructInfo>* structs_;
+  const StructMap* structs_;
   InterpLimits limits_;
 
   std::vector<Storage> storages_;
-  std::vector<std::unordered_map<std::string, int>> scopes_;
+  std::vector<std::unordered_map<std::string, int, StringHash, std::equal_to<>>> scopes_;
 
   std::vector<AccessRecord> trace_;
   long long steps_ = 0;
@@ -909,7 +907,7 @@ class Interpreter::Impl {
   int call_depth_ = 0;
 };
 
-Interpreter::Interpreter(const TranslationUnit* tu, const std::map<std::string, StructInfo>* structs,
+Interpreter::Interpreter(const TranslationUnit* tu, const StructMap* structs,
                          InterpLimits limits)
     : impl_(std::make_unique<Impl>(tu, structs, limits)) {}
 

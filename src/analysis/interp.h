@@ -52,7 +52,7 @@ struct InterpLimits {
 /// Interpreter for a translation unit (may be empty for bare loops).
 class Interpreter {
  public:
-  Interpreter(const TranslationUnit* tu, const std::map<std::string, StructInfo>* structs,
+  Interpreter(const TranslationUnit* tu, const StructMap* structs,
               InterpLimits limits = {});
   ~Interpreter();
 

@@ -50,7 +50,7 @@ bool is_exempt_scalar(const LoopFacts& facts, const std::string& var) {
 // ---------------------------------------------------------------------------
 
 ToolResult PlutoLikeAnalyzer::analyze(const Stmt& loop, const TranslationUnit* tu,
-                                      const std::map<std::string, StructInfo>*) const {
+                                      const StructMap*) const {
   ToolResult out;
   const LoopFacts facts = analyze_loop(loop, tu);
 
@@ -101,7 +101,7 @@ ToolResult PlutoLikeAnalyzer::analyze(const Stmt& loop, const TranslationUnit* t
 // ---------------------------------------------------------------------------
 
 ToolResult AutoParLikeAnalyzer::analyze(const Stmt& loop, const TranslationUnit* tu,
-                                        const std::map<std::string, StructInfo>*) const {
+                                        const StructMap*) const {
   ToolResult out;
   const LoopFacts facts = analyze_loop(loop, tu);
 
@@ -179,7 +179,7 @@ ToolResult AutoParLikeAnalyzer::analyze(const Stmt& loop, const TranslationUnit*
 // ---------------------------------------------------------------------------
 
 ToolResult DiscoPoPLikeAnalyzer::analyze(const Stmt& loop, const TranslationUnit* tu,
-                                         const std::map<std::string, StructInfo>* structs) const {
+                                         const StructMap* structs) const {
   ToolResult out;
   Interpreter interp(tu, structs, limits_);
   const LoopTrace trace = interp.profile_loop(loop);

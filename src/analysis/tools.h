@@ -37,7 +37,7 @@ class ParallelismTool {
   virtual ~ParallelismTool() = default;
   virtual std::string_view name() const = 0;
   virtual ToolResult analyze(const Stmt& loop, const TranslationUnit* tu,
-                             const std::map<std::string, StructInfo>* structs) const = 0;
+                             const StructMap* structs) const = 0;
 
   ToolResult analyze(const Stmt& loop) const { return analyze(loop, nullptr, nullptr); }
 };
@@ -49,7 +49,7 @@ class PlutoLikeAnalyzer final : public ParallelismTool {
  public:
   std::string_view name() const override { return "PLUTO"; }
   ToolResult analyze(const Stmt& loop, const TranslationUnit* tu,
-                     const std::map<std::string, StructInfo>* structs) const override;
+                     const StructMap* structs) const override;
 };
 
 /// autoPar-like (ROSE) conservative static analyzer: processes canonical
@@ -60,7 +60,7 @@ class AutoParLikeAnalyzer final : public ParallelismTool {
  public:
   std::string_view name() const override { return "autoPar"; }
   ToolResult analyze(const Stmt& loop, const TranslationUnit* tu,
-                     const std::map<std::string, StructInfo>* structs) const override;
+                     const StructMap* structs) const override;
 };
 
 /// DiscoPoP-like dynamic analyzer: executes the loop via the interpreter and
@@ -72,7 +72,7 @@ class DiscoPoPLikeAnalyzer final : public ParallelismTool {
   explicit DiscoPoPLikeAnalyzer(InterpLimits limits = {}) : limits_(limits) {}
   std::string_view name() const override { return "DiscoPoP"; }
   ToolResult analyze(const Stmt& loop, const TranslationUnit* tu,
-                     const std::map<std::string, StructInfo>* structs) const override;
+                     const StructMap* structs) const override;
 
  private:
   InterpLimits limits_;

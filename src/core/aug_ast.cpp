@@ -45,13 +45,15 @@ HetNodeType het_type_of(const Node& node) {
   }
 }
 
-std::string node_text_attribute(const Node& node) {
+std::string_view node_text_attribute(const Node& node) {
   switch (node.kind()) {
     case NodeKind::kIntLiteral: {
       // Small constants are kept verbatim (0/1/2 carry meaning for bounds
       // and strides); the rest collapse to a class token.
       const auto& lit = static_cast<const IntLiteral&>(node);
-      if (lit.value >= 0 && lit.value <= 2) return std::to_string(lit.value);
+      if (lit.value == 0) return "0";
+      if (lit.value == 1) return "1";
+      if (lit.value == 2) return "2";
       return "<int>";
     }
     case NodeKind::kFloatLiteral: return "<float>";
@@ -60,15 +62,21 @@ std::string node_text_attribute(const Node& node) {
     case NodeKind::kDeclRef: return static_cast<const DeclRef&>(node).name;
     case NodeKind::kBinaryOperator: return static_cast<const BinaryOperator&>(node).op;
     case NodeKind::kUnaryOperator: {
+      // Postfix forms are only ever ++ / --.
       const auto& u = static_cast<const UnaryOperator&>(node);
-      return u.prefix ? u.op : u.op + "post";
+      if (u.prefix) return u.op;
+      return u.op == "++" ? "++post" : "--post";
     }
     case NodeKind::kAssignment: return static_cast<const Assignment&>(node).op;
     case NodeKind::kConditional: return "?:";
     case NodeKind::kCallExpr: return static_cast<const CallExpr&>(node).callee;
     case NodeKind::kArraySubscript: return "[]";
     case NodeKind::kMemberExpr: return static_cast<const MemberExpr&>(node).member;
-    case NodeKind::kCastExpr: return static_cast<const CastExpr&>(node).type.spelling();
+    case NodeKind::kCastExpr: {
+      thread_local std::string scratch;  // valid until the next call
+      scratch = static_cast<const CastExpr&>(node).type.spelling();
+      return scratch;
+    }
     case NodeKind::kParenExpr: return "()";
     case NodeKind::kInitListExpr: return "{init}";
     case NodeKind::kSizeofExpr: return "sizeof";
@@ -92,7 +100,7 @@ std::string node_text_attribute(const Node& node) {
 }
 
 void collect_text_attributes(const Node& root, std::unordered_map<std::string, int>& counts) {
-  walk(root, [&counts](const Node& n) { ++counts[node_text_attribute(n)]; });
+  walk(root, [&counts](const Node& n) { ++counts[std::string(node_text_attribute(n))]; });
 }
 
 namespace {
@@ -125,9 +133,10 @@ void collect_leaves(const Node& root, std::vector<const Node*>& leaves) {
   root.for_each_child([&](const Node& child) { collect_leaves(child, leaves); });
 }
 
-/// All distinct callee names invoked anywhere in the subtree.
-std::set<std::string> callee_names(const Node& root) {
-  std::set<std::string> names;
+/// All distinct callee names invoked anywhere in the subtree. Views are
+/// stable: they alias the arena-owned AST spellings.
+std::set<std::string_view> callee_names(const Node& root) {
+  std::set<std::string_view> names;
   walk(root, [&names](const Node& n) {
     if (n.kind() == NodeKind::kCallExpr) {
       names.insert(static_cast<const CallExpr&>(n).callee);
@@ -142,6 +151,12 @@ LoopGraph AugAstBuilder::build(const Stmt& loop, const TranslationUnit* tu) cons
   LoopGraph out;
 
   // ---- §5.1.1: the AST as a heterogeneous graph -----------------------------
+  // One cheap counting walk up front sizes the node/edge storage so the
+  // build never rehashes index_of or regrows the graph vectors mid-insert.
+  const std::size_t approx_nodes = subtree_size(loop);
+  out.index_of.reserve(approx_nodes * 2);
+  out.graph.nodes.reserve(approx_nodes);
+  out.graph.edges.reserve(approx_nodes * 6);
   out.root = add_subtree(loop, 0, *vocab_, out.graph, out.index_of);
   out.num_ast_nodes = out.graph.num_nodes();
 
@@ -172,13 +187,13 @@ LoopGraph AugAstBuilder::build(const Stmt& loop, const TranslationUnit* tu) cons
   if (options_.call_edges && tu != nullptr) {
     // Breadth-first over the call graph reachable from the loop, each callee
     // body added once and linked from every call site of that callee.
-    std::set<std::string> expanded;
-    std::unordered_map<std::string, int> body_root_of;
-    std::vector<std::string> frontier;
+    std::set<std::string_view> expanded;
+    std::unordered_map<std::string_view, int> body_root_of;
+    std::vector<std::string_view> frontier;
     for (const auto& name : callee_names(loop)) frontier.push_back(name);
 
     while (!frontier.empty()) {
-      const std::string name = frontier.back();
+      const std::string_view name = frontier.back();
       frontier.pop_back();
       if (expanded.count(name)) continue;
       expanded.insert(name);

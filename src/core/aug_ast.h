@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "frontend/ast.h"
@@ -44,8 +45,11 @@ struct LoopGraph {
 HetNodeType het_type_of(const Node& node);
 
 /// The text attribute of a node (operator spelling, identifier, literal
-/// class, ...) fed through the vocabulary.
-std::string node_text_attribute(const Node& node);
+/// class, ...) fed through the vocabulary. Zero-copy on the hot path: the
+/// view aliases the node's spelling or a static class token; the only
+/// synthesized case (cast type spellings) lives in a thread-local scratch
+/// buffer that stays valid until the next call on the same thread.
+std::string_view node_text_attribute(const Node& node);
 
 class AugAstBuilder {
  public:

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -16,24 +17,25 @@ namespace g2p {
 
 namespace {
 
-/// Per-source frontend output: everything `suggest` needs downstream of
-/// parsing. Loops point into `parsed.tu`, so the struct owns both.
-struct PreparedSource {
-  ParseResult parsed;
-  std::vector<ExtractedLoop> loops;
-  std::vector<LoopGraph> graphs;
-};
-
-PreparedSource prepare_source(std::string_view c_source, const Vocab& vocab,
-                              const AugAstOptions& aug) {
-  PreparedSource out;
-  out.parsed = parse_translation_unit(c_source);
-  out.loops = extract_loops(*out.parsed.tu);
+/// Build the per-source frontend artifact: lex, parse, extract loops, build
+/// aug-ASTs. The measured wall time rides along so cache hits can report how
+/// much frontend work they skipped.
+std::shared_ptr<const FrontendArtifact> build_artifact(std::string_view c_source,
+                                                       const Vocab& vocab,
+                                                       const AugAstOptions& aug) {
+  const auto start = std::chrono::steady_clock::now();
+  auto out = std::make_shared<FrontendArtifact>();
+  out->parsed = parse_translation_unit(c_source);
+  out->loops = extract_loops(*out->parsed.tu);
   AugAstBuilder builder(vocab, aug);
-  out.graphs.reserve(out.loops.size());
-  for (const auto& loop : out.loops) {
-    out.graphs.push_back(builder.build(*loop.loop, out.parsed.tu.get()));
+  out->graphs.reserve(out->loops.size());
+  for (const auto& loop : out->loops) {
+    out->graphs.push_back(builder.build(*loop.loop, out->parsed.tu));
   }
+  out->frontend_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   return out;
 }
 
@@ -43,7 +45,7 @@ LoopSuggestion make_suggestion(const ExtractedLoop& loop, const TranslationUnit*
   LoopSuggestion suggestion;
   suggestion.loop_source = loop.source;
   suggestion.line = loop.loop->line;
-  if (loop.function) suggestion.function_name = loop.function->name;
+  if (loop.function) suggestion.function_name = std::string(loop.function->name);
   suggestion.confidence = confidence;
   suggestion.parallel = suggestion.confidence >= 0.5;
   if (suggestion.parallel) {
@@ -87,7 +89,29 @@ Pipeline::Pipeline(Options options, Vocab vocab)
   // Serving (`suggest*` under NoGradGuard) routes every HGT layer through
   // the fused inference kernel; training is unaffected by this switch.
   model_->set_fused_inference(options_.fused_inference);
+  cache_ = std::make_unique<SuggestCache>(options_.cache_bytes);
   if (options_.pool_threads > 0) pool_ = std::make_shared<ThreadPool>(options_.pool_threads);
+}
+
+Pipeline::Pipeline(Pipeline&& other) noexcept
+    : options_(std::move(other.options_)),
+      vocab_(std::move(other.vocab_)),
+      model_(std::move(other.model_)),
+      pool_(std::move(other.pool_)),
+      cache_(std::move(other.cache_)),
+      model_stamp_(other.model_stamp_.load(std::memory_order_relaxed)) {}
+
+Pipeline& Pipeline::operator=(Pipeline&& other) noexcept {
+  if (this != &other) {
+    options_ = std::move(other.options_);
+    vocab_ = std::move(other.vocab_);
+    model_ = std::move(other.model_);
+    pool_ = std::move(other.pool_);
+    cache_ = std::move(other.cache_);
+    model_stamp_.store(other.model_stamp_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  return *this;
 }
 
 ThreadPool& Pipeline::pool() const {
@@ -122,13 +146,31 @@ Pipeline Pipeline::train(const Options& options) {
 
 std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
   const NoGradGuard no_grad;  // serving: skip tape construction
-  const PreparedSource prepared = prepare_source(c_source, vocab_, options_.aug);
+  const std::uint64_t stamp = model_stamp_.load(std::memory_order_acquire);
+  const bool cached = cache_->enabled();
+  Hash128 key{};
+  std::shared_ptr<const FrontendArtifact> artifact;
+  if (cached) {
+    key = hash_source(c_source);
+    if (auto hit = cache_->get_result(key, stamp)) return *hit;  // skip everything
+    artifact = cache_->get_frontend(key);
+  }
+  if (!artifact) {
+    artifact = build_artifact(c_source, vocab_, options_.aug);
+    cache_->put_frontend(key, artifact);
+  }
   std::vector<LoopSuggestion> out;
-  if (prepared.loops.empty()) return out;
+  if (artifact->loops.empty()) {
+    if (cached) {
+      cache_->put_result(key, stamp, std::make_shared<std::vector<LoopSuggestion>>(),
+                         artifact->frontend_ns);
+    }
+    return out;
+  }
 
   std::vector<const HetGraph*> graph_ptrs;
-  graph_ptrs.reserve(prepared.graphs.size());
-  for (const auto& g : prepared.graphs) graph_ptrs.push_back(&g.graph);
+  graph_ptrs.reserve(artifact->graphs.size());
+  for (const auto& g : artifact->graphs) graph_ptrs.push_back(&g.graph);
   const auto batch = batch_graphs(graph_ptrs);
 
   const Tensor pooled = model_->encode(batch);
@@ -140,12 +182,16 @@ std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
         argmax_rows(model_->task_logits(pooled, static_cast<PredictionTask>(c + 1)));
   }
 
-  out.reserve(prepared.loops.size());
-  for (std::size_t i = 0; i < prepared.loops.size(); ++i) {
+  out.reserve(artifact->loops.size());
+  for (std::size_t i = 0; i < artifact->loops.size(); ++i) {
     out.push_back(make_suggestion(
-        prepared.loops[i], prepared.parsed.tu.get(),
+        artifact->loops[i], artifact->parsed.tu,
         parallel_probs.at({static_cast<int>(i), 1}),
         {clause_preds[0][i], clause_preds[1][i], clause_preds[2][i], clause_preds[3][i]}));
+  }
+  if (cached) {
+    cache_->put_result(key, stamp, std::make_shared<std::vector<LoopSuggestion>>(out),
+                       artifact->frontend_ns);
   }
   return out;
 }
@@ -168,30 +214,76 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
   std::vector<SourceResult> out(sources.size());
   if (sources.empty()) return out;
   ThreadPool& pool = this->pool();
+  const std::uint64_t stamp = model_stamp_.load(std::memory_order_acquire);
+  const bool cached = cache_->enabled();
 
-  // Stage 1 (parallel): per-source frontend — lex, parse, extract loops,
-  // build aug-ASTs. Each source is independent; a failure is recorded in
-  // that source's slot and the rest of the batch proceeds.
-  std::vector<PreparedSource> prepared(sources.size());
+  // Stage 0 (serial, cheap): content-address every source. Full-result hits
+  // complete their slot immediately; frontend hits pin their artifact, and
+  // duplicate keys within the batch collapse onto their first slot so one
+  // cold source submitted N times is built once.
+  std::vector<Hash128> keys(sources.size());
+  std::vector<std::shared_ptr<const FrontendArtifact>> artifacts(sources.size());
+  std::vector<char> done(sources.size(), 0);
+  std::vector<std::size_t> build_owner(sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) build_owner[i] = i;
+  if (cached) {
+    std::unordered_map<Hash128, std::size_t, Hash128Hasher> first_of;
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      keys[i] = hash_source(sources[i]);
+      if (auto hit = cache_->get_result(keys[i], stamp)) {
+        out[i].suggestions = *hit;
+        done[i] = 1;
+        continue;
+      }
+      artifacts[i] = cache_->get_frontend(keys[i]);
+      if (!artifacts[i]) build_owner[i] = first_of.emplace(keys[i], i).first->second;
+    }
+  }
+
+  // Stage 1 (parallel): per-source frontend for the cache misses — lex,
+  // parse, extract loops, build aug-ASTs. Each source is independent; a
+  // failure is recorded in that source's slot and the rest of the batch
+  // proceeds.
   pool.parallel_for(sources.size(), [&](std::size_t i) {
+    if (done[i] || artifacts[i] || build_owner[i] != i) return;
     try {
-      prepared[i] = prepare_source(sources[i], vocab_, options_.aug);
+      artifacts[i] = build_artifact(sources[i], vocab_, options_.aug);
+      if (cached) cache_->put_frontend(keys[i], artifacts[i]);
     } catch (...) {
       out[i].error = std::current_exception();
     }
   });
-
-  // Stage 2 (batched): every loop of every healthy source joins a disjoint
-  // union so the request costs one batched forward per worker — a single
-  // forward on a one-thread pool, or per-worker sub-batches that encode
-  // concurrently (disjoint unions pool per graph, so sub-batching is
-  // output-identical).
-  std::vector<const HetGraph*> graph_ptrs;
-  for (std::size_t s = 0; s < prepared.size(); ++s) {
-    if (out[s].error) continue;
-    for (const auto& g : prepared[s].graphs) graph_ptrs.push_back(&g.graph);
+  // Fan the owner's artifact (or its parse error — identical bytes fail
+  // identically) back out to the duplicate slots.
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const std::size_t owner = build_owner[i];
+    if (done[i] || owner == i) continue;
+    artifacts[i] = artifacts[owner];
+    if (!artifacts[i]) out[i].error = out[owner].error;
   }
-  if (graph_ptrs.empty()) return out;
+
+  // Stage 2 (batched): every loop of every healthy, not-yet-complete source
+  // joins a disjoint union so the request costs one batched forward per
+  // worker — a single forward on a one-thread pool, or per-worker
+  // sub-batches that encode concurrently (disjoint unions pool per graph,
+  // so sub-batching is output-identical).
+  std::vector<const HetGraph*> graph_ptrs;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    if (done[s] || out[s].error) continue;
+    for (const auto& g : artifacts[s]->graphs) graph_ptrs.push_back(&g.graph);
+  }
+  if (graph_ptrs.empty()) {
+    if (cached) {
+      for (std::size_t s = 0; s < sources.size(); ++s) {
+        if (!done[s] && !out[s].error) {
+          cache_->put_result(keys[s], stamp,
+                             std::make_shared<std::vector<LoopSuggestion>>(),
+                             artifacts[s]->frontend_ns);
+        }
+      }
+    }
+    return out;
+  }
 
   const std::size_t num_chunks =
       std::max<std::size_t>(1, std::min(pool.size(), graph_ptrs.size() / 8));
@@ -221,24 +313,32 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
 
   // Stage 3 (parallel): peel rows back apart, one suggestion list per
   // healthy source; the clause analysis behind each rendered pragma is
-  // per-source independent, so it runs on the pool too.
-  std::vector<std::size_t> first_row(prepared.size());
+  // per-source independent, so it runs on the pool too. Fresh results are
+  // published to the cache as they complete.
+  std::vector<std::size_t> first_row(sources.size());
   std::size_t row = 0;
-  for (std::size_t s = 0; s < prepared.size(); ++s) {
+  for (std::size_t s = 0; s < sources.size(); ++s) {
     first_row[s] = row;
-    if (!out[s].error) row += prepared[s].loops.size();
+    if (!done[s] && !out[s].error) row += artifacts[s]->loops.size();
   }
-  pool.parallel_for(prepared.size(), [&](std::size_t s) {
-    if (out[s].error) return;
+  pool.parallel_for(sources.size(), [&](std::size_t s) {
+    if (done[s] || out[s].error) return;
     try {
       std::size_t r = first_row[s];
-      out[s].suggestions.reserve(prepared[s].loops.size());
-      for (std::size_t i = 0; i < prepared[s].loops.size(); ++i, ++r) {
+      const FrontendArtifact& artifact = *artifacts[s];
+      out[s].suggestions.reserve(artifact.loops.size());
+      for (std::size_t i = 0; i < artifact.loops.size(); ++i, ++r) {
         out[s].suggestions.push_back(make_suggestion(
-            prepared[s].loops[i], prepared[s].parsed.tu.get(),
+            artifact.loops[i], artifact.parsed.tu,
             parallel_probs.at({static_cast<int>(r), 1}),
             {clause_preds[0][r], clause_preds[1][r], clause_preds[2][r],
              clause_preds[3][r]}));
+      }
+      if (cached) {
+        cache_->put_result(
+            keys[s], stamp,
+            std::make_shared<std::vector<LoopSuggestion>>(out[s].suggestions),
+            artifact.frontend_ns);
       }
     } catch (...) {
       out[s].suggestions.clear();
@@ -292,6 +392,16 @@ std::optional<Pipeline> Pipeline::load(const Options& options, const std::string
   } catch (const std::exception&) {
     return std::nullopt;  // corrupt vocab: fail soft like a missing file
   }
+}
+
+bool Pipeline::load_weights(const std::string& model_path) {
+  // Invalidate before, stamp after: a result rendered from the old weights
+  // that races this swap carries the old stamp either way, so it can never
+  // be served once the new generation is visible.
+  cache_->invalidate_results();
+  const bool ok = model_->load_file(model_path);
+  model_stamp_.fetch_add(1, std::memory_order_acq_rel);
+  return ok;
 }
 
 }  // namespace g2p

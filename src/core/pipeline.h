@@ -2,11 +2,14 @@
 // suggestions out (§6.4: Graph2Par assists the developer with suggestions
 // rather than rewriting code).
 //
-// A Pipeline bundles a vocabulary, a trained Graph2Par model, and the
-// aug-AST builder options. `Pipeline::train` builds one from any corpus
-// (examples use the synthetic OMP_Serial generator).
+// A Pipeline bundles a vocabulary, a trained Graph2Par model, the aug-AST
+// builder options, and a content-addressed serving cache (suggest_cache.h):
+// repeat sources skip the frontend (and, when the model has not changed,
+// the forward pass too).
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <optional>
@@ -15,6 +18,8 @@
 
 #include "analysis/dependence.h"
 #include "core/graph2par.h"
+#include "core/suggest_cache.h"
+#include "core/suggestion.h"
 #include "dataset/corpus.h"
 #include "dataset/generator.h"
 #include "eval/trainer.h"
@@ -22,17 +27,6 @@
 namespace g2p {
 
 class ThreadPool;
-
-/// One suggestion for one loop found in the input source.
-struct LoopSuggestion {
-  std::string loop_source;
-  int line = 0;
-  std::string function_name;
-  bool parallel = false;
-  double confidence = 0.0;  // softmax probability of the parallel class
-  PragmaCategory category = PragmaCategory::kNone;
-  std::string suggested_pragma;  // rendered directive, "" when not parallel
-};
 
 class Pipeline {
  public:
@@ -49,6 +43,9 @@ class Pipeline {
     /// edge-blocked CSR pass). Off pins the taped reference forward —
     /// numerically within ~1e-7 relative of the fused path, just slower.
     bool fused_inference = true;
+    /// Byte budget of the content-addressed serving cache (two LRU tiers:
+    /// rendered results + frontend artifacts). 0 disables caching.
+    std::size_t cache_bytes = 64u << 20;
     Options() { corpus.scale = 0.03; }
   };
 
@@ -66,6 +63,9 @@ class Pipeline {
   static Pipeline train(const Options& options = {});
 
   /// Analyze a C translation unit and produce one suggestion per loop.
+  /// Consults the serving cache: identical (normalized) sources skip the
+  /// frontend, and skip the model forward too when the checkpoint has not
+  /// changed since the cached entry was rendered.
   std::vector<LoopSuggestion> suggest(std::string_view c_source) const;
 
   /// Batched serving entry point: many translation units in, one suggestion
@@ -94,13 +94,33 @@ class Pipeline {
   static std::optional<Pipeline> load(const Options& options, const std::string& model_path,
                                       const std::string& vocab_path);
 
+  /// Hot checkpoint swap: load new weights into this pipeline (vocabulary
+  /// must be unchanged — same training configuration). Bumps the model
+  /// stamp, so every cached *result* becomes unservable at once, while
+  /// cached frontend artifacts survive and keep skipping lex/parse/build.
+  /// Returns false (leaving weights possibly partially loaded but the cache
+  /// already invalidated) if the file is missing or corrupt. Callers should
+  /// quiesce in-flight forwards; concurrent `suggest` calls may race the
+  /// weight write itself, exactly like an optimizer step would.
+  [[nodiscard]] bool load_weights(const std::string& model_path);
+
   /// Replace the worker pool used by `suggest_batch*`. Null restores the
   /// behavior selected by Options::pool_threads. A server injects its own
   /// pool here so serving concurrency is owned by the server, not a global.
   void set_thread_pool(std::shared_ptr<ThreadPool> pool);
 
+  /// Serving-cache counters (hits per tier, bytes, frontend time saved).
+  SuggestCache::Stats cache_stats() const { return cache_->stats(); }
+  /// Drop every cache entry (tests, memory pressure).
+  void clear_cache() const { cache_->clear(); }
+  /// Resize the serving cache at runtime (0 disables; evicts to fit).
+  void set_cache_bytes(std::size_t bytes) { cache_->set_byte_cap(bytes); }
+
   const Graph2ParModel& model() const { return *model_; }
   const Vocab& vocab() const { return vocab_; }
+
+  Pipeline(Pipeline&& other) noexcept;
+  Pipeline& operator=(Pipeline&& other) noexcept;
 
  private:
   Pipeline(Options options, Vocab vocab);
@@ -111,6 +131,12 @@ class Pipeline {
   Vocab vocab_;
   std::unique_ptr<Graph2ParModel> model_;
   std::shared_ptr<ThreadPool> pool_;  // null: shared process-wide default
+  /// Content-addressed serving cache; mutable because `suggest` is
+  /// logically const (the cache is a memo, not observable state). Held by
+  /// pointer: the cache owns a mutex, and Pipeline must stay movable.
+  mutable std::unique_ptr<SuggestCache> cache_;
+  /// Monotonic checkpoint generation; cached results are stamped with it.
+  std::atomic<std::uint64_t> model_stamp_{1};
 };
 
 }  // namespace g2p

@@ -26,7 +26,8 @@ std::vector<int> tokenize_for_model(std::string_view loop_source, const Vocab& v
   std::vector<int> ids;
   ids.push_back(Vocab::kCls);
   try {
-    for (const auto& token : lex_code_tokens(loop_source)) {
+    Arena arena;  // holds folded pragma spellings for the scan's lifetime
+    for (const auto& token : lex_code_tokens(loop_source, arena)) {
       if (static_cast<int>(ids.size()) >= max_len) break;
       ids.push_back(vocab.id(token.text));
     }

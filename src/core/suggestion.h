@@ -1,0 +1,26 @@
+// The per-loop suggestion record returned by the serving pipeline.
+//
+// Lives in its own header so the serving cache (suggest_cache.h) and the
+// pipeline can both name it without a cycle; pipeline.h re-exports it, so
+// existing includes keep working.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/pragma.h"
+
+namespace g2p {
+
+/// One suggestion for one loop found in the input source.
+struct LoopSuggestion {
+  std::string loop_source;
+  int line = 0;
+  std::string function_name;
+  bool parallel = false;
+  double confidence = 0.0;  // softmax probability of the parallel class
+  PragmaCategory category = PragmaCategory::kNone;
+  std::string suggested_pragma;  // rendered directive, "" when not parallel
+};
+
+}  // namespace g2p

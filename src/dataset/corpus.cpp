@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "support/hash.h"
 #include "support/log.h"
 
 namespace g2p {
@@ -19,25 +20,14 @@ int Corpus::count_category(PragmaCategory cat) const {
   return n;
 }
 
-namespace {
-
-std::uint64_t fnv1a(std::string_view text) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (char c : text) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-}  // namespace
-
 CorpusSplit Corpus::split(double train_frac, double validation_frac) const {
   CorpusSplit out;
   for (int i = 0; i < size(); ++i) {
     // Stable bucket from the id hash: resilient to sample reordering.
+    // fnv1a64 (support/hash.h) is the same FNV-1a the local helper used, so
+    // historical splits are unchanged.
     const double u =
-        static_cast<double>(fnv1a(samples[static_cast<std::size_t>(i)].id) % 10000) / 10000.0;
+        static_cast<double>(fnv1a64(samples[static_cast<std::size_t>(i)].id) % 10000) / 10000.0;
     if (u < train_frac) {
       out.train.push_back(i);
     } else if (u < train_frac + validation_frac) {

@@ -10,7 +10,7 @@ ToolRunResults run_tools_on_corpus(const Corpus& corpus) {
     results.reserve(corpus.samples.size());
     for (const auto& sample : corpus.samples) {
       results.push_back(
-          tool->analyze(*sample.loop, sample.parsed->tu.get(), &sample.parsed->structs));
+          tool->analyze(*sample.loop, sample.parsed->tu, &sample.parsed->structs));
     }
   }
   return out;

@@ -18,7 +18,10 @@ Vocab build_corpus_vocab(const Corpus& corpus, const std::vector<int>& train_ind
     // aug-ASTs) plus raw code tokens of the loop (PragFormer input).
     collect_text_attributes(*sample.parsed->tu, counts);
     try {
-      for (const auto& token : lex_code_tokens(sample.loop_source)) ++counts[token.text];
+      Arena arena;
+      for (const auto& token : lex_code_tokens(sample.loop_source, arena)) {
+        ++counts[std::string(token.text)];
+      }
     } catch (const std::exception&) {
     }
   }
@@ -35,7 +38,7 @@ std::vector<Example> prepare_examples(const Corpus& corpus, const std::vector<in
     const auto& sample = corpus.samples[static_cast<std::size_t>(idx)];
     Example ex;
     ex.corpus_index = idx;
-    ex.graph = builder.build(*sample.loop, sample.parsed->tu.get());
+    ex.graph = builder.build(*sample.loop, sample.parsed->tu);
     ex.tokens = tokenize_for_model(sample.loop_source, vocab, token_max_len);
     ex.label_parallel = sample.parallel ? 1 : 0;
     ex.clause_labels = {sample.category == PragmaCategory::kPrivate ? 1 : 0,

@@ -40,27 +40,27 @@ std::string_view node_kind_name(NodeKind kind) {
 }
 
 std::string Type::spelling() const {
-  std::string s = base;
+  std::string s(base);
   for (int i = 0; i < pointer_depth; ++i) s += "*";
   return s;
 }
 
-void DeclStmt::for_each_child(const std::function<void(const Node&)>& fn) const {
+void DeclStmt::for_each_child(FunctionRef<void(const Node&)> fn) const {
   for (const auto& d : decls) fn(*d);
 }
 
 const FunctionDecl* TranslationUnit::find_function(std::string_view name) const {
   for (const auto& d : decls) {
     if (d->kind() != NodeKind::kFunctionDecl) continue;
-    const auto* fn = static_cast<const FunctionDecl*>(d.get());
+    const auto* fn = static_cast<const FunctionDecl*>(d);
     if (fn->name == name && fn->is_definition()) return fn;
   }
   return nullptr;
 }
 
-void walk(const Node& node, const std::function<void(const Node&)>& fn) {
+void walk(const Node& node, FunctionRef<void(const Node&)> fn) {
   fn(node);
-  node.for_each_child([&fn](const Node& child) { walk(child, fn); });
+  node.for_each_child([fn](const Node& child) { walk(child, fn); });
 }
 
 std::size_t subtree_size(const Node& node) {
@@ -77,7 +77,7 @@ std::vector<const Node*> collect_kind(const Node& root, NodeKind kind) {
   return out;
 }
 
-bool any_of_subtree(const Node& root, const std::function<bool(const Node&)>& pred) {
+bool any_of_subtree(const Node& root, FunctionRef<bool(const Node&)> pred) {
   bool found = false;
   walk(root, [&](const Node& n) {
     if (!found && pred(n)) found = true;

@@ -4,14 +4,21 @@
 // BinaryOperator, CallExpr, DeclRefExpr, ...) because the paper builds its
 // aug-AST from Clang output; downstream code (graph construction, analyses,
 // interpreter) dispatches on NodeKind.
+//
+// Ownership is arena-based: every node lives in the Arena carried by the
+// ParseResult (or ArenaRoot) that produced it, children are plain pointers,
+// and every spelling (`DeclRef::name`, operators, literal text, type bases)
+// is a `string_view` into that arena's source copy or intern pool. Nothing
+// here allocates per node beyond the bump pointer; the handful of nodes with
+// child vectors register their destructor with the arena.
 #pragma once
 
-#include <functional>
-#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "support/function_ref.h"
 
 namespace g2p {
 
@@ -55,9 +62,10 @@ enum class NodeKind {
 std::string_view node_kind_name(NodeKind kind);
 
 /// A (simplified) C type: base spelling plus pointer depth. Array-ness lives
-/// on the declarator (VarDecl::array_dims).
+/// on the declarator (VarDecl::array_dims). `base` views the source buffer
+/// (single-word bases) or the parse arena (multi-word spellings).
 struct Type {
-  std::string base = "int";   // "int", "unsigned long", "float", "struct pixel", ...
+  std::string_view base = "int";  // "int", "unsigned long", "float", "struct pixel", ...
   int pointer_depth = 0;
 
   bool is_floating() const {
@@ -70,14 +78,16 @@ struct Type {
 };
 
 class Node;
-using NodePtr = std::unique_ptr<Node>;
+using NodePtr = Node*;
 
-/// Base class of every AST node. Children are owned; traversal is via
+/// Base class of every AST node. Children are arena-owned; traversal is via
 /// for_each_child so graph/analysis code never needs per-kind boilerplate.
+/// The destructor is intentionally non-virtual: nodes are destroyed by the
+/// arena through their exact type, and leaf nodes (now all-`string_view`)
+/// are trivially destructible — the arena frees them with zero work.
 class Node {
  public:
   explicit Node(NodeKind kind) : kind_(kind) {}
-  virtual ~Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
@@ -94,11 +104,14 @@ class Node {
   }
 
   /// Invoke `fn` on each direct child, in source order.
-  virtual void for_each_child(const std::function<void(const Node&)>& fn) const = 0;
+  virtual void for_each_child(FunctionRef<void(const Node&)> fn) const = 0;
 
   /// OpenMP pragma text attached to this statement, if any
   /// (e.g. "pragma omp parallel for reduction(+:sum)").
-  std::optional<std::string> pragma_text;
+  std::optional<std::string_view> pragma_text;
+
+ protected:
+  ~Node() = default;  // arena-owned: never deleted through the base
 
  private:
   NodeKind kind_;
@@ -111,57 +124,60 @@ class Node {
 class Expr : public Node {
  public:
   using Node::Node;
+
+ protected:
+  ~Expr() = default;
 };
-using ExprPtr = std::unique_ptr<Expr>;
+using ExprPtr = Expr*;
 
 class IntLiteral final : public Expr {
  public:
-  IntLiteral(long long v, std::string spelling)
-      : Expr(NodeKind::kIntLiteral), value(v), text(std::move(spelling)) {}
+  IntLiteral(long long v, std::string_view spelling)
+      : Expr(NodeKind::kIntLiteral), value(v), text(spelling) {}
   long long value;
-  std::string text;
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  std::string_view text;
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 class FloatLiteral final : public Expr {
  public:
-  FloatLiteral(double v, std::string spelling)
-      : Expr(NodeKind::kFloatLiteral), value(v), text(std::move(spelling)) {}
+  FloatLiteral(double v, std::string_view spelling)
+      : Expr(NodeKind::kFloatLiteral), value(v), text(spelling) {}
   double value;
-  std::string text;
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  std::string_view text;
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 class CharLiteral final : public Expr {
  public:
-  explicit CharLiteral(std::string spelling)
-      : Expr(NodeKind::kCharLiteral), text(std::move(spelling)) {}
-  std::string text;  // including quotes
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  explicit CharLiteral(std::string_view spelling)
+      : Expr(NodeKind::kCharLiteral), text(spelling) {}
+  std::string_view text;  // including quotes
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 class StringLiteral final : public Expr {
  public:
-  explicit StringLiteral(std::string spelling)
-      : Expr(NodeKind::kStringLiteral), text(std::move(spelling)) {}
-  std::string text;  // including quotes
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  explicit StringLiteral(std::string_view spelling)
+      : Expr(NodeKind::kStringLiteral), text(spelling) {}
+  std::string_view text;  // including quotes
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 class DeclRef final : public Expr {
  public:
-  explicit DeclRef(std::string n) : Expr(NodeKind::kDeclRef), name(std::move(n)) {}
-  std::string name;
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  explicit DeclRef(std::string_view n) : Expr(NodeKind::kDeclRef), name(n) {}
+  std::string_view name;
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 class BinaryOperator final : public Expr {
  public:
-  BinaryOperator(std::string o, ExprPtr l, ExprPtr r)
-      : Expr(NodeKind::kBinaryOperator), op(std::move(o)), lhs(std::move(l)), rhs(std::move(r)) {}
-  std::string op;  // + - * / % << >> < > <= >= == != & ^ | && || ,
+  BinaryOperator(std::string_view o, ExprPtr l, ExprPtr r)
+      : Expr(NodeKind::kBinaryOperator), op(o), lhs(l), rhs(r) {}
+  std::string_view op;  // + - * / % << >> < > <= >= == != & ^ | && || ,
   ExprPtr lhs, rhs;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*lhs);
     fn(*rhs);
   }
@@ -169,26 +185,28 @@ class BinaryOperator final : public Expr {
 
 class UnaryOperator final : public Expr {
  public:
-  UnaryOperator(std::string o, bool pre, ExprPtr e)
-      : Expr(NodeKind::kUnaryOperator), op(std::move(o)), prefix(pre), operand(std::move(e)) {}
-  std::string op;  // + - ! ~ * & ++ --
+  UnaryOperator(std::string_view o, bool pre, ExprPtr e)
+      : Expr(NodeKind::kUnaryOperator), op(o), prefix(pre), operand(e) {}
+  std::string_view op;  // + - ! ~ * & ++ --
   bool prefix;
   ExprPtr operand;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*operand);
   }
 };
 
 class Assignment final : public Expr {
  public:
-  Assignment(std::string o, ExprPtr l, ExprPtr r)
-      : Expr(NodeKind::kAssignment), op(std::move(o)), lhs(std::move(l)), rhs(std::move(r)) {}
-  std::string op;  // = += -= *= /= %= &= ^= |= <<= >>=
+  Assignment(std::string_view o, ExprPtr l, ExprPtr r)
+      : Expr(NodeKind::kAssignment), op(o), lhs(l), rhs(r) {}
+  std::string_view op;  // = += -= *= /= %= &= ^= |= <<= >>=
   ExprPtr lhs, rhs;
   bool is_compound() const { return op != "="; }
   /// For "+=", returns "+"; for "=", returns "".
-  std::string underlying_op() const { return is_compound() ? op.substr(0, op.size() - 1) : ""; }
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  std::string_view underlying_op() const {
+    return is_compound() ? op.substr(0, op.size() - 1) : std::string_view{};
+  }
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*lhs);
     fn(*rhs);
   }
@@ -197,12 +215,9 @@ class Assignment final : public Expr {
 class Conditional final : public Expr {
  public:
   Conditional(ExprPtr c, ExprPtr t, ExprPtr f)
-      : Expr(NodeKind::kConditional),
-        cond(std::move(c)),
-        then_expr(std::move(t)),
-        else_expr(std::move(f)) {}
+      : Expr(NodeKind::kConditional), cond(c), then_expr(t), else_expr(f) {}
   ExprPtr cond, then_expr, else_expr;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*cond);
     fn(*then_expr);
     fn(*else_expr);
@@ -211,11 +226,11 @@ class Conditional final : public Expr {
 
 class CallExpr final : public Expr {
  public:
-  CallExpr(std::string c, std::vector<ExprPtr> a)
-      : Expr(NodeKind::kCallExpr), callee(std::move(c)), args(std::move(a)) {}
-  std::string callee;
+  CallExpr(std::string_view c, std::vector<ExprPtr> a)
+      : Expr(NodeKind::kCallExpr), callee(c), args(std::move(a)) {}
+  std::string_view callee;
   std::vector<ExprPtr> args;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     for (const auto& a : args) fn(*a);
   }
 };
@@ -223,9 +238,9 @@ class CallExpr final : public Expr {
 class ArraySubscript final : public Expr {
  public:
   ArraySubscript(ExprPtr b, ExprPtr i)
-      : Expr(NodeKind::kArraySubscript), base(std::move(b)), index(std::move(i)) {}
+      : Expr(NodeKind::kArraySubscript), base(b), index(i) {}
   ExprPtr base, index;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*base);
     fn(*index);
   }
@@ -233,32 +248,31 @@ class ArraySubscript final : public Expr {
 
 class MemberExpr final : public Expr {
  public:
-  MemberExpr(ExprPtr b, std::string m, bool arr)
-      : Expr(NodeKind::kMemberExpr), base(std::move(b)), member(std::move(m)), arrow(arr) {}
+  MemberExpr(ExprPtr b, std::string_view m, bool arr)
+      : Expr(NodeKind::kMemberExpr), base(b), member(m), arrow(arr) {}
   ExprPtr base;
-  std::string member;
+  std::string_view member;
   bool arrow;  // true for ->, false for .
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*base);
   }
 };
 
 class CastExpr final : public Expr {
  public:
-  CastExpr(Type t, ExprPtr e)
-      : Expr(NodeKind::kCastExpr), type(std::move(t)), operand(std::move(e)) {}
+  CastExpr(Type t, ExprPtr e) : Expr(NodeKind::kCastExpr), type(t), operand(e) {}
   Type type;
   ExprPtr operand;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*operand);
   }
 };
 
 class ParenExpr final : public Expr {
  public:
-  explicit ParenExpr(ExprPtr e) : Expr(NodeKind::kParenExpr), inner(std::move(e)) {}
+  explicit ParenExpr(ExprPtr e) : Expr(NodeKind::kParenExpr), inner(e) {}
   ExprPtr inner;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*inner);
   }
 };
@@ -268,16 +282,16 @@ class InitListExpr final : public Expr {
   explicit InitListExpr(std::vector<ExprPtr> e)
       : Expr(NodeKind::kInitListExpr), items(std::move(e)) {}
   std::vector<ExprPtr> items;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     for (const auto& i : items) fn(*i);
   }
 };
 
 class SizeofExpr final : public Expr {
  public:
-  explicit SizeofExpr(Type t) : Expr(NodeKind::kSizeofExpr), type(std::move(t)) {}
+  explicit SizeofExpr(Type t) : Expr(NodeKind::kSizeofExpr), type(t) {}
   Type type;
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 // --------------------------------------------------------------------------
@@ -287,14 +301,17 @@ class SizeofExpr final : public Expr {
 class Stmt : public Node {
  public:
   using Node::Node;
+
+ protected:
+  ~Stmt() = default;
 };
-using StmtPtr = std::unique_ptr<Stmt>;
+using StmtPtr = Stmt*;
 
 class CompoundStmt final : public Stmt {
  public:
   CompoundStmt() : Stmt(NodeKind::kCompoundStmt) {}
   std::vector<StmtPtr> body;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     for (const auto& s : body) fn(*s);
   }
 };
@@ -304,15 +321,15 @@ class VarDecl;
 class DeclStmt final : public Stmt {
  public:
   DeclStmt() : Stmt(NodeKind::kDeclStmt) {}
-  std::vector<std::unique_ptr<VarDecl>> decls;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override;
+  std::vector<VarDecl*> decls;
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override;
 };
 
 class ExprStmt final : public Stmt {
  public:
-  explicit ExprStmt(ExprPtr e) : Stmt(NodeKind::kExprStmt), expr(std::move(e)) {}
+  explicit ExprStmt(ExprPtr e) : Stmt(NodeKind::kExprStmt), expr(e) {}
   ExprPtr expr;  // never null (empty statements are kNullStmt)
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*expr);
   }
 };
@@ -320,14 +337,11 @@ class ExprStmt final : public Stmt {
 class IfStmt final : public Stmt {
  public:
   IfStmt(ExprPtr c, StmtPtr t, StmtPtr e)
-      : Stmt(NodeKind::kIfStmt),
-        cond(std::move(c)),
-        then_branch(std::move(t)),
-        else_branch(std::move(e)) {}
+      : Stmt(NodeKind::kIfStmt), cond(c), then_branch(t), else_branch(e) {}
   ExprPtr cond;
   StmtPtr then_branch;
   StmtPtr else_branch;  // may be null
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*cond);
     fn(*then_branch);
     if (else_branch) fn(*else_branch);
@@ -337,16 +351,12 @@ class IfStmt final : public Stmt {
 class ForStmt final : public Stmt {
  public:
   ForStmt(StmtPtr i, ExprPtr c, ExprPtr n, StmtPtr b)
-      : Stmt(NodeKind::kForStmt),
-        init(std::move(i)),
-        cond(std::move(c)),
-        inc(std::move(n)),
-        body(std::move(b)) {}
+      : Stmt(NodeKind::kForStmt), init(i), cond(c), inc(n), body(b) {}
   StmtPtr init;  // DeclStmt, ExprStmt, or NullStmt; never null
   ExprPtr cond;  // may be null
   ExprPtr inc;   // may be null
   StmtPtr body;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*init);
     if (cond) fn(*cond);
     if (inc) fn(*inc);
@@ -356,11 +366,10 @@ class ForStmt final : public Stmt {
 
 class WhileStmt final : public Stmt {
  public:
-  WhileStmt(ExprPtr c, StmtPtr b)
-      : Stmt(NodeKind::kWhileStmt), cond(std::move(c)), body(std::move(b)) {}
+  WhileStmt(ExprPtr c, StmtPtr b) : Stmt(NodeKind::kWhileStmt), cond(c), body(b) {}
   ExprPtr cond;
   StmtPtr body;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*cond);
     fn(*body);
   }
@@ -368,11 +377,10 @@ class WhileStmt final : public Stmt {
 
 class DoStmt final : public Stmt {
  public:
-  DoStmt(StmtPtr b, ExprPtr c)
-      : Stmt(NodeKind::kDoStmt), body(std::move(b)), cond(std::move(c)) {}
+  DoStmt(StmtPtr b, ExprPtr c) : Stmt(NodeKind::kDoStmt), body(b), cond(c) {}
   StmtPtr body;
   ExprPtr cond;
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     fn(*body);
     fn(*cond);
   }
@@ -380,9 +388,9 @@ class DoStmt final : public Stmt {
 
 class ReturnStmt final : public Stmt {
  public:
-  explicit ReturnStmt(ExprPtr v) : Stmt(NodeKind::kReturnStmt), value(std::move(v)) {}
+  explicit ReturnStmt(ExprPtr v) : Stmt(NodeKind::kReturnStmt), value(v) {}
   ExprPtr value;  // may be null
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     if (value) fn(*value);
   }
 };
@@ -390,19 +398,19 @@ class ReturnStmt final : public Stmt {
 class BreakStmt final : public Stmt {
  public:
   BreakStmt() : Stmt(NodeKind::kBreakStmt) {}
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 class ContinueStmt final : public Stmt {
  public:
   ContinueStmt() : Stmt(NodeKind::kContinueStmt) {}
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 class NullStmt final : public Stmt {
  public:
   NullStmt() : Stmt(NodeKind::kNullStmt) {}
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 // --------------------------------------------------------------------------
@@ -412,18 +420,21 @@ class NullStmt final : public Stmt {
 class Decl : public Node {
  public:
   using Node::Node;
+
+ protected:
+  ~Decl() = default;
 };
-using DeclPtr = std::unique_ptr<Decl>;
+using DeclPtr = Decl*;
 
 class VarDecl final : public Decl {
  public:
-  VarDecl(Type t, std::string n) : Decl(NodeKind::kVarDecl), type(std::move(t)), name(std::move(n)) {}
+  VarDecl(Type t, std::string_view n) : Decl(NodeKind::kVarDecl), type(t), name(n) {}
   Type type;
-  std::string name;
+  std::string_view name;
   std::vector<ExprPtr> array_dims;  // e.g. int a[10][20] -> {10, 20}
-  ExprPtr init;                     // may be null
+  ExprPtr init = nullptr;           // may be null
   bool is_array() const { return !array_dims.empty(); }
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     for (const auto& d : array_dims) fn(*d);
     if (init) fn(*init);
   }
@@ -431,24 +442,23 @@ class VarDecl final : public Decl {
 
 class ParamDecl final : public Decl {
  public:
-  ParamDecl(Type t, std::string n)
-      : Decl(NodeKind::kParamDecl), type(std::move(t)), name(std::move(n)) {}
+  ParamDecl(Type t, std::string_view n) : Decl(NodeKind::kParamDecl), type(t), name(n) {}
   Type type;
-  std::string name;
+  std::string_view name;
   bool is_array = false;  // e.g. float a[]
-  void for_each_child(const std::function<void(const Node&)>&) const override {}
+  void for_each_child(FunctionRef<void(const Node&)>) const override {}
 };
 
 class FunctionDecl final : public Decl {
  public:
-  FunctionDecl(Type rt, std::string n)
-      : Decl(NodeKind::kFunctionDecl), return_type(std::move(rt)), name(std::move(n)) {}
+  FunctionDecl(Type rt, std::string_view n)
+      : Decl(NodeKind::kFunctionDecl), return_type(rt), name(n) {}
   Type return_type;
-  std::string name;
-  std::vector<std::unique_ptr<ParamDecl>> params;
-  std::unique_ptr<CompoundStmt> body;  // null for prototypes
+  std::string_view name;
+  std::vector<ParamDecl*> params;
+  CompoundStmt* body = nullptr;  // null for prototypes
   bool is_definition() const { return body != nullptr; }
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     for (const auto& p : params) fn(*p);
     if (body) fn(*body);
   }
@@ -458,7 +468,7 @@ class TranslationUnit final : public Node {
  public:
   TranslationUnit() : Node(NodeKind::kTranslationUnit) {}
   std::vector<DeclPtr> decls;  // globals and functions in source order
-  void for_each_child(const std::function<void(const Node&)>& fn) const override {
+  void for_each_child(FunctionRef<void(const Node&)> fn) const override {
     for (const auto& d : decls) fn(*d);
   }
   /// Find a function definition by name, or nullptr.
@@ -470,7 +480,7 @@ class TranslationUnit final : public Node {
 // --------------------------------------------------------------------------
 
 /// Pre-order walk of the whole subtree rooted at `node` (inclusive).
-void walk(const Node& node, const std::function<void(const Node&)>& fn);
+void walk(const Node& node, FunctionRef<void(const Node&)> fn);
 
 /// Count nodes in a subtree.
 std::size_t subtree_size(const Node& node);
@@ -479,6 +489,6 @@ std::size_t subtree_size(const Node& node);
 std::vector<const Node*> collect_kind(const Node& root, NodeKind kind);
 
 /// True if any node in the subtree satisfies `pred`.
-bool any_of_subtree(const Node& root, const std::function<bool(const Node&)>& pred);
+bool any_of_subtree(const Node& root, FunctionRef<bool(const Node&)> pred);
 
 }  // namespace g2p

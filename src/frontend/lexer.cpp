@@ -1,6 +1,7 @@
 #include "frontend/lexer.h"
 
-#include <cctype>
+#include <array>
+#include <cstdint>
 
 #include "support/strings.h"
 
@@ -8,231 +9,316 @@ namespace g2p {
 
 namespace {
 
-/// Multi-character punctuators, longest-match-first.
-constexpr std::string_view kPuncts3[] = {"<<=", ">>=", "..."};
-constexpr std::string_view kPuncts2[] = {"->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
-                                         "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "^=",
-                                         "|="};
+// ---- char-class table -------------------------------------------------------
+// One 256-entry flag table replaces the <cctype> calls and per-candidate
+// substring probes of the old scanner: every dispatch in the hot loop is a
+// single indexed load.
 
-class Cursor {
+constexpr std::uint8_t kWs = 1;          // space, tab, CR
+constexpr std::uint8_t kIdentStart = 2;  // A-Z a-z _
+constexpr std::uint8_t kIdentCont = 4;   // ident start or digit
+constexpr std::uint8_t kDigit = 8;       // 0-9
+constexpr std::uint8_t kXDigit = 16;     // 0-9 a-f A-F
+constexpr std::uint8_t kPunct = 32;      // operator / separator start
+
+constexpr std::array<std::uint8_t, 256> build_char_classes() {
+  std::array<std::uint8_t, 256> t{};
+  t[' '] = t['\t'] = t['\r'] = kWs;
+  for (int c = 'A'; c <= 'Z'; ++c) t[c] = kIdentStart | kIdentCont;
+  for (int c = 'a'; c <= 'z'; ++c) t[c] = kIdentStart | kIdentCont;
+  t['_'] = kIdentStart | kIdentCont;
+  for (int c = '0'; c <= '9'; ++c) t[c] = kDigit | kIdentCont | kXDigit;
+  for (int c = 'a'; c <= 'f'; ++c) t[c] |= kXDigit;
+  for (int c = 'A'; c <= 'F'; ++c) t[c] |= kXDigit;
+  for (char c : {'+', '-', '*', '/', '%', '<', '>', '=', '!', '&', '|', '^', '~', '?', ':',
+                 ';', ',', '.', '(', ')', '{', '}', '[', ']'}) {
+    t[static_cast<unsigned char>(c)] |= kPunct;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint8_t, 256> kCharClass = build_char_classes();
+
+inline std::uint8_t char_class(char c) { return kCharClass[static_cast<unsigned char>(c)]; }
+
+/// Single-pass branch-lean scanner. Positions index straight into `src_`;
+/// token text is a view of the scanned span. Line starts are tracked so the
+/// column of a token is one subtraction, not a per-character counter.
+class Scanner {
  public:
-  explicit Cursor(std::string_view src) : src_(src) {}
+  Scanner(std::string_view src, Arena& arena, bool keep_pragmas, bool append_eof,
+          std::vector<Token>& out)
+      : src_(src), arena_(arena), keep_pragmas_(keep_pragmas), append_eof_(append_eof),
+        out_(out) {}
 
-  bool done() const { return pos_ >= src_.size(); }
-  char peek(std::size_t ahead = 0) const {
-    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
-  }
-  char advance() {
-    const char c = src_[pos_++];
-    if (c == '\n') {
-      ++line_;
-      col_ = 1;
-    } else {
-      ++col_;
+  void run() {
+    const std::size_t n = src_.size();
+    // Serving-shaped sources average one token per ~3.5 bytes; reserving
+    // once keeps vector growth out of the scan.
+    out_.reserve(n / 3 + 8);
+    while (pos_ < n) {
+      const char c = src_[pos_];
+      const std::uint8_t cls = char_class(c);
+      if (cls & kWs) {
+        ++pos_;
+        continue;
+      }
+      if (c == '\n') {
+        newline(++pos_);
+        continue;
+      }
+      if (cls & kIdentStart) {
+        lex_word();
+        continue;
+      }
+      if (cls & kDigit) {
+        lex_number();
+        continue;
+      }
+      if (c == '/' && pos_ + 1 < n && (src_[pos_ + 1] == '/' || src_[pos_ + 1] == '*')) {
+        lex_comment();
+        continue;
+      }
+      if (c == '.' && pos_ + 1 < n && (char_class(src_[pos_ + 1]) & kDigit)) {
+        lex_number();
+        continue;
+      }
+      if (cls & kPunct) {
+        lex_punct();
+        continue;
+      }
+      if (c == '"') {
+        lex_quoted('"', TokenKind::kStringLiteral);
+        continue;
+      }
+      if (c == '\'') {
+        lex_quoted('\'', TokenKind::kCharLiteral);
+        continue;
+      }
+      if (c == '#') {
+        lex_directive();
+        continue;
+      }
+      throw LexError(std::string("unexpected character '") + c + "'", line_);
     }
-    return c;
+    if (append_eof_) out_.push_back(Token{TokenKind::kEof, {}, line_, column(pos_)});
   }
-  bool match(std::string_view text) {
-    if (src_.substr(pos_, text.size()) != text) return false;
-    for (std::size_t i = 0; i < text.size(); ++i) advance();
-    return true;
-  }
-  int line() const { return line_; }
-  int column() const { return col_; }
-  std::size_t pos() const { return pos_; }
-  std::string_view slice(std::size_t from) const { return src_.substr(from, pos_ - from); }
 
  private:
-  std::string_view src_;
-  std::size_t pos_ = 0;
-  int line_ = 1;
-  int col_ = 1;
-};
+  void newline(std::size_t next_pos) {
+    ++line_;
+    line_start_ = next_pos;
+  }
+  int column(std::size_t pos) const { return static_cast<int>(pos - line_start_) + 1; }
 
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
+  void emit(TokenKind kind, std::size_t start, std::size_t end, int line, int col) {
+    out_.push_back(Token{kind, src_.substr(start, end - start), line, col});
+  }
 
-void lex_number(Cursor& cur, std::vector<Token>& out) {
-  const int line = cur.line();
-  const int col = cur.column();
-  const std::size_t start = cur.pos();
-  bool is_float = false;
+  void lex_word() {
+    const std::size_t start = pos_;
+    const std::size_t n = src_.size();
+    std::size_t p = pos_ + 1;
+    while (p < n && (char_class(src_[p]) & kIdentCont)) ++p;
+    const std::string_view word = src_.substr(start, p - start);
+    const TokenKind kind = is_c_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+    out_.push_back(Token{kind, word, line_, column(start)});
+    pos_ = p;
+  }
 
-  if (cur.peek() == '0' && (cur.peek(1) == 'x' || cur.peek(1) == 'X')) {
-    cur.advance();
-    cur.advance();
-    while (std::isxdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
-  } else {
-    while (std::isdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
-    // After digits a '.' always belongs to the literal (member access can
-    // only follow an identifier or bracket, never a digit sequence).
-    if (cur.peek() == '.') {
-      is_float = true;
-      cur.advance();
-      while (std::isdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
-    }
-    if (cur.peek() == 'e' || cur.peek() == 'E') {
-      const char sign = cur.peek(1);
-      if (std::isdigit(static_cast<unsigned char>(sign)) ||
-          ((sign == '+' || sign == '-') && std::isdigit(static_cast<unsigned char>(cur.peek(2))))) {
+  void lex_number() {
+    const std::size_t start = pos_;
+    const std::size_t n = src_.size();
+    std::size_t p = pos_;
+    bool is_float = false;
+
+    if (src_[p] == '0' && p + 1 < n && (src_[p + 1] == 'x' || src_[p + 1] == 'X')) {
+      p += 2;
+      while (p < n && (char_class(src_[p]) & kXDigit)) ++p;
+    } else {
+      while (p < n && (char_class(src_[p]) & kDigit)) ++p;
+      // After digits a '.' always belongs to the literal (member access can
+      // only follow an identifier or bracket, never a digit sequence).
+      if (p < n && src_[p] == '.') {
         is_float = true;
-        cur.advance();
-        if (cur.peek() == '+' || cur.peek() == '-') cur.advance();
-        while (std::isdigit(static_cast<unsigned char>(cur.peek()))) cur.advance();
+        ++p;
+        while (p < n && (char_class(src_[p]) & kDigit)) ++p;
+      }
+      if (p < n && (src_[p] == 'e' || src_[p] == 'E')) {
+        const char sign = p + 1 < n ? src_[p + 1] : '\0';
+        const char after_sign = p + 2 < n ? src_[p + 2] : '\0';
+        if ((char_class(sign) & kDigit) ||
+            ((sign == '+' || sign == '-') && (char_class(after_sign) & kDigit))) {
+          is_float = true;
+          ++p;
+          if (src_[p] == '+' || src_[p] == '-') ++p;
+          while (p < n && (char_class(src_[p]) & kDigit)) ++p;
+        }
       }
     }
-  }
-  // Suffixes: f/F/l/L/u/U in any reasonable combination.
-  while (cur.peek() == 'f' || cur.peek() == 'F' || cur.peek() == 'l' || cur.peek() == 'L' ||
-         cur.peek() == 'u' || cur.peek() == 'U') {
-    if (cur.peek() == 'f' || cur.peek() == 'F') is_float = true;
-    cur.advance();
-  }
-  out.push_back(Token{is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral,
-                      std::string(cur.slice(start)), line, col});
-}
-
-void lex_quoted(Cursor& cur, char quote, TokenKind kind, std::vector<Token>& out) {
-  const int line = cur.line();
-  const int col = cur.column();
-  const std::size_t start = cur.pos();
-  cur.advance();  // opening quote
-  while (!cur.done() && cur.peek() != quote) {
-    if (cur.peek() == '\\') cur.advance();
-    if (cur.done()) break;
-    if (cur.peek() == '\n') throw LexError("unterminated literal", line);
-    cur.advance();
-  }
-  if (cur.done()) throw LexError("unterminated literal", line);
-  cur.advance();  // closing quote
-  out.push_back(Token{kind, std::string(cur.slice(start)), line, col});
-}
-
-/// Consume a preprocessor line starting at '#'. Returns the directive text
-/// with line continuations folded; emits a kPragma token for #pragma.
-void lex_directive(Cursor& cur, std::vector<Token>& out) {
-  const int line = cur.line();
-  const int col = cur.column();
-  cur.advance();  // '#'
-  std::string text;
-  while (!cur.done() && cur.peek() != '\n') {
-    if (cur.peek() == '\\' && cur.peek(1) == '\n') {
-      cur.advance();
-      cur.advance();
-      text += ' ';
-      continue;
+    // Suffixes: f/F/l/L/u/U in any reasonable combination.
+    while (p < n) {
+      const char s = src_[p];
+      if (s == 'f' || s == 'F') {
+        is_float = true;
+      } else if (s != 'l' && s != 'L' && s != 'u' && s != 'U') {
+        break;
+      }
+      ++p;
     }
-    text += cur.advance();
+    emit(is_float ? TokenKind::kFloatLiteral : TokenKind::kIntLiteral, start, p, line_,
+         column(start));
+    pos_ = p;
   }
-  const auto trimmed = std::string(trim(text));
-  if (starts_with(trimmed, "pragma")) {
-    out.push_back(Token{TokenKind::kPragma, trimmed, line, col});
+
+  /// Maximal-munch punctuator match, dispatched on the first char instead of
+  /// probing a candidate list.
+  void lex_punct() {
+    const std::size_t start = pos_;
+    const char c = src_[start];
+    const char c1 = start + 1 < src_.size() ? src_[start + 1] : '\0';
+    const char c2 = start + 2 < src_.size() ? src_[start + 2] : '\0';
+    std::size_t len = 1;
+    switch (c) {
+      case '<':
+        len = (c1 == '<') ? (c2 == '=' ? 3 : 2) : (c1 == '=' ? 2 : 1);
+        break;
+      case '>':
+        len = (c1 == '>') ? (c2 == '=' ? 3 : 2) : (c1 == '=' ? 2 : 1);
+        break;
+      case '.':
+        len = (c1 == '.' && c2 == '.') ? 3 : 1;
+        break;
+      case '-':
+        len = (c1 == '>' || c1 == '-' || c1 == '=') ? 2 : 1;
+        break;
+      case '+':
+        len = (c1 == '+' || c1 == '=') ? 2 : 1;
+        break;
+      case '&':
+        len = (c1 == '&' || c1 == '=') ? 2 : 1;
+        break;
+      case '|':
+        len = (c1 == '|' || c1 == '=') ? 2 : 1;
+        break;
+      case '=':
+      case '!':
+      case '*':
+      case '/':
+      case '%':
+      case '^':
+        len = (c1 == '=') ? 2 : 1;
+        break;
+      default:
+        break;  // ~ ? : ; , ( ) { } [ ] are always single
+    }
+    emit(TokenKind::kPunct, start, start + len, line_, column(start));
+    pos_ = start + len;
   }
-  // #include/#define/#if... are irrelevant to loop-level analysis: dropped.
-}
+
+  void lex_quoted(char quote, TokenKind kind) {
+    const std::size_t start = pos_;
+    const int line = line_;
+    const int col = column(start);
+    const std::size_t n = src_.size();
+    std::size_t p = pos_ + 1;  // opening quote
+    while (p < n && src_[p] != quote) {
+      if (src_[p] == '\\') {
+        // An escaped newline would silently desynchronize line tracking;
+        // the frontend has always rejected literals that span lines.
+        if (p + 1 < n && src_[p + 1] == '\n') throw LexError("unterminated literal", line);
+        p += 2;
+        continue;
+      }
+      if (src_[p] == '\n') throw LexError("unterminated literal", line);
+      ++p;
+    }
+    if (p >= n) throw LexError("unterminated literal", line);
+    ++p;  // closing quote
+    emit(kind, start, p, line, col);
+    pos_ = p;
+  }
+
+  void lex_comment() {
+    const std::size_t n = src_.size();
+    if (src_[pos_ + 1] == '/') {
+      std::size_t p = pos_ + 2;
+      while (p < n && src_[p] != '\n') ++p;
+      pos_ = p;  // the newline itself is handled by the main loop
+      return;
+    }
+    const int line = line_;
+    std::size_t p = pos_ + 2;
+    while (p + 1 < n && !(src_[p] == '*' && src_[p + 1] == '/')) {
+      if (src_[p] == '\n') newline(p + 1);
+      ++p;
+    }
+    if (p + 1 >= n) throw LexError("unterminated block comment", line);
+    pos_ = p + 2;
+  }
+
+  /// Consume a preprocessor line starting at '#'. Emits a kPragma token for
+  /// #pragma (line continuations folded to spaces); other directives are
+  /// irrelevant to loop-level analysis and dropped.
+  void lex_directive() {
+    const int line = line_;
+    const int col = column(pos_);
+    const std::size_t n = src_.size();
+    const std::size_t body_start = pos_ + 1;  // past '#'
+    std::size_t p = body_start;
+    bool folded = false;
+    while (p < n && src_[p] != '\n') {
+      if (src_[p] == '\\' && p + 1 < n && src_[p + 1] == '\n') {
+        folded = true;
+        newline(p + 2);
+        p += 2;
+        continue;
+      }
+      ++p;
+    }
+    std::string_view text;
+    if (!folded) {
+      text = trim(src_.substr(body_start, p - body_start));
+    } else {
+      std::string synthesized;
+      synthesized.reserve(p - body_start);
+      for (std::size_t q = body_start; q < p; ++q) {
+        if (src_[q] == '\\' && q + 1 < p && src_[q + 1] == '\n') {
+          synthesized += ' ';
+          ++q;
+          continue;
+        }
+        synthesized += src_[q];
+      }
+      text = arena_.intern(trim(synthesized));
+    }
+    if (keep_pragmas_ && starts_with(text, "pragma")) {
+      out_.push_back(Token{TokenKind::kPragma, text, line, col});
+    }
+    pos_ = p;  // the terminating newline is handled by the main loop
+  }
+
+  std::string_view src_;
+  Arena& arena_;
+  bool keep_pragmas_;
+  bool append_eof_;
+  std::vector<Token>& out_;
+  std::size_t pos_ = 0;
+  std::size_t line_start_ = 0;
+  int line_ = 1;
+};
 
 }  // namespace
 
-std::vector<Token> lex(std::string_view source) {
+std::vector<Token> lex(std::string_view source, Arena& arena) {
   std::vector<Token> out;
-  Cursor cur(source);
-
-  while (!cur.done()) {
-    const char c = cur.peek();
-
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
-      cur.advance();
-      continue;
-    }
-    if (c == '/' && cur.peek(1) == '/') {
-      while (!cur.done() && cur.peek() != '\n') cur.advance();
-      continue;
-    }
-    if (c == '/' && cur.peek(1) == '*') {
-      const int line = cur.line();
-      cur.advance();
-      cur.advance();
-      while (!cur.done() && !(cur.peek() == '*' && cur.peek(1) == '/')) cur.advance();
-      if (cur.done()) throw LexError("unterminated block comment", line);
-      cur.advance();
-      cur.advance();
-      continue;
-    }
-    if (c == '#') {
-      lex_directive(cur, out);
-      continue;
-    }
-    if (is_ident_start(c)) {
-      const int line = cur.line();
-      const int col = cur.column();
-      const std::size_t start = cur.pos();
-      while (is_ident_char(cur.peek())) cur.advance();
-      std::string word(cur.slice(start));
-      const TokenKind kind = is_c_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
-      out.push_back(Token{kind, std::move(word), line, col});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
-      lex_number(cur, out);
-      continue;
-    }
-    if (c == '"') {
-      lex_quoted(cur, '"', TokenKind::kStringLiteral, out);
-      continue;
-    }
-    if (c == '\'') {
-      lex_quoted(cur, '\'', TokenKind::kCharLiteral, out);
-      continue;
-    }
-
-    // Punctuators, longest match first.
-    {
-      const int line = cur.line();
-      const int col = cur.column();
-      bool matched = false;
-      for (auto p : kPuncts3) {
-        if (cur.match(p)) {
-          out.push_back(Token{TokenKind::kPunct, std::string(p), line, col});
-          matched = true;
-          break;
-        }
-      }
-      if (matched) continue;
-      for (auto p : kPuncts2) {
-        if (cur.match(p)) {
-          out.push_back(Token{TokenKind::kPunct, std::string(p), line, col});
-          matched = true;
-          break;
-        }
-      }
-      if (matched) continue;
-      static constexpr std::string_view kSingles = "+-*/%<>=!&|^~?:;,.(){}[]";
-      if (kSingles.find(c) != std::string_view::npos) {
-        cur.advance();
-        out.push_back(Token{TokenKind::kPunct, std::string(1, c), line, col});
-        continue;
-      }
-      throw LexError(std::string("unexpected character '") + c + "'", cur.line());
-    }
-  }
-
-  out.push_back(Token{TokenKind::kEof, "", cur.line(), cur.column()});
+  Scanner(source, arena, /*keep_pragmas=*/true, /*append_eof=*/true, out).run();
   return out;
 }
 
-std::vector<Token> lex_code_tokens(std::string_view source) {
-  auto tokens = lex(source);
+std::vector<Token> lex_code_tokens(std::string_view source, Arena& arena) {
   std::vector<Token> out;
-  out.reserve(tokens.size());
-  for (auto& t : tokens) {
-    if (t.kind == TokenKind::kPragma || t.kind == TokenKind::kEof) continue;
-    out.push_back(std::move(t));
-  }
+  Scanner(source, arena, /*keep_pragmas=*/false, /*append_eof=*/false, out).run();
   return out;
 }
 

@@ -7,6 +7,12 @@
 //    annotate,
 //  * produce the token stream consumed both by the parser and by the
 //    token-based PragFormer baseline.
+//
+// Zero-copy: tokens view straight into `source` — the caller's buffer must
+// outlive the token vector. The only synthesized spellings are `#pragma`
+// lines with line continuations folded; those are interned into `arena`
+// (directives without continuations view the source directly). The scanner
+// itself is a single pass driven by a 256-entry char-class table.
 #pragma once
 
 #include <stdexcept>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "frontend/token.h"
+#include "support/arena.h"
 
 namespace g2p {
 
@@ -29,11 +36,13 @@ class LexError : public std::runtime_error {
   int line_;
 };
 
-/// Tokenize a full source buffer. Appends a trailing kEof token.
-std::vector<Token> lex(std::string_view source);
+/// Tokenize a full source buffer. Appends a trailing kEof token. Token text
+/// views `source` (or `arena` for folded pragma lines).
+std::vector<Token> lex(std::string_view source, Arena& arena);
 
-/// Tokenize and drop kPragma tokens — the raw token sequence used by the
+/// Tokenize with kPragma tokens dropped *during the scan* (no second
+/// pass/copy) and no trailing kEof — the raw token sequence used by the
 /// token-representation baseline (PragFormer) and the lexical aug-AST edges.
-std::vector<Token> lex_code_tokens(std::string_view source);
+std::vector<Token> lex_code_tokens(std::string_view source, Arena& arena);
 
 }  // namespace g2p

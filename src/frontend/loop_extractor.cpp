@@ -12,9 +12,9 @@ namespace {
 /// matches how the paper's categories treat calls inside the loop).
 const Stmt* loop_body(const Stmt& loop) {
   switch (loop.kind()) {
-    case NodeKind::kForStmt: return static_cast<const ForStmt&>(loop).body.get();
-    case NodeKind::kWhileStmt: return static_cast<const WhileStmt&>(loop).body.get();
-    case NodeKind::kDoStmt: return static_cast<const DoStmt&>(loop).body.get();
+    case NodeKind::kForStmt: return static_cast<const ForStmt&>(loop).body;
+    case NodeKind::kWhileStmt: return static_cast<const WhileStmt&>(loop).body;
+    case NodeKind::kDoStmt: return static_cast<const DoStmt&>(loop).body;
     default: return nullptr;
   }
 }

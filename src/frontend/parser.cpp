@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <set>
+#include <utility>
 
 #include "frontend/lexer.h"
 
@@ -25,18 +26,57 @@ int binary_precedence(std::string_view op) {
   return -1;
 }
 
+/// Builtin typedef names every parse knows without populating a per-parse
+/// set (the common case: sources declare no typedefs of their own).
+bool is_builtin_typedef(std::string_view name) {
+  switch (name.size()) {
+    case 4:
+      return name == "FILE" || name == "bool";
+    case 6:
+      return name == "size_t" || name == "int8_t";
+    case 7:
+      return name == "int16_t" || name == "int32_t" || name == "int64_t" ||
+             name == "uint8_t" || name == "ssize_t";
+    case 8:
+      return name == "uint16_t" || name == "uint32_t" || name == "uint64_t";
+    case 9:
+      return name == "ptrdiff_t";
+    default:
+      return false;
+  }
+}
+
 bool is_assign_op(std::string_view op) {
   return op == "=" || op == "+=" || op == "-=" || op == "*=" || op == "/=" || op == "%=" ||
          op == "&=" || op == "^=" || op == "|=" || op == "<<=" || op == ">>=";
 }
 
+/// Numeric literal parsing from a (non-null-terminated) spelling view.
+/// Spellings are lexer-bounded, so a stack copy is always enough.
+long long parse_int_literal(std::string_view text) {
+  char buf[64];
+  const std::size_t len = std::min(text.size(), sizeof buf - 1);
+  text.copy(buf, len);
+  buf[len] = '\0';
+  return std::strtoll(buf, nullptr, 0);  // base 0: handles 0x / octal
+}
+
+double parse_float_literal(std::string_view text) {
+  char buf[64];
+  const std::size_t len = std::min(text.size(), sizeof buf - 1);
+  text.copy(buf, len);
+  buf[len] = '\0';
+  return std::strtod(buf, nullptr);
+}
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, Arena& arena)
+      : tokens_(std::move(tokens)), arena_(arena) {}
 
   ParseResult parse_unit() {
     ParseResult result;
-    result.tu = std::make_unique<TranslationUnit>();
+    result.tu = arena_.create<TranslationUnit>();
     while (!peek().is(TokenKind::kEof)) {
       if (peek().is(TokenKind::kPragma)) {
         pending_pragma_ = advance().text;
@@ -44,8 +84,9 @@ class Parser {
       }
       parse_top_level(*result.tu);
     }
-    result.structs = structs_;
-    result.typedefs.assign(typedefs_.begin(), typedefs_.end());
+    result.structs = std::move(structs_);
+    result.typedefs.reserve(typedefs_.size());
+    for (const auto& t : typedefs_) result.typedefs.emplace_back(t);
     return result;
   }
 
@@ -85,32 +126,40 @@ class Parser {
   }
   void expect_punct(std::string_view p) {
     if (!match_punct(p)) {
-      throw ParseError("expected '" + std::string(p) + "', got '" + peek().text + "'",
+      throw ParseError("expected '" + std::string(p) + "', got '" + std::string(peek().text) +
+                           "'",
                        peek().line);
     }
   }
   void expect_eof() {
     if (!peek().is(TokenKind::kEof)) {
-      throw ParseError("trailing tokens after input: '" + peek().text + "'", peek().line);
+      throw ParseError("trailing tokens after input: '" + std::string(peek().text) + "'",
+                       peek().line);
     }
   }
   [[noreturn]] void fail(const std::string& message) const {
-    throw ParseError(message + " near '" + peek().text + "'", peek().line);
+    throw ParseError(message + " near '" + std::string(peek().text) + "'", peek().line);
   }
 
   // ---- type recognition ---------------------------------------------------
 
+  bool is_typedef_name(std::string_view name) const {
+    return is_builtin_typedef(name) || typedefs_.count(name) > 0;
+  }
+
   bool at_type_start() const {
     const Token& t = peek();
     if (t.is(TokenKind::kKeyword) && is_type_start_keyword(t.text)) return true;
-    if (t.is(TokenKind::kIdentifier) && typedefs_.count(t.text)) return true;
+    if (t.is(TokenKind::kIdentifier) && is_typedef_name(t.text)) return true;
     return false;
   }
 
-  /// Parse a type specifier: qualifiers + base + pointer stars.
+  /// Parse a type specifier: qualifiers + base + pointer stars. Single-token
+  /// bases view the source; multi-word spellings are interned in the arena.
   Type parse_type() {
     Type type;
-    std::string base;
+    std::string_view base;
+    std::string multi;  // only materialized for multi-word bases
     bool saw_base = false;
     // Qualifiers and multi-word bases ("unsigned long long", "const float").
     while (true) {
@@ -124,7 +173,9 @@ class Parser {
       if (t.is(TokenKind::kKeyword) && t.text == "struct") {
         advance();
         if (!peek().is(TokenKind::kIdentifier)) fail("expected struct name");
-        base = "struct " + advance().text;
+        multi = "struct ";
+        multi += advance().text;
+        base = {};
         saw_base = true;
         continue;
       }
@@ -132,12 +183,18 @@ class Parser {
           (t.text == "void" || t.text == "char" || t.text == "short" || t.text == "int" ||
            t.text == "long" || t.text == "float" || t.text == "double" || t.text == "signed" ||
            t.text == "unsigned")) {
-        if (!base.empty()) base += " ";
-        base += advance().text;
+        if (!saw_base) {
+          base = advance().text;
+        } else {
+          if (multi.empty()) multi = base;
+          multi += " ";
+          multi += advance().text;
+          base = {};
+        }
         saw_base = true;
         continue;
       }
-      if (!saw_base && t.is(TokenKind::kIdentifier) && typedefs_.count(t.text)) {
+      if (!saw_base && t.is(TokenKind::kIdentifier) && is_typedef_name(t.text)) {
         base = advance().text;
         saw_base = true;
         continue;
@@ -145,7 +202,7 @@ class Parser {
       break;
     }
     if (!saw_base) fail("expected type");
-    type.base = base;
+    type.base = multi.empty() ? base : arena_.intern(multi);
     while (match_punct("*")) ++type.pointer_depth;
     return type;
   }
@@ -167,15 +224,15 @@ class Parser {
     const int line = peek().line;
     Type type = parse_type();
     if (!peek().is(TokenKind::kIdentifier)) fail("expected declarator name");
-    std::string name = advance().text;
+    std::string_view name = advance().text;
 
     if (peek().is_punct("(")) {
-      tu.decls.push_back(parse_function_rest(std::move(type), std::move(name), line));
+      tu.decls.push_back(parse_function_rest(type, name, line));
       return;
     }
     // Global variable(s).
-    auto decl_stmt = parse_var_decl_rest(std::move(type), std::move(name), line);
-    for (auto& vd : decl_stmt->decls) tu.decls.push_back(std::move(vd));
+    DeclStmt* decl_stmt = parse_var_decl_rest(type, name, line);
+    for (auto* vd : decl_stmt->decls) tu.decls.push_back(vd);
   }
 
   void parse_typedef() {
@@ -185,31 +242,31 @@ class Parser {
                                         (peek(1).is(TokenKind::kIdentifier) && peek(2).is_punct("{")))) {
       advance();  // struct
       std::string tag;
-      if (peek().is(TokenKind::kIdentifier)) tag = advance().text;
+      if (peek().is(TokenKind::kIdentifier)) tag = std::string(advance().text);
       StructInfo info = parse_struct_body(tag);
       if (!peek().is(TokenKind::kIdentifier)) fail("expected typedef name");
-      std::string alias = advance().text;
+      std::string alias(advance().text);
       expect_punct(";");
       info.name = alias;
       structs_[alias] = info;
       if (!tag.empty()) structs_["struct " + tag] = info;
-      typedefs_.insert(alias);
+      typedefs_.insert(std::move(alias));
       return;
     }
     // Plain alias: consume tokens until ';', last identifier is the alias.
     std::string alias;
     while (!peek().is_punct(";") && !peek().is(TokenKind::kEof)) {
-      if (peek().is(TokenKind::kIdentifier)) alias = peek().text;
+      if (peek().is(TokenKind::kIdentifier)) alias = std::string(peek().text);
       advance();
     }
     expect_punct(";");
     if (alias.empty()) fail("typedef without a name");
-    typedefs_.insert(alias);
+    typedefs_.insert(std::move(alias));
   }
 
   void parse_struct_definition() {
     advance();  // struct
-    std::string tag = advance().text;
+    std::string tag(advance().text);
     StructInfo info = parse_struct_body(tag);
     structs_["struct " + tag] = info;
     expect_punct(";");
@@ -225,10 +282,10 @@ class Parser {
         if (!peek().is(TokenKind::kIdentifier)) fail("expected field name");
         StructInfo::Field field;
         field.type = field_type;
-        field.name = advance().text;
+        field.name = std::string(advance().text);
         while (match_punct("[")) {
           if (!peek().is(TokenKind::kIntLiteral)) fail("expected constant array bound");
-          field.array_dims.push_back(std::strtoll(advance().text.c_str(), nullptr, 0));
+          field.array_dims.push_back(parse_int_literal(advance().text));
           expect_punct("]");
         }
         info.fields.push_back(std::move(field));
@@ -240,8 +297,8 @@ class Parser {
     return info;
   }
 
-  DeclPtr parse_function_rest(Type return_type, std::string name, int line) {
-    auto fn = std::make_unique<FunctionDecl>(std::move(return_type), std::move(name));
+  DeclPtr parse_function_rest(Type return_type, std::string_view name, int line) {
+    auto* fn = arena_.create<FunctionDecl>(return_type, name);
     fn->line = line;
     expect_punct("(");
     if (!peek().is_punct(")")) {
@@ -250,24 +307,23 @@ class Parser {
       } else {
         while (true) {
           Type ptype = parse_type();
-          std::string pname;
+          std::string_view pname;
           if (peek().is(TokenKind::kIdentifier)) pname = advance().text;
-          auto param = std::make_unique<ParamDecl>(std::move(ptype), std::move(pname));
+          auto* param = arena_.create<ParamDecl>(ptype, pname);
           param->line = peek().line;
           while (match_punct("[")) {  // array params decay to pointers
             param->is_array = true;
             if (peek().is(TokenKind::kIntLiteral) || peek().is(TokenKind::kIdentifier)) advance();
             expect_punct("]");
           }
-          fn->params.push_back(std::move(param));
+          fn->params.push_back(param);
           if (!match_punct(",")) break;
         }
       }
     }
     expect_punct(")");
     if (match_punct(";")) return fn;  // prototype
-    auto body = parse_compound();
-    fn->body.reset(static_cast<CompoundStmt*>(body.release()));
+    fn->body = static_cast<CompoundStmt*>(parse_compound());
     return fn;
   }
 
@@ -278,17 +334,16 @@ class Parser {
     if (peek().is(TokenKind::kPragma)) {
       pending_pragma_ = advance().text;
     }
-    std::string pragma = std::move(pending_pragma_);
-    pending_pragma_.clear();
+    const std::string_view pragma = std::exchange(pending_pragma_, {});
 
     auto stmt = parse_statement_inner();
-    if (!pragma.empty()) stmt->pragma_text = std::move(pragma);
+    if (!pragma.empty()) stmt->pragma_text = pragma;
     return stmt;
   }
 
   StmtPtr parse_statement_inner() {
     const int line = peek().line;
-    StmtPtr stmt;
+    StmtPtr stmt = nullptr;
     if (peek().is_punct("{")) {
       stmt = parse_compound();
     } else if (peek().is_keyword("if")) {
@@ -300,31 +355,31 @@ class Parser {
     } else if (peek().is_keyword("do")) {
       stmt = parse_do();
     } else if (match_keyword("return")) {
-      ExprPtr value;
+      ExprPtr value = nullptr;
       if (!peek().is_punct(";")) value = parse_expr();
       expect_punct(";");
-      stmt = std::make_unique<ReturnStmt>(std::move(value));
+      stmt = arena_.create<ReturnStmt>(value);
     } else if (match_keyword("break")) {
       expect_punct(";");
-      stmt = std::make_unique<BreakStmt>();
+      stmt = arena_.create<BreakStmt>();
     } else if (match_keyword("continue")) {
       expect_punct(";");
-      stmt = std::make_unique<ContinueStmt>();
+      stmt = arena_.create<ContinueStmt>();
     } else if (match_punct(";")) {
-      stmt = std::make_unique<NullStmt>();
+      stmt = arena_.create<NullStmt>();
     } else if (at_type_start()) {
       stmt = parse_decl_stmt();
     } else {
       ExprPtr expr = parse_expr();
       expect_punct(";");
-      stmt = std::make_unique<ExprStmt>(std::move(expr));
+      stmt = arena_.create<ExprStmt>(expr);
     }
     stmt->line = line;
     return stmt;
   }
 
   StmtPtr parse_compound() {
-    auto block = std::make_unique<CompoundStmt>();
+    auto* block = arena_.create<CompoundStmt>();
     block->line = peek().line;
     expect_punct("{");
     while (!peek().is_punct("}")) {
@@ -341,34 +396,32 @@ class Parser {
     ExprPtr cond = parse_expr();
     expect_punct(")");
     StmtPtr then_branch = parse_statement();
-    StmtPtr else_branch;
+    StmtPtr else_branch = nullptr;
     if (match_keyword("else")) else_branch = parse_statement();
-    return std::make_unique<IfStmt>(std::move(cond), std::move(then_branch),
-                                    std::move(else_branch));
+    return arena_.create<IfStmt>(cond, then_branch, else_branch);
   }
 
   StmtPtr parse_for() {
     advance();  // for
     expect_punct("(");
-    StmtPtr init;
+    StmtPtr init = nullptr;
     if (match_punct(";")) {
-      init = std::make_unique<NullStmt>();
+      init = arena_.create<NullStmt>();
     } else if (at_type_start()) {
       init = parse_decl_stmt();  // consumes ';'
     } else {
       ExprPtr e = parse_expr();
       expect_punct(";");
-      init = std::make_unique<ExprStmt>(std::move(e));
+      init = arena_.create<ExprStmt>(e);
     }
-    ExprPtr cond;
+    ExprPtr cond = nullptr;
     if (!peek().is_punct(";")) cond = parse_expr();
     expect_punct(";");
-    ExprPtr inc;
+    ExprPtr inc = nullptr;
     if (!peek().is_punct(")")) inc = parse_expr();
     expect_punct(")");
     StmtPtr body = parse_statement();
-    return std::make_unique<ForStmt>(std::move(init), std::move(cond), std::move(inc),
-                                     std::move(body));
+    return arena_.create<ForStmt>(init, cond, inc, body);
   }
 
   StmtPtr parse_while() {
@@ -377,7 +430,7 @@ class Parser {
     ExprPtr cond = parse_expr();
     expect_punct(")");
     StmtPtr body = parse_statement();
-    return std::make_unique<WhileStmt>(std::move(cond), std::move(body));
+    return arena_.create<WhileStmt>(cond, body);
   }
 
   StmtPtr parse_do() {
@@ -388,31 +441,30 @@ class Parser {
     ExprPtr cond = parse_expr();
     expect_punct(")");
     expect_punct(";");
-    return std::make_unique<DoStmt>(std::move(body), std::move(cond));
+    return arena_.create<DoStmt>(body, cond);
   }
 
   StmtPtr parse_decl_stmt() {
     const int line = peek().line;
     Type type = parse_type();
     if (!peek().is(TokenKind::kIdentifier)) fail("expected variable name");
-    std::string name = advance().text;
-    auto stmt = parse_var_decl_rest(std::move(type), std::move(name), line);
-    return stmt;
+    std::string_view name = advance().text;
+    return parse_var_decl_rest(type, name, line);
   }
 
   /// Parse the remainder of a variable declaration after "type name",
   /// including array dims, initializer, and comma-separated declarators.
   /// Consumes the terminating ';'.
-  std::unique_ptr<DeclStmt> parse_var_decl_rest(Type type, std::string first_name, int line) {
-    auto stmt = std::make_unique<DeclStmt>();
+  DeclStmt* parse_var_decl_rest(Type type, std::string_view first_name, int line) {
+    auto* stmt = arena_.create<DeclStmt>();
     stmt->line = line;
-    std::string name = std::move(first_name);
+    std::string_view name = first_name;
     while (true) {
-      auto decl = std::make_unique<VarDecl>(type, name);
+      auto* decl = arena_.create<VarDecl>(type, name);
       decl->line = line;
       while (match_punct("[")) {
         if (peek().is_punct("]")) {
-          decl->array_dims.push_back(std::make_unique<IntLiteral>(0, "0"));
+          decl->array_dims.push_back(arena_.create<IntLiteral>(0, "0"));
         } else {
           decl->array_dims.push_back(parse_assignment_expr());
         }
@@ -425,7 +477,7 @@ class Parser {
           decl->init = parse_assignment_expr();
         }
       }
-      stmt->decls.push_back(std::move(decl));
+      stmt->decls.push_back(decl);
       if (!match_punct(",")) break;
       // Subsequent declarators may have their own stars: int a, *p;
       Type next = type;
@@ -454,7 +506,7 @@ class Parser {
       }
     }
     expect_punct("}");
-    return std::make_unique<InitListExpr>(std::move(items));
+    return arena_.create<InitListExpr>(std::move(items));
   }
 
   // ---- expressions ----------------------------------------------------------
@@ -464,7 +516,7 @@ class Parser {
     while (peek().is_punct(",")) {
       advance();
       ExprPtr rhs = parse_assignment_expr();
-      expr = std::make_unique<BinaryOperator>(",", std::move(expr), std::move(rhs));
+      expr = arena_.create<BinaryOperator>(",", expr, rhs);
     }
     return expr;
   }
@@ -472,9 +524,9 @@ class Parser {
   ExprPtr parse_assignment_expr() {
     ExprPtr lhs = parse_conditional();
     if (peek().is(TokenKind::kPunct) && is_assign_op(peek().text)) {
-      std::string op = advance().text;
+      std::string_view op = advance().text;
       ExprPtr rhs = parse_assignment_expr();  // right-assoc
-      auto node = std::make_unique<Assignment>(std::move(op), std::move(lhs), std::move(rhs));
+      auto* node = arena_.create<Assignment>(op, lhs, rhs);
       node->line = node->lhs->line;
       return node;
     }
@@ -487,8 +539,7 @@ class Parser {
     ExprPtr then_expr = parse_expr();
     expect_punct(":");
     ExprPtr else_expr = parse_assignment_expr();
-    return std::make_unique<Conditional>(std::move(cond), std::move(then_expr),
-                                         std::move(else_expr));
+    return arena_.create<Conditional>(cond, then_expr, else_expr);
   }
 
   ExprPtr parse_binary(int min_prec) {
@@ -496,11 +547,11 @@ class Parser {
     while (peek().is(TokenKind::kPunct)) {
       const int prec = binary_precedence(peek().text);
       if (prec < min_prec) break;
-      std::string op = advance().text;
+      std::string_view op = advance().text;
       ExprPtr rhs = parse_binary(prec + 1);
-      auto node = std::make_unique<BinaryOperator>(std::move(op), std::move(lhs), std::move(rhs));
+      auto* node = arena_.create<BinaryOperator>(op, lhs, rhs);
       node->line = node->lhs->line;
-      lhs = std::move(node);
+      lhs = node;
     }
     return lhs;
   }
@@ -509,7 +560,7 @@ class Parser {
     if (!peek().is_punct("(")) return false;
     const Token& t = peek(1);
     if (t.is(TokenKind::kKeyword) && is_type_start_keyword(t.text)) return true;
-    if (t.is(TokenKind::kIdentifier) && typedefs_.count(t.text)) {
+    if (t.is(TokenKind::kIdentifier) && is_typedef_name(t.text)) {
       // "(T)" or "(T*)" is a cast; "(x)" is parenthesized expression.
       return peek(2).is_punct(")") || peek(2).is_punct("*");
     }
@@ -521,10 +572,9 @@ class Parser {
     const int line = t.line;
     if (t.is_punct("+") || t.is_punct("-") || t.is_punct("!") || t.is_punct("~") ||
         t.is_punct("*") || t.is_punct("&") || t.is_punct("++") || t.is_punct("--")) {
-      std::string op = advance().text;
+      std::string_view op = advance().text;
       ExprPtr operand = parse_unary();
-      auto node = std::make_unique<UnaryOperator>(std::move(op), /*prefix=*/true,
-                                                  std::move(operand));
+      auto* node = arena_.create<UnaryOperator>(op, /*prefix=*/true, operand);
       node->line = line;
       return node;
     }
@@ -532,17 +582,16 @@ class Parser {
       advance();
       if (peek().is_punct("(") &&
           (peek(1).is(TokenKind::kKeyword) ? is_type_start_keyword(peek(1).text)
-                                           : typedefs_.count(peek(1).text) > 0)) {
+                                           : is_typedef_name(peek(1).text))) {
         advance();  // (
         Type type = parse_type();
         expect_punct(")");
-        auto node = std::make_unique<SizeofExpr>(std::move(type));
+        auto* node = arena_.create<SizeofExpr>(type);
         node->line = line;
         return node;
       }
       ExprPtr operand = parse_unary();
-      auto node =
-          std::make_unique<UnaryOperator>("sizeof", /*prefix=*/true, std::move(operand));
+      auto* node = arena_.create<UnaryOperator>("sizeof", /*prefix=*/true, operand);
       node->line = line;
       return node;
     }
@@ -551,7 +600,7 @@ class Parser {
       Type type = parse_type();
       expect_punct(")");
       ExprPtr operand = parse_unary();
-      auto node = std::make_unique<CastExpr>(std::move(type), std::move(operand));
+      auto* node = arena_.create<CastExpr>(type, operand);
       node->line = line;
       return node;
     }
@@ -565,19 +614,19 @@ class Parser {
         advance();
         ExprPtr index = parse_expr();
         expect_punct("]");
-        expr = std::make_unique<ArraySubscript>(std::move(expr), std::move(index));
+        expr = arena_.create<ArraySubscript>(expr, index);
       } else if (peek().is_punct(".") && peek(1).is(TokenKind::kIdentifier)) {
         advance();
-        std::string member = advance().text;
-        expr = std::make_unique<MemberExpr>(std::move(expr), std::move(member), false);
+        std::string_view member = advance().text;
+        expr = arena_.create<MemberExpr>(expr, member, false);
       } else if (peek().is_punct("->")) {
         advance();
         if (!peek().is(TokenKind::kIdentifier)) fail("expected member name after '->'");
-        std::string member = advance().text;
-        expr = std::make_unique<MemberExpr>(std::move(expr), std::move(member), true);
+        std::string_view member = advance().text;
+        expr = arena_.create<MemberExpr>(expr, member, true);
       } else if (peek().is_punct("++") || peek().is_punct("--")) {
-        std::string op = advance().text;
-        expr = std::make_unique<UnaryOperator>(std::move(op), /*prefix=*/false, std::move(expr));
+        std::string_view op = advance().text;
+        expr = arena_.create<UnaryOperator>(op, /*prefix=*/false, expr);
       } else {
         break;
       }
@@ -588,21 +637,21 @@ class Parser {
   ExprPtr parse_primary() {
     const Token& t = peek();
     const int line = t.line;
-    ExprPtr node;
+    ExprPtr node = nullptr;
     if (t.is(TokenKind::kIntLiteral)) {
-      node = std::make_unique<IntLiteral>(std::strtoll(t.text.c_str(), nullptr, 0), t.text);
+      node = arena_.create<IntLiteral>(parse_int_literal(t.text), t.text);
       advance();
     } else if (t.is(TokenKind::kFloatLiteral)) {
-      node = std::make_unique<FloatLiteral>(std::strtod(t.text.c_str(), nullptr), t.text);
+      node = arena_.create<FloatLiteral>(parse_float_literal(t.text), t.text);
       advance();
     } else if (t.is(TokenKind::kCharLiteral)) {
-      node = std::make_unique<CharLiteral>(t.text);
+      node = arena_.create<CharLiteral>(t.text);
       advance();
     } else if (t.is(TokenKind::kStringLiteral)) {
-      node = std::make_unique<StringLiteral>(t.text);
+      node = arena_.create<StringLiteral>(t.text);
       advance();
     } else if (t.is(TokenKind::kIdentifier)) {
-      std::string name = advance().text;
+      std::string_view name = advance().text;
       if (peek().is_punct("(")) {
         advance();
         std::vector<ExprPtr> args;
@@ -613,15 +662,15 @@ class Parser {
           }
         }
         expect_punct(")");
-        node = std::make_unique<CallExpr>(std::move(name), std::move(args));
+        node = arena_.create<CallExpr>(name, std::move(args));
       } else {
-        node = std::make_unique<DeclRef>(std::move(name));
+        node = arena_.create<DeclRef>(name);
       }
     } else if (t.is_punct("(")) {
       advance();
       ExprPtr inner = parse_expr();
       expect_punct(")");
-      node = std::make_unique<ParenExpr>(std::move(inner));
+      node = arena_.create<ParenExpr>(inner);
     } else {
       fail("expected expression");
     }
@@ -630,29 +679,40 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  Arena& arena_;
   std::size_t pos_ = 0;
-  std::set<std::string> typedefs_ = {"size_t", "int8_t", "int16_t", "int32_t", "int64_t",
-                                     "uint8_t", "uint16_t", "uint32_t", "uint64_t",
-                                     "ssize_t", "ptrdiff_t", "FILE", "bool"};
-  std::map<std::string, StructInfo> structs_;
-  std::string pending_pragma_;
+  std::set<std::string, std::less<>> typedefs_;  // user typedefs only
+  std::map<std::string, StructInfo, std::less<>> structs_;
+  std::string_view pending_pragma_;
 };
 
 }  // namespace
 
 ParseResult parse_translation_unit(std::string_view source) {
-  Parser parser(lex(source));
-  return parser.parse_unit();
+  auto arena = std::make_unique<Arena>();
+  // Copy the source into the arena first: every token and AST spelling views
+  // this copy, so the result does not dangle when the caller's buffer dies.
+  const std::string_view owned = arena->intern(source);
+  Parser parser(lex(owned, *arena), *arena);
+  ParseResult result = parser.parse_unit();
+  result.arena = std::move(arena);
+  return result;
 }
 
-StmtPtr parse_statement(std::string_view source) {
-  Parser parser(lex(source));
-  return parser.parse_single_statement();
+ParsedStmt parse_statement(std::string_view source) {
+  auto arena = std::make_unique<Arena>();
+  const std::string_view owned = arena->intern(source);
+  Parser parser(lex(owned, *arena), *arena);
+  Stmt* root = parser.parse_single_statement();
+  return ParsedStmt(std::move(arena), root);
 }
 
-ExprPtr parse_expression(std::string_view source) {
-  Parser parser(lex(source));
-  return parser.parse_single_expression();
+ParsedExpr parse_expression(std::string_view source) {
+  auto arena = std::make_unique<Arena>();
+  const std::string_view owned = arena->intern(source);
+  Parser parser(lex(owned, *arena), *arena);
+  Expr* root = parser.parse_single_expression();
+  return ParsedExpr(std::move(arena), root);
 }
 
 }  // namespace g2p

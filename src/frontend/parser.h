@@ -5,6 +5,11 @@
 // function definitions, all structured control flow, and the full C
 // expression precedence ladder. OpenMP pragma tokens are attached to the
 // statement that follows them (Node::pragma_text).
+//
+// All nodes and spellings of one parse live in a single Arena; the
+// ParseResult (or ArenaRoot, for snippet parses) carries it, so node
+// lifetime is exactly what it was under per-node ownership — tied to the
+// result object — without the per-node allocations.
 #pragma once
 
 #include <map>
@@ -15,6 +20,7 @@
 
 #include "frontend/ast.h"
 #include "frontend/token.h"
+#include "support/arena.h"
 
 namespace g2p {
 
@@ -39,21 +45,53 @@ struct StructInfo {
   std::vector<Field> fields;
 };
 
-/// Output of a parse: the tree plus the type environment discovered.
+/// Struct layouts by name ("struct tag" / typedef alias), heterogeneous
+/// lookup so `Type::base` views probe without a temporary string.
+using StructMap = std::map<std::string, StructInfo, std::less<>>;
+
+/// Output of a parse: the tree plus the type environment discovered. The
+/// arena owns every node and spelling reachable from `tu`; moving a
+/// ParseResult moves the whole translation unit, nodes staying put.
 struct ParseResult {
-  std::unique_ptr<TranslationUnit> tu;
-  std::map<std::string, StructInfo> structs;
-  std::vector<std::string> typedefs;
+  std::unique_ptr<Arena> arena;
+  TranslationUnit* tu = nullptr;
+  StructMap structs;
+  std::vector<std::string> typedefs;  // user-declared typedefs (builtins like
+                                      // size_t are known implicitly)
 };
 
+/// Owning handle for a snippet parse: the arena plus the root node it owns.
+/// Smart-pointer surface (`*`, `->`, `get()`) so call sites read like the
+/// old `unique_ptr` API.
+template <typename T>
+class ArenaRoot {
+ public:
+  ArenaRoot() = default;
+  ArenaRoot(std::unique_ptr<Arena> arena, T* node) : arena_(std::move(arena)), node_(node) {}
+
+  T* get() const { return node_; }
+  T& operator*() const { return *node_; }
+  T* operator->() const { return node_; }
+  explicit operator bool() const { return node_ != nullptr; }
+
+ private:
+  std::unique_ptr<Arena> arena_;
+  T* node_ = nullptr;
+};
+
+using ParsedStmt = ArenaRoot<Stmt>;
+using ParsedExpr = ArenaRoot<Expr>;
+
 /// Parse a full translation unit. Throws ParseError / LexError on bad input.
+/// The source text is copied into the result's arena, so the result is
+/// self-contained even if `source`'s buffer dies.
 ParseResult parse_translation_unit(std::string_view source);
 
 /// Parse a single statement (convenience for loop snippets and tests).
 /// The snippet may reference undeclared identifiers.
-StmtPtr parse_statement(std::string_view source);
+ParsedStmt parse_statement(std::string_view source);
 
 /// Parse a single expression (tests).
-ExprPtr parse_expression(std::string_view source);
+ParsedExpr parse_expression(std::string_view source);
 
 }  // namespace g2p

@@ -1,88 +1,140 @@
 #include "frontend/printer.h"
 
-#include <sstream>
-
 namespace g2p {
 
 namespace {
 
-std::string ind(int level) { return std::string(static_cast<std::size_t>(level) * 2, ' '); }
-
+/// Append-style printer: every production appends to one output buffer, so
+/// regenerating a loop costs one growing allocation instead of a temporary
+/// string per sub-expression (this path runs once per extracted loop on the
+/// serving frontend). Output is byte-identical to the historical
+/// ostringstream printer — the frontend oracle test pins that.
 class Printer {
  public:
-  std::string print_expr(const Expr& e) {
+  explicit Printer(std::string& out) : out_(out) {}
+
+  void indent(int level) { out_.append(static_cast<std::size_t>(level) * 2, ' '); }
+
+  void print_expr(const Expr& e) {
     switch (e.kind()) {
       case NodeKind::kIntLiteral:
-        return static_cast<const IntLiteral&>(e).text;
+        out_ += static_cast<const IntLiteral&>(e).text;
+        break;
       case NodeKind::kFloatLiteral:
-        return static_cast<const FloatLiteral&>(e).text;
+        out_ += static_cast<const FloatLiteral&>(e).text;
+        break;
       case NodeKind::kCharLiteral:
-        return static_cast<const CharLiteral&>(e).text;
+        out_ += static_cast<const CharLiteral&>(e).text;
+        break;
       case NodeKind::kStringLiteral:
-        return static_cast<const StringLiteral&>(e).text;
+        out_ += static_cast<const StringLiteral&>(e).text;
+        break;
       case NodeKind::kDeclRef:
-        return static_cast<const DeclRef&>(e).name;
+        out_ += static_cast<const DeclRef&>(e).name;
+        break;
       case NodeKind::kBinaryOperator: {
         const auto& b = static_cast<const BinaryOperator&>(e);
-        return print_operand(*b.lhs) + " " + b.op + " " + print_operand(*b.rhs);
+        print_operand(*b.lhs);
+        out_ += ' ';
+        out_ += b.op;
+        out_ += ' ';
+        print_operand(*b.rhs);
+        break;
       }
       case NodeKind::kUnaryOperator: {
         const auto& u = static_cast<const UnaryOperator&>(e);
-        if (u.op == "sizeof") return "sizeof " + print_operand(*u.operand);
-        return u.prefix ? u.op + print_operand(*u.operand)
-                        : print_operand(*u.operand) + u.op;
+        if (u.op == "sizeof") {
+          out_ += "sizeof ";
+          print_operand(*u.operand);
+        } else if (u.prefix) {
+          out_ += u.op;
+          print_operand(*u.operand);
+        } else {
+          print_operand(*u.operand);
+          out_ += u.op;
+        }
+        break;
       }
       case NodeKind::kAssignment: {
         const auto& a = static_cast<const Assignment&>(e);
-        return print_expr(*a.lhs) + " " + a.op + " " + print_expr(*a.rhs);
+        print_expr(*a.lhs);
+        out_ += ' ';
+        out_ += a.op;
+        out_ += ' ';
+        print_expr(*a.rhs);
+        break;
       }
       case NodeKind::kConditional: {
         const auto& c = static_cast<const Conditional&>(e);
-        return print_operand(*c.cond) + " ? " + print_expr(*c.then_expr) + " : " +
-               print_expr(*c.else_expr);
+        print_operand(*c.cond);
+        out_ += " ? ";
+        print_expr(*c.then_expr);
+        out_ += " : ";
+        print_expr(*c.else_expr);
+        break;
       }
       case NodeKind::kCallExpr: {
         const auto& c = static_cast<const CallExpr&>(e);
-        std::string out = c.callee + "(";
+        out_ += c.callee;
+        out_ += '(';
         for (std::size_t i = 0; i < c.args.size(); ++i) {
-          if (i) out += ", ";
-          out += print_expr(*c.args[i]);
+          if (i) out_ += ", ";
+          print_expr(*c.args[i]);
         }
-        return out + ")";
+        out_ += ')';
+        break;
       }
       case NodeKind::kArraySubscript: {
         const auto& a = static_cast<const ArraySubscript&>(e);
-        return print_operand(*a.base) + "[" + print_expr(*a.index) + "]";
+        print_operand(*a.base);
+        out_ += '[';
+        print_expr(*a.index);
+        out_ += ']';
+        break;
       }
       case NodeKind::kMemberExpr: {
         const auto& m = static_cast<const MemberExpr&>(e);
-        return print_operand(*m.base) + (m.arrow ? "->" : ".") + m.member;
+        print_operand(*m.base);
+        out_ += m.arrow ? "->" : ".";
+        out_ += m.member;
+        break;
       }
       case NodeKind::kCastExpr: {
         const auto& c = static_cast<const CastExpr&>(e);
-        return "(" + c.type.spelling() + ")" + print_operand(*c.operand);
+        out_ += '(';
+        print_type(c.type);
+        out_ += ')';
+        print_operand(*c.operand);
+        break;
       }
       case NodeKind::kParenExpr:
-        return "(" + print_expr(*static_cast<const ParenExpr&>(e).inner) + ")";
+        out_ += '(';
+        print_expr(*static_cast<const ParenExpr&>(e).inner);
+        out_ += ')';
+        break;
       case NodeKind::kInitListExpr: {
         const auto& l = static_cast<const InitListExpr&>(e);
-        std::string out = "{";
+        out_ += '{';
         for (std::size_t i = 0; i < l.items.size(); ++i) {
-          if (i) out += ", ";
-          out += print_expr(*l.items[i]);
+          if (i) out_ += ", ";
+          print_expr(*l.items[i]);
         }
-        return out + "}";
+        out_ += '}';
+        break;
       }
       case NodeKind::kSizeofExpr:
-        return "sizeof(" + static_cast<const SizeofExpr&>(e).type.spelling() + ")";
+        out_ += "sizeof(";
+        print_type(static_cast<const SizeofExpr&>(e).type);
+        out_ += ')';
+        break;
       default:
-        return "/*?expr?*/";
+        out_ += "/*?expr?*/";
     }
   }
 
   /// Print a sub-expression, parenthesizing anything that is not atomic.
   /// Slightly over-parenthesizes; correctness beats minimality here.
-  std::string print_operand(const Expr& e) {
+  void print_operand(const Expr& e) {
     switch (e.kind()) {
       case NodeKind::kIntLiteral:
       case NodeKind::kFloatLiteral:
@@ -94,189 +146,250 @@ class Printer {
       case NodeKind::kMemberExpr:
       case NodeKind::kParenExpr:
       case NodeKind::kSizeofExpr:
-        return print_expr(e);
       case NodeKind::kUnaryOperator:
-        return print_expr(e);
+        print_expr(e);
+        break;
       default:
-        return "(" + print_expr(e) + ")";
+        out_ += '(';
+        print_expr(e);
+        out_ += ')';
     }
   }
 
-  void print_stmt(const Stmt& s, int level, std::ostringstream& out) {
-    if (s.pragma_text) out << ind(level) << "#" << *s.pragma_text << "\n";
+  void print_type(const Type& t) {
+    out_ += t.base;
+    for (int i = 0; i < t.pointer_depth; ++i) out_ += '*';
+  }
+
+  void print_stmt(const Stmt& s, int level) {
+    if (s.pragma_text) {
+      indent(level);
+      out_ += '#';
+      out_ += *s.pragma_text;
+      out_ += '\n';
+    }
     switch (s.kind()) {
       case NodeKind::kCompoundStmt: {
         const auto& c = static_cast<const CompoundStmt&>(s);
-        out << ind(level) << "{\n";
-        for (const auto& child : c.body) print_stmt(*child, level + 1, out);
-        out << ind(level) << "}\n";
+        indent(level);
+        out_ += "{\n";
+        for (const auto& child : c.body) print_stmt(*child, level + 1);
+        indent(level);
+        out_ += "}\n";
         break;
       }
       case NodeKind::kDeclStmt: {
-        const auto& d = static_cast<const DeclStmt&>(s);
-        out << ind(level) << print_decl_group(d) << ";\n";
+        indent(level);
+        print_decl_group(static_cast<const DeclStmt&>(s));
+        out_ += ";\n";
         break;
       }
       case NodeKind::kExprStmt: {
-        const auto& e = static_cast<const ExprStmt&>(s);
-        out << ind(level) << print_expr(*e.expr) << ";\n";
+        indent(level);
+        print_expr(*static_cast<const ExprStmt&>(s).expr);
+        out_ += ";\n";
         break;
       }
       case NodeKind::kIfStmt: {
         const auto& i = static_cast<const IfStmt&>(s);
-        out << ind(level) << "if (" << print_expr(*i.cond) << ")\n";
-        print_branch(*i.then_branch, level, out);
+        indent(level);
+        out_ += "if (";
+        print_expr(*i.cond);
+        out_ += ")\n";
+        print_branch(*i.then_branch, level);
         if (i.else_branch) {
-          out << ind(level) << "else\n";
-          print_branch(*i.else_branch, level, out);
+          indent(level);
+          out_ += "else\n";
+          print_branch(*i.else_branch, level);
         }
         break;
       }
       case NodeKind::kForStmt: {
         const auto& f = static_cast<const ForStmt&>(s);
-        out << ind(level) << "for (" << print_for_init(*f.init) << " "
-            << (f.cond ? print_expr(*f.cond) : "") << "; "
-            << (f.inc ? print_expr(*f.inc) : "") << ")\n";
-        print_branch(*f.body, level, out);
+        indent(level);
+        out_ += "for (";
+        print_for_init(*f.init);
+        out_ += ' ';
+        if (f.cond) print_expr(*f.cond);
+        out_ += "; ";
+        if (f.inc) print_expr(*f.inc);
+        out_ += ")\n";
+        print_branch(*f.body, level);
         break;
       }
       case NodeKind::kWhileStmt: {
         const auto& w = static_cast<const WhileStmt&>(s);
-        out << ind(level) << "while (" << print_expr(*w.cond) << ")\n";
-        print_branch(*w.body, level, out);
+        indent(level);
+        out_ += "while (";
+        print_expr(*w.cond);
+        out_ += ")\n";
+        print_branch(*w.body, level);
         break;
       }
       case NodeKind::kDoStmt: {
         const auto& d = static_cast<const DoStmt&>(s);
-        out << ind(level) << "do\n";
-        print_branch(*d.body, level, out);
-        out << ind(level) << "while (" << print_expr(*d.cond) << ");\n";
+        indent(level);
+        out_ += "do\n";
+        print_branch(*d.body, level);
+        indent(level);
+        out_ += "while (";
+        print_expr(*d.cond);
+        out_ += ");\n";
         break;
       }
       case NodeKind::kReturnStmt: {
         const auto& r = static_cast<const ReturnStmt&>(s);
-        out << ind(level) << "return";
-        if (r.value) out << " " << print_expr(*r.value);
-        out << ";\n";
+        indent(level);
+        out_ += "return";
+        if (r.value) {
+          out_ += ' ';
+          print_expr(*r.value);
+        }
+        out_ += ";\n";
         break;
       }
       case NodeKind::kBreakStmt:
-        out << ind(level) << "break;\n";
+        indent(level);
+        out_ += "break;\n";
         break;
       case NodeKind::kContinueStmt:
-        out << ind(level) << "continue;\n";
+        indent(level);
+        out_ += "continue;\n";
         break;
       case NodeKind::kNullStmt:
-        out << ind(level) << ";\n";
+        indent(level);
+        out_ += ";\n";
         break;
       default:
-        out << ind(level) << "/*?stmt?*/;\n";
+        indent(level);
+        out_ += "/*?stmt?*/;\n";
     }
   }
 
   /// For-init renders without its trailing newline; DeclStmt keeps its ';'.
-  std::string print_for_init(const Stmt& s) {
-    if (s.kind() == NodeKind::kNullStmt) return ";";
+  void print_for_init(const Stmt& s) {
     if (s.kind() == NodeKind::kExprStmt) {
-      return print_expr(*static_cast<const ExprStmt&>(s).expr) + ";";
+      print_expr(*static_cast<const ExprStmt&>(s).expr);
+    } else if (s.kind() == NodeKind::kDeclStmt) {
+      print_decl_group(static_cast<const DeclStmt&>(s));
     }
-    if (s.kind() == NodeKind::kDeclStmt) {
-      return print_decl_group(static_cast<const DeclStmt&>(s)) + ";";
-    }
-    return ";";
+    out_ += ';';
   }
 
-  std::string print_decl_group(const DeclStmt& d) {
-    std::string out;
+  void print_decl_group(const DeclStmt& d) {
     for (std::size_t i = 0; i < d.decls.size(); ++i) {
       const VarDecl& v = *d.decls[i];
       if (i == 0) {
-        out += v.type.base + " ";
-        for (int p = 0; p < v.type.pointer_depth; ++p) out += "*";
+        out_ += v.type.base;
+        out_ += ' ';
+        for (int p = 0; p < v.type.pointer_depth; ++p) out_ += '*';
       } else {
-        out += ", ";
-        for (int p = 0; p < v.type.pointer_depth; ++p) out += "*";
+        out_ += ", ";
+        for (int p = 0; p < v.type.pointer_depth; ++p) out_ += '*';
       }
-      out += v.name;
-      for (const auto& dim : v.array_dims) out += "[" + print_expr(*dim) + "]";
-      if (v.init) out += " = " + print_expr(*v.init);
-    }
-    return out;
-  }
-
-  void print_branch(const Stmt& body, int level, std::ostringstream& out) {
-    if (body.kind() == NodeKind::kCompoundStmt) {
-      print_stmt(body, level, out);
-    } else {
-      print_stmt(body, level + 1, out);
+      out_ += v.name;
+      for (const auto& dim : v.array_dims) {
+        out_ += '[';
+        print_expr(*dim);
+        out_ += ']';
+      }
+      if (v.init) {
+        out_ += " = ";
+        print_expr(*v.init);
+      }
     }
   }
 
-  void print_decl(const Decl& d, int level, std::ostringstream& out) {
+  void print_branch(const Stmt& body, int level) {
+    print_stmt(body, body.kind() == NodeKind::kCompoundStmt ? level : level + 1);
+  }
+
+  void print_decl(const Decl& d, int level) {
     switch (d.kind()) {
       case NodeKind::kVarDecl: {
         const auto& v = static_cast<const VarDecl&>(d);
-        out << ind(level) << v.type.spelling() << " " << v.name;
-        for (const auto& dim : v.array_dims) out << "[" << print_expr(*dim) << "]";
-        if (v.init) out << " = " << print_expr(*v.init);
-        out << ";\n";
+        indent(level);
+        print_type(v.type);
+        out_ += ' ';
+        out_ += v.name;
+        for (const auto& dim : v.array_dims) {
+          out_ += '[';
+          print_expr(*dim);
+          out_ += ']';
+        }
+        if (v.init) {
+          out_ += " = ";
+          print_expr(*v.init);
+        }
+        out_ += ";\n";
         break;
       }
       case NodeKind::kParamDecl: {
         const auto& p = static_cast<const ParamDecl&>(d);
-        out << p.type.spelling() << " " << p.name << (p.is_array ? "[]" : "");
+        print_type(p.type);
+        out_ += ' ';
+        out_ += p.name;
+        if (p.is_array) out_ += "[]";
         break;
       }
       case NodeKind::kFunctionDecl: {
         const auto& f = static_cast<const FunctionDecl&>(d);
-        out << ind(level) << f.return_type.spelling() << " " << f.name << "(";
+        indent(level);
+        print_type(f.return_type);
+        out_ += ' ';
+        out_ += f.name;
+        out_ += '(';
         for (std::size_t i = 0; i < f.params.size(); ++i) {
-          if (i) out << ", ";
-          print_decl(*f.params[i], 0, out);
+          if (i) out_ += ", ";
+          print_decl(*f.params[i], 0);
         }
-        out << ")";
+        out_ += ')';
         if (f.body) {
-          out << "\n";
-          print_stmt(*f.body, level, out);
+          out_ += '\n';
+          print_stmt(*f.body, level);
         } else {
-          out << ";\n";
+          out_ += ";\n";
         }
         break;
       }
       default:
-        out << ind(level) << "/*?decl?*/;\n";
+        indent(level);
+        out_ += "/*?decl?*/;\n";
     }
   }
 
-  std::string print_node(const Node& n, int level) {
-    std::ostringstream out;
+  void print_node(const Node& n, int level) {
     if (n.kind() == NodeKind::kTranslationUnit) {
       const auto& tu = static_cast<const TranslationUnit&>(n);
       for (const auto& d : tu.decls) {
-        print_decl(*d, level, out);
-        out << "\n";
+        print_decl(*d, level);
+        out_ += '\n';
       }
     } else if (n.is_expr()) {
-      out << print_expr(static_cast<const Expr&>(n));
+      print_expr(static_cast<const Expr&>(n));
     } else if (n.is_stmt()) {
-      print_stmt(static_cast<const Stmt&>(n), level, out);
+      print_stmt(static_cast<const Stmt&>(n), level);
     } else {
-      print_decl(static_cast<const Decl&>(n), level, out);
+      print_decl(static_cast<const Decl&>(n), level);
     }
-    return out.str();
   }
+
+ private:
+  std::string& out_;
 };
 
 }  // namespace
 
 std::string to_source(const Node& node, int indent) {
-  Printer printer;
-  return printer.print_node(node, indent);
+  std::string out;
+  Printer(out).print_node(node, indent);
+  return out;
 }
 
 std::string expr_to_source(const Expr& expr) {
-  Printer printer;
-  return printer.print_expr(expr);
+  std::string out;
+  Printer(out).print_expr(expr);
+  return out;
 }
 
 }  // namespace g2p

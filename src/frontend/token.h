@@ -3,10 +3,16 @@
 // The lexer produces a flat token stream; `#pragma` lines are captured as
 // single kPragma tokens (the dataset pipeline needs them attached to loops),
 // and other preprocessor directives are dropped.
+//
+// Tokens are zero-copy: `text` is a `string_view` into the caller's source
+// buffer (or, for synthesized spellings like folded pragma lines, into the
+// Arena passed to `lex`). A Token is trivially copyable — growing the token
+// vector moves plain words, never heap strings.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 namespace g2p {
@@ -27,7 +33,7 @@ enum class TokenKind {
 /// (for kPragma, the full directive line without the leading '#').
 struct Token {
   TokenKind kind = TokenKind::kEof;
-  std::string text;
+  std::string_view text;
   int line = 0;
   int column = 0;
 
@@ -38,6 +44,8 @@ struct Token {
     return kind == TokenKind::kIdentifier && text == name;
   }
 };
+
+static_assert(std::is_trivially_copyable_v<Token>);
 
 /// Human-readable token kind name (diagnostics, tests).
 std::string_view token_kind_name(TokenKind kind);

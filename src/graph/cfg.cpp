@@ -93,13 +93,13 @@ class CfgBuilder {
 
   Fragment build_if(const IfStmt& stmt) {
     const Node* cond = register_node(*stmt.cond);
-    Fragment then_frag = build(*static_cast<const Stmt*>(stmt.then_branch.get()));
+    Fragment then_frag = build(*static_cast<const Stmt*>(stmt.then_branch));
     connect({cond}, then_frag.entries);
     Fragment out;
     out.entries = {cond};
     out.exits = then_frag.exits;
     if (stmt.else_branch) {
-      Fragment else_frag = build(*static_cast<const Stmt*>(stmt.else_branch.get()));
+      Fragment else_frag = build(*static_cast<const Stmt*>(stmt.else_branch));
       connect({cond}, else_frag.entries);
       out.exits.insert(out.exits.end(), else_frag.exits.begin(), else_frag.exits.end());
       if (else_frag.transparent()) out.exits.push_back(cond);
@@ -119,7 +119,7 @@ class CfgBuilder {
 
     break_targets_.push_back(&breaks);
     continue_targets_.push_back(&continues);
-    Fragment body = build(*static_cast<const Stmt*>(stmt.body.get()));
+    Fragment body = build(*static_cast<const Stmt*>(stmt.body));
     break_targets_.pop_back();
     continue_targets_.pop_back();
 
@@ -148,7 +148,7 @@ class CfgBuilder {
 
     break_targets_.push_back(&breaks);
     continue_targets_.push_back(&continues);
-    Fragment body = build(*static_cast<const Stmt*>(stmt.body.get()));
+    Fragment body = build(*static_cast<const Stmt*>(stmt.body));
     break_targets_.pop_back();
     continue_targets_.pop_back();
 
@@ -170,7 +170,7 @@ class CfgBuilder {
 
     break_targets_.push_back(&breaks);
     continue_targets_.push_back(&continues);
-    Fragment body = build(*static_cast<const Stmt*>(stmt.body.get()));
+    Fragment body = build(*static_cast<const Stmt*>(stmt.body));
     break_targets_.pop_back();
     continue_targets_.pop_back();
 

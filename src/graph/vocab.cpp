@@ -14,7 +14,7 @@ Vocab::Vocab() {
 }
 
 int Vocab::add(std::string_view token) {
-  auto it = index_.find(std::string(token));
+  auto it = index_.find(token);
   if (it != index_.end()) return it->second;
   const int id = static_cast<int>(tokens_.size());
   tokens_.emplace_back(token);
@@ -23,7 +23,7 @@ int Vocab::add(std::string_view token) {
 }
 
 int Vocab::id(std::string_view token) const {
-  auto it = index_.find(std::string(token));
+  auto it = index_.find(token);
   return it == index_.end() ? kUnk : it->second;
 }
 

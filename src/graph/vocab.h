@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "support/strings.h"
+
 namespace g2p {
 
 /// Frequency-built string -> id mapping with reserved specials.
@@ -39,7 +41,7 @@ class Vocab {
   static Vocab deserialize(std::string_view text);
 
  private:
-  std::unordered_map<std::string, int> index_;
+  std::unordered_map<std::string, int, StringHash, std::equal_to<>> index_;
   std::vector<std::string> tokens_;
 };
 

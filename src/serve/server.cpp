@@ -18,6 +18,16 @@ SuggestServer::SuggestServer(std::shared_ptr<Pipeline> pipeline, Options options
 
 SuggestServer::~SuggestServer() { shutdown(); }
 
+ServerStatsSnapshot SuggestServer::stats() const {
+  ServerStatsSnapshot snapshot = stats_.snapshot();
+  const SuggestCache::Stats cache = pipeline_->cache_stats();
+  snapshot.cache_full_hits = cache.full_hits;
+  snapshot.cache_frontend_hits = cache.frontend_hits;
+  snapshot.cache_misses = cache.misses;
+  snapshot.cache_frontend_saved_us = cache.frontend_saved_ns / 1000;
+  return snapshot;
+}
+
 std::future<std::vector<LoopSuggestion>> SuggestServer::enqueue_locked(std::string source) {
   Request req;
   req.source = std::move(source);

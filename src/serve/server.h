@@ -86,7 +86,9 @@ class SuggestServer {
   /// blocked `submit` calls wake and throw).
   void shutdown();
 
-  ServerStatsSnapshot stats() const { return stats_.snapshot(); }
+  /// Queue/batch/latency counters plus the pipeline's serving-cache
+  /// counters (hit tiers, frontend time saved), merged into one snapshot.
+  ServerStatsSnapshot stats() const;
   const Pipeline& pipeline() const { return *pipeline_; }
   const Options& options() const { return options_; }
 

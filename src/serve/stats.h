@@ -25,12 +25,25 @@ struct ServerStatsSnapshot {
   std::uint64_t latency_sum_us = 0;   // enqueue -> completion, all requests
   std::uint64_t latency_max_us = 0;
 
+  // Content-addressed serving cache (filled by SuggestServer::stats() from
+  // the pipeline's SuggestCache counters; zero when caching is disabled).
+  std::uint64_t cache_full_hits = 0;      // whole result served from cache
+  std::uint64_t cache_frontend_hits = 0;  // frontend skipped, model re-run
+  std::uint64_t cache_misses = 0;         // cold sources (frontend built)
+  std::uint64_t cache_frontend_saved_us = 0;  // frontend time not spent
+
   double mean_batch_size() const {
     return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / static_cast<double>(batches);
   }
   double mean_latency_us() const {
     const std::uint64_t done = completed + failed;
     return done == 0 ? 0.0 : static_cast<double>(latency_sum_us) / static_cast<double>(done);
+  }
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_full_hits + cache_frontend_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_full_hits + cache_frontend_hits) /
+                            static_cast<double>(total);
   }
 };
 

@@ -1,0 +1,128 @@
+// Bump-pointer arena for the frontend hot path.
+//
+// One Arena owns every AST node and every synthesized token spelling of one
+// translation unit: allocation is a pointer bump into geometrically-growing
+// blocks, and the whole tree is released at once when the arena dies. Nodes
+// whose members still own heap memory (child vectors) register their exact
+// destructor at creation; everything else (the overwhelming majority once
+// spellings are `string_view`s) is freed without any per-object work.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace g2p {
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena() { release(); }
+
+  Arena(Arena&& other) noexcept
+      : blocks_(std::move(other.blocks_)),
+        dtors_(std::move(other.dtors_)),
+        bytes_allocated_(std::exchange(other.bytes_allocated_, 0)),
+        next_block_bytes_(std::exchange(other.next_block_bytes_, kFirstBlockBytes)) {}
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      release();
+      blocks_ = std::move(other.blocks_);
+      dtors_ = std::move(other.dtors_);
+      bytes_allocated_ = std::exchange(other.bytes_allocated_, 0);
+      next_block_bytes_ = std::exchange(other.next_block_bytes_, kFirstBlockBytes);
+    }
+    return *this;
+  }
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned allocation. `align` must be a power of two.
+  void* allocate(std::size_t size, std::size_t align) {
+    Block& block = blocks_.empty() ? grow(size + align) : blocks_.back();
+    std::size_t offset = (block.used + (align - 1)) & ~(align - 1);
+    if (offset + size > block.capacity) {
+      Block& fresh = grow(size + align);
+      offset = (fresh.used + (align - 1)) & ~(align - 1);
+      fresh.used = offset + size;
+      bytes_allocated_ += size;
+      return fresh.data.get() + offset;
+    }
+    block.used = offset + size;
+    bytes_allocated_ += size;
+    return block.data.get() + offset;
+  }
+
+  /// Construct a T inside the arena. Non-trivially-destructible types have
+  /// their exact (non-virtual-dispatch) destructor run when the arena dies,
+  /// in reverse creation order.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* mem = allocate(sizeof(T), alignof(T));
+    T* obj = ::new (mem) T(std::forward<Args>(args)...);
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      dtors_.push_back(Dtor{[](void* p) { static_cast<T*>(p)->~T(); }, obj});
+    }
+    return obj;
+  }
+
+  /// Copy `text` into the arena and return a stable view of the copy — the
+  /// interner for synthesized spellings (folded pragma lines, multi-word
+  /// type bases) and for the source buffer itself.
+  std::string_view intern(std::string_view text) {
+    if (text.empty()) return {};
+    char* mem = static_cast<char*>(allocate(text.size(), 1));
+    std::memcpy(mem, text.data(), text.size());
+    return {mem, text.size()};
+  }
+
+  /// Sum of all satisfied allocation sizes (excludes block slack).
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total block capacity held (the cache layer budgets with this).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.capacity;
+    return total;
+  }
+
+ private:
+  static constexpr std::size_t kFirstBlockBytes = 16 * 1024;
+  static constexpr std::size_t kMaxBlockBytes = 512 * 1024;
+
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+  struct Dtor {
+    void (*fn)(void*);
+    void* obj;
+  };
+
+  Block& grow(std::size_t at_least) {
+    std::size_t capacity = next_block_bytes_;
+    if (capacity < at_least) capacity = at_least;
+    next_block_bytes_ = std::min(next_block_bytes_ * 2, kMaxBlockBytes);
+    blocks_.push_back(Block{std::make_unique<char[]>(capacity), capacity, 0});
+    return blocks_.back();
+  }
+
+  void release() {
+    for (auto it = dtors_.rbegin(); it != dtors_.rend(); ++it) it->fn(it->obj);
+    dtors_.clear();
+    blocks_.clear();
+  }
+
+  std::vector<Block> blocks_;
+  std::vector<Dtor> dtors_;
+  std::size_t bytes_allocated_ = 0;
+  std::size_t next_block_bytes_ = kFirstBlockBytes;
+};
+
+}  // namespace g2p

@@ -1,0 +1,41 @@
+// Non-owning callable reference.
+//
+// `FunctionRef<void(const Node&)>` is two words (object pointer + trampoline)
+// and never allocates, unlike `std::function`, whose construction from a
+// multi-capture lambda heap-allocates once it outgrows the small-buffer
+// optimization. AST traversal (`for_each_child`, `walk`) runs once per node
+// per pass, so that hidden allocation was a per-node cost on the frontend hot
+// path. A FunctionRef must not outlive the callable it references — fine for
+// traversal, where the lambda lives in the caller's frame.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace g2p {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        fn_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return fn_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*fn_)(void*, Args...);
+};
+
+}  // namespace g2p

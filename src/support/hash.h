@@ -1,0 +1,84 @@
+// 128-bit content hashing for the content-addressed serving cache.
+//
+// Two independently-seeded 64-bit FNV-1a streams over the same bytes — not
+// cryptographic, but 128 bits of state makes an accidental collision across
+// a serving cache's worth of translation units astronomically unlikely, and
+// the byte-at-a-time loop is already far below frontend cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace g2p {
+
+struct Hash128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+
+  /// Hex rendering (diagnostics, stable cache-entry naming).
+  std::string hex() const {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) out[15 - i] = kDigits[(hi >> (4 * i)) & 0xf];
+    for (int i = 0; i < 16; ++i) out[31 - i] = kDigits[(lo >> (4 * i)) & 0xf];
+    return out;
+  }
+};
+
+struct Hash128Hasher {
+  std::size_t operator()(const Hash128& h) const noexcept {
+    // lo is already a well-mixed 64-bit value; xor folds hi in.
+    return static_cast<std::size_t>(h.lo ^ (h.hi * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Plain 64-bit FNV-1a (corpus splits, oracle signatures).
+inline std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = kFnvOffset;
+  for (char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// 128-bit hash of raw bytes.
+inline Hash128 hash128(std::string_view text) {
+  std::uint64_t lo = kFnvOffset;
+  std::uint64_t hi = 0x8e8f2d6f7b1a3c5dull;  // second stream, distinct seed
+  for (char c : text) {
+    const auto byte = static_cast<std::uint8_t>(c);
+    lo = (lo ^ byte) * kFnvPrime;
+    hi = (hi ^ (byte + 0x9e)) * 0x100000001b3ull;
+  }
+  return Hash128{lo, hi};
+}
+
+/// Cache key for C sources: hashes the bytes with "\r\n" folded to "\n", so
+/// CRLF and LF encodings of the same file share one cache entry. Only the
+/// two-byte sequence is normalized — a lone '\r' (legal inside a string
+/// literal) still distinguishes sources, so two different literals can
+/// never collide onto one cache key. Anything further (whitespace/comment
+/// canonicalization) would require lexing — exactly the cost the cache
+/// exists to skip.
+inline Hash128 hash_source(std::string_view source) {
+  std::uint64_t lo = kFnvOffset;
+  std::uint64_t hi = 0x8e8f2d6f7b1a3c5dull;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '\r' && i + 1 < source.size() && source[i + 1] == '\n') continue;
+    const auto byte = static_cast<std::uint8_t>(source[i]);
+    lo = (lo ^ byte) * kFnvPrime;
+    hi = (hi ^ (byte + 0x9e)) * 0x100000001b3ull;
+  }
+  return Hash128{lo, hi};
+}
+
+}  // namespace g2p

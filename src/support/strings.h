@@ -1,11 +1,23 @@
 // Small string utilities shared across the project.
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace g2p {
+
+/// Transparent hasher so unordered maps keyed by std::string can be probed
+/// with a string_view (no temporary string on the lookup path). Pair with
+/// std::equal_to<> as the key-equality functor.
+struct StringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// Split on a single-character delimiter; keeps empty fields.
 std::vector<std::string> split(std::string_view text, char delim);

@@ -111,7 +111,7 @@ TEST(AugAst, CallEdgesMergeCalleeBody) {
   EXPECT_EQ(without.num_callee_nodes, 0);
 
   // With TU: the body of square() is merged and linked from the call site.
-  const auto with = AugAstBuilder(vocab).build(loop, parsed.tu.get());
+  const auto with = AugAstBuilder(vocab).build(loop, parsed.tu);
   EXPECT_GT(with.num_callee_nodes, 5);
   EXPECT_TRUE(with.graph.valid());
   EXPECT_GT(with.graph.num_nodes(), without.graph.num_nodes());
@@ -132,7 +132,7 @@ TEST(AugAst, CallEdgesHandleRecursionWithoutLooping) {
   std::unordered_map<std::string, int> counts;
   collect_text_attributes(*parsed.tu, counts);
   const auto vocab = Vocab::build(counts);
-  const auto lg = AugAstBuilder(vocab).build(loop, parsed.tu.get());
+  const auto lg = AugAstBuilder(vocab).build(loop, parsed.tu);
   // fib body merged once, even though fib calls itself.
   EXPECT_GT(lg.num_callee_nodes, 0);
   EXPECT_TRUE(lg.graph.valid());
@@ -142,7 +142,7 @@ TEST(AugAst, ExternalCalleeIgnored) {
   auto loop = parse_statement("for (i = 0; i < n; i++) e += fabs(a[i]);");
   const auto vocab = test_vocab(*loop);
   auto parsed = parse_translation_unit("int unused;\n");
-  const auto lg = AugAstBuilder(vocab).build(*loop, parsed.tu.get());
+  const auto lg = AugAstBuilder(vocab).build(*loop, parsed.tu);
   EXPECT_EQ(lg.num_callee_nodes, 0);  // fabs is a builtin, no body to merge
 }
 

@@ -186,7 +186,7 @@ TEST_F(CorpusFixture, ToolsNeverContradictSerialLabels) {
     if (s.parallel) continue;
     ++checked;
     for (const auto& tool : tools) {
-      const auto result = tool->analyze(*s.loop, s.parsed->tu.get(), &s.parsed->structs);
+      const auto result = tool->analyze(*s.loop, s.parsed->tu, &s.parsed->structs);
       EXPECT_FALSE(result.detected_parallel())
           << tool->name() << " flagged serial loop " << s.id << "\n"
           << s.loop_source << "\nreason: " << result.reason;
@@ -205,7 +205,7 @@ TEST_F(CorpusFixture, ToolsDetectSomeParallelLoops) {
     if (!s.parallel) continue;
     ++parallel_total;
     for (const auto& tool : tools) {
-      const auto result = tool->analyze(*s.loop, s.parsed->tu.get(), &s.parsed->structs);
+      const auto result = tool->analyze(*s.loop, s.parsed->tu, &s.parsed->structs);
       if (result.detected_parallel()) ++detected[std::string(tool->name())];
     }
   }

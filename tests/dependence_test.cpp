@@ -54,7 +54,7 @@ TEST(LinearForm, NegationAndParens) {
 // ---- loop facts ---------------------------------------------------------------
 
 LoopFacts facts_of(const std::string& src) {
-  static std::vector<StmtPtr> keep;
+  static std::vector<ParsedStmt> keep;
   keep.push_back(parse_statement(src));
   return analyze_loop(*keep.back());
 }

@@ -154,7 +154,7 @@ TEST(Vocab, SerializeRoundTrip) {
 
 // ---- CFG ------------------------------------------------------------------------
 
-const Stmt& as_stmt(const StmtPtr& p) { return *p; }
+const Stmt& as_stmt(const ParsedStmt& p) { return *p; }
 
 TEST(Cfg, StraightLineSequence) {
   auto s = parse_statement("{ a = 1; b = 2; c = 3; }");

@@ -111,7 +111,7 @@ TEST(Interp, FunctionCallsWithScopes) {
   auto parsed = parse_translation_unit(
       "int twice(int x) { return x * 2; }\n"
       "int apply(int v) { int local = twice(v) + 1; return local; }\n");
-  Interpreter interp(parsed.tu.get(), &parsed.structs);
+  Interpreter interp(parsed.tu, &parsed.structs);
   auto s = parse_statement("{ int out = apply(10); }");
   auto result = interp.run_statement(*s, "out");
   ASSERT_TRUE(result.has_value());
@@ -121,7 +121,7 @@ TEST(Interp, FunctionCallsWithScopes) {
 TEST(Interp, ArrayParameterAliases) {
   auto parsed = parse_translation_unit(
       "void fill(double* buf, int n) { for (int i = 0; i < n; i++) buf[i] = 7; }\n");
-  Interpreter interp(parsed.tu.get(), &parsed.structs);
+  Interpreter interp(parsed.tu, &parsed.structs);
   auto s = parse_statement("{ double data[4]; fill(data, 4); double x = data[3]; }");
   auto result = interp.run_statement(*s, "x");
   ASSERT_TRUE(result.has_value());
@@ -131,7 +131,7 @@ TEST(Interp, ArrayParameterAliases) {
 TEST(Interp, StructFieldAccess) {
   auto parsed = parse_translation_unit(
       "struct pixel { int r; int g; int b; };\n");
-  Interpreter interp(parsed.tu.get(), &parsed.structs);
+  Interpreter interp(parsed.tu, &parsed.structs);
   auto s = parse_statement(
       "{ struct pixel img[4]; img[2].g = 9; int v = img[2].g + img[2].r; }");
   auto result = interp.run_statement(*s, "v");
@@ -142,7 +142,7 @@ TEST(Interp, StructFieldAccess) {
 TEST(Interp, RecursionWithDepthLimit) {
   auto parsed = parse_translation_unit(
       "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }\n");
-  Interpreter interp(parsed.tu.get(), &parsed.structs);
+  Interpreter interp(parsed.tu, &parsed.structs);
   auto s = parse_statement("{ int out = fib(10); }");
   auto result = interp.run_statement(*s, "out");
   ASSERT_TRUE(result.has_value());
@@ -164,9 +164,9 @@ LoopTrace profile(const std::string& loop_src, const std::string& prelude = "") 
   static std::vector<std::unique_ptr<ParseResult>> keep_alive;
   auto parsed = std::make_unique<ParseResult>(
       parse_translation_unit(prelude.empty() ? "int dummy;\n" : prelude));
-  static std::vector<StmtPtr> stmts;
+  static std::vector<ParsedStmt> stmts;
   stmts.push_back(parse_statement(loop_src));
-  Interpreter interp(parsed->tu.get(), &parsed->structs);
+  Interpreter interp(parsed->tu, &parsed->structs);
   auto trace = interp.profile_loop(*stmts.back());
   keep_alive.push_back(std::move(parsed));
   return trace;

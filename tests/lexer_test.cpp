@@ -5,10 +5,21 @@
 namespace g2p {
 namespace {
 
+// Arity-disambiguated shims: tests lex static string literals, so a shared
+// arena (holding only folded pragma spellings) can outlive every token.
+Arena& test_arena() {
+  static Arena arena;
+  return arena;
+}
+std::vector<Token> lex(std::string_view source) { return g2p::lex(source, test_arena()); }
+std::vector<Token> lex_code_tokens(std::string_view source) {
+  return g2p::lex_code_tokens(source, test_arena());
+}
+
 std::vector<std::string> texts(const std::vector<Token>& tokens) {
   std::vector<std::string> out;
   for (const auto& t : tokens) {
-    if (t.kind != TokenKind::kEof) out.push_back(t.text);
+    if (t.kind != TokenKind::kEof) out.emplace_back(t.text);
   }
   return out;
 }
@@ -87,6 +98,13 @@ TEST(Lexer, UnterminatedStringThrows) {
   EXPECT_THROW(lex("\"abc"), LexError);
 }
 
+TEST(Lexer, LiteralSpanningLinesThrows) {
+  // Raw or backslash-escaped, a newline inside a literal is rejected (an
+  // accepted escaped newline would desynchronize line tracking).
+  EXPECT_THROW(lex("\"abc\ndef\""), LexError);
+  EXPECT_THROW(lex("\"abc\\\ndef\""), LexError);
+}
+
 TEST(Lexer, PragmaCaptured) {
   const auto tokens = lex("#pragma omp parallel for\nfor(;;) ;");
   ASSERT_GE(tokens.size(), 2u);
@@ -98,7 +116,7 @@ TEST(Lexer, PragmaCaptured) {
 TEST(Lexer, PragmaWithContinuation) {
   const auto tokens = lex("#pragma omp parallel for \\\n  private(i)\nx;");
   EXPECT_EQ(tokens[0].kind, TokenKind::kPragma);
-  EXPECT_NE(tokens[0].text.find("private(i)"), std::string::npos);
+  EXPECT_NE(tokens[0].text.find("private(i)"), std::string_view::npos);
 }
 
 TEST(Lexer, IncludeAndDefineDropped) {

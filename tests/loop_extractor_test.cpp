@@ -17,7 +17,7 @@ TEST(LoopExtractor, FindsLoopsInFunction) {
   ASSERT_EQ(loops.size(), 2u);
   EXPECT_EQ(loops[0].loop->kind(), NodeKind::kForStmt);
   EXPECT_EQ(loops[1].loop->kind(), NodeKind::kWhileStmt);
-  EXPECT_STREQ(loops[0].function->name.c_str(), "f");
+  EXPECT_EQ(loops[0].function->name, "f");
 }
 
 TEST(LoopExtractor, OutermostOnlySkipsInnerLoops) {

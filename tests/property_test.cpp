@@ -63,7 +63,7 @@ TEST(CorpusProperty, AugAstValidForEverySample) {
   const Vocab vocab = Vocab::build(counts);
   const AugAstBuilder builder(vocab);
   for (const auto& s : shared_corpus().samples) {
-    const auto lg = builder.build(*s.loop, s.parsed->tu.get());
+    const auto lg = builder.build(*s.loop, s.parsed->tu);
     ASSERT_TRUE(lg.graph.valid()) << s.id;
     EXPECT_GE(lg.graph.num_nodes(), 4) << s.id;
     // Tree edges: exactly nodes-1 per connected AST component (loop subtree
@@ -85,8 +85,8 @@ TEST(CorpusProperty, VanillaAstIsSubgraphOfAugAst) {
   const AugAstBuilder full_builder(vocab);
   const AugAstBuilder vanilla_builder(vocab, vanilla);
   for (const auto& s : shared_corpus().samples) {
-    const auto full = full_builder.build(*s.loop, s.parsed->tu.get());
-    const auto plain = vanilla_builder.build(*s.loop, s.parsed->tu.get());
+    const auto full = full_builder.build(*s.loop, s.parsed->tu);
+    const auto plain = vanilla_builder.build(*s.loop, s.parsed->tu);
     EXPECT_LE(plain.graph.num_nodes(), full.graph.num_nodes()) << s.id;
     EXPECT_LE(plain.graph.num_edges(), full.graph.num_edges()) << s.id;
     EXPECT_EQ(plain.graph.count_edges(HetEdgeType::kCfgNext), 0) << s.id;
@@ -200,8 +200,8 @@ TEST(CorpusProperty, ProfilingIsDeterministic) {
   int checked = 0;
   for (const auto& s : corpus.samples) {
     if (checked >= 40) break;
-    Interpreter interp_a(s.parsed->tu.get(), &s.parsed->structs);
-    Interpreter interp_b(s.parsed->tu.get(), &s.parsed->structs);
+    Interpreter interp_a(s.parsed->tu, &s.parsed->structs);
+    Interpreter interp_b(s.parsed->tu, &s.parsed->structs);
     const auto ta = interp_a.profile_loop(*s.loop);
     const auto tb = interp_b.profile_loop(*s.loop);
     EXPECT_EQ(ta.completed, tb.completed) << s.id;

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "support/arena.h"
+#include "support/function_ref.h"
+#include "support/hash.h"
 #include "support/rng.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -157,6 +161,106 @@ TEST(TextTable, RendersAlignedColumns) {
 TEST(TextTable, RejectsWrongArity) {
   TextTable t({"A", "B"});
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+// ---- arena ------------------------------------------------------------------
+
+TEST(Arena, BumpAllocationAndAlignment) {
+  Arena arena;
+  auto* a = static_cast<char*>(arena.allocate(3, 1));
+  auto* b = static_cast<double*>(arena.allocate(sizeof(double), alignof(double)));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % alignof(double), 0u);
+  EXPECT_GE(arena.bytes_allocated(), 3 + sizeof(double));
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(Arena, LargeAllocationsSpanBlocks) {
+  Arena arena;
+  // Far beyond the first block: forces several block growths.
+  for (int i = 0; i < 64; ++i) {
+    auto* p = static_cast<char*>(arena.allocate(8 * 1024, 8));
+    p[0] = 'x';
+    p[8 * 1024 - 1] = 'y';  // ASan checks the span is really owned
+  }
+  EXPECT_GE(arena.bytes_allocated(), 64u * 8u * 1024u);
+}
+
+TEST(Arena, InternCopiesAndIsStable) {
+  Arena arena;
+  std::string transient = "hello arena";
+  const std::string_view interned = arena.intern(transient);
+  transient.assign(transient.size(), '!');
+  EXPECT_EQ(interned, "hello arena");
+  EXPECT_EQ(arena.intern(""), std::string_view{});
+}
+
+namespace {
+struct DtorCounter {
+  explicit DtorCounter(int* counter) : counter_(counter) {}
+  ~DtorCounter() { ++*counter_; }
+  int* counter_;
+};
+}  // namespace
+
+TEST(Arena, RunsRegisteredDestructorsOnceInReverse) {
+  int destroyed = 0;
+  {
+    Arena arena;
+    for (int i = 0; i < 10; ++i) arena.create<DtorCounter>(&destroyed);
+    arena.create<int>(7);  // trivially destructible: no registration
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 10);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  int destroyed = 0;
+  {
+    Arena first;
+    first.create<DtorCounter>(&destroyed);
+    const std::string_view text = first.intern("moved");
+    Arena second(std::move(first));
+    EXPECT_EQ(text, "moved");  // storage owned by `second` now
+    Arena third;
+    third = std::move(second);
+    EXPECT_EQ(text, "moved");
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+// ---- hashing ----------------------------------------------------------------
+
+TEST(Hash128, DistinctInputsDistinctHashes) {
+  std::set<std::string> hexes;
+  for (int i = 0; i < 200; ++i) hexes.insert(hash128("input-" + std::to_string(i)).hex());
+  EXPECT_EQ(hexes.size(), 200u);
+  EXPECT_EQ(hash128("same"), hash128("same"));
+}
+
+TEST(Hash128, SourceHashSkipsCarriageReturns) {
+  EXPECT_EQ(hash_source("a\r\nb"), hash_source("a\nb"));
+  EXPECT_NE(hash_source("a\nb"), hash_source("ab"));
+  // But '\r' is the only normalization: whitespace still matters.
+  EXPECT_NE(hash_source("a b"), hash_source("ab"));
+  // Only the CRLF pair is folded: a lone CR (legal inside a string
+  // literal) still distinguishes sources, so "printf(\"a\rb\")" and
+  // "printf(\"ab\")" can never share a cache entry.
+  EXPECT_NE(hash_source(std::string_view("a\rb", 3)), hash_source("ab"));
+}
+
+// ---- function_ref -----------------------------------------------------------
+
+TEST(FunctionRefTest, InvokesWithoutAllocation) {
+  int calls = 0;
+  // Capture list far beyond std::function's small-buffer size.
+  int a = 1, b = 2, c = 3, d = 4, e = 5;
+  const auto big_lambda = [&](int x) { calls += x + a + b + c + d + e; };
+  FunctionRef<void(int)> ref = big_lambda;
+  ref(10);
+  EXPECT_EQ(calls, 25);
 }
 
 }  // namespace

@@ -11,7 +11,7 @@ namespace {
 
 struct Fixture {
   std::unique_ptr<ParseResult> parsed;
-  StmtPtr loop;  // used when the loop is standalone
+  ParsedStmt loop;  // used when the loop is standalone
 
   const Stmt& stmt() const {
     if (loop) return *loop;
@@ -39,13 +39,13 @@ Fixture in_unit(const std::string& src) {
 }
 
 ToolResult run_pluto(const Fixture& f) {
-  return PlutoLikeAnalyzer().analyze(f.stmt(), f.parsed->tu.get(), &f.parsed->structs);
+  return PlutoLikeAnalyzer().analyze(f.stmt(), f.parsed->tu, &f.parsed->structs);
 }
 ToolResult run_autopar(const Fixture& f) {
-  return AutoParLikeAnalyzer().analyze(f.stmt(), f.parsed->tu.get(), &f.parsed->structs);
+  return AutoParLikeAnalyzer().analyze(f.stmt(), f.parsed->tu, &f.parsed->structs);
 }
 ToolResult run_discopop(const Fixture& f) {
-  return DiscoPoPLikeAnalyzer().analyze(f.stmt(), f.parsed->tu.get(), &f.parsed->structs);
+  return DiscoPoPLikeAnalyzer().analyze(f.stmt(), f.parsed->tu, &f.parsed->structs);
 }
 
 // ---- clean do-all: every tool should succeed --------------------------------
@@ -234,7 +234,7 @@ TEST(ToolsApplicability, DiscoPoPHandlesWhileLoops) {
   const auto f = standalone("{ int k = 0; while (k < 10) { b[k] = k; k++; } }");
   auto loop = parse_statement("while (k < 10) { b[k] = k; k++; }");
   auto parsed = parse_translation_unit("int dummy;\n");
-  const auto r = DiscoPoPLikeAnalyzer().analyze(*loop, parsed.tu.get(), &parsed.structs);
+  const auto r = DiscoPoPLikeAnalyzer().analyze(*loop, parsed.tu, &parsed.structs);
   EXPECT_TRUE(r.applicable) << r.reason;
 }
 
