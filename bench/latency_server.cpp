@@ -257,6 +257,7 @@ int main(int argc, char** argv) {
   json.set("server_p99_ms", percentile(srv_latency_s, 0.99) * 1e3);
   json.set("sequential_p50_ms", percentile(seq_latency_s, 0.50) * 1e3);
   json.set("mean_batch_size", stats.mean_batch_size());
+  json.set("deduped", static_cast<std::int64_t>(stats.deduped));
   json.set("cache_hit_rate", stats.cache_hit_rate());
   json.set("cache_full_hits", static_cast<std::int64_t>(stats.cache_full_hits));
   json.set("cache_frontend_hits", static_cast<std::int64_t>(stats.cache_frontend_hits));

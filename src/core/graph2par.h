@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "core/aug_ast.h"
 #include "graph/hetgraph.h"
@@ -61,6 +62,13 @@ class Graph2ParModel : public Module {
   /// (default) or pin the taped reference path (debugging / A-B benching).
   /// Training always uses the reference path regardless of this setting.
   void set_fused_inference(bool enabled) { encoder_.set_fused_inference(enabled); }
+
+  /// Worker pool for the fused forward's projection GEMMs (see HgtLayer):
+  /// the encoder's K/Q/V/A stages fan row panels across it, so a single
+  /// batch-shaped forward scales across cores. Null pins them to one thread.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) {
+    encoder_.set_thread_pool(std::move(pool));
+  }
 
   const Graph2ParConfig& config() const { return config_; }
 

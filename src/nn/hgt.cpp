@@ -26,6 +26,24 @@ bool fused_env_enabled() {
   return enabled;
 }
 
+/// One node type's projection stage: gather the type's rows of the [*, dim]
+/// source buffer into contiguous scratch, multiply by the cached [dim,
+/// out_cols] operand (pool-parallel row panels). Callers scatter `projected`
+/// back to node order with their own epilogue (bias / residual folds).
+void project_type_rows(const float* src, int dim, const std::vector<int>& rows,
+                       const float* weights, int out_cols, ThreadPool* pool,
+                       FloatVec& gathered, FloatVec& projected) {
+  const auto dim_sz = static_cast<std::size_t>(dim);
+  const int rt = static_cast<int>(rows.size());
+  gathered.resize(static_cast<std::size_t>(rt) * dim_sz);
+  for (int r = 0; r < rt; ++r) {
+    std::copy_n(src + static_cast<std::size_t>(rows[static_cast<std::size_t>(r)]) * dim_sz,
+                dim_sz, gathered.data() + static_cast<std::size_t>(r) * dim_sz);
+  }
+  projected.resize(static_cast<std::size_t>(rt) * out_cols);
+  backend::matmul_mt(gathered.data(), weights, projected.data(), rt, dim, out_cols, pool);
+}
+
 }  // namespace
 
 HgtLayer::HgtLayer(int dim, int heads, Rng& rng)
@@ -166,6 +184,14 @@ std::uint64_t HgtLayer::weight_stamp() const {
   for (const auto& heads : w_msg_) {
     for (const auto& w : heads) stamp += w.version();
   }
+  // The projection repacks key on the same stamp: any K/Q/V/A parameter
+  // mutation must rebuild the cache too.
+  for (const auto* lins : {&k_lin_, &q_lin_, &v_lin_, &a_lin_}) {
+    for (const auto& lin : *lins) {
+      stamp += lin->weight().version();
+      if (lin->bias().defined()) stamp += lin->bias().version();
+    }
+  }
   return stamp;
 }
 
@@ -198,6 +224,44 @@ const HgtLayer::FusedWeights* HgtLayer::fused_weights() const {
                 fresh->msg[e].begin() + static_cast<std::ptrdiff_t>(h * block));
     }
   }
+  // Projection repack, per node type: K/Q/V weights interleaved row-wise
+  // into one [dim, 3*dim] operand (row r = [W_K row r | W_Q row r |
+  // W_V row r]), biases concatenated; the A block stays square.
+  const auto dim_sz = static_cast<std::size_t>(dim_);
+  fresh->kqv_w.resize(static_cast<std::size_t>(kNumHetNodeTypes));
+  fresh->kqv_b.resize(static_cast<std::size_t>(kNumHetNodeTypes));
+  fresh->a_w.resize(static_cast<std::size_t>(kNumHetNodeTypes));
+  fresh->a_b.resize(static_cast<std::size_t>(kNumHetNodeTypes));
+  for (int t = 0; t < kNumHetNodeTypes; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+    const Linear* kqv[3] = {k_lin_[ts].get(), q_lin_[ts].get(), v_lin_[ts].get()};
+    auto& w = fresh->kqv_w[ts];
+    auto& b = fresh->kqv_b[ts];
+    w.resize(dim_sz * 3 * dim_sz);
+    b.assign(3 * dim_sz, 0.0f);
+    for (int p = 0; p < 3; ++p) {
+      const float* src = kqv[p]->weight().data().data();
+      for (int r = 0; r < dim_; ++r) {
+        std::copy(src + static_cast<std::size_t>(r) * dim_sz,
+                  src + static_cast<std::size_t>(r + 1) * dim_sz,
+                  w.begin() + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(r) * 3 * dim_sz + p * dim_sz));
+      }
+      if (kqv[p]->bias().defined()) {
+        const auto& bias = kqv[p]->bias().data();
+        std::copy(bias.begin(), bias.end(),
+                  b.begin() + static_cast<std::ptrdiff_t>(p * dim_sz));
+      }
+    }
+    const auto& aw = a_lin_[ts]->weight().data();
+    fresh->a_w[ts].assign(aw.begin(), aw.end());
+    if (a_lin_[ts]->bias().defined()) {
+      const auto& ab = a_lin_[ts]->bias().data();
+      fresh->a_b[ts].assign(ab.begin(), ab.end());
+    } else {
+      fresh->a_b[ts].assign(dim_sz, 0.0f);
+    }
+  }
   const FusedWeights* published = fresh.get();
   fused_retired_.push_back(std::move(fresh));  // freed with the layer, never earlier
   fused_current_.store(published, std::memory_order_release);
@@ -214,9 +278,42 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
   const auto& kern = backend::active();
   const auto fused = fused_weights();
 
-  const Tensor k_all = per_type_projection(x, index, k_lin_);
-  const Tensor q_all = per_type_projection(x, index, q_lin_);
-  const Tensor v_all = per_type_projection(x, index, v_lin_);
+  // Fused projection stage: per node type, one wide [rows, dim] x
+  // [dim, 3*dim] GEMM against the cached K|Q|V repack computes all three
+  // projections of the type's rows at once — one packed-operand GEMM (with
+  // matmul_mt row panels on the configured pool) instead of three taped
+  // square matmuls and their gather/concat tensors. The bias folds into the
+  // scatter pass that places rows back into node order.
+  const std::size_t dim_sz = static_cast<std::size_t>(dim_);
+  const std::size_t row_elems = static_cast<std::size_t>(index.num_nodes) * dim_sz;
+  FloatVec k_all(row_elems), q_all(row_elems), v_all(row_elems);
+  {
+    FloatVec gathered, projected;
+    ThreadPool* pool = pool_.get();
+    const float* xdata = x.data().data();
+    for (int t = 0; t < kNumHetNodeTypes; ++t) {
+      const auto ts = static_cast<std::size_t>(t);
+      const auto& rows = index.rows_of_type[ts];
+      if (rows.empty()) continue;
+      const int rt = static_cast<int>(rows.size());
+      project_type_rows(xdata, dim_, rows, fused->kqv_w[ts].data(), 3 * dim_, pool, gathered,
+                        projected);
+      const float* bias = fused->kqv_b[ts].data();
+      for (int r = 0; r < rt; ++r) {
+        const float* prow = projected.data() + static_cast<std::size_t>(r) * 3 * dim_sz;
+        const std::size_t node =
+            static_cast<std::size_t>(rows[static_cast<std::size_t>(r)]) * dim_sz;
+        float* krow = k_all.data() + node;
+        float* qrow = q_all.data() + node;
+        float* vrow = v_all.data() + node;
+        for (int j = 0; j < dim_; ++j) {
+          krow[j] = prow[j] + bias[j];
+          qrow[j] = prow[dim_ + j] + bias[dim_ + j];
+          vrow[j] = prow[2 * dim_ + j] + bias[2 * dim_ + j];
+        }
+      }
+    }
+  }
 
   // Density-adaptive weight application per edge type. Dense types (at
   // least as many edges as nodes) pre-map every node's K and V rows with
@@ -227,22 +324,21 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
   // pressure (no per-type map buffers to evict the shared K/Q/V rows).
   std::vector<FloatVec> k_map(static_cast<std::size_t>(kNumHetEdgeTypes));
   std::vector<FloatVec> v_map(static_cast<std::size_t>(kNumHetEdgeTypes));
-  const std::size_t row_elems = static_cast<std::size_t>(n) * dim_;
   for (int et = 0; et < kNumHetEdgeTypes; ++et) {
     const auto e = static_cast<std::size_t>(et);
     const auto& slice = index.per_edge_type[e];
     if (slice.empty() || slice.size() < n) continue;  // sparse: map per edge
     k_map[e].resize(row_elems);
     v_map[e].resize(row_elems);
-    kern.head_map(k_all.data().data(), fused->att[e].data(), k_map[e].data(), n, heads_,
+    kern.head_map(k_all.data(), fused->att[e].data(), k_map[e].data(), n, heads_,
                   head_dim_);
-    kern.head_map(v_all.data().data(), fused->msg[e].data(), v_map[e].data(), n, heads_,
+    kern.head_map(v_all.data(), fused->msg[e].data(), v_map[e].data(), n, heads_,
                   head_dim_);
   }
 
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   const float* mu = mu_.data().data();
-  const float* q = q_all.data().data();
+  const float* q = q_all.data();
   const int* meta = index.meta_concat.data();
 
   // Edge-blocked pass, one backend call per edge type per phase (the CSR
@@ -271,7 +367,7 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
     if (slice.empty()) continue;
     float* block = logits.data() + static_cast<std::size_t>(slice.concat_offset) * heads_;
     if (k_map[e].empty()) {
-      kern.hgt_logits_direct(k_all.data().data(), q, fused->att[e].data(), slice.src.data(),
+      kern.hgt_logits_direct(k_all.data(), q, fused->att[e].data(), slice.src.data(),
                              slice.dst.data(), meta + slice.concat_offset, mu, slice.size(),
                              heads_, head_dim_, inv_sqrt_d, block, node_max.data());
     } else {
@@ -287,7 +383,7 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
     const float* block =
         logits.data() + static_cast<std::size_t>(slice.concat_offset) * heads_;
     if (v_map[e].empty()) {
-      kern.hgt_accumulate_direct(v_all.data().data(), fused->msg[e].data(), slice.src.data(),
+      kern.hgt_accumulate_direct(v_all.data(), fused->msg[e].data(), slice.src.data(),
                                  slice.dst.data(), slice.size(), block, node_max.data(),
                                  heads_, head_dim_, h_tilde.data(), denom.data());
     } else {
@@ -309,12 +405,36 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
     }
   }
 
-  Tensor h_tilde_t = make_result({n, dim_}, std::move(h_tilde), {}, nullptr);
-  // Formula 5, shared with the reference path: per-target-type output
-  // projection of σ(H~) plus residual.
-  const Tensor activated = gelu(h_tilde_t);
-  const Tensor projected = per_type_projection(activated, index, a_lin_);
-  return add(projected, x);
+  // Formula 5 on raw buffers: σ(H~) through the backend GELU (in place),
+  // then the per-target-type A-Linear as one cached-operand GEMM per node
+  // type — the A block lives in the same repack as K|Q|V but applies here,
+  // to the activated aggregate — with bias and residual folded into the
+  // scatter back to node order.
+  kern.gelu(h_tilde.data(), h_tilde.data(), static_cast<int>(row_elems));
+  FloatVec y(row_elems);
+  {
+    FloatVec gathered, projected;
+    ThreadPool* pool = pool_.get();
+    const float* xdata = x.data().data();
+    for (int t = 0; t < kNumHetNodeTypes; ++t) {
+      const auto ts = static_cast<std::size_t>(t);
+      const auto& rows = index.rows_of_type[ts];
+      if (rows.empty()) continue;
+      const int rt = static_cast<int>(rows.size());
+      project_type_rows(h_tilde.data(), dim_, rows, fused->a_w[ts].data(), dim_, pool,
+                        gathered, projected);
+      const float* bias = fused->a_b[ts].data();
+      for (int r = 0; r < rt; ++r) {
+        const float* prow = projected.data() + static_cast<std::size_t>(r) * dim_sz;
+        const std::size_t node =
+            static_cast<std::size_t>(rows[static_cast<std::size_t>(r)]) * dim_sz;
+        const float* xrow = xdata + node;
+        float* yrow = y.data() + node;
+        for (int j = 0; j < dim_; ++j) yrow[j] = prow[j] + bias[j] + xrow[j];
+      }
+    }
+  }
+  return make_result({n, dim_}, std::move(y), {}, nullptr);
 }
 
 HgtEncoder::HgtEncoder(int dim, int heads, int layers, Rng& rng) {
@@ -340,6 +460,10 @@ Tensor HgtEncoder::forward(const Tensor& x, const HetGraph& graph) const {
 
 void HgtEncoder::set_fused_inference(bool enabled) {
   for (auto& layer : layers_) layer->set_fused_inference(enabled);
+}
+
+void HgtEncoder::set_thread_pool(std::shared_ptr<ThreadPool> pool) {
+  for (auto& layer : layers_) layer->set_thread_pool(pool);
 }
 
 }  // namespace g2p

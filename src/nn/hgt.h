@@ -29,6 +29,8 @@
 
 namespace g2p {
 
+class ThreadPool;
+
 class HgtLayer : public Module {
  public:
   HgtLayer(int dim, int heads, Rng& rng);
@@ -70,6 +72,13 @@ class HgtLayer : public Module {
   void set_fused_inference(bool enabled) { fused_enabled_ = enabled; }
   bool fused_inference() const { return fused_enabled_; }
 
+  /// Worker pool for the fused forward's projection GEMMs (matmul_mt row
+  /// panels) — batch-shaped forwards scale across cores with it, null runs
+  /// them single-threaded. Nested use is safe: on a pool worker the panels
+  /// run inline. Not thread-safe against concurrent forwards (configure at
+  /// setup, like set_fused_inference).
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) { pool_ = std::move(pool); }
+
   int dim() const { return dim_; }
   int heads() const { return heads_; }
 
@@ -84,15 +93,26 @@ class HgtLayer : public Module {
   // stored as [T*R*T, 1] for differentiable gathering.
   Tensor mu_;
 
-  /// Cached fusion of the per-head W_ATT / W_MSG blocks: per edge type, the
-  /// `heads` [head_dim, head_dim] matrices laid out back to back — the dense
-  /// blocks of a block-diagonal [dim, dim] operator the backend's head_map
-  /// applies in one N-row pass. `stamp` is the sum of the source parameters'
-  /// mutation versions; a mismatch (optimizer step, checkpoint load, direct
-  /// data poke) triggers a rebuild on the next fused forward.
+  /// Cached repack of every weight the fused forward consumes. `stamp` is
+  /// the sum of the source parameters' mutation versions; a mismatch
+  /// (optimizer step, checkpoint load, direct data poke) triggers a rebuild
+  /// on the next fused forward.
+  ///
+  /// Per edge type φ: the `heads` [head_dim, head_dim] W_ATT / W_MSG
+  /// matrices laid out back to back — the dense blocks of a block-diagonal
+  /// [dim, dim] operator the backend's head_map applies in one N-row pass.
+  ///
+  /// Per node type τ: the K/Q/V projection weights packed side by side as
+  /// one [dim, 3*dim] GEMM operand (columns [K | Q | V]) with the biases
+  /// concatenated to [3*dim] — all three projections of a type's rows cost
+  /// one wide GEMM instead of three square ones. The A-Linear block rides in
+  /// the same cache but stays a separate [dim, dim] operand: it applies to
+  /// the *activated aggregate*, not to x, so it cannot join the x-side GEMM.
   struct FusedWeights {
     std::uint64_t stamp = 0;
-    std::vector<FloatVec> att, msg;  // φ-indexed; block layout is [h][k][j]
+    std::vector<FloatVec> att, msg;      // φ-indexed; block layout is [h][k][j]
+    std::vector<FloatVec> kqv_w, kqv_b;  // τ-indexed: [dim, 3*dim] / [3*dim]
+    std::vector<FloatVec> a_w, a_b;      // τ-indexed: [dim, dim] / [dim]
   };
   const FusedWeights* fused_weights() const;
   std::uint64_t weight_stamp() const;
@@ -108,6 +128,7 @@ class HgtLayer : public Module {
   mutable std::vector<std::unique_ptr<const FusedWeights>> fused_retired_;
   mutable std::atomic<const FusedWeights*> fused_current_{nullptr};
   bool fused_enabled_ = true;
+  std::shared_ptr<ThreadPool> pool_;  // null: single-threaded projections
 
   /// Apply the per-type linear `lins[type]` to the rows of each type and
   /// reassemble a full [N, dim] tensor.
@@ -128,6 +149,9 @@ class HgtEncoder : public Module {
 
   /// Propagate fused-inference routing to every layer (see HgtLayer).
   void set_fused_inference(bool enabled);
+
+  /// Propagate the projection-GEMM worker pool to every layer (see HgtLayer).
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool);
 
  private:
   std::vector<std::unique_ptr<HgtLayer>> layers_;

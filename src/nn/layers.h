@@ -17,6 +17,12 @@ class Linear : public Module {
   int in_features() const { return in_; }
   int out_features() const { return out_; }
 
+  /// Parameter handles (the HGT layer's fused-projection cache packs several
+  /// Linears' weights into one wide GEMM operand and keys the repack on
+  /// their mutation versions).
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }  // undefined when bias-less
+
  private:
   int in_, out_;
   Tensor weight_;  // [in, out]

@@ -1,7 +1,11 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
+
+#include "support/hash.h"
 
 namespace g2p {
 
@@ -71,6 +75,12 @@ void SuggestServer::shutdown() {
 }
 
 void SuggestServer::scheduler_loop() {
+  // Adaptive window: arrivals pausing for this long close the batch early
+  // instead of sleeping out the rest of max_delay.
+  const auto grace = options_.idle_grace.count() >= 0
+                         ? options_.idle_grace
+                         : std::chrono::duration_cast<std::chrono::microseconds>(
+                               options_.max_delay / 4);
   for (;;) {
     std::vector<Request> batch;
     {
@@ -78,12 +88,25 @@ void SuggestServer::scheduler_loop() {
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) break;  // stopping and fully drained
 
-      // Micro-batch window: hold the batch open until it fills or the
-      // oldest request has waited out max_delay. Shutdown closes the window
-      // early so draining never sleeps.
+      // Micro-batch window: hold the batch open until it fills, the oldest
+      // request has waited out max_delay, or the arrival stream pauses for
+      // idle_grace (no point holding an open window against idle traffic).
+      // Shutdown closes the window early so draining never sleeps.
       const auto deadline = queue_.front().enqueued + options_.max_delay;
+      std::size_t seen = queue_.size();
+      auto last_arrival = Clock::now();
       while (!stopping_ && queue_.size() < options_.max_batch_loops) {
-        if (queue_cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+        const auto wake = std::min(deadline, Clock::time_point(last_arrival + grace));
+        const bool timed_out =
+            queue_cv_.wait_until(lock, wake) == std::cv_status::timeout;
+        if (queue_.size() > seen) {
+          seen = queue_.size();
+          last_arrival = Clock::now();
+          continue;
+        }
+        // No growth: a hard-deadline or idle-grace expiry closes the
+        // window; notifies without arrivals (spurious, shutdown) loop.
+        if (timed_out) break;
       }
 
       const std::size_t take = std::min(queue_.size(), options_.max_batch_loops);
@@ -101,9 +124,33 @@ void SuggestServer::scheduler_loop() {
 
 void SuggestServer::serve_batch(std::vector<Request>& batch) {
   stats_.on_batch(batch.size());
+
+  // Cache-aware scheduling: collapse identical in-flight sources (keyed by
+  // the serving cache's normalized content hash) onto one slot before the
+  // batch reaches the pipeline — the answer is computed once and fanned out
+  // to every matching future below. `slot_of[i]` maps request i to its
+  // unique slot.
   std::vector<std::string_view> views;
   views.reserve(batch.size());
-  for (const auto& r : batch) views.emplace_back(r.source);
+  std::vector<std::size_t> slot_of(batch.size());
+  if (batch.size() == 1) {
+    // Nothing to collapse — skip the hash pass (the pipeline's cache probe
+    // hashes the source anyway).
+    views.emplace_back(batch.front().source);
+    slot_of[0] = 0;
+  } else {
+    std::unordered_map<Hash128, std::size_t, Hash128Hasher> slot_by_key;
+    slot_by_key.reserve(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto [it, fresh] =
+          slot_by_key.emplace(hash_source(batch[i].source), views.size());
+      slot_of[i] = it->second;
+      if (fresh) views.emplace_back(batch[i].source);
+    }
+    if (views.size() < batch.size()) {
+      stats_.on_dedup(batch.size() - views.size());
+    }
+  }
 
   const auto latency_us = [](Clock::time_point enqueued, Clock::time_point now) {
     return static_cast<std::uint64_t>(
@@ -127,13 +174,23 @@ void SuggestServer::serve_batch(std::vector<Request>& batch) {
     return;
   }
 
+  // Fan each unique slot's outcome back out: duplicates get copies, the
+  // slot's last taker gets the moved original. Identical bytes fail
+  // identically, so duplicates of a failed slot share its exception.
+  std::vector<std::size_t> takers_left(views.size(), 0);
+  for (const std::size_t slot : slot_of) ++takers_left[slot];
   const auto now = Clock::now();
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    stats_.on_done(results[i].ok(), latency_us(batch[i].enqueued, now));
-    if (results[i].ok()) {
-      batch[i].promise.set_value(std::move(results[i].suggestions));
+    Pipeline::SourceResult& result = results[slot_of[i]];
+    stats_.on_done(result.ok(), latency_us(batch[i].enqueued, now));
+    if (result.ok()) {
+      if (--takers_left[slot_of[i]] == 0) {
+        batch[i].promise.set_value(std::move(result.suggestions));
+      } else {
+        batch[i].promise.set_value(result.suggestions);
+      }
     } else {
-      batch[i].promise.set_exception(results[i].error);
+      batch[i].promise.set_exception(result.error);
     }
   }
 }

@@ -15,6 +15,15 @@
 // until space frees up (so producers are throttled to the service rate);
 // `try_submit` refuses instead, for callers that would rather shed load.
 //
+// Cache-aware scheduling: identical in-flight sources (same normalized
+// content hash, the serving cache's key) collapse onto one slot of the
+// batched call — the scheduler computes the answer once and completes every
+// matching future with it, so a thundering herd of one hot source costs one
+// frontend + forward instead of N. Collapses are counted in
+// ServerStats::deduped. The window is also adaptive: when arrivals pause
+// for `idle_grace`, the batch closes early rather than sleeping out
+// `max_delay` (see Options).
+//
 // Shutdown is graceful: `shutdown()` (and the destructor) stops accepting
 // new work, serves everything already queued, then joins the scheduler.
 #pragma once
@@ -44,6 +53,12 @@ class SuggestServer {
     /// forward), or once the oldest queued request has waited `max_delay`.
     std::size_t max_batch_loops = 32;
     std::chrono::milliseconds max_delay{2};
+    /// Adaptive window: when the arrival stream pauses — no new request for
+    /// this long while a batch is open — the window closes early instead of
+    /// sleeping out the rest of `max_delay` (idle traffic shouldn't pay the
+    /// worst-case batching delay). Negative (default) auto-sizes to
+    /// max_delay / 4; values >= max_delay effectively disable early close.
+    std::chrono::microseconds idle_grace{-1};
     /// Queue bound. `submit` blocks (backpressure) when this many requests
     /// are already waiting; `try_submit` returns nullopt instead.
     std::size_t max_queue_depth = 1024;

@@ -21,6 +21,8 @@ struct ServerStatsSnapshot {
   std::uint64_t batches = 0;          // suggest_batch calls issued
   std::uint64_t batched_requests = 0; // sum of batch sizes
   std::uint64_t max_batch = 0;        // largest batch served
+  std::uint64_t deduped = 0;          // in-flight duplicates collapsed by the
+                                      // scheduler (computed once, fanned out)
   std::uint64_t queue_depth = 0;      // requests waiting right now
   std::uint64_t latency_sum_us = 0;   // enqueue -> completion, all requests
   std::uint64_t latency_max_us = 0;
@@ -61,6 +63,9 @@ class ServerStats {
            !max_batch_.compare_exchange_weak(seen, size, std::memory_order_relaxed)) {
     }
   }
+  void on_dedup(std::uint64_t count) {
+    deduped_.fetch_add(count, std::memory_order_relaxed);
+  }
   void on_done(bool ok, std::uint64_t latency_us) {
     (ok ? completed_ : failed_).fetch_add(1, std::memory_order_relaxed);
     latency_sum_us_.fetch_add(latency_us, std::memory_order_relaxed);
@@ -78,6 +83,7 @@ class ServerStats {
     s.batches = batches_.load(std::memory_order_relaxed);
     s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
     s.max_batch = max_batch_.load(std::memory_order_relaxed);
+    s.deduped = deduped_.load(std::memory_order_relaxed);
     s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
     s.latency_sum_us = latency_sum_us_.load(std::memory_order_relaxed);
     s.latency_max_us = latency_max_us_.load(std::memory_order_relaxed);
@@ -91,6 +97,7 @@ class ServerStats {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};
+  std::atomic<std::uint64_t> deduped_{0};
   std::atomic<std::uint64_t> queue_depth_{0};
   std::atomic<std::uint64_t> latency_sum_us_{0};
   std::atomic<std::uint64_t> latency_max_us_{0};

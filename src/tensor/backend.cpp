@@ -14,9 +14,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
+#include <string_view>
 #include <vector>
 
+#include "support/thread_pool.h"
 #include "tensor/fastmath.h"
+#include "tensor/gemm_blocked.h"
 
 #if defined(__ARM_NEON)
 #include <arm_neon.h>
@@ -154,6 +157,42 @@ void scalar_matmul(const float* a, const float* b, float* out, int n, int k, int
       for (int j = 0; j < m; ++j) orow[j] += av * brow[j];
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar blocked GEMM micro-kernel (gemm_blocked.h drives the blocking)
+// ---------------------------------------------------------------------------
+
+/// 4x8 register tile: 32 accumulators fit the 16 baseline-SSE2 XMM registers
+/// when the compiler vectorizes the fixed-width inner loops, and the same
+/// code auto-vectorizes to NEON on aarch64.
+struct ScalarMicro {
+  static constexpr int MR = 4;
+  static constexpr int NR = 8;
+  static void run(int kc, const float* __restrict pa, const float* __restrict pb,
+                  float* __restrict c, int ldc, bool accumulate) {
+    float acc[MR][NR] = {};
+    for (int kk = 0; kk < kc; ++kk) {
+      for (int r = 0; r < MR; ++r) {
+        const float av = pa[r];
+        for (int j = 0; j < NR; ++j) acc[r][j] += av * pb[j];
+      }
+      pa += MR;
+      pb += NR;
+    }
+    for (int r = 0; r < MR; ++r) {
+      float* crow = c + static_cast<std::size_t>(r) * ldc;
+      if (accumulate) {
+        for (int j = 0; j < NR; ++j) crow[j] += acc[r][j];
+      } else {
+        for (int j = 0; j < NR; ++j) crow[j] = acc[r][j];
+      }
+    }
+  }
+};
+
+void scalar_gemm(const float* a, const float* b, float* out, int n, int k, int m) {
+  detail::gemm_blocked<ScalarMicro>(a, b, out, n, k, m);
 }
 
 // ---------------------------------------------------------------------------
@@ -380,6 +419,7 @@ void scalar_segment_weighted_sum_rows(const float* x, const float* w, const int*
 constexpr Kernels kScalar = {
     "scalar",
     scalar_matmul,
+    scalar_gemm,
     scalar_head_map,
     scalar_hgt_logits,
     scalar_hgt_accumulate,
@@ -486,6 +526,7 @@ void neon_head_map(const float* x, const float* w, float* out, int n, int heads,
 constexpr Kernels kNeon = {
     "neon",
     scalar_matmul,  // the tuned scalar kernels auto-vectorize on aarch64
+    scalar_gemm,    // ScalarMicro's fixed-width tile vectorizes likewise
     neon_head_map,
     neon_hgt_logits,
     neon_hgt_accumulate,
@@ -568,6 +609,87 @@ bool set_active(std::string_view name) {
   if (t == nullptr) return false;
   g_active.store(t, std::memory_order_release);
   return true;
+}
+
+namespace {
+
+/// G2P_GEMM=0/off pins matmul_auto to the legacy kernels. Read once.
+bool gemm_env_enabled() {
+  static const bool enabled = [] {
+    const char* e = std::getenv("G2P_GEMM");
+    if (e == nullptr) return true;
+    const std::string_view v(e);
+    return v != "0" && v != "off" && v != "false";
+  }();
+  return enabled;
+}
+
+/// G2P_GEMM_THREADS caps the matmul_mt fan-out (<= 0 / unset: no cap beyond
+/// the pool's width). Read once.
+unsigned gemm_thread_cap() {
+  static const unsigned cap = [] {
+    if (const char* e = std::getenv("G2P_GEMM_THREADS")) {
+      const int v = std::atoi(e);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0u;
+  }();
+  return cap;
+}
+
+/// Where the blocked GEMM starts beating the legacy kernels: the packed
+/// panels cost two extra passes over A and B, so tiny products stay on the
+/// register-specialized paths, as do the narrow head matrices (m <= 8) whose
+/// replicated-B kernels the tile can't match. Thresholds picked by
+/// bench_gemm sweeps on the serving shapes.
+bool gemm_profitable(int n, int k, int m) {
+  if (m < 16 || n < 8 || k < 4) return false;
+  return static_cast<std::size_t>(n) * static_cast<std::size_t>(k) *
+             static_cast<std::size_t>(m) >=
+         (1u << 15);
+}
+
+}  // namespace
+
+void matmul_auto(const float* a, const float* b, float* out, int n, int k, int m) {
+  const Kernels& kern = active();
+  if (gemm_env_enabled() && gemm_profitable(n, k, m)) {
+    kern.gemm(a, b, out, n, k, m);
+  } else {
+    kern.matmul(a, b, out, n, k, m);
+  }
+}
+
+void matmul_mt(const float* a, const float* b, float* out, int n, int k, int m,
+               ThreadPool* pool) {
+  // Row panels of at least this many rows per worker: below that the
+  // per-chunk B re-pack and queue round trip outweigh the parallelism.
+  constexpr int kMinRowsPerChunk = 64;
+  std::size_t chunks = pool != nullptr ? pool->size() : 1;
+  if (const unsigned cap = gemm_thread_cap(); cap != 0) {
+    chunks = std::min<std::size_t>(chunks, cap);
+  }
+  chunks = std::min<std::size_t>(chunks, static_cast<std::size_t>(n) / kMinRowsPerChunk);
+  if (chunks <= 1) {
+    matmul_auto(a, b, out, n, k, m);
+    return;
+  }
+  // Pick the kernel once, on the FULL shape: re-running the heuristic on
+  // each chunk's smaller n could route chunks to the other kernel, whose
+  // rounding differs in the last ulps — breaking the bitwise
+  // single-vs-threaded guarantee.
+  const Kernels& kern = active();
+  const auto kernel = gemm_env_enabled() && gemm_profitable(n, k, m) ? kern.gemm : kern.matmul;
+  const std::size_t per_chunk =
+      (static_cast<std::size_t>(n) + chunks - 1) / chunks;
+  pool->parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * per_chunk;
+    if (begin >= static_cast<std::size_t>(n)) return;
+    const std::size_t rows =
+        std::min(per_chunk, static_cast<std::size_t>(n) - begin);
+    kernel(a + begin * static_cast<std::size_t>(k), b,
+           out + begin * static_cast<std::size_t>(m), static_cast<int>(rows), k, m);
+  });
 }
 
 }  // namespace g2p::backend

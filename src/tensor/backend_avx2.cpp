@@ -19,6 +19,7 @@
 #include <cstddef>
 
 #include "tensor/fastmath.h"
+#include "tensor/gemm_blocked.h"
 
 namespace g2p::backend {
 
@@ -136,6 +137,53 @@ void avx2_matmul(const float* a, const float* b, float* out, int n, int k, int m
     return;
   }
   scalar().matmul(a, b, out, n, k, m);
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM micro-kernel (gemm_blocked.h drives the blocking)
+// ---------------------------------------------------------------------------
+
+/// 6x16 register tile: 12 YMM accumulators + 2 packed-B vectors + 1 A
+/// broadcast stay inside the 16 architectural registers, and every cycle
+/// feeds both FMA pipes — the configuration the legacy single-row kernels
+/// (one latency-bound chain per column block) cannot reach. Packed B panels
+/// are 64-byte aligned (tensor_pool scratch), so the B loads are aligned.
+struct Avx2Micro {
+  static constexpr int MR = 6;
+  static constexpr int NR = 16;
+  static void run(int kc, const float* __restrict pa, const float* __restrict pb,
+                  float* __restrict c, int ldc, bool accumulate) {
+    __m256 acc[MR][2];
+    for (int r = 0; r < MR; ++r) {
+      acc[r][0] = _mm256_setzero_ps();
+      acc[r][1] = _mm256_setzero_ps();
+    }
+    for (int kk = 0; kk < kc; ++kk) {
+      const __m256 b0 = _mm256_load_ps(pb);
+      const __m256 b1 = _mm256_load_ps(pb + 8);
+      pb += NR;
+      for (int r = 0; r < MR; ++r) {
+        const __m256 av = _mm256_broadcast_ss(pa + r);
+        acc[r][0] = _mm256_fmadd_ps(av, b0, acc[r][0]);
+        acc[r][1] = _mm256_fmadd_ps(av, b1, acc[r][1]);
+      }
+      pa += MR;
+    }
+    for (int r = 0; r < MR; ++r) {
+      float* crow = c + static_cast<std::size_t>(r) * ldc;
+      if (accumulate) {
+        _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[r][0]));
+        _mm256_storeu_ps(crow + 8, _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[r][1]));
+      } else {
+        _mm256_storeu_ps(crow, acc[r][0]);
+        _mm256_storeu_ps(crow + 8, acc[r][1]);
+      }
+    }
+  }
+};
+
+void avx2_gemm(const float* a, const float* b, float* out, int n, int k, int m) {
+  detail::gemm_blocked<Avx2Micro>(a, b, out, n, k, m);
 }
 
 // ---------------------------------------------------------------------------
@@ -541,6 +589,7 @@ void avx2_segment_weighted_sum_rows(const float* x, const float* w, const int* s
 const Kernels kAvx2 = {
     "avx2",
     avx2_matmul,
+    avx2_gemm,
     avx2_head_map,
     avx2_hgt_logits,
     avx2_hgt_accumulate,

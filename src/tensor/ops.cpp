@@ -36,7 +36,9 @@ int cols_of(const Tensor& t) { return t.rank() == 1 ? t.dim(0) : t.dim(1); }
 // scalar kernels otherwise. ops.cpp keeps shape checks, autograd taping, and
 // the backward passes.
 void matmul_forward_kernel(const float* a, const float* b, float* out, int n, int k, int m) {
-  backend::active().matmul(a, b, out, n, k, m);
+  // Shape-routed: blocked/packed GEMM for big products, the legacy
+  // width-specialized kernels for narrow/small ones (backend.h).
+  backend::matmul_auto(a, b, out, n, k, m);
 }
 
 /// Validate all segment ids in one pass (a branch-free min/max scan the

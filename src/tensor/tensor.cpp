@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <new>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
@@ -16,6 +17,18 @@ namespace {
 constexpr std::size_t kMinPooledBytes = 1u << 16;    // pool only large blocks
 constexpr std::size_t kDefaultByteCap = 64u << 20;   // cached bytes/thread
 
+/// Every block — pooled or not — is allocated with 64-byte alignment: the
+/// blocked GEMM's packed panels live in FloatVec scratch and the SIMD
+/// micro-kernels read them with aligned vector loads (also cache-line- and
+/// AVX-512-friendly for every tensor buffer). One allocation form keeps the
+/// acquire/release pairing trivial.
+void* aligned_new(std::size_t bytes) {
+  return ::operator new(bytes, std::align_val_t{kAlignment});
+}
+void aligned_delete(void* p) noexcept {
+  ::operator delete(p, std::align_val_t{kAlignment});
+}
+
 /// Per-thread recycling cache with a hard byte cap. Long-lived server
 /// workers churn through many distinct batch shapes, so the cache evicts
 /// oldest-cached-first (FIFO) instead of refusing new blocks: the sizes in
@@ -28,7 +41,7 @@ struct Cache {
   ~Cache() {
     for (auto& [size, list] : blocks) {
       (void)size;
-      for (void* p : list) ::operator delete(p);
+      for (void* p : list) aligned_delete(p);
     }
   }
 
@@ -51,7 +64,7 @@ struct Cache {
     auto pos = std::find(it->second.begin(), it->second.end(), p);
     it->second.erase(pos);
     total -= bytes;
-    ::operator delete(p);
+    aligned_delete(p);
   }
 };
 thread_local Cache g_cache;
@@ -69,7 +82,7 @@ void* acquire(std::size_t bytes) {
       return p;
     }
   }
-  return ::operator new(bytes);
+  return aligned_new(bytes);
 }
 
 void release(void* p, std::size_t bytes) noexcept {
@@ -88,7 +101,7 @@ void release(void* p, std::size_t bytes) noexcept {
     } catch (...) {
     }
   }
-  ::operator delete(p);
+  aligned_delete(p);
 }
 
 std::size_t cached_bytes() noexcept { return g_cache.total; }

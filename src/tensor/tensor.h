@@ -27,6 +27,10 @@ using Shape = std::vector<int>;
 /// every touch faults. Blocks below the pooling threshold go straight to the
 /// system allocator.
 namespace tensor_pool {
+/// Every block acquire() hands out is aligned to this (cache line / AVX-512
+/// vector). The blocked GEMM relies on it: packed panels are FloatVec
+/// scratch and the SIMD micro-kernels use aligned loads on them.
+inline constexpr std::size_t kAlignment = 64;
 void* acquire(std::size_t bytes);
 void release(void* p, std::size_t bytes) noexcept;
 /// Bytes currently cached by the calling thread's pool. Bounded by

@@ -15,6 +15,7 @@
 #include "graph/hetgraph_index.h"
 #include "nn/hgt.h"
 #include "support/rng.h"
+#include "support/thread_pool.h"
 #include "tensor/backend.h"
 #include "tensor/ops.h"
 #include "tensor/optim.h"
@@ -199,6 +200,63 @@ TEST(HgtFused, CheckpointLoadInvalidatesWeightCache) {
       << "fused cache served stale weights after checkpoint load";
   EXPECT_LE(max_rel_diff(target.forward_reference(x, index), fused), kTol);
   EXPECT_GT(max_rel_diff(stale, fused), 1e-4) << "load had no observable effect";
+}
+
+TEST(HgtFused, FusedProjectionsMatchPerTypeLinears) {
+  // The fused path computes K/Q/V as one wide [rows, dim] x [dim, 3*dim]
+  // GEMM per node type (and A as a cached-operand GEMM over the activated
+  // aggregate); the reference path runs the four taped per-type Linears.
+  // Same math, different fusion — they must agree to float rounding, with
+  // and without a worker pool fanning the GEMM into row panels.
+  Rng rng(4242);
+  auto pool = std::make_shared<ThreadPool>(3);
+  for (const int heads : {2, 4}) {
+    const int dim = 32;  // the serving shape's wide GEMM is [N, 32] x [32, 96]
+    HgtLayer layer(dim, heads, rng);
+    const HetGraph g = random_graph(rng, 200, 700,
+                                    {HetEdgeType::kAstChild, HetEdgeType::kAstParent,
+                                     HetEdgeType::kCfgNext, HetEdgeType::kLexNext});
+    const HetGraphIndex index(g);
+    const Tensor x = Tensor::randn({200, dim}, rng, 0.7f);
+    expect_fused_matches_reference(layer, x, index, "fused projections, no pool");
+    const NoGradGuard no_grad;
+    const Tensor single = layer.forward_fused(x, index);
+    layer.set_thread_pool(pool);
+    const Tensor pooled = layer.forward_fused(x, index);
+    // Row panels change no element's reduction order: bitwise equal.
+    for (std::size_t i = 0; i < single.numel(); ++i) {
+      ASSERT_EQ(pooled.data()[i], single.data()[i]) << "heads " << heads;
+    }
+    expect_fused_matches_reference(layer, x, index, "fused projections, pooled");
+  }
+}
+
+TEST(HgtFused, DirectProjectionWeightPokeInvalidatesCache) {
+  // The repack now also covers the K/Q/V/A Linears: mutating one of their
+  // parameters directly (what a checkpoint load or a test poke does) must
+  // rebuild the fused projection operands.
+  Rng rng(555);
+  HgtLayer layer(16, 2, rng);
+  const HetGraph g = random_graph(rng, 25, 80, {HetEdgeType::kAstChild, HetEdgeType::kCfgPrev});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({25, 16}, rng, 0.6f);
+
+  Tensor before;
+  {
+    const NoGradGuard no_grad;
+    before = layer.forward_fused(x, index);  // builds the projection repack
+  }
+  // parameters() order starts with the per-type K/Q/V/A Linears; poke the
+  // first weight (a K projection) through the mutation-counting accessor.
+  Tensor first = layer.parameters().front();
+  for (auto& v : first.data()) v += 0.25f;
+
+  const NoGradGuard no_grad;
+  const Tensor ref = layer.forward_reference(x, index);
+  const Tensor fused = layer.forward_fused(x, index);
+  EXPECT_LE(max_rel_diff(ref, fused), kTol)
+      << "fused projection cache served stale K weights after direct poke";
+  EXPECT_GT(max_rel_diff(before, fused), 1e-4) << "poke had no observable effect";
 }
 
 TEST(HgtFused, ScalarAndDispatchedBackendsAgree) {

@@ -9,6 +9,7 @@
 #include "support/rng.h"
 #include "support/strings.h"
 #include "support/table.h"
+#include "tensor/tensor.h"
 
 namespace g2p {
 namespace {
@@ -229,6 +230,26 @@ TEST(Arena, MoveTransfersOwnership) {
     EXPECT_EQ(destroyed, 0);
   }
   EXPECT_EQ(destroyed, 1);
+}
+
+// ---- tensor_pool ------------------------------------------------------------
+
+TEST(TensorPool, HandsOut64ByteAlignedBlocks) {
+  // The blocked GEMM packs panels into FloatVec scratch and reads them with
+  // aligned SIMD loads — every size class (below the pooling threshold,
+  // pooled-cold, and pooled-recycled) must come back 64-byte aligned.
+  const auto aligned = [](void* p) {
+    return reinterpret_cast<std::uintptr_t>(p) % tensor_pool::kAlignment == 0;
+  };
+  for (const std::size_t bytes : {8u, 100u, 1u << 12, 1u << 16, (1u << 16) + 4, 1u << 20}) {
+    void* p = tensor_pool::acquire(bytes);
+    EXPECT_TRUE(aligned(p)) << bytes << " bytes (cold)";
+    tensor_pool::release(p, bytes);
+    void* recycled = tensor_pool::acquire(bytes);
+    EXPECT_TRUE(aligned(recycled)) << bytes << " bytes (recycled)";
+    tensor_pool::release(recycled, bytes);
+  }
+  tensor_pool::trim();
 }
 
 // ---- hashing ----------------------------------------------------------------
