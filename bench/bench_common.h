@@ -16,8 +16,11 @@
 #include <utility>
 #include <vector>
 
+#include <thread>
+
 #include "core/graph2par.h"
 #include "core/pragformer.h"
+#include "tensor/backend.h"
 #include "dataset/generator.h"
 #include "eval/trainer.h"
 #include "support/rng.h"
@@ -162,6 +165,30 @@ class JsonMetrics {
  private:
   std::vector<std::pair<std::string, std::string>> entries_;
 };
+
+/// Common provenance header every --json bench emits first: the bench name,
+/// the SIMD backend actually dispatched (after G2P_BACKEND and CPUID
+/// resolution), the machine's hardware thread count, and the git revision
+/// the run came from (working-tree HEAD at run time; "unknown" outside a
+/// checkout). One shared shape means the checked-in BENCH_*.json baselines
+/// can be joined/diffed by tooling without per-bench cases — call this
+/// before any bench-specific keys.
+inline void set_common_header(JsonMetrics& json, const char* bench_name) {
+  json.set("bench", bench_name);
+  json.set("backend", backend::active_name());
+  json.set("hw_threads", static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  std::string rev = "unknown";
+  if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) {
+      std::string line(buf);
+      while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+      if (!line.empty()) rev = line;
+    }
+    ::pclose(p);
+  }
+  json.set("git_rev", rev);
+}
 
 /// The value following `--json`, or "" when the flag is absent. A trailing
 /// `--json` with no path is a usage error, not a silent no-op — the bench

@@ -253,7 +253,7 @@ int main(int argc, char** argv) {
   }
 
   bench::JsonMetrics json;
-  json.set("bench", "frontend");
+  bench::set_common_header(json, "frontend");
   json.set("sources", static_cast<std::int64_t>(sources.size()));
   json.set("loops", static_cast<std::int64_t>(loops_built));
   json.set("frontend_us_per_kb", us_per_kb);

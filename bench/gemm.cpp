@@ -88,10 +88,8 @@ int main(int argc, char** argv) {
   ThreadPool pool(kMtThreads);
 
   bench::JsonMetrics json;
-  json.set("bench", "gemm");
-  json.set("backend", backend::active_name());
+  bench::set_common_header(json, "gemm");
   json.set("reps", reps);
-  json.set("hw_threads", static_cast<int>(hw_threads));
   json.set("mt_threads", static_cast<int>(kMtThreads));
 
   const auto time_best = [&](auto&& fn) {

@@ -249,7 +249,8 @@ int main(int argc, char** argv) {
   }
 
   bench::JsonMetrics json;
-  json.set("bench", "latency_server");
+  bench::set_common_header(json, "latency_server");
+  json.set("precision", stats.precision);
   json.set("requests", static_cast<std::int64_t>(num_requests));
   json.set("sequential_rps", seq_throughput);
   json.set("server_rps", srv_throughput);

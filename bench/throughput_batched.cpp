@@ -187,7 +187,7 @@ int main(int argc, char** argv) {
   }
 
   bench::JsonMetrics json;
-  json.set("bench", "throughput_batched");
+  bench::set_common_header(json, "throughput_batched");
   json.set("loops", static_cast<std::int64_t>(num_loops));
   json.set("sequential_s", seq_time);
   json.set("batch128_s", full_batch_time);

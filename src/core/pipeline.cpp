@@ -89,6 +89,9 @@ Pipeline::Pipeline(Options options, Vocab vocab)
   // Serving (`suggest*` under NoGradGuard) routes every HGT layer through
   // the fused inference kernel; training is unaffected by this switch.
   model_->set_fused_inference(options_.fused_inference);
+  // Configured serving precision; the env override is resolved inside the
+  // layers at forward time, so the member just carries the option through.
+  model_->set_precision(options_.precision);
   cache_ = std::make_unique<SuggestCache>(options_.cache_bytes);
   if (options_.pool_threads > 0) pool_ = std::make_shared<ThreadPool>(options_.pool_threads);
   // The encoder's projection GEMMs fan row panels across the serving pool

@@ -43,6 +43,12 @@ class Pipeline {
     /// edge-blocked CSR pass). Off pins the taped reference forward —
     /// numerically within ~1e-7 relative of the fused path, just slower.
     bool fused_inference = true;
+    /// Serving precision of the fused path: fp32 (default, numerically
+    /// identical to earlier builds) or int8 weight-quantized projections
+    /// (Kernels::gemm_s8 — faster, suggestions agree with fp32 at the
+    /// ≥99% level, see bench/hgt_kernel). The G2P_PRECISION env var
+    /// overrides this at runtime; training always runs fp32.
+    Precision precision = Precision::kFp32;
     /// Byte budget of the content-addressed serving cache (two LRU tiers:
     /// rendered results + frontend artifacts). 0 disables caching.
     std::size_t cache_bytes = 64u << 20;
@@ -108,6 +114,11 @@ class Pipeline {
   /// behavior selected by Options::pool_threads. A server injects its own
   /// pool here so serving concurrency is owned by the server, not a global.
   void set_thread_pool(std::shared_ptr<ThreadPool> pool);
+
+  /// The precision the fused path actually serves: Options::precision
+  /// unless the G2P_PRECISION env override is set (stats / --json surface
+  /// this, not the configured value).
+  Precision active_precision() const { return resolve_precision(options_.precision); }
 
   /// Serving-cache counters (hits per tier, bytes, frontend time saved).
   SuggestCache::Stats cache_stats() const { return cache_->stats(); }

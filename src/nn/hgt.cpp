@@ -1,7 +1,9 @@
 #include "nn/hgt.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <stdexcept>
@@ -11,6 +13,29 @@
 #include "tensor/fastmath.h"
 
 namespace g2p {
+
+Precision resolve_precision(Precision configured) {
+  // -1: no override, 0: force fp32, 1: force int8. Read once, like the
+  // other G2P_* knobs (docs/tuning.md).
+  static const int forced = [] {
+    const char* e = std::getenv("G2P_PRECISION");
+    if (e == nullptr) return -1;
+    const std::string_view v(e);
+    if (v == "int8") return 1;
+    if (v == "fp32") return 0;
+    if (!v.empty()) {
+      std::fprintf(stderr, "g2p: unknown G2P_PRECISION '%s' (want fp32|int8), ignoring\n", e);
+    }
+    return -1;
+  }();
+  if (forced == 0) return Precision::kFp32;
+  if (forced == 1) return Precision::kInt8;
+  return configured;
+}
+
+const char* precision_name(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
 
 namespace {
 
@@ -42,6 +67,70 @@ void project_type_rows(const float* src, int dim, const std::vector<int>& rows,
   }
   projected.resize(static_cast<std::size_t>(rt) * out_cols);
   backend::matmul_mt(gathered.data(), weights, projected.data(), rt, dim, out_cols, pool);
+}
+
+/// Int8 image of one edge type's fused head blocks: `heads` [hd, hd]
+/// matrices back to back, each quantized per output column, with the
+/// scale/zcomp arrays concatenated to length heads*hd so dequant indexes
+/// them by the same [h*hd + j] column the per-head sub-GEMMs write.
+void quantize_head_blocks(const FloatVec& blocks, int heads, int hd,
+                          backend::detail::QuantOperand& out) {
+  const std::size_t block = static_cast<std::size_t>(hd) * hd;
+  out.k = hd;
+  out.m = heads * hd;
+  out.q.resize(static_cast<std::size_t>(heads) * block);
+  out.scale.assign(static_cast<std::size_t>(heads) * hd, 0.0f);
+  out.zcomp.assign(static_cast<std::size_t>(heads) * hd, 0.0f);
+  backend::detail::QuantOperand tmp;
+  for (int h = 0; h < heads; ++h) {
+    backend::detail::quantize_weights(blocks.data() + static_cast<std::size_t>(h) * block,
+                                      hd, hd, tmp);
+    std::copy(tmp.q.begin(), tmp.q.end(),
+              out.q.begin() + static_cast<std::ptrdiff_t>(static_cast<std::size_t>(h) * block));
+    std::copy(tmp.scale.begin(), tmp.scale.end(),
+              out.scale.begin() + static_cast<std::ptrdiff_t>(h * hd));
+    std::copy(tmp.zcomp.begin(), tmp.zcomp.end(),
+              out.zcomp.begin() + static_cast<std::ptrdiff_t>(h * hd));
+  }
+}
+
+/// Quantize a set of [*, dim] rows (selected by `rows`, or all n rows when
+/// `rows` is null) straight out of the source buffer — the int8 path's
+/// gather and quantize are one pass, no float scratch. Sizes the outputs,
+/// then dispatches the scan/round work to Kernels::quantize_rows.
+void quantize_rows(const float* src, int dim, const std::vector<int>* rows, int n,
+                   backend::detail::U8Vec& qa, FloatVec& scales, FloatVec& zeros) {
+  const auto dim_sz = static_cast<std::size_t>(dim);
+  const int count = rows != nullptr ? static_cast<int>(rows->size()) : n;
+  qa.resize(static_cast<std::size_t>(count) * dim_sz);
+  scales.resize(static_cast<std::size_t>(count));
+  zeros.resize(static_cast<std::size_t>(count));
+  backend::active().quantize_rows(src, rows != nullptr ? rows->data() : nullptr, count, dim,
+                                  qa.data(), scales.data(), zeros.data());
+}
+
+/// Dequantize one GEMM accumulator row segment into fp32, optionally folding
+/// the bias and the residual in the same pass:
+///   out[j] = sa * (wsc[j] * acc[j]) + za * wzc[j] [+ bias[j]] [+ res[j]]
+/// The __restrict contracts (all streams distinct) are what let the
+/// contiguous loops vectorize — the int8 epilogue's cost lives here.
+inline void dequant_row(const std::int32_t* __restrict acc, const float* __restrict wsc,
+                        const float* __restrict wzc, float sa, float za, int m,
+                        float* __restrict out, const float* __restrict bias = nullptr,
+                        const float* __restrict res = nullptr) {
+  if (bias != nullptr && res != nullptr) {
+    for (int j = 0; j < m; ++j) {
+      out[j] = sa * (wsc[j] * static_cast<float>(acc[j])) + za * wzc[j] + bias[j] + res[j];
+    }
+  } else if (bias != nullptr) {
+    for (int j = 0; j < m; ++j) {
+      out[j] = sa * (wsc[j] * static_cast<float>(acc[j])) + za * wzc[j] + bias[j];
+    }
+  } else {
+    for (int j = 0; j < m; ++j) {
+      out[j] = sa * (wsc[j] * static_cast<float>(acc[j])) + za * wzc[j];
+    }
+  }
 }
 
 }  // namespace
@@ -262,6 +351,25 @@ const HgtLayer::FusedWeights* HgtLayer::fused_weights() const {
       fresh->a_b[ts].assign(dim_sz, 0.0f);
     }
   }
+  // Int8 images of every fused operand (see FusedWeights). Built even when
+  // serving fp32: they cost a few KB and one pass per rebuild, and keying
+  // them on the same stamp makes precision flips race-free by construction —
+  // the invalidation tests poke parameters and expect BOTH repacks fresh.
+  fresh->kqv_q.resize(static_cast<std::size_t>(kNumHetNodeTypes));
+  fresh->a_q.resize(static_cast<std::size_t>(kNumHetNodeTypes));
+  for (int t = 0; t < kNumHetNodeTypes; ++t) {
+    const auto ts = static_cast<std::size_t>(t);
+    backend::detail::quantize_weights(fresh->kqv_w[ts].data(), dim_, 3 * dim_,
+                                      fresh->kqv_q[ts]);
+    backend::detail::quantize_weights(fresh->a_w[ts].data(), dim_, dim_, fresh->a_q[ts]);
+  }
+  fresh->att_q.resize(static_cast<std::size_t>(kNumHetEdgeTypes));
+  fresh->msg_q.resize(static_cast<std::size_t>(kNumHetEdgeTypes));
+  for (int et = 0; et < kNumHetEdgeTypes; ++et) {
+    const auto e = static_cast<std::size_t>(et);
+    quantize_head_blocks(fresh->att[e], heads_, head_dim_, fresh->att_q[e]);
+    quantize_head_blocks(fresh->msg[e], heads_, head_dim_, fresh->msg_q[e]);
+  }
   const FusedWeights* published = fresh.get();
   fused_retired_.push_back(std::move(fresh));  // freed with the layer, never earlier
   fused_current_.store(published, std::memory_order_release);
@@ -277,6 +385,25 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
   const NoGradGuard no_grad;  // the fused path never tapes, even if entered directly
   const auto& kern = backend::active();
   const auto fused = fused_weights();
+  // Int8 serving: every projection GEMM goes through Kernels::gemm_s8 on
+  // the cached weight repacks — activations quantized per row during the
+  // gather, fp32 dequant folded into the same bias/residual scatters the
+  // fp32 path uses. The edge phases (logits, softmax, accumulate,
+  // normalize) are precision-invariant and shared.
+  const bool int8 = resolve_precision(precision_) == Precision::kInt8;
+  // G2P_HGT_PROFILE (docs/tuning.md): per-stage wall times to stderr, one
+  // line per stage per layer forward. Dev-only instrumentation for placing
+  // regressions (and the fp32/int8 A-B) without a profiler; costs one
+  // getenv and a handful of predictable branches when unset.
+  const bool prof = std::getenv("G2P_HGT_PROFILE") != nullptr;
+  auto tp = std::chrono::steady_clock::now();
+  const auto mark = [&](const char* what) {
+    if (!prof) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::fprintf(stderr, "  %-10s %7.1f us\n", what,
+                 std::chrono::duration<double>(now - tp).count() * 1e6);
+    tp = now;
+  };
 
   // Fused projection stage: per node type, one wide [rows, dim] x
   // [dim, 3*dim] GEMM against the cached K|Q|V repack computes all three
@@ -289,6 +416,9 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
   FloatVec k_all(row_elems), q_all(row_elems), v_all(row_elems);
   {
     FloatVec gathered, projected;
+    backend::detail::U8Vec qa;
+    FloatVec a_scale, a_zero;
+    backend::detail::I32Vec acc;
     ThreadPool* pool = pool_.get();
     const float* xdata = x.data().data();
     for (int t = 0; t < kNumHetNodeTypes; ++t) {
@@ -296,9 +426,32 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
       const auto& rows = index.rows_of_type[ts];
       if (rows.empty()) continue;
       const int rt = static_cast<int>(rows.size());
+      const float* bias = fused->kqv_b[ts].data();
+      if (int8) {
+        // Quantize straight out of x (the gather and the row quantizer are
+        // one pass), integer GEMM, dequantize in the scatter.
+        quantize_rows(xdata, dim_, &rows, n, qa, a_scale, a_zero);
+        acc.resize(static_cast<std::size_t>(rt) * 3 * dim_sz);
+        backend::gemm_s8_mt(qa.data(), dim_, fused->kqv_q[ts].q.data(), acc.data(),
+                            3 * dim_, rt, dim_, 3 * dim_, pool);
+        const float* wsc = fused->kqv_q[ts].scale.data();
+        const float* wzc = fused->kqv_q[ts].zcomp.data();
+        for (int r = 0; r < rt; ++r) {
+          const std::int32_t* prow = acc.data() + static_cast<std::size_t>(r) * 3 * dim_sz;
+          const float sa = a_scale[static_cast<std::size_t>(r)];
+          const float za = a_zero[static_cast<std::size_t>(r)];
+          const std::size_t node =
+              static_cast<std::size_t>(rows[static_cast<std::size_t>(r)]) * dim_sz;
+          dequant_row(prow, wsc, wzc, sa, za, dim_, k_all.data() + node, bias);
+          dequant_row(prow + dim_, wsc + dim_, wzc + dim_, sa, za, dim_,
+                      q_all.data() + node, bias + dim_);
+          dequant_row(prow + 2 * dim_, wsc + 2 * dim_, wzc + 2 * dim_, sa, za, dim_,
+                      v_all.data() + node, bias + 2 * dim_);
+        }
+        continue;
+      }
       project_type_rows(xdata, dim_, rows, fused->kqv_w[ts].data(), 3 * dim_, pool, gathered,
                         projected);
-      const float* bias = fused->kqv_b[ts].data();
       for (int r = 0; r < rt; ++r) {
         const float* prow = projected.data() + static_cast<std::size_t>(r) * 3 * dim_sz;
         const std::size_t node =
@@ -315,6 +468,7 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
     }
   }
 
+  mark("kqv");
   // Density-adaptive weight application per edge type. Dense types (at
   // least as many edges as nodes) pre-map every node's K and V rows with
   // one block-diagonal head_map pass each — per-node work amortizes over
@@ -324,18 +478,60 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
   // pressure (no per-type map buffers to evict the shared K/Q/V rows).
   std::vector<FloatVec> k_map(static_cast<std::size_t>(kNumHetEdgeTypes));
   std::vector<FloatVec> v_map(static_cast<std::size_t>(kNumHetEdgeTypes));
-  for (int et = 0; et < kNumHetEdgeTypes; ++et) {
-    const auto e = static_cast<std::size_t>(et);
-    const auto& slice = index.per_edge_type[e];
-    if (slice.empty() || slice.size() < n) continue;  // sparse: map per edge
-    k_map[e].resize(row_elems);
-    v_map[e].resize(row_elems);
-    kern.head_map(k_all.data(), fused->att[e].data(), k_map[e].data(), n, heads_,
-                  head_dim_);
-    kern.head_map(v_all.data(), fused->msg[e].data(), v_map[e].data(), n, heads_,
-                  head_dim_);
+  {
+    // Int8 dense maps: K and V rows are quantized once — the cost amortizes
+    // over every dense edge type — then each head's [hd, hd] block runs as a
+    // column-strided sub-GEMM on the shared quantized buffer (the lda/ldc
+    // strides of the gemm_s8 contract), dequantized per map into k_map/v_map
+    // exactly where the fp32 head_map would have written.
+    backend::detail::U8Vec qk, qv;
+    FloatVec k_sc, k_z, v_sc, v_z;
+    backend::detail::I32Vec map_acc;
+    bool quantized_kv = false;
+    ThreadPool* const pool = pool_.get();
+    const std::size_t block = static_cast<std::size_t>(head_dim_) * head_dim_;
+    const auto int8_head_map = [&](const backend::detail::U8Vec& qrows, const FloatVec& rsc,
+                                   const FloatVec& rz,
+                                   const backend::detail::QuantOperand& wq, FloatVec& out) {
+      for (int h = 0; h < heads_; ++h) {
+        backend::gemm_s8_mt(qrows.data() + static_cast<std::size_t>(h) * head_dim_, dim_,
+                            wq.q.data() + static_cast<std::size_t>(h) * block,
+                            map_acc.data() + static_cast<std::size_t>(h) * head_dim_, dim_,
+                            n, head_dim_, head_dim_, pool);
+      }
+      const float* wsc = wq.scale.data();
+      const float* wzc = wq.zcomp.data();
+      for (int i = 0; i < n; ++i) {
+        dequant_row(map_acc.data() + static_cast<std::size_t>(i) * dim_sz, wsc, wzc,
+                    rsc[static_cast<std::size_t>(i)], rz[static_cast<std::size_t>(i)], dim_,
+                    out.data() + static_cast<std::size_t>(i) * dim_sz);
+      }
+    };
+    for (int et = 0; et < kNumHetEdgeTypes; ++et) {
+      const auto e = static_cast<std::size_t>(et);
+      const auto& slice = index.per_edge_type[e];
+      if (slice.empty() || slice.size() < n) continue;  // sparse: map per edge
+      k_map[e].resize(row_elems);
+      v_map[e].resize(row_elems);
+      if (int8) {
+        if (!quantized_kv) {
+          quantize_rows(k_all.data(), dim_, nullptr, n, qk, k_sc, k_z);
+          quantize_rows(v_all.data(), dim_, nullptr, n, qv, v_sc, v_z);
+          map_acc.resize(row_elems);
+          quantized_kv = true;
+        }
+        int8_head_map(qk, k_sc, k_z, fused->att_q[e], k_map[e]);
+        int8_head_map(qv, v_sc, v_z, fused->msg_q[e], v_map[e]);
+        continue;
+      }
+      kern.head_map(k_all.data(), fused->att[e].data(), k_map[e].data(), n, heads_,
+                    head_dim_);
+      kern.head_map(v_all.data(), fused->msg[e].data(), v_map[e].data(), n, heads_,
+                    head_dim_);
+    }
   }
 
+  mark("maps");
   const float inv_sqrt_d = 1.0f / std::sqrt(static_cast<float>(head_dim_));
   const float* mu = mu_.data().data();
   const float* q = q_all.data();
@@ -376,6 +572,7 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
                       inv_sqrt_d, block, node_max.data());
     }
   }
+  mark("logits");
   for (int et = 0; et < kNumHetEdgeTypes; ++et) {
     const auto e = static_cast<std::size_t>(et);
     const auto& slice = index.per_edge_type[e];
@@ -392,6 +589,7 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
                           denom.data());
     }
   }
+  mark("accum");
   for (int v = 0; v < n; ++v) {
     float* out_row = h_tilde.data() + static_cast<std::size_t>(v) * dim_;
     const float* drow = denom.data() + static_cast<std::size_t>(v) * heads_;
@@ -410,10 +608,15 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
   // type — the A block lives in the same repack as K|Q|V but applies here,
   // to the activated aggregate — with bias and residual folded into the
   // scatter back to node order.
+  mark("norm");
   kern.gelu(h_tilde.data(), h_tilde.data(), static_cast<int>(row_elems));
+  mark("gelu");
   FloatVec y(row_elems);
   {
     FloatVec gathered, projected;
+    backend::detail::U8Vec qa;
+    FloatVec a_scale, a_zero;
+    backend::detail::I32Vec acc;
     ThreadPool* pool = pool_.get();
     const float* xdata = x.data().data();
     for (int t = 0; t < kNumHetNodeTypes; ++t) {
@@ -421,9 +624,25 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
       const auto& rows = index.rows_of_type[ts];
       if (rows.empty()) continue;
       const int rt = static_cast<int>(rows.size());
+      const float* bias = fused->a_b[ts].data();
+      if (int8) {
+        quantize_rows(h_tilde.data(), dim_, &rows, n, qa, a_scale, a_zero);
+        acc.resize(static_cast<std::size_t>(rt) * dim_sz);
+        backend::gemm_s8_mt(qa.data(), dim_, fused->a_q[ts].q.data(), acc.data(), dim_, rt,
+                            dim_, dim_, pool);
+        const float* wsc = fused->a_q[ts].scale.data();
+        const float* wzc = fused->a_q[ts].zcomp.data();
+        for (int r = 0; r < rt; ++r) {
+          const std::size_t node =
+              static_cast<std::size_t>(rows[static_cast<std::size_t>(r)]) * dim_sz;
+          dequant_row(acc.data() + static_cast<std::size_t>(r) * dim_sz, wsc, wzc,
+                      a_scale[static_cast<std::size_t>(r)], a_zero[static_cast<std::size_t>(r)],
+                      dim_, y.data() + node, bias, xdata + node);
+        }
+        continue;
+      }
       project_type_rows(h_tilde.data(), dim_, rows, fused->a_w[ts].data(), dim_, pool,
                         gathered, projected);
-      const float* bias = fused->a_b[ts].data();
       for (int r = 0; r < rt; ++r) {
         const float* prow = projected.data() + static_cast<std::size_t>(r) * dim_sz;
         const std::size_t node =
@@ -434,6 +653,7 @@ Tensor HgtLayer::forward_fused(const Tensor& x, const HetGraphIndex& index) cons
       }
     }
   }
+  mark("a_stage");
   return make_result({n, dim_}, std::move(y), {}, nullptr);
 }
 
@@ -460,6 +680,10 @@ Tensor HgtEncoder::forward(const Tensor& x, const HetGraph& graph) const {
 
 void HgtEncoder::set_fused_inference(bool enabled) {
   for (auto& layer : layers_) layer->set_fused_inference(enabled);
+}
+
+void HgtEncoder::set_precision(Precision p) {
+  for (auto& layer : layers_) layer->set_precision(p);
 }
 
 void HgtEncoder::set_thread_pool(std::shared_ptr<ThreadPool> pool) {

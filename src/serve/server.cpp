@@ -24,6 +24,7 @@ SuggestServer::~SuggestServer() { shutdown(); }
 
 ServerStatsSnapshot SuggestServer::stats() const {
   ServerStatsSnapshot snapshot = stats_.snapshot();
+  snapshot.precision = precision_name(pipeline_->active_precision());
   const SuggestCache::Stats cache = pipeline_->cache_stats();
   snapshot.cache_full_hits = cache.full_hits;
   snapshot.cache_frontend_hits = cache.frontend_hits;

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <string>
 
@@ -257,6 +258,135 @@ TEST(HgtFused, DirectProjectionWeightPokeInvalidatesCache) {
   EXPECT_LE(max_rel_diff(ref, fused), kTol)
       << "fused projection cache served stale K weights after direct poke";
   EXPECT_GT(max_rel_diff(before, fused), 1e-4) << "poke had no observable effect";
+}
+
+// ---------------------------------------------------------------------------
+// Int8 serving path
+// ---------------------------------------------------------------------------
+
+/// Int8-vs-fp32 drift is quantization noise, not float rounding: 7-bit
+/// activations and 8-bit weights through a dim-32 contraction, then through
+/// softmax/GELU nonlinearities. The serving accuracy gate is suggestion-level
+/// agreement (bench/hgt_kernel.cpp); this bound just pins the layer output to
+/// the same ballpark so a broken dequant (wrong scale, stale repack, zcomp
+/// sign) fails loudly rather than as a subtle accuracy regression.
+constexpr double kInt8Tol = 0.08;
+
+TEST(HgtFused, Int8MatchesFp32WithinQuantizationNoise) {
+  if (std::getenv("G2P_PRECISION") != nullptr) {
+    GTEST_SKIP() << "precision pinned by G2P_PRECISION; the engagement check "
+                    "below needs the configured precision to win";
+  }
+  Rng rng(909);
+  HgtLayer layer(32, 4, rng);
+  const HetGraph g = random_graph(rng, 60, 220,
+                                  {HetEdgeType::kAstChild, HetEdgeType::kAstParent,
+                                   HetEdgeType::kCfgNext, HetEdgeType::kLexNext});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({60, 32}, rng, 0.5f);
+
+  const NoGradGuard no_grad;
+  const Tensor fp32 = layer.forward_fused(x, index);
+  layer.set_precision(Precision::kInt8);
+  const Tensor int8 = layer.forward_fused(x, index);
+  EXPECT_LE(max_rel_diff(fp32, int8), kInt8Tol) << "int8 drifted past quantization noise";
+  EXPECT_GT(max_rel_diff(fp32, int8), 0.0) << "int8 path identical to fp32 — not quantizing?";
+
+  // Flipping back re-serves the fp32 repack from the same cache generation.
+  layer.set_precision(Precision::kFp32);
+  const Tensor fp32_again = layer.forward_fused(x, index);
+  for (std::size_t i = 0; i < fp32.numel(); ++i) {
+    ASSERT_EQ(fp32_again.data()[i], fp32.data()[i]);
+  }
+}
+
+TEST(HgtFused, Int8RepacksInvalidatedByOptimizerStep) {
+  Rng rng(910);
+  HgtLayer layer(16, 2, rng);
+  layer.set_precision(Precision::kInt8);
+  const HetGraph g = random_graph(rng, 20, 60,
+                                  {HetEdgeType::kAstChild, HetEdgeType::kCfgNext});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({20, 16}, rng, 0.7f);
+
+  Tensor before;
+  {
+    const NoGradGuard no_grad;
+    before = layer.forward_fused(x, index);  // builds fp32 + int8 repacks
+  }
+  Sgd opt(layer.parameters(), 0.05f);
+  opt.zero_grad();
+  sum_all(layer.forward_reference(x, index)).backward();
+  opt.step();
+
+  const NoGradGuard no_grad;
+  const Tensor ref = layer.forward_reference(x, index);
+  const Tensor int8 = layer.forward_fused(x, index);
+  EXPECT_LE(max_rel_diff(ref, int8), kInt8Tol)
+      << "int8 repack served stale weights after optimizer step";
+  EXPECT_GT(max_rel_diff(before, int8), 1e-4) << "step had no observable effect";
+}
+
+TEST(HgtFused, Int8RepacksInvalidatedByCheckpointLoad) {
+  Rng rng_a(1), rng_b(999);
+  HgtLayer source(16, 2, rng_a);
+  HgtLayer target(16, 2, rng_b);
+  target.set_precision(Precision::kInt8);
+  const HetGraph g = random_graph(rng_a, 15, 40, {HetEdgeType::kAstChild});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({15, 16}, rng_a, 0.6f);
+
+  Tensor stale;
+  {
+    const NoGradGuard no_grad;
+    stale = target.forward_fused(x, index);  // builds target's repacks pre-load
+  }
+  std::stringstream checkpoint;
+  source.save(checkpoint);
+  target.load(checkpoint);
+
+  const NoGradGuard no_grad;
+  const Tensor int8 = target.forward_fused(x, index);
+  EXPECT_LE(max_rel_diff(source.forward_reference(x, index), int8), kInt8Tol)
+      << "int8 repack served stale weights after checkpoint load";
+  EXPECT_GT(max_rel_diff(stale, int8), 1e-4) << "load had no observable effect";
+}
+
+TEST(HgtFused, Int8RepacksInvalidatedByDirectPoke) {
+  Rng rng(911);
+  HgtLayer layer(16, 2, rng);
+  layer.set_precision(Precision::kInt8);
+  const HetGraph g = random_graph(rng, 25, 80,
+                                  {HetEdgeType::kAstChild, HetEdgeType::kCfgPrev});
+  const HetGraphIndex index(g);
+  const Tensor x = Tensor::randn({25, 16}, rng, 0.6f);
+
+  Tensor before;
+  {
+    const NoGradGuard no_grad;
+    before = layer.forward_fused(x, index);
+  }
+  Tensor first = layer.parameters().front();  // a K projection weight
+  for (auto& v : first.data()) v += 0.25f;
+
+  const NoGradGuard no_grad;
+  const Tensor ref = layer.forward_reference(x, index);
+  const Tensor int8 = layer.forward_fused(x, index);
+  EXPECT_LE(max_rel_diff(ref, int8), kInt8Tol)
+      << "int8 repack served stale weights after direct poke";
+  EXPECT_GT(max_rel_diff(before, int8), 1e-4) << "poke had no observable effect";
+}
+
+TEST(HgtFused, PrecisionEnvOverridesConfigured) {
+  // G2P_PRECISION is read once (static); this test only checks the resolver's
+  // pass-through default — the env-forced paths are covered by the CI jobs
+  // that run the whole suite under G2P_PRECISION=fp32/int8.
+  if (std::getenv("G2P_PRECISION") == nullptr) {
+    EXPECT_EQ(resolve_precision(Precision::kFp32), Precision::kFp32);
+    EXPECT_EQ(resolve_precision(Precision::kInt8), Precision::kInt8);
+  }
+  EXPECT_STREQ(precision_name(Precision::kFp32), "fp32");
+  EXPECT_STREQ(precision_name(Precision::kInt8), "int8");
 }
 
 TEST(HgtFused, ScalarAndDispatchedBackendsAgree) {

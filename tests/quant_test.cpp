@@ -1,0 +1,372 @@
+// Int8 quantized GEMM (Kernels::gemm_s8) and the quantize/dequantize
+// contract from gemm_s8.h.
+//
+// The scalar tile defines the semantics as exact int32 arithmetic, so every
+// backend table — and every row-panel split — must match a naive u8*s8
+// triple loop BITWISE, not within tolerance. The quantizer edge cases the
+// blocking/packing logic can mishandle are covered explicitly: all-zero
+// rows and columns (scale guards), saturating extremes (+-127 clamps), odd
+// depths not divisible by the maddubs pair grouping (kQuantKP = 4), and
+// empty (0-row / 0-col / 0-depth) operands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/thread_pool.h"
+#include "tensor/backend.h"
+#include "tensor/gemm_s8.h"
+
+namespace g2p {
+namespace {
+
+using backend::detail::QuantOperand;
+
+/// Exact reference: the contract is plain integer arithmetic, any order.
+std::vector<std::int32_t> naive_gemm_s8(const std::vector<std::uint8_t>& a,
+                                        const std::vector<std::int8_t>& b, int n, int k,
+                                        int m) {
+  std::vector<std::int32_t> out(static_cast<std::size_t>(n) * m, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const std::int32_t av = a[static_cast<std::size_t>(i) * k + kk];
+      for (int j = 0; j < m; ++j) {
+        out[static_cast<std::size_t>(i) * m + j] +=
+            av * b[static_cast<std::size_t>(kk) * m + j];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> random_activations(Rng& rng, std::size_t count) {
+  std::vector<std::uint8_t> v(count);
+  // Full contract range [0, 127] including both endpoints.
+  for (auto& x : v) x = static_cast<std::uint8_t>(rng.uniform(0.0, 127.999));
+  return v;
+}
+
+std::vector<std::int8_t> random_weights(Rng& rng, std::size_t count) {
+  std::vector<std::int8_t> v(count);
+  for (auto& x : v) x = static_cast<std::int8_t>(rng.uniform(-127.0, 127.999));
+  return v;
+}
+
+struct GemmShape {
+  int n, k, m;
+};
+
+/// Empties, k = 1 and other depths with k % 4 != 0 (the maddubs pair
+/// grouping is 4), partial MR/NR tiles, serving shapes ([N,32]x[32,96],
+/// [N,32]x[32,32], per-head [N,8]x[8,8]), and one KC-crossing depth.
+const GemmShape kShapes[] = {
+    {0, 5, 7},  {3, 0, 9},   {4, 3, 0},     {1, 1, 1},    {7, 1, 13},
+    {5, 17, 3}, {23, 9, 31}, {13, 8, 24},   {64, 8, 8},   {300, 32, 96},
+    {129, 32, 32}, {33, 63, 19}, {37, 400, 19},
+};
+
+std::vector<std::string> dispatchable_backends() {
+  std::vector<std::string> names;
+  for (const char* name : {"scalar", "avx2", "neon"}) {
+    if (backend::by_name(name) != nullptr) names.emplace_back(name);
+  }
+  return names;
+}
+
+TEST(QuantGemm, MatchesNaiveBitwiseOnEveryBackendAndShape) {
+  Rng rng(20230811);
+  for (const auto& name : dispatchable_backends()) {
+    const backend::Kernels* kern = backend::by_name(name);
+    ASSERT_NE(kern, nullptr);
+    for (const auto& s : kShapes) {
+      const auto a = random_activations(rng, static_cast<std::size_t>(s.n) * s.k);
+      const auto b = random_weights(rng, static_cast<std::size_t>(s.k) * s.m);
+      const auto want = naive_gemm_s8(a, b, s.n, s.k, s.m);
+      // Poison the output so "fully overwritten" is actually verified.
+      std::vector<std::int32_t> got(static_cast<std::size_t>(s.n) * s.m, -987654321);
+      kern->gemm_s8(a.data(), s.k, b.data(), got.data(), s.m, s.n, s.k, s.m);
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << name << " gemm_s8 [" << s.n << "," << s.k << "]x["
+                                   << s.k << "," << s.m << "] element " << i;
+      }
+    }
+  }
+}
+
+TEST(QuantGemm, RespectsLeadingDimensions) {
+  // The fused HGT int8 path runs per-head sub-GEMMs on column slices of the
+  // quantized [N, dim] buffers: a and out are strided, b stays contiguous.
+  Rng rng(41);
+  const int n = 37, k = 8, m = 8, lda = 32, ldc = 32;
+  const auto a_full = random_activations(rng, static_cast<std::size_t>(n) * lda);
+  const auto b = random_weights(rng, static_cast<std::size_t>(k) * m);
+  const int col_off = 16;
+  // Contract the strided slice by hand for the reference.
+  std::vector<std::uint8_t> a_slice(static_cast<std::size_t>(n) * k);
+  for (int i = 0; i < n; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      a_slice[static_cast<std::size_t>(i) * k + kk] =
+          a_full[static_cast<std::size_t>(i) * lda + col_off + kk];
+    }
+  }
+  const auto want = naive_gemm_s8(a_slice, b, n, k, m);
+  for (const auto& name : dispatchable_backends()) {
+    std::vector<std::int32_t> out(static_cast<std::size_t>(n) * ldc, -1);
+    backend::by_name(name)->gemm_s8(a_full.data() + col_off, lda, b.data(),
+                                    out.data() + col_off, ldc, n, k, m);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        ASSERT_EQ(out[static_cast<std::size_t>(i) * ldc + col_off + j],
+                  want[static_cast<std::size_t>(i) * m + j])
+            << name << " at (" << i << "," << j << ")";
+      }
+      // Untouched columns outside the ldc slice keep their poison values.
+      ASSERT_EQ(out[static_cast<std::size_t>(i) * ldc], -1) << name;
+    }
+  }
+}
+
+TEST(QuantGemm, ThreadedMatchesSingleThreadBitwise) {
+  Rng rng(77);
+  ThreadPool pool(3);
+  const GemmShape shapes[] = {{5, 8, 16}, {200, 32, 96}, {513, 32, 32}};
+  for (const auto& s : shapes) {
+    const auto a = random_activations(rng, static_cast<std::size_t>(s.n) * s.k);
+    const auto b = random_weights(rng, static_cast<std::size_t>(s.k) * s.m);
+    std::vector<std::int32_t> single(static_cast<std::size_t>(s.n) * s.m, -7);
+    backend::active().gemm_s8(a.data(), s.k, b.data(), single.data(), s.m, s.n, s.k, s.m);
+    std::vector<std::int32_t> threaded(static_cast<std::size_t>(s.n) * s.m, -7);
+    backend::gemm_s8_mt(a.data(), s.k, b.data(), threaded.data(), s.m, s.n, s.k, s.m, &pool);
+    ASSERT_EQ(threaded, single) << "[" << s.n << "," << s.k << "]x[" << s.k << "," << s.m
+                                << "]";
+    std::vector<std::int32_t> no_pool(static_cast<std::size_t>(s.n) * s.m, -7);
+    backend::gemm_s8_mt(a.data(), s.k, b.data(), no_pool.data(), s.m, s.n, s.k, s.m, nullptr);
+    ASSERT_EQ(no_pool, single);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantizer edge cases
+// ---------------------------------------------------------------------------
+
+TEST(Quantize, AllZeroRowGetsGuardedScale) {
+  const std::vector<float> row(19, 0.0f);
+  std::vector<std::uint8_t> q(row.size(), 0xff);
+  float scale = -1.0f, zero = -1.0f;
+  backend::detail::quantize_row_u8(row.data(), static_cast<int>(row.size()), q.data(), scale,
+                                   zero);
+  EXPECT_EQ(scale, 0.0f);
+  EXPECT_EQ(zero, 0.0f);
+  for (const auto code : q) EXPECT_EQ(code, 0u);
+}
+
+TEST(Quantize, ConstantRowDequantizesExactly) {
+  // max == min: the scale guard kicks in, the zero-point carries the value.
+  const std::vector<float> row(7, -3.25f);
+  std::vector<std::uint8_t> q(row.size());
+  float scale = -1.0f, zero = 0.0f;
+  backend::detail::quantize_row_u8(row.data(), static_cast<int>(row.size()), q.data(), scale,
+                                   zero);
+  EXPECT_EQ(scale, 0.0f);
+  EXPECT_EQ(zero, -3.25f);
+  for (const auto code : q) EXPECT_EQ(code, 0u);
+}
+
+TEST(Quantize, ActivationRoundTripWithinHalfStep) {
+  Rng rng(5);
+  for (const int k : {1, 2, 3, 31, 64}) {
+    std::vector<float> row(static_cast<std::size_t>(k));
+    for (auto& v : row) v = static_cast<float>(rng.uniform(-8.0, 8.0));
+    std::vector<std::uint8_t> q(row.size());
+    float scale = 0.0f, zero = 0.0f;
+    backend::detail::quantize_row_u8(row.data(), k, q.data(), scale, zero);
+    for (int kk = 0; kk < k; ++kk) {
+      EXPECT_LE(q[static_cast<std::size_t>(kk)], 127u);  // the 7-bit cap
+      const float back = zero + scale * static_cast<float>(q[static_cast<std::size_t>(kk)]);
+      EXPECT_NEAR(back, row[static_cast<std::size_t>(kk)], scale * 0.5f + 1e-6f);
+    }
+  }
+}
+
+TEST(Quantize, SaturatingExtremesClampToPlusMinus127) {
+  // Adversarial magnitudes: a huge-range column next to a tiny one, plus
+  // exact-extreme values. Codes must stay inside [-127, 127] (never -128 —
+  // the symmetric contract) and dequantize within half a step.
+  const int k = 4, m = 3;
+  const std::vector<float> w = {
+      1e30f,  1e-30f, 5.0f,    //
+      -1e30f, -1e-30f, -5.0f,  //
+      1e29f,  1e-31f, 2.5f,    //
+      -1e29f, 0.0f,   -2.5f,
+  };
+  QuantOperand op;
+  backend::detail::quantize_weights(w.data(), k, m, op);
+  for (const auto code : op.q) {
+    EXPECT_GE(static_cast<int>(code), -127);
+    EXPECT_LE(static_cast<int>(code), 127);
+  }
+  for (int j = 0; j < m; ++j) {
+    const float scale = op.scale[static_cast<std::size_t>(j)];
+    for (int kk = 0; kk < k; ++kk) {
+      const float back =
+          scale * static_cast<float>(op.q[static_cast<std::size_t>(kk) * m + j]);
+      EXPECT_NEAR(back, w[static_cast<std::size_t>(kk) * m + j], scale * 0.5f + 1e-6f);
+    }
+  }
+  // The extreme rows themselves hit the rails exactly.
+  EXPECT_EQ(op.q[0 * m + 0], 127);
+  EXPECT_EQ(op.q[1 * m + 0], -127);
+}
+
+TEST(Quantize, AllZeroWeightColumnGetsGuardedScale) {
+  const int k = 5, m = 2;
+  std::vector<float> w(static_cast<std::size_t>(k) * m, 0.0f);
+  for (int kk = 0; kk < k; ++kk) w[static_cast<std::size_t>(kk) * m + 1] = 1.0f;
+  QuantOperand op;
+  backend::detail::quantize_weights(w.data(), k, m, op);
+  EXPECT_EQ(op.scale[0], 0.0f);
+  EXPECT_EQ(op.zcomp[0], 0.0f);
+  for (int kk = 0; kk < k; ++kk) EXPECT_EQ(op.q[static_cast<std::size_t>(kk) * m], 0);
+  EXPECT_GT(op.scale[1], 0.0f);
+}
+
+TEST(Quantize, ZcompMatchesColumnSums) {
+  Rng rng(9);
+  const int k = 13, m = 6;
+  std::vector<float> w(static_cast<std::size_t>(k) * m);
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.5, 1.5));
+  QuantOperand op;
+  backend::detail::quantize_weights(w.data(), k, m, op);
+  EXPECT_EQ(op.k, k);
+  EXPECT_EQ(op.m, m);
+  for (int j = 0; j < m; ++j) {
+    std::int32_t colsum = 0;
+    for (int kk = 0; kk < k; ++kk) colsum += op.q[static_cast<std::size_t>(kk) * m + j];
+    EXPECT_FLOAT_EQ(op.zcomp[static_cast<std::size_t>(j)],
+                    op.scale[static_cast<std::size_t>(j)] * static_cast<float>(colsum));
+  }
+}
+
+TEST(Quantize, EmptyOperands) {
+  // 0-row activation block: nothing read, nothing written.
+  float scale = -1.0f, zero = -1.0f;
+  backend::detail::quantize_row_u8(nullptr, 0, nullptr, scale, zero);
+  EXPECT_EQ(scale, 0.0f);
+  EXPECT_EQ(zero, 0.0f);
+  // 0-row / 0-col weight blocks produce empty, well-formed operands.
+  QuantOperand zero_k;
+  backend::detail::quantize_weights(nullptr, 0, 3, zero_k);
+  EXPECT_EQ(zero_k.q.size(), 0u);
+  EXPECT_EQ(zero_k.scale.size(), 3u);
+  for (const float s : zero_k.scale) EXPECT_EQ(s, 0.0f);
+  QuantOperand zero_m;
+  backend::detail::quantize_weights(nullptr, 4, 0, zero_m);
+  EXPECT_EQ(zero_m.q.size(), 0u);
+  EXPECT_EQ(zero_m.scale.size(), 0u);
+}
+
+TEST(Quantize, KernelsQuantizeRowsAgreesAcrossBackends) {
+  // Kernels::quantize_rows (the dispatched gather+quantize pass): every
+  // backend produces bitwise-identical scales and zero-points (min/max are
+  // exact in any lane order); codes may differ by at most one step on fp32
+  // rounding ties, so dequantized values are compared within a step.
+  Rng rng(321);
+  const int n = 40, dim = 37;  // deliberately not a multiple of 8 or 32
+  std::vector<float> src(static_cast<std::size_t>(n) * dim);
+  for (auto& v : src) v = static_cast<float>(rng.uniform(-4.0, 4.0));
+  // A scattered row subset, like the fused path's per-node-type gathers.
+  const std::vector<int> rows = {3, 0, 17, 39, 5, 5, 22};
+  const int count = static_cast<int>(rows.size());
+
+  const auto run = [&](const backend::Kernels* kern, const int* row_ptr, int cnt,
+                       std::vector<std::uint8_t>& qa, std::vector<float>& sc,
+                       std::vector<float>& ze) {
+    qa.assign(static_cast<std::size_t>(cnt) * dim, 0xee);
+    sc.assign(static_cast<std::size_t>(cnt), -1.0f);
+    ze.assign(static_cast<std::size_t>(cnt), -1.0f);
+    kern->quantize_rows(src.data(), row_ptr, cnt, dim, qa.data(), sc.data(), ze.data());
+  };
+
+  std::vector<std::uint8_t> ref_q;
+  std::vector<float> ref_s, ref_z;
+  run(&backend::scalar(), rows.data(), count, ref_q, ref_s, ref_z);
+  for (const auto& name : dispatchable_backends()) {
+    std::vector<std::uint8_t> q;
+    std::vector<float> s, z;
+    run(backend::by_name(name), rows.data(), count, q, s, z);
+    for (int i = 0; i < count; ++i) {
+      ASSERT_EQ(s[static_cast<std::size_t>(i)], ref_s[static_cast<std::size_t>(i)]) << name;
+      ASSERT_EQ(z[static_cast<std::size_t>(i)], ref_z[static_cast<std::size_t>(i)]) << name;
+      for (int j = 0; j < dim; ++j) {
+        const auto at = static_cast<std::size_t>(i) * dim + j;
+        ASSERT_LE(q[at], 127u) << name;
+        ASSERT_NEAR(static_cast<int>(q[at]), static_cast<int>(ref_q[at]), 1)
+            << name << " row " << i << " col " << j;
+      }
+    }
+    // Null `rows`: the identity selection over the first `count` rows.
+    std::vector<std::uint8_t> qn, qi;
+    std::vector<float> sn, zn, si, zi;
+    run(backend::by_name(name), nullptr, count, qn, sn, zn);
+    const std::vector<int> identity = {0, 1, 2, 3, 4, 5, 6};
+    run(backend::by_name(name), identity.data(), count, qi, si, zi);
+    ASSERT_EQ(qn, qi) << name;
+    ASSERT_EQ(sn, si) << name;
+  }
+}
+
+TEST(Quantize, DequantizedGemmApproximatesFp32) {
+  // End-to-end over the serving projection shape: quantize activations per
+  // row and weights per column, run the integer GEMM, dequantize with the
+  // zcomp fold — the error per element is bounded by the two half-step
+  // quantization noises through the k-sum.
+  Rng rng(123);
+  const int n = 64, k = 32, m = 96;
+  std::vector<float> a(static_cast<std::size_t>(n) * k), w(static_cast<std::size_t>(k) * m);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-3.0, 3.0));
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+
+  QuantOperand op;
+  backend::detail::quantize_weights(w.data(), k, m, op);
+  std::vector<std::uint8_t> qa(static_cast<std::size_t>(n) * k);
+  std::vector<float> a_scale(static_cast<std::size_t>(n)), a_zero(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    backend::detail::quantize_row_u8(a.data() + static_cast<std::size_t>(i) * k, k,
+                                     qa.data() + static_cast<std::size_t>(i) * k,
+                                     a_scale[static_cast<std::size_t>(i)],
+                                     a_zero[static_cast<std::size_t>(i)]);
+  }
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(n) * m);
+  backend::active().gemm_s8(qa.data(), k, op.q.data(), acc.data(), m, n, k, m);
+
+  double worst = 0.0, total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float sa = a_scale[static_cast<std::size_t>(i)];
+    const float za = a_zero[static_cast<std::size_t>(i)];
+    for (int j = 0; j < m; ++j) {
+      const float got = sa * (op.scale[static_cast<std::size_t>(j)] *
+                              static_cast<float>(acc[static_cast<std::size_t>(i) * m + j])) +
+                        za * op.zcomp[static_cast<std::size_t>(j)];
+      double want = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        want += static_cast<double>(a[static_cast<std::size_t>(i) * k + kk]) *
+                static_cast<double>(w[static_cast<std::size_t>(kk) * m + j]);
+      }
+      const double denom = std::max(1.0, std::fabs(want));
+      const double err = std::fabs(got - want) / denom;
+      worst = std::max(worst, err);
+      total += err;
+    }
+  }
+  // Half-step noise from two quantizers through a k=32 sum: sub-percent on
+  // average, with a worst element bounded well under the 1% suggestion
+  // margin the model-level agreement bench enforces.
+  EXPECT_LE(total / (static_cast<double>(n) * m), 0.02) << "mean dequant error too large";
+  EXPECT_LE(worst, 0.15) << "dequantized GEMM drifted from fp32";
+}
+
+}  // namespace
+}  // namespace g2p
