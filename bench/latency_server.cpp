@@ -210,6 +210,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.cache_frontend_hits),
               static_cast<unsigned long long>(stats.cache_misses),
               static_cast<double>(stats.cache_frontend_saved_us) / 1e3);
+  std::printf("race verifier: %s (%llu verified / %llu repaired / %llu vetoed / %llu unknown)\n",
+              stats.verify ? "on" : "off",
+              static_cast<unsigned long long>(stats.verdict_verified),
+              static_cast<unsigned long long>(stats.verdict_repaired),
+              static_cast<unsigned long long>(stats.verdict_vetoed),
+              static_cast<unsigned long long>(stats.verdict_unknown));
 
   // ---- equivalence gate ----------------------------------------------------
   std::size_t mismatches = 0;
@@ -265,6 +271,11 @@ int main(int argc, char** argv) {
   json.set("cache_misses", static_cast<std::int64_t>(stats.cache_misses));
   json.set("cache_frontend_saved_ms",
            static_cast<double>(stats.cache_frontend_saved_us) / 1e3);
+  json.set("verify", stats.verify);
+  json.set("verdict_verified", static_cast<std::int64_t>(stats.verdict_verified));
+  json.set("verdict_repaired", static_cast<std::int64_t>(stats.verdict_repaired));
+  json.set("verdict_vetoed", static_cast<std::int64_t>(stats.verdict_vetoed));
+  json.set("verdict_unknown", static_cast<std::int64_t>(stats.verdict_unknown));
   json.set("throughput_ratio", ratio);
   json.set("floor", floor);
   json.set("max_conf_delta", max_conf_delta);

@@ -73,6 +73,18 @@ int main(int argc, char** argv) {
         std::printf("  Graph2Par: %s (confidence %.2f)\n",
                     s.parallel ? "parallelizable" : "not parallelizable", s.confidence);
         if (s.parallel) std::printf("  suggestion: %s\n", s.suggested_pragma.c_str());
+        // The serving-path race verifier's verdict (docs/analysis.md).
+        // Quiet for plain verified/unchecked; a veto explains the withdrawn
+        // pragma, a repair lists the clause edits, unknown flags the reason.
+        if (s.verdict == Verdict::kVetoed) {
+          std::printf("  verifier : vetoed — %s\n", s.veto_reason.c_str());
+        } else if (s.verdict == Verdict::kRepaired) {
+          for (const auto& edit : s.repaired_clauses) {
+            std::printf("  verifier : repaired — %s\n", edit.c_str());
+          }
+        } else if (s.verdict == Verdict::kUnknown) {
+          std::printf("  verifier : unverified — %s\n", s.veto_reason.c_str());
+        }
         // Cross-check with the algorithm-based analyzers.
         const auto loops = extract_loops(*parsed.tu);
         for (const auto& extracted : loops) {

@@ -78,6 +78,38 @@ LinearForm linear_form_of(const Expr& expr) {
         if (rhs.is_constant()) return lf_scale(lhs, rhs.constant);
         return non_affine();
       }
+      if (b.op == "<<") {
+        // e << c is a scale by 2^c (the generator and real kernels index
+        // with shifts; losing them silently degraded the test to non-affine).
+        if (lhs.affine && rhs.is_constant() && rhs.constant >= 0 && rhs.constant < 62) {
+          return lf_scale(lhs, 1LL << rhs.constant);
+        }
+        return non_affine();
+      }
+      if (b.op == "/") {
+        // Exact only when every coefficient and the constant divide evenly;
+        // then C truncation never rounds and the form stays linear.
+        if (lhs.affine && rhs.is_constant() && rhs.constant != 0 &&
+            lhs.constant % rhs.constant == 0) {
+          bool exact = true;
+          for (const auto& [var, coeff] : lhs.coeffs) {
+            if (coeff % rhs.constant != 0) {
+              exact = false;
+              break;
+            }
+          }
+          if (exact) {
+            LinearForm out;
+            out.affine = true;
+            out.constant = lhs.constant / rhs.constant;
+            for (const auto& [var, coeff] : lhs.coeffs) {
+              out.coeffs[var] = coeff / rhs.constant;
+            }
+            return out;
+          }
+        }
+        return non_affine();
+      }
       return non_affine();
     }
     default:
@@ -190,6 +222,68 @@ std::string subscript_chain(const Expr& e, std::vector<const Expr*>& subs) {
   return "";
 }
 
+const Expr* strip_parens(const Expr* e) {
+  while (e->kind() == NodeKind::kParenExpr) {
+    e = static_cast<const ParenExpr&>(*e).inner;
+  }
+  return e;
+}
+
+int count_refs(const Expr& e, std::string_view name) {
+  int n = 0;
+  walk(e, [&](const Node& node) {
+    if (node.kind() == NodeKind::kDeclRef &&
+        static_cast<const DeclRef&>(node).name == name) {
+      ++n;
+    }
+  });
+  return n;
+}
+
+/// A recognized `target = <accumulation of target>` RHS: the single
+/// exempted self reference plus the normalized reduction op ("+" or "*").
+struct SelfUpdateMatch {
+  const Expr* self = nullptr;
+  std::string_view op;
+};
+
+/// Recognize an RHS shaped like an associative accumulation of `target`:
+///
+///   target op e1 op e2 ...   (left spine, ops all in {+,-} or all *)
+///   e op target              (top level, op + or * — commutative)
+///
+/// Left-associated chains like `s + a[i] + b[i]` parse as `(s+a[i])+b[i]`,
+/// so the self reference sits at the bottom of the left spine. `e - target`
+/// deliberately does NOT match: `s = e - s` alternates the sign of s each
+/// iteration — a recurrence, not a reduction.
+std::optional<SelfUpdateMatch> match_self_update(const Expr& rhs_in,
+                                                 std::string_view target) {
+  const Expr* rhs = strip_parens(&rhs_in);
+  if (rhs->kind() != NodeKind::kBinaryOperator) return std::nullopt;
+  const auto& top = static_cast<const BinaryOperator&>(*rhs);
+  if ((top.op == "+" || top.op == "*") && declref_name(*top.rhs) == target &&
+      count_refs(*top.lhs, target) == 0) {
+    return SelfUpdateMatch{top.rhs, top.op == "+" ? "+" : "*"};
+  }
+  const bool additive = top.op == "+" || top.op == "-";
+  if (!additive && top.op != "*") return std::nullopt;
+  const Expr* e = rhs;
+  while (true) {
+    const auto& b = static_cast<const BinaryOperator&>(*e);
+    const bool op_ok = additive ? (b.op == "+" || b.op == "-") : b.op == "*";
+    if (!op_ok || count_refs(*b.rhs, target) != 0) return std::nullopt;
+    const Expr* lhs = strip_parens(b.lhs);
+    if (lhs->kind() == NodeKind::kBinaryOperator) {
+      e = lhs;
+      continue;
+    }
+    if (declref_name(*lhs) == target) {
+      return SelfUpdateMatch{lhs, additive ? "+" : "*"};
+    }
+    return std::nullopt;
+  }
+}
+
 class FactCollector {
  public:
   FactCollector(LoopFacts& facts, const TranslationUnit* tu) : facts_(facts), tu_(tu) {}
@@ -214,6 +308,10 @@ class FactCollector {
       case NodeKind::kDoStmt: {
         facts_.has_inner_loop = true;
         facts_.has_inner_while = true;
+        // A while body may run zero times, so writes inside it are
+        // conditional for the written-before-read privatization check
+        // (a do body runs at least once, but keep one conservative rule).
+        ++cond_depth_;
         node.for_each_child([&](const Node& child) {
           if (child.is_expr()) {
             collect_expr(static_cast<const Expr&>(child), false);
@@ -221,11 +319,26 @@ class FactCollector {
             collect_body(child, loop_depth + 1);
           }
         });
+        --cond_depth_;
+        return;
+      }
+      case NodeKind::kIfStmt: {
+        const auto& s = static_cast<const IfStmt&>(node);
+        collect_expr(*s.cond, false);
+        ++cond_depth_;
+        collect_body(*s.then_branch, loop_depth);
+        if (s.else_branch) collect_body(*s.else_branch, loop_depth);
+        --cond_depth_;
         return;
       }
       case NodeKind::kBreakStmt:
-      case NodeKind::kReturnStmt:
+        // break exits only the innermost loop: an early exit of the
+        // profiled loop only at depth 0.
         if (loop_depth == 0) facts_.has_break = true;
+        return;
+      case NodeKind::kReturnStmt:
+        // return exits every enclosing loop level, however deeply nested.
+        facts_.has_break = true;
         node.for_each_child([&](const Node& child) {
           if (child.is_expr()) collect_expr(static_cast<const Expr&>(child), false);
         });
@@ -263,7 +376,10 @@ class FactCollector {
         // an explicit self-update (s = s + e) is part of the update, not an
         // "outside" read, so it must not disqualify the reduction.
         const std::string_view target = declref_name(*a.lhs);
-        const Expr* self_ref = target.empty() ? nullptr : find_self_update_ref(*a.rhs, target);
+        const Expr* self_ref = nullptr;
+        if (!target.empty() && !a.is_compound()) {
+          if (auto m = match_self_update(*a.rhs, target)) self_ref = m->self;
+        }
         collect_rhs(*a.rhs, self_ref);
         if (a.is_compound()) note_target_read(*a.lhs);
         if (self_ref != nullptr) note_target_read(*a.lhs);
@@ -322,6 +438,15 @@ class FactCollector {
         note_scalar_read(static_cast<const DeclRef&>(expr).name);
         return;
       }
+      case NodeKind::kConditional: {
+        const auto& c = static_cast<const Conditional&>(expr);
+        collect_expr(*c.cond, false);
+        ++cond_depth_;  // either arm may not execute
+        collect_expr(*c.then_expr, false);
+        collect_expr(*c.else_expr, false);
+        --cond_depth_;
+        return;
+      }
       default:
         expr.for_each_child([&](const Node& child) {
           if (child.is_expr()) collect_expr(static_cast<const Expr&>(child), false);
@@ -333,40 +458,33 @@ class FactCollector {
   void set_index(const std::string& index) { index_ = index; }
 
  private:
-  /// If `rhs` is shaped like `target op e` / `e op target` (one top-level
-  /// self mention), return the self DeclRef node; else nullptr.
-  static const Expr* find_self_update_ref(const Expr& rhs, std::string_view target) {
-    const Expr* e = &rhs;
-    while (e->kind() == NodeKind::kParenExpr) {
-      e = static_cast<const ParenExpr&>(*e).inner;
-    }
-    if (e->kind() != NodeKind::kBinaryOperator) return nullptr;
-    const auto& b = static_cast<const BinaryOperator&>(*e);
-    const bool lhs_self = declref_name(*b.lhs) == target;
-    const bool rhs_self = declref_name(*b.rhs) == target;
-    if (lhs_self == rhs_self) return nullptr;
-    return lhs_self ? b.lhs : b.rhs;
-  }
-
   /// Walk an assignment RHS, skipping the exempted self-update reference.
+  /// The exempt node sits on the RHS's paren/binary spine (match_self_update
+  /// guarantees that), so recursing through those layers finds it.
   void collect_rhs(const Expr& rhs, const Expr* exempt) {
     if (&rhs == exempt) return;
+    if (exempt == nullptr) {
+      collect_expr(rhs, false);
+      return;
+    }
     if (rhs.kind() == NodeKind::kParenExpr) {
       collect_rhs(*static_cast<const ParenExpr&>(rhs).inner, exempt);
       return;
     }
-    if (exempt != nullptr && rhs.kind() == NodeKind::kBinaryOperator) {
+    if (rhs.kind() == NodeKind::kBinaryOperator) {
       const auto& b = static_cast<const BinaryOperator&>(rhs);
-      if (b.lhs == exempt || b.rhs == exempt) {
-        collect_rhs(b.lhs == exempt ? *b.rhs : *b.lhs, nullptr);
-        return;
-      }
+      collect_rhs(*b.lhs, exempt);
+      collect_rhs(*b.rhs, exempt);
+      return;
     }
     collect_expr(rhs, false);
   }
 
   void record_order_first_write(std::string_view var, bool plain_write) {
-    if (seen_order_.insert(std::string(var)).second && plain_write) {
+    // A write under if/?:/while may not execute, so it cannot anchor the
+    // written-before-read privatization argument — but it still counts as
+    // the first access (a later unconditional write doesn't rescue it).
+    if (seen_order_.insert(std::string(var)).second && plain_write && cond_depth_ == 0) {
       facts_.written_scalars[std::string(var)].first_access_is_plain_write = true;
     }
   }
@@ -421,10 +539,13 @@ class FactCollector {
       auto& info = facts_.written_scalars[std::string(name)];
       ++info.update_count;
       record_order_first_read(name);
-      const std::string red_op = (op == "++") ? "+" : "-";
+      // Both ++ and -- accumulate additively ('-' normalizes to '+' the
+      // same way classify_update folds `s -= e`), so `s -= x; s--;` stays a
+      // consistent '+' reduction instead of tripping a spurious op mix.
+      (void)op;
       if (info.reduction_op.empty()) {
-        info.reduction_op = red_op;
-      } else if (info.reduction_op != red_op) {
+        info.reduction_op = "+";
+      } else if (info.reduction_op != "+") {
         info.non_reduction_form = true;
       }
       return;
@@ -447,22 +568,12 @@ class FactCollector {
       // s op= e where e must not mention s.
       rhs_mentions_self_once_ok = count_refs(*assign.rhs, name) == 0;
     } else {
-      // s = s op e  or  s = e op s (top-level binary).
-      const Expr* rhs = assign.rhs;
-      while (rhs->kind() == NodeKind::kParenExpr) {
-        rhs = static_cast<const ParenExpr&>(*rhs).inner;
-      }
-      if (rhs->kind() == NodeKind::kBinaryOperator) {
-        const auto& b = static_cast<const BinaryOperator&>(*rhs);
-        const bool lhs_is_self = declref_name(*b.lhs) == name;
-        const bool rhs_is_self = declref_name(*b.rhs) == name;
-        if (lhs_is_self != rhs_is_self) {
-          const Expr& other = lhs_is_self ? *b.rhs : *b.lhs;
-          if (count_refs(other, name) == 0) {
-            op = b.op;
-            rhs_mentions_self_once_ok = true;
-          }
-        }
+      // s = <accumulation of s>: left-spine chains (`s = s + a[i] + b[i]`)
+      // and the commutative `s = e op s` — but not `s = e - s`, which
+      // flips the sign of s each iteration (match_self_update rejects it).
+      if (const auto m = match_self_update(*assign.rhs, name)) {
+        op = m->op;
+        rhs_mentions_self_once_ok = true;
       }
     }
     if (op.empty() || !rhs_mentions_self_once_ok ||
@@ -477,17 +588,6 @@ class FactCollector {
     } else if (info.reduction_op != op) {
       info.non_reduction_form = true;
     }
-  }
-
-  static int count_refs(const Expr& e, std::string_view name) {
-    int n = 0;
-    walk(e, [&](const Node& node) {
-      if (node.kind() == NodeKind::kDeclRef &&
-          static_cast<const DeclRef&>(node).name == name) {
-        ++n;
-      }
-    });
-    return n;
   }
 
   void record_array_ref(const Expr& e, bool is_write) {
@@ -518,6 +618,7 @@ class FactCollector {
   LoopFacts& facts_;
   const TranslationUnit* tu_;
   std::string index_;
+  int cond_depth_ = 0;  // > 0 inside if/?:/while — writes there may not run
   std::set<std::string> seen_order_;  // scalars with a recorded first access
   std::set<std::string> reads_seen_;
 };
@@ -577,6 +678,74 @@ bool array_refs_independent(const ArrayRefInfo& write, const ArrayRefInfo& other
     }
   }
   return false;
+}
+
+ArrayDependence classify_array_dependence(const ArrayRefInfo& write,
+                                          const ArrayRefInfo& other,
+                                          const std::string& index,
+                                          const std::set<std::string>& varying) {
+  if (write.array != other.array) return ArrayDependence::kIndependent;
+  if (!write.affine || !other.affine) return ArrayDependence::kUnknown;
+  if (write.subscripts.size() != other.subscripts.size()) return ArrayDependence::kUnknown;
+
+  // Solve coeff_d * t = delta_d per dimension for one consistent integer
+  // iteration distance t. A dimension only participates when both forms use
+  // identical coefficients over loop-invariant variables; any other shape
+  // makes the dimension (and, absent a decisive one, the pair) unknown.
+  bool have_t = false;
+  long long t = 0;
+  bool any_unknown_dim = false;
+  for (std::size_t d = 0; d < write.subscripts.size(); ++d) {
+    const LinearForm& a = write.subscripts[d];
+    const LinearForm& b = other.subscripts[d];
+    bool analyzable = true;
+    for (const auto* form : {&a, &b}) {
+      for (const auto& [var, coeff] : form->coeffs) {
+        if (var != index && varying.count(var)) analyzable = false;
+      }
+    }
+    if (analyzable) {
+      for (const auto& [var, coeff] : a.coeffs) {
+        if (var != index && b.coeff_of(var) != coeff) analyzable = false;
+      }
+      for (const auto& [var, coeff] : b.coeffs) {
+        if (var != index && a.coeff_of(var) != coeff) analyzable = false;
+      }
+      if (a.coeff_of(index) != b.coeff_of(index)) analyzable = false;
+    }
+    if (!analyzable) {
+      any_unknown_dim = true;
+      continue;
+    }
+    const long long c = a.coeff_of(index);
+    const long long delta = b.constant - a.constant;
+    if (c == 0) {
+      // Invariant coordinate: a nonzero delta keeps the cells disjoint on
+      // every iteration pair; a zero delta constrains nothing.
+      if (delta != 0) return ArrayDependence::kIndependent;
+      continue;
+    }
+    if (delta % c != 0) return ArrayDependence::kIndependent;  // no integer t
+    const long long dim_t = delta / c;
+    if (!have_t) {
+      have_t = true;
+      t = dim_t;
+    } else if (t != dim_t) {
+      return ArrayDependence::kIndependent;  // inconsistent: never the same cell
+    }
+  }
+  // A decisive dimension that pins the iteration distance to 0 proves
+  // independence even when other dimensions are unanalyzable: a collision
+  // would need both iterations to be the same one, and same-iteration
+  // overlap is not a cross-iteration dependence.
+  if (have_t && t == 0) return ArrayDependence::kIndependent;
+  if (any_unknown_dim) return ArrayDependence::kUnknown;
+  if (!have_t) {
+    // No dimension distributes by the index: the write hits the same
+    // invariant cell(s) on every iteration — a provable output/flow dep.
+    return ArrayDependence::kDependent;
+  }
+  return ArrayDependence::kDependent;  // one consistent nonzero distance
 }
 
 std::vector<ReductionCandidate> find_reductions(const LoopFacts& facts) {

@@ -55,7 +55,11 @@ struct ScalarUpdateInfo {
   bool non_reduction_form = false;  // an update not shaped like s = s op e
   bool read_outside_updates = false;  // s read in other expressions
   bool declared_in_body = false;
-  bool first_access_is_plain_write = false;  // pre-order first access is "s = e"
+  /// Pre-order first access is an *unconditional* plain write `s = e`. A
+  /// first write under `if`/`?:`/`while` does not count: the write may not
+  /// execute, so a later read could still see the previous iteration's
+  /// value (privatization would be unsound).
+  bool first_access_is_plain_write = false;
 };
 
 /// Everything the static analyzers need to know about one loop.
@@ -97,6 +101,32 @@ LoopFacts analyze_loop(const Stmt& loop, const TranslationUnit* tu = nullptr);
 /// index coefficient in some dimension" criterion).
 bool array_refs_independent(const ArrayRefInfo& write, const ArrayRefInfo& other,
                             const std::string& index);
+
+/// Three-way dependence probe used by the verifier (analysis/verifier.h).
+/// Unlike the boolean test above, this distinguishes a *provable*
+/// cross-iteration dependence from mere failure to prove independence:
+///
+///   kIndependent — `array_refs_independent` holds, or the refs provably
+///                  never touch the same cell (constant subscript deltas
+///                  with matching coefficients).
+///   kDependent   — both refs are affine over the same array with matching
+///                  per-variable coefficients and the constant deltas admit
+///                  one consistent nonzero integer iteration distance
+///                  (e.g. write a[i] vs read a[i-1]: distance 1).
+///   kUnknown     — anything else (non-affine, mismatched coefficients or
+///                  ranks, a subscript involving a variable from `varying`).
+///
+/// `varying` names variables that change value within one iteration or
+/// across iterations (inner-loop indices, scalars the body writes): a
+/// subscript mentioning one compares different *instances* on each side,
+/// so neither equality nor disjointness of the forms proves anything.
+/// kDependent is provable modulo the usual dependence-test caveats (the
+/// loop must actually span the iteration distance) — see docs/analysis.md.
+enum class ArrayDependence { kIndependent, kDependent, kUnknown };
+ArrayDependence classify_array_dependence(const ArrayRefInfo& write,
+                                          const ArrayRefInfo& other,
+                                          const std::string& index,
+                                          const std::set<std::string>& varying = {});
 
 /// A recognized reduction: variable + associative-commutative operator.
 struct ReductionCandidate {

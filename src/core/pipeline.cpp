@@ -39,9 +39,12 @@ std::shared_ptr<const FrontendArtifact> build_artifact(std::string_view c_source
   return out;
 }
 
-/// Turn model outputs for one loop into a rendered suggestion.
+/// Turn model outputs for one loop into a rendered suggestion. Every
+/// serving entry point (sequential, batched, cached replay) funnels through
+/// here, so verification behaves bitwise-identically across them.
 LoopSuggestion make_suggestion(const ExtractedLoop& loop, const TranslationUnit* tu,
-                               double confidence, const std::array<int, 4>& clause_pred) {
+                               double confidence, const std::array<int, 4>& clause_pred,
+                               bool verify) {
   LoopSuggestion suggestion;
   suggestion.loop_source = loop.source;
   suggestion.line = loop.loop->line;
@@ -75,8 +78,28 @@ LoopSuggestion make_suggestion(const ExtractedLoop& loop, const TranslationUnit*
       if (!info.declared_in_body) privates.push_back(var);
     }
     suggestion.suggested_pragma = render_pragma(suggestion.category, privates, reductions);
+    if (verify) {
+      // The verifier reuses the facts computed above, so its cost is the
+      // clause classification itself — no second analysis pass.
+      apply_verifier_result(
+          verify_clauses(facts, suggestion.category, privates, reductions), suggestion);
+    }
+  } else if (verify) {
+    suggestion.verdict = Verdict::kVerified;  // no pragma, nothing to race
   }
   return suggestion;
+}
+
+/// Full-result cache keys are salted with the resolved verifier config:
+/// verified/vetoed renders and raw model renders must never alias when
+/// G2P_VERIFY or set_verify_suggestions toggles between calls. The frontend
+/// tier stays on the raw content hash — artifacts are config-independent.
+Hash128 result_cache_key(Hash128 key, bool verify) {
+  if (verify) {
+    key.lo ^= 0x9e3779b97f4a7c15ull;
+    key.hi ^= 0xc2b2ae3d27d4eb4full;
+  }
+  return key;
 }
 
 }  // namespace
@@ -160,12 +183,15 @@ Pipeline Pipeline::train(const Options& options) {
 std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
   const NoGradGuard no_grad;  // serving: skip tape construction
   const std::uint64_t stamp = model_stamp_.load(std::memory_order_acquire);
+  const bool verify = verify_active();
   const bool cached = cache_->enabled();
   Hash128 key{};
+  Hash128 rkey{};
   std::shared_ptr<const FrontendArtifact> artifact;
   if (cached) {
     key = hash_source(c_source);
-    if (auto hit = cache_->get_result(key, stamp)) return *hit;  // skip everything
+    rkey = result_cache_key(key, verify);
+    if (auto hit = cache_->get_result(rkey, stamp)) return *hit;  // skip everything
     artifact = cache_->get_frontend(key);
   }
   if (!artifact) {
@@ -175,7 +201,7 @@ std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
   std::vector<LoopSuggestion> out;
   if (artifact->loops.empty()) {
     if (cached) {
-      cache_->put_result(key, stamp, std::make_shared<std::vector<LoopSuggestion>>(),
+      cache_->put_result(rkey, stamp, std::make_shared<std::vector<LoopSuggestion>>(),
                          artifact->frontend_ns);
     }
     return out;
@@ -200,10 +226,11 @@ std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
     out.push_back(make_suggestion(
         artifact->loops[i], artifact->parsed.tu,
         parallel_probs.at({static_cast<int>(i), 1}),
-        {clause_preds[0][i], clause_preds[1][i], clause_preds[2][i], clause_preds[3][i]}));
+        {clause_preds[0][i], clause_preds[1][i], clause_preds[2][i], clause_preds[3][i]},
+        verify));
   }
   if (cached) {
-    cache_->put_result(key, stamp, std::make_shared<std::vector<LoopSuggestion>>(out),
+    cache_->put_result(rkey, stamp, std::make_shared<std::vector<LoopSuggestion>>(out),
                        artifact->frontend_ns);
   }
   return out;
@@ -228,6 +255,7 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
   if (sources.empty()) return out;
   ThreadPool& pool = this->pool();
   const std::uint64_t stamp = model_stamp_.load(std::memory_order_acquire);
+  const bool verify = verify_active();
   const bool cached = cache_->enabled();
 
   // Stage 0 (serial, cheap): content-address every source. Full-result hits
@@ -243,7 +271,7 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
     std::unordered_map<Hash128, std::size_t, Hash128Hasher> first_of;
     for (std::size_t i = 0; i < sources.size(); ++i) {
       keys[i] = hash_source(sources[i]);
-      if (auto hit = cache_->get_result(keys[i], stamp)) {
+      if (auto hit = cache_->get_result(result_cache_key(keys[i], verify), stamp)) {
         out[i].suggestions = *hit;
         done[i] = 1;
         continue;
@@ -289,7 +317,7 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
     if (cached) {
       for (std::size_t s = 0; s < sources.size(); ++s) {
         if (!done[s] && !out[s].error) {
-          cache_->put_result(keys[s], stamp,
+          cache_->put_result(result_cache_key(keys[s], verify), stamp,
                              std::make_shared<std::vector<LoopSuggestion>>(),
                              artifacts[s]->frontend_ns);
         }
@@ -345,11 +373,12 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
             artifact.loops[i], artifact.parsed.tu,
             parallel_probs.at({static_cast<int>(r), 1}),
             {clause_preds[0][r], clause_preds[1][r], clause_preds[2][r],
-             clause_preds[3][r]}));
+             clause_preds[3][r]},
+            verify));
       }
       if (cached) {
         cache_->put_result(
-            keys[s], stamp,
+            result_cache_key(keys[s], verify), stamp,
             std::make_shared<std::vector<LoopSuggestion>>(out[s].suggestions),
             artifact.frontend_ns);
       }

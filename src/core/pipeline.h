@@ -17,6 +17,7 @@
 #include <string>
 
 #include "analysis/dependence.h"
+#include "analysis/verifier.h"
 #include "core/graph2par.h"
 #include "core/suggest_cache.h"
 #include "core/suggestion.h"
@@ -52,6 +53,11 @@ class Pipeline {
     /// Byte budget of the content-addressed serving cache (two LRU tiers:
     /// rendered results + frontend artifacts). 0 disables caching.
     std::size_t cache_bytes = 64u << 20;
+    /// Run the static race verifier (analysis/verifier.h) on every
+    /// suggestion: provable races are vetoed, missing/wrong clauses are
+    /// repaired, unanalyzable loops pass through flagged kUnknown. The
+    /// G2P_VERIFY env var overrides this at runtime (docs/analysis.md).
+    bool verify_suggestions = true;
     Options() { corpus.scale = 0.03; }
   };
 
@@ -119,6 +125,14 @@ class Pipeline {
   /// unless the G2P_PRECISION env override is set (stats / --json surface
   /// this, not the configured value).
   Precision active_precision() const { return resolve_precision(options_.precision); }
+
+  /// Whether serving actually verifies: Options::verify_suggestions unless
+  /// the G2P_VERIFY env override pins it (resolve_verify, analysis/verifier.h).
+  bool verify_active() const { return resolve_verify(options_.verify_suggestions); }
+  /// Runtime toggle (benches/tests compare model-only vs model+verifier on
+  /// one trained pipeline). The result-cache key is salted with the
+  /// resolved verifier config, so toggling can never serve stale verdicts.
+  void set_verify_suggestions(bool on) { options_.verify_suggestions = on; }
 
   /// Serving-cache counters (hits per tier, bytes, frontend time saved).
   SuggestCache::Stats cache_stats() const { return cache_->stats(); }

@@ -8,7 +8,11 @@ std::size_t suggestions_bytes(const std::vector<LoopSuggestion>& suggestions) {
   std::size_t bytes = sizeof(std::vector<LoopSuggestion>);
   for (const auto& s : suggestions) {
     bytes += sizeof(LoopSuggestion) + s.loop_source.capacity() +
-             s.function_name.capacity() + s.suggested_pragma.capacity();
+             s.function_name.capacity() + s.suggested_pragma.capacity() +
+             s.veto_reason.capacity();
+    for (const auto& clause : s.repaired_clauses) {
+      bytes += sizeof(std::string) + clause.capacity();
+    }
   }
   return bytes;
 }

@@ -25,6 +25,7 @@ SuggestServer::~SuggestServer() { shutdown(); }
 ServerStatsSnapshot SuggestServer::stats() const {
   ServerStatsSnapshot snapshot = stats_.snapshot();
   snapshot.precision = precision_name(pipeline_->active_precision());
+  snapshot.verify = pipeline_->verify_active();
   const SuggestCache::Stats cache = pipeline_->cache_stats();
   snapshot.cache_full_hits = cache.full_hits;
   snapshot.cache_frontend_hits = cache.frontend_hits;
@@ -173,6 +174,14 @@ void SuggestServer::serve_batch(std::vector<Request>& batch) {
       r.promise.set_exception(error);
     }
     return;
+  }
+
+  // Per-verdict serving counters, one tally per unique slot (duplicates
+  // collapsed above receive the same suggestions, counting them once keeps
+  // the histogram a property of the content served, not of request fan-in).
+  for (const Pipeline::SourceResult& result : results) {
+    if (!result.ok()) continue;
+    for (const LoopSuggestion& s : result.suggestions) stats_.on_verdict(s.verdict);
   }
 
   // Fan each unique slot's outcome back out: duplicates get copies, the

@@ -10,6 +10,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "core/suggestion.h"
+
 namespace g2p {
 
 /// Point-in-time copy of the server counters (plain values, safe to pass
@@ -38,6 +40,17 @@ struct ServerStatsSnapshot {
   std::uint64_t cache_frontend_hits = 0;  // frontend skipped, model re-run
   std::uint64_t cache_misses = 0;         // cold sources (frontend built)
   std::uint64_t cache_frontend_saved_us = 0;  // frontend time not spent
+
+  // Whether the pipeline runs the static race verifier (env override
+  // already resolved), plus per-verdict tallies over every suggestion in
+  // the unique (post-dedup) results the scheduler served. All zero when
+  // verification is off — suggestions then carry Verdict::kUnchecked,
+  // which is deliberately not counted.
+  bool verify = false;
+  std::uint64_t verdict_verified = 0;
+  std::uint64_t verdict_repaired = 0;
+  std::uint64_t verdict_vetoed = 0;
+  std::uint64_t verdict_unknown = 0;
 
   double mean_batch_size() const {
     return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / static_cast<double>(batches);
@@ -79,6 +92,17 @@ class ServerStats {
            !latency_max_us_.compare_exchange_weak(seen, latency_us, std::memory_order_relaxed)) {
     }
   }
+  /// One suggestion's verifier verdict (kUnchecked is not tallied: with
+  /// verification off the counters stay zero instead of counting noise).
+  void on_verdict(Verdict v) {
+    switch (v) {
+      case Verdict::kVerified: verdict_verified_.fetch_add(1, std::memory_order_relaxed); break;
+      case Verdict::kRepaired: verdict_repaired_.fetch_add(1, std::memory_order_relaxed); break;
+      case Verdict::kVetoed: verdict_vetoed_.fetch_add(1, std::memory_order_relaxed); break;
+      case Verdict::kUnknown: verdict_unknown_.fetch_add(1, std::memory_order_relaxed); break;
+      case Verdict::kUnchecked: break;
+    }
+  }
 
   ServerStatsSnapshot snapshot() const {
     ServerStatsSnapshot s;
@@ -92,6 +116,10 @@ class ServerStats {
     s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
     s.latency_sum_us = latency_sum_us_.load(std::memory_order_relaxed);
     s.latency_max_us = latency_max_us_.load(std::memory_order_relaxed);
+    s.verdict_verified = verdict_verified_.load(std::memory_order_relaxed);
+    s.verdict_repaired = verdict_repaired_.load(std::memory_order_relaxed);
+    s.verdict_vetoed = verdict_vetoed_.load(std::memory_order_relaxed);
+    s.verdict_unknown = verdict_unknown_.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -106,6 +134,10 @@ class ServerStats {
   std::atomic<std::uint64_t> queue_depth_{0};
   std::atomic<std::uint64_t> latency_sum_us_{0};
   std::atomic<std::uint64_t> latency_max_us_{0};
+  std::atomic<std::uint64_t> verdict_verified_{0};
+  std::atomic<std::uint64_t> verdict_repaired_{0};
+  std::atomic<std::uint64_t> verdict_vetoed_{0};
+  std::atomic<std::uint64_t> verdict_unknown_{0};
 };
 
 }  // namespace g2p

@@ -51,6 +51,40 @@ TEST(LinearForm, NegationAndParens) {
   EXPECT_EQ(f.constant, -6);
 }
 
+TEST(LinearForm, UnaryPlusAndNestedParens) {
+  const auto f = lf("+((i) + ((1)))");
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("i"), 1);
+  EXPECT_EQ(f.constant, 1);
+}
+
+TEST(LinearForm, ConstantTimesSumDistributes) {
+  const auto f = lf("4 * (i + 2)");
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("i"), 4);
+  EXPECT_EQ(f.constant, 8);
+}
+
+TEST(LinearForm, ShiftLeftScales) {
+  const auto f = lf("(i + 1) << 2");
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("i"), 4);
+  EXPECT_EQ(f.constant, 4);
+}
+
+TEST(LinearForm, ExactDivisionFolds) {
+  const auto f = lf("(4 * i + 8) / 4");
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff_of("i"), 1);
+  EXPECT_EQ(f.constant, 2);
+}
+
+TEST(LinearForm, InexactDivisionNonAffine) {
+  EXPECT_FALSE(lf("(4 * i + 3) / 4").affine);
+  EXPECT_FALSE(lf("i / 2").affine);
+  EXPECT_FALSE(lf("i >> 1").affine);  // truncating: not a linear map
+}
+
 // ---- loop facts ---------------------------------------------------------------
 
 LoopFacts facts_of(const std::string& src) {
@@ -260,6 +294,133 @@ TEST(Privatization, ReadFirstScalarNotPrivate) {
 TEST(Privatization, ReductionVarNotPrivate) {
   const auto f = facts_of("for (i = 0; i < n; i++) s += a[i];");
   EXPECT_TRUE(find_private_scalars(f).empty());
+}
+
+// ---- scalar update classification (verifier substrate) ------------------------
+
+TEST(ScalarUpdates, InitThenAccumulateIsPrivatizableNotReduction) {
+  // s = e; s += e — the plain first write resets s each iteration, so the
+  // accumulation never crosses iterations: private, not reduction.
+  const auto f = facts_of("for (i = 0; i < n; i++) { s = a[i]; s += b[i]; b2[i] = s; }");
+  const auto& info = f.written_scalars.at("s");
+  EXPECT_TRUE(info.first_access_is_plain_write);
+  const auto privates = find_private_scalars(f);
+  ASSERT_EQ(privates.size(), 1u);
+  EXPECT_EQ(privates[0], "s");
+  EXPECT_TRUE(find_reductions(f).empty());
+}
+
+TEST(ScalarUpdates, SignAlternatingNotAReduction) {
+  // s = e - s flips the accumulator's sign: order-dependent, must not be
+  // classified as a "-" (or any) reduction.
+  const auto f = facts_of("for (i = 0; i < n; i++) s = a[i] - s;");
+  EXPECT_TRUE(find_reductions(f).empty());
+  EXPECT_FALSE(f.written_scalars.at("s").first_access_is_plain_write);
+}
+
+TEST(ScalarUpdates, MinusUpdatesNormalizeConsistently) {
+  // s -= x and s-- both fold into the "+" reduction group (OpenMP's
+  // reduction(-:s) sums anyway); mixed -=/-- must not read as mixed ops.
+  const auto f = facts_of("for (i = 0; i < n; i++) { s -= a[i]; s--; }");
+  const auto reds = find_reductions(f);
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0].var, "s");
+  EXPECT_EQ(reds[0].op, "+");
+}
+
+TEST(ScalarUpdates, LeftSpineChainIsOneReduction) {
+  // s = s + a[i] + b[i]: the chain associates left, so the self reference
+  // sits at the spine's leftmost leaf.
+  const auto f = facts_of("for (i = 0; i < n; i++) s = s + a[i] + b[i];");
+  const auto reds = find_reductions(f);
+  ASSERT_EQ(reds.size(), 1u);
+  EXPECT_EQ(reds[0].var, "s");
+  EXPECT_EQ(reds[0].op, "+");
+  EXPECT_FALSE(f.written_scalars.at("s").read_outside_updates);
+}
+
+TEST(ScalarUpdates, ConditionalFirstWriteNotPrivatizable) {
+  // if (c) t = i; b[i] = t — iterations with a false guard read the
+  // previous iteration's t, so a private copy would be uninitialized.
+  const auto f = facts_of("for (i = 0; i < n; i++) { if (a[i] > 0) t = i; b[i] = t; }");
+  EXPECT_FALSE(f.written_scalars.at("t").first_access_is_plain_write);
+  EXPECT_TRUE(find_private_scalars(f).empty());
+}
+
+TEST(ScalarUpdates, ReturnInInnerLoopSetsHasBreak) {
+  const auto f = facts_of(
+      "for (i = 0; i < n; i++) { for (j = 0; j < m; j++) if (a[i][j] < 0) return; }");
+  EXPECT_TRUE(f.has_break);
+  // break belongs to the inner loop, not the worksharing one:
+  const auto g = facts_of(
+      "for (i = 0; i < n; i++) { for (j = 0; j < m; j++) if (a[i][j] < 0) break; }");
+  EXPECT_FALSE(g.has_break);
+}
+
+// ---- classify_array_dependence ------------------------------------------------
+
+ArrayDependence classify(const std::string& loop, const std::string& index,
+                         std::size_t write = 0, int read = 0) {
+  const auto f = facts_of(loop);
+  const ArrayRefInfo& w = f.array_writes.at(write);
+  const ArrayRefInfo& o = read < 0 ? f.array_writes.at(write)
+                                   : f.array_reads.at(static_cast<std::size_t>(read));
+  std::set<std::string> varying = f.inner_index_vars;
+  for (const auto& [var, info] : f.written_scalars) varying.insert(var);
+  return classify_array_dependence(w, o, index, varying);
+}
+
+TEST(ClassifyDependence, ShiftedReadIsDependent) {
+  EXPECT_EQ(classify("for (i = 1; i < n; i++) a[i] = a[i - 1] + 1;", "i"),
+            ArrayDependence::kDependent);
+  EXPECT_EQ(classify("for (i = 0; i < n; i++) a[i] = a[i + 1];", "i"),
+            ArrayDependence::kDependent);
+}
+
+TEST(ClassifyDependence, SameIndexIsIndependent) {
+  EXPECT_EQ(classify("for (i = 0; i < n; i++) a[i] = a[i] * 2;", "i"),
+            ArrayDependence::kIndependent);
+}
+
+TEST(ClassifyDependence, DifferentArraysIndependent) {
+  EXPECT_EQ(classify("for (i = 0; i < n; i++) a[i] = b[i - 3];", "i"),
+            ArrayDependence::kIndependent);
+}
+
+TEST(ClassifyDependence, ConstantCellSelfOutputDependent) {
+  EXPECT_EQ(classify("for (i = 0; i < n; i++) a[0] = i;", "i", 0, -1),
+            ArrayDependence::kDependent);
+}
+
+TEST(ClassifyDependence, StridedWriteVsOffsetRead) {
+  // write a[2i], read a[2i+1]: parity separates them — no integer iteration
+  // distance satisfies 2t = 1.
+  EXPECT_EQ(classify("for (i = 0; i < n; i++) a[2 * i] = a[2 * i + 1];", "i"),
+            ArrayDependence::kIndependent);
+  // write a[2i], read a[2i-2]: distance t=1 solves it.
+  EXPECT_EQ(classify("for (i = 1; i < n; i++) a[2 * i] = a[2 * i - 2];", "i"),
+            ArrayDependence::kDependent);
+}
+
+TEST(ClassifyDependence, OuterIndexDimDecidesMultiDim) {
+  // a[i][j] vs a[i][j]: the i dim pins the iteration distance to 0 even
+  // though j varies within an iteration.
+  EXPECT_EQ(classify(
+                "for (i = 0; i < n; i++) for (j = 0; j < m; j++) a[i][j] = a[i][j] + 1;", "i"),
+            ArrayDependence::kIndependent);
+}
+
+TEST(ClassifyDependence, VaryingOnlySubscriptUnknown) {
+  // a[j] under the i loop: j takes many values per iteration, so the
+  // subscript pair is unanalyzable w.r.t. i — conservative unknown, which
+  // the verifier must NOT turn into a veto.
+  EXPECT_EQ(classify("for (i = 0; i < n; i++) for (j = 0; j < m; j++) a[j] = a[j] + i;", "i"),
+            ArrayDependence::kUnknown);
+}
+
+TEST(ClassifyDependence, NonAffineSubscriptUnknown) {
+  EXPECT_EQ(classify("for (i = 0; i < n; i++) a[b[i]] = a[b[i]] + 1;", "i"),
+            ArrayDependence::kUnknown);
 }
 
 }  // namespace
