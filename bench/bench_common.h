@@ -23,6 +23,7 @@
 #include "tensor/backend.h"
 #include "dataset/generator.h"
 #include "eval/trainer.h"
+#include "support/failpoint.h"
 #include "support/rng.h"
 #include "support/strings.h"
 #include "support/table.h"
@@ -177,6 +178,10 @@ inline void set_common_header(JsonMetrics& json, const char* bench_name) {
   json.set("bench", bench_name);
   json.set("backend", backend::active_name());
   json.set("hw_threads", static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  // Resolved fault-injection schedule (normalized spec; "" when disarmed).
+  // Numbers measured under injection must never masquerade as clean
+  // baselines, so every bench stamps this, not just bench_chaos.
+  json.set("failpoints", failpoint::active_spec());
   std::string rev = "unknown";
   if (FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
     char buf[64];

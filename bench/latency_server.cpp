@@ -150,6 +150,11 @@ int main(int argc, char** argv) {
   server_options.max_batch_loops = 32;
   server_options.max_delay = std::chrono::milliseconds(2);
   server_options.max_queue_depth = num_requests + 1;  // pure open loop: never block
+  // This bench measures the undegraded serving path (every future must hold
+  // a value for the equivalence gate): the ladder is disabled here and
+  // exercised by bench_chaos instead.
+  server_options.shrink_window_at = server_options.cache_only_at =
+      server_options.shed_at = 1.5;
   SuggestServer server(pipeline, server_options);
 
   // Warmup pass through every distinct source.
@@ -276,6 +281,17 @@ int main(int argc, char** argv) {
   json.set("verdict_repaired", static_cast<std::int64_t>(stats.verdict_repaired));
   json.set("verdict_vetoed", static_cast<std::int64_t>(stats.verdict_vetoed));
   json.set("verdict_unknown", static_cast<std::int64_t>(stats.verdict_unknown));
+  // Resolved degradation config (this bench pins the ladder off; a value
+  // > 1.0 means the rung is disabled) and the fault-tolerance counters —
+  // all zero in a clean run, and loud in the json when they are not.
+  json.set("degrade_shrink_at", server_options.shrink_window_at);
+  json.set("degrade_cache_only_at", server_options.cache_only_at);
+  json.set("degrade_shed_at", server_options.shed_at);
+  json.set("expired", static_cast<std::int64_t>(stats.expired));
+  json.set("shed", static_cast<std::int64_t>(stats.shed));
+  json.set("retries", static_cast<std::int64_t>(stats.retries));
+  json.set("watchdog_abandoned", static_cast<std::int64_t>(stats.watchdog_abandoned));
+  json.set("scheduler_faults", static_cast<std::int64_t>(stats.scheduler_faults));
   json.set("throughput_ratio", ratio);
   json.set("floor", floor);
   json.set("max_conf_delta", max_conf_delta);

@@ -9,6 +9,7 @@
 
 #include "dataset/generator.h"
 #include "frontend/loop_extractor.h"
+#include "support/failpoint.h"
 #include "support/log.h"
 #include "support/rng.h"
 #include "support/thread_pool.h"
@@ -24,6 +25,11 @@ std::shared_ptr<const FrontendArtifact> build_artifact(std::string_view c_source
                                                        const Vocab& vocab,
                                                        const AugAstOptions& aug) {
   const auto start = std::chrono::steady_clock::now();
+  // Failpoint: a parse-stage fault is a per-source error — it rides the
+  // same exception_ptr slot a real parse error would, poisoning nothing.
+  if (failpoint::triggered("frontend.parse")) {
+    throw failpoint::FailpointError("frontend.parse");
+  }
   auto out = std::make_shared<FrontendArtifact>();
   out->parsed = parse_translation_unit(c_source);
   out->loops = extract_loops(*out->parsed.tu);
@@ -234,6 +240,15 @@ std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
                        artifact->frontend_ns);
   }
   return out;
+}
+
+std::optional<std::vector<LoopSuggestion>> Pipeline::try_cached(
+    std::string_view c_source) const {
+  if (!cache_->enabled()) return std::nullopt;
+  const std::uint64_t stamp = model_stamp_.load(std::memory_order_acquire);
+  const Hash128 rkey = result_cache_key(hash_source(c_source), verify_active());
+  if (auto hit = cache_->get_result(rkey, stamp)) return *hit;
+  return std::nullopt;
 }
 
 std::vector<std::vector<LoopSuggestion>> Pipeline::suggest_batch(

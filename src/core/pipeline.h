@@ -80,6 +80,13 @@ class Pipeline {
   /// changed since the cached entry was rendered.
   std::vector<LoopSuggestion> suggest(std::string_view c_source) const;
 
+  /// Full-result cache probe without a forward: the rendered suggestions
+  /// for this (normalized) source if the cache holds them under the current
+  /// model generation, std::nullopt otherwise. Never parses, never runs the
+  /// model — this is what the server's cache-hits-only degradation mode
+  /// serves from when the forward path is saturated.
+  std::optional<std::vector<LoopSuggestion>> try_cached(std::string_view c_source) const;
+
   /// Batched serving entry point: many translation units in, one suggestion
   /// list per unit out (aligned with `sources`). Per-source frontend work
   /// (parse, loop extraction, aug-AST construction) runs on a worker pool;
@@ -110,8 +117,11 @@ class Pipeline {
   /// must be unchanged — same training configuration). Bumps the model
   /// stamp, so every cached *result* becomes unservable at once, while
   /// cached frontend artifacts survive and keep skipping lex/parse/build.
-  /// Returns false (leaving weights possibly partially loaded but the cache
-  /// already invalidated) if the file is missing or corrupt. Callers should
+  /// Returns false if the file is missing or corrupt; the load is staged
+  /// before it commits, so a failure leaves the previous generation's
+  /// weights fully intact and serving (the cache invalidation that already
+  /// happened is harmless — results re-render from the old weights on
+  /// demand). Callers should
   /// quiesce in-flight forwards; concurrent `suggest` calls may race the
   /// weight write itself, exactly like an optimizer step would.
   [[nodiscard]] bool load_weights(const std::string& model_path);

@@ -1,5 +1,7 @@
 #include "core/suggest_cache.h"
 
+#include "support/failpoint.h"
+
 namespace g2p {
 
 namespace {
@@ -78,6 +80,9 @@ void SuggestCache::put_result(const Hash128& key, std::uint64_t model_stamp,
                               std::shared_ptr<const std::vector<LoopSuggestion>> value,
                               std::uint64_t frontend_ns) {
   if (!enabled() || !value) return;
+  // Failpoint: a failed insert degrades the cache, never correctness — the
+  // caller already holds the rendered result it is publishing.
+  if (failpoint::triggered("cache.insert")) return;
   const std::size_t bytes = suggestions_bytes(*value) + sizeof(ResultEntry);
   std::lock_guard<std::mutex> lock(mutex_);
   if (bytes > results_.cap) return;  // would evict the whole tier for one entry
@@ -108,9 +113,14 @@ std::shared_ptr<const FrontendArtifact> SuggestCache::get_frontend(const Hash128
 void SuggestCache::put_frontend(const Hash128& key,
                                 std::shared_ptr<const FrontendArtifact> value) {
   if (!enabled() || !value) return;
+  // Failpoint (checked outside the lock — a delay-action must not wedge
+  // readers): the artifact is dropped, but the miss still happened and
+  // stays counted so hit-rate stats remain truthful under injection.
+  const bool drop = failpoint::triggered("cache.insert");
   const std::size_t bytes = value->approx_bytes() + sizeof(FrontendEntry);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;  // a frontend insert happens exactly once per cold source
+  if (drop) return;
   if (bytes > frontend_.cap) return;
   auto it = frontend_.index.find(key);
   if (it != frontend_.index.end()) {

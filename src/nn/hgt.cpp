@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "support/failpoint.h"
 #include "tensor/backend.h"
 #include "tensor/fastmath.h"
 
@@ -667,6 +668,12 @@ HgtEncoder::HgtEncoder(int dim, int heads, int layers, Rng& rng) {
 }
 
 Tensor HgtEncoder::forward(const Tensor& x, const HetGraphIndex& index) const {
+  // Failpoint: a forward-stage fault fails the whole encode call — in the
+  // batched serving path that is a batch-level error the scheduler's retry
+  // ladder classifies as transient. delay() here models a slow forward.
+  if (failpoint::triggered("encode.forward")) {
+    throw failpoint::FailpointError("encode.forward");
+  }
   Tensor state = x;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     state = norms_[i]->forward(layers_[i]->forward(state, index));

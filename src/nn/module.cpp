@@ -1,8 +1,12 @@
 #include "nn/module.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
+
+#include "support/failpoint.h"
 
 namespace g2p {
 
@@ -18,20 +22,33 @@ void Module::save(std::ostream& out) const {
 }
 
 void Module::load(std::istream& in) {
+  // Two phases: stage the whole stream into scratch, then commit. A
+  // truncated or corrupt checkpoint must throw *before* any parameter is
+  // touched — a mid-serving reload that fails leaves the previous
+  // generation's weights fully intact, never a half-loaded model.
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (count != params_.size()) {
+  if (!in || count != params_.size()) {
     throw std::runtime_error("Module::load: parameter count mismatch (" +
                              std::to_string(count) + " vs " + std::to_string(params_.size()) +
                              ")");
   }
-  for (auto& p : params_) {
+  std::vector<std::vector<float>> staged(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
     std::uint64_t n = 0;
     in.read(reinterpret_cast<char*>(&n), sizeof(n));
-    if (n != p.numel()) throw std::runtime_error("Module::load: parameter size mismatch");
-    in.read(reinterpret_cast<char*>(p.data().data()),
+    if (!in || n != params_[i].numel()) {
+      throw std::runtime_error("Module::load: parameter size mismatch");
+    }
+    staged[i].resize(n);
+    in.read(reinterpret_cast<char*>(staged[i].data()),
             static_cast<std::streamsize>(n * sizeof(float)));
     if (!in) throw std::runtime_error("Module::load: truncated stream");
+  }
+  // Commit: every read succeeded. data() bumps each TensorImpl::version, so
+  // fused-weight caches keyed on parameter stamps rebuild as usual.
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    std::copy(staged[i].begin(), staged[i].end(), params_[i].data().begin());
   }
 }
 
@@ -44,12 +61,15 @@ bool Module::save_file(const std::string& path) const {
 }
 
 bool Module::load_file(const std::string& path) {
+  // Failpoint: a checkpoint-IO fault fails the load exactly like a missing
+  // file — the caller keeps the weights it already had (load() is staged).
+  if (failpoint::triggered("checkpoint.load")) return false;
   std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   try {
     load(in);
   } catch (const std::exception&) {
-    return false;  // truncated/corrupt file; parameters are unspecified
+    return false;  // truncated/corrupt file; previous parameters are intact
   }
   return true;
 }

@@ -27,10 +27,11 @@ class Module {
 
   /// Write / read all parameter values. Layout: per parameter, numel floats.
   /// Shapes must already match (load into an identically-configured model).
-  /// `load` throws on mismatch or truncation; the *_file variants return
-  /// false instead (on failed load_file the parameters are unspecified —
-  /// discard the model). save_file returns false when the file cannot be
-  /// opened or fully flushed.
+  /// `load` throws on mismatch or truncation; load_file returns false
+  /// instead. Loads are staged-then-committed: on any failure the previous
+  /// parameter values are fully intact (a mid-serving reload that hits a
+  /// corrupt checkpoint keeps serving the old generation). save_file
+  /// returns false when the file cannot be opened or fully flushed.
   void save(std::ostream& out) const;
   void load(std::istream& in);
   [[nodiscard]] bool save_file(const std::string& path) const;

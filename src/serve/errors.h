@@ -1,0 +1,62 @@
+// Typed errors of the fault-tolerant serving layer.
+//
+// The contract this taxonomy exists for: a slow or dropped answer must
+// become a *typed* error on one future, never a hung client or a poisoned
+// batch. Every way SuggestServer can decline or abandon a request has its
+// own exception type, all rooted at ServeError, so clients can branch on
+// catch clauses (retry Overloaded, surface DeadlineExceeded, re-resolve on
+// ServerStopped) instead of parsing what() strings. Per-source *content*
+// errors (a file that does not parse) keep surfacing as whatever the
+// frontend threw — they are properties of the request, not of the server.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace g2p {
+
+/// Root of the serving-layer error taxonomy.
+class ServeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The request's deadline expired before a result was produced. Raised by
+/// the scheduler when it expels expired requests ahead of the batched
+/// forward, and by the retry ladder when the remaining budget cannot cover
+/// another attempt.
+class DeadlineExceeded final : public ServeError {
+ public:
+  DeadlineExceeded() : ServeError("deadline exceeded before the request was served") {}
+  explicit DeadlineExceeded(const std::string& what) : ServeError(what) {}
+};
+
+/// The server shed this request to protect itself: the degradation ladder
+/// reached shed mode, or a cache-only-mode request missed the cache. The
+/// request was never partially executed — safe to retry elsewhere/later.
+class Overloaded final : public ServeError {
+ public:
+  Overloaded() : ServeError("server overloaded: request shed") {}
+  explicit Overloaded(const std::string& what) : ServeError(what) {}
+};
+
+/// The server stopped while this request was waiting: a submitter blocked
+/// on backpressure when shutdown() arrived, or a request still queued when
+/// the drain was abandoned.
+class ServerStopped final : public ServeError {
+ public:
+  ServerStopped() : ServeError("server stopped before the request was served") {}
+  explicit ServerStopped(const std::string& what) : ServeError(what) {}
+};
+
+/// The scheduler's per-batch watchdog budget elapsed with the batch still
+/// running; its futures were failed and the batch abandoned so the queue
+/// keeps moving. The forward may still complete in the background — its
+/// result is discarded, never served.
+class BatchAbandoned final : public ServeError {
+ public:
+  BatchAbandoned() : ServeError("batch abandoned: watchdog budget elapsed") {}
+  explicit BatchAbandoned(const std::string& what) : ServeError(what) {}
+};
+
+}  // namespace g2p

@@ -1,29 +1,283 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <exception>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 
+#include "support/failpoint.h"
 #include "support/hash.h"
 
 namespace g2p {
+
+namespace {
+
+std::uint64_t latency_us(std::chrono::steady_clock::time_point enqueued,
+                         std::chrono::steady_clock::time_point now) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - enqueued).count());
+}
+
+/// The retry ladder only re-runs faults the fault came from the injection
+/// layer (or anything else that models a passing condition rather than a
+/// property of the request): a parse error is deterministic and retrying it
+/// would just burn the batch budget.
+bool is_transient(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const failpoint::FailpointError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+/// One popped batch. Items are pointer-stable (unique_ptr) because each
+/// carries an atomic completion flag raced by two threads: the serve worker
+/// completing results and the scheduler-side watchdog/expiry paths failing
+/// futures. Whoever wins the exchange owns the promise and the stats tally;
+/// the loser's completion is a no-op.
+struct SuggestServer::Batch {
+  struct Item {
+    Request req;
+    std::atomic<bool> completed{false};
+  };
+
+  std::vector<std::unique_ptr<Item>> items;
+  DegradeMode mode = DegradeMode::kNormal;
+
+  static bool complete_value(Item& item, std::vector<LoopSuggestion> value,
+                             ServerStats& stats) {
+    if (item.completed.exchange(true, std::memory_order_acq_rel)) return false;
+    // Count first, complete second: a client that sees its future ready
+    // must also see the stats already include it.
+    stats.on_done(true, latency_us(item.req.enqueued, Clock::now()));
+    item.req.promise.set_value(std::move(value));
+    return true;
+  }
+
+  static bool complete_error(Item& item, const std::exception_ptr& error,
+                             ServerStats& stats) {
+    if (item.completed.exchange(true, std::memory_order_acq_rel)) return false;
+    stats.on_done(false, latency_us(item.req.enqueued, Clock::now()));
+    item.req.promise.set_exception(error);
+    return true;
+  }
+};
+
+/// Handoff channel between the scheduler and the serve worker. The worker
+/// thread captures only shared_ptr state (this ctrl + the RunCtx), never
+/// the server itself, so an abandoned worker that is still stuck inside a
+/// batch stays memory-safe even after the server is destroyed.
+struct SuggestServer::WorkerCtrl {
+  struct Job {
+    std::shared_ptr<Batch> batch;
+    std::promise<void> done;
+  };
+
+  std::mutex m;
+  std::condition_variable cv;
+  std::shared_ptr<Job> job;
+  bool stop = false;       // shutdown: exit once no job is pending
+  bool abandoned = false;  // watchdog fired: exit as soon as possible
+};
+
+/// Everything batch execution needs, bundled so it can outlive the server
+/// inside a detached worker: the pipeline (which keeps the thread pool
+/// alive), the stats sink, and the retry policy.
+struct SuggestServer::RunCtx {
+  std::shared_ptr<Pipeline> pipeline;
+  std::shared_ptr<ServerStats> stats;
+  int max_retries = 0;
+  std::chrono::milliseconds retry_backoff{1};
+
+  void run(Batch& batch) const;
+};
+
+/// Serve one batch: dedup identical sources, run the batched pipeline call,
+/// fan results out, and retry transient faults (whole-batch or per-slot)
+/// with doubled backoff — never past a request's deadline, never more than
+/// max_retries times. Every item's promise is completed exactly once by the
+/// time this returns (unless the watchdog got there first, in which case
+/// the guarded completes are no-ops).
+void SuggestServer::RunCtx::run(Batch& batch) const {
+  std::vector<Batch::Item*> active;
+  active.reserve(batch.items.size());
+  for (auto& item : batch.items) {
+    if (!item->completed.load(std::memory_order_acquire)) active.push_back(item.get());
+  }
+  if (active.empty()) return;
+  stats->on_batch(active.size());
+
+  auto backoff = retry_backoff.count() > 0 ? retry_backoff : std::chrono::milliseconds(1);
+  int attempt = 0;
+  bool retried = false;
+
+  // Sleep out one backoff, dropping items that cannot make it: an item
+  // whose deadline passes mid-backoff is completed with its fault now
+  // (retrying it would serve a corpse). Returns the items still worth
+  // retrying.
+  const auto backoff_survivors = [&](std::vector<std::pair<Batch::Item*, std::exception_ptr>>&
+                                         faulted) {
+    const auto wake = Clock::now() + backoff;
+    std::vector<Batch::Item*> next;
+    next.reserve(faulted.size());
+    for (auto& [item, error] : faulted) {
+      if (item->req.deadline <= wake) {
+        Batch::complete_error(*item, error, *stats);
+      } else {
+        next.push_back(item);
+      }
+    }
+    if (!next.empty()) {
+      stats->on_retry();
+      retried = true;
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+    }
+    return next;
+  };
+
+  while (!active.empty()) {
+    // Per-attempt deadline sweep: the batch may have waited in the handoff,
+    // or the previous attempt's backoff may have consumed a budget.
+    {
+      const auto now = Clock::now();
+      std::exception_ptr expired_error;
+      std::vector<Batch::Item*> live;
+      live.reserve(active.size());
+      for (Batch::Item* item : active) {
+        if (item->req.deadline <= now) {
+          if (!expired_error) expired_error = std::make_exception_ptr(DeadlineExceeded());
+          if (Batch::complete_error(*item, expired_error, *stats)) stats->on_expired();
+        } else {
+          live.push_back(item);
+        }
+      }
+      active = std::move(live);
+      if (active.empty()) return;
+    }
+
+    // Cache-aware scheduling: collapse identical in-flight sources (keyed
+    // by the serving cache's normalized content hash) onto one slot of the
+    // batched call — the answer is computed once and fanned out to every
+    // matching future below. `slot_of[i]` maps active item i to its slot.
+    std::vector<std::string_view> views;
+    views.reserve(active.size());
+    std::vector<std::size_t> slot_of(active.size());
+    if (active.size() == 1) {
+      // Nothing to collapse — skip the hash pass (the pipeline's cache
+      // probe hashes the source anyway).
+      views.emplace_back(active.front()->req.source);
+      slot_of[0] = 0;
+    } else {
+      std::unordered_map<Hash128, std::size_t, Hash128Hasher> slot_by_key;
+      slot_by_key.reserve(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const auto [it, fresh] =
+            slot_by_key.emplace(hash_source(active[i]->req.source), views.size());
+        slot_of[i] = it->second;
+        if (fresh) views.emplace_back(active[i]->req.source);
+      }
+      if (attempt == 0 && views.size() < active.size()) {
+        stats->on_dedup(active.size() - views.size());
+      }
+    }
+
+    std::vector<Pipeline::SourceResult> results;
+    std::exception_ptr batch_error;
+    try {
+      results = pipeline->suggest_batch_results(views);
+    } catch (...) {
+      // Whole-batch failure (resource exhaustion, injected fault — not a
+      // per-source parse error, those come back in their own slots).
+      batch_error = std::current_exception();
+    }
+
+    if (batch_error) {
+      if (attempt < max_retries && is_transient(batch_error)) {
+        std::vector<std::pair<Batch::Item*, std::exception_ptr>> faulted;
+        faulted.reserve(active.size());
+        for (Batch::Item* item : active) faulted.emplace_back(item, batch_error);
+        active = backoff_survivors(faulted);
+        ++attempt;
+        continue;
+      }
+      for (Batch::Item* item : active) Batch::complete_error(*item, batch_error, *stats);
+      return;
+    }
+
+    // Per-verdict serving counters, one tally per unique slot (duplicates
+    // collapsed above receive the same suggestions; counting once keeps the
+    // histogram a property of the content served, not of request fan-in).
+    for (const Pipeline::SourceResult& result : results) {
+      if (!result.ok()) continue;
+      for (const LoopSuggestion& s : result.suggestions) stats->on_verdict(s.verdict);
+    }
+
+    // Fan each unique slot's outcome back out: duplicates get copies, the
+    // slot's last taker gets the moved original. Identical bytes fail
+    // identically, so duplicates of a failed slot share its fate —
+    // including being retried together when the fault is transient.
+    std::vector<std::pair<Batch::Item*, std::exception_ptr>> faulted;
+    std::vector<std::size_t> takers_left(views.size(), 0);
+    for (const std::size_t slot : slot_of) ++takers_left[slot];
+    const bool can_retry = attempt < max_retries;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      Pipeline::SourceResult& result = results[slot_of[i]];
+      if (result.ok()) {
+        const bool last_taker = --takers_left[slot_of[i]] == 0;
+        std::vector<LoopSuggestion> value =
+            last_taker ? std::move(result.suggestions) : result.suggestions;
+        if (Batch::complete_value(*active[i], std::move(value), *stats) && retried) {
+          stats->on_retry_recovered();
+        }
+      } else if (can_retry && is_transient(result.error)) {
+        faulted.emplace_back(active[i], result.error);
+      } else {
+        Batch::complete_error(*active[i], result.error, *stats);
+      }
+    }
+    if (faulted.empty()) return;
+    active = backoff_survivors(faulted);
+    ++attempt;
+  }
+}
 
 SuggestServer::SuggestServer(std::shared_ptr<Pipeline> pipeline, Options options)
     : pipeline_(std::move(pipeline)), options_(options) {
   if (!pipeline_) throw std::invalid_argument("SuggestServer: null pipeline");
   if (options_.max_batch_loops == 0) options_.max_batch_loops = 1;
   if (options_.max_queue_depth == 0) options_.max_queue_depth = 1;
+  if (options_.max_retries < 0) options_.max_retries = 0;
   pool_ = std::make_shared<ThreadPool>(
       options_.pool_threads != 0 ? options_.pool_threads : ThreadPool::default_thread_count());
   pipeline_->set_thread_pool(pool_);
+  stats_ = std::make_shared<ServerStats>();
+  run_ctx_ = std::make_shared<RunCtx>(
+      RunCtx{pipeline_, stats_, options_.max_retries, options_.retry_backoff});
+  // Admission shed threshold: queue depth at or beyond it rejects new
+  // submissions with Overloaded instead of blocking. shed_at > 1.0 keeps
+  // the classic blocking backpressure (the threshold is unreachable).
+  if (options_.shed_at > 1.0) {
+    shed_depth_ = options_.max_queue_depth + 1;
+  } else {
+    shed_depth_ = static_cast<std::size_t>(
+        std::ceil(options_.shed_at * static_cast<double>(options_.max_queue_depth)));
+  }
+  spawn_serve_worker();
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
 SuggestServer::~SuggestServer() { shutdown(); }
 
 ServerStatsSnapshot SuggestServer::stats() const {
-  ServerStatsSnapshot snapshot = stats_.snapshot();
+  ServerStatsSnapshot snapshot = stats_->snapshot();
   snapshot.precision = precision_name(pipeline_->active_precision());
   snapshot.verify = pipeline_->verify_active();
   const SuggestCache::Stats cache = pipeline_->cache_stats();
@@ -34,23 +288,45 @@ ServerStatsSnapshot SuggestServer::stats() const {
   return snapshot;
 }
 
-std::future<std::vector<LoopSuggestion>> SuggestServer::enqueue_locked(std::string source) {
+std::future<std::vector<LoopSuggestion>> SuggestServer::enqueue_locked(
+    std::string source, Clock::time_point deadline) {
   Request req;
   req.source = std::move(source);
   req.enqueued = Clock::now();
+  req.deadline = deadline;
   auto future = req.promise.get_future();
   queue_.push_back(std::move(req));
-  stats_.on_submit();
-  stats_.on_queue_depth(queue_.size());
+  stats_->on_submit();
+  stats_->on_queue_depth(queue_.size());
   return future;
 }
 
 std::future<std::vector<LoopSuggestion>> SuggestServer::submit(std::string source) {
+  return submit_impl(std::move(source), options_.default_deadline);
+}
+
+std::future<std::vector<LoopSuggestion>> SuggestServer::submit(
+    std::string source, std::chrono::milliseconds deadline) {
+  return submit_impl(std::move(source), deadline);
+}
+
+std::future<std::vector<LoopSuggestion>> SuggestServer::submit_impl(
+    std::string source, std::chrono::milliseconds deadline) {
+  const auto absolute =
+      deadline.count() > 0 ? Clock::now() + deadline : Clock::time_point::max();
   std::unique_lock<std::mutex> lock(mutex_);
+  if (!stopping_ && queue_.size() >= shed_depth_) {
+    // Top rung of the ladder: admission control. Shedding here (instead of
+    // blocking until the queue drains) keeps producers responsive and the
+    // failure typed; callers that want the classic blocking backpressure
+    // disable the rung with shed_at > 1.0.
+    stats_->on_shed();
+    throw Overloaded("SuggestServer: queue beyond shed threshold");
+  }
   space_cv_.wait(lock,
                  [this] { return stopping_ || queue_.size() < options_.max_queue_depth; });
-  if (stopping_) throw std::runtime_error("SuggestServer: submit after shutdown");
-  auto future = enqueue_locked(std::move(source));
+  if (stopping_) throw ServerStopped("SuggestServer: submit after shutdown");
+  auto future = enqueue_locked(std::move(source), absolute);
   lock.unlock();
   queue_cv_.notify_one();
   return future;
@@ -58,9 +334,25 @@ std::future<std::vector<LoopSuggestion>> SuggestServer::submit(std::string sourc
 
 std::optional<std::future<std::vector<LoopSuggestion>>> SuggestServer::try_submit(
     std::string source) {
+  return try_submit_impl(std::move(source), options_.default_deadline);
+}
+
+std::optional<std::future<std::vector<LoopSuggestion>>> SuggestServer::try_submit(
+    std::string source, std::chrono::milliseconds deadline) {
+  return try_submit_impl(std::move(source), deadline);
+}
+
+std::optional<std::future<std::vector<LoopSuggestion>>> SuggestServer::try_submit_impl(
+    std::string source, std::chrono::milliseconds deadline) {
+  const auto absolute =
+      deadline.count() > 0 ? Clock::now() + deadline : Clock::time_point::max();
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopping_ || queue_.size() >= options_.max_queue_depth) return std::nullopt;
-  auto future = enqueue_locked(std::move(source));
+  if (queue_.size() >= shed_depth_) {
+    stats_->on_shed();
+    return std::nullopt;
+  }
+  auto future = enqueue_locked(std::move(source), absolute);
   lock.unlock();
   queue_cv_.notify_one();
   return future;
@@ -73,134 +365,212 @@ void SuggestServer::shutdown() {
   }
   queue_cv_.notify_all();
   space_cv_.notify_all();
-  std::call_once(joined_, [this] { scheduler_.join(); });
+  std::call_once(joined_, [this] {
+    scheduler_.join();
+    {
+      std::lock_guard<std::mutex> lock(worker_ctrl_->m);
+      worker_ctrl_->stop = true;
+    }
+    worker_ctrl_->cv.notify_all();
+    if (serve_worker_.joinable()) serve_worker_.join();
+  });
 }
 
-void SuggestServer::scheduler_loop() {
+DegradeMode SuggestServer::mode_for(std::size_t depth) const {
+  const double f =
+      static_cast<double>(depth) / static_cast<double>(options_.max_queue_depth);
+  DegradeMode mode = DegradeMode::kNormal;
+  if (options_.degrade_latency.count() > 0 &&
+      ewma_batch_ms_ > static_cast<double>(options_.degrade_latency.count())) {
+    mode = DegradeMode::kShrinkWindow;
+  }
+  if (f >= options_.shrink_window_at) mode = DegradeMode::kShrinkWindow;
+  if (f >= options_.cache_only_at) mode = DegradeMode::kCacheOnly;
+  if (f >= options_.shed_at) mode = DegradeMode::kShed;
+  return mode;
+}
+
+void SuggestServer::note_mode(DegradeMode mode) {
+  if (mode == mode_) return;
+  mode_ = mode;
+  stats_->on_mode(mode);
+}
+
+std::shared_ptr<SuggestServer::Batch> SuggestServer::collect_batch() {
   // Adaptive window: arrivals pausing for this long close the batch early
   // instead of sleeping out the rest of max_delay.
   const auto grace = options_.idle_grace.count() >= 0
                          ? options_.idle_grace
                          : std::chrono::duration_cast<std::chrono::microseconds>(
                                options_.max_delay / 4);
-  for (;;) {
-    std::vector<Request> batch;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) break;  // stopping and fully drained
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;  // stopping and fully drained
 
-      // Micro-batch window: hold the batch open until it fills, the oldest
-      // request has waited out max_delay, or the arrival stream pauses for
-      // idle_grace (no point holding an open window against idle traffic).
-      // Shutdown closes the window early so draining never sleeps.
-      const auto deadline = queue_.front().enqueued + options_.max_delay;
-      std::size_t seen = queue_.size();
-      auto last_arrival = Clock::now();
-      while (!stopping_ && queue_.size() < options_.max_batch_loops) {
-        const auto wake = std::min(deadline, Clock::time_point(last_arrival + grace));
-        const bool timed_out =
-            queue_cv_.wait_until(lock, wake) == std::cv_status::timeout;
-        if (queue_.size() > seen) {
-          seen = queue_.size();
-          last_arrival = Clock::now();
-          continue;
-        }
-        // No growth: a hard-deadline or idle-grace expiry closes the
-        // window; notifies without arrivals (spurious, shutdown) loop.
-        if (timed_out) break;
+  note_mode(mode_for(queue_.size()));
+  if (mode_ == DegradeMode::kNormal) {
+    // Micro-batch window: hold the batch open until it fills, the oldest
+    // request has waited out max_delay, or the arrival stream pauses for
+    // idle_grace (no point holding an open window against idle traffic).
+    // Shutdown closes the window early so draining never sleeps.
+    const auto deadline = queue_.front().enqueued + options_.max_delay;
+    std::size_t seen = queue_.size();
+    auto last_arrival = Clock::now();
+    while (!stopping_ && queue_.size() < options_.max_batch_loops) {
+      const auto wake = std::min(deadline, Clock::time_point(last_arrival + grace));
+      const bool timed_out =
+          queue_cv_.wait_until(lock, wake) == std::cv_status::timeout;
+      if (queue_.size() > seen) {
+        seen = queue_.size();
+        last_arrival = Clock::now();
+        // Arrivals may have pushed the queue over a ladder threshold —
+        // stop holding the window open the moment pressure appears.
+        if (mode_for(queue_.size()) != DegradeMode::kNormal) break;
+        continue;
       }
-
-      const std::size_t take = std::min(queue_.size(), options_.max_batch_loops);
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-      stats_.on_queue_depth(queue_.size());
+      // No growth: a hard-deadline or idle-grace expiry closes the
+      // window; notifies without arrivals (spurious, shutdown) loop.
+      if (timed_out) break;
     }
-    space_cv_.notify_all();  // backpressure: freed queue slots
-    serve_batch(batch);
+    // The window wait may have changed the picture; the rung the batch is
+    // served under is the one that holds *now*.
+    note_mode(mode_for(queue_.size()));
+  }
+
+  const std::size_t take = std::min(queue_.size(), options_.max_batch_loops);
+  auto batch = std::make_shared<Batch>();
+  batch->mode = mode_;
+  batch->items.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    auto item = std::make_unique<Batch::Item>();
+    item->req = std::move(queue_.front());
+    queue_.pop_front();
+    batch->items.push_back(std::move(item));
+  }
+  stats_->on_queue_depth(queue_.size());
+  return batch;
+}
+
+void SuggestServer::expel_expired(Batch& batch) {
+  const auto now = Clock::now();
+  std::exception_ptr error;
+  for (auto& item : batch.items) {
+    if (item->completed.load(std::memory_order_relaxed)) continue;
+    if (item->req.deadline > now) continue;
+    if (!error) error = std::make_exception_ptr(DeadlineExceeded());
+    if (Batch::complete_error(*item, error, *stats_)) stats_->on_expired();
   }
 }
 
-void SuggestServer::serve_batch(std::vector<Request>& batch) {
-  stats_.on_batch(batch.size());
-
-  // Cache-aware scheduling: collapse identical in-flight sources (keyed by
-  // the serving cache's normalized content hash) onto one slot before the
-  // batch reaches the pipeline — the answer is computed once and fanned out
-  // to every matching future below. `slot_of[i]` maps request i to its
-  // unique slot.
-  std::vector<std::string_view> views;
-  views.reserve(batch.size());
-  std::vector<std::size_t> slot_of(batch.size());
-  if (batch.size() == 1) {
-    // Nothing to collapse — skip the hash pass (the pipeline's cache probe
-    // hashes the source anyway).
-    views.emplace_back(batch.front().source);
-    slot_of[0] = 0;
-  } else {
-    std::unordered_map<Hash128, std::size_t, Hash128Hasher> slot_by_key;
-    slot_by_key.reserve(batch.size());
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      const auto [it, fresh] =
-          slot_by_key.emplace(hash_source(batch[i].source), views.size());
-      slot_of[i] = it->second;
-      if (fresh) views.emplace_back(batch[i].source);
-    }
-    if (views.size() < batch.size()) {
-      stats_.on_dedup(batch.size() - views.size());
-    }
-  }
-
-  const auto latency_us = [](Clock::time_point enqueued, Clock::time_point now) {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(now - enqueued).count());
-  };
-
-  std::vector<Pipeline::SourceResult> results;
-  try {
-    results = pipeline_->suggest_batch_results(views);
-  } catch (...) {
-    // Whole-batch failure (resource exhaustion, not a per-source parse
-    // error): every request in the batch observes the exception.
-    const auto error = std::current_exception();
-    const auto now = Clock::now();
-    for (auto& r : batch) {
-      // Count first, complete second: a client that sees its future ready
-      // must also see the stats already include it.
-      stats_.on_done(false, latency_us(r.enqueued, now));
-      r.promise.set_exception(error);
-    }
-    return;
-  }
-
-  // Per-verdict serving counters, one tally per unique slot (duplicates
-  // collapsed above receive the same suggestions, counting them once keeps
-  // the histogram a property of the content served, not of request fan-in).
-  for (const Pipeline::SourceResult& result : results) {
-    if (!result.ok()) continue;
-    for (const LoopSuggestion& s : result.suggestions) stats_.on_verdict(s.verdict);
-  }
-
-  // Fan each unique slot's outcome back out: duplicates get copies, the
-  // slot's last taker gets the moved original. Identical bytes fail
-  // identically, so duplicates of a failed slot share its exception.
-  std::vector<std::size_t> takers_left(views.size(), 0);
-  for (const std::size_t slot : slot_of) ++takers_left[slot];
-  const auto now = Clock::now();
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    Pipeline::SourceResult& result = results[slot_of[i]];
-    stats_.on_done(result.ok(), latency_us(batch[i].enqueued, now));
-    if (result.ok()) {
-      if (--takers_left[slot_of[i]] == 0) {
-        batch[i].promise.set_value(std::move(result.suggestions));
-      } else {
-        batch[i].promise.set_value(result.suggestions);
+void SuggestServer::serve_degraded(Batch& batch) {
+  const auto overloaded = std::make_exception_ptr(Overloaded());
+  for (auto& item : batch.items) {
+    if (item->completed.load(std::memory_order_relaxed)) continue;
+    if (batch.mode == DegradeMode::kCacheOnly) {
+      // Full-result cache probe, no forward: hits cost microseconds and
+      // drain the queue; misses are shed rather than queued behind a
+      // saturated model.
+      if (auto hit = pipeline_->try_cached(item->req.source)) {
+        if (Batch::complete_value(*item, std::move(*hit), *stats_)) {
+          stats_->on_cache_only();
+        }
+        continue;
       }
-    } else {
-      batch[i].promise.set_exception(result.error);
+    }
+    if (Batch::complete_error(*item, overloaded, *stats_)) stats_->on_shed();
+  }
+}
+
+void SuggestServer::spawn_serve_worker() {
+  worker_ctrl_ = std::make_shared<WorkerCtrl>();
+  serve_worker_ = std::thread([ctrl = worker_ctrl_, ctx = run_ctx_] {
+    for (;;) {
+      std::shared_ptr<WorkerCtrl::Job> job;
+      {
+        std::unique_lock<std::mutex> lock(ctrl->m);
+        ctrl->cv.wait(lock,
+                      [&] { return ctrl->stop || ctrl->abandoned || ctrl->job != nullptr; });
+        if (ctrl->abandoned) return;  // watchdog replaced us mid-batch
+        if (!ctrl->job) return;       // stop, nothing pending
+        job = std::move(ctrl->job);
+      }
+      ctx->run(*job->batch);
+      // The scheduler may have stopped waiting (watchdog): set_value on a
+      // promise whose future was dropped is still well-defined.
+      job->done.set_value();
+    }
+  });
+}
+
+bool SuggestServer::dispatch_and_wait(const std::shared_ptr<Batch>& batch) {
+  auto job = std::make_shared<WorkerCtrl::Job>();
+  job->batch = batch;
+  std::future<void> done = job->done.get_future();
+  {
+    std::lock_guard<std::mutex> lock(worker_ctrl_->m);
+    worker_ctrl_->job = job;
+  }
+  worker_ctrl_->cv.notify_one();
+
+  if (options_.batch_budget.count() <= 0) {
+    done.wait();
+    return true;
+  }
+  if (done.wait_for(options_.batch_budget) == std::future_status::ready) return true;
+
+  // Watchdog expiry: the batch is stuck (or pathologically slow). Fail its
+  // remaining futures so clients never wedge, abandon the worker — it only
+  // touches shared_ptr state, so it stays memory-safe even if it outlives
+  // the server — and hand future batches to a fresh one.
+  {
+    std::lock_guard<std::mutex> lock(worker_ctrl_->m);
+    worker_ctrl_->abandoned = true;
+    worker_ctrl_->job.reset();  // not yet picked up: never run it post-abandon
+  }
+  worker_ctrl_->cv.notify_all();
+  serve_worker_.detach();
+  spawn_serve_worker();
+
+  const auto error = std::make_exception_ptr(BatchAbandoned());
+  for (auto& item : batch->items) Batch::complete_error(*item, error, *stats_);
+  stats_->on_watchdog();
+  return false;
+}
+
+void SuggestServer::scheduler_loop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    try {
+      batch = collect_batch();
+      if (!batch) break;
+      space_cv_.notify_all();  // backpressure: freed queue slots
+
+      // Failpoint: a fault between batch assembly and dispatch. The
+      // `error`/`throw` actions both surface as an exception here, which
+      // the top-level catch below converts into per-future failures.
+      if (failpoint::triggered("scheduler.batch")) {
+        throw failpoint::FailpointError("scheduler.batch");
+      }
+
+      expel_expired(*batch);
+      if (batch->mode == DegradeMode::kCacheOnly || batch->mode == DegradeMode::kShed) {
+        serve_degraded(*batch);
+      } else {
+        const auto start = Clock::now();
+        dispatch_and_wait(batch);
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+        ewma_batch_ms_ = ewma_batch_ms_ == 0.0 ? ms : 0.7 * ewma_batch_ms_ + 0.3 * ms;
+      }
+    } catch (...) {
+      // Top-level catch: nothing escaping one batch may kill the scheduler
+      // (an escaped exception would std::terminate the process and strand
+      // every queued future). Fail this batch's futures, keep serving.
+      stats_->on_scheduler_fault();
+      if (batch) {
+        const auto error = std::current_exception();
+        for (auto& item : batch->items) Batch::complete_error(*item, error, *stats_);
+      }
     }
   }
 }

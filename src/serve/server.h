@@ -24,12 +24,29 @@
 // for `idle_grace`, the batch closes early rather than sleeping out
 // `max_delay` (see Options).
 //
+// Fault tolerance (docs/serving.md):
+//  - Requests may carry a deadline; the scheduler expels expired requests
+//    before the expensive forward and completes them with DeadlineExceeded.
+//  - Batches execute on a dedicated serve-worker thread under a watchdog
+//    budget (`batch_budget`): a stuck batch is abandoned — its futures fail
+//    with BatchAbandoned, the worker is replaced — instead of wedging the
+//    queue forever.
+//  - Transient faults (failpoint-injected errors, see support/failpoint.h)
+//    are retried with doubled backoff up to `max_retries`, capped by the
+//    requests' deadlines.
+//  - Overload steps down a degradation ladder (DegradeMode in stats.h):
+//    shrink the batching window -> serve cache hits only -> shed with
+//    Overloaded. Every error is typed (serve/errors.h); every future always
+//    completes.
+//
 // Shutdown is graceful: `shutdown()` (and the destructor) stops accepting
 // new work, serves everything already queued, then joins the scheduler.
+// Submitters blocked on backpressure wake and observe ServerStopped.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
@@ -40,6 +57,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "serve/errors.h"
 #include "serve/stats.h"
 #include "support/thread_pool.h"
 
@@ -60,11 +78,43 @@ class SuggestServer {
     /// max_delay / 4; values >= max_delay effectively disable early close.
     std::chrono::microseconds idle_grace{-1};
     /// Queue bound. `submit` blocks (backpressure) when this many requests
-    /// are already waiting; `try_submit` returns nullopt instead.
+    /// are already waiting; `try_submit` returns nullopt instead. (With the
+    /// default degradation ladder the shed rung triggers first — see
+    /// `shed_at` — so blocking only happens when shedding is disabled.)
     std::size_t max_queue_depth = 1024;
     /// Worker threads for the owned pool the pipeline serves on.
     /// 0 = hardware concurrency.
     unsigned pool_threads = 0;
+
+    /// Deadline attached to `submit(source)` calls that don't pass one
+    /// explicitly. <= 0 means no deadline (requests wait forever).
+    std::chrono::milliseconds default_deadline{0};
+    /// Watchdog budget for one batch execution (all retry attempts
+    /// included). A batch still running after this long is abandoned: its
+    /// futures complete with BatchAbandoned, the stuck serve worker is
+    /// detached and replaced, and the scheduler moves on. <= 0 disables the
+    /// watchdog (the scheduler waits for the batch unboundedly).
+    std::chrono::milliseconds batch_budget{0};
+    /// Transient-fault retry ladder: a batch attempt that fails with a
+    /// transient error (failpoint::FailpointError) is re-run up to this many
+    /// times, sleeping `retry_backoff` doubled per attempt between runs.
+    /// Retries never extend past a request's deadline.
+    int max_retries = 2;
+    std::chrono::milliseconds retry_backoff{1};
+
+    /// Degradation ladder thresholds, as fractions of max_queue_depth.
+    /// Queue depth >= shrink_window_at * max_queue_depth closes batching
+    /// windows immediately; >= cache_only_at serves full-result cache hits
+    /// only (misses are shed with Overloaded, no forward runs); >= shed_at
+    /// sheds queued work and rejects new submissions with Overloaded.
+    /// Any value > 1.0 disables that rung.
+    double shrink_window_at = 0.50;
+    double cache_only_at = 0.75;
+    double shed_at = 0.90;
+    /// Optional latency trigger: when > 0 and the EWMA of batch wall time
+    /// exceeds this, the ladder steps at least to kShrinkWindow even if the
+    /// queue is shallow. 0 keeps the ladder depth-driven only.
+    std::chrono::milliseconds degrade_latency{0};
   };
 
   /// Takes shared ownership of the pipeline and injects the server's worker
@@ -87,18 +137,26 @@ class SuggestServer {
   /// Drains the queue, completes every outstanding future, joins.
   ~SuggestServer();
 
-  /// Enqueue one translation unit. Blocks while the queue is full; throws
-  /// std::runtime_error once the server is shutting down (futures already
-  /// obtained remain valid and will complete).
+  /// Enqueue one translation unit with Options::default_deadline. Blocks
+  /// while the queue is full (unless the shed rung rejects first, with
+  /// Overloaded); throws ServerStopped once the server is shutting down
+  /// (futures already obtained remain valid and will complete).
   std::future<std::vector<LoopSuggestion>> submit(std::string source);
+  /// Same, with an explicit per-request deadline (measured from now;
+  /// <= 0 means none). A request whose deadline passes before it is served
+  /// completes with DeadlineExceeded instead of waiting forever.
+  std::future<std::vector<LoopSuggestion>> submit(std::string source,
+                                                  std::chrono::milliseconds deadline);
 
-  /// Non-blocking submit: nullopt when the queue is full or the server is
-  /// shutting down (load shedding instead of backpressure).
+  /// Non-blocking submit: nullopt when the queue is full, the shed rung is
+  /// active, or the server is shutting down (load shedding, never blocks).
   std::optional<std::future<std::vector<LoopSuggestion>>> try_submit(std::string source);
+  std::optional<std::future<std::vector<LoopSuggestion>>> try_submit(
+      std::string source, std::chrono::milliseconds deadline);
 
   /// Stop accepting requests, serve everything queued, join the scheduler.
   /// Idempotent and safe to call concurrently with submitters (their
-  /// blocked `submit` calls wake and throw).
+  /// blocked `submit` calls wake and throw ServerStopped).
   void shutdown();
 
   /// Queue/batch/latency counters plus the pipeline's serving-cache
@@ -114,16 +172,49 @@ class SuggestServer {
     std::string source;
     std::promise<std::vector<LoopSuggestion>> promise;
     Clock::time_point enqueued;
+    Clock::time_point deadline;  // Clock::time_point::max() = none
   };
 
-  std::future<std::vector<LoopSuggestion>> enqueue_locked(std::string source);
+  // Defined in server.cpp. Batch items carry a per-request completion flag
+  // so the watchdog (scheduler thread) and a possibly-still-running serve
+  // worker race safely for each promise; WorkerCtrl is the handoff channel
+  // to the serve worker and RunCtx the self-contained state a detached
+  // (abandoned) worker may keep touching after the server is gone.
+  struct Batch;
+  struct WorkerCtrl;
+  struct RunCtx;
+
+  std::future<std::vector<LoopSuggestion>> submit_impl(std::string source,
+                                                       std::chrono::milliseconds deadline);
+  std::optional<std::future<std::vector<LoopSuggestion>>> try_submit_impl(
+      std::string source, std::chrono::milliseconds deadline);
+  std::future<std::vector<LoopSuggestion>> enqueue_locked(std::string source,
+                                                          Clock::time_point deadline);
+
   void scheduler_loop();
-  void serve_batch(std::vector<Request>& batch);
+  /// Wait for work, hold the batching window (degradation-aware), pop up to
+  /// max_batch_loops requests. Null return: stopping and fully drained.
+  std::shared_ptr<Batch> collect_batch();
+  /// Complete expired requests with DeadlineExceeded; keep the rest.
+  void expel_expired(Batch& batch);
+  /// Degraded serving on the scheduler thread: cache-only probes or shed.
+  void serve_degraded(Batch& batch);
+  /// Hand the batch to the serve worker and wait, bounded by batch_budget.
+  /// On watchdog expiry: fail remaining futures with BatchAbandoned,
+  /// replace the worker. Returns false when the batch was abandoned.
+  bool dispatch_and_wait(const std::shared_ptr<Batch>& batch);
+  void spawn_serve_worker();
+  DegradeMode mode_for(std::size_t depth) const;
+  void note_mode(DegradeMode mode);
 
   std::shared_ptr<Pipeline> pipeline_;
   Options options_;
   std::shared_ptr<ThreadPool> pool_;
-  ServerStats stats_;
+  /// Shared (not inline) so a detached, abandoned serve worker can keep
+  /// tallying into it safely even if the server has been destroyed.
+  std::shared_ptr<ServerStats> stats_;
+  std::shared_ptr<RunCtx> run_ctx_;
+  std::size_t shed_depth_ = 0;  // precomputed shed_at * max_queue_depth
 
   std::mutex mutex_;
   std::condition_variable queue_cv_;  // scheduler waits: work available / stop
@@ -131,7 +222,14 @@ class SuggestServer {
   std::deque<Request> queue_;
   bool stopping_ = false;
   std::once_flag joined_;  // shutdown may race with itself; join exactly once
-  std::thread scheduler_;  // last member: joined before the rest tears down
+
+  // Scheduler-thread-only state (no locking needed).
+  DegradeMode mode_ = DegradeMode::kNormal;
+  double ewma_batch_ms_ = 0.0;
+
+  std::shared_ptr<WorkerCtrl> worker_ctrl_;
+  std::thread serve_worker_;  // replaced (old one detached) on abandon
+  std::thread scheduler_;     // last member: joined before the rest tears down
 };
 
 }  // namespace g2p

@@ -14,6 +14,28 @@
 
 namespace g2p {
 
+/// Rung of the overload degradation ladder the server is standing on.
+/// Ordered by severity: each step trades result quality/coverage for queue
+/// survival. The scheduler recomputes the rung from queue depth (and,
+/// optionally, observed batch latency) at every batch boundary, so the
+/// server steps back up as soon as pressure relents.
+enum class DegradeMode : int {
+  kNormal = 0,       // full batching window, full forward
+  kShrinkWindow = 1, // batch window closes immediately: smaller batches, no delay
+  kCacheOnly = 2,    // serve full-result cache hits only; misses are shed
+  kShed = 3,         // shed queued work with Overloaded; admission rejects new
+};
+
+inline const char* degrade_mode_name(DegradeMode m) {
+  switch (m) {
+    case DegradeMode::kNormal: return "normal";
+    case DegradeMode::kShrinkWindow: return "shrink_window";
+    case DegradeMode::kCacheOnly: return "cache_only";
+    case DegradeMode::kShed: return "shed";
+  }
+  return "unknown";
+}
+
 /// Point-in-time copy of the server counters (plain values, safe to pass
 /// around). Derived means return 0 when the denominator is empty.
 struct ServerStatsSnapshot {
@@ -28,6 +50,24 @@ struct ServerStatsSnapshot {
   std::uint64_t queue_depth = 0;      // requests waiting right now
   std::uint64_t latency_sum_us = 0;   // enqueue -> completion, all requests
   std::uint64_t latency_max_us = 0;
+
+  // Fault-tolerance counters (serve/errors.h has the error taxonomy).
+  std::uint64_t expired = 0;            // futures failed DeadlineExceeded
+  std::uint64_t shed = 0;               // Overloaded: admission + degraded sheds
+  std::uint64_t cache_only_served = 0;  // hits served without a forward (degraded)
+  std::uint64_t watchdog_abandoned = 0; // batches failed by the watchdog budget
+  std::uint64_t retries = 0;            // batch attempts re-run after transient faults
+  std::uint64_t retry_recovered = 0;    // requests that succeeded after >= 1 retry
+  std::uint64_t scheduler_faults = 0;   // exceptions the scheduler's top-level catch ate
+
+  // Degradation ladder: the rung the scheduler currently stands on plus how
+  // often each non-normal rung was entered (kNormal re-entries count as
+  // recoveries).
+  int mode = 0;  // DegradeMode as int
+  std::uint64_t mode_shrink_entered = 0;
+  std::uint64_t mode_cache_only_entered = 0;
+  std::uint64_t mode_shed_entered = 0;
+  std::uint64_t mode_recovered = 0;
 
   // Active serving precision of the fused forward ("fp32" or "int8" —
   // stable strings from precision_name(), env override already resolved).
@@ -92,6 +132,32 @@ class ServerStats {
            !latency_max_us_.compare_exchange_weak(seen, latency_us, std::memory_order_relaxed)) {
     }
   }
+  void on_expired() { expired_.fetch_add(1, std::memory_order_relaxed); }
+  void on_shed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_cache_only() { cache_only_served_.fetch_add(1, std::memory_order_relaxed); }
+  void on_watchdog() { watchdog_abandoned_.fetch_add(1, std::memory_order_relaxed); }
+  void on_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void on_retry_recovered() { retry_recovered_.fetch_add(1, std::memory_order_relaxed); }
+  void on_scheduler_fault() { scheduler_faults_.fetch_add(1, std::memory_order_relaxed); }
+  /// The scheduler entered a new degradation rung (called on change only).
+  void on_mode(DegradeMode m) {
+    mode_.store(static_cast<int>(m), std::memory_order_relaxed);
+    switch (m) {
+      case DegradeMode::kNormal:
+        mode_recovered_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case DegradeMode::kShrinkWindow:
+        mode_shrink_entered_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case DegradeMode::kCacheOnly:
+        mode_cache_only_entered_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case DegradeMode::kShed:
+        mode_shed_entered_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+  }
+
   /// One suggestion's verifier verdict (kUnchecked is not tallied: with
   /// verification off the counters stay zero instead of counting noise).
   void on_verdict(Verdict v) {
@@ -116,6 +182,18 @@ class ServerStats {
     s.queue_depth = queue_depth_.load(std::memory_order_relaxed);
     s.latency_sum_us = latency_sum_us_.load(std::memory_order_relaxed);
     s.latency_max_us = latency_max_us_.load(std::memory_order_relaxed);
+    s.expired = expired_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.cache_only_served = cache_only_served_.load(std::memory_order_relaxed);
+    s.watchdog_abandoned = watchdog_abandoned_.load(std::memory_order_relaxed);
+    s.retries = retries_.load(std::memory_order_relaxed);
+    s.retry_recovered = retry_recovered_.load(std::memory_order_relaxed);
+    s.scheduler_faults = scheduler_faults_.load(std::memory_order_relaxed);
+    s.mode = mode_.load(std::memory_order_relaxed);
+    s.mode_shrink_entered = mode_shrink_entered_.load(std::memory_order_relaxed);
+    s.mode_cache_only_entered = mode_cache_only_entered_.load(std::memory_order_relaxed);
+    s.mode_shed_entered = mode_shed_entered_.load(std::memory_order_relaxed);
+    s.mode_recovered = mode_recovered_.load(std::memory_order_relaxed);
     s.verdict_verified = verdict_verified_.load(std::memory_order_relaxed);
     s.verdict_repaired = verdict_repaired_.load(std::memory_order_relaxed);
     s.verdict_vetoed = verdict_vetoed_.load(std::memory_order_relaxed);
@@ -134,6 +212,18 @@ class ServerStats {
   std::atomic<std::uint64_t> queue_depth_{0};
   std::atomic<std::uint64_t> latency_sum_us_{0};
   std::atomic<std::uint64_t> latency_max_us_{0};
+  std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> cache_only_served_{0};
+  std::atomic<std::uint64_t> watchdog_abandoned_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> retry_recovered_{0};
+  std::atomic<std::uint64_t> scheduler_faults_{0};
+  std::atomic<int> mode_{0};
+  std::atomic<std::uint64_t> mode_shrink_entered_{0};
+  std::atomic<std::uint64_t> mode_cache_only_entered_{0};
+  std::atomic<std::uint64_t> mode_shed_entered_{0};
+  std::atomic<std::uint64_t> mode_recovered_{0};
   std::atomic<std::uint64_t> verdict_verified_{0};
   std::atomic<std::uint64_t> verdict_repaired_{0};
   std::atomic<std::uint64_t> verdict_vetoed_{0};

@@ -1,0 +1,245 @@
+#include "support/failpoint.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+#include "support/hash.h"
+
+namespace g2p::failpoint {
+
+namespace detail {
+std::atomic<bool> g_armed{false};
+}  // namespace detail
+
+namespace {
+
+enum class Action { kError, kDelay, kThrow };
+
+struct Site {
+  std::string name;
+  Action action = Action::kError;
+  double probability = 1.0;
+  std::uint64_t seed = 0;
+  std::uint32_t delay_ms = 0;
+  // Hit counters live on the (leaked) schedule so concurrent seams never
+  // touch freed memory across a reconfigure; mutable because the schedule
+  // itself is immutable once published.
+  mutable std::atomic<std::uint64_t> hits{0};
+  mutable std::atomic<std::uint64_t> injected{0};
+
+  Site() = default;
+  Site(const Site& other)
+      : name(other.name),
+        action(other.action),
+        probability(other.probability),
+        seed(other.seed),
+        delay_ms(other.delay_ms) {}
+  Site& operator=(const Site& other) {
+    name = other.name;
+    action = other.action;
+    probability = other.probability;
+    seed = other.seed;
+    delay_ms = other.delay_ms;
+    hits.store(0, std::memory_order_relaxed);
+    injected.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+struct Schedule {
+  std::vector<Site> sites;
+  std::string normalized;
+};
+
+/// Published schedule. Old schedules are intentionally leaked on
+/// reconfigure: a seam mid-`fire` may still hold the previous pointer, and
+/// configure() happens a handful of times per process (startup, tests) —
+/// never on a hot path.
+std::atomic<const Schedule*> g_schedule{nullptr};
+std::mutex g_configure_mutex;
+
+/// splitmix64 of (seed, hit index): a pure function, so the k-th hit of a
+/// site decides identically across runs regardless of which thread lands it.
+std::uint64_t mix(std::uint64_t seed, std::uint64_t k) {
+  std::uint64_t z = seed + (k + 1) * 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+[[noreturn]] void bad_spec(std::string_view part, const char* why) {
+  throw std::invalid_argument("failpoint::configure: " + std::string(why) + " in '" +
+                              std::string(part) + "'");
+}
+
+Site parse_site(std::string_view part) {
+  Site site;
+  const auto eq = part.find('=');
+  if (eq == std::string_view::npos || eq == 0) bad_spec(part, "expected site=action");
+  site.name = std::string(trim(part.substr(0, eq)));
+  std::string_view rest = trim(part.substr(eq + 1));
+
+  // Optional "@p[,seed]" suffix.
+  std::string_view action = rest;
+  if (const auto at = rest.find('@'); at != std::string_view::npos) {
+    action = trim(rest.substr(0, at));
+    std::string_view prob = trim(rest.substr(at + 1));
+    std::string_view seed_text;
+    if (const auto comma = prob.find(','); comma != std::string_view::npos) {
+      seed_text = trim(prob.substr(comma + 1));
+      prob = trim(prob.substr(0, comma));
+    }
+    char* end = nullptr;
+    site.probability = std::strtod(std::string(prob).c_str(), &end);
+    if (prob.empty() || site.probability < 0.0 || site.probability > 1.0) {
+      bad_spec(part, "probability must be in [0,1]");
+    }
+    if (!seed_text.empty()) {
+      site.seed = std::strtoull(std::string(seed_text).c_str(), nullptr, 10);
+    }
+  }
+  if (site.seed == 0) {
+    // Default: a seed derived from the site name, so distinct sites get
+    // uncorrelated streams without the spec having to say so.
+    site.seed = hash128(site.name).lo | 1;
+  }
+
+  if (action == "error") {
+    site.action = Action::kError;
+  } else if (action == "throw") {
+    site.action = Action::kThrow;
+  } else if (action.rfind("delay(", 0) == 0 && action.back() == ')') {
+    site.action = Action::kDelay;
+    const std::string ms(action.substr(6, action.size() - 7));
+    char* end = nullptr;
+    const long v = std::strtol(ms.c_str(), &end, 10);
+    if (ms.empty() || *end != '\0' || v < 0) bad_spec(part, "bad delay milliseconds");
+    site.delay_ms = static_cast<std::uint32_t>(v);
+  } else {
+    bad_spec(part, "unknown action (want error | delay(ms) | throw)");
+  }
+  return site;
+}
+
+std::string normalize(const std::vector<Site>& sites) {
+  std::string out;
+  for (const auto& s : sites) {
+    if (!out.empty()) out += ';';
+    out += s.name + '=';
+    switch (s.action) {
+      case Action::kError: out += "error"; break;
+      case Action::kThrow: out += "throw"; break;
+      case Action::kDelay: out += "delay(" + std::to_string(s.delay_ms) + ")"; break;
+    }
+    char prob[32];
+    std::snprintf(prob, sizeof prob, "%g", s.probability);
+    out += std::string("@") + prob + "," + std::to_string(s.seed);
+  }
+  return out;
+}
+
+/// Apply G2P_FAILPOINTS once, before main. A malformed env spec warns and
+/// leaves failpoints disarmed instead of killing the process at startup.
+const bool g_env_applied = [] {
+  if (const char* spec = std::getenv("G2P_FAILPOINTS")) {
+    try {
+      configure(spec);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "g2p: ignoring G2P_FAILPOINTS: %s\n", e.what());
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+bool fire(const char* site) {
+  const Schedule* schedule = g_schedule.load(std::memory_order_acquire);
+  if (schedule == nullptr) return false;
+  for (const Site& s : schedule->sites) {
+    if (std::strcmp(s.name.c_str(), site) != 0) continue;
+    const std::uint64_t k = s.hits.fetch_add(1, std::memory_order_relaxed);
+    // Decision k is a pure function of (seed, k): deterministic replay.
+    const bool inject =
+        static_cast<double>(mix(s.seed, k) >> 11) * 0x1.0p-53 < s.probability;
+    if (!inject) return false;
+    s.injected.fetch_add(1, std::memory_order_relaxed);
+    switch (s.action) {
+      case Action::kError:
+        return true;
+      case Action::kDelay:
+        std::this_thread::sleep_for(std::chrono::milliseconds(s.delay_ms));
+        return false;
+      case Action::kThrow:
+        throw FailpointError(s.name);
+    }
+  }
+  return false;
+}
+
+}  // namespace detail
+
+void configure(const std::string& spec) {
+  auto schedule = std::make_unique<Schedule>();
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const auto semi = rest.find(';');
+    const std::string_view part =
+        trim(semi == std::string_view::npos ? rest : rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{} : rest.substr(semi + 1);
+    if (part.empty()) continue;
+    Site site = parse_site(part);
+    // Last spec for a site wins, matching how env overrides read naturally.
+    auto existing = std::find_if(schedule->sites.begin(), schedule->sites.end(),
+                                 [&](const Site& s) { return s.name == site.name; });
+    if (existing != schedule->sites.end()) {
+      *existing = site;
+    } else {
+      schedule->sites.push_back(site);
+    }
+  }
+  schedule->normalized = normalize(schedule->sites);
+
+  std::lock_guard<std::mutex> lock(g_configure_mutex);
+  if (schedule->sites.empty()) {
+    detail::g_armed.store(false, std::memory_order_relaxed);
+    g_schedule.store(nullptr, std::memory_order_release);
+    return;
+  }
+  g_schedule.store(schedule.release(), std::memory_order_release);  // leaked by design
+  detail::g_armed.store(true, std::memory_order_relaxed);
+}
+
+void disarm() { configure(""); }
+
+std::string active_spec() {
+  const Schedule* schedule = g_schedule.load(std::memory_order_acquire);
+  return schedule == nullptr ? std::string() : schedule->normalized;
+}
+
+std::vector<SiteCounters> counters() {
+  std::vector<SiteCounters> out;
+  const Schedule* schedule = g_schedule.load(std::memory_order_acquire);
+  if (schedule == nullptr) return out;
+  out.reserve(schedule->sites.size());
+  for (const Site& s : schedule->sites) {
+    out.push_back({s.name, s.hits.load(std::memory_order_relaxed),
+                   s.injected.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+}  // namespace g2p::failpoint

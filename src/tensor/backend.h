@@ -31,6 +31,9 @@
 //     threaded entry point to the single-thread kernel. Read once.
 //   G2P_PRECISION = fp32 | int8 (serving precision override; read once in
 //     nn/hgt.cpp — the int8 path dispatches through Kernels::gemm_s8 below).
+//   G2P_FAILPOINTS = site=action[@p[,seed]][;...] (fault injection into the
+//     serving path, including this layer's pool.acquire seam; grammar in
+//     support/failpoint.h, semantics in docs/serving.md).
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "support/failpoint.h"
 #include "support/rng.h"
 
 namespace g2p {
@@ -72,6 +73,13 @@ thread_local Cache g_cache;
 }  // namespace
 
 void* acquire(std::size_t bytes) {
+  // Failpoint: an injected fault here is allocator-failure semantics — the
+  // same throw a bad_alloc would be. Every acquire() caller reaches this
+  // through UninitAllocator/FloatVec, which are exception-safe, so the
+  // fault surfaces as a (transient) batch-level error, never a leak.
+  if (failpoint::triggered("pool.acquire")) {
+    throw failpoint::FailpointError("pool.acquire");
+  }
   if (bytes >= kMinPooledBytes) {
     auto it = g_cache.blocks.find(bytes);
     if (it != g_cache.blocks.end() && !it->second.empty()) {

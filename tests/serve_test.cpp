@@ -270,6 +270,9 @@ TEST(SuggestServer, TrySubmitShedsLoadWhenQueueIsFull) {
   options.max_batch_loops = 1000;
   options.max_delay = std::chrono::seconds(30);
   options.max_queue_depth = 2;
+  // This test is about the hard queue bound, so the degradation ladder must
+  // not fire first (its rungs trigger at fractions of this tiny bound).
+  options.shrink_window_at = options.cache_only_at = options.shed_at = 1.5;
   SuggestServer server(pipeline, options);
 
   auto a = server.try_submit(sources[0]);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstring>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "support/arena.h"
+#include "support/failpoint.h"
 #include "support/function_ref.h"
 #include "support/hash.h"
 #include "support/rng.h"
@@ -360,6 +362,96 @@ TEST(TensorPool, TrimUnderConcurrentWorkersIsSafe) {
   for (auto& t : workers) t.join();
   EXPECT_TRUE(ok.load());
   EXPECT_EQ(done.load(), kWorkers);
+}
+
+// ---- failpoint spec parsing and semantics (support/failpoint.h) -------------
+
+/// Each test disarms on exit so an armed schedule never leaks across tests.
+struct FailpointGuard {
+  ~FailpointGuard() { failpoint::disarm(); }
+};
+
+TEST(Failpoint, DisarmedByDefaultAndCheapToProbe) {
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_FALSE(failpoint::triggered("frontend.parse"));
+  EXPECT_TRUE(failpoint::active_spec().empty());
+}
+
+TEST(Failpoint, ErrorActionFiresDeterministically) {
+  FailpointGuard guard;
+  failpoint::configure("mysite=error@1");
+  EXPECT_TRUE(failpoint::armed());
+  EXPECT_TRUE(failpoint::triggered("mysite"));
+  EXPECT_FALSE(failpoint::triggered("othersite"));
+  const auto counters = failpoint::counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].site, "mysite");
+  EXPECT_EQ(counters[0].hits, 1u);
+  EXPECT_EQ(counters[0].injected, 1u);
+}
+
+TEST(Failpoint, ThrowActionRaisesTypedError) {
+  FailpointGuard guard;
+  failpoint::configure("mysite=throw");
+  try {
+    (void)failpoint::triggered("mysite");
+    FAIL() << "expected FailpointError";
+  } catch (const failpoint::FailpointError& e) {
+    EXPECT_EQ(e.site(), "mysite");
+  }
+}
+
+TEST(Failpoint, ProbabilityZeroNeverInjects) {
+  FailpointGuard guard;
+  failpoint::configure("mysite=error@0");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(failpoint::triggered("mysite"));
+  const auto counters = failpoint::counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].hits, 100u);
+  EXPECT_EQ(counters[0].injected, 0u);
+}
+
+TEST(Failpoint, SeededDecisionsAreReproducible) {
+  FailpointGuard guard;
+  // Same site, same seed: the k-th hit decides identically across arms.
+  std::vector<bool> first, second;
+  failpoint::configure("mysite=error@0.5,97");
+  for (int i = 0; i < 64; ++i) first.push_back(failpoint::triggered("mysite"));
+  failpoint::configure("mysite=error@0.5,97");  // fresh schedule, hits reset
+  for (int i = 0; i < 64; ++i) second.push_back(failpoint::triggered("mysite"));
+  EXPECT_EQ(first, second);
+  EXPECT_GT(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_GT(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST(Failpoint, SpecParsesMultipleSitesLastWins) {
+  FailpointGuard guard;
+  failpoint::configure("a=error; b=delay(5)@0.25,9 ;a=throw@0.5");
+  const std::string spec = failpoint::active_spec();
+  // Normalized form: last spec for 'a' won, every field explicit.
+  EXPECT_NE(spec.find("a=throw@0.5"), std::string::npos);
+  EXPECT_NE(spec.find("b=delay(5)@0.25,9"), std::string::npos);
+  EXPECT_EQ(spec.find("a=error"), std::string::npos);
+}
+
+TEST(Failpoint, MalformedSpecsThrowAndLeaveScheduleIntact) {
+  FailpointGuard guard;
+  failpoint::configure("good=error");
+  EXPECT_THROW(failpoint::configure("nosuchaction=banana"), std::invalid_argument);
+  EXPECT_THROW(failpoint::configure("=error"), std::invalid_argument);
+  EXPECT_THROW(failpoint::configure("x=error@2"), std::invalid_argument);
+  EXPECT_THROW(failpoint::configure("x=delay(-1)"), std::invalid_argument);
+  // A rejected spec never clobbers the active schedule.
+  EXPECT_TRUE(failpoint::triggered("good"));
+}
+
+TEST(Failpoint, DisarmRestoresTheCheapPath) {
+  failpoint::configure("mysite=error");
+  EXPECT_TRUE(failpoint::armed());
+  failpoint::disarm();
+  EXPECT_FALSE(failpoint::armed());
+  EXPECT_FALSE(failpoint::triggered("mysite"));
+  EXPECT_TRUE(failpoint::active_spec().empty());
 }
 
 }  // namespace
