@@ -135,7 +135,8 @@ Pipeline::Pipeline(Pipeline&& other) noexcept
       model_(std::move(other.model_)),
       pool_(std::move(other.pool_)),
       cache_(std::move(other.cache_)),
-      model_stamp_(other.model_stamp_.load(std::memory_order_relaxed)) {}
+      model_stamp_(other.model_stamp_.load(std::memory_order_relaxed)),
+      replica_id_(other.replica_id_) {}
 
 Pipeline& Pipeline::operator=(Pipeline&& other) noexcept {
   if (this != &other) {
@@ -146,6 +147,7 @@ Pipeline& Pipeline::operator=(Pipeline&& other) noexcept {
     cache_ = std::move(other.cache_);
     model_stamp_.store(other.model_stamp_.load(std::memory_order_relaxed),
                        std::memory_order_relaxed);
+    replica_id_ = other.replica_id_;
   }
   return *this;
 }
@@ -459,6 +461,36 @@ bool Pipeline::load_weights(const std::string& model_path) {
   const bool ok = model_->load_file(model_path);
   model_stamp_.fetch_add(1, std::memory_order_acq_rel);
   return ok;
+}
+
+std::string Pipeline::snapshot_weights() const {
+  std::ostringstream out(std::ios::binary);
+  model_->save(out);
+  return std::move(out).str();
+}
+
+bool Pipeline::restore_weights(const std::string& snapshot) {
+  cache_->invalidate_results();
+  std::istringstream in(snapshot, std::ios::binary);
+  bool ok = true;
+  try {
+    model_->load(in);
+  } catch (const std::exception&) {
+    ok = false;  // staged load: current weights untouched
+  }
+  model_stamp_.fetch_add(1, std::memory_order_acq_rel);
+  return ok;
+}
+
+Pipeline Pipeline::clone() const {
+  Pipeline copy(options_, vocab_);
+  copy.replica_id_ = replica_id_;
+  // The binary checkpoint format round-trips floats exactly, so the clone's
+  // forwards are bitwise-identical to this pipeline's.
+  std::stringstream weights(std::ios::in | std::ios::out | std::ios::binary);
+  model_->save(weights);
+  copy.model_->load(weights);
+  return copy;
 }
 
 }  // namespace g2p

@@ -126,6 +126,29 @@ class Pipeline {
   /// weight write itself, exactly like an optimizer step would.
   [[nodiscard]] bool load_weights(const std::string& model_path);
 
+  /// In-memory checkpoint of the current weights (same binary format as
+  /// `save`'s model file, integrity trailer included). A replica set keeps
+  /// one of these across a rollout so a failed canary can roll back without
+  /// touching the filesystem.
+  std::string snapshot_weights() const;
+  /// Restore a `snapshot_weights` image. Same semantics as `load_weights`:
+  /// invalidates cached results, bumps the model stamp, stages before it
+  /// commits — a corrupt snapshot leaves the current generation serving.
+  [[nodiscard]] bool restore_weights(const std::string& snapshot);
+
+  /// Clone this pipeline for replicated serving: identical options, vocab,
+  /// and weights (bitwise — the copy travels through the lossless binary
+  /// checkpoint format), but a fresh empty cache, its own model stamp, and
+  /// its own pool selection. Replicas therefore serve bitwise-identical
+  /// suggestions while failing independently.
+  Pipeline clone() const;
+
+  /// Identity of this pipeline inside a ReplicaSet (-1 when standalone).
+  /// Purely observational — stats, logs, and bench output use it to
+  /// attribute work to a replica; routing never consults it.
+  int replica_id() const { return replica_id_; }
+  void set_replica_id(int id) { replica_id_ = id; }
+
   /// Replace the worker pool used by `suggest_batch*`. Null restores the
   /// behavior selected by Options::pool_threads. A server injects its own
   /// pool here so serving concurrency is owned by the server, not a global.
@@ -176,6 +199,8 @@ class Pipeline {
   mutable std::unique_ptr<SuggestCache> cache_;
   /// Monotonic checkpoint generation; cached results are stamped with it.
   std::atomic<std::uint64_t> model_stamp_{1};
+  /// Replica attribution (see replica_id); moves with the pipeline.
+  int replica_id_ = -1;
 };
 
 }  // namespace g2p

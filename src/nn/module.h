@@ -25,13 +25,17 @@ class Module {
     return n;
   }
 
-  /// Write / read all parameter values. Layout: per parameter, numel floats.
-  /// Shapes must already match (load into an identically-configured model).
-  /// `load` throws on mismatch or truncation; load_file returns false
-  /// instead. Loads are staged-then-committed: on any failure the previous
-  /// parameter values are fully intact (a mid-serving reload that hits a
-  /// corrupt checkpoint keeps serving the old generation). save_file
-  /// returns false when the file cannot be opened or fully flushed.
+  /// Write / read all parameter values. Layout: per parameter, numel floats,
+  /// followed by an integrity trailer (8 magic bytes + FNV-1a 64 checksum of
+  /// the payload) so bit-flipped — not just truncated — checkpoints are
+  /// rejected. Trailer-less legacy files still load; a present-but-wrong
+  /// trailer throws. Shapes must already match (load into an
+  /// identically-configured model). `load` throws on mismatch, truncation,
+  /// or checksum failure; load_file returns false instead. Loads are
+  /// staged-then-committed: on any failure the previous parameter values are
+  /// fully intact (a mid-serving reload that hits a corrupt checkpoint keeps
+  /// serving the old generation). save_file returns false when the file
+  /// cannot be opened or fully flushed.
   void save(std::ostream& out) const;
   void load(std::istream& in);
   [[nodiscard]] bool save_file(const std::string& path) const;

@@ -49,6 +49,17 @@ class ServerStopped final : public ServeError {
   explicit ServerStopped(const std::string& what) : ServeError(what) {}
 };
 
+/// The request was cooperatively cancelled before a result was produced:
+/// its submitter set the cancel token it was submitted with (typically a
+/// hedged duplicate whose twin on another replica already won). Swept at
+/// batch boundaries — a cancelled request already inside a running forward
+/// completes normally and the caller discards the value.
+class RequestCancelled final : public ServeError {
+ public:
+  RequestCancelled() : ServeError("request cancelled by its submitter") {}
+  explicit RequestCancelled(const std::string& what) : ServeError(what) {}
+};
+
 /// The scheduler's per-batch watchdog budget elapsed with the batch still
 /// running; its futures were failed and the batch abandoned so the queue
 /// keeps moving. The forward may still complete in the background — its

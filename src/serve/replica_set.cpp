@@ -1,0 +1,817 @@
+#include "serve/replica_set.h"
+
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+
+#include "serve/errors.h"
+#include "support/failpoint.h"
+#include "support/hash.h"
+
+namespace g2p {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+constexpr std::size_t kLatencyWindow = 128;
+
+std::size_t resolve_replica_count(std::size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("G2P_REPLICAS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return 2;
+}
+
+/// How a leg's failure reflects on the replica that served it.
+enum class Fault {
+  kReplica,   // replica-attributable: health penalty + failover
+  kOverload,  // load signal: reroute without penalty
+  kRequest,   // property of the request (content error, deadline): no reroute
+};
+
+Fault classify(const std::exception_ptr& error, bool* server_stopped) {
+  *server_stopped = false;
+  try {
+    std::rethrow_exception(error);
+  } catch (const failpoint::FailpointError&) {
+    return Fault::kReplica;
+  } catch (const BatchAbandoned&) {
+    return Fault::kReplica;
+  } catch (const ServerStopped&) {
+    *server_stopped = true;
+    return Fault::kReplica;
+  } catch (const Overloaded&) {
+    return Fault::kOverload;
+  } catch (...) {
+    // Content errors (parse failures), DeadlineExceeded: deterministic
+    // properties of the request — another replica would answer the same.
+    return Fault::kRequest;
+  }
+}
+
+bool is_cancelled(const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const RequestCancelled&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Canary diff predicate: do two generations make the same *decisions* for
+/// a source? Confidence is a float the new weights legitimately move, so the
+/// comparison is over the served outcome — loop count, parallel verdicts,
+/// pragma categories, rendered pragma text.
+bool same_decisions(const std::vector<LoopSuggestion>& a,
+                    const std::vector<LoopSuggestion>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].parallel != b[i].parallel || a[i].category != b[i].category ||
+        a[i].suggested_pragma != b[i].suggested_pragma) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One replica: a weight-identical Pipeline clone behind its own
+/// SuggestServer, plus the breaker state routing consults. All mutable
+/// fields are guarded by ReplicaSet::mutex_.
+struct ReplicaSet::Replica {
+  std::size_t id = 0;
+  std::shared_ptr<Pipeline> pipeline;
+  std::unique_ptr<SuggestServer> server;
+
+  ReplicaState state = ReplicaState::kHealthy;
+  double error_ewma = 0.0;       // 1.0 = every recent dispatch faulted
+  double latency_ewma_ms = 0.0;  // success latencies only
+  std::uint32_t samples = 0;
+  Clock::time_point quarantined_until{};
+  std::chrono::milliseconds backoff{0};  // doubles per re-trip
+  int probe_successes = 0;
+  int probes_outstanding = 0;
+
+  std::uint64_t in_flight = 0;  // legs dispatched, not yet resolved
+  std::uint64_t routed = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t quarantines = 0;
+};
+
+/// One dispatch of a flight onto one replica.
+struct ReplicaSet::FlightLeg {
+  bool live = false;
+  std::size_t replica = 0;
+  std::future<std::vector<LoopSuggestion>> inner;
+  SuggestServer::CancelToken cancel;
+  bool probe = false;
+  Clock::time_point dispatched{};
+};
+
+/// One outer request. `primary` is the routed leg (re-dispatched in place on
+/// failover); `hedge` is the optional duplicate. The outer promise completes
+/// exactly once; the flight stays listed until every live leg has resolved
+/// so per-replica in-flight accounting (which rollout drains against) stays
+/// exact.
+struct ReplicaSet::Flight {
+  std::string source;
+  std::uint64_t route_key = 0;
+  std::size_t home = 0;
+  std::promise<std::vector<LoopSuggestion>> outer;
+  bool outer_done = false;
+  Clock::time_point enqueued{};
+  Clock::time_point deadline{};  // Clock::time_point::max() = none
+  int failovers = 0;
+  bool hedge_attempted = false;
+  FlightLeg primary;
+  FlightLeg hedge;
+  std::exception_ptr first_error;  // earliest leg failure, kept for reporting
+};
+
+ReplicaSet::ReplicaSet(const Pipeline& prototype, Options options)
+    : options_(std::move(options)) {
+  const std::size_t n = resolve_replica_count(options_.replicas);
+  options_.replicas = n;
+  if (options_.vnodes == 0) options_.vnodes = 1;
+  if (options_.health_alpha <= 0.0 || options_.health_alpha > 1.0) {
+    options_.health_alpha = 0.2;
+  }
+  if (options_.max_failover < 0) options_.max_failover = 0;
+  if (options_.probation_probes < 1) options_.probation_probes = 1;
+  if (options_.quarantine_backoff.count() <= 0) {
+    options_.quarantine_backoff = std::chrono::milliseconds(250);
+  }
+  // The router dispatches inner submits under its own lock, so they must
+  // refuse (typed Overloaded, which the router reroutes) rather than block
+  // on backpressure.
+  if (options_.server.shed_at > 1.0) options_.server.shed_at = 0.9;
+
+  ring_ = ConsistentRing(n, options_.vnodes);
+  replicas_.reserve(n);
+  replica_ids_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto replica = std::make_unique<Replica>();
+    replica->id = i;
+    replica->pipeline = std::make_shared<Pipeline>(prototype.clone());
+    replica->pipeline->set_replica_id(static_cast<int>(i));
+    replica->server = std::make_unique<SuggestServer>(replica->pipeline, options_.server);
+    replicas_.push_back(std::move(replica));
+    replica_ids_.push_back(i);
+  }
+  latency_window_.reserve(kLatencyWindow);
+  router_ = std::thread([this] { router_loop(); });
+}
+
+ReplicaSet::~ReplicaSet() { shutdown(); }
+
+void ReplicaSet::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  std::call_once(joined_, [this] {
+    if (router_.joinable()) router_.join();  // drains every in-flight leg
+    for (auto& replica : replicas_) replica->server->shutdown();
+  });
+}
+
+std::future<std::vector<LoopSuggestion>> ReplicaSet::submit(std::string source) {
+  return submit_impl(std::move(source), options_.server.default_deadline);
+}
+
+std::future<std::vector<LoopSuggestion>> ReplicaSet::submit(
+    std::string source, std::chrono::milliseconds deadline) {
+  return submit_impl(std::move(source), deadline);
+}
+
+std::size_t ReplicaSet::owner_of(std::string_view source) const {
+  const Hash128 key = hash_source(source);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.owner(key.lo);
+}
+
+const Pipeline& ReplicaSet::replica_pipeline(std::size_t replica) const {
+  if (replica >= replicas_.size()) {
+    throw std::out_of_range("ReplicaSet::replica_pipeline: bad replica id");
+  }
+  return *replicas_[replica]->pipeline;  // pointer is immutable post-ctor
+}
+
+ReplicaState ReplicaSet::replica_state(std::size_t replica) const {
+  if (replica >= replicas_.size()) {
+    throw std::out_of_range("ReplicaSet::replica_state: bad replica id");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_[replica]->state;
+}
+
+void ReplicaSet::quarantine(std::size_t replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (replica >= replicas_.size()) return;
+  Replica& r = *replicas_[replica];
+  if (r.state == ReplicaState::kDead || r.state == ReplicaState::kUpdating) return;
+  r.state = ReplicaState::kQuarantined;
+  r.backoff = r.backoff.count() == 0
+                  ? options_.quarantine_backoff
+                  : std::min(r.backoff * 2, options_.quarantine_backoff_cap);
+  r.quarantined_until = Clock::now() + r.backoff;
+  r.probe_successes = 0;
+  ++r.quarantines;
+  ++counters_.quarantines;
+}
+
+void ReplicaSet::kill(std::size_t replica) {
+  SuggestServer* server = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (replica >= replicas_.size()) return;
+    Replica& r = *replicas_[replica];
+    if (r.state == ReplicaState::kDead) return;
+    r.state = ReplicaState::kDead;
+    ring_.remove(r.id);  // consistent ring: only this replica's keys move
+    server = r.server.get();
+  }
+  // Drain outside the lock: shutdown completes everything the replica had
+  // queued (values or typed errors), and the router has already stopped
+  // routing to it.
+  server->shutdown();
+}
+
+ReplicaSetStatsSnapshot ReplicaSet::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReplicaSetStatsSnapshot snapshot = counters_;
+  snapshot.replicas.clear();
+  snapshot.replicas.reserve(replicas_.size());
+  for (const auto& replica : replicas_) {
+    ReplicaSnapshot r;
+    r.id = replica->id;
+    r.state = replica->state;
+    r.routed = replica->routed;
+    r.in_flight = replica->in_flight;
+    r.faults = replica->faults;
+    r.quarantines = replica->quarantines;
+    r.error_ewma = replica->error_ewma;
+    r.latency_ewma_ms = replica->latency_ewma_ms;
+    r.server = replica->server->stats();
+    snapshot.replicas.push_back(std::move(r));
+  }
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// Routing internals. Every helper below runs with mutex_ held.
+
+/// Quarantine backoff elapsed -> probation (lazy transition at routing time).
+void ReplicaSet::refresh_state(Replica& r, Clock::time_point now) {
+  if (r.state == ReplicaState::kQuarantined && now >= r.quarantined_until) {
+    r.state = ReplicaState::kProbation;
+    r.probe_successes = 0;
+    r.probes_outstanding = 0;
+  }
+}
+
+struct ReplicaSet::RouteDecision {
+  Replica* replica = nullptr;
+  bool stolen = false;
+};
+
+void ReplicaSet::requarantine(Replica& r, Clock::time_point now) {
+  r.state = ReplicaState::kQuarantined;
+  r.backoff = r.backoff.count() == 0
+                  ? options_.quarantine_backoff
+                  : std::min(r.backoff * 2, options_.quarantine_backoff_cap);
+  r.quarantined_until = now + r.backoff;
+  r.probe_successes = 0;
+  ++r.quarantines;
+  ++counters_.quarantines;
+}
+
+void ReplicaSet::record_failure(Replica& r, Clock::time_point now) {
+  ++r.samples;
+  ++r.faults;
+  const double a = options_.health_alpha;
+  r.error_ewma = (1.0 - a) * r.error_ewma + a;
+  if (r.state == ReplicaState::kProbation) {
+    requarantine(r, now);  // a probe failed: straight back, longer backoff
+  } else if (r.state == ReplicaState::kHealthy &&
+             r.samples >= options_.breaker_min_samples &&
+             r.error_ewma > options_.breaker_error_rate) {
+    requarantine(r, now);
+  }
+}
+
+void ReplicaSet::record_success(Replica& r, double service_ms, bool probe,
+                                Clock::time_point now) {
+  ++r.samples;
+  const double a = options_.health_alpha;
+  r.error_ewma *= (1.0 - a);
+  r.latency_ewma_ms =
+      r.latency_ewma_ms == 0.0 ? service_ms : (1.0 - a) * r.latency_ewma_ms + a * service_ms;
+  if (probe && r.state == ReplicaState::kProbation) {
+    if (++r.probe_successes >= options_.probation_probes) {
+      r.state = ReplicaState::kHealthy;
+      r.error_ewma = 0.0;
+      r.samples = 0;
+      r.backoff = std::chrono::milliseconds(0);
+      ++counters_.reinstated;
+    }
+  } else if (r.state == ReplicaState::kHealthy && options_.breaker_latency.count() > 0 &&
+             r.samples >= options_.breaker_min_samples &&
+             r.latency_ewma_ms > static_cast<double>(options_.breaker_latency.count())) {
+    requarantine(r, now);  // latency trip: serving, but too slowly to trust
+  }
+}
+
+void ReplicaSet::push_latency(double total_ms) {
+  if (latency_window_.size() < kLatencyWindow) {
+    latency_window_.push_back(static_cast<float>(total_ms));
+  } else {
+    latency_window_[latency_next_ % kLatencyWindow] = static_cast<float>(total_ms);
+  }
+  ++latency_next_;
+}
+
+double ReplicaSet::hedge_threshold_ms() const {
+  const double floor_ms = static_cast<double>(options_.hedge_floor.count());
+  if (latency_window_.empty()) return floor_ms;
+  std::vector<float> sorted(latency_window_);
+  const double p = std::min(std::max(options_.hedge_percentile, 0.0), 1.0);
+  const std::size_t idx =
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  std::nth_element(sorted.begin(), sorted.begin() + static_cast<std::ptrdiff_t>(idx),
+                   sorted.end());
+  return std::max(floor_ms, static_cast<double>(sorted[idx]));
+}
+
+/// Dispatch one leg for `flight` onto the best available replica, in ring
+/// preference order: healthy first (with an optional steal swap at the
+/// front), probation replicas as probes, quarantined replicas as a last
+/// resort (a shaky answer beats none — the breaker is advisory, not a
+/// wall). Fires the `replica.route` failpoint once per attempt; an injected
+/// fault makes that replica unreachable for this dispatch (health penalty,
+/// move on). Returns the decision; .replica == nullptr when nobody accepted.
+ReplicaSet::RouteDecision ReplicaSet::dispatch(Flight& flight, FlightLeg& leg,
+                                               std::size_t exclude, bool allow_steal) {
+  RouteDecision decision;
+  const auto now = Clock::now();
+  const auto pref = ring_.preference(flight.route_key);
+
+  std::vector<std::size_t> order;
+  std::vector<std::size_t> last_resort;
+  order.reserve(pref.size());
+  for (const std::size_t id : pref) {
+    if (id == exclude) continue;
+    Replica& r = *replicas_[id];
+    refresh_state(r, now);
+    switch (r.state) {
+      case ReplicaState::kHealthy:
+        order.push_back(id);
+        break;
+      case ReplicaState::kProbation:
+        if (r.probes_outstanding < options_.probation_probes) order.push_back(id);
+        break;
+      case ReplicaState::kQuarantined:
+        last_resort.push_back(id);
+        break;
+      case ReplicaState::kUpdating:  // rollout owns it; zero-downtime invariant
+      case ReplicaState::kDead:
+        break;
+    }
+  }
+
+  bool stole = false;
+  if (allow_steal && options_.steal_depth > 0 && order.size() > 1 &&
+      replicas_[order.front()]->state == ReplicaState::kHealthy) {
+    const std::uint64_t front_depth = replicas_[order.front()]->server->queue_depth();
+    if (front_depth >= options_.steal_depth) {
+      std::size_t best = order.front();
+      std::uint64_t best_depth = front_depth;
+      for (const std::size_t id : order) {
+        Replica& r = *replicas_[id];
+        if (r.state != ReplicaState::kHealthy) continue;
+        const std::uint64_t d = r.server->queue_depth();
+        if (d < best_depth) {
+          best = id;
+          best_depth = d;
+        }
+      }
+      if (best != order.front() && best_depth + options_.steal_depth <= front_depth) {
+        order.erase(std::find(order.begin(), order.end(), best));
+        order.insert(order.begin(), best);
+        stole = true;
+      }
+    }
+  }
+  order.insert(order.end(), last_resort.begin(), last_resort.end());
+
+  for (const std::size_t id : order) {
+    Replica& r = *replicas_[id];
+    bool unreachable = false;
+    try {
+      unreachable = failpoint::triggered("replica.route");
+    } catch (const failpoint::FailpointError&) {
+      unreachable = true;
+    }
+    if (unreachable) {
+      ++counters_.route_faults;
+      record_failure(r, now);
+      continue;
+    }
+    std::chrono::milliseconds remaining{0};  // 0 = no deadline
+    if (flight.deadline != Clock::time_point::max()) {
+      remaining = std::max(
+          std::chrono::milliseconds(1),
+          std::chrono::duration_cast<std::chrono::milliseconds>(flight.deadline - now));
+    }
+    try {
+      auto token = std::make_shared<std::atomic<bool>>(false);
+      auto inner = r.server->submit(flight.source, remaining, token);
+      leg.live = true;
+      leg.replica = id;
+      leg.inner = std::move(inner);
+      leg.cancel = std::move(token);
+      leg.probe = r.state == ReplicaState::kProbation;
+      leg.dispatched = Clock::now();
+      ++r.in_flight;
+      ++r.routed;
+      if (leg.probe) {
+        ++r.probes_outstanding;
+        ++counters_.probes;
+      }
+      decision.replica = &r;
+      decision.stolen = stole && id == order.front();
+      return decision;
+    } catch (const Overloaded&) {
+      ++counters_.route_faults;  // queue refused; not a health fault
+    } catch (const ServerStopped&) {
+      ++counters_.route_faults;
+      r.state = ReplicaState::kDead;
+      ring_.remove(r.id);
+    }
+  }
+  return decision;
+}
+
+std::future<std::vector<LoopSuggestion>> ReplicaSet::submit_impl(
+    std::string source, std::chrono::milliseconds deadline) {
+  const Hash128 key = hash_source(source);
+  const auto now = Clock::now();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) throw ServerStopped("ReplicaSet: submit after shutdown");
+
+  // Shadow-traffic ring for canary diffs: distinct recent sources, bounded.
+  if (options_.shadow_capacity > 0 &&
+      std::find(recent_keys_.begin(), recent_keys_.end(), key.lo) == recent_keys_.end()) {
+    recent_keys_.push_back(key.lo);
+    recent_sources_.push_back(source);
+    if (recent_sources_.size() > options_.shadow_capacity) {
+      recent_sources_.pop_front();
+      recent_keys_.erase(recent_keys_.begin());
+    }
+  }
+
+  flights_.emplace_back();
+  Flight& flight = flights_.back();
+  flight.source = std::move(source);
+  flight.route_key = key.lo;
+  flight.home = ring_.owner(key.lo);
+  flight.enqueued = now;
+  flight.deadline =
+      deadline.count() > 0 ? now + deadline : Clock::time_point::max();
+  auto future = flight.outer.get_future();
+  ++counters_.submitted;
+
+  const RouteDecision decision = dispatch(flight, flight.primary, kNone, true);
+  if (decision.replica == nullptr) {
+    flights_.pop_back();
+    ++counters_.failed;
+    throw Overloaded("ReplicaSet: no replica could accept the request");
+  }
+  if (decision.replica->id == flight.home) {
+    ++counters_.affinity_routed;
+  } else if (decision.stolen) {
+    ++counters_.stolen;
+  } else {
+    ++counters_.rerouted;
+  }
+  lock.unlock();
+  cv_.notify_one();
+  return future;
+}
+
+void ReplicaSet::fail_outer(Flight& flight, const std::exception_ptr& error) {
+  flight.outer.set_exception(error);
+  flight.outer_done = true;
+  ++counters_.failed;
+  for (FlightLeg* leg : {&flight.primary, &flight.hedge}) {
+    if (leg->live && leg->cancel) leg->cancel->store(true, std::memory_order_release);
+  }
+}
+
+/// Poll one leg; returns true when it resolved this sweep. Runs the full
+/// completion protocol: health bookkeeping, hedge win/cancel, bounded
+/// failover, outer completion.
+bool ReplicaSet::poll_leg(Flight& flight, FlightLeg& leg, bool is_primary,
+                          Clock::time_point now) {
+  if (!leg.live) return false;
+  if (leg.inner.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    return false;
+  }
+  std::vector<LoopSuggestion> value;
+  std::exception_ptr error;
+  try {
+    value = leg.inner.get();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  leg.live = false;
+  leg.inner = {};
+  Replica& r = *replicas_[leg.replica];
+  if (r.in_flight > 0) --r.in_flight;
+  if (leg.probe && r.probes_outstanding > 0) --r.probes_outstanding;
+  const double service_ms =
+      std::chrono::duration<double, std::milli>(now - leg.dispatched).count();
+
+  if (!error) {
+    record_success(r, service_ms, leg.probe, now);
+    if (!flight.outer_done) {
+      push_latency(
+          std::chrono::duration<double, std::milli>(now - flight.enqueued).count());
+      flight.outer.set_value(std::move(value));
+      flight.outer_done = true;
+      ++counters_.completed;
+      if (!is_primary) ++counters_.hedge_wins;
+      FlightLeg& other = is_primary ? flight.hedge : flight.primary;
+      if (other.live && other.cancel) {
+        other.cancel->store(true, std::memory_order_release);
+      }
+    }
+    return true;
+  }
+
+  if (is_cancelled(error)) {
+    ++counters_.hedge_cancelled;  // the expected loser outcome; no penalty
+    return true;
+  }
+  if (!flight.first_error) flight.first_error = error;
+  bool server_stopped = false;
+  const Fault fault = classify(error, &server_stopped);
+  if (fault == Fault::kReplica) record_failure(r, now);
+  if (server_stopped && r.state != ReplicaState::kDead) {
+    r.state = ReplicaState::kDead;
+    ring_.remove(r.id);
+  }
+  if (flight.outer_done) return true;  // a loser leg failing is already moot
+
+  FlightLeg& other = is_primary ? flight.hedge : flight.primary;
+  if (other.live) return true;  // the twin may still win; judge when it lands
+
+  if (fault == Fault::kRequest) {
+    fail_outer(flight, error);
+    return true;
+  }
+  // Replica fault or overload: bounded same-request failover.
+  if (flight.failovers < options_.max_failover) {
+    if (flight.deadline != Clock::time_point::max() && flight.deadline <= now) {
+      fail_outer(flight, std::make_exception_ptr(DeadlineExceeded()));
+      return true;
+    }
+    const RouteDecision next = dispatch(flight, leg, leg.replica, false);
+    if (next.replica != nullptr) {
+      ++flight.failovers;
+      ++counters_.failovers;
+      return true;
+    }
+  }
+  fail_outer(flight, flight.first_error ? flight.first_error : error);
+  return true;
+}
+
+void ReplicaSet::maybe_hedge(Flight& flight, Clock::time_point now) {
+  if (options_.hedge_percentile <= 0.0) return;
+  if (flight.hedge_attempted || flight.outer_done) return;
+  if (!flight.primary.live || flight.hedge.live) return;
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(now - flight.primary.dispatched).count();
+  if (waited_ms < hedge_threshold_ms()) return;
+  flight.hedge_attempted = true;  // one hedge per request, win or lose
+  const RouteDecision decision =
+      dispatch(flight, flight.hedge, flight.primary.replica, false);
+  if (decision.replica != nullptr) ++counters_.hedges;
+}
+
+void ReplicaSet::router_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (flights_.empty()) {
+      if (stopping_) return;
+      cv_.wait(lock, [this] { return stopping_ || !flights_.empty(); });
+      continue;
+    }
+    cv_.wait_for(lock, options_.poll_interval);
+    const auto now = Clock::now();
+    bool resolved = false;
+    for (auto it = flights_.begin(); it != flights_.end();) {
+      Flight& flight = *it;
+      resolved |= poll_leg(flight, flight.primary, true, now);
+      resolved |= poll_leg(flight, flight.hedge, false, now);
+      maybe_hedge(flight, now);
+      if (flight.outer_done && !flight.primary.live && !flight.hedge.live) {
+        it = flights_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (resolved) drained_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rollout.
+
+RolloutReport ReplicaSet::rollout(const std::string& model_path) {
+  return rollout(model_path, {});
+}
+
+RolloutReport ReplicaSet::rollout(const std::string& model_path,
+                                  std::span<const std::string> shadow_sources) {
+  RolloutReport report;
+  std::vector<std::string> shadow(shadow_sources.begin(), shadow_sources.end());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) {
+    report.reason = "replica set is shutting down";
+    return report;
+  }
+  ++counters_.rollouts;
+  if (shadow.empty()) {
+    shadow.assign(recent_sources_.begin(), recent_sources_.end());
+  }
+
+  // Canary: first healthy replica. Reference: the next healthy one, which
+  // keeps serving the old generation while the canary is diffed against it.
+  std::size_t canary_id = kNone;
+  std::size_t reference_id = kNone;
+  for (const auto& replica : replicas_) {
+    if (replica->state != ReplicaState::kHealthy) continue;
+    if (canary_id == kNone) {
+      canary_id = replica->id;
+    } else {
+      reference_id = replica->id;
+      break;
+    }
+  }
+  if (canary_id == kNone) {
+    report.reason = "no healthy replica to canary";
+    return report;
+  }
+  report.canary = canary_id;
+
+  // Undo log: (replica, pre-load snapshot) for every replica we load, so a
+  // mid-rollout failure restores the old generation everywhere.
+  std::vector<std::pair<std::size_t, std::string>> undo;
+
+  // Take a replica out of rotation and wait for its in-flight legs to
+  // resolve; new traffic already routes elsewhere. Lock held throughout
+  // (the router resolves legs under the same lock and signals drained_).
+  const auto drain = [&](std::size_t id) -> bool {
+    Replica& r = *replicas_[id];
+    r.state = ReplicaState::kUpdating;
+    const auto deadline = Clock::now() + options_.rollout_drain;
+    while (r.in_flight > 0) {
+      if (drained_.wait_until(lock, deadline) == std::cv_status::timeout &&
+          r.in_flight > 0 && Clock::now() >= deadline) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // Load the new generation into one (drained, out-of-rotation) replica.
+  // IO runs unlocked; serving elsewhere never stalls on it.
+  const auto load_one = [&](std::size_t id) -> bool {
+    Replica& r = *replicas_[id];
+    lock.unlock();
+    std::string snapshot = r.pipeline->snapshot_weights();
+    bool injected = false;
+    try {
+      injected = failpoint::triggered("replica.rollout");
+    } catch (const failpoint::FailpointError&) {
+      injected = true;
+    }
+    const bool ok = !injected && r.pipeline->load_weights(model_path);
+    lock.lock();
+    if (ok) undo.emplace_back(id, std::move(snapshot));
+    return ok;
+  };
+
+  // Restore every loaded replica from its snapshot, one at a time, each
+  // drained out of rotation first (the restore must not race its forwards).
+  const auto rollback_all = [&](std::string why) {
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      Replica& r = *replicas_[it->first];
+      r.state = ReplicaState::kUpdating;
+      const auto deadline = Clock::now() + options_.rollout_drain;
+      while (r.in_flight > 0 && Clock::now() < deadline) {
+        drained_.wait_until(lock, deadline);
+      }
+      lock.unlock();
+      (void)r.pipeline->restore_weights(it->second);
+      lock.lock();
+      r.state = ReplicaState::kHealthy;
+    }
+    ++counters_.rollouts_rolled_back;
+    report.rolled_back = true;
+    report.reason = std::move(why);
+    report.promoted = 0;
+  };
+
+  if (!drain(canary_id)) {
+    replicas_[canary_id]->state = ReplicaState::kHealthy;
+    report.reason = "canary drain timed out; nothing was loaded";
+    return report;
+  }
+  if (!load_one(canary_id)) {
+    // Staged load: the canary still holds (and resumes serving) the old
+    // generation; its stamp bump only invalidated cached results.
+    replicas_[canary_id]->state = ReplicaState::kHealthy;
+    ++counters_.rollouts_rolled_back;
+    report.rolled_back = true;
+    report.reason = "canary checkpoint load failed";
+    return report;
+  }
+
+  // Canary diff: new generation (canary, out of rotation) vs old generation
+  // (reference, still serving) on shadow traffic. Any exception from the
+  // new weights is a health regression and counts as a mismatch.
+  bool regression = false;
+  if (reference_id != kNone && !shadow.empty()) {
+    Pipeline& fresh = *replicas_[canary_id]->pipeline;
+    Pipeline& old = *replicas_[reference_id]->pipeline;
+    lock.unlock();
+    std::size_t diffed = 0;
+    std::size_t mismatched = 0;
+    for (const std::string& src : shadow) {
+      ++diffed;
+      try {
+        if (!same_decisions(old.suggest(src), fresh.suggest(src))) ++mismatched;
+      } catch (...) {
+        ++mismatched;
+        regression = true;
+      }
+    }
+    lock.lock();
+    report.diffed = diffed;
+    report.mismatched = mismatched;
+  }
+  if (regression ||
+      (report.diffed > 0 &&
+       static_cast<double>(report.mismatched) >
+           options_.canary_max_mismatch * static_cast<double>(report.diffed))) {
+    rollback_all(regression ? "canary health regression on shadow traffic"
+                            : "canary suggestion mismatch above threshold");
+    return report;
+  }
+
+  // Canary accepted: it rejoins rotation on the new generation, and the
+  // rest of the fleet follows one replica at a time.
+  replicas_[canary_id]->state = ReplicaState::kHealthy;
+  report.promoted = 1;
+  for (const auto& replica : replicas_) {
+    const std::size_t id = replica->id;
+    if (id == canary_id) continue;
+    Replica& r = *replicas_[id];
+    if (r.state == ReplicaState::kDead || r.state == ReplicaState::kUpdating) continue;
+    if (!drain(id)) {
+      r.state = ReplicaState::kHealthy;
+      rollback_all("promotion drain timed out at replica " + std::to_string(id));
+      return report;
+    }
+    if (!load_one(id)) {
+      r.state = ReplicaState::kHealthy;
+      rollback_all("promotion checkpoint load failed at replica " + std::to_string(id));
+      return report;
+    }
+    // Promotion wipes the breaker slate: the new generation earns its own
+    // health record.
+    r.state = ReplicaState::kHealthy;
+    r.error_ewma = 0.0;
+    r.latency_ewma_ms = 0.0;
+    r.samples = 0;
+    r.backoff = std::chrono::milliseconds(0);
+    ++report.promoted;
+  }
+  ++counters_.rollouts_promoted;
+  ++counters_.generation;
+  report.ok = true;
+  return report;
+}
+
+}  // namespace g2p

@@ -1,0 +1,369 @@
+// Replicated serving: N pipelines behind one submit surface.
+//
+// One SuggestServer (serve/server.h) is one replica — one cache, one pool,
+// one crash domain. A ReplicaSet clones a prototype Pipeline N times (each
+// clone is bitwise weight-identical but owns a fresh cache and pool, so
+// replicas answer identically and fail independently) and routes submitted
+// sources across them:
+//
+//  - Affinity routing: the route key is the normalized source hash
+//    (support/hash.h — the serving cache's own key), placed on a consistent
+//    hash ring with virtual nodes. Repeat traffic for a source lands on the
+//    replica whose SuggestCache is already warm; adding or removing a
+//    replica moves only the keys that ring segment owned.
+//  - Health gating: each replica carries an error-rate EWMA and a latency
+//    EWMA. Tripping the breaker quarantines the replica (routing skips it)
+//    for a doubling backoff; after the backoff it stands in probation,
+//    where a bounded number of live probe requests decide — K consecutive
+//    successes reinstate it, any failure re-quarantines with a longer
+//    backoff.
+//  - Failover: a request whose replica fails it with a *replica-attributable*
+//    fault (injected fault, abandoned batch, stopped server) is re-dispatched
+//    to the next replica in ring order, at most `max_failover` times. Content
+//    errors (a source that does not parse) and expired deadlines are
+//    properties of the request and never fail over.
+//  - Hedging (optional): a request still unanswered after the observed
+//    latency percentile is duplicated onto a second replica; the first
+//    result wins and the loser is cancelled at its server's next batch
+//    boundary (SuggestServer::CancelToken).
+//  - Work stealing: when the affinity replica's queue is `steal_depth`
+//    deeper than the shallowest healthy replica's, admission routes there
+//    instead — trading cache warmth for queue balance under skew.
+//
+// Zero-downtime rollout: `rollout(path)` loads a new checkpoint generation
+// replica by replica. The first healthy replica becomes the canary: it is
+// taken out of rotation, drained, snapshotted in memory, and loaded; its
+// new-generation suggestions are then diffed against an old-generation
+// replica on recent live traffic (or caller-provided shadow sources). A
+// mismatch fraction above `canary_max_mismatch`, a load failure, or a
+// health regression rolls the canary back from its snapshot — clients never
+// see the bad generation, and no in-flight future fails, because routing
+// always avoids the replica being updated. A clean canary promotes the
+// remaining replicas one at a time the same way (any failure unwinds every
+// replica already promoted). Pipeline::load_weights' stamp machinery keeps
+// stale cached results unservable throughout.
+//
+// Failpoints (support/failpoint.h): `replica.route` makes a dispatch
+// attempt behave as if the chosen replica were unreachable (health penalty
+// + reroute); `replica.rollout` fails a per-replica rollout load (canary
+// rollback / promotion unwind). docs/serving.md tells the full story.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "serve/server.h"
+
+namespace g2p {
+
+/// Consistent hash ring with virtual nodes. Each replica contributes
+/// `vnodes` pseudo-random points; a key is owned by the first point at or
+/// after it (wrapping). The property the replica layer leans on: adding a
+/// replica moves keys only *to* it, removing one moves only the keys it
+/// owned — every other key keeps its owner, so caches stay warm across
+/// membership changes.
+class ConsistentRing {
+ public:
+  ConsistentRing() = default;
+  ConsistentRing(std::size_t replicas, std::size_t vnodes) : vnodes_(vnodes ? vnodes : 1) {
+    for (std::size_t r = 0; r < replicas; ++r) add(r);
+  }
+
+  void add(std::size_t replica) {
+    points_.reserve(points_.size() + vnodes_);
+    for (std::size_t v = 0; v < vnodes_; ++v) {
+      points_.emplace_back(point(replica, v), replica);
+    }
+    std::sort(points_.begin(), points_.end());
+  }
+
+  void remove(std::size_t replica) {
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [replica](const auto& p) { return p.second == replica; }),
+                  points_.end());
+  }
+
+  bool empty() const { return points_.empty(); }
+
+  std::size_t owner(std::uint64_t key) const {
+    if (points_.empty()) return 0;
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               std::make_pair(key, std::size_t{0}));
+    if (it == points_.end()) it = points_.begin();
+    return it->second;
+  }
+
+  /// Distinct replicas in ring order starting at the key's owner — the
+  /// failover/reroute order for that key.
+  std::vector<std::size_t> preference(std::uint64_t key) const {
+    std::vector<std::size_t> out;
+    if (points_.empty()) return out;
+    auto it = std::lower_bound(points_.begin(), points_.end(),
+                               std::make_pair(key, std::size_t{0}));
+    if (it == points_.end()) it = points_.begin();
+    const std::size_t start = static_cast<std::size_t>(it - points_.begin());
+    for (std::size_t i = 0; i < points_.size(); ++i) {
+      const std::size_t r = points_[(start + i) % points_.size()].second;
+      if (std::find(out.begin(), out.end(), r) == out.end()) out.push_back(r);
+    }
+    return out;
+  }
+
+ private:
+  /// splitmix64 finalizer — the same decision-stream mixer the failpoint
+  /// layer uses; replica/vnode points spread uniformly over u64 space.
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+  static std::uint64_t point(std::size_t replica, std::size_t vnode) {
+    return mix(mix(static_cast<std::uint64_t>(replica) + 1) +
+               static_cast<std::uint64_t>(vnode));
+  }
+
+  std::size_t vnodes_ = 64;
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;  // sorted
+};
+
+/// Health state of one replica, as routing sees it.
+enum class ReplicaState : int {
+  kHealthy = 0,      // in rotation
+  kProbation = 1,    // quarantine backoff elapsed; limited live probes decide
+  kQuarantined = 2,  // breaker tripped; routing skips until backoff elapses
+  kUpdating = 3,     // out of rotation for a rollout load
+  kDead = 4,         // killed/stopped; never routed again
+};
+
+inline const char* replica_state_name(ReplicaState s) {
+  switch (s) {
+    case ReplicaState::kHealthy: return "healthy";
+    case ReplicaState::kProbation: return "probation";
+    case ReplicaState::kQuarantined: return "quarantined";
+    case ReplicaState::kUpdating: return "updating";
+    case ReplicaState::kDead: return "dead";
+  }
+  return "unknown";
+}
+
+/// Point-in-time view of one replica.
+struct ReplicaSnapshot {
+  std::size_t id = 0;
+  ReplicaState state = ReplicaState::kHealthy;
+  std::uint64_t routed = 0;      // dispatches admitted to this replica
+  std::uint64_t in_flight = 0;   // legs currently outstanding
+  std::uint64_t faults = 0;      // replica-attributable failures observed
+  std::uint64_t quarantines = 0;
+  double error_ewma = 0.0;
+  double latency_ewma_ms = 0.0;
+  ServerStatsSnapshot server;    // the replica's own server counters
+};
+
+/// Point-in-time view of the set. Leg-level counters (hedges, failovers)
+/// count dispatches, not requests; `submitted`/`completed`/`failed` count
+/// client-visible outer futures.
+struct ReplicaSetStatsSnapshot {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t affinity_routed = 0;  // dispatched to the ring owner
+  std::uint64_t stolen = 0;           // admission steals (queue imbalance)
+  std::uint64_t rerouted = 0;         // owner skipped (unhealthy/unreachable)
+  std::uint64_t failovers = 0;        // same-request re-dispatches after faults
+  std::uint64_t route_faults = 0;     // replica.route injections + dispatch refusals
+  std::uint64_t hedges = 0;           // duplicate legs dispatched
+  std::uint64_t hedge_wins = 0;       // hedge leg answered first
+  std::uint64_t hedge_cancelled = 0;  // loser legs that came back cancelled
+  std::uint64_t quarantines = 0;
+  std::uint64_t reinstated = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t rollouts = 0;
+  std::uint64_t rollouts_promoted = 0;
+  std::uint64_t rollouts_rolled_back = 0;
+  std::uint64_t generation = 1;  // checkpoint generation the fleet serves
+  std::vector<ReplicaSnapshot> replicas;
+};
+
+/// Outcome of one `ReplicaSet::rollout` call.
+struct RolloutReport {
+  bool ok = false;           // every replica serves the new generation
+  bool rolled_back = false;  // the old generation was restored everywhere
+  std::string reason;        // human-readable cause when !ok
+  std::size_t canary = 0;    // replica id that took the canary load
+  std::size_t promoted = 0;  // replicas serving the new generation on return
+  std::size_t diffed = 0;    // shadow sources compared old-vs-new
+  std::size_t mismatched = 0;
+  double mismatch_rate() const {
+    return diffed == 0 ? 0.0
+                       : static_cast<double>(mismatched) / static_cast<double>(diffed);
+  }
+};
+
+class ReplicaSet {
+ public:
+  struct Options {
+    /// Replica count. 0 resolves the G2P_REPLICAS env var (read once, at
+    /// construction), falling back to 2. Clamped to at least 1.
+    std::size_t replicas = 0;
+    /// Per-replica server options. shed_at is clamped to <= 1.0 so inner
+    /// submits refuse (typed, reroutable) instead of blocking the router.
+    SuggestServer::Options server;
+    /// Virtual nodes per replica on the consistent ring.
+    std::size_t vnodes = 64;
+    /// Work stealing: when the affinity replica's queue is this much deeper
+    /// than the shallowest healthy replica's (and at least this deep),
+    /// admission routes to the shallow one. 0 disables stealing.
+    std::size_t steal_depth = 8;
+
+    /// Circuit breaker. A replica whose failure-rate EWMA exceeds
+    /// `breaker_error_rate` (after `breaker_min_samples` observations), or
+    /// whose success-latency EWMA exceeds `breaker_latency` (> 0 enables
+    /// the latency trip), is quarantined for `quarantine_backoff`, doubled
+    /// on each re-trip up to `quarantine_backoff_cap`. After the backoff it
+    /// enters probation: `probation_probes` consecutive live-probe
+    /// successes reinstate it, any probe failure re-quarantines.
+    double breaker_error_rate = 0.5;
+    std::chrono::milliseconds breaker_latency{0};
+    double health_alpha = 0.2;  // EWMA smoothing for both signals
+    std::uint32_t breaker_min_samples = 8;
+    std::chrono::milliseconds quarantine_backoff{250};
+    std::chrono::milliseconds quarantine_backoff_cap{5000};
+    int probation_probes = 3;
+
+    /// Bounded same-request failover: how many times one request may be
+    /// re-dispatched after replica-attributable faults.
+    int max_failover = 2;
+    /// Hedged requests: > 0 enables. A request still unanswered after this
+    /// percentile of recently observed end-to-end latencies (never below
+    /// `hedge_floor`) is duplicated onto a second replica; first result
+    /// wins, the loser is cancelled at a batch boundary.
+    double hedge_percentile = 0.0;
+    std::chrono::milliseconds hedge_floor{10};
+
+    /// Completion-poll cadence of the router thread.
+    std::chrono::microseconds poll_interval{200};
+    /// Rollout: max wait for a replica's in-flight legs to drain before the
+    /// rollout aborts (nothing is loaded into a busy replica).
+    std::chrono::milliseconds rollout_drain{5000};
+    /// Canary gate: mismatch fraction (old-vs-new suggestion diff on shadow
+    /// traffic) above which the canary rolls back.
+    double canary_max_mismatch = 0.25;
+    /// How many recent distinct live sources to retain as shadow traffic
+    /// for canary diffs when the caller provides none.
+    std::size_t shadow_capacity = 64;
+  };
+
+  /// Clones `prototype` into `Options::replicas` weight-identical replicas,
+  /// each behind its own SuggestServer. The prototype itself is not
+  /// enrolled and stays caller-owned (handy as a clean reference).
+  ReplicaSet(const Pipeline& prototype, Options options);
+  explicit ReplicaSet(const Pipeline& prototype) : ReplicaSet(prototype, Options{}) {}
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  /// Drains in-flight requests, shuts every replica down, joins.
+  ~ReplicaSet();
+
+  /// Submit one translation unit. Routing, health gating, failover, and
+  /// hedging are transparent: the returned future completes with the
+  /// suggestions or one typed error (serve/errors.h), never hangs. Throws
+  /// ServerStopped after shutdown and Overloaded when no replica can accept
+  /// the request at all.
+  std::future<std::vector<LoopSuggestion>> submit(std::string source);
+  std::future<std::vector<LoopSuggestion>> submit(std::string source,
+                                                  std::chrono::milliseconds deadline);
+
+  /// Stop accepting requests, drain in-flight work, shut replicas down.
+  /// Idempotent.
+  void shutdown();
+
+  /// Zero-downtime checkpoint rollout (header comment has the protocol).
+  /// With no shadow sources, recent live traffic recorded at admission is
+  /// used for the canary diff; a cold set diffs nothing and promotes on
+  /// load success alone.
+  RolloutReport rollout(const std::string& model_path);
+  RolloutReport rollout(const std::string& model_path,
+                        std::span<const std::string> shadow_sources);
+
+  /// Administrative overrides (chaos tooling, ops):
+  /// Trip the breaker now — quarantine with the standard backoff/probation
+  /// cycle.
+  void quarantine(std::size_t replica);
+  /// Remove the replica permanently and shut its server down (drains; its
+  /// queued work completes). Routing never returns to it.
+  void kill(std::size_t replica);
+
+  ReplicaSetStatsSnapshot stats() const;
+  std::size_t replica_count() const { return replica_ids_.size(); }
+  /// Ring owner for a source — what affinity routing would pick when every
+  /// replica is healthy (tests, bench).
+  std::size_t owner_of(std::string_view source) const;
+  const Pipeline& replica_pipeline(std::size_t replica) const;
+  ReplicaState replica_state(std::size_t replica) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Replica;    // defined in replica_set.cpp
+  struct FlightLeg;  // one dispatch of a flight onto one replica
+  struct Flight;     // one outer request; up to two legs (primary + hedge)
+  struct RouteDecision;
+
+  std::future<std::vector<LoopSuggestion>> submit_impl(std::string source,
+                                                       std::chrono::milliseconds deadline);
+  void router_loop();
+  /// All helpers below run with mutex_ held.
+  static void refresh_state(Replica& r, Clock::time_point now);
+  void requarantine(Replica& r, Clock::time_point now);
+  void record_failure(Replica& r, Clock::time_point now);
+  void record_success(Replica& r, double service_ms, bool probe, Clock::time_point now);
+  void push_latency(double total_ms);
+  double hedge_threshold_ms() const;
+  RouteDecision dispatch(Flight& flight, FlightLeg& leg, std::size_t exclude,
+                         bool allow_steal);
+  void fail_outer(Flight& flight, const std::exception_ptr& error);
+  bool poll_leg(Flight& flight, FlightLeg& leg, bool is_primary, Clock::time_point now);
+  void maybe_hedge(Flight& flight, Clock::time_point now);
+
+  Options options_;
+  ConsistentRing ring_;
+  std::vector<std::size_t> replica_ids_;  // stable 0..N-1 (kept for count)
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;       // router wake: new flight / stop
+  std::condition_variable drained_;  // rollout waits: legs resolved
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::list<Flight> flights_;
+  bool stopping_ = false;
+  std::once_flag joined_;
+
+  // Shadow-traffic ring for canary diffs (guarded by mutex_).
+  std::deque<std::string> recent_sources_;
+  std::vector<std::uint64_t> recent_keys_;
+
+  // Recent end-to-end success latencies (ms) for the hedge percentile.
+  std::vector<float> latency_window_;
+  std::size_t latency_next_ = 0;
+
+  // Set-level counters (guarded by mutex_; snapshot() copies under lock).
+  ReplicaSetStatsSnapshot counters_;
+
+  std::thread router_;  // last member: joined before the rest tears down
+};
+
+}  // namespace g2p

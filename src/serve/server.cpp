@@ -50,21 +50,33 @@ struct SuggestServer::Batch {
 
   std::vector<std::unique_ptr<Item>> items;
   DegradeMode mode = DegradeMode::kNormal;
+  /// Popped while the server was draining for shutdown: degraded-mode
+  /// misses in this batch fail with ServerStopped, not Overloaded — the
+  /// request is being dropped because the server is going away, not to
+  /// protect it from load.
+  bool stopping = false;
 
   static bool complete_value(Item& item, std::vector<LoopSuggestion> value,
-                             ServerStats& stats) {
+                             ServerStats& stats,
+                             void (ServerStats::*extra)() = nullptr) {
     if (item.completed.exchange(true, std::memory_order_acq_rel)) return false;
     // Count first, complete second: a client that sees its future ready
-    // must also see the stats already include it.
+    // must also see the stats already include it. That covers `extra` too —
+    // outcome-specific counters (shed, expired, retry_recovered, ...) land
+    // before the promise, or a test reading stats right after .get()
+    // observes the future resolved but the tally still in flight.
     stats.on_done(true, latency_us(item.req.enqueued, Clock::now()));
+    if (extra) (stats.*extra)();
     item.req.promise.set_value(std::move(value));
     return true;
   }
 
   static bool complete_error(Item& item, const std::exception_ptr& error,
-                             ServerStats& stats) {
+                             ServerStats& stats,
+                             void (ServerStats::*extra)() = nullptr) {
     if (item.completed.exchange(true, std::memory_order_acq_rel)) return false;
     stats.on_done(false, latency_us(item.req.enqueued, Clock::now()));
+    if (extra) (stats.*extra)();
     item.req.promise.set_exception(error);
     return true;
   }
@@ -144,17 +156,24 @@ void SuggestServer::RunCtx::run(Batch& batch) const {
   };
 
   while (!active.empty()) {
-    // Per-attempt deadline sweep: the batch may have waited in the handoff,
-    // or the previous attempt's backoff may have consumed a budget.
+    // Per-attempt deadline/cancellation sweep: the batch may have waited in
+    // the handoff, the previous attempt's backoff may have consumed a
+    // budget, or a hedging submitter may have cancelled its duplicate. This
+    // is the "batch boundary" where cancellation takes effect — a cancelled
+    // request never occupies a slot of the batched forward below.
     {
       const auto now = Clock::now();
       std::exception_ptr expired_error;
+      std::exception_ptr cancelled_error;
       std::vector<Batch::Item*> live;
       live.reserve(active.size());
       for (Batch::Item* item : active) {
-        if (item->req.deadline <= now) {
+        if (item->req.cancel && item->req.cancel->load(std::memory_order_acquire)) {
+          if (!cancelled_error) cancelled_error = std::make_exception_ptr(RequestCancelled());
+          Batch::complete_error(*item, cancelled_error, *stats, &ServerStats::on_cancelled);
+        } else if (item->req.deadline <= now) {
           if (!expired_error) expired_error = std::make_exception_ptr(DeadlineExceeded());
-          if (Batch::complete_error(*item, expired_error, *stats)) stats->on_expired();
+          Batch::complete_error(*item, expired_error, *stats, &ServerStats::on_expired);
         } else {
           live.push_back(item);
         }
@@ -234,9 +253,8 @@ void SuggestServer::RunCtx::run(Batch& batch) const {
         const bool last_taker = --takers_left[slot_of[i]] == 0;
         std::vector<LoopSuggestion> value =
             last_taker ? std::move(result.suggestions) : result.suggestions;
-        if (Batch::complete_value(*active[i], std::move(value), *stats) && retried) {
-          stats->on_retry_recovered();
-        }
+        Batch::complete_value(*active[i], std::move(value), *stats,
+                              retried ? &ServerStats::on_retry_recovered : nullptr);
       } else if (can_retry && is_transient(result.error)) {
         faulted.emplace_back(active[i], result.error);
       } else {
@@ -276,6 +294,8 @@ SuggestServer::SuggestServer(std::shared_ptr<Pipeline> pipeline, Options options
 
 SuggestServer::~SuggestServer() { shutdown(); }
 
+std::uint64_t SuggestServer::queue_depth() const { return stats_->depth(); }
+
 ServerStatsSnapshot SuggestServer::stats() const {
   ServerStatsSnapshot snapshot = stats_->snapshot();
   snapshot.precision = precision_name(pipeline_->active_precision());
@@ -289,11 +309,12 @@ ServerStatsSnapshot SuggestServer::stats() const {
 }
 
 std::future<std::vector<LoopSuggestion>> SuggestServer::enqueue_locked(
-    std::string source, Clock::time_point deadline) {
+    std::string source, Clock::time_point deadline, CancelToken cancel) {
   Request req;
   req.source = std::move(source);
   req.enqueued = Clock::now();
   req.deadline = deadline;
+  req.cancel = std::move(cancel);
   auto future = req.promise.get_future();
   queue_.push_back(std::move(req));
   stats_->on_submit();
@@ -302,16 +323,21 @@ std::future<std::vector<LoopSuggestion>> SuggestServer::enqueue_locked(
 }
 
 std::future<std::vector<LoopSuggestion>> SuggestServer::submit(std::string source) {
-  return submit_impl(std::move(source), options_.default_deadline);
+  return submit_impl(std::move(source), options_.default_deadline, nullptr);
 }
 
 std::future<std::vector<LoopSuggestion>> SuggestServer::submit(
     std::string source, std::chrono::milliseconds deadline) {
-  return submit_impl(std::move(source), deadline);
+  return submit_impl(std::move(source), deadline, nullptr);
+}
+
+std::future<std::vector<LoopSuggestion>> SuggestServer::submit(
+    std::string source, std::chrono::milliseconds deadline, CancelToken cancel) {
+  return submit_impl(std::move(source), deadline, std::move(cancel));
 }
 
 std::future<std::vector<LoopSuggestion>> SuggestServer::submit_impl(
-    std::string source, std::chrono::milliseconds deadline) {
+    std::string source, std::chrono::milliseconds deadline, CancelToken cancel) {
   const auto absolute =
       deadline.count() > 0 ? Clock::now() + deadline : Clock::time_point::max();
   std::unique_lock<std::mutex> lock(mutex_);
@@ -326,7 +352,7 @@ std::future<std::vector<LoopSuggestion>> SuggestServer::submit_impl(
   space_cv_.wait(lock,
                  [this] { return stopping_ || queue_.size() < options_.max_queue_depth; });
   if (stopping_) throw ServerStopped("SuggestServer: submit after shutdown");
-  auto future = enqueue_locked(std::move(source), absolute);
+  auto future = enqueue_locked(std::move(source), absolute, std::move(cancel));
   lock.unlock();
   queue_cv_.notify_one();
   return future;
@@ -352,7 +378,7 @@ std::optional<std::future<std::vector<LoopSuggestion>>> SuggestServer::try_submi
     stats_->on_shed();
     return std::nullopt;
   }
-  auto future = enqueue_locked(std::move(source), absolute);
+  auto future = enqueue_locked(std::move(source), absolute, nullptr);
   lock.unlock();
   queue_cv_.notify_one();
   return future;
@@ -440,6 +466,7 @@ std::shared_ptr<SuggestServer::Batch> SuggestServer::collect_batch() {
   const std::size_t take = std::min(queue_.size(), options_.max_batch_loops);
   auto batch = std::make_shared<Batch>();
   batch->mode = mode_;
+  batch->stopping = stopping_;
   batch->items.reserve(take);
   for (std::size_t i = 0; i < take; ++i) {
     auto item = std::make_unique<Batch::Item>();
@@ -453,17 +480,31 @@ std::shared_ptr<SuggestServer::Batch> SuggestServer::collect_batch() {
 
 void SuggestServer::expel_expired(Batch& batch) {
   const auto now = Clock::now();
-  std::exception_ptr error;
+  std::exception_ptr expired_error;
+  std::exception_ptr cancelled_error;
   for (auto& item : batch.items) {
     if (item->completed.load(std::memory_order_relaxed)) continue;
+    if (item->req.cancel && item->req.cancel->load(std::memory_order_acquire)) {
+      if (!cancelled_error) cancelled_error = std::make_exception_ptr(RequestCancelled());
+      Batch::complete_error(*item, cancelled_error, *stats_, &ServerStats::on_cancelled);
+      continue;
+    }
     if (item->req.deadline > now) continue;
-    if (!error) error = std::make_exception_ptr(DeadlineExceeded());
-    if (Batch::complete_error(*item, error, *stats_)) stats_->on_expired();
+    if (!expired_error) expired_error = std::make_exception_ptr(DeadlineExceeded());
+    Batch::complete_error(*item, expired_error, *stats_, &ServerStats::on_expired);
   }
 }
 
 void SuggestServer::serve_degraded(Batch& batch) {
-  const auto overloaded = std::make_exception_ptr(Overloaded());
+  // Shutdown drain: a degraded server going away is not shedding for load
+  // protection — misses complete typed with ServerStopped (a client that
+  // sees it re-resolves to another replica) and are counted stopped, not
+  // shed. Outside shutdown the classic Overloaded/shed contract holds.
+  const auto unserved =
+      batch.stopping
+          ? std::make_exception_ptr(
+                ServerStopped("SuggestServer: stopped while degraded; request not served"))
+          : std::make_exception_ptr(Overloaded());
   for (auto& item : batch.items) {
     if (item->completed.load(std::memory_order_relaxed)) continue;
     if (batch.mode == DegradeMode::kCacheOnly) {
@@ -471,13 +512,13 @@ void SuggestServer::serve_degraded(Batch& batch) {
       // drain the queue; misses are shed rather than queued behind a
       // saturated model.
       if (auto hit = pipeline_->try_cached(item->req.source)) {
-        if (Batch::complete_value(*item, std::move(*hit), *stats_)) {
-          stats_->on_cache_only();
-        }
+        Batch::complete_value(*item, std::move(*hit), *stats_, &ServerStats::on_cache_only);
         continue;
       }
     }
-    if (Batch::complete_error(*item, overloaded, *stats_)) stats_->on_shed();
+    Batch::complete_error(*item, unserved, *stats_,
+                          batch.stopping ? &ServerStats::on_stopped_unserved
+                                         : &ServerStats::on_shed);
   }
 }
 
@@ -531,9 +572,11 @@ bool SuggestServer::dispatch_and_wait(const std::shared_ptr<Batch>& batch) {
   serve_worker_.detach();
   spawn_serve_worker();
 
+  // Batch-level tally before any future resolves, for the same
+  // stats-then-promise ordering complete_error gives per-item counters.
+  stats_->on_watchdog();
   const auto error = std::make_exception_ptr(BatchAbandoned());
   for (auto& item : batch->items) Batch::complete_error(*item, error, *stats_);
-  stats_->on_watchdog();
   return false;
 }
 

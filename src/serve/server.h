@@ -41,9 +41,19 @@
 //
 // Shutdown is graceful: `shutdown()` (and the destructor) stops accepting
 // new work, serves everything already queued, then joins the scheduler.
-// Submitters blocked on backpressure wake and observe ServerStopped.
+// Submitters blocked on backpressure wake and observe ServerStopped. A
+// server that is *degraded* while draining still completes every queued
+// future: cache hits are served, misses fail typed with ServerStopped —
+// never silently counted as shed.
+//
+// One SuggestServer is one replica. Replicated serving — consistent-hash
+// routing across N pipelines, health-gated failover, hedged requests, and
+// zero-downtime checkpoint rollout — lives one layer up in
+// serve/replica_set.h, which drives this class through `submit`'s
+// cancel-token overload.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -65,6 +75,14 @@ namespace g2p {
 
 class SuggestServer {
  public:
+  /// Cooperative cancellation handle, shared between a submitter and the
+  /// scheduler. Setting it asks the server to complete the request with
+  /// RequestCancelled at the next batch boundary; a request already inside
+  /// a running forward completes normally (the submitter discards the
+  /// value). Null means not cancellable.
+  using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+
   struct Options {
     /// Batch-closing thresholds: serve once this many requests are queued
     /// (each request is one translation unit whose loops join the batched
@@ -147,6 +165,13 @@ class SuggestServer {
   /// completes with DeadlineExceeded instead of waiting forever.
   std::future<std::vector<LoopSuggestion>> submit(std::string source,
                                                   std::chrono::milliseconds deadline);
+  /// Same, with a cancellation token (see CancelToken). The replica layer
+  /// hedges a straggler onto a second replica and cancels the loser through
+  /// this: cancellation is swept at batch boundaries, so a cancelled
+  /// request never occupies a slot of the batched forward.
+  std::future<std::vector<LoopSuggestion>> submit(std::string source,
+                                                  std::chrono::milliseconds deadline,
+                                                  CancelToken cancel);
 
   /// Non-blocking submit: nullopt when the queue is full, the shed rung is
   /// active, or the server is shutting down (load shedding, never blocks).
@@ -162,7 +187,11 @@ class SuggestServer {
   /// Queue/batch/latency counters plus the pipeline's serving-cache
   /// counters (hit tiers, frontend time saved), merged into one snapshot.
   ServerStatsSnapshot stats() const;
+  /// Instantaneous queue depth — a couple of relaxed loads, cheap enough
+  /// for the replica router to poll on every dispatch (work stealing).
+  std::uint64_t queue_depth() const;
   const Pipeline& pipeline() const { return *pipeline_; }
+  const std::shared_ptr<Pipeline>& shared_pipeline() const { return pipeline_; }
   const Options& options() const { return options_; }
 
  private:
@@ -173,6 +202,7 @@ class SuggestServer {
     std::promise<std::vector<LoopSuggestion>> promise;
     Clock::time_point enqueued;
     Clock::time_point deadline;  // Clock::time_point::max() = none
+    CancelToken cancel;          // null = not cancellable
   };
 
   // Defined in server.cpp. Batch items carry a per-request completion flag
@@ -185,17 +215,20 @@ class SuggestServer {
   struct RunCtx;
 
   std::future<std::vector<LoopSuggestion>> submit_impl(std::string source,
-                                                       std::chrono::milliseconds deadline);
+                                                       std::chrono::milliseconds deadline,
+                                                       CancelToken cancel);
   std::optional<std::future<std::vector<LoopSuggestion>>> try_submit_impl(
       std::string source, std::chrono::milliseconds deadline);
   std::future<std::vector<LoopSuggestion>> enqueue_locked(std::string source,
-                                                          Clock::time_point deadline);
+                                                          Clock::time_point deadline,
+                                                          CancelToken cancel);
 
   void scheduler_loop();
   /// Wait for work, hold the batching window (degradation-aware), pop up to
   /// max_batch_loops requests. Null return: stopping and fully drained.
   std::shared_ptr<Batch> collect_batch();
-  /// Complete expired requests with DeadlineExceeded; keep the rest.
+  /// Complete expired requests with DeadlineExceeded and cancelled ones
+  /// with RequestCancelled; keep the rest.
   void expel_expired(Batch& batch);
   /// Degraded serving on the scheduler thread: cache-only probes or shed.
   void serve_degraded(Batch& batch);

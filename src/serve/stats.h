@@ -59,6 +59,9 @@ struct ServerStatsSnapshot {
   std::uint64_t retries = 0;            // batch attempts re-run after transient faults
   std::uint64_t retry_recovered = 0;    // requests that succeeded after >= 1 retry
   std::uint64_t scheduler_faults = 0;   // exceptions the scheduler's top-level catch ate
+  std::uint64_t cancelled = 0;          // futures failed RequestCancelled (hedge losers)
+  std::uint64_t stopped_unserved = 0;   // futures failed ServerStopped in the
+                                        // shutdown drain (degraded-mode misses)
 
   // Degradation ladder: the rung the scheduler currently stands on plus how
   // often each non-normal rung was entered (kNormal re-entries count as
@@ -139,6 +142,11 @@ class ServerStats {
   void on_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
   void on_retry_recovered() { retry_recovered_.fetch_add(1, std::memory_order_relaxed); }
   void on_scheduler_fault() { scheduler_faults_.fetch_add(1, std::memory_order_relaxed); }
+  void on_cancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
+  void on_stopped_unserved() { stopped_unserved_.fetch_add(1, std::memory_order_relaxed); }
+  /// Instantaneous queue depth (the same value snapshot() reports); cheap
+  /// enough for a router to poll per dispatch.
+  std::uint64_t depth() const { return queue_depth_.load(std::memory_order_relaxed); }
   /// The scheduler entered a new degradation rung (called on change only).
   void on_mode(DegradeMode m) {
     mode_.store(static_cast<int>(m), std::memory_order_relaxed);
@@ -189,6 +197,8 @@ class ServerStats {
     s.retries = retries_.load(std::memory_order_relaxed);
     s.retry_recovered = retry_recovered_.load(std::memory_order_relaxed);
     s.scheduler_faults = scheduler_faults_.load(std::memory_order_relaxed);
+    s.cancelled = cancelled_.load(std::memory_order_relaxed);
+    s.stopped_unserved = stopped_unserved_.load(std::memory_order_relaxed);
     s.mode = mode_.load(std::memory_order_relaxed);
     s.mode_shrink_entered = mode_shrink_entered_.load(std::memory_order_relaxed);
     s.mode_cache_only_entered = mode_cache_only_entered_.load(std::memory_order_relaxed);
@@ -219,6 +229,8 @@ class ServerStats {
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> retry_recovered_{0};
   std::atomic<std::uint64_t> scheduler_faults_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> stopped_unserved_{0};
   std::atomic<int> mode_{0};
   std::atomic<std::uint64_t> mode_shrink_entered_{0};
   std::atomic<std::uint64_t> mode_cache_only_entered_{0};

@@ -27,6 +27,7 @@
 #include "serve/errors.h"
 #include "serve/server.h"
 #include "support/failpoint.h"
+#include "testing_env.h"
 
 namespace g2p {
 namespace {
@@ -284,7 +285,8 @@ TEST(Chaos, WatchdogAbandonsStuckBatchAndKeepsServing) {
   auto stuck = server.submit(sources[4]);
   EXPECT_THROW(stuck.get(), BatchAbandoned);
   const auto waited = std::chrono::steady_clock::now() - t0;
-  EXPECT_LT(waited, 350ms) << "watchdog did not cut the stuck batch short";
+  EXPECT_LT(waited, test_env::scaled_ms(350))
+      << "watchdog did not cut the stuck batch short";
   EXPECT_EQ(server.stats().watchdog_abandoned, 1u);
 
   // A fresh worker serves the next request while the abandoned one is
@@ -425,6 +427,76 @@ TEST(Chaos, FailedCheckpointLoadKeepsPreviousGenerationServing) {
   std::remove(model_path.c_str());
   std::remove((model_path + ".trunc").c_str());
   std::remove(vocab_path.c_str());
+}
+
+TEST(Chaos, BitFlippedCheckpointIsRejectedBeforeCommit) {
+  auto pipeline = shared_pipeline();
+  const auto sources = chaos_sources(2);
+  const std::string model_path = testing::TempDir() + "chaos_bitflip.bin";
+  const std::string vocab_path = testing::TempDir() + "chaos_bitflip_vocab.txt";
+  ASSERT_TRUE(pipeline->save(model_path, vocab_path));
+  const auto expected = pipeline->suggest(sources[0]);
+
+  // Flip one bit in the middle of the weight payload. The file still has
+  // the right length and a well-formed trailer, so only the checksum can
+  // catch it — a truncation check would wave it through into the live model.
+  std::vector<char> bytes;
+  {
+    std::ifstream in(model_path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x20;
+  {
+    std::ofstream out(model_path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(pipeline->load_weights(model_path));
+
+  // Nothing was committed: the previous generation serves bit for bit.
+  expect_bitwise(pipeline->suggest(sources[0]), expected, "post-bit-flip");
+
+  std::remove(model_path.c_str());
+  std::remove(vocab_path.c_str());
+}
+
+// ---- shutdown while degraded ------------------------------------------------
+
+TEST(Chaos, ShutdownWhileDegradedCompletesQueuedMissesTyped) {
+  FailpointGuard guard;
+  auto pipeline = shared_pipeline();
+  const auto sources = chaos_sources(4);
+  pipeline->clear_cache();
+
+  // Tiny queue so two waiting requests trip the cache-only rung, and a
+  // delayed forward so the scheduler is pinned inside batch #1 while we
+  // queue the victims and call shutdown. When the drain loop finally pops
+  // them, stopping_ is set and the rung is cache-only: the contract is that
+  // they complete with ServerStopped (a client re-resolves elsewhere), not
+  // that they vanish into the shed counter as if load protection fired.
+  SuggestServer::Options options;
+  options.max_delay = 1ms;
+  options.max_batch_loops = 2;
+  options.max_queue_depth = 4;
+  options.cache_only_at = 0.5;  // 2 queued / 4 >= 0.5
+  options.shed_at = 1.5;        // admission stays open
+  options.max_retries = 0;
+  SuggestServer server(pipeline, options);
+
+  failpoint::configure("encode.forward=delay(250)@1");
+  auto pinned = server.submit(sources[0]);  // batch #1: stalls in the forward
+  std::this_thread::sleep_for(50ms);        // let the scheduler take it
+  auto miss_a = server.submit(sources[1]);
+  auto miss_b = server.submit(sources[2]);
+  server.shutdown();  // joins the drain: batch #1 finishes, then the rest
+
+  EXPECT_NO_THROW((void)pinned.get());  // delayed, not faulted
+  EXPECT_THROW(miss_a.get(), ServerStopped);
+  EXPECT_THROW(miss_b.get(), ServerStopped);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.stopped_unserved, 2u) << "queued misses must be counted stopped";
+  EXPECT_EQ(stats.shed, 0u) << "a draining server is not shedding for load";
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 
 #include "core/pipeline.h"
 #include "serve/server.h"
+#include "testing_env.h"
 #include "support/thread_pool.h"
 
 namespace g2p {
@@ -253,7 +254,7 @@ TEST(SuggestServer, IdleGraceClosesWindowWellBeforeMaxDelay) {
   const auto elapsed = std::chrono::steady_clock::now() - start;
   // Generous bound for sanitizer/CI machines — still 20x under max_delay,
   // which only the early close can achieve.
-  EXPECT_LT(elapsed, std::chrono::milliseconds(500))
+  EXPECT_LT(elapsed, test_env::scaled_ms(500))
       << "adaptive window did not close early";
   EXPECT_EQ(server.stats().batches, 1u);
 }

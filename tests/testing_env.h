@@ -1,0 +1,38 @@
+// Shared test-environment knobs.
+//
+// G2P_TEST_TIME_SCALE stretches every timing-sensitive assertion bound by a
+// single multiplier (default 1.0). Slow machines — sanitizer CI jobs,
+// emulated architectures, loaded laptops — set it once (e.g.
+// G2P_TEST_TIME_SCALE=4) instead of chasing individually-tuned constants
+// across the suite. Only *bounds* scale: the durations a test injects
+// (failpoint delays, batching windows) stay fixed so the behavior under
+// test is unchanged; only the leniency of the stopwatch grows.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+
+namespace g2p::test_env {
+
+/// The multiplier from G2P_TEST_TIME_SCALE, clamped to >= 1.0 so a
+/// misconfigured value can never tighten a bound below its tuned default.
+inline double time_scale() {
+  static const double scale = [] {
+    if (const char* env = std::getenv("G2P_TEST_TIME_SCALE")) {
+      const double v = std::atof(env);
+      if (v > 1.0) return v;
+    }
+    return 1.0;
+  }();
+  return scale;
+}
+
+/// `ms` milliseconds stretched by the ambient time scale. Use for every
+/// wall-clock *assertion bound* (EXPECT_LT on elapsed time, watchdog
+/// budgets' pass criteria); never for injected delays.
+inline std::chrono::milliseconds scaled_ms(long ms) {
+  return std::chrono::milliseconds(
+      static_cast<long>(static_cast<double>(ms) * time_scale()));
+}
+
+}  // namespace g2p::test_env
