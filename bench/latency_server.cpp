@@ -221,6 +221,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.verdict_repaired),
               static_cast<unsigned long long>(stats.verdict_vetoed),
               static_cast<unsigned long long>(stats.verdict_unknown));
+  std::printf("resource governor: %llu rejected\n",
+              static_cast<unsigned long long>(stats.resource_exhausted));
 
   // ---- equivalence gate ----------------------------------------------------
   std::size_t mismatches = 0;
@@ -281,6 +283,12 @@ int main(int argc, char** argv) {
   json.set("verdict_repaired", static_cast<std::int64_t>(stats.verdict_repaired));
   json.set("verdict_vetoed", static_cast<std::int64_t>(stats.verdict_vetoed));
   json.set("verdict_unknown", static_cast<std::int64_t>(stats.verdict_unknown));
+  json.set("resource_exhausted", static_cast<std::int64_t>(stats.resource_exhausted));
+  for (std::size_t i = 0; i < stats.resource_exhausted_by_limit.size(); ++i) {
+    json.set(std::string("resource_exhausted_") +
+                 resource_limit_name(static_cast<ResourceLimit>(i)),
+             static_cast<std::int64_t>(stats.resource_exhausted_by_limit[i]));
+  }
   // Resolved degradation config (this bench pins the ladder off; a value
   // > 1.0 means the rung is disabled) and the fault-tolerance counters —
   // all zero in a clean run, and loud in the json when they are not.

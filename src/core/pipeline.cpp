@@ -30,13 +30,24 @@ std::shared_ptr<const FrontendArtifact> build_artifact(std::string_view c_source
   if (failpoint::triggered("frontend.parse")) {
     throw failpoint::FailpointError("frontend.parse");
   }
+  // Resource governor (install a GovernorScope to arm it): the statically
+  // checkable dimension first, then cooperative checks between every stage.
+  // Lexer/parser/arena charge their own dimensions through the same scope.
+  ResourceGovernor* gov = ResourceGovernor::current();
+  if (gov != nullptr) gov->charge_source_bytes(c_source.size());
   auto out = std::make_shared<FrontendArtifact>();
   out->parsed = parse_translation_unit(c_source);
+  if (gov != nullptr) gov->checkpoint();
   out->loops = extract_loops(*out->parsed.tu);
+  if (gov != nullptr) gov->charge_loops(out->loops.size());
   AugAstBuilder builder(vocab, aug);
   out->graphs.reserve(out->loops.size());
   for (const auto& loop : out->loops) {
     out->graphs.push_back(builder.build(*loop.loop, out->parsed.tu));
+    if (gov != nullptr) {
+      gov->charge_nodes(out->graphs.back().graph.nodes.size());
+      gov->checkpoint();
+    }
   }
   out->frontend_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -51,6 +62,10 @@ std::shared_ptr<const FrontendArtifact> build_artifact(std::string_view c_source
 LoopSuggestion make_suggestion(const ExtractedLoop& loop, const TranslationUnit* tu,
                                double confidence, const std::array<int, 4>& clause_pred,
                                bool verify) {
+  // The wall-clock dimension reaches into the verifier stage: one
+  // cooperative check per rendered loop (also the `governor.check`
+  // failpoint site).
+  if (ResourceGovernor* gov = ResourceGovernor::current()) gov->checkpoint();
   LoopSuggestion suggestion;
   suggestion.loop_source = loop.source;
   suggestion.line = loop.loop->line;
@@ -111,7 +126,9 @@ Hash128 result_cache_key(Hash128 key, bool verify) {
 }  // namespace
 
 Pipeline::Pipeline(Options options, Vocab vocab)
-    : options_(std::move(options)), vocab_(std::move(vocab)) {
+    : options_(std::move(options)),
+      vocab_(std::move(vocab)),
+      budget_(resolve_budget(options_.budget)) {
   options_.model.vocab_size = vocab_.size();
   Rng rng(options_.train.seed);
   model_ = std::make_unique<Graph2ParModel>(options_.model, rng);
@@ -132,6 +149,7 @@ Pipeline::Pipeline(Options options, Vocab vocab)
 Pipeline::Pipeline(Pipeline&& other) noexcept
     : options_(std::move(other.options_)),
       vocab_(std::move(other.vocab_)),
+      budget_(other.budget_),
       model_(std::move(other.model_)),
       pool_(std::move(other.pool_)),
       cache_(std::move(other.cache_)),
@@ -142,6 +160,7 @@ Pipeline& Pipeline::operator=(Pipeline&& other) noexcept {
   if (this != &other) {
     options_ = std::move(other.options_);
     vocab_ = std::move(other.vocab_);
+    budget_ = other.budget_;
     model_ = std::move(other.model_);
     pool_ = std::move(other.pool_);
     cache_ = std::move(other.cache_);
@@ -190,6 +209,10 @@ Pipeline Pipeline::train(const Options& options) {
 
 std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
   const NoGradGuard no_grad;  // serving: skip tape construction
+  // One governor for the whole sequential request: frontend charges and
+  // verifier checkpoints accumulate against the same budget.
+  ResourceGovernor governor(budget_);
+  const GovernorScope governor_scope(&governor);
   const std::uint64_t stamp = model_stamp_.load(std::memory_order_acquire);
   const bool verify = verify_active();
   const bool cached = cache_->enabled();
@@ -301,9 +324,15 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
   // Stage 1 (parallel): per-source frontend for the cache misses — lex,
   // parse, extract loops, build aug-ASTs. Each source is independent; a
   // failure is recorded in that source's slot and the rest of the batch
-  // proceeds.
+  // proceeds. Every slot gets its own resource governor — one poison source
+  // trips *its* budget and fails *its* slot; batch-mates never share a tally.
+  // The governor outlives this stage so stage 3's verifier checkpoints
+  // charge the same request (stages never overlap, so the handoff is safe).
+  std::vector<std::unique_ptr<ResourceGovernor>> governors(sources.size());
   pool.parallel_for(sources.size(), [&](std::size_t i) {
     if (done[i] || artifacts[i] || build_owner[i] != i) return;
+    governors[i] = std::make_unique<ResourceGovernor>(budget_);
+    const GovernorScope governor_scope(governors[i].get());
     try {
       artifacts[i] = build_artifact(sources[i], vocab_, options_.aug);
       if (cached) cache_->put_frontend(keys[i], artifacts[i]);
@@ -381,6 +410,9 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
   }
   pool.parallel_for(sources.size(), [&](std::size_t s) {
     if (done[s] || out[s].error) return;
+    // Re-arm this slot's governor (null for cache/duplicate slots — their
+    // frontend work was already vetted under a budget).
+    const GovernorScope governor_scope(governors[s].get());
     try {
       std::size_t r = first_row[s];
       const FrontendArtifact& artifact = *artifacts[s];

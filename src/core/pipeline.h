@@ -24,6 +24,7 @@
 #include "dataset/corpus.h"
 #include "dataset/generator.h"
 #include "eval/trainer.h"
+#include "support/resource_governor.h"
 
 namespace g2p {
 
@@ -58,6 +59,13 @@ class Pipeline {
     /// repaired, unanalyzable loops pass through flagged kUnknown. The
     /// G2P_VERIFY env var overrides this at runtime (docs/analysis.md).
     bool verify_suggestions = true;
+    /// Per-request resource caps enforced through lex, parse, loop
+    /// extraction, aug-AST build, and verification (the adversarial-input
+    /// governor, support/resource_governor.h). The defaults admit any
+    /// reasonable translation unit; `ResourceBudget::unlimited()` restores
+    /// the ungoverned behaviour. G2P_MAX_* / G2P_GOVERNOR env vars override
+    /// individual caps at construction (docs/tuning.md).
+    ResourceBudget budget;
     Options() { corpus.scale = 0.03; }
   };
 
@@ -177,6 +185,12 @@ class Pipeline {
   const Graph2ParModel& model() const { return *model_; }
   const Vocab& vocab() const { return vocab_; }
 
+  /// The per-request budget serving enforces: Options::budget with env
+  /// overrides applied once at construction. SuggestServer admission uses
+  /// `max_source_bytes` to reject statically-oversized requests before they
+  /// ever occupy a batch slot.
+  const ResourceBudget& active_budget() const { return budget_; }
+
   Pipeline(Pipeline&& other) noexcept;
   Pipeline& operator=(Pipeline&& other) noexcept;
 
@@ -191,6 +205,8 @@ class Pipeline {
 
   Options options_;
   Vocab vocab_;
+  /// Options::budget with G2P_MAX_* / G2P_GOVERNOR overrides resolved.
+  ResourceBudget budget_;
   std::unique_ptr<Graph2ParModel> model_;
   std::shared_ptr<ThreadPool> pool_;  // null: shared process-wide default
   /// Content-addressed serving cache; mutable because `suggest` is

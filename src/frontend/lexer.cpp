@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 
+#include "support/resource_governor.h"
 #include "support/strings.h"
 
 namespace g2p {
@@ -111,7 +112,14 @@ class Scanner {
   }
   int column(std::size_t pos) const { return static_cast<int>(pos - line_start_) + 1; }
 
+  /// Charge one token against the request's governor (token bombs trip the
+  /// budget here, inside the scan, before the vector grows unboundedly).
+  void charge() {
+    if (gov_ != nullptr) gov_->charge_tokens(1);
+  }
+
   void emit(TokenKind kind, std::size_t start, std::size_t end, int line, int col) {
+    charge();
     out_.push_back(Token{kind, src_.substr(start, end - start), line, col});
   }
 
@@ -122,6 +130,7 @@ class Scanner {
     while (p < n && (char_class(src_[p]) & kIdentCont)) ++p;
     const std::string_view word = src_.substr(start, p - start);
     const TokenKind kind = is_c_keyword(word) ? TokenKind::kKeyword : TokenKind::kIdentifier;
+    charge();
     out_.push_back(Token{kind, word, line_, column(start)});
     pos_ = p;
   }
@@ -293,6 +302,7 @@ class Scanner {
       text = arena_.intern(trim(synthesized));
     }
     if (keep_pragmas_ && starts_with(text, "pragma")) {
+      charge();
       out_.push_back(Token{TokenKind::kPragma, text, line, col});
     }
     pos_ = p;  // the terminating newline is handled by the main loop
@@ -302,6 +312,7 @@ class Scanner {
   Arena& arena_;
   bool keep_pragmas_;
   bool append_eof_;
+  ResourceGovernor* gov_ = ResourceGovernor::current();
   std::vector<Token>& out_;
   std::size_t pos_ = 0;
   std::size_t line_start_ = 0;

@@ -5,10 +5,25 @@
 #include <utility>
 
 #include "frontend/lexer.h"
+#include "support/resource_governor.h"
 
 namespace g2p {
 
 namespace {
+
+/// Arm the request's arena byte cap before any allocation happens. The
+/// handler must not return; throwing the typed ResourceExhausted fails just
+/// this request's slot.
+void arm_arena_cap(Arena& arena) {
+  ResourceGovernor* gov = ResourceGovernor::current();
+  if (gov == nullptr) return;
+  const std::uint64_t cap = gov->budget().max_arena_bytes;
+  if (cap == 0) return;
+  arena.set_byte_cap(static_cast<std::size_t>(cap),
+                     [](std::size_t attempted, std::size_t limit) {
+                       throw ResourceExhausted(ResourceLimit::kArenaBytes, attempted, limit);
+                     });
+}
 
 /// Binary operator precedence (C). Higher binds tighter. Assignment and
 /// conditional are handled separately (right-associative).
@@ -72,11 +87,20 @@ double parse_float_literal(std::string_view text) {
 class Parser {
  public:
   Parser(std::vector<Token> tokens, Arena& arena)
-      : tokens_(std::move(tokens)), arena_(arena) {}
+      : tokens_(std::move(tokens)), arena_(arena) {
+    if (gov_ != nullptr && gov_->budget().max_parse_depth != 0) {
+      max_depth_ = gov_->budget().max_parse_depth;
+    }
+    // Every productive grammar rule consumes at least one token, so a parse
+    // that burns this much fuel is cycling without advancing — a grammar bug
+    // an adversarial input found. Terminate it with a typed error instead of
+    // spinning (the backstop for satellite "non-advancing parse" regressions).
+    fuel_ = tokens_.size() * 8 + 64;
+  }
 
   ParseResult parse_unit() {
     ParseResult result;
-    result.tu = arena_.create<TranslationUnit>();
+    result.tu = make<TranslationUnit>();
     while (!peek().is(TokenKind::kEof)) {
       if (peek().is(TokenKind::kPragma)) {
         pending_pragma_ = advance().text;
@@ -103,6 +127,48 @@ class Parser {
   }
 
  private:
+  // ---- adversarial-input guards -------------------------------------------
+
+  /// Hard ceiling on recursive-descent nesting when no governor is installed
+  /// (training, tools, tests): deep enough for any real translation unit,
+  /// shallow enough that the C++ stack cannot overflow first.
+  static constexpr std::uint32_t kDepthBackstop = 512;
+
+  /// RAII depth accounting for every input-driven recursion site. Throws the
+  /// typed ResourceExhausted before the native stack is at risk.
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : p(parser) {
+      if (++p.depth_ > p.max_depth_) {
+        throw ResourceExhausted(ResourceLimit::kParseDepth, p.depth_, p.max_depth_);
+      }
+    }
+    ~DepthGuard() { --p.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    Parser& p;
+  };
+
+  /// Progress assertion: called once per grammar-rule dispatch. Fuel is
+  /// proportional to the token count, so a non-advancing parse runs dry and
+  /// terminates with a typed error instead of looping.
+  void burn_fuel() {
+    if (fuel_ == 0) {
+      throw ParseError("parser stalled: no progress on malformed input near '" +
+                           std::string(peek().text) + "'",
+                       peek().line);
+    }
+    --fuel_;
+  }
+
+  /// Arena-create plus a one-node charge against the request's governor —
+  /// the only way Parser makes AST nodes, so node bombs trip the budget at
+  /// the allocation site.
+  template <typename T, typename... Args>
+  T* make(Args&&... args) {
+    if (gov_ != nullptr) gov_->charge_nodes(1);
+    return arena_.create<T>(std::forward<Args>(args)...);
+  }
+
   // ---- token plumbing -----------------------------------------------------
 
   const Token& peek(std::size_t ahead = 0) const {
@@ -298,7 +364,7 @@ class Parser {
   }
 
   DeclPtr parse_function_rest(Type return_type, std::string_view name, int line) {
-    auto* fn = arena_.create<FunctionDecl>(return_type, name);
+    auto* fn = make<FunctionDecl>(return_type, name);
     fn->line = line;
     expect_punct("(");
     if (!peek().is_punct(")")) {
@@ -309,7 +375,7 @@ class Parser {
           Type ptype = parse_type();
           std::string_view pname;
           if (peek().is(TokenKind::kIdentifier)) pname = advance().text;
-          auto* param = arena_.create<ParamDecl>(ptype, pname);
+          auto* param = make<ParamDecl>(ptype, pname);
           param->line = peek().line;
           while (match_punct("[")) {  // array params decay to pointers
             param->is_array = true;
@@ -342,6 +408,8 @@ class Parser {
   }
 
   StmtPtr parse_statement_inner() {
+    DepthGuard depth(*this);
+    burn_fuel();
     const int line = peek().line;
     StmtPtr stmt = nullptr;
     if (peek().is_punct("{")) {
@@ -358,28 +426,28 @@ class Parser {
       ExprPtr value = nullptr;
       if (!peek().is_punct(";")) value = parse_expr();
       expect_punct(";");
-      stmt = arena_.create<ReturnStmt>(value);
+      stmt = make<ReturnStmt>(value);
     } else if (match_keyword("break")) {
       expect_punct(";");
-      stmt = arena_.create<BreakStmt>();
+      stmt = make<BreakStmt>();
     } else if (match_keyword("continue")) {
       expect_punct(";");
-      stmt = arena_.create<ContinueStmt>();
+      stmt = make<ContinueStmt>();
     } else if (match_punct(";")) {
-      stmt = arena_.create<NullStmt>();
+      stmt = make<NullStmt>();
     } else if (at_type_start()) {
       stmt = parse_decl_stmt();
     } else {
       ExprPtr expr = parse_expr();
       expect_punct(";");
-      stmt = arena_.create<ExprStmt>(expr);
+      stmt = make<ExprStmt>(expr);
     }
     stmt->line = line;
     return stmt;
   }
 
   StmtPtr parse_compound() {
-    auto* block = arena_.create<CompoundStmt>();
+    auto* block = make<CompoundStmt>();
     block->line = peek().line;
     expect_punct("{");
     while (!peek().is_punct("}")) {
@@ -398,7 +466,7 @@ class Parser {
     StmtPtr then_branch = parse_statement();
     StmtPtr else_branch = nullptr;
     if (match_keyword("else")) else_branch = parse_statement();
-    return arena_.create<IfStmt>(cond, then_branch, else_branch);
+    return make<IfStmt>(cond, then_branch, else_branch);
   }
 
   StmtPtr parse_for() {
@@ -406,13 +474,13 @@ class Parser {
     expect_punct("(");
     StmtPtr init = nullptr;
     if (match_punct(";")) {
-      init = arena_.create<NullStmt>();
+      init = make<NullStmt>();
     } else if (at_type_start()) {
       init = parse_decl_stmt();  // consumes ';'
     } else {
       ExprPtr e = parse_expr();
       expect_punct(";");
-      init = arena_.create<ExprStmt>(e);
+      init = make<ExprStmt>(e);
     }
     ExprPtr cond = nullptr;
     if (!peek().is_punct(";")) cond = parse_expr();
@@ -421,7 +489,7 @@ class Parser {
     if (!peek().is_punct(")")) inc = parse_expr();
     expect_punct(")");
     StmtPtr body = parse_statement();
-    return arena_.create<ForStmt>(init, cond, inc, body);
+    return make<ForStmt>(init, cond, inc, body);
   }
 
   StmtPtr parse_while() {
@@ -430,7 +498,7 @@ class Parser {
     ExprPtr cond = parse_expr();
     expect_punct(")");
     StmtPtr body = parse_statement();
-    return arena_.create<WhileStmt>(cond, body);
+    return make<WhileStmt>(cond, body);
   }
 
   StmtPtr parse_do() {
@@ -441,7 +509,7 @@ class Parser {
     ExprPtr cond = parse_expr();
     expect_punct(")");
     expect_punct(";");
-    return arena_.create<DoStmt>(body, cond);
+    return make<DoStmt>(body, cond);
   }
 
   StmtPtr parse_decl_stmt() {
@@ -456,15 +524,15 @@ class Parser {
   /// including array dims, initializer, and comma-separated declarators.
   /// Consumes the terminating ';'.
   DeclStmt* parse_var_decl_rest(Type type, std::string_view first_name, int line) {
-    auto* stmt = arena_.create<DeclStmt>();
+    auto* stmt = make<DeclStmt>();
     stmt->line = line;
     std::string_view name = first_name;
     while (true) {
-      auto* decl = arena_.create<VarDecl>(type, name);
+      auto* decl = make<VarDecl>(type, name);
       decl->line = line;
       while (match_punct("[")) {
         if (peek().is_punct("]")) {
-          decl->array_dims.push_back(arena_.create<IntLiteral>(0, "0"));
+          decl->array_dims.push_back(make<IntLiteral>(0, "0"));
         } else {
           decl->array_dims.push_back(parse_assignment_expr());
         }
@@ -492,6 +560,8 @@ class Parser {
   }
 
   ExprPtr parse_init_list() {
+    DepthGuard depth(*this);
+    burn_fuel();
     expect_punct("{");
     std::vector<ExprPtr> items;
     if (!peek().is_punct("}")) {
@@ -506,7 +576,7 @@ class Parser {
       }
     }
     expect_punct("}");
-    return arena_.create<InitListExpr>(std::move(items));
+    return make<InitListExpr>(std::move(items));
   }
 
   // ---- expressions ----------------------------------------------------------
@@ -516,7 +586,7 @@ class Parser {
     while (peek().is_punct(",")) {
       advance();
       ExprPtr rhs = parse_assignment_expr();
-      expr = arena_.create<BinaryOperator>(",", expr, rhs);
+      expr = make<BinaryOperator>(",", expr, rhs);
     }
     return expr;
   }
@@ -526,7 +596,7 @@ class Parser {
     if (peek().is(TokenKind::kPunct) && is_assign_op(peek().text)) {
       std::string_view op = advance().text;
       ExprPtr rhs = parse_assignment_expr();  // right-assoc
-      auto* node = arena_.create<Assignment>(op, lhs, rhs);
+      auto* node = make<Assignment>(op, lhs, rhs);
       node->line = node->lhs->line;
       return node;
     }
@@ -539,7 +609,7 @@ class Parser {
     ExprPtr then_expr = parse_expr();
     expect_punct(":");
     ExprPtr else_expr = parse_assignment_expr();
-    return arena_.create<Conditional>(cond, then_expr, else_expr);
+    return make<Conditional>(cond, then_expr, else_expr);
   }
 
   ExprPtr parse_binary(int min_prec) {
@@ -549,7 +619,7 @@ class Parser {
       if (prec < min_prec) break;
       std::string_view op = advance().text;
       ExprPtr rhs = parse_binary(prec + 1);
-      auto* node = arena_.create<BinaryOperator>(op, lhs, rhs);
+      auto* node = make<BinaryOperator>(op, lhs, rhs);
       node->line = node->lhs->line;
       lhs = node;
     }
@@ -568,13 +638,15 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
+    DepthGuard depth(*this);
+    burn_fuel();
     const Token& t = peek();
     const int line = t.line;
     if (t.is_punct("+") || t.is_punct("-") || t.is_punct("!") || t.is_punct("~") ||
         t.is_punct("*") || t.is_punct("&") || t.is_punct("++") || t.is_punct("--")) {
       std::string_view op = advance().text;
       ExprPtr operand = parse_unary();
-      auto* node = arena_.create<UnaryOperator>(op, /*prefix=*/true, operand);
+      auto* node = make<UnaryOperator>(op, /*prefix=*/true, operand);
       node->line = line;
       return node;
     }
@@ -586,12 +658,12 @@ class Parser {
         advance();  // (
         Type type = parse_type();
         expect_punct(")");
-        auto* node = arena_.create<SizeofExpr>(type);
+        auto* node = make<SizeofExpr>(type);
         node->line = line;
         return node;
       }
       ExprPtr operand = parse_unary();
-      auto* node = arena_.create<UnaryOperator>("sizeof", /*prefix=*/true, operand);
+      auto* node = make<UnaryOperator>("sizeof", /*prefix=*/true, operand);
       node->line = line;
       return node;
     }
@@ -600,7 +672,7 @@ class Parser {
       Type type = parse_type();
       expect_punct(")");
       ExprPtr operand = parse_unary();
-      auto* node = arena_.create<CastExpr>(type, operand);
+      auto* node = make<CastExpr>(type, operand);
       node->line = line;
       return node;
     }
@@ -614,19 +686,19 @@ class Parser {
         advance();
         ExprPtr index = parse_expr();
         expect_punct("]");
-        expr = arena_.create<ArraySubscript>(expr, index);
+        expr = make<ArraySubscript>(expr, index);
       } else if (peek().is_punct(".") && peek(1).is(TokenKind::kIdentifier)) {
         advance();
         std::string_view member = advance().text;
-        expr = arena_.create<MemberExpr>(expr, member, false);
+        expr = make<MemberExpr>(expr, member, false);
       } else if (peek().is_punct("->")) {
         advance();
         if (!peek().is(TokenKind::kIdentifier)) fail("expected member name after '->'");
         std::string_view member = advance().text;
-        expr = arena_.create<MemberExpr>(expr, member, true);
+        expr = make<MemberExpr>(expr, member, true);
       } else if (peek().is_punct("++") || peek().is_punct("--")) {
         std::string_view op = advance().text;
-        expr = arena_.create<UnaryOperator>(op, /*prefix=*/false, expr);
+        expr = make<UnaryOperator>(op, /*prefix=*/false, expr);
       } else {
         break;
       }
@@ -635,20 +707,22 @@ class Parser {
   }
 
   ExprPtr parse_primary() {
+    DepthGuard depth(*this);
+    burn_fuel();
     const Token& t = peek();
     const int line = t.line;
     ExprPtr node = nullptr;
     if (t.is(TokenKind::kIntLiteral)) {
-      node = arena_.create<IntLiteral>(parse_int_literal(t.text), t.text);
+      node = make<IntLiteral>(parse_int_literal(t.text), t.text);
       advance();
     } else if (t.is(TokenKind::kFloatLiteral)) {
-      node = arena_.create<FloatLiteral>(parse_float_literal(t.text), t.text);
+      node = make<FloatLiteral>(parse_float_literal(t.text), t.text);
       advance();
     } else if (t.is(TokenKind::kCharLiteral)) {
-      node = arena_.create<CharLiteral>(t.text);
+      node = make<CharLiteral>(t.text);
       advance();
     } else if (t.is(TokenKind::kStringLiteral)) {
-      node = arena_.create<StringLiteral>(t.text);
+      node = make<StringLiteral>(t.text);
       advance();
     } else if (t.is(TokenKind::kIdentifier)) {
       std::string_view name = advance().text;
@@ -662,15 +736,15 @@ class Parser {
           }
         }
         expect_punct(")");
-        node = arena_.create<CallExpr>(name, std::move(args));
+        node = make<CallExpr>(name, std::move(args));
       } else {
-        node = arena_.create<DeclRef>(name);
+        node = make<DeclRef>(name);
       }
     } else if (t.is_punct("(")) {
       advance();
       ExprPtr inner = parse_expr();
       expect_punct(")");
-      node = arena_.create<ParenExpr>(inner);
+      node = make<ParenExpr>(inner);
     } else {
       fail("expected expression");
     }
@@ -680,6 +754,10 @@ class Parser {
 
   std::vector<Token> tokens_;
   Arena& arena_;
+  ResourceGovernor* gov_ = ResourceGovernor::current();
+  std::uint32_t depth_ = 0;
+  std::uint32_t max_depth_ = kDepthBackstop;
+  std::uint64_t fuel_ = 0;
   std::size_t pos_ = 0;
   std::set<std::string, std::less<>> typedefs_;  // user typedefs only
   std::map<std::string, StructInfo, std::less<>> structs_;
@@ -690,6 +768,7 @@ class Parser {
 
 ParseResult parse_translation_unit(std::string_view source) {
   auto arena = std::make_unique<Arena>();
+  arm_arena_cap(*arena);
   // Copy the source into the arena first: every token and AST spelling views
   // this copy, so the result does not dangle when the caller's buffer dies.
   const std::string_view owned = arena->intern(source);
@@ -701,6 +780,7 @@ ParseResult parse_translation_unit(std::string_view source) {
 
 ParsedStmt parse_statement(std::string_view source) {
   auto arena = std::make_unique<Arena>();
+  arm_arena_cap(*arena);
   const std::string_view owned = arena->intern(source);
   Parser parser(lex(owned, *arena), *arena);
   Stmt* root = parser.parse_single_statement();
@@ -709,6 +789,7 @@ ParsedStmt parse_statement(std::string_view source) {
 
 ParsedExpr parse_expression(std::string_view source) {
   auto arena = std::make_unique<Arena>();
+  arm_arena_cap(*arena);
   const std::string_view owned = arena->intern(source);
   Parser parser(lex(owned, *arena), *arena);
   Expr* root = parser.parse_single_expression();

@@ -10,6 +10,7 @@
 // frontend threw — they are properties of the request, not of the server.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -68,6 +69,49 @@ class BatchAbandoned final : public ServeError {
  public:
   BatchAbandoned() : ServeError("batch abandoned: watchdog budget elapsed") {}
   explicit BatchAbandoned(const std::string& what) : ServeError(what) {}
+};
+
+/// Which per-request budget dimension a request exceeded. Order matches the
+/// `ResourceBudget` fields (support/resource_governor.h) and the per-limit
+/// counters in ServerStats.
+enum class ResourceLimit : int {
+  kSourceBytes = 0,  // raw source length (statically checkable at admission)
+  kTokens,           // tokens produced by the lexer
+  kAstNodes,         // parser AST nodes + aug-AST graph nodes
+  kArenaBytes,       // bytes bump-allocated into the request's Arena
+  kParseDepth,       // recursive-descent nesting depth
+  kLoops,            // loops extracted from one translation unit
+  kWallClock,        // soft frontend wall-clock budget
+};
+
+inline constexpr int kNumResourceLimits = 7;
+
+/// Stable lowercase name for a limit (stats fields, bench JSON, messages).
+const char* resource_limit_name(ResourceLimit limit);
+
+/// The request exceeded one dimension of its ResourceBudget. A property of
+/// the request, not of the server: fails only the offending slot (batch-mates
+/// are unaffected), is never retried by the SuggestServer ladder, and causes
+/// no replica failover or health penalty. Carries which limit tripped plus
+/// the observed value and the cap so callers and stats can attribute it.
+class ResourceExhausted final : public ServeError {
+ public:
+  ResourceExhausted(ResourceLimit limit, std::uint64_t observed, std::uint64_t cap)
+      : ServeError(std::string("resource budget exceeded: ") + resource_limit_name(limit) +
+                   " (observed " + std::to_string(observed) + ", cap " +
+                   std::to_string(cap) + ")"),
+        limit_(limit),
+        observed_(observed),
+        cap_(cap) {}
+
+  ResourceLimit limit() const { return limit_; }
+  std::uint64_t observed() const { return observed_; }
+  std::uint64_t cap() const { return cap_; }
+
+ private:
+  ResourceLimit limit_;
+  std::uint64_t observed_;
+  std::uint64_t cap_;
 };
 
 }  // namespace g2p

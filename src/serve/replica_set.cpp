@@ -466,6 +466,19 @@ std::future<std::vector<LoopSuggestion>> ReplicaSet::submit_impl(
   std::unique_lock<std::mutex> lock(mutex_);
   if (stopping_) throw ServerStopped("ReplicaSet: submit after shutdown");
 
+  // Resource-governor admission: a statically-oversized source is a
+  // property of the request — reject it here, before a flight exists, so it
+  // can never be counted as a replica fault, failed over, or hedged.
+  if (!replicas_.empty()) {
+    const std::uint64_t max_src =
+        replicas_.front()->server->pipeline().active_budget().max_source_bytes;
+    if (max_src != 0 && source.size() > max_src) {
+      ++counters_.submitted;
+      ++counters_.failed;
+      throw ResourceExhausted(ResourceLimit::kSourceBytes, source.size(), max_src);
+    }
+  }
+
   // Shadow-traffic ring for canary diffs: distinct recent sources, bounded.
   if (options_.shadow_capacity > 0 &&
       std::find(recent_keys_.begin(), recent_keys_.end(), key.lo) == recent_keys_.end()) {
@@ -488,7 +501,17 @@ std::future<std::vector<LoopSuggestion>> ReplicaSet::submit_impl(
   auto future = flight.outer.get_future();
   ++counters_.submitted;
 
-  const RouteDecision decision = dispatch(flight, flight.primary, kNone, true);
+  RouteDecision decision;
+  try {
+    decision = dispatch(flight, flight.primary, kNone, true);
+  } catch (...) {
+    // An inner submit threw a request-scoped error (e.g. a replica whose
+    // budget is tighter than the admission check above): clean up the
+    // flight and surface it — never a failover.
+    flights_.pop_back();
+    ++counters_.failed;
+    throw;
+  }
   if (decision.replica == nullptr) {
     flights_.pop_back();
     ++counters_.failed;

@@ -35,6 +35,17 @@ bool is_transient(const std::exception_ptr& error) {
   }
 }
 
+/// Attribute a slot failure to the resource governor's per-limit counters
+/// when it is a ResourceExhausted (non-governor errors tally nothing).
+void note_resource_exhausted(const std::exception_ptr& error, ServerStats& stats) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const ResourceExhausted& e) {
+    stats.on_resource_exhausted(e.limit());
+  } catch (...) {
+  }
+}
+
 }  // namespace
 
 /// One popped batch. Items are pointer-stable (unique_ptr) because each
@@ -258,6 +269,9 @@ void SuggestServer::RunCtx::run(Batch& batch) const {
       } else if (can_retry && is_transient(result.error)) {
         faulted.emplace_back(active[i], result.error);
       } else {
+        // Terminal slot failure. Governor rejections land here by design:
+        // ResourceExhausted is not transient, so it is never retried.
+        note_resource_exhausted(result.error, *stats);
         Batch::complete_error(*active[i], result.error, *stats);
       }
     }
@@ -336,8 +350,17 @@ std::future<std::vector<LoopSuggestion>> SuggestServer::submit(
   return submit_impl(std::move(source), deadline, std::move(cancel));
 }
 
+void SuggestServer::admission_check(const std::string& source) const {
+  const std::uint64_t cap = pipeline_->active_budget().max_source_bytes;
+  if (cap != 0 && source.size() > cap) {
+    stats_->on_resource_exhausted(ResourceLimit::kSourceBytes);
+    throw ResourceExhausted(ResourceLimit::kSourceBytes, source.size(), cap);
+  }
+}
+
 std::future<std::vector<LoopSuggestion>> SuggestServer::submit_impl(
     std::string source, std::chrono::milliseconds deadline, CancelToken cancel) {
+  admission_check(source);
   const auto absolute =
       deadline.count() > 0 ? Clock::now() + deadline : Clock::time_point::max();
   std::unique_lock<std::mutex> lock(mutex_);
@@ -370,6 +393,15 @@ std::optional<std::future<std::vector<LoopSuggestion>>> SuggestServer::try_submi
 
 std::optional<std::future<std::vector<LoopSuggestion>>> SuggestServer::try_submit_impl(
     std::string source, std::chrono::milliseconds deadline) {
+  // A governor rejection must stay distinguishable from "no capacity"
+  // (nullopt): the caller gets a ready future carrying the typed error.
+  try {
+    admission_check(source);
+  } catch (const ResourceExhausted&) {
+    std::promise<std::vector<LoopSuggestion>> rejected;
+    rejected.set_exception(std::current_exception());
+    return rejected.get_future();
+  }
   const auto absolute =
       deadline.count() > 0 ? Clock::now() + deadline : Clock::time_point::max();
   std::unique_lock<std::mutex> lock(mutex_);

@@ -214,6 +214,11 @@ class SuggestServer {
   struct WorkerCtrl;
   struct RunCtx;
 
+  /// Admission-time resource-governor check: rejects the statically
+  /// checkable dimension (source bytes) with ResourceExhausted before the
+  /// request ever occupies queue space or a batch slot. Request-scoped —
+  /// tallied in stats but no retry, failover, or health consequence.
+  void admission_check(const std::string& source) const;
   std::future<std::vector<LoopSuggestion>> submit_impl(std::string source,
                                                        std::chrono::milliseconds deadline,
                                                        CancelToken cancel);

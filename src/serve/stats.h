@@ -7,10 +7,12 @@
 // enqueue (submit) to future completion, measured by the scheduler.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
 #include "core/suggestion.h"
+#include "serve/errors.h"
 
 namespace g2p {
 
@@ -95,6 +97,13 @@ struct ServerStatsSnapshot {
   std::uint64_t verdict_vetoed = 0;
   std::uint64_t verdict_unknown = 0;
 
+  // Resource-governor rejections (futures failed ResourceExhausted), total
+  // and per limit — indexed by ResourceLimit, named by resource_limit_name.
+  // Request-scoped by contract: none of these triggered a retry, a replica
+  // failover, or a health penalty.
+  std::uint64_t resource_exhausted = 0;
+  std::array<std::uint64_t, kNumResourceLimits> resource_exhausted_by_limit{};
+
   double mean_batch_size() const {
     return batches == 0 ? 0.0 : static_cast<double>(batched_requests) / static_cast<double>(batches);
   }
@@ -178,6 +187,14 @@ class ServerStats {
     }
   }
 
+  /// One request rejected by the per-request resource governor (tallied by
+  /// admission control and by the scheduler when a slot fails typed).
+  void on_resource_exhausted(ResourceLimit limit) {
+    resource_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    resource_exhausted_by_limit_[static_cast<std::size_t>(limit)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
   ServerStatsSnapshot snapshot() const {
     ServerStatsSnapshot s;
     s.submitted = submitted_.load(std::memory_order_relaxed);
@@ -208,6 +225,11 @@ class ServerStats {
     s.verdict_repaired = verdict_repaired_.load(std::memory_order_relaxed);
     s.verdict_vetoed = verdict_vetoed_.load(std::memory_order_relaxed);
     s.verdict_unknown = verdict_unknown_.load(std::memory_order_relaxed);
+    s.resource_exhausted = resource_exhausted_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < s.resource_exhausted_by_limit.size(); ++i) {
+      s.resource_exhausted_by_limit[i] =
+          resource_exhausted_by_limit_[i].load(std::memory_order_relaxed);
+    }
     return s;
   }
 
@@ -240,6 +262,8 @@ class ServerStats {
   std::atomic<std::uint64_t> verdict_repaired_{0};
   std::atomic<std::uint64_t> verdict_vetoed_{0};
   std::atomic<std::uint64_t> verdict_unknown_{0};
+  std::atomic<std::uint64_t> resource_exhausted_{0};
+  std::array<std::atomic<std::uint64_t>, kNumResourceLimits> resource_exhausted_by_limit_{};
 };
 
 }  // namespace g2p

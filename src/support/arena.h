@@ -29,7 +29,9 @@ class Arena {
       : blocks_(std::move(other.blocks_)),
         dtors_(std::move(other.dtors_)),
         bytes_allocated_(std::exchange(other.bytes_allocated_, 0)),
-        next_block_bytes_(std::exchange(other.next_block_bytes_, kFirstBlockBytes)) {}
+        next_block_bytes_(std::exchange(other.next_block_bytes_, kFirstBlockBytes)),
+        byte_cap_(std::exchange(other.byte_cap_, 0)),
+        on_overflow_(std::exchange(other.on_overflow_, nullptr)) {}
   Arena& operator=(Arena&& other) noexcept {
     if (this != &other) {
       release();
@@ -37,14 +39,33 @@ class Arena {
       dtors_ = std::move(other.dtors_);
       bytes_allocated_ = std::exchange(other.bytes_allocated_, 0);
       next_block_bytes_ = std::exchange(other.next_block_bytes_, kFirstBlockBytes);
+      byte_cap_ = std::exchange(other.byte_cap_, 0);
+      on_overflow_ = std::exchange(other.on_overflow_, nullptr);
     }
     return *this;
   }
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
+  /// Called when an allocation would push `bytes_allocated()` past the cap
+  /// installed with `set_byte_cap`. Must not return (throw a typed error);
+  /// a plain function pointer keeps the arena free of upper-layer deps.
+  using OverflowHandler = void (*)(std::size_t attempted_total, std::size_t cap);
+
+  /// Arm (or with cap 0 disarm) a hard byte cap on the sum of satisfied
+  /// allocations. The per-request resource governor installs this so one
+  /// adversarial translation unit cannot exhaust memory; `on_overflow` fires
+  /// *before* the allocation, leaving the arena valid and under cap.
+  void set_byte_cap(std::size_t cap, OverflowHandler on_overflow) {
+    byte_cap_ = cap;
+    on_overflow_ = on_overflow;
+  }
+
   /// Raw aligned allocation. `align` must be a power of two.
   void* allocate(std::size_t size, std::size_t align) {
+    if (byte_cap_ != 0 && bytes_allocated_ + size > byte_cap_) {
+      on_overflow_(bytes_allocated_ + size, byte_cap_);
+    }
     Block& block = blocks_.empty() ? grow(size + align) : blocks_.back();
     std::size_t offset = (block.used + (align - 1)) & ~(align - 1);
     if (offset + size > block.capacity) {
@@ -123,6 +144,8 @@ class Arena {
   std::vector<Dtor> dtors_;
   std::size_t bytes_allocated_ = 0;
   std::size_t next_block_bytes_ = kFirstBlockBytes;
+  std::size_t byte_cap_ = 0;  // 0 = uncapped
+  OverflowHandler on_overflow_ = nullptr;
 };
 
 }  // namespace g2p

@@ -1,0 +1,140 @@
+#include "support/resource_governor.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/failpoint.h"
+
+namespace g2p {
+namespace {
+
+thread_local ResourceGovernor* t_current = nullptr;
+
+/// Parse a non-negative integer env override; returns `fallback` when the
+/// variable is unset or malformed (a bad knob must never weaken a limit to
+/// "unlimited" by accident).
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::uint64_t>(value);
+}
+
+bool env_disabled(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return false;
+  const std::string value(raw);
+  return value == "0" || value == "off" || value == "false";
+}
+
+[[noreturn]] void exhausted(ResourceLimit limit, std::uint64_t observed,
+                            std::uint64_t cap) {
+  throw ResourceExhausted(limit, observed, cap);
+}
+
+}  // namespace
+
+const char* resource_limit_name(ResourceLimit limit) {
+  switch (limit) {
+    case ResourceLimit::kSourceBytes: return "source_bytes";
+    case ResourceLimit::kTokens: return "tokens";
+    case ResourceLimit::kAstNodes: return "ast_nodes";
+    case ResourceLimit::kArenaBytes: return "arena_bytes";
+    case ResourceLimit::kParseDepth: return "parse_depth";
+    case ResourceLimit::kLoops: return "loops";
+    case ResourceLimit::kWallClock: return "wall_clock";
+  }
+  return "unknown";
+}
+
+ResourceBudget ResourceBudget::unlimited() {
+  ResourceBudget budget;
+  budget.max_source_bytes = 0;
+  budget.max_tokens = 0;
+  budget.max_ast_nodes = 0;
+  budget.max_arena_bytes = 0;
+  budget.max_parse_depth = 0;
+  budget.max_loops = 0;
+  budget.frontend_budget_ms = 0;
+  return budget;
+}
+
+ResourceBudget resolve_budget(ResourceBudget configured) {
+  if (env_disabled("G2P_GOVERNOR")) return ResourceBudget::unlimited();
+  configured.max_source_bytes = env_u64("G2P_MAX_SOURCE_BYTES", configured.max_source_bytes);
+  configured.max_tokens = env_u64("G2P_MAX_TOKENS", configured.max_tokens);
+  configured.max_ast_nodes = env_u64("G2P_MAX_AST_NODES", configured.max_ast_nodes);
+  configured.max_arena_bytes = env_u64("G2P_MAX_ARENA_BYTES", configured.max_arena_bytes);
+  configured.max_parse_depth = static_cast<std::uint32_t>(
+      env_u64("G2P_MAX_PARSE_DEPTH", configured.max_parse_depth));
+  configured.max_loops = env_u64("G2P_MAX_LOOPS", configured.max_loops);
+  configured.frontend_budget_ms = static_cast<std::uint32_t>(
+      env_u64("G2P_FRONTEND_BUDGET_MS", configured.frontend_budget_ms));
+  return configured;
+}
+
+ResourceGovernor::ResourceGovernor(const ResourceBudget& budget)
+    : budget_(budget), start_(std::chrono::steady_clock::now()) {}
+
+void ResourceGovernor::charge_source_bytes(std::uint64_t bytes) {
+  if (budget_.max_source_bytes != 0 && bytes > budget_.max_source_bytes) {
+    exhausted(ResourceLimit::kSourceBytes, bytes, budget_.max_source_bytes);
+  }
+}
+
+void ResourceGovernor::charge_tokens(std::uint64_t n) {
+  tokens_ += n;
+  if (budget_.max_tokens != 0 && tokens_ > budget_.max_tokens) {
+    exhausted(ResourceLimit::kTokens, tokens_, budget_.max_tokens);
+  }
+}
+
+void ResourceGovernor::charge_nodes(std::uint64_t n) {
+  nodes_ += n;
+  if (budget_.max_ast_nodes != 0 && nodes_ > budget_.max_ast_nodes) {
+    exhausted(ResourceLimit::kAstNodes, nodes_, budget_.max_ast_nodes);
+  }
+}
+
+void ResourceGovernor::charge_loops(std::uint64_t n) {
+  loops_ += n;
+  if (budget_.max_loops != 0 && loops_ > budget_.max_loops) {
+    exhausted(ResourceLimit::kLoops, loops_, budget_.max_loops);
+  }
+}
+
+void ResourceGovernor::enter_recursion() {
+  ++depth_;
+  if (budget_.max_parse_depth != 0 && depth_ > budget_.max_parse_depth) {
+    // Roll back the rejected entry so a caller that catches and continues
+    // (or a non-local unwind past the guard) sees a consistent depth.
+    --depth_;
+    exhausted(ResourceLimit::kParseDepth, depth_ + 1, budget_.max_parse_depth);
+  }
+}
+
+void ResourceGovernor::checkpoint() const {
+  if (failpoint::triggered("governor.check")) {
+    throw failpoint::FailpointError("governor.check");
+  }
+  if (budget_.frontend_budget_ms == 0) return;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start_);
+  if (elapsed.count() >= 0 &&
+      static_cast<std::uint64_t>(elapsed.count()) > budget_.frontend_budget_ms) {
+    exhausted(ResourceLimit::kWallClock, static_cast<std::uint64_t>(elapsed.count()),
+              budget_.frontend_budget_ms);
+  }
+}
+
+ResourceGovernor* ResourceGovernor::current() { return t_current; }
+
+GovernorScope::GovernorScope(ResourceGovernor* governor) : prev_(t_current) {
+  if (governor != nullptr) t_current = governor;
+}
+
+GovernorScope::~GovernorScope() { t_current = prev_; }
+
+}  // namespace g2p

@@ -1,0 +1,4 @@
+void daxpy(double* y, double* x, double a, int n) {
+  int i;
+  for (i = 0; i < n; i++) y[i] = a * x[i] + y[i];
+}

@@ -1,0 +1,5 @@
+#pragma omp parallel for
+void add(float* z, float* x, float* y, int n) {
+  int i;
+  for (i = 0; i < n; i++) z[i] = x[i] + y[i];
+}

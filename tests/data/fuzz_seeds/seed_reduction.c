@@ -1,0 +1,5 @@
+double dot(double* x, double* y, int n) {
+  int i; double s = 0;
+  for (i = 0; i < n; i++) s += x[i] * y[i];
+  return s;
+}

@@ -1,0 +1,5 @@
+typedef struct { int n; double* v; } vec;
+void scale(vec* a, double k) {
+  int i;
+  for (i = 0; i < a->n; i++) a->v[i] = a->v[i] * k;
+}

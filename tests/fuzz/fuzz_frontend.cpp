@@ -1,0 +1,148 @@
+// Fuzz harness over the request frontend: lex → parse → extract loops →
+// build aug-ASTs, all under the default per-request ResourceBudget — the
+// exact path one SuggestServer batch slot runs on untrusted input.
+//
+// Contract under test: arbitrary bytes either produce artifacts or throw one
+// of the typed request-scoped errors (LexError, ParseError, ResourceExhausted
+// — the latter IS-A ServeError). Anything else escaping — a crash, a hang, a
+// sanitizer report, an untyped exception — is a finding.
+//
+// Two drivers share the body:
+//   * Clang + G2P_FUZZ=ON links libFuzzer (-fsanitize=fuzzer): coverage-
+//     guided mutation from the seed corpus (tests/data/fuzz_seeds +
+//     tests/data/pathological).
+//   * Elsewhere (gcc has no libFuzzer) G2P_FUZZ_STANDALONE compiles a replay
+//     driver: each argv entry (file or directory) is run through the same
+//     body, plus a deterministic splitmix64 mutation loop (G2P_FUZZ_RUNS
+//     iterations, G2P_FUZZ_SEED) so the smoke gate exercises mutated inputs
+//     on any toolchain.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "core/aug_ast.h"
+#include "frontend/lexer.h"
+#include "frontend/loop_extractor.h"
+#include "frontend/parser.h"
+#include "graph/vocab.h"
+#include "serve/errors.h"
+#include "support/resource_governor.h"
+
+namespace {
+
+/// One frontend pass over `src` under a fresh default budget. Typed errors
+/// are the expected outcome for malformed input and are swallowed; anything
+/// else propagates to the driver and counts as a crash.
+void run_one(std::string_view src) {
+  static const g2p::Vocab vocab;  // specials only; unknown tokens map to kUnk
+  g2p::ResourceGovernor governor{g2p::ResourceBudget{}};
+  const g2p::GovernorScope scope(&governor);
+  try {
+    governor.charge_source_bytes(src.size());
+    g2p::ParseResult parsed = g2p::parse_translation_unit(src);
+    governor.checkpoint();
+    const auto loops = g2p::extract_loops(*parsed.tu);
+    governor.charge_loops(loops.size());
+    g2p::AugAstBuilder builder(vocab, {});
+    for (const auto& loop : loops) {
+      const g2p::LoopGraph g = builder.build(*loop.loop, parsed.tu);
+      governor.charge_nodes(g.graph.nodes.size());
+      governor.checkpoint();
+    }
+  } catch (const g2p::LexError&) {
+  } catch (const g2p::ParseError&) {
+  } catch (const g2p::ServeError&) {  // ResourceExhausted and kin
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  run_one(std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}
+
+#ifdef G2P_FUZZ_STANDALONE
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Cheap structure-light mutator: byte flips, truncations, and splices —
+/// enough to shake EOF/boundary handling without coverage guidance.
+std::string mutate(const std::string& base, std::uint64_t& rng) {
+  std::string out = base;
+  switch (splitmix64(rng) % 4) {
+    case 0:  // flip a few bytes
+      for (int i = 0; i < 4 && !out.empty(); ++i) {
+        out[splitmix64(rng) % out.size()] =
+            static_cast<char>(splitmix64(rng) & 0xff);
+      }
+      break;
+    case 1:  // truncate (EOF-at-every-boundary coverage)
+      if (!out.empty()) out.resize(splitmix64(rng) % out.size());
+      break;
+    case 2:  // duplicate a slice (nesting/length amplification)
+      if (!out.empty()) {
+        const std::size_t at = splitmix64(rng) % out.size();
+        out.insert(at, out.substr(at / 2, out.size() - at / 2));
+      }
+      break;
+    default:  // insert a structural character
+      out.insert(splitmix64(rng) % (out.size() + 1),
+                 1, "(){}[]\"'/*\\#"[splitmix64(rng) % 12]);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> corpus;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // tolerate libFuzzer-style flags
+    const std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (entry.is_regular_file()) corpus.push_back(read_file(entry.path()));
+      }
+    } else if (std::filesystem::is_regular_file(p)) {
+      corpus.push_back(read_file(p));
+    }
+  }
+  for (const std::string& input : corpus) run_one(input);
+  std::printf("fuzz_frontend: replayed %zu corpus inputs\n", corpus.size());
+
+  const char* runs_env = std::getenv("G2P_FUZZ_RUNS");
+  const long runs = runs_env ? std::strtol(runs_env, nullptr, 10) : 0;
+  if (runs > 0 && !corpus.empty()) {
+    const char* seed_env = std::getenv("G2P_FUZZ_SEED");
+    std::uint64_t rng = seed_env ? std::strtoull(seed_env, nullptr, 10) : 42;
+    for (long i = 0; i < runs; ++i) {
+      run_one(mutate(corpus[splitmix64(rng) % corpus.size()], rng));
+    }
+    std::printf("fuzz_frontend: ran %ld mutated inputs (deterministic)\n", runs);
+  }
+  return 0;
+}
+#endif  // G2P_FUZZ_STANDALONE

@@ -1,0 +1,345 @@
+// Per-request resource governor: budget accounting, env resolution, the
+// parser's depth/fuel guards, the arena byte cap, and the checked-in
+// pathological corpus gate (every entry must fail *typed*, never crash).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/aug_ast.h"
+#include "frontend/lexer.h"
+#include "frontend/loop_extractor.h"
+#include "frontend/parser.h"
+#include "graph/vocab.h"
+#include "serve/errors.h"
+#include "support/arena.h"
+#include "support/resource_governor.h"
+
+namespace g2p {
+namespace {
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// The same lex→parse→extract→aug-AST pass a SuggestServer batch slot runs,
+/// under `budget`. Mirrors tests/fuzz/fuzz_frontend.cpp's run_one.
+void frontend_pass(std::string_view src, const ResourceBudget& budget) {
+  static const Vocab vocab;
+  ResourceGovernor governor{budget};
+  const GovernorScope scope(&governor);
+  governor.charge_source_bytes(src.size());
+  ParseResult parsed = parse_translation_unit(src);
+  governor.checkpoint();
+  const auto loops = extract_loops(*parsed.tu);
+  governor.charge_loops(loops.size());
+  AugAstBuilder builder(vocab, {});
+  for (const auto& loop : loops) {
+    const LoopGraph g = builder.build(*loop.loop, parsed.tu);
+    governor.charge_nodes(g.graph.nodes.size());
+    governor.checkpoint();
+  }
+}
+
+/// RAII setenv/unsetenv so env-resolution tests can't leak state.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+// ---- budget accounting ------------------------------------------------------
+
+TEST(Governor, ChargesAccumulateAndThrowPastCap) {
+  ResourceBudget budget;
+  budget.max_tokens = 10;
+  ResourceGovernor gov{budget};
+  gov.charge_tokens(10);  // exactly at cap: fine
+  EXPECT_EQ(gov.tokens(), 10u);
+  try {
+    gov.charge_tokens(1);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kTokens);
+    EXPECT_EQ(e.observed(), 11u);
+    EXPECT_EQ(e.cap(), 10u);
+    EXPECT_NE(std::string(e.what()).find("tokens"), std::string::npos);
+  }
+}
+
+TEST(Governor, ZeroCapDisablesDimension) {
+  ResourceBudget budget = ResourceBudget::unlimited();
+  ResourceGovernor gov{budget};
+  gov.charge_tokens(1ull << 40);
+  gov.charge_nodes(1ull << 40);
+  gov.charge_loops(1ull << 40);
+  gov.charge_source_bytes(1ull << 40);
+  for (int i = 0; i < 100000; ++i) gov.enter_recursion();
+  gov.checkpoint();  // nothing armed, nothing thrown
+}
+
+TEST(Governor, SourceBytesIsStaticCheckNotCumulative) {
+  ResourceBudget budget;
+  budget.max_source_bytes = 100;
+  ResourceGovernor gov{budget};
+  gov.charge_source_bytes(100);
+  EXPECT_THROW(gov.charge_source_bytes(101), ResourceExhausted);
+}
+
+TEST(Governor, DepthGuardThrowsPastCap) {
+  ResourceBudget budget;
+  budget.max_parse_depth = 3;
+  ResourceGovernor gov{budget};
+  gov.enter_recursion();
+  gov.enter_recursion();
+  gov.enter_recursion();
+  try {
+    gov.enter_recursion();
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kParseDepth);
+  }
+  gov.leave_recursion();
+  EXPECT_EQ(gov.depth(), 2u);
+}
+
+TEST(Governor, WallClockCheckpointThrowsOnceElapsed) {
+  ResourceBudget budget;
+  budget.frontend_budget_ms = 1;  // expires effectively immediately
+  ResourceGovernor gov{budget};
+  // Busy-wait past the budget; cooperative checkpoints then fail.
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  try {
+    gov.checkpoint();
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kWallClock);
+  }
+}
+
+TEST(Governor, ScopeInstallsAndRestoresNesting) {
+  EXPECT_EQ(ResourceGovernor::current(), nullptr);
+  ResourceGovernor outer{ResourceBudget{}};
+  {
+    const GovernorScope s1(&outer);
+    EXPECT_EQ(ResourceGovernor::current(), &outer);
+    ResourceGovernor inner{ResourceBudget{}};
+    {
+      const GovernorScope s2(&inner);
+      EXPECT_EQ(ResourceGovernor::current(), &inner);
+    }
+    EXPECT_EQ(ResourceGovernor::current(), &outer);
+    {
+      const GovernorScope s3(nullptr);  // no-op scope keeps the outer
+      EXPECT_EQ(ResourceGovernor::current(), &outer);
+    }
+  }
+  EXPECT_EQ(ResourceGovernor::current(), nullptr);
+}
+
+// ---- env resolution ---------------------------------------------------------
+
+TEST(Governor, ResolveAppliesEnvOverrides) {
+  const ScopedEnv tokens("G2P_MAX_TOKENS", "1234");
+  const ScopedEnv depth("G2P_MAX_PARSE_DEPTH", "77");
+  const ResourceBudget resolved = resolve_budget(ResourceBudget{});
+  EXPECT_EQ(resolved.max_tokens, 1234u);
+  EXPECT_EQ(resolved.max_parse_depth, 77u);
+  // Untouched dimensions keep their configured values.
+  EXPECT_EQ(resolved.max_source_bytes, ResourceBudget{}.max_source_bytes);
+}
+
+TEST(Governor, ResolveMalformedEnvKeepsConfiguredValue) {
+  const ScopedEnv tokens("G2P_MAX_TOKENS", "banana");
+  ResourceBudget configured;
+  configured.max_tokens = 555;
+  EXPECT_EQ(resolve_budget(configured).max_tokens, 555u);
+}
+
+TEST(Governor, GovernorOffYieldsUnlimited) {
+  const ScopedEnv off("G2P_GOVERNOR", "off");
+  const ResourceBudget resolved = resolve_budget(ResourceBudget{});
+  EXPECT_EQ(resolved.max_tokens, 0u);
+  EXPECT_EQ(resolved.max_source_bytes, 0u);
+  EXPECT_EQ(resolved.max_parse_depth, 0u);
+}
+
+// ---- frontend integration ---------------------------------------------------
+
+TEST(Governor, LexerChargesTokens) {
+  ResourceBudget budget;
+  budget.max_tokens = 16;
+  try {
+    frontend_pass("int f() { return a + b + c + d + e + f + g + h; }", budget);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kTokens);
+  }
+}
+
+TEST(Governor, ParserChargesAstNodes) {
+  ResourceBudget budget;
+  budget.max_ast_nodes = 8;
+  try {
+    frontend_pass("int f() { int x = 1; int y = 2; return x + y * 3; }",
+                  budget);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kAstNodes);
+  }
+}
+
+TEST(Governor, ArenaByteCapTrips) {
+  ResourceBudget budget;
+  budget.max_arena_bytes = 256;  // far below any real parse's footprint
+  try {
+    frontend_pass("int f() { for (int i = 0; i < n; i++) a[i] = b[i]; }",
+                  budget);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kArenaBytes);
+    EXPECT_GT(e.observed(), e.cap());
+  }
+}
+
+TEST(Governor, LoopCapTrips) {
+  ResourceBudget budget;
+  budget.max_loops = 2;
+  std::string src = "void f() {";
+  for (int i = 0; i < 3; ++i)
+    src += " for (int i = 0; i < n; i++) a[i] = i;";
+  src += " }";
+  try {
+    frontend_pass(src, budget);
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kLoops);
+  }
+}
+
+TEST(Governor, DeepNestingFailsTypedNotCrash) {
+  // 300 nested parens against default depth 200: must be a typed throw.
+  std::string src = "int f() { return ";
+  for (int i = 0; i < 300; ++i) src += '(';
+  src += '1';
+  for (int i = 0; i < 300; ++i) src += ')';
+  src += "; }";
+  EXPECT_THROW(frontend_pass(src, ResourceBudget{}), ResourceExhausted);
+}
+
+TEST(Governor, UngovernedParseHasDepthBackstop) {
+  // No GovernorScope installed (training/tools path): the parser's hard
+  // backstop still converts a 100k-deep nest into ParseError-family typed
+  // failure instead of stack exhaustion.
+  std::string src = "int f() { return ";
+  for (int i = 0; i < 100000; ++i) src += '(';
+  src += '1';
+  for (int i = 0; i < 100000; ++i) src += ')';
+  src += "; }";
+  EXPECT_THROW(parse_translation_unit(src), ResourceExhausted);
+}
+
+TEST(Governor, CleanSourceUnderDefaultBudgetSucceeds) {
+  frontend_pass(
+      "void daxpy(int n, double a, double* x, double* y) {\n"
+      "  for (int i = 0; i < n; i++) y[i] = a * x[i] + y[i];\n"
+      "}\n",
+      ResourceBudget{});
+}
+
+TEST(Governor, ArenaByteCapUnit) {
+  Arena arena;
+  static bool fired;
+  fired = false;
+  arena.set_byte_cap(64, [](std::size_t attempted, std::size_t cap) {
+    fired = true;
+    throw ResourceExhausted(ResourceLimit::kArenaBytes, attempted, cap);
+  });
+  arena.allocate(32, 8);
+  EXPECT_THROW(arena.allocate(64, 8), ResourceExhausted);
+  EXPECT_TRUE(fired);
+}
+
+// ---- parser fuel (non-advancing input terminates) ---------------------------
+
+TEST(ParserFuel, NonAdvancingMalformedInputTerminates) {
+  // Regression for the fuel/progress assertion: this shape previously risked
+  // an unbounded error-recovery loop. It must terminate with a typed error.
+  const std::string src = read_file(
+      std::filesystem::path(G2P_SOURCE_DIR) /
+      "tests/data/pathological/fuzz_nonadvancing.c");
+  ASSERT_FALSE(src.empty());
+  EXPECT_THROW(parse_translation_unit(src), ParseError);
+}
+
+TEST(ParserFuel, GarbageTokenSoupTerminates) {
+  std::string src;
+  for (int i = 0; i < 2000; ++i) src += "} ) ] ; , ";
+  try {
+    parse_translation_unit(src);
+  } catch (const LexError&) {
+  } catch (const ParseError&) {
+  }  // either typed outcome is fine; the assertion is termination
+}
+
+// ---- pathological corpus gate ----------------------------------------------
+
+TEST(PathologicalCorpus, EveryEntryFailsTypedUnderDefaultBudget) {
+  const std::filesystem::path dir =
+      std::filesystem::path(G2P_SOURCE_DIR) / "tests/data/pathological";
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+  std::vector<std::filesystem::path> entries;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) entries.push_back(entry.path());
+  }
+  ASSERT_GE(entries.size(), 8u);
+  for (const auto& path : entries) {
+    const std::string src = read_file(path);
+    ASSERT_FALSE(src.empty()) << path;
+    bool typed = false;
+    try {
+      frontend_pass(src, ResourceBudget{});
+    } catch (const LexError&) {
+      typed = true;
+    } catch (const ParseError&) {
+      typed = true;
+    } catch (const ServeError&) {  // ResourceExhausted and kin
+      typed = true;
+    }
+    // Anything else — std::bad_alloc, std::length_error, a crash — escapes
+    // and fails the test. Every checked-in pathological entry is expected
+    // to be rejected, not silently accepted.
+    EXPECT_TRUE(typed) << path << " was accepted; corpus entries must fail";
+  }
+}
+
+TEST(PathologicalCorpus, FuzzSeedsReplayCleanUnderDefaultBudget) {
+  const std::filesystem::path dir =
+      std::filesystem::path(G2P_SOURCE_DIR) / "tests/data/fuzz_seeds";
+  ASSERT_TRUE(std::filesystem::is_directory(dir));
+  std::size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++n;
+    frontend_pass(read_file(entry.path()), ResourceBudget{});  // must succeed
+  }
+  EXPECT_GE(n, 4u);
+}
+
+}  // namespace
+}  // namespace g2p

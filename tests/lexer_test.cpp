@@ -98,6 +98,39 @@ TEST(Lexer, UnterminatedStringThrows) {
   EXPECT_THROW(lex("\"abc"), LexError);
 }
 
+TEST(Lexer, UnterminatedAtExactEofBoundary) {
+  // Every open-construct shape cut at the last byte of input must surface a
+  // typed LexError with a line number — never an out-of-bounds read. These
+  // are the shapes fuzz truncation mutations hit constantly.
+  for (const char* src : {
+           "/*",              // comment opener is the whole input
+           "a /*/",           // '/' of '*/' missing: "/*/" is still open
+           "a /* b *",        // EOF between '*' and '/'
+           "\"",              // quote is the last byte
+           "'",               // char literal opened at EOF
+           "\"abc\\",         // escape backslash is the last byte
+           "'x",              // char literal never closed
+       }) {
+    try {
+      lex(src);
+      FAIL() << "expected LexError for: " << src;
+    } catch (const LexError& e) {
+      EXPECT_GE(e.line(), 1) << src;
+    }
+  }
+}
+
+TEST(Lexer, TerminatedAtExactEofBoundary) {
+  // The closing delimiter as the very last byte is valid: no trailing
+  // newline or padding is required.
+  EXPECT_EQ(texts(lex("a /* c */")), (std::vector<std::string>{"a"}));
+  const auto t = lex("\"done\"");
+  ASSERT_FALSE(t.empty());
+  EXPECT_EQ(t.front().kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(texts(lex("// trailing line comment")),
+            (std::vector<std::string>{}));
+}
+
 TEST(Lexer, LiteralSpanningLinesThrows) {
   // Raw or backslash-escaped, a newline inside a literal is rejected (an
   // accepted escaped newline would desynchronize line tracking).

@@ -578,5 +578,89 @@ TEST(ReplicaSet, KillAndQuarantineMidStreamEveryFutureCompletes) {
   EXPECT_EQ(stats.completed + stats.failed, stats.submitted);
 }
 
+// ---- resource governor: rejection is request-scoped, never replica-scoped --
+
+TEST(ReplicaSet, ResourceExhaustedNeverTriggersFailoverOrHealthPenalty) {
+  const auto sources = replica_sources(3);
+  ReplicaSet::Options options;
+  options.replicas = 3;
+  options.server.max_delay = 1ms;
+  ReplicaSet set(prototype(), options);
+
+  std::vector<std::vector<LoopSuggestion>> expected;
+  for (const auto& src : sources) expected.push_back(prototype().suggest(src));
+
+  // A poison source that blows the default parse-depth budget mid-parse.
+  std::string poison = "int f(void) { return ";
+  for (int i = 0; i < 400; ++i) poison += '(';
+  poison += '1';
+  for (int i = 0; i < 400; ++i) poison += ')';
+  poison += "; }";
+
+  // Interleave poison with clean traffic across several rounds so every
+  // replica serves both kinds.
+  constexpr int kRounds = 4;
+  int poison_rejected = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    auto bad = set.submit(poison);
+    std::vector<std::future<std::vector<LoopSuggestion>>> good;
+    good.reserve(sources.size());
+    for (const auto& src : sources) good.push_back(set.submit(src));
+    try {
+      bad.get();
+      FAIL() << "poison request was accepted";
+    } catch (const ResourceExhausted& e) {
+      EXPECT_EQ(e.limit(), ResourceLimit::kParseDepth);
+      ++poison_rejected;
+    }
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      expect_bitwise(good[i].get(), expected[i],
+                     "round " + std::to_string(round) + " clean source " + std::to_string(i));
+    }
+  }
+  EXPECT_EQ(poison_rejected, kRounds);
+
+  // Request-scoped: the rejection bought no failover legs, no route faults,
+  // and left every replica healthy with zero attributed faults.
+  const auto stats = set.stats();
+  EXPECT_EQ(stats.failovers, 0u);
+  EXPECT_EQ(stats.route_faults, 0u);
+  EXPECT_EQ(stats.quarantines, 0u);
+  EXPECT_EQ(stats.failed, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRounds) * sources.size());
+  ASSERT_EQ(stats.replicas.size(), 3u);
+  for (std::size_t r = 0; r < stats.replicas.size(); ++r) {
+    EXPECT_EQ(stats.replicas[r].state, ReplicaState::kHealthy) << "replica " << r;
+    EXPECT_EQ(stats.replicas[r].faults, 0u) << "replica " << r;
+    EXPECT_EQ(stats.replicas[r].quarantines, 0u) << "replica " << r;
+  }
+}
+
+TEST(ReplicaSet, OversizeSourceRejectedAtSetAdmission) {
+  ReplicaSet::Options options;
+  options.replicas = 2;
+  options.server.max_delay = 1ms;
+  ReplicaSet set(prototype(), options);
+
+  const std::string oversize(3u << 20, 'y');  // past the default 2 MiB cap
+  try {
+    auto f = set.submit(oversize);
+    FAIL() << "expected synchronous ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kSourceBytes);
+  }
+
+  // No flight was created, no replica dispatched to, and the set still
+  // serves clean work.
+  const auto stats = set.stats();
+  EXPECT_EQ(stats.failovers, 0u);
+  for (const auto& r : stats.replicas) {
+    EXPECT_EQ(r.state, ReplicaState::kHealthy);
+    EXPECT_EQ(r.in_flight, 0u);
+  }
+  const auto src = replica_sources(1)[0];
+  expect_bitwise(set.submit(src).get(), prototype().suggest(src), "post-rejection");
+}
+
 }  // namespace
 }  // namespace g2p

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <future>
 #include <stdexcept>
 #include <string>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "serve/errors.h"
 #include "serve/server.h"
 #include "testing_env.h"
 #include "support/thread_pool.h"
@@ -387,6 +389,108 @@ TEST(SuggestBatchResults, AlignsErrorsAndSuggestionsWithSources) {
 
   // The throwing wrapper still throws on the first failing source.
   EXPECT_THROW(pipeline->suggest_batch(mixed), std::exception);
+}
+
+// ---- resource governor: request-scoped rejection ----------------------------
+
+/// A source that lexes fine but blows the default parse-depth budget: the
+/// governor kills it mid-parse with ResourceExhausted(kParseDepth).
+std::string poison_deep_parens() {
+  std::string src = "int f(void) { return ";
+  for (int i = 0; i < 400; ++i) src += '(';
+  src += '1';
+  for (int i = 0; i < 400; ++i) src += ')';
+  src += "; }";
+  return src;
+}
+
+void expect_bitwise_suggestions(const std::vector<LoopSuggestion>& got,
+                                const std::vector<LoopSuggestion>& want,
+                                const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].parallel, want[i].parallel) << what << " loop " << i;
+    EXPECT_EQ(got[i].category, want[i].category) << what << " loop " << i;
+    EXPECT_EQ(got[i].suggested_pragma, want[i].suggested_pragma) << what << " loop " << i;
+    EXPECT_EQ(got[i].line, want[i].line) << what << " loop " << i;
+    EXPECT_EQ(std::memcmp(&got[i].confidence, &want[i].confidence, sizeof(float)), 0)
+        << what << " loop " << i << ": confidence " << got[i].confidence << " vs "
+        << want[i].confidence;
+  }
+}
+
+TEST(SuggestServer, ResourceExhaustedFailsOnlyTheOffendingSlot) {
+  auto pipeline = shared_pipeline();
+  const auto sources = test_sources();
+  const auto expected0 = pipeline->suggest(sources[0]);
+  const auto expected1 = pipeline->suggest(sources[1]);
+
+  SuggestServer::Options options;
+  options.max_batch_loops = 8;
+  options.max_delay = std::chrono::milliseconds(50);  // wide window: one batch
+  SuggestServer server(pipeline, options);
+
+  auto good1 = server.submit(sources[0]);
+  auto poison = server.submit(poison_deep_parens());
+  auto good2 = server.submit(sources[1]);
+
+  // The poison slot fails with the typed error naming the tripped limit…
+  try {
+    poison.get();
+    FAIL() << "expected ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kParseDepth);
+  }
+  // …while its batch-mates are bitwise-identical to the synchronous path.
+  expect_bitwise_suggestions(good1.get(), expected0, "batch-mate before poison");
+  expect_bitwise_suggestions(good2.get(), expected1, "batch-mate after poison");
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.resource_exhausted, 1u);
+  EXPECT_EQ(stats.resource_exhausted_by_limit[static_cast<int>(
+                ResourceLimit::kParseDepth)],
+            1u);
+  // Request-scoped means request-scoped: no retry was attempted.
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.retry_recovered, 0u);
+}
+
+TEST(SuggestServer, OversizeSourceRejectedAtAdmission) {
+  auto pipeline = shared_pipeline();
+  SuggestServer::Options options;
+  options.max_delay = std::chrono::milliseconds(1);
+  SuggestServer server(pipeline, options);
+
+  // Larger than the default 2 MiB source cap: statically detectable, so
+  // admission rejects synchronously without ever enqueueing the request.
+  const std::string oversize(3u << 20, 'x');
+  try {
+    auto f = server.submit(oversize);
+    FAIL() << "expected synchronous ResourceExhausted";
+  } catch (const ResourceExhausted& e) {
+    EXPECT_EQ(e.limit(), ResourceLimit::kSourceBytes);
+    EXPECT_EQ(e.observed(), oversize.size());
+  }
+
+  // try_submit reports the same poison as a ready failed future, which is
+  // distinguishable from the nullopt it returns under backpressure.
+  auto maybe = server.try_submit(oversize);
+  ASSERT_TRUE(maybe.has_value());
+  EXPECT_THROW(maybe->get(), ResourceExhausted);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.submitted, 0u);  // rejected before admission counted them
+  EXPECT_EQ(stats.resource_exhausted, 2u);
+  EXPECT_EQ(stats.resource_exhausted_by_limit[static_cast<int>(
+                ResourceLimit::kSourceBytes)],
+            2u);
+
+  // The server still serves clean work afterwards.
+  const auto sources = test_sources();
+  expect_bitwise_suggestions(server.submit(sources[0]).get(),
+                             pipeline->suggest(sources[0]), "post-rejection");
 }
 
 }  // namespace
