@@ -238,6 +238,9 @@ std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
     return out;
   }
 
+  // Model inference isn't governed work — pause the wall clock so the
+  // frontend budget means the same thing here as on the batched path.
+  governor.clock_pause();
   std::vector<const HetGraph*> graph_ptrs;
   graph_ptrs.reserve(artifact->graphs.size());
   for (const auto& g : artifact->graphs) graph_ptrs.push_back(&g.graph);
@@ -251,6 +254,7 @@ std::vector<LoopSuggestion> Pipeline::suggest(std::string_view c_source) const {
     clause_preds[static_cast<std::size_t>(c)] =
         argmax_rows(model_->task_logits(pooled, static_cast<PredictionTask>(c + 1)));
   }
+  governor.clock_resume();
 
   out.reserve(artifact->loops.size());
   for (std::size_t i = 0; i < artifact->loops.size(); ++i) {
@@ -327,7 +331,9 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
   // proceeds. Every slot gets its own resource governor — one poison source
   // trips *its* budget and fails *its* slot; batch-mates never share a tally.
   // The governor outlives this stage so stage 3's verifier checkpoints
-  // charge the same request (stages never overlap, so the handoff is safe).
+  // charge the same request (stages never overlap, so the handoff is safe);
+  // its wall clock pauses across the handoff so the shared model stage and
+  // batch queueing never count against a slot's frontend budget.
   std::vector<std::unique_ptr<ResourceGovernor>> governors(sources.size());
   pool.parallel_for(sources.size(), [&](std::size_t i) {
     if (done[i] || artifacts[i] || build_owner[i] != i) return;
@@ -339,6 +345,7 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
     } catch (...) {
       out[i].error = std::current_exception();
     }
+    governors[i]->clock_pause();
   });
   // Fan the owner's artifact (or its parse error — identical bytes fail
   // identically) back out to the duplicate slots.
@@ -411,8 +418,10 @@ std::vector<Pipeline::SourceResult> Pipeline::suggest_batch_results(
   pool.parallel_for(sources.size(), [&](std::size_t s) {
     if (done[s] || out[s].error) return;
     // Re-arm this slot's governor (null for cache/duplicate slots — their
-    // frontend work was already vetted under a budget).
+    // frontend work was already vetted under a budget) and restart its wall
+    // clock: only this slot's own verify work accrues from here.
     const GovernorScope governor_scope(governors[s].get());
+    if (governors[s]) governors[s]->clock_resume();
     try {
       std::size_t r = first_row[s];
       const FrontendArtifact& artifact = *artifacts[s];

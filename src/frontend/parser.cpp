@@ -592,6 +592,12 @@ class Parser {
   }
 
   ExprPtr parse_assignment_expr() {
+    // The guard must span the right-recursive call below: `x=x=…=1` grows the
+    // native stack one frame per '=' even though each lhs's inner guards have
+    // already unwound, so without a live guard here depth_ stays near zero
+    // while the real stack grows unboundedly.
+    DepthGuard depth(*this);
+    burn_fuel();
     ExprPtr lhs = parse_conditional();
     if (peek().is(TokenKind::kPunct) && is_assign_op(peek().text)) {
       std::string_view op = advance().text;
@@ -604,6 +610,10 @@ class Parser {
   }
 
   ExprPtr parse_conditional() {
+    // Same right-recursion hazard as assignment: `a?b:a?b:…` nests through
+    // the else arm, so the guard must outlive that call.
+    DepthGuard depth(*this);
+    burn_fuel();
     ExprPtr cond = parse_binary(1);
     if (!match_punct("?")) return cond;
     ExprPtr then_expr = parse_expr();

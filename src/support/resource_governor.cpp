@@ -1,5 +1,6 @@
 #include "support/resource_governor.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <string>
 
@@ -16,9 +17,15 @@ thread_local ResourceGovernor* t_current = nullptr;
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* raw = std::getenv(name);
   if (raw == nullptr || *raw == '\0') return fallback;
+  // Digits only: strtoull alone would accept "-1" and wrap it to 2^64-1,
+  // silently turning a typo into an effectively unlimited budget.
+  for (const char* p = raw; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return fallback;
+  }
+  errno = 0;
   char* end = nullptr;
   const unsigned long long value = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
+  if (end == raw || *end != '\0' || errno == ERANGE) return fallback;
   return static_cast<std::uint64_t>(value);
 }
 
@@ -120,8 +127,10 @@ void ResourceGovernor::checkpoint() const {
     throw failpoint::FailpointError("governor.check");
   }
   if (budget_.frontend_budget_ms == 0) return;
-  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
-      std::chrono::steady_clock::now() - start_);
+  auto governed = spent_;
+  if (clock_running_) governed += std::chrono::steady_clock::now() - start_;
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::milliseconds>(governed);
   if (elapsed.count() >= 0 &&
       static_cast<std::uint64_t>(elapsed.count()) > budget_.frontend_budget_ms) {
     exhausted(ResourceLimit::kWallClock, static_cast<std::uint64_t>(elapsed.count()),
@@ -129,10 +138,25 @@ void ResourceGovernor::checkpoint() const {
   }
 }
 
+void ResourceGovernor::clock_pause() {
+  if (!clock_running_) return;
+  spent_ += std::chrono::steady_clock::now() - start_;
+  clock_running_ = false;
+}
+
+void ResourceGovernor::clock_resume() {
+  if (clock_running_) return;
+  start_ = std::chrono::steady_clock::now();
+  clock_running_ = true;
+}
+
 ResourceGovernor* ResourceGovernor::current() { return t_current; }
 
 GovernorScope::GovernorScope(ResourceGovernor* governor) : prev_(t_current) {
-  if (governor != nullptr) t_current = governor;
+  // nullptr installs an ungoverned scope: clearing (not keeping) any outer
+  // governor means a no-op scope can never silently charge an unrelated
+  // request's budget when scopes nest.
+  t_current = governor;
 }
 
 GovernorScope::~GovernorScope() { t_current = prev_; }

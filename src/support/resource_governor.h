@@ -80,6 +80,14 @@ class ResourceGovernor {
   /// so a stuck forward is the watchdog's job, not the governor's.
   void checkpoint() const;
 
+  /// The wall-clock budget charges only time spent inside this request's
+  /// governed work (frontend, verify) — never the shared model stage or
+  /// batch queueing, which would let a batch-mate's latency trip a clean
+  /// request's budget. A stage that hands off pauses the clock; the next
+  /// governed stage resumes it. The clock starts running at construction.
+  void clock_pause();
+  void clock_resume();
+
   std::uint64_t tokens() const { return tokens_; }
   std::uint64_t nodes() const { return nodes_; }
   std::uint64_t loops() const { return loops_; }
@@ -95,10 +103,14 @@ class ResourceGovernor {
   std::uint64_t loops_ = 0;
   std::uint32_t depth_ = 0;
   std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::duration spent_{};  // completed governed spans
+  bool clock_running_ = true;
 };
 
-/// RAII installer of the thread-local current governor. Accepts nullptr
-/// (no-op scope) so call sites can install unconditionally.
+/// RAII installer of the thread-local current governor. Accepts nullptr,
+/// which installs an *ungoverned* scope — it clears any governor an outer
+/// scope left on this thread, so work under a null scope never charges an
+/// unrelated request's budget — and restores the previous governor on exit.
 class GovernorScope {
  public:
   explicit GovernorScope(ResourceGovernor* governor);

@@ -132,6 +132,28 @@ TEST(Governor, WallClockCheckpointThrowsOnceElapsed) {
   }
 }
 
+TEST(Governor, WallClockExcludesPausedSpans) {
+  // The batched pipeline pauses a slot's clock while the shared model stage
+  // runs: a clean request must not trip kWallClock because of batch-mates'
+  // latency. Time elapsed while paused must not accrue.
+  ResourceBudget budget;
+  budget.frontend_budget_ms = 20;
+  ResourceGovernor gov{budget};
+  gov.clock_pause();
+  const auto until =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  while (std::chrono::steady_clock::now() < until) {
+  }
+  gov.checkpoint();  // 50 ms real time, ~0 ms governed time: still healthy
+  gov.clock_resume();
+  gov.checkpoint();  // freshly resumed: still healthy
+  const auto until2 =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  while (std::chrono::steady_clock::now() < until2) {
+  }
+  EXPECT_THROW(gov.checkpoint(), ResourceExhausted);  // governed time accrues
+}
+
 TEST(Governor, ScopeInstallsAndRestoresNesting) {
   EXPECT_EQ(ResourceGovernor::current(), nullptr);
   ResourceGovernor outer{ResourceBudget{}};
@@ -145,9 +167,13 @@ TEST(Governor, ScopeInstallsAndRestoresNesting) {
     }
     EXPECT_EQ(ResourceGovernor::current(), &outer);
     {
-      const GovernorScope s3(nullptr);  // no-op scope keeps the outer
-      EXPECT_EQ(ResourceGovernor::current(), &outer);
+      // A null scope means *ungoverned*: it must clear the outer governor —
+      // not keep it — so nested no-op work can't charge an unrelated
+      // request's budget.
+      const GovernorScope s3(nullptr);
+      EXPECT_EQ(ResourceGovernor::current(), nullptr);
     }
+    EXPECT_EQ(ResourceGovernor::current(), &outer);
   }
   EXPECT_EQ(ResourceGovernor::current(), nullptr);
 }
@@ -166,6 +192,15 @@ TEST(Governor, ResolveAppliesEnvOverrides) {
 
 TEST(Governor, ResolveMalformedEnvKeepsConfiguredValue) {
   const ScopedEnv tokens("G2P_MAX_TOKENS", "banana");
+  ResourceBudget configured;
+  configured.max_tokens = 555;
+  EXPECT_EQ(resolve_budget(configured).max_tokens, 555u);
+}
+
+TEST(Governor, ResolveNegativeEnvKeepsConfiguredValue) {
+  // strtoull would wrap "-1" to 2^64-1 — effectively unlimited. A malformed
+  // knob must never weaken a limit, so it falls back to the configured cap.
+  const ScopedEnv tokens("G2P_MAX_TOKENS", "-1");
   ResourceBudget configured;
   configured.max_tokens = 555;
   EXPECT_EQ(resolve_budget(configured).max_tokens, 555u);
@@ -240,6 +275,28 @@ TEST(Governor, DeepNestingFailsTypedNotCrash) {
   for (int i = 0; i < 300; ++i) src += ')';
   src += "; }";
   EXPECT_THROW(frontend_pass(src, ResourceBudget{}), ResourceExhausted);
+}
+
+TEST(Governor, DeepAssignmentChainFailsTypedNotCrash) {
+  // Right-recursive assignment: `x=x=…=1` grows one native frame per '='
+  // while every inner guard has already unwound, so the guard must live in
+  // parse_assignment_expr itself. 100k levels would overflow an 8 MB stack
+  // if depth accounting missed this shape.
+  std::string src = "int f(void) { int x; ";
+  for (int i = 0; i < 100000; ++i) src += "x = ";
+  src += "1; return x; }";
+  EXPECT_THROW(frontend_pass(src, ResourceBudget{}), ResourceExhausted);
+  // Same shape with no governor installed: the parser's hard backstop.
+  EXPECT_THROW(parse_translation_unit(src), ResourceExhausted);
+}
+
+TEST(Governor, DeepTernaryChainFailsTypedNotCrash) {
+  // The conditional's else arm right-recurses the same way: `a?b:a?b:…`.
+  std::string src = "int f(int a, int b) { return ";
+  for (int i = 0; i < 100000; ++i) src += "a ? b : ";
+  src += "1; }";
+  EXPECT_THROW(frontend_pass(src, ResourceBudget{}), ResourceExhausted);
+  EXPECT_THROW(parse_translation_unit(src), ResourceExhausted);
 }
 
 TEST(Governor, UngovernedParseHasDepthBackstop) {
